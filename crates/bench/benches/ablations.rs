@@ -1,0 +1,112 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//! how many UERs to observe before classifying (§IV-C's trade-off), the
+//! prediction-window geometry (§IV-D's 16×8 blocks), and the model family.
+//!
+//! Each ablation measures the full train+evaluate kernel; the printed
+//! criterion IDs encode the configuration so `cargo bench` output doubles
+//! as an ablation table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cordial::crossrow::BlockSpec;
+use cordial::eval::evaluate_cordial;
+use cordial::{CordialConfig, ModelKind};
+use cordial_bench::{bench_dataset, bench_split, BENCH_SEED};
+
+fn bench_k_uers(c: &mut Criterion) {
+    let dataset = bench_dataset();
+    let split = bench_split(&dataset);
+    let mut group = c.benchmark_group("ablation_k_uers");
+    group.sample_size(10);
+    for k in [1usize, 2, 3, 5] {
+        let config = CordialConfig {
+            k_uers: k,
+            ..CordialConfig::default().with_seed(BENCH_SEED)
+        };
+        group.bench_function(format!("k={k}"), |b| {
+            b.iter(|| {
+                let (_, eval) = evaluate_cordial(&dataset, &split.train, &split.test, &config)
+                    .expect("train");
+                black_box(eval)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_block_spec(c: &mut Criterion) {
+    let dataset = bench_dataset();
+    let split = bench_split(&dataset);
+    let mut group = c.benchmark_group("ablation_block_spec");
+    group.sample_size(10);
+    for (n_blocks, rows_per_block) in [(8usize, 8u32), (16, 8), (16, 16), (32, 4)] {
+        let config = CordialConfig {
+            block: BlockSpec {
+                n_blocks,
+                rows_per_block,
+            },
+            ..CordialConfig::default().with_seed(BENCH_SEED)
+        };
+        group.bench_function(
+            format!("{n_blocks}x{rows_per_block}rows_radius{}", config.block.radius()),
+            |b| {
+                b.iter(|| {
+                    let (_, eval) =
+                        evaluate_cordial(&dataset, &split.train, &split.test, &config)
+                            .expect("train");
+                    black_box(eval)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_model_family(c: &mut Criterion) {
+    let dataset = bench_dataset();
+    let split = bench_split(&dataset);
+    let mut group = c.benchmark_group("ablation_model");
+    group.sample_size(10);
+    for model in ModelKind::paper_lineup() {
+        let config = CordialConfig::with_model(model).with_seed(BENCH_SEED);
+        group.bench_function(model.short_name(), |b| {
+            b.iter(|| {
+                let (_, eval) = evaluate_cordial(&dataset, &split.train, &split.test, &config)
+                    .expect("train");
+                black_box(eval)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_threshold_mode(c: &mut Criterion) {
+    let dataset = bench_dataset();
+    let split = bench_split(&dataset);
+    let mut group = c.benchmark_group("ablation_threshold");
+    group.sample_size(10);
+    for (name, threshold) in [("calibrated", None), ("fixed_0.5", Some(0.5))] {
+        let config = CordialConfig {
+            block_threshold: threshold,
+            ..CordialConfig::default().with_seed(BENCH_SEED)
+        };
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let (_, eval) = evaluate_cordial(&dataset, &split.train, &split.test, &config)
+                    .expect("train");
+                black_box(eval)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    ablations,
+    bench_k_uers,
+    bench_block_spec,
+    bench_model_family,
+    bench_threshold_mode
+);
+criterion_main!(ablations);

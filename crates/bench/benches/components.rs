@@ -1,0 +1,125 @@
+//! Component benchmarks: the per-piece costs a deployment cares about —
+//! simulator throughput, log parsing, feature extraction, model training,
+//! and single-bank prediction latency (the BMC-loop hot path).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use cordial::features::bank_features;
+use cordial::pipeline::Cordial;
+use cordial::CordialConfig;
+use cordial_bench::{bench_dataset, bench_split, BENCH_SEED};
+use cordial_faultsim::{generate_fleet_dataset, FleetDatasetConfig};
+use cordial_mcelog::MceRecord;
+use cordial_topology::HbmGeometry;
+use cordial_trees::{Dataset, RandomForest, RandomForestConfig};
+
+fn bench_simulator(c: &mut Criterion) {
+    let config = FleetDatasetConfig::small();
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
+    group.bench_function("generate_small_fleet", |b| {
+        let mut seed = BENCH_SEED;
+        b.iter(|| {
+            seed += 1;
+            black_box(generate_fleet_dataset(&config, seed))
+        })
+    });
+    group.finish();
+}
+
+fn bench_log_roundtrip(c: &mut Criterion) {
+    let dataset = bench_dataset();
+    let text = MceRecord::format_log(dataset.log.events());
+    let mut group = c.benchmark_group("mce_log");
+    group.throughput(Throughput::Elements(dataset.log.len() as u64));
+    group.bench_function("format", |b| {
+        b.iter(|| black_box(MceRecord::format_log(black_box(dataset.log.events()))))
+    });
+    group.bench_function("parse", |b| {
+        b.iter(|| black_box(MceRecord::parse_log(black_box(&text)).expect("parse")))
+    });
+    group.bench_function("group_by_bank", |b| {
+        b.iter(|| black_box(dataset.log.by_bank()))
+    });
+    group.finish();
+}
+
+fn bench_feature_extraction(c: &mut Criterion) {
+    let dataset = bench_dataset();
+    let geom = HbmGeometry::hbm2e_8hi();
+    let by_bank = dataset.log.by_bank();
+    let windows: Vec<_> = dataset
+        .truth
+        .keys()
+        .filter_map(|bank| by_bank[bank].observe_until_k_uers(3))
+        .map(|(w, _)| w)
+        .collect();
+    let mut group = c.benchmark_group("features");
+    group.throughput(Throughput::Elements(windows.len() as u64));
+    group.bench_function("bank_features_per_window", |b| {
+        b.iter(|| {
+            for window in &windows {
+                black_box(bank_features(window, &geom));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_training(c: &mut Criterion) {
+    // Pure-ML training cost on a synthetic matrix (decoupled from the
+    // simulator so regressions in the learner are visible in isolation).
+    let mut data = Dataset::new(27, 3);
+    let mut x = 0.0f64;
+    for i in 0..1500 {
+        let row: Vec<f64> = (0..27)
+            .map(|f| {
+                x = (x * 1103515245.0 + 12345.0) % 1000.0;
+                x / 100.0 + (i % 3) as f64 * (f % 5) as f64
+            })
+            .collect();
+        data.push_row(&row, i % 3).expect("row");
+    }
+    let mut group = c.benchmark_group("training");
+    group.sample_size(10);
+    group.bench_function("random_forest_100x1500", |b| {
+        b.iter(|| {
+            black_box(
+                RandomForest::fit(&data, &RandomForestConfig::default().with_seed(BENCH_SEED))
+                    .expect("fit"),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_prediction_latency(c: &mut Criterion) {
+    let dataset = bench_dataset();
+    let split = bench_split(&dataset);
+    let config = CordialConfig::default().with_seed(BENCH_SEED);
+    let cordial = Cordial::fit(&dataset, &split.train, &config).expect("train");
+    let by_bank = dataset.log.by_bank();
+    let histories: Vec<_> = split.test.iter().map(|b| by_bank[b].clone()).collect();
+
+    let mut group = c.benchmark_group("prediction");
+    group.throughput(Throughput::Elements(histories.len() as u64));
+    group.bench_function("plan_per_bank", |b| {
+        b.iter(|| {
+            for history in &histories {
+                black_box(cordial.plan(history));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    components,
+    bench_simulator,
+    bench_log_roundtrip,
+    bench_feature_extraction,
+    bench_training,
+    bench_prediction_latency
+);
+criterion_main!(components);

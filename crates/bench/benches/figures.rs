@@ -1,0 +1,64 @@
+//! One benchmark per evaluation figure: the kernels behind Fig. 3 (pattern
+//! layouts and distribution) and Fig. 4 (chi-square locality sweep).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+use cordial::empirical;
+use cordial::locality::{chi_square_sweep, PAPER_THRESHOLDS};
+use cordial_bench::{bench_dataset, BENCH_SEED};
+use cordial_faultsim::{GrowthDirection, LocalityKernel, PatternKind, PatternLayout};
+use cordial_topology::HbmGeometry;
+
+fn bench_fig3a_layout_sampling(c: &mut Criterion) {
+    let geom = HbmGeometry::hbm2e_8hi();
+    let kernel = LocalityKernel::paper();
+    let mut group = c.benchmark_group("fig3a");
+    for kind in PatternKind::ALL {
+        group.bench_function(format!("sample_{kind:?}"), |b| {
+            let mut rng = StdRng::seed_from_u64(BENCH_SEED);
+            b.iter(|| {
+                let layout = PatternLayout::sample(kind, &geom, &mut rng);
+                let mut prev = None;
+                for _ in 0..32 {
+                    let (row, col) = layout
+                        .sample_next_cell(prev, &kernel, GrowthDirection::Up, &geom, &mut rng);
+                    prev = Some(row);
+                    black_box((row, col));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig3b_distribution(c: &mut Criterion) {
+    let dataset = bench_dataset();
+    c.bench_function("fig3b/pattern_distribution", |b| {
+        b.iter(|| black_box(empirical::pattern_distribution(black_box(&dataset))))
+    });
+}
+
+fn bench_fig4_sweep(c: &mut Criterion) {
+    let dataset = bench_dataset();
+    let geom = HbmGeometry::hbm2e_8hi();
+    c.bench_function("fig4/chi_square_sweep_10_thresholds", |b| {
+        b.iter(|| {
+            black_box(chi_square_sweep(
+                black_box(&dataset.log),
+                &geom,
+                &PAPER_THRESHOLDS,
+            ))
+        })
+    });
+}
+
+criterion_group!(
+    figures,
+    bench_fig3a_layout_sampling,
+    bench_fig3b_distribution,
+    bench_fig4_sweep
+);
+criterion_main!(figures);

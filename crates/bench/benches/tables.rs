@@ -1,0 +1,66 @@
+//! One benchmark per evaluation table: the kernel that regenerates each of
+//! the paper's Tables I-IV, on the scaled-down benchmark fleet.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cordial::classifier::{pattern_confusion, PatternClassifier};
+use cordial::empirical;
+use cordial::eval::{evaluate_cordial, evaluate_neighbor_rows};
+use cordial::{CordialConfig, ModelKind};
+use cordial_bench::{bench_dataset, bench_split, BENCH_SEED};
+
+fn bench_table1(c: &mut Criterion) {
+    let dataset = bench_dataset();
+    c.bench_function("table1/sudden_ratio_all_levels", |b| {
+        b.iter(|| black_box(empirical::sudden_ratio_table(black_box(&dataset.log))))
+    });
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let dataset = bench_dataset();
+    c.bench_function("table2/dataset_summary_all_levels", |b| {
+        b.iter(|| black_box(empirical::dataset_summary(black_box(&dataset.log))))
+    });
+}
+
+fn bench_table3(c: &mut Criterion) {
+    let dataset = bench_dataset();
+    let split = bench_split(&dataset);
+    let mut group = c.benchmark_group("table3");
+    group.sample_size(10);
+    for model in ModelKind::paper_lineup() {
+        let config = CordialConfig::with_model(model).with_seed(BENCH_SEED);
+        group.bench_function(format!("classify_{}", model.short_name()), |b| {
+            b.iter(|| {
+                let classifier =
+                    PatternClassifier::fit(&dataset, &split.train, &config).expect("fit");
+                let pairs = classifier.evaluate(&dataset, &split.test);
+                black_box(pattern_confusion(&pairs).weighted_scores())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_table4(c: &mut Criterion) {
+    let dataset = bench_dataset();
+    let split = bench_split(&dataset);
+    let config = CordialConfig::default().with_seed(BENCH_SEED);
+    let mut group = c.benchmark_group("table4");
+    group.sample_size(10);
+    group.bench_function("neighbor_rows_baseline", |b| {
+        b.iter(|| black_box(evaluate_neighbor_rows(&dataset, &split.test, &config)))
+    });
+    group.bench_function("cordial_rf_end_to_end", |b| {
+        b.iter(|| {
+            let (_, eval) =
+                evaluate_cordial(&dataset, &split.train, &split.test, &config).expect("train");
+            black_box(eval)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(tables, bench_table1, bench_table2, bench_table3, bench_table4);
+criterion_main!(tables);

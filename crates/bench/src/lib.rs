@@ -1,0 +1,23 @@
+//! Shared fixtures for the Cordial benchmark suite.
+//!
+//! The benchmarks regenerate scaled-down kernels of every table and figure
+//! in the paper (`benches/tables.rs`, `benches/figures.rs`), measure the
+//! component costs a deployment cares about (`benches/components.rs`), and
+//! sweep the design choices called out in DESIGN.md
+//! (`benches/ablations.rs`).
+
+use cordial::split::{split_banks, BankSplit};
+use cordial_faultsim::{generate_fleet_dataset, FleetDataset, FleetDatasetConfig};
+
+/// Seed used by every benchmark fixture (stable measurements).
+pub const BENCH_SEED: u64 = 99;
+
+/// The benchmark dataset: the `small` fleet, generated once per process.
+pub fn bench_dataset() -> FleetDataset {
+    generate_fleet_dataset(&FleetDatasetConfig::small(), BENCH_SEED)
+}
+
+/// The benchmark train/test split (70:30, stratified).
+pub fn bench_split(dataset: &FleetDataset) -> BankSplit {
+    split_banks(dataset, 0.7, BENCH_SEED)
+}

@@ -1,0 +1,249 @@
+//! CLI command implementations and argument handling.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+use cordial::eval::{evaluate_cordial, evaluate_neighbor_rows};
+use cordial::pipeline::{Cordial, MitigationPlan};
+use cordial::split::split_banks;
+use cordial::{CordialConfig, ModelKind};
+use cordial_faultsim::{generate_fleet_dataset, FleetDatasetConfig};
+use cordial_topology::BankAddress;
+
+use crate::io;
+
+/// Parses flags of the form `--name value` plus one leading subcommand.
+struct Args {
+    command: String,
+    flags: HashMap<String, String>,
+}
+
+impl Args {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut iter = args.iter();
+        let command = iter.next().ok_or("missing subcommand")?.clone();
+        let mut flags = HashMap::new();
+        while let Some(flag) = iter.next() {
+            let name = flag
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected a --flag, found `{flag}`"))?;
+            let value = iter
+                .next()
+                .ok_or_else(|| format!("--{name} requires a value"))?;
+            flags.insert(name.to_string(), value.clone());
+        }
+        Ok(Self { command, flags })
+    }
+
+    fn require(&self, name: &str) -> Result<&str, String> {
+        self.flags
+            .get(name)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing required flag --{name}"))
+    }
+
+    fn path(&self, name: &str) -> Result<PathBuf, String> {
+        self.require(name).map(PathBuf::from)
+    }
+
+    fn seed(&self) -> Result<u64, String> {
+        match self.flags.get("seed") {
+            None => Ok(2025),
+            Some(s) => s.parse().map_err(|_| "--seed must be an integer".into()),
+        }
+    }
+}
+
+/// Entry point used by `main`.
+pub fn dispatch(args: &[String]) -> Result<(), String> {
+    let args = Args::parse(args)?;
+    match args.command.as_str() {
+        "simulate" => simulate(&args),
+        "train" => train(&args),
+        "plan" => plan(&args),
+        "eval" => eval(&args),
+        unknown => Err(format!("unknown subcommand `{unknown}`")),
+    }
+}
+
+fn scale_config(name: &str) -> Result<FleetDatasetConfig, String> {
+    match name {
+        "small" => Ok(FleetDatasetConfig::small()),
+        "medium" => Ok(FleetDatasetConfig::medium()),
+        "paper" => Ok(FleetDatasetConfig::paper_scale()),
+        other => Err(format!("unknown scale `{other}` (small|medium|paper)")),
+    }
+}
+
+fn model_kind(name: &str) -> Result<ModelKind, String> {
+    match name {
+        "rf" => Ok(ModelKind::random_forest()),
+        "xgb" => Ok(ModelKind::xgboost()),
+        "lgbm" => Ok(ModelKind::lightgbm()),
+        other => Err(format!("unknown model `{other}` (rf|xgb|lgbm)")),
+    }
+}
+
+fn simulate(args: &Args) -> Result<(), String> {
+    let config = scale_config(args.require("scale")?)?;
+    let seed = args.seed()?;
+    let dataset = generate_fleet_dataset(&config, seed);
+    io::write_log(&args.path("log")?, &dataset.log)?;
+    io::write_json(&args.path("truth")?, &io::TruthFile::from_dataset(&dataset))?;
+    println!(
+        "simulated {} events, {} UER banks (seed {seed})",
+        dataset.log.len(),
+        dataset.truth.len()
+    );
+    Ok(())
+}
+
+fn train(args: &Args) -> Result<(), String> {
+    let log = io::read_log(&args.path("log")?)?;
+    let truth: io::TruthFile = io::read_json(&args.path("truth")?)?;
+    let dataset = io::assemble_dataset(log, truth);
+    let model = model_kind(args.flags.get("model").map_or("rf", String::as_str))?;
+    let config = CordialConfig::with_model(model).with_seed(args.seed()?);
+
+    let banks: Vec<BankAddress> = dataset.truth.keys().copied().collect();
+    let cordial =
+        Cordial::fit(&dataset, &banks, &config).map_err(|e| format!("training failed: {e}"))?;
+    io::write_json(&args.path("out")?, &cordial)?;
+    println!(
+        "trained Cordial-{} on {} banks -> {}",
+        model.short_name(),
+        banks.len(),
+        args.require("out")?
+    );
+    Ok(())
+}
+
+fn plan(args: &Args) -> Result<(), String> {
+    let log = io::read_log(&args.path("log")?)?;
+    let cordial = io::read_pipeline(&args.path("pipeline")?)?;
+    let by_bank = log.by_bank();
+
+    let selected: Option<BankAddress> = match args.flags.get("bank") {
+        Some(text) => Some(
+            text.parse()
+                .map_err(|e| format!("invalid --bank address: {e}"))?,
+        ),
+        None => None,
+    };
+
+    let mut planned = 0usize;
+    for (bank, history) in &by_bank {
+        if selected.is_some_and(|b| b != *bank) {
+            continue;
+        }
+        match cordial.plan(history) {
+            MitigationPlan::InsufficientData => {
+                if selected.is_some() {
+                    println!("{bank}: insufficient data (needs 3 distinct UER rows)");
+                }
+            }
+            MitigationPlan::BankSparing => {
+                println!("{bank}: scattered -> BANK SPARING");
+                planned += 1;
+            }
+            MitigationPlan::RowSparing { pattern, rows } => {
+                let preview: Vec<String> = rows
+                    .iter()
+                    .take(6)
+                    .map(|r| r.index().to_string())
+                    .collect();
+                println!(
+                    "{bank}: {pattern} -> ROW SPARING {} rows [{}{}]",
+                    rows.len(),
+                    preview.join(","),
+                    if rows.len() > 6 { ",…" } else { "" }
+                );
+                planned += 1;
+            }
+        }
+    }
+    println!("({planned} banks received a plan)");
+    Ok(())
+}
+
+fn eval(args: &Args) -> Result<(), String> {
+    let log = io::read_log(&args.path("log")?)?;
+    let truth: io::TruthFile = io::read_json(&args.path("truth")?)?;
+    let dataset = io::assemble_dataset(log, truth);
+    let seed = args.seed()?;
+    let config = CordialConfig::default().with_seed(seed);
+    let split = split_banks(&dataset, 0.7, seed);
+
+    let (_, cordial_eval) = evaluate_cordial(&dataset, &split.train, &split.test, &config)
+        .map_err(|e| format!("training failed: {e}"))?;
+    let baseline = evaluate_neighbor_rows(&dataset, &split.test, &config);
+
+    println!("method         P      R      F1     ICR");
+    println!(
+        "neighbor-rows  {:.3}  {:.3}  {:.3}  {:.2}%",
+        baseline.block_scores.precision,
+        baseline.block_scores.recall,
+        baseline.block_scores.f1,
+        baseline.icr * 100.0
+    );
+    println!(
+        "cordial-rf     {:.3}  {:.3}  {:.3}  {:.2}%",
+        cordial_eval.block_scores.precision,
+        cordial_eval.block_scores.recall,
+        cordial_eval.block_scores.f1,
+        cordial_eval.icr * 100.0
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Result<Args, String> {
+        let owned: Vec<String> = list.iter().map(|s| s.to_string()).collect();
+        Args::parse(&owned)
+    }
+
+    #[test]
+    fn parses_subcommand_and_flags() {
+        let parsed = args(&["train", "--log", "a.mce", "--out", "m.json"]).unwrap();
+        assert_eq!(parsed.command, "train");
+        assert_eq!(parsed.require("log").unwrap(), "a.mce");
+        assert_eq!(parsed.require("out").unwrap(), "m.json");
+        assert!(parsed.require("truth").is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_flags() {
+        assert!(args(&[]).is_err());
+        assert!(args(&["plan", "log"]).is_err());
+        assert!(args(&["plan", "--log"]).is_err());
+    }
+
+    #[test]
+    fn seed_parses_with_default() {
+        assert_eq!(args(&["plan"]).unwrap().seed().unwrap(), 2025);
+        assert_eq!(
+            args(&["plan", "--seed", "7"]).unwrap().seed().unwrap(),
+            7
+        );
+        assert!(args(&["plan", "--seed", "x"]).unwrap().seed().is_err());
+    }
+
+    #[test]
+    fn scale_and_model_lookups() {
+        assert!(scale_config("small").is_ok());
+        assert!(scale_config("paper").is_ok());
+        assert!(scale_config("galactic").is_err());
+        assert_eq!(model_kind("rf").unwrap().short_name(), "RF");
+        assert_eq!(model_kind("lgbm").unwrap().short_name(), "LGBM");
+        assert!(model_kind("svm").is_err());
+    }
+
+    #[test]
+    fn unknown_subcommand_is_an_error() {
+        let owned = vec!["frobnicate".to_string()];
+        assert!(dispatch(&owned).is_err());
+    }
+}

@@ -1,0 +1,131 @@
+//! File formats of the CLI: the textual MCE log and the JSON sidecars
+//! (ground truth, trained pipeline).
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use cordial::pipeline::Cordial;
+use cordial_faultsim::{BankTruth, FleetDataset};
+use cordial_mcelog::{MceLog, MceRecord};
+
+/// JSON sidecar carrying per-bank ground truth.
+///
+/// Stored as a list (JSON object keys must be strings, and
+/// [`BankAddress`](cordial_topology::BankAddress) keys are structured);
+/// each [`BankTruth`] already embeds its bank address via the fault plan.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct TruthFile {
+    /// Ground truth for every UER bank.
+    pub banks: Vec<BankTruth>,
+}
+
+impl TruthFile {
+    /// Captures a dataset's ground truth.
+    pub fn from_dataset(dataset: &FleetDataset) -> Self {
+        Self {
+            banks: dataset.truth.values().cloned().collect(),
+        }
+    }
+
+    /// Rebuilds the per-bank map.
+    pub fn into_map(self) -> BTreeMap<cordial_topology::BankAddress, BankTruth> {
+        self.banks
+            .into_iter()
+            .map(|truth| (truth.plan.bank, truth))
+            .collect()
+    }
+}
+
+/// Writes a log in the textual MCE format.
+pub fn write_log(path: &Path, log: &MceLog) -> Result<(), String> {
+    fs::write(path, MceRecord::format_log(log.events()))
+        .map_err(|e| format!("cannot write {}: {e}", path.display()))
+}
+
+/// Reads a textual MCE log.
+pub fn read_log(path: &Path) -> Result<MceLog, String> {
+    let text =
+        fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let events = MceRecord::parse_log(&text)
+        .map_err(|e| format!("{}: malformed MCE log: {e}", path.display()))?;
+    Ok(MceLog::from_events(events))
+}
+
+/// Writes a JSON value.
+pub fn write_json<T: Serialize>(path: &Path, value: &T) -> Result<(), String> {
+    let text = serde_json::to_string(value).map_err(|e| format!("serialisation failed: {e}"))?;
+    fs::write(path, text).map_err(|e| format!("cannot write {}: {e}", path.display()))
+}
+
+/// Reads a JSON value.
+pub fn read_json<T: for<'de> Deserialize<'de>>(path: &Path) -> Result<T, String> {
+    let text =
+        fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    serde_json::from_str(&text).map_err(|e| format!("{}: malformed JSON: {e}", path.display()))
+}
+
+/// Reads a trained pipeline.
+pub fn read_pipeline(path: &Path) -> Result<Cordial, String> {
+    read_json(path)
+}
+
+/// Assembles a dataset from a log and its truth sidecar.
+pub fn assemble_dataset(log: MceLog, truth: TruthFile) -> FleetDataset {
+    FleetDataset {
+        log,
+        truth: truth.into_map(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cordial_faultsim::{generate_fleet_dataset, FleetDatasetConfig};
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut path = std::env::temp_dir();
+        path.push(format!("cordial-cli-test-{}-{name}", std::process::id()));
+        path
+    }
+
+    #[test]
+    fn log_file_round_trips() {
+        let dataset = generate_fleet_dataset(&FleetDatasetConfig::small(), 4);
+        let path = temp_path("log.mce");
+        write_log(&path, &dataset.log).unwrap();
+        let reloaded = read_log(&path).unwrap();
+        assert_eq!(reloaded, dataset.log);
+        let _ = fs::remove_file(path);
+    }
+
+    #[test]
+    fn truth_file_round_trips_and_rebuilds_map() {
+        let dataset = generate_fleet_dataset(&FleetDatasetConfig::small(), 4);
+        let path = temp_path("truth.json");
+        write_json(&path, &TruthFile::from_dataset(&dataset)).unwrap();
+        let truth: TruthFile = read_json(&path).unwrap();
+        let map = truth.into_map();
+        assert_eq!(map.len(), dataset.truth.len());
+        for (bank, original) in &dataset.truth {
+            assert_eq!(&map[bank], original);
+        }
+        let _ = fs::remove_file(path);
+    }
+
+    #[test]
+    fn missing_files_yield_errors() {
+        assert!(read_log(std::path::Path::new("/nonexistent/x.mce")).is_err());
+        assert!(read_json::<TruthFile>(std::path::Path::new("/nonexistent/x.json")).is_err());
+    }
+
+    #[test]
+    fn malformed_json_yields_error() {
+        let path = temp_path("bad.json");
+        fs::write(&path, "{not json").unwrap();
+        assert!(read_json::<TruthFile>(&path).is_err());
+        let _ = fs::remove_file(path);
+    }
+}

@@ -1,0 +1,37 @@
+//! `cordial-cli` — the operational workflow around the Cordial library:
+//!
+//! ```text
+//! cordial-cli simulate --scale small --seed 7 --log fleet.mce --truth truth.json
+//! cordial-cli train    --log fleet.mce --truth truth.json --model rf --out cordial.model.json
+//! cordial-cli plan     --log fleet.mce --pipeline cordial.model.json [--bank ADDR]
+//! cordial-cli eval     --log fleet.mce --truth truth.json --pipeline cordial.model.json
+//! ```
+//!
+//! * `simulate` writes a synthetic fleet as a textual MCE log plus a JSON
+//!   ground-truth sidecar;
+//! * `train` fits the full pipeline on the log and persists it as JSON;
+//! * `plan` loads a trained pipeline and prints mitigation plans for the
+//!   banks of a (possibly live) log;
+//! * `eval` reproduces the Table IV metrics for a stored pipeline.
+
+use std::process::ExitCode;
+
+mod commands;
+mod io;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match commands::dispatch(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!();
+            eprintln!("usage:");
+            eprintln!("  cordial-cli simulate --scale <small|medium|paper> [--seed N] --log FILE --truth FILE");
+            eprintln!("  cordial-cli train    --log FILE --truth FILE [--model rf|xgb|lgbm] [--seed N] --out FILE");
+            eprintln!("  cordial-cli plan     --log FILE --pipeline FILE [--bank ADDR]");
+            eprintln!("  cordial-cli eval     --log FILE --truth FILE --pipeline FILE [--seed N]");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! End-to-end test of the `cordial-cli` binary: simulate → train → plan →
+//! eval over real files, driving the compiled executable.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_cordial-cli"))
+}
+
+fn workdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cordial-cli-e2e-{}-{tag}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn full_workflow_succeeds() {
+    let dir = workdir("full");
+    let log = dir.join("fleet.mce");
+    let truth = dir.join("truth.json");
+    let model = dir.join("model.json");
+
+    let simulate = bin()
+        .args(["simulate", "--scale", "small", "--seed", "7"])
+        .args(["--log", log.to_str().unwrap()])
+        .args(["--truth", truth.to_str().unwrap()])
+        .output()
+        .expect("run simulate");
+    assert!(simulate.status.success(), "{simulate:?}");
+    assert!(log.exists() && truth.exists());
+
+    let train = bin()
+        .args(["train", "--model", "rf", "--seed", "7"])
+        .args(["--log", log.to_str().unwrap()])
+        .args(["--truth", truth.to_str().unwrap()])
+        .args(["--out", model.to_str().unwrap()])
+        .output()
+        .expect("run train");
+    assert!(train.status.success(), "{train:?}");
+    assert!(model.exists());
+
+    let plan = bin()
+        .args(["plan"])
+        .args(["--log", log.to_str().unwrap()])
+        .args(["--pipeline", model.to_str().unwrap()])
+        .output()
+        .expect("run plan");
+    assert!(plan.status.success(), "{plan:?}");
+    let stdout = String::from_utf8_lossy(&plan.stdout);
+    assert!(
+        stdout.contains("ROW SPARING") || stdout.contains("BANK SPARING"),
+        "plan output should contain isolations:\n{stdout}"
+    );
+    assert!(stdout.contains("banks received a plan"));
+
+    let eval = bin()
+        .args(["eval", "--seed", "7"])
+        .args(["--log", log.to_str().unwrap()])
+        .args(["--truth", truth.to_str().unwrap()])
+        .args(["--pipeline", model.to_str().unwrap()])
+        .output()
+        .expect("run eval");
+    assert!(eval.status.success(), "{eval:?}");
+    let stdout = String::from_utf8_lossy(&eval.stdout);
+    assert!(stdout.contains("cordial-rf"));
+    assert!(stdout.contains("neighbor-rows"));
+
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn missing_inputs_fail_with_usage() {
+    let out = bin().args(["train"]).output().expect("run train");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("usage"), "{stderr}");
+
+    let out = bin().args(["frobnicate"]).output().expect("run unknown");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown subcommand"));
+}
+
+#[test]
+fn plan_accepts_a_single_bank_filter() {
+    let dir = workdir("filter");
+    let log = dir.join("fleet.mce");
+    let truth = dir.join("truth.json");
+    let model = dir.join("model.json");
+
+    let out = bin()
+        .args(["simulate", "--scale", "small", "--seed", "9"])
+        .args(["--log", log.to_str().unwrap()])
+        .args(["--truth", truth.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let out = bin()
+        .args(["train", "--seed", "9"])
+        .args(["--log", log.to_str().unwrap()])
+        .args(["--truth", truth.to_str().unwrap()])
+        .args(["--out", model.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    // An address that certainly has no events: plans zero banks.
+    let out = bin()
+        .args(["plan"])
+        .args(["--log", log.to_str().unwrap()])
+        .args(["--pipeline", model.to_str().unwrap()])
+        .args(["--bank", "node999/npu0/hbm0/sid0/ch0/pch0/bg0/bank0"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("(0 banks received a plan)"));
+
+    // A malformed address errors out.
+    let out = bin()
+        .args(["plan"])
+        .args(["--log", log.to_str().unwrap()])
+        .args(["--pipeline", model.to_str().unwrap()])
+        .args(["--bank", "not-an-address"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+
+    let _ = std::fs::remove_dir_all(dir);
+}

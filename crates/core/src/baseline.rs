@@ -1,0 +1,227 @@
+//! Comparison methods: the industrial neighbor-rows baseline and the
+//! in-row prediction ceiling.
+
+use serde::{Deserialize, Serialize};
+
+use cordial_mcelog::{BankErrorHistory, ErrorType, ObservedWindow};
+use cordial_topology::{HbmGeometry, RowId};
+
+use crate::crossrow::BlockSpec;
+
+/// The industrial baseline of the paper's Table IV ("Neighbor Rows"): on
+/// each identified UER row, isolate the eight adjacent rows (±4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NeighborRowsBaseline {
+    /// Rows isolated on each side of an observed UER row.
+    pub radius: u32,
+}
+
+impl NeighborRowsBaseline {
+    /// The paper's baseline: eight adjacent rows (±4).
+    pub const fn paper() -> Self {
+        Self { radius: 4 }
+    }
+
+    /// Rows this baseline isolates for an observed window: the ±`radius`
+    /// neighbourhood of every observed UER row (the failed rows themselves
+    /// are already isolated reactively and are not counted as predictions).
+    pub fn predicted_rows(&self, window: &ObservedWindow<'_>, geom: &HbmGeometry) -> Vec<RowId> {
+        let mut rows = Vec::new();
+        for uer_row in window.uer_rows() {
+            for delta in 1..=self.radius as i64 {
+                for signed in [delta, -delta] {
+                    let row = uer_row.0 as i64 + signed;
+                    if row >= 0 && (row as u32) < geom.rows {
+                        rows.push(RowId(row as u32));
+                    }
+                }
+            }
+        }
+        rows.sort();
+        rows.dedup();
+        rows
+    }
+
+    /// Block-level view of the baseline's predictions: a block is positive
+    /// iff it intersects the isolated neighbourhood (enables the apples-to-
+    /// apples block P/R/F1 comparison of Table IV).
+    pub fn predict_blocks(
+        &self,
+        window: &ObservedWindow<'_>,
+        spec: &BlockSpec,
+        geom: &HbmGeometry,
+    ) -> Vec<bool> {
+        let Some(anchor) = window.last_uer_row() else {
+            return vec![false; spec.n_blocks];
+        };
+        let rows = self.predicted_rows(window, geom);
+        (0..spec.n_blocks)
+            .map(|index| rows.iter().any(|row| spec.contains(anchor, index, *row)))
+            .collect()
+    }
+}
+
+impl Default for NeighborRowsBaseline {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// The in-row prediction ceiling (paper §II-C, §V-B): a hypothetical
+/// *perfect* in-row method can only predict UERs in rows that already
+/// showed milder errors — everything else is sudden and invisible to it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct InRowPredictor;
+
+impl InRowPredictor {
+    /// Creates the predictor.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Rows an oracle in-row method would isolate: rows with at least one
+    /// CE/UEO in the observed window (their own history predicts them).
+    pub fn predicted_rows(&self, window: &ObservedWindow<'_>) -> Vec<RowId> {
+        let mut rows: Vec<RowId> = window
+            .events()
+            .iter()
+            .filter(|e| e.error_type != ErrorType::Uer)
+            .map(|e| e.addr.row)
+            .collect();
+        rows.sort();
+        rows.dedup();
+        rows
+    }
+
+    /// The fraction of a bank's *future* distinct UER rows that had in-row
+    /// precursors in the observed window — the per-bank in-row ceiling.
+    pub fn ceiling(&self, history: &BankErrorHistory, k_uers: usize) -> Option<f64> {
+        let (window, future) = history.observe_until_k_uers(k_uers)?;
+        let predictable = self.predicted_rows(&window);
+        let mut future_rows: Vec<RowId> = future
+            .iter()
+            .filter(|e| e.is_uer())
+            .map(|e| e.addr.row)
+            .collect();
+        future_rows.sort();
+        future_rows.dedup();
+        if future_rows.is_empty() {
+            return None;
+        }
+        let covered = future_rows
+            .iter()
+            .filter(|r| predictable.contains(r))
+            .count();
+        Some(covered as f64 / future_rows.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cordial_mcelog::{ErrorEvent, Timestamp};
+    use cordial_topology::{BankAddress, ColId};
+
+    fn ev(row: u32, t: u64, ty: ErrorType) -> ErrorEvent {
+        ErrorEvent::new(
+            BankAddress::default().cell(RowId(row), ColId(0)),
+            Timestamp::from_secs(t),
+            ty,
+        )
+    }
+
+    fn window_from(events: Vec<ErrorEvent>) -> BankErrorHistory {
+        BankErrorHistory::new(BankAddress::default(), events)
+    }
+
+    #[test]
+    fn neighbor_rows_isolates_eight_adjacent_rows() {
+        let history = window_from(vec![ev(1000, 1, ErrorType::Uer)]);
+        let (window, _) = history.observe_until_k_uers(1).unwrap();
+        let rows =
+            NeighborRowsBaseline::paper().predicted_rows(&window, &HbmGeometry::hbm2e_8hi());
+        assert_eq!(rows.len(), 8);
+        assert!(rows.contains(&RowId(996)));
+        assert!(rows.contains(&RowId(1004)));
+        assert!(!rows.contains(&RowId(1000)), "the failed row itself is reactive");
+    }
+
+    #[test]
+    fn neighborhoods_of_close_uers_merge() {
+        let history = window_from(vec![
+            ev(1000, 1, ErrorType::Uer),
+            ev(1002, 2, ErrorType::Uer),
+        ]);
+        let (window, _) = history.observe_until_k_uers(2).unwrap();
+        let rows =
+            NeighborRowsBaseline::paper().predicted_rows(&window, &HbmGeometry::hbm2e_8hi());
+        // Overlap is deduplicated; 1000 and 1002 are each other's neighbours.
+        assert!(rows.contains(&RowId(1000)));
+        assert!(rows.contains(&RowId(1002)));
+        let mut sorted = rows.clone();
+        sorted.dedup();
+        assert_eq!(sorted.len(), rows.len());
+    }
+
+    #[test]
+    fn neighbor_rows_clamps_at_bank_edge() {
+        let history = window_from(vec![ev(1, 1, ErrorType::Uer)]);
+        let (window, _) = history.observe_until_k_uers(1).unwrap();
+        let rows =
+            NeighborRowsBaseline::paper().predicted_rows(&window, &HbmGeometry::hbm2e_8hi());
+        assert!(rows.iter().all(|r| r.0 < 32_768));
+        assert!(rows.contains(&RowId(0)));
+        assert_eq!(rows.len(), 5); // 0 plus 2..=5
+    }
+
+    #[test]
+    fn baseline_blocks_cover_only_the_anchor_vicinity() {
+        let history = window_from(vec![
+            ev(1000, 1, ErrorType::Uer),
+            ev(1001, 2, ErrorType::Uer),
+            ev(1002, 3, ErrorType::Uer),
+        ]);
+        let (window, _) = history.observe_until_k_uers(3).unwrap();
+        let blocks = NeighborRowsBaseline::paper().predict_blocks(
+            &window,
+            &BlockSpec::paper(),
+            &HbmGeometry::hbm2e_8hi(),
+        );
+        let positives = blocks.iter().filter(|&&b| b).count();
+        assert!((1..=3).contains(&positives), "positives = {positives}");
+        // The distant blocks stay negative.
+        assert!(!blocks[0]);
+        assert!(!blocks[15]);
+    }
+
+    #[test]
+    fn in_row_predictor_covers_only_rows_with_precursors() {
+        let history = window_from(vec![
+            ev(50, 1, ErrorType::Ce), // row 50 has an in-row precursor
+            ev(10, 2, ErrorType::Uer),
+            ev(11, 3, ErrorType::Uer),
+            ev(12, 4, ErrorType::Uer),
+            // Future:
+            ev(50, 5, ErrorType::Uer),
+            ev(13, 6, ErrorType::Uer),
+        ]);
+        let (window, _) = history.observe_until_k_uers(3).unwrap();
+        let in_row = InRowPredictor::new();
+        assert_eq!(in_row.predicted_rows(&window), vec![RowId(50)]);
+        // Ceiling: of the two future UER rows (50, 13) only row 50 is
+        // predictable in-row.
+        let ceiling = in_row.ceiling(&history, 3).unwrap();
+        assert!((ceiling - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ceiling_is_none_without_future_uers() {
+        let history = window_from(vec![
+            ev(10, 1, ErrorType::Uer),
+            ev(11, 2, ErrorType::Uer),
+            ev(12, 3, ErrorType::Uer),
+        ]);
+        assert_eq!(InRowPredictor::new().ceiling(&history, 3), None);
+        assert_eq!(InRowPredictor::new().ceiling(&history, 4), None);
+    }
+}

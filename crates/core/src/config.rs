@@ -1,0 +1,84 @@
+//! Top-level configuration of the Cordial pipeline.
+
+use serde::{Deserialize, Serialize};
+
+use crate::crossrow::BlockSpec;
+use crate::features::FeatureMask;
+use crate::model::ModelKind;
+
+/// Configuration shared by the pattern classifier and the cross-row
+/// predictors.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CordialConfig {
+    /// Number of distinct UER rows observed before classifying
+    /// (§IV-C: the paper uses the first **three** UERs — a pragmatic
+    /// trade-off between early intervention and pattern separability).
+    pub k_uers: usize,
+    /// Geometry of the cross-row prediction window (§IV-D: 16 blocks of
+    /// 8 rows, ±64 rows around the last UER row).
+    pub block: BlockSpec,
+    /// Model family for both stages.
+    pub model: ModelKind,
+    /// Probability threshold above which a block is predicted positive.
+    /// `None` (the default) calibrates a per-pattern threshold on the
+    /// training blocks by maximising F1 — block labels are heavily
+    /// imbalanced (~1-3 positives among 16 blocks), so a fixed 0.5 cut
+    /// would under-predict.
+    pub block_threshold: Option<f64>,
+    /// Which §IV-B feature groups the models may use (feature ablation).
+    pub feature_mask: FeatureMask,
+    /// RNG seed for model training.
+    pub seed: u64,
+}
+
+impl CordialConfig {
+    /// The paper's configuration with the given model family.
+    pub fn with_model(model: ModelKind) -> Self {
+        Self {
+            model,
+            ..Self::default()
+        }
+    }
+
+    /// Returns the config with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+impl Default for CordialConfig {
+    fn default() -> Self {
+        Self {
+            k_uers: 3,
+            block: BlockSpec::paper(),
+            model: ModelKind::random_forest(),
+            block_threshold: None,
+            feature_mask: FeatureMask::ALL,
+            seed: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_settings() {
+        let config = CordialConfig::default();
+        assert_eq!(config.k_uers, 3);
+        assert_eq!(config.block.n_blocks, 16);
+        assert_eq!(config.block.rows_per_block, 8);
+        assert_eq!(config.block.radius(), 64);
+        assert_eq!(config.model.name(), "Random Forest");
+    }
+
+    #[test]
+    fn with_model_overrides_family_only() {
+        let config = CordialConfig::with_model(ModelKind::xgboost());
+        assert_eq!(config.model.short_name(), "XGB");
+        assert_eq!(config.k_uers, 3);
+        assert_eq!(CordialConfig::default().with_seed(9).seed, 9);
+    }
+}

@@ -1,0 +1,244 @@
+//! Empirical-study computations: Tables I and II and the Fig. 3(b) pattern
+//! distribution, plus paper-style text rendering.
+
+use std::fmt::Write as _;
+
+use serde::{Deserialize, Serialize};
+
+use cordial_faultsim::{FleetDataset, PatternKind};
+use cordial_mcelog::{burst, rollup, sudden, MceLog};
+use cordial_topology::MicroLevel;
+
+/// One row of Table I: in-row predictable ratio of UERs per micro-level.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SuddenRatioRow {
+    /// Micro-level.
+    pub level: MicroLevel,
+    /// Units whose first UER was sudden.
+    pub sudden: usize,
+    /// Units whose first UER had precursors.
+    pub non_sudden: usize,
+    /// `non_sudden / (sudden + non_sudden)`; 0 when no UER units exist.
+    pub predictable_ratio: f64,
+}
+
+/// Computes Table I over a log.
+pub fn sudden_ratio_table(log: &MceLog) -> Vec<SuddenRatioRow> {
+    sudden::sudden_stats_all_levels(log)
+        .into_iter()
+        .map(|(level, stats)| SuddenRatioRow {
+            level,
+            sudden: stats.sudden,
+            non_sudden: stats.non_sudden,
+            predictable_ratio: stats.predictable_ratio().unwrap_or(0.0),
+        })
+        .collect()
+}
+
+/// One row of Table II: per-level populations of units with errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SummaryRow {
+    /// Micro-level.
+    pub level: MicroLevel,
+    /// Units with at least one CE.
+    pub with_ce: usize,
+    /// Units with at least one UEO.
+    pub with_ueo: usize,
+    /// Units with at least one UER.
+    pub with_uer: usize,
+    /// Units with any error.
+    pub total: usize,
+}
+
+/// Computes Table II over a log.
+pub fn dataset_summary(log: &MceLog) -> Vec<SummaryRow> {
+    rollup::rollup_all_levels(log)
+        .into_iter()
+        .map(|(level, r)| SummaryRow {
+            level,
+            with_ce: r.with_ce,
+            with_ueo: r.with_ueo,
+            with_uer: r.with_uer,
+            total: r.total,
+        })
+        .collect()
+}
+
+/// The ground-truth bank failure-pattern distribution (Fig. 3(b)):
+/// per-pattern fraction of UER banks.
+pub fn pattern_distribution(dataset: &FleetDataset) -> Vec<(PatternKind, f64)> {
+    let total = dataset.truth.len().max(1) as f64;
+    PatternKind::ALL
+        .iter()
+        .map(|&kind| {
+            let count = dataset
+                .truth
+                .values()
+                .filter(|t| t.kind() == kind)
+                .count();
+            (kind, count as f64 / total)
+        })
+        .collect()
+}
+
+/// Fraction of UER banks with an aggregation (clustering) pattern — the
+/// paper reports 78.1% combined, which is what makes cross-row prediction
+/// broadly applicable.
+pub fn aggregation_fraction(dataset: &FleetDataset) -> f64 {
+    let total = dataset.truth.len().max(1) as f64;
+    let aggregated = dataset
+        .truth
+        .values()
+        .filter(|t| t.kind().coarse().is_aggregation())
+        .count();
+    aggregated as f64 / total
+}
+
+/// Fleet burstiness: fraction of UER events arriving within an hour of the
+/// previous event in the same bank (the paper's "high burst rate" finding —
+/// bursts leave no quiet window for in-row prediction to act in).
+pub fn uer_burst_ratio(log: &MceLog) -> f64 {
+    burst::uer_burst_ratio(log, &burst::BurstConfig::default())
+}
+
+/// Renders Table I in the paper's layout.
+pub fn render_sudden_ratio_table(rows: &[SuddenRatioRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<10} {:>12} {:>16} {:>18}",
+        "Micro-level", "Sudden UER", "Non-sudden UER", "Predictable Ratio"
+    );
+    for row in rows {
+        let _ = writeln!(
+            out,
+            "{:<10} {:>12} {:>16} {:>17.2}%",
+            row.level.name(),
+            row.sudden,
+            row.non_sudden,
+            row.predictable_ratio * 100.0
+        );
+    }
+    out
+}
+
+/// Renders Table II in the paper's layout.
+pub fn render_summary_table(rows: &[SummaryRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<10} {:>9} {:>10} {:>10} {:>12}",
+        "Micro-level", "With CE", "With UEO", "With UER", "Total Count"
+    );
+    for row in rows {
+        let _ = writeln!(
+            out,
+            "{:<10} {:>9} {:>10} {:>10} {:>12}",
+            row.level.name(),
+            row.with_ce,
+            row.with_ueo,
+            row.with_uer,
+            row.total
+        );
+    }
+    out
+}
+
+/// Renders the Fig. 3(b) distribution with the paper's reference values.
+pub fn render_pattern_distribution(distribution: &[(PatternKind, f64)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<28} {:>10} {:>10}",
+        "Pattern", "Measured", "Paper"
+    );
+    for (kind, fraction) in distribution {
+        let _ = writeln!(
+            out,
+            "{:<28} {:>9.1}% {:>9.1}%",
+            kind.name(),
+            fraction * 100.0,
+            kind.paper_fraction() * 100.0
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cordial_faultsim::{generate_fleet_dataset, FleetDatasetConfig};
+
+    fn dataset() -> FleetDataset {
+        generate_fleet_dataset(&FleetDatasetConfig::small(), 61)
+    }
+
+    #[test]
+    fn table1_has_seven_levels_in_order() {
+        let rows = sudden_ratio_table(&dataset().log);
+        assert_eq!(rows.len(), 7);
+        assert_eq!(rows[0].level, MicroLevel::Npu);
+        assert_eq!(rows[6].level, MicroLevel::Row);
+        // Row level is drastically less predictable than NPU level.
+        assert!(rows[6].predictable_ratio < rows[0].predictable_ratio);
+        assert!(rows[6].predictable_ratio < 0.10);
+    }
+
+    #[test]
+    fn table2_totals_are_monotone_in_fineness() {
+        let rows = dataset_summary(&dataset().log);
+        assert_eq!(rows.len(), 7);
+        for pair in rows.windows(2) {
+            assert!(pair[0].total <= pair[1].total);
+        }
+    }
+
+    #[test]
+    fn distribution_sums_to_one_over_uer_banks() {
+        let data = dataset();
+        let dist = pattern_distribution(&data);
+        let total: f64 = dist.iter().map(|(_, f)| f).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        // Single-row clustering dominates (paper: 68.2%).
+        let single = dist
+            .iter()
+            .find(|(k, _)| *k == PatternKind::SingleRowCluster)
+            .unwrap()
+            .1;
+        assert!(single > 0.5);
+    }
+
+    #[test]
+    fn aggregation_fraction_near_paper_value() {
+        let config = FleetDatasetConfig {
+            n_uer_banks: 400,
+            ..FleetDatasetConfig::medium()
+        };
+        let data = generate_fleet_dataset(&config, 62);
+        let frac = aggregation_fraction(&data);
+        assert!(
+            (frac - 0.802).abs() < 0.08,
+            "aggregation fraction {frac} too far from Fig. 3(b)'s ≈0.80"
+        );
+    }
+
+    #[test]
+    fn renderers_produce_paper_style_tables() {
+        let data = dataset();
+        let t1 = render_sudden_ratio_table(&sudden_ratio_table(&data.log));
+        assert!(t1.contains("Predictable Ratio"));
+        assert!(t1.contains("Row"));
+        let t2 = render_summary_table(&dataset_summary(&data.log));
+        assert!(t2.contains("With UEO"));
+        let f3 = render_pattern_distribution(&pattern_distribution(&data));
+        assert!(f3.contains("Single-row Clustering"));
+        assert!(f3.contains("68.2%"));
+    }
+
+    #[test]
+    fn empty_log_renders_without_panicking() {
+        let rows = sudden_ratio_table(&MceLog::new());
+        assert!(rows.iter().all(|r| r.predictable_ratio == 0.0));
+        let _ = render_sudden_ratio_table(&rows);
+    }
+}

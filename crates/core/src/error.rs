@@ -1,0 +1,66 @@
+//! Error type of the Cordial pipeline.
+
+use std::error::Error;
+use std::fmt;
+
+use cordial_trees::FitError;
+
+/// Errors produced while training or evaluating the Cordial pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CordialError {
+    /// No bank in the training set accumulated enough distinct UER rows to
+    /// form a classification sample.
+    NoTrainableBanks,
+    /// Too few cross-row samples of one pattern class to fit its predictor.
+    NoCrossRowSamples {
+        /// Human-readable pattern name.
+        pattern: &'static str,
+    },
+    /// An underlying model failed to fit.
+    Fit(FitError),
+}
+
+impl fmt::Display for CordialError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CordialError::NoTrainableBanks => {
+                f.write_str("no training bank has enough distinct UER rows")
+            }
+            CordialError::NoCrossRowSamples { pattern } => {
+                write!(f, "no cross-row training samples for pattern `{pattern}`")
+            }
+            CordialError::Fit(e) => write!(f, "model fit failed: {e}"),
+        }
+    }
+}
+
+impl Error for CordialError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CordialError::Fit(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FitError> for CordialError {
+    fn from(e: FitError) -> Self {
+        CordialError::Fit(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        assert!(CordialError::NoTrainableBanks.to_string().contains("UER"));
+        assert!(CordialError::NoCrossRowSamples { pattern: "x" }
+            .to_string()
+            .contains('x'));
+        let err = CordialError::from(FitError::EmptyDataset);
+        assert!(err.to_string().contains("fit failed"));
+        assert!(Error::source(&err).is_some());
+    }
+}

@@ -1,0 +1,604 @@
+//! Failure-pattern feature extraction (paper §IV-B and §IV-D).
+//!
+//! Features are generated from a bank's *observed window*: all CEs and UEOs
+//! plus the first three (distinct-row) UERs. Three groups are extracted,
+//! exactly following §IV-B:
+//!
+//! * **Spatial** — min/max error rows per severity, min/max/mean row
+//!   differences between consecutive errors, and the pairwise distances of
+//!   the observed UER rows (the classifier's key signal: three neighbouring
+//!   UER rows ⇒ single-row clustering; one far from two clustered ⇒
+//!   double-row; all far apart ⇒ scattered);
+//! * **Temporal** — min/max inter-arrival times per severity;
+//! * **Count** — CE/UEO totals before the first UER (error density).
+//!
+//! Missing values (e.g. no UEO observed) are encoded as `NaN`; every model
+//! in [`cordial_trees`] is NaN-tolerant by construction.
+
+use cordial_mcelog::{ErrorType, ObservedWindow};
+use cordial_topology::HbmGeometry;
+
+/// Names of the bank-level features, aligned with
+/// [`bank_features`]'s output.
+pub const BANK_FEATURE_NAMES: [&str; 27] = [
+    "ce_count_before_first_uer",
+    "ueo_count_before_first_uer",
+    "ce_row_min",
+    "ce_row_max",
+    "ueo_row_min",
+    "ueo_row_max",
+    "uer_row_min",
+    "uer_row_max",
+    "uer_row_span",
+    "row_diff_min",
+    "row_diff_max",
+    "row_diff_mean",
+    "uer_row_diff_min",
+    "uer_row_diff_max",
+    "uer_row_diff_mean",
+    "ce_time_diff_min_s",
+    "ce_time_diff_max_s",
+    "ueo_time_diff_min_s",
+    "ueo_time_diff_max_s",
+    "uer_time_diff_min_s",
+    "uer_time_diff_max_s",
+    "uer_pairwise_dist_small",
+    "uer_pairwise_dist_mid",
+    "uer_pairwise_dist_large",
+    "uer_dist_ratio",
+    "uer_span_fraction",
+    "total_event_count",
+];
+
+/// Names of the block-level features (block context followed by the bank
+/// features), aligned with [`block_features`]'s output.
+pub const BLOCK_CONTEXT_FEATURE_NAMES: [&str; 9] = [
+    "block_index",
+    "block_offset_signed",
+    "block_offset_abs",
+    "block_min_dist_to_uer_row",
+    "block_min_dist_to_ce_row",
+    "block_min_dist_to_ueo_row",
+    "block_ce_count",
+    "block_ueo_count",
+    "block_uer_count",
+];
+
+/// Total length of a block feature vector.
+pub const BLOCK_FEATURE_LEN: usize =
+    BLOCK_CONTEXT_FEATURE_NAMES.len() + BANK_FEATURE_NAMES.len();
+
+/// Extracts the §IV-B bank-level feature vector from an observed window.
+pub fn bank_features(window: &ObservedWindow<'_>, geom: &HbmGeometry) -> Vec<f64> {
+    let events = window.events();
+
+    let rows_of = |ty: ErrorType| -> Vec<f64> {
+        events
+            .iter()
+            .filter(|e| e.error_type == ty)
+            .map(|e| e.addr.row.0 as f64)
+            .collect()
+    };
+    let times_of = |ty: ErrorType| -> Vec<f64> {
+        events
+            .iter()
+            .filter(|e| e.error_type == ty)
+            .map(|e| e.time.as_millis() as f64 / 1000.0)
+            .collect()
+    };
+
+    let ce_rows = rows_of(ErrorType::Ce);
+    let ueo_rows = rows_of(ErrorType::Ueo);
+    let uer_rows = rows_of(ErrorType::Uer);
+
+    // Counts before the first UER (§IV-B count features).
+    let first_uer_time = events.iter().find(|e| e.is_uer()).map(|e| e.time);
+    let count_before = |ty: ErrorType| -> f64 {
+        events
+            .iter()
+            .filter(|e| {
+                e.error_type == ty && first_uer_time.is_none_or(|t| e.time < t)
+            })
+            .count() as f64
+    };
+
+    // Row differences between consecutive (in time) errors.
+    let all_rows: Vec<f64> = events.iter().map(|e| e.addr.row.0 as f64).collect();
+    let (diff_min, diff_max, diff_mean) = consecutive_abs_diff_stats(&all_rows);
+    let (uer_diff_min, uer_diff_max, uer_diff_mean) = consecutive_abs_diff_stats(&uer_rows);
+
+    // Inter-arrival times per severity.
+    let (ce_dt_min, ce_dt_max, _) = consecutive_abs_diff_stats(&times_of(ErrorType::Ce));
+    let (ueo_dt_min, ueo_dt_max, _) = consecutive_abs_diff_stats(&times_of(ErrorType::Ueo));
+    let (uer_dt_min, uer_dt_max, _) = consecutive_abs_diff_stats(&times_of(ErrorType::Uer));
+
+    // Pairwise distances among the distinct observed UER rows.
+    let distinct_uer: Vec<f64> = window
+        .uer_rows()
+        .iter()
+        .map(|r| r.0 as f64)
+        .collect();
+    let mut pairwise: Vec<f64> = Vec::new();
+    for i in 0..distinct_uer.len() {
+        for j in (i + 1)..distinct_uer.len() {
+            pairwise.push((distinct_uer[i] - distinct_uer[j]).abs());
+        }
+    }
+    pairwise.sort_by(|a, b| a.partial_cmp(b).expect("finite distances"));
+    let pd = |i: usize| pairwise.get(i).copied().unwrap_or(f64::NAN);
+    let dist_ratio = if pairwise.len() >= 2 {
+        pairwise[pairwise.len() - 1] / (pairwise[0] + 1.0)
+    } else {
+        f64::NAN
+    };
+
+    let uer_span = range_span(&uer_rows);
+
+    vec![
+        count_before(ErrorType::Ce),
+        count_before(ErrorType::Ueo),
+        min_of(&ce_rows),
+        max_of(&ce_rows),
+        min_of(&ueo_rows),
+        max_of(&ueo_rows),
+        min_of(&uer_rows),
+        max_of(&uer_rows),
+        uer_span,
+        diff_min,
+        diff_max,
+        diff_mean,
+        uer_diff_min,
+        uer_diff_max,
+        uer_diff_mean,
+        ce_dt_min,
+        ce_dt_max,
+        ueo_dt_min,
+        ueo_dt_max,
+        uer_dt_min,
+        uer_dt_max,
+        pd(0),
+        pd(pairwise.len().saturating_sub(1) / 2),
+        pd(pairwise.len().saturating_sub(1)),
+        dist_ratio,
+        uer_span / geom.rows as f64,
+        events.len() as f64,
+    ]
+}
+
+/// Extracts the §IV-D block-level feature vector: block context relative to
+/// the prediction window plus the full bank feature vector.
+///
+/// `block_lo..=block_hi` is the block's (possibly bank-clamped) row range
+/// and `anchor` is the last observed UER row the window is centred on.
+pub fn block_features(
+    window: &ObservedWindow<'_>,
+    bank_feats: &[f64],
+    block_index: usize,
+    block_lo: i64,
+    block_hi: i64,
+    anchor: i64,
+) -> Vec<f64> {
+    debug_assert_eq!(bank_feats.len(), BANK_FEATURE_NAMES.len());
+    let center = (block_lo + block_hi) as f64 / 2.0;
+    let offset = center - anchor as f64;
+
+    let mut min_dist = [f64::NAN; 3]; // UER, CE, UEO
+    let mut counts = [0.0f64; 3]; // CE, UEO, UER
+    for event in window.events() {
+        let row = event.addr.row.0 as i64;
+        let dist = if row < block_lo {
+            (block_lo - row) as f64
+        } else if row > block_hi {
+            (row - block_hi) as f64
+        } else {
+            0.0
+        };
+        let (dist_slot, count_slot) = match event.error_type {
+            ErrorType::Uer => (0, 2),
+            ErrorType::Ce => (1, 0),
+            ErrorType::Ueo => (2, 1),
+        };
+        if min_dist[dist_slot].is_nan() || dist < min_dist[dist_slot] {
+            min_dist[dist_slot] = dist;
+        }
+        if dist == 0.0 {
+            counts[count_slot] += 1.0;
+        }
+    }
+
+    let mut out = Vec::with_capacity(BLOCK_FEATURE_LEN);
+    out.push(block_index as f64);
+    out.push(offset);
+    out.push(offset.abs());
+    out.push(min_dist[0]);
+    out.push(min_dist[1]);
+    out.push(min_dist[2]);
+    out.push(counts[0]);
+    out.push(counts[1]);
+    out.push(counts[2]);
+    out.extend_from_slice(bank_feats);
+    out
+}
+
+fn min_of(values: &[f64]) -> f64 {
+    values.iter().copied().fold(f64::NAN, f64::min)
+}
+
+fn max_of(values: &[f64]) -> f64 {
+    values.iter().copied().fold(f64::NAN, f64::max)
+}
+
+fn range_span(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        f64::NAN
+    } else {
+        max_of(values) - min_of(values)
+    }
+}
+
+/// Min/max/mean of |x[i+1] - x[i]|; all-NaN for fewer than two values.
+fn consecutive_abs_diff_stats(values: &[f64]) -> (f64, f64, f64) {
+    if values.len() < 2 {
+        return (f64::NAN, f64::NAN, f64::NAN);
+    }
+    let diffs: Vec<f64> = values.windows(2).map(|w| (w[1] - w[0]).abs()).collect();
+    let mean = diffs.iter().sum::<f64>() / diffs.len() as f64;
+    (min_of(&diffs), max_of(&diffs), mean)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cordial_mcelog::{BankErrorHistory, ErrorEvent, Timestamp};
+    use cordial_topology::{BankAddress, ColId, RowId};
+
+    fn ev(row: u32, t: u64, ty: ErrorType) -> ErrorEvent {
+        ErrorEvent::new(
+            BankAddress::default().cell(RowId(row), ColId(0)),
+            Timestamp::from_secs(t),
+            ty,
+        )
+    }
+
+    fn feats(events: Vec<ErrorEvent>, k: usize) -> Vec<f64> {
+        let history = BankErrorHistory::new(BankAddress::default(), events);
+        let (window, _) = history.observe_until_k_uers(k).expect("window exists");
+        bank_features(&window, &HbmGeometry::hbm2e_8hi())
+    }
+
+    fn idx(name: &str) -> usize {
+        BANK_FEATURE_NAMES
+            .iter()
+            .position(|&n| n == name)
+            .unwrap_or_else(|| panic!("unknown feature {name}"))
+    }
+
+    #[test]
+    fn feature_vector_has_declared_length() {
+        let f = feats(
+            vec![
+                ev(10, 1, ErrorType::Ce),
+                ev(100, 2, ErrorType::Uer),
+                ev(101, 3, ErrorType::Uer),
+                ev(102, 4, ErrorType::Uer),
+            ],
+            3,
+        );
+        assert_eq!(f.len(), BANK_FEATURE_NAMES.len());
+    }
+
+    #[test]
+    fn count_features_count_only_before_first_uer() {
+        let f = feats(
+            vec![
+                ev(10, 1, ErrorType::Ce),
+                ev(11, 2, ErrorType::Ce),
+                ev(12, 3, ErrorType::Ueo),
+                ev(100, 4, ErrorType::Uer),
+                ev(101, 5, ErrorType::Uer),
+                ev(102, 6, ErrorType::Uer),
+            ],
+            3,
+        );
+        assert_eq!(f[idx("ce_count_before_first_uer")], 2.0);
+        assert_eq!(f[idx("ueo_count_before_first_uer")], 1.0);
+    }
+
+    #[test]
+    fn spatial_extrema_are_per_severity() {
+        let f = feats(
+            vec![
+                ev(5, 1, ErrorType::Ce),
+                ev(500, 2, ErrorType::Ce),
+                ev(100, 3, ErrorType::Uer),
+                ev(110, 4, ErrorType::Uer),
+                ev(120, 5, ErrorType::Uer),
+            ],
+            3,
+        );
+        assert_eq!(f[idx("ce_row_min")], 5.0);
+        assert_eq!(f[idx("ce_row_max")], 500.0);
+        assert_eq!(f[idx("uer_row_min")], 100.0);
+        assert_eq!(f[idx("uer_row_max")], 120.0);
+        assert_eq!(f[idx("uer_row_span")], 20.0);
+        assert!(f[idx("ueo_row_min")].is_nan());
+    }
+
+    #[test]
+    fn pairwise_distances_identify_clustering_signature() {
+        // Two neighbouring rows plus one distant row → double-row signature:
+        // small min distance, large max distance.
+        let f = feats(
+            vec![
+                ev(100, 1, ErrorType::Uer),
+                ev(103, 2, ErrorType::Uer),
+                ev(9000, 3, ErrorType::Uer),
+            ],
+            3,
+        );
+        assert_eq!(f[idx("uer_pairwise_dist_small")], 3.0);
+        assert_eq!(f[idx("uer_pairwise_dist_large")], 8900.0);
+        assert!(f[idx("uer_dist_ratio")] > 1000.0);
+    }
+
+    #[test]
+    fn temporal_diffs_capture_burstiness() {
+        let f = feats(
+            vec![
+                ev(1, 0, ErrorType::Uer),
+                ev(2, 10, ErrorType::Uer),
+                ev(3, 100, ErrorType::Uer),
+            ],
+            3,
+        );
+        assert_eq!(f[idx("uer_time_diff_min_s")], 10.0);
+        assert_eq!(f[idx("uer_time_diff_max_s")], 90.0);
+        assert!(f[idx("ce_time_diff_min_s")].is_nan());
+    }
+
+    #[test]
+    fn features_depend_only_on_window_content_not_event_order_of_push() {
+        // Same events pushed in different order produce identical windows
+        // (BankErrorHistory sorts), hence identical features.
+        let events = vec![
+            ev(10, 5, ErrorType::Ce),
+            ev(100, 10, ErrorType::Uer),
+            ev(101, 20, ErrorType::Uer),
+            ev(102, 30, ErrorType::Uer),
+        ];
+        let mut shuffled = events.clone();
+        shuffled.reverse();
+        let a = feats(events, 3);
+        let b = feats(shuffled, 3);
+        for (x, y) in a.iter().zip(&b) {
+            assert!(x == y || (x.is_nan() && y.is_nan()));
+        }
+    }
+
+    #[test]
+    fn block_features_measure_distance_and_containment() {
+        let history = BankErrorHistory::new(
+            BankAddress::default(),
+            vec![
+                ev(90, 1, ErrorType::Ce),
+                ev(100, 2, ErrorType::Uer),
+                ev(101, 3, ErrorType::Uer),
+                ev(102, 4, ErrorType::Uer),
+            ],
+        );
+        let (window, _) = history.observe_until_k_uers(3).unwrap();
+        let bank = bank_features(&window, &HbmGeometry::hbm2e_8hi());
+        // Block covering rows 96..=103 contains all three UERs and the CE at 90 is 6 away.
+        let f = block_features(&window, &bank, 12, 96, 103, 102);
+        assert_eq!(f.len(), BLOCK_FEATURE_LEN);
+        assert_eq!(f[0], 12.0); // index
+        assert_eq!(f[3], 0.0); // min dist to UER
+        assert_eq!(f[4], 6.0); // min dist to CE
+        assert!(f[5].is_nan()); // no UEO anywhere
+        assert_eq!(f[6], 0.0); // CE count in block
+        assert_eq!(f[8], 3.0); // UER count in block
+    }
+
+    #[test]
+    fn block_offset_is_signed() {
+        let history = BankErrorHistory::new(
+            BankAddress::default(),
+            vec![
+                ev(100, 1, ErrorType::Uer),
+                ev(101, 2, ErrorType::Uer),
+                ev(102, 3, ErrorType::Uer),
+            ],
+        );
+        let (window, _) = history.observe_until_k_uers(3).unwrap();
+        let bank = bank_features(&window, &HbmGeometry::hbm2e_8hi());
+        let below = block_features(&window, &bank, 0, 38, 45, 102);
+        let above = block_features(&window, &bank, 15, 158, 165, 102);
+        assert!(below[1] < 0.0);
+        assert!(above[1] > 0.0);
+        assert_eq!(below[2], -below[1]);
+    }
+
+    #[test]
+    fn diff_stats_edge_cases() {
+        assert!(consecutive_abs_diff_stats(&[]).0.is_nan());
+        assert!(consecutive_abs_diff_stats(&[1.0]).2.is_nan());
+        let (min, max, mean) = consecutive_abs_diff_stats(&[1.0, 4.0, 2.0]);
+        assert_eq!((min, max), (2.0, 3.0));
+        assert!((mean - 2.5).abs() < 1e-12);
+    }
+}
+
+/// The §IV-B feature group of each bank feature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum FeatureGroup {
+    /// Row numbers, spans, row differences, pairwise distances.
+    Spatial,
+    /// Inter-arrival times.
+    Temporal,
+    /// Error-count densities.
+    Count,
+}
+
+/// Group assignment of every bank feature, aligned with
+/// [`BANK_FEATURE_NAMES`].
+pub const BANK_FEATURE_GROUPS: [FeatureGroup; 27] = [
+    FeatureGroup::Count,   // ce_count_before_first_uer
+    FeatureGroup::Count,   // ueo_count_before_first_uer
+    FeatureGroup::Spatial, // ce_row_min
+    FeatureGroup::Spatial, // ce_row_max
+    FeatureGroup::Spatial, // ueo_row_min
+    FeatureGroup::Spatial, // ueo_row_max
+    FeatureGroup::Spatial, // uer_row_min
+    FeatureGroup::Spatial, // uer_row_max
+    FeatureGroup::Spatial, // uer_row_span
+    FeatureGroup::Spatial, // row_diff_min
+    FeatureGroup::Spatial, // row_diff_max
+    FeatureGroup::Spatial, // row_diff_mean
+    FeatureGroup::Spatial, // uer_row_diff_min
+    FeatureGroup::Spatial, // uer_row_diff_max
+    FeatureGroup::Spatial, // uer_row_diff_mean
+    FeatureGroup::Temporal, // ce_time_diff_min_s
+    FeatureGroup::Temporal, // ce_time_diff_max_s
+    FeatureGroup::Temporal, // ueo_time_diff_min_s
+    FeatureGroup::Temporal, // ueo_time_diff_max_s
+    FeatureGroup::Temporal, // uer_time_diff_min_s
+    FeatureGroup::Temporal, // uer_time_diff_max_s
+    FeatureGroup::Spatial, // uer_pairwise_dist_small
+    FeatureGroup::Spatial, // uer_pairwise_dist_mid
+    FeatureGroup::Spatial, // uer_pairwise_dist_large
+    FeatureGroup::Spatial, // uer_dist_ratio
+    FeatureGroup::Spatial, // uer_span_fraction
+    FeatureGroup::Count,   // total_event_count
+];
+
+/// Which §IV-B feature groups a model may use (ablation control).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct FeatureMask {
+    /// Keep spatial features.
+    pub spatial: bool,
+    /// Keep temporal features.
+    pub temporal: bool,
+    /// Keep count features.
+    pub count: bool,
+}
+
+impl FeatureMask {
+    /// All groups enabled (the paper's configuration).
+    pub const ALL: FeatureMask = FeatureMask {
+        spatial: true,
+        temporal: true,
+        count: true,
+    };
+
+    /// Only the named group enabled.
+    pub fn only(group: FeatureGroup) -> Self {
+        FeatureMask {
+            spatial: group == FeatureGroup::Spatial,
+            temporal: group == FeatureGroup::Temporal,
+            count: group == FeatureGroup::Count,
+        }
+    }
+
+    /// Everything but the named group.
+    pub fn without(group: FeatureGroup) -> Self {
+        FeatureMask {
+            spatial: group != FeatureGroup::Spatial,
+            temporal: group != FeatureGroup::Temporal,
+            count: group != FeatureGroup::Count,
+        }
+    }
+
+    /// Whether a group is enabled.
+    pub fn allows(&self, group: FeatureGroup) -> bool {
+        match group {
+            FeatureGroup::Spatial => self.spatial,
+            FeatureGroup::Temporal => self.temporal,
+            FeatureGroup::Count => self.count,
+        }
+    }
+
+    /// Human-readable description for ablation tables.
+    pub fn describe(&self) -> String {
+        if *self == FeatureMask::ALL {
+            return "all".to_string();
+        }
+        let mut parts = Vec::new();
+        if self.spatial {
+            parts.push("spatial");
+        }
+        if self.temporal {
+            parts.push("temporal");
+        }
+        if self.count {
+            parts.push("count");
+        }
+        if parts.is_empty() {
+            "none".to_string()
+        } else {
+            parts.join("+")
+        }
+    }
+}
+
+impl Default for FeatureMask {
+    fn default() -> Self {
+        FeatureMask::ALL
+    }
+}
+
+/// Replaces the bank features of disabled groups with `NaN` (every model in
+/// this suite treats `NaN` as missing). `values` must be a bank feature
+/// vector as produced by [`bank_features`].
+pub fn mask_bank_features(values: &mut [f64], mask: &FeatureMask) {
+    debug_assert_eq!(values.len(), BANK_FEATURE_NAMES.len());
+    for (value, group) in values.iter_mut().zip(BANK_FEATURE_GROUPS) {
+        if !mask.allows(group) {
+            *value = f64::NAN;
+        }
+    }
+}
+
+#[cfg(test)]
+mod mask_tests {
+    use super::*;
+
+    #[test]
+    fn groups_cover_every_feature() {
+        assert_eq!(BANK_FEATURE_GROUPS.len(), BANK_FEATURE_NAMES.len());
+        // Sanity: names containing "time" are temporal, "count" are count.
+        for (name, group) in BANK_FEATURE_NAMES.iter().zip(BANK_FEATURE_GROUPS) {
+            if name.contains("time") {
+                assert_eq!(group, FeatureGroup::Temporal, "{name}");
+            }
+            if name.contains("count") {
+                assert_eq!(group, FeatureGroup::Count, "{name}");
+            }
+        }
+    }
+
+    #[test]
+    fn mask_combinators() {
+        let only_spatial = FeatureMask::only(FeatureGroup::Spatial);
+        assert!(only_spatial.spatial && !only_spatial.temporal && !only_spatial.count);
+        let no_count = FeatureMask::without(FeatureGroup::Count);
+        assert!(no_count.spatial && no_count.temporal && !no_count.count);
+        assert_eq!(FeatureMask::ALL.describe(), "all");
+        assert_eq!(only_spatial.describe(), "spatial");
+        assert_eq!(no_count.describe(), "spatial+temporal");
+    }
+
+    #[test]
+    fn masking_nans_exactly_the_disabled_groups() {
+        let mut values: Vec<f64> = (0..27).map(|i| i as f64).collect();
+        mask_bank_features(&mut values, &FeatureMask::only(FeatureGroup::Temporal));
+        for ((value, group), original) in
+            values.iter().zip(BANK_FEATURE_GROUPS).zip(0..27)
+        {
+            if group == FeatureGroup::Temporal {
+                assert_eq!(*value, original as f64);
+            } else {
+                assert!(value.is_nan());
+            }
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Cross-row locality analysis — the chi-square threshold sweep of the
+//! paper's Figure 4.
+//!
+//! Following §III-C ("the chi-square statistic of subsequent UERs occurring
+//! within various row distance thresholds from the current UER row"), we
+//! take every UER row of a bank and every *subsequent* UER in that bank,
+//! and test whether the later error landed within a distance threshold `T`
+//! of the current row, against the expectation under spatially uniform
+//! placement. The Pearson chi-square statistic of the observed-vs-expected
+//! within/beyond counts quantifies how strongly locality exceeds chance at
+//! each `T`; the paper finds the statistic maximised at `T = 128`, which
+//! fixes Cordial's ±64-row prediction window.
+
+use serde::{Deserialize, Serialize};
+
+use cordial_mcelog::MceLog;
+use cordial_topology::HbmGeometry;
+use cordial_trees::stats::chi_square;
+
+/// The thresholds of the paper's Fig. 4 sweep: powers of two from 4 (2²)
+/// to 2048 (2¹¹).
+pub const PAPER_THRESHOLDS: [u32; 10] = [4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048];
+
+/// One point of the locality sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LocalityPoint {
+    /// Row-distance threshold.
+    pub threshold: u32,
+    /// Chi-square statistic of within-threshold co-occurrence vs. uniform.
+    pub chi_square: f64,
+    /// Consecutive UER-row pairs observed within the threshold.
+    pub observed_within: u64,
+    /// Pairs expected within the threshold under uniform placement.
+    pub expected_within: f64,
+    /// Total consecutive pairs considered.
+    pub pairs: u64,
+}
+
+/// Collects the row distances from every UER row to every *subsequent* UER
+/// of the same bank (§III-C's "subsequent UERs ... from the current UER
+/// row").
+///
+/// Rows are the distinct UER rows in first-occurrence order; same-row
+/// repeats are skipped (distance 0 carries no cross-row information).
+pub fn subsequent_uer_distances(log: &MceLog) -> Vec<u32> {
+    let mut distances = Vec::new();
+    for history in log.by_bank().values() {
+        let rows = history.uer_rows();
+        for (i, current) in rows.iter().enumerate() {
+            for later in &rows[i + 1..] {
+                let d = later.distance(*current);
+                if d > 0 {
+                    distances.push(d);
+                }
+            }
+        }
+    }
+    distances
+}
+
+/// Runs the chi-square sweep over the given thresholds.
+pub fn chi_square_sweep(log: &MceLog, geom: &HbmGeometry, thresholds: &[u32]) -> Vec<LocalityPoint> {
+    let distances = subsequent_uer_distances(log);
+    sweep_distances(&distances, geom, thresholds)
+}
+
+/// Sweep over pre-extracted distances (useful for custom populations).
+pub fn sweep_distances(
+    distances: &[u32],
+    geom: &HbmGeometry,
+    thresholds: &[u32],
+) -> Vec<LocalityPoint> {
+    let n = distances.len() as f64;
+    thresholds
+        .iter()
+        .map(|&threshold| {
+            let observed_within =
+                distances.iter().filter(|&&d| d <= threshold).count() as u64;
+            // Under uniform placement of the next UER row, the probability of
+            // landing within ±T of the current row is ≈ min(2T, rows-1)/(rows-1).
+            let p = f64::min(
+                (2 * threshold) as f64 / (geom.rows.saturating_sub(1)) as f64,
+                1.0,
+            );
+            let expected_within = p * n;
+            let chi = if n > 0.0 {
+                chi_square(
+                    &[observed_within as f64, n - observed_within as f64],
+                    &[expected_within, n - expected_within],
+                )
+            } else {
+                0.0
+            };
+            LocalityPoint {
+                threshold,
+                chi_square: chi,
+                observed_within,
+                expected_within,
+                pairs: distances.len() as u64,
+            }
+        })
+        .collect()
+}
+
+/// The threshold with the highest chi-square statistic.
+///
+/// Returns `None` for an empty sweep.
+pub fn peak_threshold(points: &[LocalityPoint]) -> Option<u32> {
+    points
+        .iter()
+        .max_by(|a, b| {
+            a.chi_square
+                .partial_cmp(&b.chi_square)
+                .expect("chi-square values are finite")
+        })
+        .map(|p| p.threshold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cordial_faultsim::{generate_fleet_dataset, FleetDatasetConfig};
+    use cordial_mcelog::{ErrorEvent, ErrorType, Timestamp};
+    use cordial_topology::{BankAddress, ColId, NodeId, RowId};
+
+    fn uer(node: u32, row: u32, t: u64) -> ErrorEvent {
+        let bank = BankAddress {
+            node: NodeId(node),
+            ..BankAddress::default()
+        };
+        ErrorEvent::new(
+            bank.cell(RowId(row), ColId(0)),
+            Timestamp::from_secs(t),
+            ErrorType::Uer,
+        )
+    }
+
+    #[test]
+    fn distances_are_per_bank_and_skip_same_row() {
+        let log = MceLog::from_events(vec![
+            uer(0, 100, 1),
+            uer(0, 100, 2), // same row: skipped
+            uer(0, 110, 3),
+            uer(0, 130, 4), // pairs: (100,110), (100,130), (110,130)
+            uer(1, 5000, 5), // different bank: no cross-bank pair
+            uer(1, 5020, 6),
+        ]);
+        let mut distances = subsequent_uer_distances(&log);
+        distances.sort();
+        assert_eq!(distances, vec![10, 20, 20, 30]);
+    }
+
+    #[test]
+    fn tight_clusters_peak_at_small_threshold() {
+        // All consecutive distances ≤ 30: the statistic must peak at the
+        // smallest threshold that captures them (32), not at 2048.
+        let mut events = Vec::new();
+        for b in 0..50u32 {
+            events.push(uer(b, 1000, 1));
+            events.push(uer(b, 1000 + 10 + b % 20, 2));
+        }
+        let log = MceLog::from_events(events);
+        let points = chi_square_sweep(&log, &HbmGeometry::hbm2e_8hi(), &PAPER_THRESHOLDS);
+        assert_eq!(peak_threshold(&points), Some(32));
+    }
+
+    #[test]
+    fn chi_square_is_nonnegative_and_observed_monotone() {
+        let dataset = generate_fleet_dataset(&FleetDatasetConfig::small(), 51);
+        let points = chi_square_sweep(&dataset.log, &HbmGeometry::hbm2e_8hi(), &PAPER_THRESHOLDS);
+        assert_eq!(points.len(), PAPER_THRESHOLDS.len());
+        for pair in points.windows(2) {
+            assert!(pair[0].observed_within <= pair[1].observed_within);
+        }
+        for p in &points {
+            assert!(p.chi_square >= 0.0);
+            assert!(p.observed_within <= p.pairs);
+        }
+    }
+
+    #[test]
+    fn synthetic_fleet_peaks_at_128_like_the_paper() {
+        let dataset = generate_fleet_dataset(&FleetDatasetConfig::medium(), 52);
+        let points = chi_square_sweep(&dataset.log, &HbmGeometry::hbm2e_8hi(), &PAPER_THRESHOLDS);
+        let peak = peak_threshold(&points).unwrap();
+        assert!(
+            (64..=256).contains(&peak),
+            "locality peak {peak} should be near the paper's 128"
+        );
+    }
+
+    #[test]
+    fn empty_log_yields_zero_statistics() {
+        let points = chi_square_sweep(&MceLog::new(), &HbmGeometry::hbm2e_8hi(), &[128]);
+        assert_eq!(points[0].chi_square, 0.0);
+        assert_eq!(points[0].pairs, 0);
+        assert_eq!(peak_threshold(&[]), None);
+    }
+
+    #[test]
+    fn uniform_distances_score_low() {
+        // Distances drawn uniformly have little excess within-threshold mass.
+        let geom = HbmGeometry::hbm2e_8hi();
+        let uniform: Vec<u32> = (0..1000).map(|i| (i * 31) % geom.rows).collect();
+        let clustered: Vec<u32> = (0..1000).map(|i| 5 + (i % 40)).collect();
+        let u = sweep_distances(&uniform, &geom, &[128]);
+        let c = sweep_distances(&clustered, &geom, &[128]);
+        assert!(c[0].chi_square > 10.0 * u[0].chi_square.max(1.0));
+    }
+}

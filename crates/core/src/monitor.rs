@@ -1,0 +1,303 @@
+//! Online fleet monitor: the deployment-side wrapper around a trained
+//! [`Cordial`] pipeline.
+//!
+//! Production BMCs deliver error records one at a time. [`CordialMonitor`]
+//! keeps incremental per-bank state, decides the moment a bank crosses the
+//! k-distinct-UER observation threshold, plans exactly once per bank, and
+//! applies the plan against a hardware [`IsolationEngine`] — everything the
+//! paper's Fig. 5 pipeline needs to run as a service rather than a batch
+//! job.
+
+use std::collections::BTreeMap;
+
+use cordial_faultsim::{IsolationEngine, SparingBudget};
+use cordial_mcelog::{BankErrorHistory, ErrorEvent};
+use cordial_topology::{BankAddress, RowId};
+
+use crate::isolation::apply_plan;
+use crate::pipeline::{Cordial, MitigationPlan};
+
+/// What happened when the monitor ingested one event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IngestOutcome {
+    /// The event was recorded; no action triggered.
+    Recorded,
+    /// The event hit a region an earlier plan had isolated: the spare
+    /// absorbed the error before it reached live data.
+    AbsorbedByIsolation,
+    /// This event completed a bank's observation window and triggered a
+    /// mitigation plan.
+    Planned {
+        /// The plan that was produced and applied.
+        plan: MitigationPlan,
+        /// How many of the plan's isolations the spare budget admitted.
+        applied: usize,
+    },
+}
+
+/// Running totals of a monitoring session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MonitorStats {
+    /// Events ingested.
+    pub events: usize,
+    /// UER events absorbed by earlier isolations.
+    pub uers_absorbed: usize,
+    /// UER events that reached live data.
+    pub uers_missed: usize,
+    /// Banks that received a plan.
+    pub banks_planned: usize,
+    /// Row isolations admitted by the budget.
+    pub rows_isolated: usize,
+    /// Banks spared wholesale.
+    pub banks_spared: usize,
+}
+
+impl MonitorStats {
+    /// Fraction of UER events absorbed by proactive isolation.
+    pub fn absorption_rate(&self) -> f64 {
+        let total = self.uers_absorbed + self.uers_missed;
+        if total == 0 {
+            0.0
+        } else {
+            self.uers_absorbed as f64 / total as f64
+        }
+    }
+}
+
+/// Stateful online monitor over a trained pipeline.
+///
+/// # Example
+///
+/// ```
+/// use cordial::monitor::CordialMonitor;
+/// use cordial::prelude::*;
+/// use cordial_faultsim::SparingBudget;
+///
+/// let dataset = generate_fleet_dataset(&FleetDatasetConfig::small(), 3);
+/// let banks: Vec<BankAddress> = dataset.truth.keys().copied().collect();
+/// let cordial = Cordial::fit(&dataset, &banks, &CordialConfig::default())?;
+///
+/// let mut monitor = CordialMonitor::new(cordial, SparingBudget::typical());
+/// for event in dataset.log.events() {
+///     monitor.ingest(*event);
+/// }
+/// println!("absorbed {:.1}%", monitor.stats().absorption_rate() * 100.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CordialMonitor {
+    pipeline: Cordial,
+    engine: IsolationEngine,
+    /// Per-bank incremental state.
+    banks: BTreeMap<BankAddress, BankState>,
+    stats: MonitorStats,
+}
+
+#[derive(Debug, Clone, Default)]
+struct BankState {
+    events: Vec<ErrorEvent>,
+    distinct_uer_rows: Vec<RowId>,
+    planned: bool,
+}
+
+impl CordialMonitor {
+    /// Wraps a trained pipeline with a fresh isolation engine.
+    pub fn new(pipeline: Cordial, budget: SparingBudget) -> Self {
+        Self {
+            pipeline,
+            engine: IsolationEngine::new(budget),
+            banks: BTreeMap::new(),
+            stats: MonitorStats::default(),
+        }
+    }
+
+    /// Ingests one event from the BMC stream.
+    ///
+    /// Events are expected in roughly time order (the per-bank history is
+    /// re-sorted at planning time, so modest reordering is harmless).
+    pub fn ingest(&mut self, event: ErrorEvent) -> IngestOutcome {
+        self.stats.events += 1;
+        let bank = event.addr.bank;
+
+        // An access into an isolated region is absorbed by the spare.
+        if event.is_uer() {
+            if self.engine.is_isolated(&bank, event.addr.row) {
+                self.stats.uers_absorbed += 1;
+                return IngestOutcome::AbsorbedByIsolation;
+            }
+            self.stats.uers_missed += 1;
+        }
+
+        let k_uers = self.pipeline.config().k_uers;
+        let state = self.banks.entry(bank).or_default();
+        state.events.push(event);
+        if event.is_uer() && !state.distinct_uer_rows.contains(&event.addr.row) {
+            state.distinct_uer_rows.push(event.addr.row);
+        }
+
+        // Plan exactly once, the moment the observation window completes.
+        if !state.planned && state.distinct_uer_rows.len() >= k_uers {
+            state.planned = true;
+            let history = BankErrorHistory::new(bank, state.events.clone());
+            let plan = self.pipeline.plan(&history);
+            if plan == MitigationPlan::InsufficientData {
+                // Extremely rare (duplicate timestamps can reorder the cut);
+                // allow a later event to retrigger.
+                state.planned = false;
+                return IngestOutcome::Recorded;
+            }
+            let applied = apply_plan(&mut self.engine, bank, &plan);
+            self.stats.banks_planned += 1;
+            match &plan {
+                MitigationPlan::RowSparing { .. } => self.stats.rows_isolated += applied,
+                MitigationPlan::BankSparing => self.stats.banks_spared += applied,
+                MitigationPlan::InsufficientData => {}
+            }
+            return IngestOutcome::Planned { plan, applied };
+        }
+        IngestOutcome::Recorded
+    }
+
+    /// Ingests a whole batch, returning the triggered plans.
+    pub fn ingest_all(
+        &mut self,
+        events: impl IntoIterator<Item = ErrorEvent>,
+    ) -> Vec<(BankAddress, MitigationPlan)> {
+        let mut plans = Vec::new();
+        for event in events {
+            let bank = event.addr.bank;
+            if let IngestOutcome::Planned { plan, .. } = self.ingest(event) {
+                plans.push((bank, plan));
+            }
+        }
+        plans
+    }
+
+    /// Session totals so far.
+    pub fn stats(&self) -> MonitorStats {
+        self.stats
+    }
+
+    /// The hardware isolation state.
+    pub fn engine(&self) -> &IsolationEngine {
+        &self.engine
+    }
+
+    /// Number of banks currently tracked.
+    pub fn tracked_banks(&self) -> usize {
+        self.banks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CordialConfig;
+    use crate::split::split_banks;
+    use cordial_faultsim::{generate_fleet_dataset, FleetDatasetConfig};
+    use cordial_mcelog::{ErrorType, Timestamp};
+    use cordial_topology::ColId;
+
+    fn trained_monitor() -> (cordial_faultsim::FleetDataset, CordialMonitor) {
+        let dataset = generate_fleet_dataset(&FleetDatasetConfig::small(), 17);
+        let split = split_banks(&dataset, 0.7, 17);
+        let cordial = Cordial::fit(&dataset, &split.train, &CordialConfig::default()).unwrap();
+        let monitor = CordialMonitor::new(cordial, SparingBudget::typical());
+        (dataset, monitor)
+    }
+
+    #[test]
+    fn replaying_a_fleet_produces_plans_and_absorption() {
+        let (dataset, mut monitor) = trained_monitor();
+        let plans = monitor.ingest_all(dataset.log.events().iter().copied());
+        let stats = monitor.stats();
+        assert_eq!(stats.events, dataset.log.len());
+        assert!(!plans.is_empty());
+        assert_eq!(stats.banks_planned, plans.len());
+        assert!(stats.uers_absorbed > 0, "isolations must absorb some UERs");
+        assert!(stats.absorption_rate() > 0.0 && stats.absorption_rate() < 1.0);
+        // Each planned bank is planned exactly once.
+        let mut banks: Vec<BankAddress> = plans.iter().map(|(b, _)| *b).collect();
+        banks.sort();
+        let before = banks.len();
+        banks.dedup();
+        assert_eq!(before, banks.len());
+    }
+
+    #[test]
+    fn plans_trigger_exactly_at_the_kth_distinct_uer_row() {
+        let (_, mut monitor) = trained_monitor();
+        let bank = BankAddress::default();
+        let uer = |row: u32, t: u64| {
+            ErrorEvent::new(
+                bank.cell(RowId(row), ColId(0)),
+                Timestamp::from_secs(t),
+                ErrorType::Uer,
+            )
+        };
+        assert_eq!(monitor.ingest(uer(100, 1)), IngestOutcome::Recorded);
+        // Repeat of the same row does not advance the distinct count.
+        assert_eq!(monitor.ingest(uer(100, 2)), IngestOutcome::Recorded);
+        assert_eq!(monitor.ingest(uer(103, 3)), IngestOutcome::Recorded);
+        let outcome = monitor.ingest(uer(106, 4));
+        assert!(
+            matches!(outcome, IngestOutcome::Planned { .. }),
+            "third distinct UER row must trigger planning, got {outcome:?}"
+        );
+        assert_eq!(monitor.stats().banks_planned, 1);
+    }
+
+    #[test]
+    fn isolated_rows_absorb_subsequent_uers() {
+        let (_, mut monitor) = trained_monitor();
+        let bank = BankAddress::default();
+        let uer = |row: u32, t: u64| {
+            ErrorEvent::new(
+                bank.cell(RowId(row), ColId(0)),
+                Timestamp::from_secs(t),
+                ErrorType::Uer,
+            )
+        };
+        monitor.ingest(uer(1000, 1));
+        monitor.ingest(uer(1003, 2));
+        let outcome = monitor.ingest(uer(1006, 3));
+        let IngestOutcome::Planned { plan, .. } = outcome else {
+            panic!("expected a plan");
+        };
+        if let MitigationPlan::RowSparing { rows, .. } = &plan {
+            if let Some(&row) = rows.first() {
+                assert_eq!(
+                    monitor.ingest(uer(row.index(), 10)),
+                    IngestOutcome::AbsorbedByIsolation
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ce_events_never_trigger_planning() {
+        let (_, mut monitor) = trained_monitor();
+        let bank = BankAddress::default();
+        for i in 0..50u32 {
+            let outcome = monitor.ingest(ErrorEvent::new(
+                bank.cell(RowId(i), ColId(0)),
+                Timestamp::from_secs(i as u64),
+                ErrorType::Ce,
+            ));
+            assert_eq!(outcome, IngestOutcome::Recorded);
+        }
+        assert_eq!(monitor.stats().banks_planned, 0);
+        assert_eq!(monitor.tracked_banks(), 1);
+    }
+
+    #[test]
+    fn batch_and_single_ingestion_agree() {
+        let (dataset, mut batch_monitor) = trained_monitor();
+        let (_, mut single_monitor) = trained_monitor();
+        batch_monitor.ingest_all(dataset.log.events().iter().copied());
+        for event in dataset.log.events() {
+            single_monitor.ingest(*event);
+        }
+        assert_eq!(batch_monitor.stats(), single_monitor.stats());
+    }
+}

@@ -1,0 +1,192 @@
+//! The end-to-end Cordial pipeline (paper Fig. 5): observe → classify →
+//! predict → recommend a mitigation.
+
+use serde::{Deserialize, Serialize};
+
+use cordial_faultsim::{CoarsePattern, FleetDataset};
+use cordial_mcelog::BankErrorHistory;
+use cordial_topology::{BankAddress, RowId};
+
+use crate::classifier::PatternClassifier;
+use crate::config::CordialConfig;
+use crate::crossrow::CrossRowPredictor;
+use crate::error::CordialError;
+
+/// The mitigation Cordial recommends for a bank.
+///
+/// This is the part existing predictors leave out (paper §I: "predicting
+/// failures without recommending corresponding mitigation strategies limits
+/// the actionable insights"): each prediction comes with the sparing action
+/// to take.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MitigationPlan {
+    /// The bank has not yet accumulated enough distinct UER rows to
+    /// classify; keep monitoring.
+    InsufficientData,
+    /// Aggregation pattern: spare the listed rows (the predicted blocks).
+    RowSparing {
+        /// Classified failure pattern.
+        pattern: CoarsePattern,
+        /// Rows to isolate, ascending and distinct.
+        rows: Vec<RowId>,
+    },
+    /// Scattered pattern: row isolation cannot keep up; spare the bank.
+    BankSparing,
+}
+
+impl MitigationPlan {
+    /// Rows this plan isolates (empty for bank sparing, which covers
+    /// everything, and for insufficient data).
+    pub fn rows(&self) -> &[RowId] {
+        match self {
+            MitigationPlan::RowSparing { rows, .. } => rows,
+            _ => &[],
+        }
+    }
+
+    /// Whether the plan protects accesses to `row`.
+    pub fn covers(&self, row: RowId) -> bool {
+        match self {
+            MitigationPlan::InsufficientData => false,
+            MitigationPlan::BankSparing => true,
+            MitigationPlan::RowSparing { rows, .. } => rows.contains(&row),
+        }
+    }
+}
+
+/// The trained Cordial predictor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cordial {
+    classifier: PatternClassifier,
+    crossrow: CrossRowPredictor,
+    config: CordialConfig,
+}
+
+impl Cordial {
+    /// Trains both stages on the given training banks.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stage-level training errors.
+    pub fn fit(
+        dataset: &FleetDataset,
+        train_banks: &[BankAddress],
+        config: &CordialConfig,
+    ) -> Result<Self, CordialError> {
+        let classifier = PatternClassifier::fit(dataset, train_banks, config)?;
+        let crossrow = CrossRowPredictor::fit(dataset, train_banks, config)?;
+        Ok(Self {
+            classifier,
+            crossrow,
+            config: *config,
+        })
+    }
+
+    /// The trained pattern classifier.
+    pub fn classifier(&self) -> &PatternClassifier {
+        &self.classifier
+    }
+
+    /// The trained cross-row predictors.
+    pub fn crossrow(&self) -> &CrossRowPredictor {
+        &self.crossrow
+    }
+
+    /// The configuration the pipeline was trained with.
+    pub fn config(&self) -> &CordialConfig {
+        &self.config
+    }
+
+    /// Produces a mitigation plan for a bank's observed history.
+    ///
+    /// * fewer than `k_uers` distinct UER rows → [`MitigationPlan::InsufficientData`];
+    /// * classified scattered → [`MitigationPlan::BankSparing`];
+    /// * classified aggregation → [`MitigationPlan::RowSparing`] with the
+    ///   rows of every positively predicted block.
+    pub fn plan(&self, history: &BankErrorHistory) -> MitigationPlan {
+        let Some((window, _)) = history.observe_until_k_uers(self.config.k_uers) else {
+            return MitigationPlan::InsufficientData;
+        };
+        let pattern = self.classifier.classify_window(&window);
+        if !pattern.is_aggregation() {
+            return MitigationPlan::BankSparing;
+        }
+        let mut rows = self.crossrow.predicted_rows(&window, pattern);
+        rows.sort();
+        rows.dedup();
+        MitigationPlan::RowSparing { pattern, rows }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::split::split_banks;
+    use cordial_faultsim::{generate_fleet_dataset, FleetDatasetConfig};
+
+    fn trained() -> (FleetDataset, crate::split::BankSplit, Cordial) {
+        let dataset = generate_fleet_dataset(&FleetDatasetConfig::small(), 41);
+        let split = split_banks(&dataset, 0.7, 41);
+        let cordial = Cordial::fit(&dataset, &split.train, &CordialConfig::default()).unwrap();
+        (dataset, split, cordial)
+    }
+
+    #[test]
+    fn plans_are_produced_for_every_test_bank() {
+        let (dataset, split, cordial) = trained();
+        let by_bank = dataset.log.by_bank();
+        let mut row_sparing = 0;
+        let mut bank_sparing = 0;
+        for bank in &split.test {
+            match cordial.plan(&by_bank[bank]) {
+                MitigationPlan::RowSparing { rows, .. } => {
+                    row_sparing += 1;
+                    assert!(rows.windows(2).all(|w| w[0] < w[1]), "rows sorted+dedup");
+                }
+                MitigationPlan::BankSparing => bank_sparing += 1,
+                MitigationPlan::InsufficientData => {}
+            }
+        }
+        // Aggregation dominates the pattern mix, so row sparing must
+        // dominate the plans.
+        assert!(row_sparing > bank_sparing, "{row_sparing} vs {bank_sparing}");
+    }
+
+    #[test]
+    fn empty_history_yields_insufficient_data() {
+        let (_, _, cordial) = trained();
+        let history = BankErrorHistory::new(BankAddress::default(), vec![]);
+        assert_eq!(cordial.plan(&history), MitigationPlan::InsufficientData);
+    }
+
+    #[test]
+    fn plan_coverage_semantics() {
+        let row_plan = MitigationPlan::RowSparing {
+            pattern: CoarsePattern::SingleRow,
+            rows: vec![RowId(5), RowId(6)],
+        };
+        assert!(row_plan.covers(RowId(5)));
+        assert!(!row_plan.covers(RowId(7)));
+        assert!(MitigationPlan::BankSparing.covers(RowId(31_000)));
+        assert!(!MitigationPlan::InsufficientData.covers(RowId(0)));
+        assert!(MitigationPlan::BankSparing.rows().is_empty());
+    }
+
+    #[test]
+    fn row_sparing_rows_stay_near_observed_failures() {
+        let (dataset, split, cordial) = trained();
+        let by_bank = dataset.log.by_bank();
+        for bank in &split.test {
+            let history = &by_bank[bank];
+            if let MitigationPlan::RowSparing { rows, .. } = cordial.plan(history) {
+                let Some((window, _)) = history.observe_until_k_uers(3) else {
+                    continue;
+                };
+                let anchor = window.last_uer_row().unwrap();
+                for row in rows {
+                    assert!(row.distance(anchor) <= 72);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Bank-level train/test splitting (the paper's 7:3 split, §V-A).
+//!
+//! Splitting happens at the *bank* level (not the event level): a bank's
+//! whole history lands on one side, so no information leaks from training
+//! futures into test observations. The split is stratified by coarse
+//! ground-truth pattern so both sides see every class.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use cordial_faultsim::{CoarsePattern, FleetDataset};
+use cordial_topology::BankAddress;
+
+/// A bank-level train/test split.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BankSplit {
+    /// Training banks (sorted by address).
+    pub train: Vec<BankAddress>,
+    /// Test banks (sorted by address).
+    pub test: Vec<BankAddress>,
+}
+
+/// Splits the dataset's UER banks into train/test with `train_fraction`
+/// of each coarse pattern class in the training set. Deterministic per
+/// `seed`.
+///
+/// # Panics
+///
+/// Panics if `train_fraction` is not within `(0, 1)`.
+pub fn split_banks(dataset: &FleetDataset, train_fraction: f64, seed: u64) -> BankSplit {
+    assert!(
+        train_fraction > 0.0 && train_fraction < 1.0,
+        "train_fraction must be in (0, 1)"
+    );
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut per_class: [Vec<BankAddress>; 3] = Default::default();
+    for (bank, truth) in &dataset.truth {
+        per_class[truth.kind().coarse().class_index()].push(*bank);
+    }
+    let mut train = Vec::new();
+    let mut test = Vec::new();
+    for class in CoarsePattern::ALL {
+        let banks = &mut per_class[class.class_index()];
+        banks.shuffle(&mut rng);
+        let cut = (((banks.len() as f64) * train_fraction).round() as usize).min(banks.len());
+        train.extend_from_slice(&banks[..cut]);
+        test.extend_from_slice(&banks[cut..]);
+    }
+    train.sort();
+    test.sort();
+    BankSplit { train, test }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cordial_faultsim::{generate_fleet_dataset, FleetDatasetConfig};
+
+    fn dataset() -> FleetDataset {
+        generate_fleet_dataset(&FleetDatasetConfig::small(), 5)
+    }
+
+    #[test]
+    fn split_partitions_all_uer_banks() {
+        let data = dataset();
+        let split = split_banks(&data, 0.7, 1);
+        assert_eq!(split.train.len() + split.test.len(), data.truth.len());
+        for bank in &split.train {
+            assert!(!split.test.contains(bank));
+            assert!(data.truth.contains_key(bank));
+        }
+    }
+
+    #[test]
+    fn split_ratio_is_approximately_respected() {
+        let data = dataset();
+        let split = split_banks(&data, 0.7, 2);
+        let frac = split.train.len() as f64 / data.truth.len() as f64;
+        assert!((frac - 0.7).abs() < 0.1, "train fraction {frac}");
+    }
+
+    #[test]
+    fn stratification_keeps_every_class_in_both_sides() {
+        let data = dataset();
+        let split = split_banks(&data, 0.7, 3);
+        for side in [&split.train, &split.test] {
+            let classes: std::collections::BTreeSet<_> = side
+                .iter()
+                .map(|b| data.truth[b].kind().coarse())
+                .collect();
+            // The small dataset has every coarse class; the dominant
+            // single-row class must certainly appear on both sides.
+            assert!(classes.contains(&CoarsePattern::SingleRow));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let data = dataset();
+        assert_eq!(split_banks(&data, 0.7, 4), split_banks(&data, 0.7, 4));
+        assert_ne!(
+            split_banks(&data, 0.7, 4).train,
+            split_banks(&data, 0.7, 5).train
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "train_fraction")]
+    fn bad_fraction_panics() {
+        split_banks(&dataset(), 0.0, 0);
+    }
+}

@@ -1,0 +1,39 @@
+//! The trained Cordial pipeline must survive JSON persistence with
+//! identical planning behaviour (the CLI's train → plan workflow).
+
+use cordial::pipeline::Cordial;
+use cordial::prelude::*;
+
+#[test]
+fn trained_pipeline_round_trips_through_json() {
+    let dataset = generate_fleet_dataset(&FleetDatasetConfig::small(), 81);
+    let split = split_banks(&dataset, 0.7, 81);
+    let cordial = Cordial::fit(&dataset, &split.train, &CordialConfig::default()).unwrap();
+
+    let json = serde_json::to_string(&cordial).unwrap();
+    let reloaded: Cordial = serde_json::from_str(&json).unwrap();
+    assert_eq!(cordial, reloaded);
+
+    let by_bank = dataset.log.by_bank();
+    for bank in &split.test {
+        assert_eq!(
+            cordial.plan(&by_bank[bank]),
+            reloaded.plan(&by_bank[bank]),
+            "plan for {bank} must be identical after reload"
+        );
+    }
+}
+
+#[test]
+fn pipeline_config_survives_persistence() {
+    let dataset = generate_fleet_dataset(&FleetDatasetConfig::small(), 82);
+    let split = split_banks(&dataset, 0.7, 82);
+    let config = CordialConfig::with_model(ModelKind::xgboost()).with_seed(9);
+    let cordial = Cordial::fit(&dataset, &split.train, &config).unwrap();
+
+    let reloaded: Cordial =
+        serde_json::from_str(&serde_json::to_string(&cordial).unwrap()).unwrap();
+    assert_eq!(reloaded.config(), &config);
+    assert_eq!(reloaded.config().model.short_name(), "XGB");
+    assert_eq!(reloaded.crossrow().spec(), config.block);
+}

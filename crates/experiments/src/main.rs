@@ -1,0 +1,103 @@
+//! Experiment harness for the Cordial reproduction.
+//!
+//! Regenerates every table and figure of the paper's evaluation:
+//!
+//! ```text
+//! cordial-experiments [--scale small|medium|paper] [--seed N] [--out DIR] <command>
+//!
+//! commands:
+//!   table1   In-row predictable ratio of UERs (Table I)
+//!   table2   Dataset summary (Table II)
+//!   table3   Failure-pattern classification performance (Table III)
+//!   table4   Cross-row failure prediction performance (Table IV)
+//!   fig3     Bank failure patterns: examples (3a) and distribution (3b)
+//!   fig4     Chi-square locality sweep (Figure 4)
+//!   ablations  Design-choice sweeps (k UERs, window geometry, threshold)
+//!   importance Classifier feature importances by §IV-B group
+//!   sensitivity Robustness of 'Cordial wins' to the generator's free knobs
+//!   all      Everything above
+//! ```
+//!
+//! Each experiment prints a paper-shaped table to stdout and writes a
+//! machine-readable JSON record under the output directory.
+
+use std::env;
+use std::process::ExitCode;
+
+mod experiments;
+mod report;
+
+use experiments::{
+    run_ablations, run_fig3, run_fig4, run_importance, run_sensitivity, run_table1, run_table2,
+    run_table3, run_table4, Context,
+};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!();
+            eprintln!(
+                "usage: cordial-experiments [--scale small|medium|paper] [--seed N] \
+                 [--out DIR] <table1|...|fig4|ablations|importance|all>"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut scale = "medium".to_string();
+    let mut seed: u64 = 2025;
+    let mut out_dir = "results".to_string();
+    let mut command: Option<String> = None;
+
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--scale" => {
+                scale = iter.next().ok_or("--scale requires a value")?.clone();
+            }
+            "--seed" => {
+                seed = iter
+                    .next()
+                    .ok_or("--seed requires a value")?
+                    .parse()
+                    .map_err(|_| "--seed must be an integer".to_string())?;
+            }
+            "--out" => {
+                out_dir = iter.next().ok_or("--out requires a value")?.clone();
+            }
+            cmd if !cmd.starts_with('-') => command = Some(cmd.to_string()),
+            unknown => return Err(format!("unknown flag `{unknown}`")),
+        }
+    }
+
+    let command = command.ok_or("missing command")?;
+    let context = Context::new(&scale, seed, &out_dir)?;
+
+    match command.as_str() {
+        "table1" => run_table1(&context),
+        "table2" => run_table2(&context),
+        "table3" => run_table3(&context),
+        "table4" => run_table4(&context),
+        "fig3" => run_fig3(&context),
+        "fig4" => run_fig4(&context),
+        "ablations" => run_ablations(&context),
+        "importance" => run_importance(&context),
+        "sensitivity" => run_sensitivity(&context),
+        "all" => {
+            run_table1(&context)?;
+            run_table2(&context)?;
+            run_table3(&context)?;
+            run_table4(&context)?;
+            run_fig3(&context)?;
+            run_fig4(&context)?;
+            run_ablations(&context)?;
+            run_importance(&context)
+        }
+        unknown => Err(format!("unknown command `{unknown}`")),
+    }
+}

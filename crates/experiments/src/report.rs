@@ -1,0 +1,37 @@
+//! JSON result records written alongside the printed tables.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use serde::Serialize;
+
+/// Writes one experiment's JSON record to `<out>/<name>.json`.
+pub fn write_json<T: Serialize>(out_dir: &Path, name: &str, value: &T) -> Result<PathBuf, String> {
+    fs::create_dir_all(out_dir)
+        .map_err(|e| format!("cannot create {}: {e}", out_dir.display()))?;
+    let path = out_dir.join(format!("{name}.json"));
+    let text = serde_json::to_string_pretty(value)
+        .map_err(|e| format!("cannot serialise {name}: {e}"))?;
+    fs::write(&path, text).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    Ok(path)
+}
+
+/// Writes a CSV file to `<out>/<name>.csv`.
+pub fn write_csv(
+    out_dir: &Path,
+    name: &str,
+    header: &str,
+    rows: &[String],
+) -> Result<PathBuf, String> {
+    fs::create_dir_all(out_dir)
+        .map_err(|e| format!("cannot create {}: {e}", out_dir.display()))?;
+    let path = out_dir.join(format!("{name}.csv"));
+    let mut text = String::from(header);
+    text.push('\n');
+    for row in rows {
+        text.push_str(row);
+        text.push('\n');
+    }
+    fs::write(&path, text).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    Ok(path)
+}

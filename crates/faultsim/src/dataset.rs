@@ -1,0 +1,346 @@
+//! Fleet-level dataset generation: the synthetic stand-in for the paper's
+//! industrial MCE dataset (>10,000 NPUs / >80,000 HBMs, Table II).
+//!
+//! A generated [`FleetDataset`] contains a time-ordered
+//! [`MceLog`] plus per-bank ground truth
+//! ([`BankTruth`]) for every UER bank. Three bank populations are seeded:
+//!
+//! * **UER banks** — full [`BankFaultPlan`]s drawn from the paper's pattern
+//!   mix; these are the classification/prediction subjects;
+//! * **CE-only banks** — weak-cell noise (the vast majority of error banks
+//!   in Table II: 8557 CE banks vs. 1074 UER banks);
+//! * **UEO-only banks** — scrub-detected uncorrectable incidents that never
+//!   escalate.
+//!
+//! Coarse levels (NPU, HBM, …) come out more history-predictable than the
+//! row level (Table I) statistically: at realistic fault density a UER
+//! bank's NPU often also hosts a CE-only bank whose errors precede the
+//! first UER, while the UER row itself almost never has in-row precursors.
+//! `unhealthy_npu_fraction` < 1 additionally concentrates faults on a
+//! subset of the fleet for studies of correlated failure domains.
+
+use std::collections::{BTreeMap, HashSet};
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use cordial_mcelog::{ErrorEvent, MceLog, Timestamp};
+use cordial_topology::{
+    BankAddress, BankGroup, BankIndex, Channel, ColId, FleetConfig, HbmSocket, NpuRef,
+    PseudoChannel, RowId, StackId,
+};
+
+use crate::ecc::{DetectionPath, RawIncident};
+use crate::patterns::{PatternKind, PatternMix};
+use crate::plan::{BankFaultPlan, PlanConfig};
+
+/// Configuration of a synthetic fleet dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FleetDatasetConfig {
+    /// Cluster layout.
+    pub fleet: FleetConfig,
+    /// Number of banks receiving a full UER fault plan.
+    pub n_uer_banks: u32,
+    /// Number of banks with only correctable (CE) activity.
+    pub n_ce_only_banks: u32,
+    /// Number of banks with only scrub-detected (UEO) activity.
+    pub n_ueo_only_banks: u32,
+    /// Failure-pattern mix for UER banks.
+    pub pattern_mix: PatternMix,
+    /// Per-bank generative model.
+    pub plan: PlanConfig,
+    /// Fraction of NPUs eligible to host faulty banks (fault clustering).
+    pub unhealthy_npu_fraction: f64,
+}
+
+impl FleetDatasetConfig {
+    /// A small but structurally faithful dataset for tests and examples
+    /// (16 nodes, 60 UER banks).
+    pub fn small() -> Self {
+        Self {
+            fleet: FleetConfig::small(),
+            n_uer_banks: 60,
+            n_ce_only_banks: 420,
+            n_ueo_only_banks: 25,
+            pattern_mix: PatternMix::paper(),
+            plan: PlanConfig::paper(),
+            unhealthy_npu_fraction: 0.6,
+        }
+    }
+
+    /// A dataset scaled to the paper's Table II populations: 1250 nodes
+    /// (10,000 NPUs / 20,000 HBM sockets), 1074 UER banks, ~8.5k CE banks.
+    ///
+    /// Faults spread over the whole fleet (`unhealthy_npu_fraction` 1.0):
+    /// at the paper's fault density, the Table I predictable-ratio gradient
+    /// emerges statistically from per-level unit counts alone.
+    pub fn paper_scale() -> Self {
+        Self {
+            fleet: FleetConfig::with_nodes(1250),
+            n_uer_banks: 1074,
+            n_ce_only_banks: 7483, // + UER banks' own CEs ≈ Table II's 8557
+            n_ueo_only_banks: 450,
+            pattern_mix: PatternMix::paper(),
+            plan: PlanConfig::paper(),
+            unhealthy_npu_fraction: 1.0,
+        }
+    }
+
+    /// A medium dataset (420 nodes, ~360 UER banks) — large enough for
+    /// stable ML scores, small enough for CI, with the paper's fault density
+    /// (~0.85 faulty banks per NPU).
+    pub fn medium() -> Self {
+        Self {
+            fleet: FleetConfig::with_nodes(420),
+            n_uer_banks: 360,
+            n_ce_only_banks: 2500,
+            n_ueo_only_banks: 150,
+            pattern_mix: PatternMix::paper(),
+            plan: PlanConfig::paper(),
+            unhealthy_npu_fraction: 1.0,
+        }
+    }
+}
+
+impl Default for FleetDatasetConfig {
+    fn default() -> Self {
+        Self::small()
+    }
+}
+
+/// Ground truth for one UER bank.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BankTruth {
+    /// The fault plan that generated the bank's events.
+    pub plan: BankFaultPlan,
+    /// Distinct rows that ever see a UER, ascending.
+    pub uer_rows: Vec<RowId>,
+}
+
+impl BankTruth {
+    /// The fine-grained ground-truth pattern.
+    pub fn kind(&self) -> PatternKind {
+        self.plan.kind
+    }
+}
+
+/// A generated synthetic fleet dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetDataset {
+    /// The complete, time-ordered error log of the fleet.
+    pub log: MceLog,
+    /// Ground truth per UER bank.
+    pub truth: BTreeMap<BankAddress, BankTruth>,
+}
+
+impl FleetDataset {
+    /// Banks with ground truth (i.e. UER banks), in address order.
+    pub fn uer_banks(&self) -> impl Iterator<Item = &BankAddress> {
+        self.truth.keys()
+    }
+}
+
+/// Generates a synthetic fleet dataset. Deterministic for a given `seed`.
+pub fn generate_fleet_dataset(config: &FleetDatasetConfig, seed: u64) -> FleetDataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let geom = config.fleet.geometry;
+    let window_ms = config.plan.window.as_millis() as u64;
+
+    // Unhealthy NPU pool: faulty banks cluster on a subset of the fleet.
+    let mut npus: Vec<NpuRef> = config.fleet.npus().collect();
+    npus.shuffle(&mut rng);
+    let pool_size = (((npus.len() as f64) * config.unhealthy_npu_fraction).ceil() as usize)
+        .clamp(1, npus.len());
+    let pool = &npus[..pool_size];
+
+    // Allocate distinct bank addresses.
+    let total_banks =
+        (config.n_uer_banks + config.n_ce_only_banks + config.n_ueo_only_banks) as usize;
+    let mut taken: HashSet<BankAddress> = HashSet::with_capacity(total_banks);
+    let mut sample_bank = |rng: &mut StdRng| -> BankAddress {
+        loop {
+            let npu = pool[rng.gen_range(0..pool.len())];
+            let bank = BankAddress {
+                node: npu.node,
+                npu: npu.npu,
+                hbm: HbmSocket(rng.gen_range(0..config.fleet.hbms_per_npu)),
+                sid: StackId(rng.gen_range(0..geom.sids)),
+                channel: Channel(rng.gen_range(0..geom.channels)),
+                pseudo_channel: PseudoChannel(rng.gen_range(0..geom.pseudo_channels)),
+                bank_group: BankGroup(rng.gen_range(0..geom.bank_groups)),
+                bank: BankIndex(rng.gen_range(0..geom.banks_per_group)),
+            };
+            if taken.insert(bank) {
+                return bank;
+            }
+        }
+    };
+
+    let mut events: Vec<ErrorEvent> = Vec::new();
+    let mut truth = BTreeMap::new();
+
+    // --- UER banks -------------------------------------------------------
+    for _ in 0..config.n_uer_banks {
+        let bank = sample_bank(&mut rng);
+        let kind = config.pattern_mix.sample(&mut rng);
+        let plan = BankFaultPlan::sample(bank, kind, &config.plan, &geom, &mut rng);
+        let incidents = plan.generate_incidents(&config.plan, &geom, &mut rng);
+        let bank_events = config.plan.ecc.classify_all(&incidents);
+        let mut uer_rows: Vec<RowId> = bank_events
+            .iter()
+            .filter(|e| e.is_uer())
+            .map(|e| e.addr.row)
+            .collect();
+        uer_rows.sort();
+        uer_rows.dedup();
+        events.extend(bank_events);
+        truth.insert(bank, BankTruth { plan, uer_rows });
+    }
+
+    // --- CE-only banks -----------------------------------------------------
+    for _ in 0..config.n_ce_only_banks {
+        let bank = sample_bank(&mut rng);
+        let n = rng.gen_range(1..=8);
+        // Weak cells: a few rows, often revisited.
+        let base_row = RowId(rng.gen_range(0..geom.rows));
+        for _ in 0..n {
+            let row = if rng.gen_bool(0.5) {
+                base_row
+            } else {
+                RowId(rng.gen_range(0..geom.rows))
+            };
+            let incident = RawIncident::new(
+                bank.cell(row, ColId(rng.gen_range(0..geom.cols))),
+                Timestamp::from_millis(rng.gen_range(0..window_ms)),
+                1,
+                DetectionPath::DemandAccess,
+            );
+            events.extend(config.plan.ecc.to_event(&incident));
+        }
+    }
+
+    // --- UEO-only banks ----------------------------------------------------
+    for _ in 0..config.n_ueo_only_banks {
+        let bank = sample_bank(&mut rng);
+        let n = rng.gen_range(1..=3);
+        for _ in 0..n {
+            let onset = Timestamp::from_millis(rng.gen_range(0..window_ms));
+            let surfaced = config.plan.scrubber.next_sweep_after(onset);
+            let surfaced = Timestamp::from_millis(surfaced.as_millis().min(window_ms));
+            let incident = RawIncident::new(
+                bank.cell(
+                    RowId(rng.gen_range(0..geom.rows)),
+                    ColId(rng.gen_range(0..geom.cols)),
+                ),
+                surfaced,
+                2,
+                DetectionPath::PatrolScrub,
+            );
+            events.extend(config.plan.ecc.to_event(&incident));
+        }
+    }
+
+    FleetDataset {
+        log: MceLog::from_events(events),
+        truth,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cordial_mcelog::{sudden, ErrorType};
+    use cordial_topology::MicroLevel;
+
+    #[test]
+    fn generates_requested_bank_populations() {
+        let config = FleetDatasetConfig::small();
+        let dataset = generate_fleet_dataset(&config, 1);
+        assert_eq!(dataset.truth.len(), config.n_uer_banks as usize);
+        let by_bank = dataset.log.by_bank();
+        // Every truth bank has events and at least one UER.
+        for (bank, truth) in &dataset.truth {
+            let history = &by_bank[bank];
+            assert!(history.count(ErrorType::Uer) > 0);
+            assert!(!truth.uer_rows.is_empty());
+        }
+        // Total error banks ≈ all three populations.
+        let expected =
+            (config.n_uer_banks + config.n_ce_only_banks + config.n_ueo_only_banks) as usize;
+        assert_eq!(by_bank.len(), expected);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let config = FleetDatasetConfig::small();
+        let a = generate_fleet_dataset(&config, 42);
+        let b = generate_fleet_dataset(&config, 42);
+        assert_eq!(a, b);
+        let c = generate_fleet_dataset(&config, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn pattern_mix_approximates_paper_distribution() {
+        let config = FleetDatasetConfig {
+            n_uer_banks: 600,
+            ..FleetDatasetConfig::medium()
+        };
+        let dataset = generate_fleet_dataset(&config, 7);
+        let single = dataset
+            .truth
+            .values()
+            .filter(|t| t.kind() == PatternKind::SingleRowCluster)
+            .count();
+        let frac = single as f64 / dataset.truth.len() as f64;
+        assert!(
+            (frac - 0.682).abs() < 0.07,
+            "single-row fraction {frac} too far from 0.682"
+        );
+    }
+
+    #[test]
+    fn row_level_sudden_ratio_is_high_and_bank_level_lower() {
+        let dataset = generate_fleet_dataset(&FleetDatasetConfig::medium(), 11);
+        let row = sudden::sudden_stats(&dataset.log, MicroLevel::Row);
+        let bank = sudden::sudden_stats(&dataset.log, MicroLevel::Bank);
+        let npu = sudden::sudden_stats(&dataset.log, MicroLevel::Npu);
+        let row_sudden = row.sudden_ratio().unwrap();
+        let bank_sudden = bank.sudden_ratio().unwrap();
+        let npu_sudden = npu.sudden_ratio().unwrap();
+        assert!(row_sudden > 0.90, "row sudden ratio {row_sudden}");
+        assert!(bank_sudden < row_sudden, "bank {bank_sudden} vs row {row_sudden}");
+        assert!(npu_sudden < bank_sudden, "npu {npu_sudden} vs bank {bank_sudden}");
+    }
+
+    #[test]
+    fn truth_uer_rows_match_log() {
+        let dataset = generate_fleet_dataset(&FleetDatasetConfig::small(), 3);
+        let by_bank = dataset.log.by_bank();
+        for (bank, truth) in &dataset.truth {
+            assert_eq!(by_bank[bank].all_uer_rows_sorted(), truth.uer_rows);
+        }
+    }
+
+    #[test]
+    fn all_events_lie_within_fleet_and_window() {
+        let config = FleetDatasetConfig::small();
+        let dataset = generate_fleet_dataset(&config, 5);
+        let window_ms = config.plan.window.as_millis() as u64;
+        for event in dataset.log.events() {
+            assert!(config.fleet.contains(&event.addr.bank));
+            assert!(config.fleet.geometry.validate_cell(&event.addr).is_ok());
+            assert!(event.time.as_millis() <= window_ms);
+        }
+    }
+
+    #[test]
+    fn ce_population_dwarfs_uer_population() {
+        use cordial_mcelog::rollup;
+        let dataset = generate_fleet_dataset(&FleetDatasetConfig::small(), 9);
+        let banks = rollup::rollup_level(&dataset.log, MicroLevel::Bank);
+        assert!(banks.with_ce > 4 * banks.with_uer);
+    }
+}

@@ -1,0 +1,199 @@
+//! Symbol-ECC classification of raw cell incidents into CE / UEO / UER.
+//!
+//! An HBM "error" is data the controller receives that disagrees with what
+//! was written, surfaced through the ECC (paper §II-B). Whether an incident
+//! becomes a **CE**, **UEO** or **UER** depends on two things:
+//!
+//! 1. *Bit multiplicity vs. correction capability* — incidents within the
+//!    code's correction capability are corrected (CE); beyond it they are
+//!    uncorrectable.
+//! 2. *Detection path* — an uncorrectable incident found by the patrol
+//!    scrubber before any consumer touched the data requires no immediate
+//!    action (**UEO**, "action optional"), while one hit by a demand access
+//!    corrupts live data (**UER**, "action required").
+
+use serde::{Deserialize, Serialize};
+
+use cordial_mcelog::{ErrorEvent, ErrorType, Timestamp};
+use cordial_topology::CellAddress;
+
+/// How an incident was detected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DetectionPath {
+    /// Found by the periodic patrol scrubber before any demand access.
+    PatrolScrub,
+    /// Hit by a workload (demand) access.
+    DemandAccess,
+}
+
+/// One raw cell-level corruption incident, before ECC classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RawIncident {
+    /// Affected cell.
+    pub cell: CellAddress,
+    /// When the corruption became detectable.
+    pub time: Timestamp,
+    /// Number of corrupted bits within the ECC word.
+    pub bits: u8,
+    /// How the incident surfaced.
+    pub path: DetectionPath,
+}
+
+impl RawIncident {
+    /// Creates an incident.
+    pub fn new(cell: CellAddress, time: Timestamp, bits: u8, path: DetectionPath) -> Self {
+        Self {
+            cell,
+            time,
+            bits,
+            path,
+        }
+    }
+}
+
+/// A simplified symbol-ECC code: corrects up to `correctable_bits` bit errors
+/// per word and detects (but cannot correct) anything beyond.
+///
+/// The default single-error-correct model reflects the paper's observation
+/// that "conventional error correction codes (ECC) are insufficient to
+/// correct malfunctions of sub-wordline drivers" — any multi-bit incident
+/// (the signature of an SWD or driver fault) escapes correction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EccCode {
+    /// Maximum number of bit errors the code corrects per word.
+    pub correctable_bits: u8,
+}
+
+impl EccCode {
+    /// Single-error-correct, double-error-detect (SEC-DED)-like code.
+    pub const fn sec_ded() -> Self {
+        Self {
+            correctable_bits: 1,
+        }
+    }
+
+    /// Classifies a raw incident into the MCE severity taxonomy.
+    ///
+    /// Returns `None` when `bits == 0` (no corruption → no event).
+    pub fn classify(&self, incident: &RawIncident) -> Option<ErrorType> {
+        match incident.bits {
+            0 => None,
+            b if b <= self.correctable_bits => Some(ErrorType::Ce),
+            _ => Some(match incident.path {
+                DetectionPath::PatrolScrub => ErrorType::Ueo,
+                DetectionPath::DemandAccess => ErrorType::Uer,
+            }),
+        }
+    }
+
+    /// Classifies an incident and materialises the resulting MCE event.
+    pub fn to_event(&self, incident: &RawIncident) -> Option<ErrorEvent> {
+        self.classify(incident)
+            .map(|ty| ErrorEvent::new(incident.cell, incident.time, ty))
+    }
+
+    /// Classifies a batch of incidents, dropping zero-bit ones.
+    pub fn classify_all(&self, incidents: &[RawIncident]) -> Vec<ErrorEvent> {
+        incidents
+            .iter()
+            .filter_map(|i| self.to_event(i))
+            .collect()
+    }
+}
+
+impl Default for EccCode {
+    fn default() -> Self {
+        Self::sec_ded()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cordial_topology::{BankAddress, ColId, RowId};
+
+    fn incident(bits: u8, path: DetectionPath) -> RawIncident {
+        RawIncident::new(
+            BankAddress::default().cell(RowId(10), ColId(2)),
+            Timestamp::from_secs(5),
+            bits,
+            path,
+        )
+    }
+
+    #[test]
+    fn single_bit_is_correctable() {
+        let ecc = EccCode::sec_ded();
+        assert_eq!(
+            ecc.classify(&incident(1, DetectionPath::DemandAccess)),
+            Some(ErrorType::Ce)
+        );
+        assert_eq!(
+            ecc.classify(&incident(1, DetectionPath::PatrolScrub)),
+            Some(ErrorType::Ce)
+        );
+    }
+
+    #[test]
+    fn multibit_on_scrub_is_ueo() {
+        let ecc = EccCode::sec_ded();
+        assert_eq!(
+            ecc.classify(&incident(2, DetectionPath::PatrolScrub)),
+            Some(ErrorType::Ueo)
+        );
+    }
+
+    #[test]
+    fn multibit_on_demand_is_uer() {
+        let ecc = EccCode::sec_ded();
+        assert_eq!(
+            ecc.classify(&incident(3, DetectionPath::DemandAccess)),
+            Some(ErrorType::Uer)
+        );
+    }
+
+    #[test]
+    fn zero_bits_is_no_event() {
+        let ecc = EccCode::sec_ded();
+        assert_eq!(ecc.classify(&incident(0, DetectionPath::DemandAccess)), None);
+        assert!(ecc.to_event(&incident(0, DetectionPath::PatrolScrub)).is_none());
+    }
+
+    #[test]
+    fn stronger_code_corrects_more() {
+        let ecc = EccCode {
+            correctable_bits: 2,
+        };
+        assert_eq!(
+            ecc.classify(&incident(2, DetectionPath::DemandAccess)),
+            Some(ErrorType::Ce)
+        );
+        assert_eq!(
+            ecc.classify(&incident(3, DetectionPath::DemandAccess)),
+            Some(ErrorType::Uer)
+        );
+    }
+
+    #[test]
+    fn to_event_carries_address_and_time() {
+        let ecc = EccCode::sec_ded();
+        let raw = incident(2, DetectionPath::DemandAccess);
+        let event = ecc.to_event(&raw).unwrap();
+        assert_eq!(event.addr, raw.cell);
+        assert_eq!(event.time, raw.time);
+        assert_eq!(event.error_type, ErrorType::Uer);
+    }
+
+    #[test]
+    fn classify_all_filters_empty_incidents() {
+        let ecc = EccCode::sec_ded();
+        let events = ecc.classify_all(&[
+            incident(0, DetectionPath::DemandAccess),
+            incident(1, DetectionPath::DemandAccess),
+            incident(4, DetectionPath::PatrolScrub),
+        ]);
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].error_type, ErrorType::Ce);
+        assert_eq!(events[1].error_type, ErrorType::Ueo);
+    }
+}

@@ -1,0 +1,136 @@
+//! Physical fault taxonomy for HBM stacks and its mapping onto bank-level
+//! failure patterns.
+//!
+//! HBM inherits planar-DRAM fault modes and adds stacking-specific ones
+//! (paper §II, §VI): TSV faults and micro-bump defects from the 3D assembly,
+//! and sub-wordline-driver (SWD) malfunctions that conventional ECC cannot
+//! correct. Each fault kind has a characteristic spatial signature, which is
+//! what makes bank-level pattern classification physically meaningful.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::patterns::PatternKind;
+
+/// Root-cause fault classes modelled by the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Sub-wordline-driver malfunction: corrupts a contiguous run of rows
+    /// served by the failing driver.
+    SwdMalfunction,
+    /// Paired sub-wordline-driver fault: two row clusters at a fixed offset
+    /// (drivers are physically mirrored across the sub-array).
+    PairedSwdFault,
+    /// Defective through-silicon via: affects the half-bank routed through
+    /// the via group, yielding clusters half the bank apart.
+    TsvFault,
+    /// Poor-quality micro-bump joint (thermal-compression bonding defect):
+    /// intermittent, spatially irregular corruption.
+    MicroBumpDefect,
+    /// Column-driver / sense-amplifier fault: one column fails across nearly
+    /// all rows.
+    ColumnDriverFault,
+    /// Population of weak cells (retention marginality, voltage noise):
+    /// isolated errors scattered across the bank.
+    WeakCellPopulation,
+}
+
+impl FaultKind {
+    /// All modelled fault kinds.
+    pub const ALL: [FaultKind; 6] = [
+        FaultKind::SwdMalfunction,
+        FaultKind::PairedSwdFault,
+        FaultKind::TsvFault,
+        FaultKind::MicroBumpDefect,
+        FaultKind::ColumnDriverFault,
+        FaultKind::WeakCellPopulation,
+    ];
+
+    /// The bank-level failure pattern this fault produces.
+    pub fn pattern(self) -> PatternKind {
+        match self {
+            FaultKind::SwdMalfunction => PatternKind::SingleRowCluster,
+            FaultKind::PairedSwdFault => PatternKind::DoubleRowCluster,
+            FaultKind::TsvFault => PatternKind::HalfTotalRowCluster,
+            FaultKind::MicroBumpDefect | FaultKind::WeakCellPopulation => PatternKind::Scattered,
+            FaultKind::ColumnDriverFault => PatternKind::WholeColumn,
+        }
+    }
+
+    /// Draws a plausible root cause for a given observed pattern (the
+    /// inverse of [`FaultKind::pattern`], randomised where several causes
+    /// map to the same pattern).
+    pub fn sample_for_pattern<R: Rng>(pattern: PatternKind, rng: &mut R) -> FaultKind {
+        match pattern {
+            PatternKind::SingleRowCluster => FaultKind::SwdMalfunction,
+            PatternKind::DoubleRowCluster => FaultKind::PairedSwdFault,
+            PatternKind::HalfTotalRowCluster => FaultKind::TsvFault,
+            PatternKind::Scattered => {
+                if rng.gen_bool(0.5) {
+                    FaultKind::MicroBumpDefect
+                } else {
+                    FaultKind::WeakCellPopulation
+                }
+            }
+            PatternKind::WholeColumn => FaultKind::ColumnDriverFault,
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::SwdMalfunction => "SWD malfunction",
+            FaultKind::PairedSwdFault => "paired SWD fault",
+            FaultKind::TsvFault => "TSV fault",
+            FaultKind::MicroBumpDefect => "micro-bump defect",
+            FaultKind::ColumnDriverFault => "column-driver fault",
+            FaultKind::WeakCellPopulation => "weak-cell population",
+        }
+    }
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn every_fault_maps_to_a_pattern() {
+        for kind in FaultKind::ALL {
+            let _ = kind.pattern(); // must not panic
+            assert!(!kind.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn sample_for_pattern_inverts_pattern() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for pattern in PatternKind::ALL {
+            for _ in 0..10 {
+                let kind = FaultKind::sample_for_pattern(pattern, &mut rng);
+                assert_eq!(kind.pattern(), pattern);
+            }
+        }
+    }
+
+    #[test]
+    fn scattered_pattern_has_multiple_causes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let kinds: std::collections::HashSet<_> = (0..100)
+            .map(|_| FaultKind::sample_for_pattern(PatternKind::Scattered, &mut rng))
+            .collect();
+        assert_eq!(kinds.len(), 2);
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(FaultKind::TsvFault.to_string(), "TSV fault");
+    }
+}

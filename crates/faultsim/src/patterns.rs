@@ -1,0 +1,634 @@
+//! Bank-level failure patterns: taxonomy, population mix, and spatial
+//! layout sampling.
+//!
+//! The paper identifies five bank-level failure patterns (§III-B, Fig. 3):
+//! single-row clustering, double-row clustering, half total-row clustering
+//! (a double-row variant with a half-bank gap), scattered, and whole-column
+//! (a scattered special case). For prediction they collapse to three coarse
+//! classes (§IV-C): double-row clustering, single-row clustering, and
+//! scattered.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use cordial_topology::{ColId, HbmGeometry, RowId};
+
+/// Fine-grained failure pattern of one bank (the simulator's ground truth).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PatternKind {
+    /// UERs concentrated in one contiguous, narrow row range.
+    SingleRowCluster,
+    /// Two UER row clusters separated by a consistent interval.
+    DoubleRowCluster,
+    /// Double-row variant whose clusters sit half the bank apart
+    /// (the TSV-fault signature).
+    HalfTotalRowCluster,
+    /// UERs distributed irregularly across the bank.
+    Scattered,
+    /// Scattered special case: one column fails across nearly all rows.
+    WholeColumn,
+}
+
+impl PatternKind {
+    /// All fine-grained patterns, in the paper's Fig. 3(b) legend order.
+    pub const ALL: [PatternKind; 5] = [
+        PatternKind::SingleRowCluster,
+        PatternKind::DoubleRowCluster,
+        PatternKind::HalfTotalRowCluster,
+        PatternKind::Scattered,
+        PatternKind::WholeColumn,
+    ];
+
+    /// The fraction of UER banks with this pattern in the paper's fleet
+    /// (Fig. 3(b)).
+    pub fn paper_fraction(self) -> f64 {
+        match self {
+            PatternKind::SingleRowCluster => 0.682,
+            PatternKind::DoubleRowCluster => 0.099,
+            PatternKind::HalfTotalRowCluster => 0.021,
+            PatternKind::Scattered => 0.125,
+            PatternKind::WholeColumn => 0.073,
+        }
+    }
+
+    /// Collapses to the three-way class Cordial's classifier predicts.
+    pub fn coarse(self) -> CoarsePattern {
+        match self {
+            PatternKind::SingleRowCluster => CoarsePattern::SingleRow,
+            PatternKind::DoubleRowCluster | PatternKind::HalfTotalRowCluster => {
+                CoarsePattern::DoubleRow
+            }
+            PatternKind::Scattered | PatternKind::WholeColumn => CoarsePattern::Scattered,
+        }
+    }
+
+    /// Human-readable name matching the paper's terminology.
+    pub fn name(self) -> &'static str {
+        match self {
+            PatternKind::SingleRowCluster => "Single-row Clustering",
+            PatternKind::DoubleRowCluster => "Double-row Clustering",
+            PatternKind::HalfTotalRowCluster => "Half Total-row Clustering",
+            PatternKind::Scattered => "Scattered Pattern",
+            PatternKind::WholeColumn => "Whole Column",
+        }
+    }
+}
+
+impl std::fmt::Display for PatternKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The three-way failure-pattern class used by Cordial (§IV-C).
+///
+/// `DoubleRow` and `SingleRow` are *aggregation* patterns (row-sparing plus
+/// cross-row prediction applies); `Scattered` banks are isolated wholesale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum CoarsePattern {
+    /// Double-row clustering (incl. half total-row).
+    DoubleRow,
+    /// Single-row clustering.
+    SingleRow,
+    /// Scattered (incl. whole-column).
+    Scattered,
+}
+
+impl CoarsePattern {
+    /// All coarse classes, in the paper's Table III row order.
+    pub const ALL: [CoarsePattern; 3] = [
+        CoarsePattern::DoubleRow,
+        CoarsePattern::SingleRow,
+        CoarsePattern::Scattered,
+    ];
+
+    /// Stable class index for ML datasets (Table III row order).
+    pub fn class_index(self) -> usize {
+        match self {
+            CoarsePattern::DoubleRow => 0,
+            CoarsePattern::SingleRow => 1,
+            CoarsePattern::Scattered => 2,
+        }
+    }
+
+    /// Inverse of [`CoarsePattern::class_index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 3`.
+    pub fn from_class_index(index: usize) -> Self {
+        Self::ALL[index]
+    }
+
+    /// Whether this class exhibits the aggregation (clustering) tendency
+    /// that makes cross-row prediction applicable.
+    pub fn is_aggregation(self) -> bool {
+        !matches!(self, CoarsePattern::Scattered)
+    }
+
+    /// Human-readable name matching the paper's Table III.
+    pub fn name(self) -> &'static str {
+        match self {
+            CoarsePattern::DoubleRow => "Double-row Clustering",
+            CoarsePattern::SingleRow => "Single-row Clustering",
+            CoarsePattern::Scattered => "Scattered Pattern",
+        }
+    }
+}
+
+impl std::fmt::Display for CoarsePattern {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Sampling weights over the five fine-grained patterns.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PatternMix {
+    weights: [f64; 5],
+}
+
+impl PatternMix {
+    /// The paper's fleet mix (Fig. 3(b)).
+    pub fn paper() -> Self {
+        let weights =
+            std::array::from_fn(|i| PatternKind::ALL[i].paper_fraction());
+        Self { weights }
+    }
+
+    /// A custom mix; weights are normalised internally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any weight is negative or all weights are zero.
+    pub fn new(weights: [f64; 5]) -> Self {
+        assert!(
+            weights.iter().all(|&w| w >= 0.0),
+            "pattern weights must be non-negative"
+        );
+        assert!(
+            weights.iter().sum::<f64>() > 0.0,
+            "pattern weights must not all be zero"
+        );
+        Self { weights }
+    }
+
+    /// The (unnormalised) weight of one pattern.
+    pub fn weight(&self, kind: PatternKind) -> f64 {
+        let idx = PatternKind::ALL
+            .iter()
+            .position(|&k| k == kind)
+            .expect("kind is in ALL");
+        self.weights[idx]
+    }
+
+    /// Draws a pattern according to the mix.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> PatternKind {
+        let total: f64 = self.weights.iter().sum();
+        let mut x = rng.gen::<f64>() * total;
+        for (kind, &w) in PatternKind::ALL.iter().zip(&self.weights) {
+            if x < w {
+                return *kind;
+            }
+            x -= w;
+        }
+        PatternKind::WholeColumn
+    }
+}
+
+impl Default for PatternMix {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Concrete spatial layout of one faulty bank: where its UERs land.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PatternLayout {
+    /// One cluster around `center`.
+    SingleRow {
+        /// Cluster centre row.
+        center: RowId,
+    },
+    /// Two clusters around `centers`.
+    DoubleRow {
+        /// The two cluster centre rows.
+        centers: [RowId; 2],
+    },
+    /// Scattered over the bank, with a loose concentration around a
+    /// bank-specific hot region — field data is never perfectly uniform,
+    /// which is what makes scattered banks occasionally resemble (very
+    /// wide) clusters and keeps the three-way classification non-trivial.
+    Scattered {
+        /// Centre of the loose hot region.
+        hot: RowId,
+    },
+    /// All errors in one column, rows spread over the bank.
+    WholeColumn {
+        /// The failing column.
+        col: ColId,
+    },
+}
+
+impl PatternLayout {
+    /// Samples a layout for the given pattern kind.
+    ///
+    /// Cluster centres keep a margin from the bank edges so clusters do not
+    /// clip; double-row gaps are drawn between 1/16 and 1/4 of the bank, and
+    /// half total-row uses exactly half the bank (the TSV signature).
+    pub fn sample<R: Rng>(kind: PatternKind, geom: &HbmGeometry, rng: &mut R) -> Self {
+        let rows = geom.rows;
+        let margin = rows / 16;
+        match kind {
+            PatternKind::SingleRowCluster => PatternLayout::SingleRow {
+                center: RowId(rng.gen_range(margin..rows - margin)),
+            },
+            PatternKind::DoubleRowCluster => {
+                let gap = rng.gen_range(rows / 16..rows / 4);
+                let c1 = rng.gen_range(margin..rows - margin - gap);
+                PatternLayout::DoubleRow {
+                    centers: [RowId(c1), RowId(c1 + gap)],
+                }
+            }
+            PatternKind::HalfTotalRowCluster => {
+                let gap = geom.half_rows();
+                let c1 = rng.gen_range(margin..rows - gap - 1);
+                PatternLayout::DoubleRow {
+                    centers: [RowId(c1), RowId(c1 + gap)],
+                }
+            }
+            PatternKind::Scattered => PatternLayout::Scattered {
+                hot: RowId(rng.gen_range(0..rows)),
+            },
+            PatternKind::WholeColumn => PatternLayout::WholeColumn {
+                col: ColId(rng.gen_range(0..geom.cols)),
+            },
+        }
+    }
+
+    /// Samples one UER location for this layout.
+    ///
+    /// Cluster rows are drawn as `center + offset` where `offset` comes from
+    /// the bounded [`LocalityKernel`] envelope; this short-range kernel is
+    /// what produces the paper's Fig. 4 locality (successive UERs in
+    /// aggregation banks land within ~128 rows of each other).
+    pub fn sample_cell<R: Rng>(
+        &self,
+        kernel: &LocalityKernel,
+        geom: &HbmGeometry,
+        rng: &mut R,
+    ) -> (RowId, ColId) {
+        let col = ColId(rng.gen_range(0..geom.cols));
+        match self {
+            PatternLayout::SingleRow { center } => {
+                let row = geom.clamp_row(center.0 as i64 + kernel.sample_offset(rng));
+                (row, col)
+            }
+            PatternLayout::DoubleRow { centers } => {
+                let center = centers[usize::from(rng.gen_bool(0.5))];
+                let row = geom.clamp_row(center.0 as i64 + kernel.sample_offset(rng));
+                (row, col)
+            }
+            PatternLayout::Scattered { hot } => {
+                // Over half of scattered errors land in a loose ±192-row hot
+                // region; the rest are uniform over the bank.
+                let row = if rng.gen_bool(0.55) {
+                    geom.clamp_row(hot.0 as i64 + rng.gen_range(-192..=192))
+                } else {
+                    RowId(rng.gen_range(0..geom.rows))
+                };
+                (row, col)
+            }
+            PatternLayout::WholeColumn { col } => (RowId(rng.gen_range(0..geom.rows)), *col),
+        }
+    }
+
+    /// Samples the location of the *next* UER given the previous UER row —
+    /// the cluster-growth model.
+    ///
+    /// In clustered patterns fresh failures propagate from the most recent
+    /// one (the "errors can soon propagate to nearby rows" dynamic of
+    /// §IV-B): the next row is a bounded walk step from `prev`, clamped to
+    /// the envelope of the nearest cluster. Double-row banks occasionally
+    /// jump to the sibling cluster. Scattered patterns have no growth
+    /// structure and fall back to [`PatternLayout::sample_cell`].
+    pub fn sample_next_cell<R: Rng>(
+        &self,
+        prev: Option<RowId>,
+        kernel: &LocalityKernel,
+        direction: GrowthDirection,
+        geom: &HbmGeometry,
+        rng: &mut R,
+    ) -> (RowId, ColId) {
+        let Some(prev) = prev else {
+            return self.sample_cell(kernel, geom, rng);
+        };
+        let col = ColId(rng.gen_range(0..geom.cols));
+        let walk_within = |center: RowId, rng: &mut R| -> RowId {
+            let hw = kernel.half_width.round() as i64;
+            // Three growth modes, calibrated to the paper's Fig. 4 locality
+            // profile (chi-square peak at a 128-row threshold):
+            //  * tight growth — the failure front creeps to an immediately
+            //    neighbouring row (≤ growth_step rows away);
+            //  * driver-range hop — the fault reaches another row served by
+            //    the same/adjacent sub-wordline driver group, up to
+            //    half_width rows away;
+            //  * re-eruption anywhere in the cluster envelope (rare).
+            if rng.gen_bool(0.05) {
+                return geom.clamp_row(center.0 as i64 + kernel.sample_offset(rng));
+            }
+            // Sub-wordline drivers serve small groups of physically
+            // adjacent rows; the already-failed group keeps re-erupting
+            // (handled by the revisit process), so a *fresh* row is at
+            // least one driver group (~6 rows) away.
+            let tight = kernel.growth_step.round() as i64;
+            let magnitude = if rng.gen_bool(0.50) {
+                rng.gen_range(6..=tight.max(7))
+            } else {
+                rng.gen_range(tight + 1..=hw.max(tight + 2))
+            };
+            // Degradation sweeps along the driver chain: steps mostly share
+            // the bank's growth direction, with occasional back-fill.
+            let step = if rng.gen_bool(0.8) {
+                direction.signed(magnitude)
+            } else {
+                direction.signed(-magnitude)
+            };
+            let stepped = prev.0 as i64 + step;
+            let lo = center.0 as i64 - hw;
+            let hi = center.0 as i64 + hw;
+            geom.clamp_row(stepped.clamp(lo, hi))
+        };
+        match self {
+            PatternLayout::SingleRow { center } => (walk_within(*center, rng), col),
+            PatternLayout::DoubleRow { centers } => {
+                // Grow from the cluster the previous row belongs to, with an
+                // occasional eruption in the sibling cluster.
+                let own = if prev.distance(centers[0]) <= prev.distance(centers[1]) {
+                    0
+                } else {
+                    1
+                };
+                if rng.gen_bool(0.40) {
+                    let other = centers[1 - own];
+                    let row = geom
+                        .clamp_row(other.0 as i64 + kernel.sample_offset(rng));
+                    (row, col)
+                } else {
+                    (walk_within(centers[own], rng), col)
+                }
+            }
+            PatternLayout::Scattered { .. } | PatternLayout::WholeColumn { .. } => {
+                self.sample_cell(kernel, geom, rng)
+            }
+        }
+    }
+}
+
+/// Direction a bank's failure front sweeps in (sub-wordline-driver chains
+/// degrade progressively, so fresh failures trend one way along the rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GrowthDirection {
+    /// Towards higher row indices.
+    Up,
+    /// Towards lower row indices.
+    Down,
+}
+
+impl GrowthDirection {
+    /// Draws a direction uniformly.
+    pub fn sample<R: Rng>(rng: &mut R) -> Self {
+        if rng.gen_bool(0.5) {
+            GrowthDirection::Up
+        } else {
+            GrowthDirection::Down
+        }
+    }
+
+    /// Applies the direction's sign to a magnitude.
+    pub fn signed(self, magnitude: i64) -> i64 {
+        match self {
+            GrowthDirection::Up => magnitude,
+            GrowthDirection::Down => -magnitude,
+        }
+    }
+}
+
+/// Spatial envelope of cluster growth.
+///
+/// Cluster members land uniformly within `half_width` rows of the cluster
+/// centre — the "contiguous, narrow area" of the paper's single-row
+/// clustering pattern (§III-B). With the paper-calibrated half-width of 64,
+/// consecutive UER rows in a cluster are at most 128 rows apart, which is
+/// exactly where the paper's Fig. 4 chi-square locality sweep peaks.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LocalityKernel {
+    /// Maximum absolute row offset of cluster members from the centre.
+    pub half_width: f64,
+    /// Maximum step of the cluster-growth walk: each fresh UER row lands
+    /// within this many rows of the previous one (clamped to the envelope).
+    pub growth_step: f64,
+}
+
+impl LocalityKernel {
+    /// Kernel calibrated to the paper's Fig. 4 (chi-square peak at 128 rows).
+    pub fn paper() -> Self {
+        Self {
+            half_width: 128.0,
+            growth_step: 24.0,
+        }
+    }
+
+    /// Draws a signed envelope offset, uniform in `[-half_width, half_width]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `half_width` is not positive.
+    pub fn sample_offset<R: Rng>(&self, rng: &mut R) -> i64 {
+        debug_assert!(self.half_width > 0.0, "kernel half-width must be positive");
+        let w = self.half_width.round() as i64;
+        rng.gen_range(-w..=w)
+    }
+
+    /// Draws a signed growth step, uniform in `[-growth_step, growth_step]`.
+    pub fn sample_step<R: Rng>(&self, rng: &mut R) -> i64 {
+        debug_assert!(self.growth_step > 0.0, "growth step must be positive");
+        let g = self.growth_step.round() as i64;
+        rng.gen_range(-g..=g)
+    }
+}
+
+impl Default for LocalityKernel {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_fractions_sum_to_one() {
+        let total: f64 = PatternKind::ALL.iter().map(|k| k.paper_fraction()).sum();
+        assert!((total - 1.0).abs() < 1e-9, "got {total}");
+    }
+
+    #[test]
+    fn coarse_mapping_matches_paper() {
+        assert_eq!(
+            PatternKind::SingleRowCluster.coarse(),
+            CoarsePattern::SingleRow
+        );
+        assert_eq!(
+            PatternKind::HalfTotalRowCluster.coarse(),
+            CoarsePattern::DoubleRow
+        );
+        assert_eq!(PatternKind::WholeColumn.coarse(), CoarsePattern::Scattered);
+        assert!(CoarsePattern::SingleRow.is_aggregation());
+        assert!(CoarsePattern::DoubleRow.is_aggregation());
+        assert!(!CoarsePattern::Scattered.is_aggregation());
+    }
+
+    #[test]
+    fn class_indices_round_trip() {
+        for class in CoarsePattern::ALL {
+            assert_eq!(CoarsePattern::from_class_index(class.class_index()), class);
+        }
+    }
+
+    #[test]
+    fn mix_sampling_approximates_weights() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mix = PatternMix::paper();
+        let mut counts = [0usize; 5];
+        let n = 20_000;
+        for _ in 0..n {
+            let kind = mix.sample(&mut rng);
+            let idx = PatternKind::ALL.iter().position(|&k| k == kind).unwrap();
+            counts[idx] += 1;
+        }
+        for (kind, &count) in PatternKind::ALL.iter().zip(&counts) {
+            let freq = count as f64 / n as f64;
+            assert!(
+                (freq - kind.paper_fraction()).abs() < 0.02,
+                "{kind}: {freq} vs {}",
+                kind.paper_fraction()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_weights_rejected() {
+        PatternMix::new([-1.0, 1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero")]
+    fn all_zero_weights_rejected() {
+        PatternMix::new([0.0; 5]);
+    }
+
+    #[test]
+    fn half_total_layout_uses_half_bank_gap() {
+        let geom = HbmGeometry::hbm2e_8hi();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..20 {
+            let layout = PatternLayout::sample(PatternKind::HalfTotalRowCluster, &geom, &mut rng);
+            let PatternLayout::DoubleRow { centers } = layout else {
+                panic!("expected double-row layout");
+            };
+            assert_eq!(centers[1].0 - centers[0].0, geom.half_rows());
+        }
+    }
+
+    #[test]
+    fn single_row_cells_cluster_tightly() {
+        let geom = HbmGeometry::hbm2e_8hi();
+        let mut rng = StdRng::seed_from_u64(6);
+        let layout = PatternLayout::sample(PatternKind::SingleRowCluster, &geom, &mut rng);
+        let PatternLayout::SingleRow { center } = layout else {
+            panic!("expected single-row layout");
+        };
+        let kernel = LocalityKernel::paper();
+        let mut within_128 = 0;
+        let n = 2000;
+        for _ in 0..n {
+            let (row, _) = layout.sample_cell(&kernel, &geom, &mut rng);
+            if row.distance(center) <= 128 {
+                within_128 += 1;
+            }
+        }
+        assert!(
+            within_128 as f64 / n as f64 > 0.95,
+            "cluster should stay within 128 rows of the centre"
+        );
+    }
+
+    #[test]
+    fn whole_column_fixes_the_column() {
+        let geom = HbmGeometry::hbm2e_8hi();
+        let mut rng = StdRng::seed_from_u64(7);
+        let layout = PatternLayout::sample(PatternKind::WholeColumn, &geom, &mut rng);
+        let PatternLayout::WholeColumn { col } = layout else {
+            panic!("expected whole-column layout");
+        };
+        let kernel = LocalityKernel::paper();
+        let mut rows = std::collections::HashSet::new();
+        for _ in 0..500 {
+            let (row, c) = layout.sample_cell(&kernel, &geom, &mut rng);
+            assert_eq!(c, col);
+            rows.insert(row);
+        }
+        // Rows spread widely (scattered special case).
+        let spread = rows.iter().map(|r| r.0).max().unwrap() - rows.iter().map(|r| r.0).min().unwrap();
+        assert!(spread > geom.rows / 2);
+    }
+
+    #[test]
+    fn scattered_cells_spread_over_bank() {
+        let geom = HbmGeometry::hbm2e_8hi();
+        let mut rng = StdRng::seed_from_u64(8);
+        let layout = PatternLayout::Scattered { hot: RowId(9000) };
+        let kernel = LocalityKernel::paper();
+        let rows: Vec<u32> = (0..500)
+            .map(|_| layout.sample_cell(&kernel, &geom, &mut rng).0 .0)
+            .collect();
+        let spread = rows.iter().max().unwrap() - rows.iter().min().unwrap();
+        assert!(spread > geom.rows / 2);
+    }
+
+    #[test]
+    fn kernel_offsets_stay_within_envelope() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let kernel = LocalityKernel {
+            half_width: 64.0,
+            growth_step: 16.0,
+        };
+        let n = 10_000;
+        let offsets: Vec<i64> = (0..n).map(|_| kernel.sample_offset(&mut rng)).collect();
+        assert!(offsets.iter().all(|o| o.abs() <= 64));
+        let mean_abs: f64 =
+            offsets.iter().map(|o| o.abs() as f64).sum::<f64>() / n as f64;
+        // Uniform in [-64, 64] → mean |offset| ≈ 32.
+        assert!((mean_abs - 32.0).abs() < 3.0, "mean |offset| = {mean_abs}");
+    }
+
+    #[test]
+    fn layouts_always_produce_valid_cells() {
+        let geom = HbmGeometry::tiny();
+        let mut rng = StdRng::seed_from_u64(10);
+        let kernel = LocalityKernel::paper();
+        for kind in PatternKind::ALL {
+            let layout = PatternLayout::sample(kind, &geom, &mut rng);
+            for _ in 0..200 {
+                let (row, col) = layout.sample_cell(&kernel, &geom, &mut rng);
+                assert!(row.0 < geom.rows);
+                assert!(col.0 < geom.cols);
+            }
+        }
+    }
+}

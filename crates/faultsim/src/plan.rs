@@ -1,0 +1,461 @@
+//! Per-bank fault plans: the generative model that turns a failure pattern
+//! into a realistic timeline of raw incidents.
+//!
+//! A [`BankFaultPlan`] couples a spatial layout (where errors land, see
+//! [`patterns`](crate::patterns)) with a temporal profile (when they land):
+//!
+//! * the **first UER** arrives at a random onset inside the observation
+//!   window; later UER events follow with exponential gaps (the paper's
+//!   "high burst rate");
+//! * with probability `bank_precursor_prob` the bank is **non-sudden**:
+//!   CE/UEO precursors appear before the first UER (Table I's bank-level
+//!   predictable ratio, ~29%); each UER row additionally receives an
+//!   *in-row* precursor with probability `row_precursor_prob`, reproducing
+//!   the ~4% row-level predictable ratio that motivates cross-row
+//!   prediction;
+//! * uncorrectable incidents found by the patrol scrubber surface as UEOs at
+//!   the next sweep boundary; demand-detected ones surface as UERs.
+
+use std::time::Duration;
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use cordial_mcelog::Timestamp;
+use cordial_topology::{BankAddress, HbmGeometry, RowId};
+
+use crate::ecc::{DetectionPath, EccCode, RawIncident};
+use crate::fault::FaultKind;
+use crate::patterns::{GrowthDirection, LocalityKernel, PatternKind, PatternLayout};
+use crate::scrub::PatrolScrubber;
+use crate::workload::WorkloadModel;
+
+/// Tuning knobs of the per-bank generative model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlanConfig {
+    /// Short-range kernel for cluster growth.
+    pub kernel: LocalityKernel,
+    /// Length of the observation window.
+    pub window: Duration,
+    /// Mean gap between successive UER events in one bank.
+    pub uer_gap_mean: Duration,
+    /// Probability that a UER bank has precursors before its first UER
+    /// (bank-level non-sudden ratio; Table I reports ≈0.29).
+    pub bank_precursor_prob: f64,
+    /// Probability, within a precursor bank, that a UER row receives its own
+    /// in-row precursor (calibrated so the overall row-level predictable
+    /// ratio lands near the paper's 4.39%).
+    pub row_precursor_prob: f64,
+    /// Probability that a UER event after the first re-erupts on an
+    /// already-failed row instead of striking a fresh one. Weak rows fail
+    /// repeatedly in the field; this is what concentrates follow-up UERs in
+    /// the vicinity of observed failures and makes cross-row prediction
+    /// rewarding.
+    pub revisit_prob: f64,
+    /// The patrol scrubber that converts latent incidents to UEOs.
+    pub scrubber: PatrolScrubber,
+    /// Demand-access workload racing the scrubber for detection.
+    pub workload: WorkloadModel,
+    /// ECC code classifying incidents.
+    pub ecc: EccCode,
+}
+
+impl PlanConfig {
+    /// Configuration calibrated to the paper's fleet statistics.
+    pub fn paper() -> Self {
+        Self {
+            kernel: LocalityKernel::paper(),
+            window: Duration::from_secs(30 * 24 * 3600),
+            uer_gap_mean: Duration::from_secs(2 * 3600),
+            bank_precursor_prob: 0.2923,
+            row_precursor_prob: 0.10,
+            revisit_prob: 0.30,
+            scrubber: PatrolScrubber::daily(),
+            workload: WorkloadModel::llm_training(),
+            ecc: EccCode::sec_ded(),
+        }
+    }
+
+    /// Number of UER events for a bank of the given pattern.
+    ///
+    /// Clustered patterns see a handful of events; scattered and especially
+    /// whole-column banks see many (one failing driver touches every row).
+    pub fn uer_event_count<R: Rng>(&self, kind: PatternKind, rng: &mut R) -> usize {
+        match kind {
+            PatternKind::SingleRowCluster => rng.gen_range(10..=30),
+            PatternKind::DoubleRowCluster | PatternKind::HalfTotalRowCluster => {
+                rng.gen_range(12..=36)
+            }
+            PatternKind::Scattered => rng.gen_range(10..=30),
+            PatternKind::WholeColumn => rng.gen_range(20..=60),
+        }
+    }
+
+    /// Number of CE precursors for a non-sudden bank of the given pattern.
+    pub fn ce_precursor_count<R: Rng>(&self, kind: PatternKind, rng: &mut R) -> usize {
+        match kind {
+            PatternKind::SingleRowCluster => rng.gen_range(1..=4),
+            PatternKind::DoubleRowCluster | PatternKind::HalfTotalRowCluster => {
+                rng.gen_range(1..=6)
+            }
+            PatternKind::Scattered => rng.gen_range(2..=10),
+            PatternKind::WholeColumn => rng.gen_range(3..=12),
+        }
+    }
+
+    /// Number of UEO precursors for a non-sudden bank of the given pattern.
+    pub fn ueo_precursor_count<R: Rng>(&self, kind: PatternKind, rng: &mut R) -> usize {
+        match kind {
+            PatternKind::Scattered | PatternKind::WholeColumn => rng.gen_range(1..=6),
+            _ => rng.gen_range(0..=2),
+        }
+    }
+}
+
+impl Default for PlanConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// A fully specified fault affecting one bank.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BankFaultPlan {
+    /// The afflicted bank.
+    pub bank: BankAddress,
+    /// Fine-grained failure pattern (ground truth for classification).
+    pub kind: PatternKind,
+    /// Physical root cause.
+    pub fault: FaultKind,
+    /// Spatial layout of the fault.
+    pub layout: PatternLayout,
+    /// Whether precursors precede the first UER (non-sudden bank).
+    pub has_precursors: bool,
+    /// Onset time of the first UER.
+    pub first_uer: Timestamp,
+    /// Direction the bank's failure front sweeps in.
+    pub direction: GrowthDirection,
+    /// Per-bank spatial spread multiplier applied to the locality kernel.
+    /// Field faults differ in aggressiveness: some SWD failures stay within
+    /// a few dozen rows, others sweep a whole driver region. The observed
+    /// error geometry reveals the factor, which is exactly the signal a
+    /// learned cross-row predictor can exploit and a fixed-radius baseline
+    /// cannot.
+    pub spread: f64,
+}
+
+impl BankFaultPlan {
+    /// Samples a plan for `bank` with the given pattern.
+    pub fn sample<R: Rng>(
+        bank: BankAddress,
+        kind: PatternKind,
+        config: &PlanConfig,
+        geom: &HbmGeometry,
+        rng: &mut R,
+    ) -> Self {
+        let window_ms = config.window.as_millis() as u64;
+        // Leave room before the onset for precursors and after it for the
+        // failure to develop.
+        let first_uer =
+            Timestamp::from_millis(rng.gen_range(window_ms / 5..window_ms * 9 / 10));
+        Self {
+            bank,
+            kind,
+            fault: FaultKind::sample_for_pattern(kind, rng),
+            layout: PatternLayout::sample(kind, geom, rng),
+            has_precursors: rng.gen_bool(config.bank_precursor_prob),
+            first_uer,
+            direction: GrowthDirection::sample(rng),
+            spread: rng.gen_range(0.4..=2.0),
+        }
+    }
+
+    /// The bank's effective locality kernel: the fleet-wide kernel scaled by
+    /// this bank's spread factor.
+    pub fn effective_kernel(&self, config: &PlanConfig) -> LocalityKernel {
+        LocalityKernel {
+            half_width: (config.kernel.half_width * self.spread).max(8.0),
+            growth_step: (config.kernel.growth_step * self.spread).max(4.0),
+        }
+    }
+
+    /// Generates the bank's raw incident timeline.
+    ///
+    /// The returned incidents are unordered; classification through
+    /// [`EccCode`] and time-sorting happen downstream.
+    pub fn generate_incidents<R: Rng>(
+        &self,
+        config: &PlanConfig,
+        geom: &HbmGeometry,
+        rng: &mut R,
+    ) -> Vec<RawIncident> {
+        let mut incidents = Vec::new();
+        let window_ms = config.window.as_millis() as u64;
+        let onset_ms = self.first_uer.as_millis();
+        let gap_mean_ms = config.uer_gap_mean.as_millis() as f64;
+        let kernel = self.effective_kernel(config);
+
+        // --- UER events -------------------------------------------------
+        let n_uer = config.uer_event_count(self.kind, rng);
+        let mut t = onset_ms;
+        let mut uer_rows: Vec<RowId> = Vec::new();
+        for i in 0..n_uer {
+            if i > 0 {
+                let gap = exponential(gap_mean_ms, rng);
+                t = (t + gap).min(window_ms);
+            }
+            // A weak row that failed once keeps failing: after the first
+            // event, re-erupt on an already-failed row with
+            // `revisit_prob`; otherwise the failure front grows from the
+            // previous row (bounded walk within the cluster envelope).
+            let (row, col) = if i > 0 && rng.gen_bool(config.revisit_prob) {
+                let row = uer_rows[rng.gen_range(0..uer_rows.len())];
+                let col = cordial_topology::ColId(rng.gen_range(0..geom.cols));
+                (row, col)
+            } else {
+                self.layout.sample_next_cell(
+                    uer_rows.last().copied(),
+                    &kernel,
+                    self.direction,
+                    geom,
+                    rng,
+                )
+            };
+            uer_rows.push(row);
+            // The first failure is what got the bank noticed (a demand hit);
+            // later corruptions race the workload against the scrubber, so a
+            // cold row occasionally surfaces as a UEO instead of a UER.
+            let (path, surfaced) = if i == 0 {
+                (DetectionPath::DemandAccess, Timestamp::from_millis(t))
+            } else {
+                config
+                    .workload
+                    .detect(Timestamp::from_millis(t), &config.scrubber, rng)
+            };
+            let surfaced = Timestamp::from_millis(surfaced.as_millis().min(window_ms));
+            incidents.push(RawIncident::new(
+                self.bank.cell(row, col),
+                surfaced,
+                2 + rng.gen_range(0..3),
+                path,
+            ));
+        }
+
+        // --- Precursors (non-sudden banks only) ---------------------------
+        if self.has_precursors {
+            let precursor_window = onset_ms.max(1);
+            let n_ce = config.ce_precursor_count(self.kind, rng);
+            for _ in 0..n_ce {
+                let (row, col) = self.layout.sample_cell(&kernel, geom, rng);
+                let pt = rng.gen_range(0..precursor_window);
+                incidents.push(RawIncident::new(
+                    self.bank.cell(row, col),
+                    Timestamp::from_millis(pt),
+                    1,
+                    DetectionPath::DemandAccess,
+                ));
+            }
+            let n_ueo = config.ueo_precursor_count(self.kind, rng);
+            for _ in 0..n_ueo {
+                let (row, col) = self.layout.sample_cell(&kernel, geom, rng);
+                let onset = rng.gen_range(0..precursor_window);
+                // Scrub-detected: surfaces at the next sweep, which may land
+                // after the first UER; cap inside the window.
+                let surfaced = config
+                    .scrubber
+                    .next_sweep_after(Timestamp::from_millis(onset));
+                let surfaced = Timestamp::from_millis(surfaced.as_millis().min(window_ms));
+                incidents.push(RawIncident::new(
+                    self.bank.cell(row, col),
+                    surfaced,
+                    2,
+                    DetectionPath::PatrolScrub,
+                ));
+            }
+
+            // In-row precursors: give some future UER rows their own earlier
+            // CE (the paper's scarce row-level predictability).
+            for &row in &uer_rows {
+                if rng.gen_bool(config.row_precursor_prob) {
+                    let pt = rng.gen_range(0..precursor_window);
+                    let col = cordial_topology::ColId(rng.gen_range(0..geom.cols));
+                    incidents.push(RawIncident::new(
+                        self.bank.cell(row, col),
+                        Timestamp::from_millis(pt),
+                        1,
+                        DetectionPath::DemandAccess,
+                    ));
+                }
+            }
+        }
+
+        // --- Post-onset error storm --------------------------------------
+        // Once a fault is active, correctable noise around the fault site
+        // keeps arriving (accumulating CEs, §II-B).
+        let n_storm = rng.gen_range(0..=3);
+        for _ in 0..n_storm {
+            let (row, col) = self.layout.sample_cell(&kernel, geom, rng);
+            let st = rng.gen_range(onset_ms..=window_ms.max(onset_ms + 1));
+            incidents.push(RawIncident::new(
+                self.bank.cell(row, col),
+                Timestamp::from_millis(st.min(window_ms)),
+                1,
+                DetectionPath::DemandAccess,
+            ));
+        }
+
+        incidents
+    }
+}
+
+/// Draws from an exponential distribution with the given mean (in ms).
+fn exponential<R: Rng>(mean_ms: f64, rng: &mut R) -> u64 {
+    (-rng.gen::<f64>().max(1e-12).ln() * mean_ms) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cordial_mcelog::{ErrorType, MceLog};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn make_plan(kind: PatternKind, seed: u64) -> (BankFaultPlan, PlanConfig, HbmGeometry) {
+        let geom = HbmGeometry::hbm2e_8hi();
+        let config = PlanConfig::paper();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let plan = BankFaultPlan::sample(BankAddress::default(), kind, &config, &geom, &mut rng);
+        (plan, config, geom)
+    }
+
+    #[test]
+    fn plan_generates_expected_uer_range() {
+        for (seed, kind) in PatternKind::ALL.iter().enumerate() {
+            let (plan, config, geom) = make_plan(*kind, seed as u64);
+            let mut rng = StdRng::seed_from_u64(99 + seed as u64);
+            let incidents = plan.generate_incidents(&config, &geom, &mut rng);
+            let events = config.ecc.classify_all(&incidents);
+            let n_uer = events
+                .iter()
+                .filter(|e| e.error_type == ErrorType::Uer)
+                .count();
+            assert!(n_uer >= 3, "{kind:?} produced only {n_uer} UERs");
+        }
+    }
+
+    #[test]
+    fn first_uer_not_before_plan_onset() {
+        let (plan, config, geom) = make_plan(PatternKind::SingleRowCluster, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let incidents = plan.generate_incidents(&config, &geom, &mut rng);
+        let events = config.ecc.classify_all(&incidents);
+        let log = MceLog::from_events(events);
+        let first_uer = log
+            .of_type(ErrorType::Uer)
+            .map(|e| e.time)
+            .min()
+            .expect("has UERs");
+        assert_eq!(first_uer, plan.first_uer);
+    }
+
+    #[test]
+    fn sudden_banks_have_no_precursors() {
+        // Force a sudden bank by using zero precursor probability.
+        let geom = HbmGeometry::hbm2e_8hi();
+        let config = PlanConfig {
+            bank_precursor_prob: 0.0,
+            ..PlanConfig::paper()
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let plan = BankFaultPlan::sample(
+            BankAddress::default(),
+            PatternKind::SingleRowCluster,
+            &config,
+            &geom,
+            &mut rng,
+        );
+        assert!(!plan.has_precursors);
+        let incidents = plan.generate_incidents(&config, &geom, &mut rng);
+        let events = config.ecc.classify_all(&incidents);
+        // Nothing milder than a UER before the first UER.
+        for e in &events {
+            if e.error_type != ErrorType::Uer {
+                assert!(e.time >= plan.first_uer, "precursor in a sudden bank");
+            }
+        }
+    }
+
+    #[test]
+    fn precursor_banks_have_events_before_onset() {
+        let geom = HbmGeometry::hbm2e_8hi();
+        let config = PlanConfig {
+            bank_precursor_prob: 1.0,
+            ..PlanConfig::paper()
+        };
+        let mut rng = StdRng::seed_from_u64(4);
+        let plan = BankFaultPlan::sample(
+            BankAddress::default(),
+            PatternKind::Scattered,
+            &config,
+            &geom,
+            &mut rng,
+        );
+        assert!(plan.has_precursors);
+        let incidents = plan.generate_incidents(&config, &geom, &mut rng);
+        let events = config.ecc.classify_all(&incidents);
+        assert!(
+            events
+                .iter()
+                .any(|e| e.error_type == ErrorType::Ce && e.time < plan.first_uer),
+            "non-sudden bank must have CE precursors"
+        );
+    }
+
+    #[test]
+    fn all_incidents_stay_in_window_and_bank() {
+        for kind in PatternKind::ALL {
+            let (plan, config, geom) = make_plan(kind, 7);
+            let mut rng = StdRng::seed_from_u64(8);
+            for incident in plan.generate_incidents(&config, &geom, &mut rng) {
+                assert!(incident.time.as_millis() <= config.window.as_millis() as u64);
+                assert_eq!(incident.cell.bank, plan.bank);
+                assert!(geom.validate_cell(&incident.cell).is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn clustered_uer_rows_are_local() {
+        let (plan, config, geom) = make_plan(PatternKind::SingleRowCluster, 11);
+        let mut rng = StdRng::seed_from_u64(12);
+        let incidents = plan.generate_incidents(&config, &geom, &mut rng);
+        let uer_rows: Vec<u32> = incidents
+            .iter()
+            .filter(|i| i.path == DetectionPath::DemandAccess && i.bits >= 2)
+            .map(|i| i.cell.row.0)
+            .collect();
+        let min = *uer_rows.iter().min().unwrap();
+        let max = *uer_rows.iter().max().unwrap();
+        assert!(
+            max - min <= 512,
+            "single-row cluster spread {} too wide",
+            max - min
+        );
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let (plan, config, geom) = make_plan(PatternKind::DoubleRowCluster, 20);
+        let a = plan.generate_incidents(&config, &geom, &mut StdRng::seed_from_u64(5));
+        let b = plan.generate_incidents(&config, &geom, &mut StdRng::seed_from_u64(5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn exponential_mean_is_roughly_right() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| exponential(1000.0, &mut rng) as f64).sum::<f64>() / n as f64;
+        assert!((mean - 1000.0).abs() < 50.0, "mean {mean}");
+    }
+}

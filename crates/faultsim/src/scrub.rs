@@ -1,0 +1,133 @@
+//! Patrol scrubbing: the periodic background scan that detects latent
+//! errors before a demand access consumes them (paper §II-B).
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use cordial_mcelog::Timestamp;
+
+/// A periodic patrol scrubber with a fixed full-sweep interval.
+///
+/// The model abstracts the row-by-row walk into its externally visible
+/// behaviour: a corruption arising at time `t` is *scrub-detected* at the
+/// first sweep boundary after `t`, unless a demand access reaches it first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PatrolScrubber {
+    interval_ms: u64,
+    /// Offset of the first sweep boundary after the window origin.
+    phase_ms: u64,
+}
+
+impl PatrolScrubber {
+    /// Creates a scrubber with the given sweep interval and zero phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn new(interval: Duration) -> Self {
+        Self::with_phase(interval, Duration::ZERO)
+    }
+
+    /// Creates a scrubber whose first sweep completes at `phase`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn with_phase(interval: Duration, phase: Duration) -> Self {
+        let interval_ms = interval.as_millis() as u64;
+        assert!(interval_ms > 0, "scrub interval must be positive");
+        Self {
+            interval_ms,
+            phase_ms: phase.as_millis() as u64 % interval_ms,
+        }
+    }
+
+    /// Production-typical 24-hour full-sweep scrubber.
+    pub fn daily() -> Self {
+        Self::new(Duration::from_secs(24 * 3600))
+    }
+
+    /// The sweep interval.
+    pub fn interval(&self) -> Duration {
+        Duration::from_millis(self.interval_ms)
+    }
+
+    /// First sweep boundary strictly after `t`.
+    pub fn next_sweep_after(&self, t: Timestamp) -> Timestamp {
+        let ms = t.as_millis();
+        let since_phase = ms.saturating_sub(self.phase_ms);
+        let k = since_phase / self.interval_ms + 1;
+        Timestamp::from_millis(self.phase_ms + k * self.interval_ms)
+    }
+
+    /// Whether a corruption arising at `onset` is scrub-detected before a
+    /// demand access at `access` (ties go to the scrubber).
+    pub fn detects_before(&self, onset: Timestamp, access: Timestamp) -> bool {
+        self.next_sweep_after(onset) <= access
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn next_sweep_is_strictly_after() {
+        let scrub = PatrolScrubber::new(Duration::from_secs(100));
+        assert_eq!(
+            scrub.next_sweep_after(Timestamp::from_secs(0)),
+            Timestamp::from_secs(100)
+        );
+        assert_eq!(
+            scrub.next_sweep_after(Timestamp::from_secs(100)),
+            Timestamp::from_secs(200)
+        );
+        assert_eq!(
+            scrub.next_sweep_after(Timestamp::from_secs(150)),
+            Timestamp::from_secs(200)
+        );
+    }
+
+    #[test]
+    fn phase_shifts_sweep_boundaries() {
+        let scrub = PatrolScrubber::with_phase(Duration::from_secs(100), Duration::from_secs(30));
+        assert_eq!(
+            scrub.next_sweep_after(Timestamp::from_secs(0)),
+            Timestamp::from_secs(130)
+        );
+        assert_eq!(
+            scrub.next_sweep_after(Timestamp::from_secs(131)),
+            Timestamp::from_secs(230)
+        );
+    }
+
+    #[test]
+    fn phase_wraps_modulo_interval() {
+        let a = PatrolScrubber::with_phase(Duration::from_secs(100), Duration::from_secs(250));
+        let b = PatrolScrubber::with_phase(Duration::from_secs(100), Duration::from_secs(50));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn detects_before_demand_access() {
+        let scrub = PatrolScrubber::new(Duration::from_secs(100));
+        // Onset at 10s: next sweep at 100s. Demand at 150s → scrub wins.
+        assert!(scrub.detects_before(Timestamp::from_secs(10), Timestamp::from_secs(150)));
+        // Demand at 50s → demand wins.
+        assert!(!scrub.detects_before(Timestamp::from_secs(10), Timestamp::from_secs(50)));
+        // Tie at 100s → scrub wins.
+        assert!(scrub.detects_before(Timestamp::from_secs(10), Timestamp::from_secs(100)));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_interval_rejected() {
+        PatrolScrubber::new(Duration::ZERO);
+    }
+
+    #[test]
+    fn daily_scrubber_has_24h_interval() {
+        assert_eq!(PatrolScrubber::daily().interval(), Duration::from_secs(86_400));
+    }
+}

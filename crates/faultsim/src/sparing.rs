@@ -1,0 +1,269 @@
+//! Row- and bank-sparing mechanics: the hardware isolation substrate that
+//! Cordial's mitigation plans drive.
+//!
+//! HBMs ship with a limited number of spare rows per bank (row sparing) and,
+//! at much higher cost, spare banks (bank sparing) — §I/§II-C. The
+//! [`IsolationEngine`] tracks the remaining budget per bank and applies
+//! isolation requests, refusing them once spares are exhausted; isolation
+//! coverage accounting for the paper's ICR metric builds on the resulting
+//! state.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::{Deserialize, Serialize};
+
+use cordial_topology::{BankAddress, RowId};
+
+/// Spare capacity available to the isolation engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SparingBudget {
+    /// Spare rows available per bank.
+    pub spare_rows_per_bank: u32,
+    /// Total spare banks available per HBM stack.
+    pub spare_banks_per_hbm: u32,
+}
+
+impl SparingBudget {
+    /// A production-typical budget: 64 spare rows per bank, 4 spare banks.
+    pub const fn typical() -> Self {
+        Self {
+            spare_rows_per_bank: 64,
+            spare_banks_per_hbm: 4,
+        }
+    }
+
+    /// An effectively unlimited budget (coverage studies without the
+    /// hardware constraint).
+    pub const fn unlimited() -> Self {
+        Self {
+            spare_rows_per_bank: u32::MAX,
+            spare_banks_per_hbm: u32::MAX,
+        }
+    }
+}
+
+impl Default for SparingBudget {
+    fn default() -> Self {
+        Self::typical()
+    }
+}
+
+/// Result of one isolation request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SparingOutcome {
+    /// The region is now isolated.
+    Applied,
+    /// The region was already isolated (idempotent no-op).
+    AlreadyIsolated,
+    /// No spare capacity left for this request.
+    BudgetExhausted,
+}
+
+impl SparingOutcome {
+    /// Whether the region is isolated after the request (either newly or
+    /// already).
+    pub fn is_isolated(self) -> bool {
+        !matches!(self, SparingOutcome::BudgetExhausted)
+    }
+}
+
+/// Tracks spare-row / spare-bank usage and applied isolations.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IsolationEngine {
+    budget: SparingBudget,
+    isolated_rows: BTreeMap<BankAddress, BTreeSet<RowId>>,
+    isolated_banks: BTreeSet<BankAddress>,
+    spare_banks_used: BTreeMap<(u32, u8, u8), u32>,
+}
+
+impl IsolationEngine {
+    /// Creates an engine with the given budget.
+    pub fn new(budget: SparingBudget) -> Self {
+        Self {
+            budget,
+            ..Self::default()
+        }
+    }
+
+    /// Isolates one row of a bank via row sparing.
+    pub fn isolate_row(&mut self, bank: BankAddress, row: RowId) -> SparingOutcome {
+        if self.isolated_banks.contains(&bank) {
+            return SparingOutcome::AlreadyIsolated;
+        }
+        let rows = self.isolated_rows.entry(bank).or_default();
+        if rows.contains(&row) {
+            return SparingOutcome::AlreadyIsolated;
+        }
+        if rows.len() as u32 >= self.budget.spare_rows_per_bank {
+            return SparingOutcome::BudgetExhausted;
+        }
+        rows.insert(row);
+        SparingOutcome::Applied
+    }
+
+    /// Isolates several rows, returning the per-row outcomes.
+    pub fn isolate_rows(
+        &mut self,
+        bank: BankAddress,
+        rows: impl IntoIterator<Item = RowId>,
+    ) -> Vec<SparingOutcome> {
+        rows.into_iter()
+            .map(|row| self.isolate_row(bank, row))
+            .collect()
+    }
+
+    /// Isolates a whole bank via bank sparing.
+    pub fn isolate_bank(&mut self, bank: BankAddress) -> SparingOutcome {
+        if self.isolated_banks.contains(&bank) {
+            return SparingOutcome::AlreadyIsolated;
+        }
+        let hbm_key = (bank.node.0, bank.npu.0, bank.hbm.0);
+        let used = self.spare_banks_used.entry(hbm_key).or_insert(0);
+        if *used >= self.budget.spare_banks_per_hbm {
+            return SparingOutcome::BudgetExhausted;
+        }
+        *used += 1;
+        self.isolated_banks.insert(bank);
+        SparingOutcome::Applied
+    }
+
+    /// Whether accesses to `(bank, row)` are protected by an isolation.
+    pub fn is_isolated(&self, bank: &BankAddress, row: RowId) -> bool {
+        self.isolated_banks.contains(bank)
+            || self
+                .isolated_rows
+                .get(bank)
+                .is_some_and(|rows| rows.contains(&row))
+    }
+
+    /// Whether the whole bank is spared.
+    pub fn is_bank_isolated(&self, bank: &BankAddress) -> bool {
+        self.isolated_banks.contains(bank)
+    }
+
+    /// Number of spare rows consumed in `bank`.
+    pub fn rows_used(&self, bank: &BankAddress) -> u32 {
+        self.isolated_rows
+            .get(bank)
+            .map_or(0, |rows| rows.len() as u32)
+    }
+
+    /// Total rows isolated across all banks (bank sparing not included).
+    pub fn total_rows_isolated(&self) -> usize {
+        self.isolated_rows.values().map(BTreeSet::len).sum()
+    }
+
+    /// Total banks spared.
+    pub fn total_banks_isolated(&self) -> usize {
+        self.isolated_banks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cordial_topology::NodeId;
+
+    fn bank(n: u32) -> BankAddress {
+        BankAddress {
+            node: NodeId(n),
+            ..BankAddress::default()
+        }
+    }
+
+    #[test]
+    fn row_isolation_is_idempotent() {
+        let mut engine = IsolationEngine::new(SparingBudget::typical());
+        assert_eq!(engine.isolate_row(bank(0), RowId(5)), SparingOutcome::Applied);
+        assert_eq!(
+            engine.isolate_row(bank(0), RowId(5)),
+            SparingOutcome::AlreadyIsolated
+        );
+        assert!(engine.is_isolated(&bank(0), RowId(5)));
+        assert!(!engine.is_isolated(&bank(0), RowId(6)));
+        assert_eq!(engine.total_rows_isolated(), 1);
+    }
+
+    #[test]
+    fn row_budget_is_enforced_per_bank() {
+        let mut engine = IsolationEngine::new(SparingBudget {
+            spare_rows_per_bank: 2,
+            spare_banks_per_hbm: 1,
+        });
+        assert_eq!(engine.isolate_row(bank(0), RowId(1)), SparingOutcome::Applied);
+        assert_eq!(engine.isolate_row(bank(0), RowId(2)), SparingOutcome::Applied);
+        assert_eq!(
+            engine.isolate_row(bank(0), RowId(3)),
+            SparingOutcome::BudgetExhausted
+        );
+        // Other banks have their own budget.
+        assert_eq!(engine.isolate_row(bank(1), RowId(3)), SparingOutcome::Applied);
+        assert_eq!(engine.rows_used(&bank(0)), 2);
+    }
+
+    #[test]
+    fn bank_isolation_covers_every_row() {
+        let mut engine = IsolationEngine::new(SparingBudget::typical());
+        assert_eq!(engine.isolate_bank(bank(0)), SparingOutcome::Applied);
+        assert!(engine.is_bank_isolated(&bank(0)));
+        assert!(engine.is_isolated(&bank(0), RowId(12_345)));
+        // Row isolation on a spared bank is a no-op.
+        assert_eq!(
+            engine.isolate_row(bank(0), RowId(1)),
+            SparingOutcome::AlreadyIsolated
+        );
+    }
+
+    #[test]
+    fn bank_budget_is_per_hbm() {
+        let mut engine = IsolationEngine::new(SparingBudget {
+            spare_rows_per_bank: 8,
+            spare_banks_per_hbm: 1,
+        });
+        let mut b1 = bank(0);
+        b1.bank = cordial_topology::BankIndex(0);
+        let mut b2 = bank(0);
+        b2.bank = cordial_topology::BankIndex(1);
+        assert_eq!(engine.isolate_bank(b1), SparingOutcome::Applied);
+        assert_eq!(engine.isolate_bank(b2), SparingOutcome::BudgetExhausted);
+        // A different HBM (different node here) is unaffected.
+        assert_eq!(engine.isolate_bank(bank(1)), SparingOutcome::Applied);
+        assert_eq!(engine.total_banks_isolated(), 2);
+    }
+
+    #[test]
+    fn isolate_rows_reports_each_outcome() {
+        let mut engine = IsolationEngine::new(SparingBudget {
+            spare_rows_per_bank: 2,
+            spare_banks_per_hbm: 1,
+        });
+        let outcomes = engine.isolate_rows(bank(0), [RowId(1), RowId(1), RowId(2), RowId(3)]);
+        assert_eq!(
+            outcomes,
+            vec![
+                SparingOutcome::Applied,
+                SparingOutcome::AlreadyIsolated,
+                SparingOutcome::Applied,
+                SparingOutcome::BudgetExhausted,
+            ]
+        );
+    }
+
+    #[test]
+    fn outcome_is_isolated_predicate() {
+        assert!(SparingOutcome::Applied.is_isolated());
+        assert!(SparingOutcome::AlreadyIsolated.is_isolated());
+        assert!(!SparingOutcome::BudgetExhausted.is_isolated());
+    }
+
+    #[test]
+    fn unlimited_budget_never_exhausts() {
+        let mut engine = IsolationEngine::new(SparingBudget::unlimited());
+        for i in 0..10_000 {
+            assert_eq!(
+                engine.isolate_row(bank(0), RowId(i)),
+                SparingOutcome::Applied
+            );
+        }
+    }
+}

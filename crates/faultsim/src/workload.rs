@@ -1,0 +1,173 @@
+//! Memory-access workload model: decides *how* a latent uncorrectable
+//! corruption surfaces.
+//!
+//! Whether a multi-bit corruption becomes a **UER** (demand access hit live
+//! data) or a **UEO** (the patrol scrubber found it first) depends on the
+//! race between the workload's next touch of the affected row and the next
+//! scrub sweep (§II-B). LLM-training workloads stream through memory
+//! constantly, so most rows are re-touched within minutes — which is why
+//! UERs dominate UEOs in the paper's Table II (1074 UER banks vs 537 UEO
+//! banks) — but a fraction of rows (cold parameter shards, inactive KV
+//! cache) sees accesses rarely enough for the daily scrubber to win.
+
+use std::time::Duration;
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use cordial_mcelog::Timestamp;
+
+use crate::ecc::DetectionPath;
+use crate::scrub::PatrolScrubber;
+
+/// Statistical model of demand accesses to HBM rows.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadModel {
+    /// Mean interval between demand touches of a hot row.
+    pub mean_access_interval: Duration,
+    /// Fraction of rows that are cold (rarely touched).
+    pub cold_row_fraction: f64,
+    /// How much longer a cold row waits between touches.
+    pub cold_multiplier: f64,
+}
+
+impl WorkloadModel {
+    /// An LLM-training workload: tensors stream through HBM continuously,
+    /// re-touching hot rows about every half hour of wall-clock time; ~8%
+    /// of rows are cold.
+    pub fn llm_training() -> Self {
+        Self {
+            mean_access_interval: Duration::from_secs(30 * 60),
+            cold_row_fraction: 0.08,
+            cold_multiplier: 200.0,
+        }
+    }
+
+    /// A mostly idle host: everything is cold relative to the scrubber.
+    pub fn idle() -> Self {
+        Self {
+            mean_access_interval: Duration::from_secs(14 * 24 * 3600),
+            cold_row_fraction: 1.0,
+            cold_multiplier: 1.0,
+        }
+    }
+
+    /// Draws whether a given row is cold under this workload.
+    pub fn is_cold_row<R: Rng>(&self, rng: &mut R) -> bool {
+        self.cold_row_fraction > 0.0 && rng.gen_bool(self.cold_row_fraction.clamp(0.0, 1.0))
+    }
+
+    /// Draws the delay until the next demand access of a row.
+    pub fn access_delay<R: Rng>(&self, cold: bool, rng: &mut R) -> Duration {
+        let mean_ms = self.mean_access_interval.as_millis() as f64
+            * if cold { self.cold_multiplier } else { 1.0 };
+        let delay = -rng.gen::<f64>().max(1e-12).ln() * mean_ms;
+        Duration::from_millis(delay as u64)
+    }
+
+    /// Races the workload against the scrubber for a corruption arising at
+    /// `onset`: returns how and when it surfaces.
+    pub fn detect<R: Rng>(
+        &self,
+        onset: Timestamp,
+        scrubber: &PatrolScrubber,
+        rng: &mut R,
+    ) -> (DetectionPath, Timestamp) {
+        let cold = self.is_cold_row(rng);
+        let demand_at = onset + self.access_delay(cold, rng);
+        let sweep_at = scrubber.next_sweep_after(onset);
+        if demand_at < sweep_at {
+            (DetectionPath::DemandAccess, demand_at)
+        } else {
+            (DetectionPath::PatrolScrub, sweep_at)
+        }
+    }
+}
+
+impl Default for WorkloadModel {
+    fn default() -> Self {
+        Self::llm_training()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn llm_training_is_demand_dominated() {
+        let workload = WorkloadModel::llm_training();
+        let scrubber = PatrolScrubber::daily();
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 5000;
+        let demand = (0..n)
+            .filter(|_| {
+                workload
+                    .detect(Timestamp::from_secs(100), &scrubber, &mut rng)
+                    .0
+                    == DetectionPath::DemandAccess
+            })
+            .count();
+        let frac = demand as f64 / n as f64;
+        assert!(frac > 0.85, "demand fraction {frac} should dominate");
+        assert!(frac < 1.0, "cold rows must sometimes lose to the scrubber");
+    }
+
+    #[test]
+    fn idle_host_is_scrub_dominated() {
+        let workload = WorkloadModel::idle();
+        let scrubber = PatrolScrubber::daily();
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 2000;
+        let scrubbed = (0..n)
+            .filter(|_| {
+                workload
+                    .detect(Timestamp::from_secs(100), &scrubber, &mut rng)
+                    .0
+                    == DetectionPath::PatrolScrub
+            })
+            .count();
+        assert!(
+            scrubbed as f64 / n as f64 > 0.9,
+            "an idle host's corruptions are found by the scrubber"
+        );
+    }
+
+    #[test]
+    fn detection_time_is_consistent_with_path() {
+        let workload = WorkloadModel::llm_training();
+        let scrubber = PatrolScrubber::daily();
+        let mut rng = StdRng::seed_from_u64(3);
+        let onset = Timestamp::from_secs(3600);
+        for _ in 0..500 {
+            let (path, at) = workload.detect(onset, &scrubber, &mut rng);
+            assert!(at >= onset);
+            match path {
+                DetectionPath::PatrolScrub => {
+                    assert_eq!(at, scrubber.next_sweep_after(onset));
+                }
+                DetectionPath::DemandAccess => {
+                    assert!(at < scrubber.next_sweep_after(onset));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cold_rows_wait_longer_on_average() {
+        let workload = WorkloadModel::llm_training();
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 3000;
+        let hot: f64 = (0..n)
+            .map(|_| workload.access_delay(false, &mut rng).as_secs_f64())
+            .sum::<f64>()
+            / n as f64;
+        let cold: f64 = (0..n)
+            .map(|_| workload.access_delay(true, &mut rng).as_secs_f64())
+            .sum::<f64>()
+            / n as f64;
+        assert!(cold > 20.0 * hot, "cold mean {cold} vs hot mean {hot}");
+    }
+}

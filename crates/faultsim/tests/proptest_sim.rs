@@ -1,0 +1,137 @@
+//! Property-based tests on the simulator: invariants over random
+//! configurations and seeds.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use cordial_faultsim::{
+    generate_fleet_dataset, BankFaultPlan, EccCode, FleetDatasetConfig, LocalityKernel,
+    PatternKind, PatternMix, PlanConfig,
+};
+use cordial_mcelog::ErrorType;
+use cordial_topology::{BankAddress, FleetConfig, HbmGeometry};
+
+fn arb_plan_config() -> impl Strategy<Value = PlanConfig> {
+    (
+        16.0..256.0f64,             // half_width
+        4.0..48.0f64,               // growth_step
+        0.0..=1.0f64,               // bank_precursor_prob
+        0.0..=0.5f64,               // row_precursor_prob
+        0.0..=0.9f64,               // revisit_prob
+        1u64..72,                   // scrub interval hours
+    )
+        .prop_map(|(hw, gs, bank_p, row_p, revisit, scrub_h)| PlanConfig {
+            kernel: LocalityKernel {
+                half_width: hw,
+                growth_step: gs.min(hw / 2.0).max(4.0),
+            },
+            bank_precursor_prob: bank_p,
+            row_precursor_prob: row_p,
+            revisit_prob: revisit,
+            scrubber: cordial_faultsim::PatrolScrubber::new(Duration::from_secs(
+                scrub_h * 3600,
+            )),
+            ..PlanConfig::paper()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn every_plan_produces_valid_in_window_incidents(
+        config in arb_plan_config(),
+        kind_idx in 0usize..5,
+        seed in 0u64..1000,
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let geom = HbmGeometry::hbm2e_8hi();
+        let kind = PatternKind::ALL[kind_idx];
+        let plan = BankFaultPlan::sample(BankAddress::default(), kind, &config, &geom, &mut rng);
+        let incidents = plan.generate_incidents(&config, &geom, &mut rng);
+        let window_ms = config.window.as_millis() as u64;
+
+        prop_assert!(!incidents.is_empty());
+        for incident in &incidents {
+            prop_assert!(geom.validate_cell(&incident.cell).is_ok());
+            prop_assert_eq!(incident.cell.bank, plan.bank);
+            prop_assert!(incident.time.as_millis() <= window_ms);
+            prop_assert!(incident.bits >= 1);
+        }
+
+        // The classified stream always contains at least one UER (the event
+        // that brought the bank into the dataset).
+        let events = EccCode::sec_ded().classify_all(&incidents);
+        prop_assert!(events.iter().any(|e| e.error_type == ErrorType::Uer));
+    }
+
+    #[test]
+    fn sudden_banks_never_have_precursors(
+        kind_idx in 0usize..5,
+        seed in 0u64..500,
+    ) {
+        use rand::SeedableRng;
+        let config = PlanConfig {
+            bank_precursor_prob: 0.0,
+            ..PlanConfig::paper()
+        };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let geom = HbmGeometry::hbm2e_8hi();
+        let kind = PatternKind::ALL[kind_idx];
+        let plan = BankFaultPlan::sample(BankAddress::default(), kind, &config, &geom, &mut rng);
+        let incidents = plan.generate_incidents(&config, &geom, &mut rng);
+        let events = config.ecc.classify_all(&incidents);
+        let first_uer = events
+            .iter()
+            .filter(|e| e.error_type == ErrorType::Uer)
+            .map(|e| e.time)
+            .min()
+            .expect("has a UER");
+        for e in &events {
+            if e.error_type == ErrorType::Ce {
+                prop_assert!(e.time >= first_uer, "sudden bank must not have CE precursors");
+            }
+        }
+    }
+
+    #[test]
+    fn fleet_generation_is_deterministic_and_in_bounds(
+        seed in 0u64..50,
+        n_uer in 5u32..30,
+    ) {
+        let config = FleetDatasetConfig {
+            fleet: FleetConfig::with_nodes(4),
+            n_uer_banks: n_uer,
+            n_ce_only_banks: 2 * n_uer,
+            n_ueo_only_banks: 3,
+            pattern_mix: PatternMix::paper(),
+            plan: PlanConfig::paper(),
+            unhealthy_npu_fraction: 1.0,
+        };
+        let a = generate_fleet_dataset(&config, seed);
+        let b = generate_fleet_dataset(&config, seed);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.truth.len(), n_uer as usize);
+        for event in a.log.events() {
+            prop_assert!(config.fleet.contains(&event.addr.bank));
+        }
+        // Truth rows always match the log.
+        let by_bank = a.log.by_bank();
+        for (bank, truth) in &a.truth {
+            prop_assert_eq!(&by_bank[bank].all_uer_rows_sorted(), &truth.uer_rows);
+        }
+    }
+
+    #[test]
+    fn pattern_mix_only_emits_weighted_kinds(seed in 0u64..200) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        // Only single-row gets weight: sampling must never yield others.
+        let mix = PatternMix::new([1.0, 0.0, 0.0, 0.0, 0.0]);
+        for _ in 0..50 {
+            prop_assert_eq!(mix.sample(&mut rng), PatternKind::SingleRowCluster);
+        }
+    }
+}

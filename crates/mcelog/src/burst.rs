@@ -1,0 +1,177 @@
+//! Error-burst analysis.
+//!
+//! The paper's abstract leads with the observation that "HBM errors have a
+//! high burst rate": events arrive in tight volleys rather than as a steady
+//! trickle, which is what starves in-row predictors of usable lead time.
+//! This module chains a bank's events into bursts (successive events closer
+//! than a gap threshold) and measures burstiness at the fleet level.
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use crate::event::{ErrorType, Timestamp};
+use crate::log::{BankErrorHistory, MceLog};
+
+/// Burst-chaining configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BurstConfig {
+    /// Two successive events belong to one burst when their gap is at most
+    /// this long.
+    pub max_gap: Duration,
+}
+
+impl Default for BurstConfig {
+    /// One hour: well under the scrub interval, well over controller retry
+    /// timescales.
+    fn default() -> Self {
+        Self {
+            max_gap: Duration::from_secs(3600),
+        }
+    }
+}
+
+/// One detected burst within a bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Burst {
+    /// Time of the first event in the burst.
+    pub start: Timestamp,
+    /// Time of the last event in the burst.
+    pub end: Timestamp,
+    /// Number of events chained.
+    pub events: usize,
+    /// Number of UER events among them.
+    pub uers: usize,
+}
+
+impl Burst {
+    /// Burst duration.
+    pub fn duration(&self) -> Duration {
+        self.end.saturating_since(self.start)
+    }
+}
+
+/// Chains one bank's events into bursts.
+pub fn detect_bursts(history: &BankErrorHistory, config: &BurstConfig) -> Vec<Burst> {
+    let mut bursts: Vec<Burst> = Vec::new();
+    for event in history.events() {
+        let extend = bursts
+            .last()
+            .is_some_and(|b| event.time.saturating_since(b.end) <= config.max_gap);
+        if extend {
+            let burst = bursts.last_mut().expect("just checked");
+            burst.end = event.time;
+            burst.events += 1;
+            burst.uers += usize::from(event.error_type == ErrorType::Uer);
+        } else {
+            bursts.push(Burst {
+                start: event.time,
+                end: event.time,
+                events: 1,
+                uers: usize::from(event.error_type == ErrorType::Uer),
+            });
+        }
+    }
+    bursts
+}
+
+/// Fleet-level burstiness: the fraction of UER events that arrive within
+/// `max_gap` of the previous event in the same bank (i.e. inside an ongoing
+/// burst, with no quiet period in which to react).
+pub fn uer_burst_ratio(log: &MceLog, config: &BurstConfig) -> f64 {
+    let mut in_burst = 0usize;
+    let mut total = 0usize;
+    for history in log.by_bank().values() {
+        let mut prev: Option<Timestamp> = None;
+        for event in history.events() {
+            if event.error_type == ErrorType::Uer {
+                total += 1;
+                if prev.is_some_and(|p| event.time.saturating_since(p) <= config.max_gap) {
+                    in_burst += 1;
+                }
+            }
+            prev = Some(event.time);
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        in_burst as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::ErrorEvent;
+    use cordial_topology::{BankAddress, ColId, RowId};
+
+    fn ev(row: u32, secs: u64, ty: ErrorType) -> ErrorEvent {
+        ErrorEvent::new(
+            BankAddress::default().cell(RowId(row), ColId(0)),
+            Timestamp::from_secs(secs),
+            ty,
+        )
+    }
+
+    fn history(events: Vec<ErrorEvent>) -> BankErrorHistory {
+        BankErrorHistory::new(BankAddress::default(), events)
+    }
+
+    #[test]
+    fn close_events_chain_into_one_burst() {
+        let h = history(vec![
+            ev(1, 0, ErrorType::Uer),
+            ev(2, 100, ErrorType::Uer),
+            ev(3, 200, ErrorType::Ce),
+        ]);
+        let bursts = detect_bursts(&h, &BurstConfig::default());
+        assert_eq!(bursts.len(), 1);
+        assert_eq!(bursts[0].events, 3);
+        assert_eq!(bursts[0].uers, 2);
+        assert_eq!(bursts[0].duration(), Duration::from_secs(200));
+    }
+
+    #[test]
+    fn long_gaps_split_bursts() {
+        let h = history(vec![
+            ev(1, 0, ErrorType::Uer),
+            ev(2, 10, ErrorType::Uer),
+            ev(3, 50_000, ErrorType::Uer), // > 1h later
+        ]);
+        let bursts = detect_bursts(&h, &BurstConfig::default());
+        assert_eq!(bursts.len(), 2);
+        assert_eq!(bursts[0].events, 2);
+        assert_eq!(bursts[1].events, 1);
+    }
+
+    #[test]
+    fn empty_history_has_no_bursts() {
+        let h = history(vec![]);
+        assert!(detect_bursts(&h, &BurstConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn burst_ratio_counts_follow_up_uers() {
+        // Bank: UER at 0, UER at 10 (in burst), UER at 50_000 (new burst).
+        let log = MceLog::from_events(vec![
+            ev(1, 0, ErrorType::Uer),
+            ev(2, 10, ErrorType::Uer),
+            ev(3, 50_000, ErrorType::Uer),
+        ]);
+        let ratio = uer_burst_ratio(&log, &BurstConfig::default());
+        assert!((ratio - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(uer_burst_ratio(&MceLog::new(), &BurstConfig::default()), 0.0);
+    }
+
+    #[test]
+    fn gap_threshold_is_inclusive() {
+        let config = BurstConfig {
+            max_gap: Duration::from_secs(10),
+        };
+        let h = history(vec![ev(1, 0, ErrorType::Ce), ev(2, 10, ErrorType::Ce)]);
+        assert_eq!(detect_bursts(&h, &config).len(), 1);
+        let h = history(vec![ev(1, 0, ErrorType::Ce), ev(2, 11, ErrorType::Ce)]);
+        assert_eq!(detect_bursts(&h, &config).len(), 2);
+    }
+}

@@ -1,0 +1,200 @@
+//! The universal error-event currency: type, timestamp, and event record.
+
+use std::fmt;
+use std::ops::{Add, Sub};
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use cordial_topology::CellAddress;
+
+/// Severity class of one HBM error, as classified by the ECC (paper §II-B).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum ErrorType {
+    /// Correctable error: within ECC correction capability.
+    Ce,
+    /// Uncorrectable error, action optional: exceeds correction capability
+    /// but does not immediately require intervention.
+    Ueo,
+    /// Uncorrectable error, action required: the failure class Cordial
+    /// predicts and isolates against.
+    Uer,
+}
+
+impl ErrorType {
+    /// All error types, mildest first.
+    pub const ALL: [ErrorType; 3] = [ErrorType::Ce, ErrorType::Ueo, ErrorType::Uer];
+
+    /// Short uppercase name as used in MCE log lines (`CE`/`UEO`/`UER`).
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorType::Ce => "CE",
+            ErrorType::Ueo => "UEO",
+            ErrorType::Uer => "UER",
+        }
+    }
+
+    /// Whether this error is uncorrectable (UEO or UER).
+    pub fn is_uncorrectable(self) -> bool {
+        !matches!(self, ErrorType::Ce)
+    }
+
+    /// Parses a short name, case-insensitively.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name.to_ascii_uppercase().as_str() {
+            "CE" => Some(ErrorType::Ce),
+            "UEO" => Some(ErrorType::Ueo),
+            "UER" => Some(ErrorType::Uer),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ErrorType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Milliseconds since the start of the observation window.
+///
+/// The simulator and log pipeline use a relative clock: absolute wall-clock
+/// origin is irrelevant to every feature Cordial extracts (only differences
+/// matter), and a relative clock keeps datasets reproducible.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Timestamp(u64);
+
+impl Timestamp {
+    /// The window origin.
+    pub const ZERO: Timestamp = Timestamp(0);
+
+    /// Creates a timestamp from milliseconds since the window origin.
+    pub const fn from_millis(ms: u64) -> Self {
+        Timestamp(ms)
+    }
+
+    /// Creates a timestamp from whole seconds since the window origin.
+    pub const fn from_secs(s: u64) -> Self {
+        Timestamp(s * 1000)
+    }
+
+    /// Milliseconds since the window origin.
+    pub const fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Absolute distance between two timestamps.
+    pub fn abs_diff(self, other: Timestamp) -> Duration {
+        Duration::from_millis(self.0.abs_diff(other.0))
+    }
+
+    /// Saturating difference `self - other` (zero when `other` is later).
+    pub fn saturating_since(self, other: Timestamp) -> Duration {
+        Duration::from_millis(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add<Duration> for Timestamp {
+    type Output = Timestamp;
+
+    fn add(self, rhs: Duration) -> Timestamp {
+        Timestamp(self.0 + rhs.as_millis() as u64)
+    }
+}
+
+impl Sub<Timestamp> for Timestamp {
+    type Output = Duration;
+
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is later than `self`; use
+    /// [`Timestamp::saturating_since`] when ordering is not guaranteed.
+    fn sub(self, rhs: Timestamp) -> Duration {
+        debug_assert!(self >= rhs, "timestamp subtraction went negative");
+        Duration::from_millis(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ms", self.0)
+    }
+}
+
+/// One error observation: where, when, and how severe.
+///
+/// This is the exact information the paper extracts from production MCE logs
+/// (§IV-B: "the address of errors, the time of error occurrence, and the
+/// error types are recorded").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ErrorEvent {
+    /// Cell address of the error.
+    pub addr: CellAddress,
+    /// Detection time.
+    pub time: Timestamp,
+    /// Severity class.
+    pub error_type: ErrorType,
+}
+
+impl ErrorEvent {
+    /// Creates an event.
+    pub fn new(addr: CellAddress, time: Timestamp, error_type: ErrorType) -> Self {
+        Self {
+            addr,
+            time,
+            error_type,
+        }
+    }
+
+    /// Convenience predicate: is this a UER event?
+    pub fn is_uer(&self) -> bool {
+        self.error_type == ErrorType::Uer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cordial_topology::{BankAddress, ColId, RowId};
+
+    #[test]
+    fn error_type_round_trips_names() {
+        for ty in ErrorType::ALL {
+            assert_eq!(ErrorType::from_name(ty.name()), Some(ty));
+        }
+        assert_eq!(ErrorType::from_name("uer"), Some(ErrorType::Uer));
+        assert_eq!(ErrorType::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn severity_orders_ce_below_uer() {
+        assert!(ErrorType::Ce < ErrorType::Ueo);
+        assert!(ErrorType::Ueo < ErrorType::Uer);
+        assert!(!ErrorType::Ce.is_uncorrectable());
+        assert!(ErrorType::Ueo.is_uncorrectable());
+        assert!(ErrorType::Uer.is_uncorrectable());
+    }
+
+    #[test]
+    fn timestamp_arithmetic() {
+        let a = Timestamp::from_millis(1500);
+        let b = Timestamp::from_secs(1);
+        assert_eq!(a - b, Duration::from_millis(500));
+        assert_eq!(a.abs_diff(b), Duration::from_millis(500));
+        assert_eq!(b.abs_diff(a), Duration::from_millis(500));
+        assert_eq!(b + Duration::from_millis(500), a);
+        assert_eq!(b.saturating_since(a), Duration::ZERO);
+    }
+
+    #[test]
+    fn event_uer_predicate() {
+        let cell = BankAddress::default().cell(RowId(1), ColId(1));
+        assert!(ErrorEvent::new(cell, Timestamp::ZERO, ErrorType::Uer).is_uer());
+        assert!(!ErrorEvent::new(cell, Timestamp::ZERO, ErrorType::Ce).is_uer());
+    }
+}

@@ -1,0 +1,235 @@
+//! Textual MCE log-line format with a full parse/format round-trip.
+//!
+//! Production MCE logs are line-oriented key/value records. The canonical
+//! form used here is:
+//!
+//! ```text
+//! ts=120000 addr=node3/npu5/hbm1/sid0/ch2/pch1/bg3/bank2/row12345/col87 type=UER
+//! ```
+//!
+//! Field order is fixed when formatting but arbitrary when parsing, and
+//! unknown fields are ignored, mirroring how real log scrapers tolerate
+//! vendor extensions.
+
+use std::error::Error;
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::event::{ErrorEvent, ErrorType, Timestamp};
+
+/// One parsed MCE log line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MceRecord {
+    /// The decoded error event.
+    pub event: ErrorEvent,
+}
+
+impl MceRecord {
+    /// Wraps an event as a record.
+    pub fn new(event: ErrorEvent) -> Self {
+        Self { event }
+    }
+
+    /// Formats a whole log (one record per line).
+    pub fn format_log<'a>(events: impl IntoIterator<Item = &'a ErrorEvent>) -> String {
+        let mut out = String::new();
+        for event in events {
+            out.push_str(&MceRecord::new(*event).to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a whole log, skipping blank lines and `#` comments.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first malformed line's error, annotated with its
+    /// 1-based line number.
+    pub fn parse_log(text: &str) -> Result<Vec<ErrorEvent>, RecordParseError> {
+        let mut events = Vec::new();
+        for (idx, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let record: MceRecord = line
+                .parse()
+                .map_err(|e: RecordParseError| e.at_line(idx + 1))?;
+            events.push(record.event);
+        }
+        Ok(events)
+    }
+}
+
+impl fmt::Display for MceRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ts={} addr={} type={}",
+            self.event.time.as_millis(),
+            self.event.addr,
+            self.event.error_type
+        )
+    }
+}
+
+impl FromStr for MceRecord {
+    type Err = RecordParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut ts = None;
+        let mut addr = None;
+        let mut ty = None;
+        for token in s.split_whitespace() {
+            let Some((key, value)) = token.split_once('=') else {
+                return Err(RecordParseError::new(format!(
+                    "token `{token}` is not a key=value pair"
+                )));
+            };
+            match key {
+                "ts" => {
+                    let ms: u64 = value.parse().map_err(|_| {
+                        RecordParseError::new(format!("invalid timestamp `{value}`"))
+                    })?;
+                    ts = Some(Timestamp::from_millis(ms));
+                }
+                "addr" => {
+                    let cell = value.parse().map_err(|e| {
+                        RecordParseError::new(format!("invalid address `{value}`: {e}"))
+                    })?;
+                    addr = Some(cell);
+                }
+                "type" => {
+                    ty = Some(ErrorType::from_name(value).ok_or_else(|| {
+                        RecordParseError::new(format!("unknown error type `{value}`"))
+                    })?);
+                }
+                // Tolerate vendor extensions.
+                _ => {}
+            }
+        }
+        let time = ts.ok_or_else(|| RecordParseError::new("missing `ts` field"))?;
+        let addr = addr.ok_or_else(|| RecordParseError::new("missing `addr` field"))?;
+        let error_type = ty.ok_or_else(|| RecordParseError::new("missing `type` field"))?;
+        Ok(MceRecord::new(ErrorEvent::new(addr, time, error_type)))
+    }
+}
+
+/// Error produced when an MCE log line cannot be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecordParseError {
+    message: String,
+    line: Option<usize>,
+}
+
+impl RecordParseError {
+    fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+            line: None,
+        }
+    }
+
+    fn at_line(mut self, line: usize) -> Self {
+        self.line = Some(line);
+        self
+    }
+
+    /// 1-based line number within the parsed log, when known.
+    pub fn line(&self) -> Option<usize> {
+        self.line
+    }
+}
+
+impl fmt::Display for RecordParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.line {
+            Some(line) => write!(f, "line {line}: {}", self.message),
+            None => f.write_str(&self.message),
+        }
+    }
+}
+
+impl Error for RecordParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cordial_topology::{BankAddress, ColId, RowId};
+
+    fn event() -> ErrorEvent {
+        let bank: BankAddress = "node3/npu5/hbm1/sid0/ch2/pch1/bg3/bank2".parse().unwrap();
+        ErrorEvent::new(
+            bank.cell(RowId(12_345), ColId(87)),
+            Timestamp::from_millis(120_000),
+            ErrorType::Uer,
+        )
+    }
+
+    #[test]
+    fn record_round_trips() {
+        let record = MceRecord::new(event());
+        let line = record.to_string();
+        assert_eq!(
+            line,
+            "ts=120000 addr=node3/npu5/hbm1/sid0/ch2/pch1/bg3/bank2/row12345/col87 type=UER"
+        );
+        assert_eq!(line.parse::<MceRecord>().unwrap(), record);
+    }
+
+    #[test]
+    fn parse_accepts_any_field_order_and_extensions() {
+        let line = "type=CE vendor=acme ts=5 addr=node0/npu0/hbm0/sid0/ch0/pch0/bg0/bank0/row1/col2";
+        let record: MceRecord = line.parse().unwrap();
+        assert_eq!(record.event.error_type, ErrorType::Ce);
+        assert_eq!(record.event.time, Timestamp::from_millis(5));
+    }
+
+    #[test]
+    fn parse_log_skips_comments_and_blanks() {
+        let text = format!(
+            "# header\n\n{}\n  \n{}\n",
+            MceRecord::new(event()),
+            MceRecord::new(event())
+        );
+        let events = MceRecord::parse_log(&text).unwrap();
+        assert_eq!(events.len(), 2);
+    }
+
+    #[test]
+    fn parse_log_reports_line_numbers() {
+        let text = "# ok\nts=1 addr=broken type=CE\n";
+        let err = MceRecord::parse_log(text).unwrap_err();
+        assert_eq!(err.line(), Some(2));
+        assert!(err.to_string().contains("invalid address"));
+    }
+
+    #[test]
+    fn parse_rejects_missing_fields() {
+        assert!("ts=1 type=CE".parse::<MceRecord>().is_err());
+        assert!("addr=node0/npu0/hbm0/sid0/ch0/pch0/bg0/bank0/row1/col2 type=CE"
+            .parse::<MceRecord>()
+            .is_err());
+        let err = "ts=1 addr=node0/npu0/hbm0/sid0/ch0/pch0/bg0/bank0/row1/col2"
+            .parse::<MceRecord>()
+            .unwrap_err();
+        assert!(err.to_string().contains("type"));
+    }
+
+    #[test]
+    fn parse_rejects_unknown_error_type() {
+        let line = "ts=1 addr=node0/npu0/hbm0/sid0/ch0/pch0/bg0/bank0/row1/col2 type=FATAL";
+        assert!(line.parse::<MceRecord>().is_err());
+    }
+
+    #[test]
+    fn format_log_emits_one_line_per_event() {
+        let events = vec![event(), event(), event()];
+        let text = MceRecord::format_log(&events);
+        assert_eq!(text.lines().count(), 3);
+        assert_eq!(MceRecord::parse_log(&text).unwrap(), events);
+    }
+}

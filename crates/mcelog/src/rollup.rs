@@ -1,0 +1,159 @@
+//! Per-micro-level population counts — the computation behind Table II.
+//!
+//! Table II of the paper summarises the industrial dataset as, for each
+//! micro-level (NPU … row), the number of distinct units that experienced at
+//! least one CE, at least one UEO, at least one UER, and the total number of
+//! distinct units with any error.
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use cordial_topology::{MicroLevel, UnitKey};
+
+use crate::event::{ErrorEvent, ErrorType};
+use crate::log::MceLog;
+
+/// Counts of affected units at one micro-level (one row of Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct LevelRollup {
+    /// Units with at least one CE.
+    pub with_ce: usize,
+    /// Units with at least one UEO.
+    pub with_ueo: usize,
+    /// Units with at least one UER.
+    pub with_uer: usize,
+    /// Units with any error at all.
+    pub total: usize,
+}
+
+/// Computes the affected-unit counts for one micro-level.
+pub fn rollup_level(log: &MceLog, level: MicroLevel) -> LevelRollup {
+    let mut ce: BTreeSet<UnitKey> = BTreeSet::new();
+    let mut ueo: BTreeSet<UnitKey> = BTreeSet::new();
+    let mut uer: BTreeSet<UnitKey> = BTreeSet::new();
+    let mut any: BTreeSet<UnitKey> = BTreeSet::new();
+    for event in log.events() {
+        let key = event.addr.project(level);
+        any.insert(key);
+        match event.error_type {
+            ErrorType::Ce => ce.insert(key),
+            ErrorType::Ueo => ueo.insert(key),
+            ErrorType::Uer => uer.insert(key),
+        };
+    }
+    LevelRollup {
+        with_ce: ce.len(),
+        with_ueo: ueo.len(),
+        with_uer: uer.len(),
+        total: any.len(),
+    }
+}
+
+/// Computes rollups for every micro-level, coarsest first (the full Table II).
+pub fn rollup_all_levels(log: &MceLog) -> Vec<(MicroLevel, LevelRollup)> {
+    MicroLevel::ALL
+        .iter()
+        .map(|&level| (level, rollup_level(log, level)))
+        .collect()
+}
+
+/// Returns the distinct units at `level` that have at least one event of
+/// severity `ty`.
+pub fn units_with(log: &MceLog, level: MicroLevel, ty: ErrorType) -> BTreeSet<UnitKey> {
+    log.events()
+        .iter()
+        .filter(|e| e.error_type == ty)
+        .map(|e| e.addr.project(level))
+        .collect()
+}
+
+/// Returns the events of `log` that fall inside the unit identified by `key`.
+pub fn events_in_unit<'a>(log: &'a MceLog, key: &UnitKey) -> Vec<&'a ErrorEvent> {
+    log.events()
+        .iter()
+        .filter(|e| e.addr.project(key.level()) == *key)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Timestamp;
+    use cordial_topology::{BankAddress, BankIndex, ColId, NpuId, RowId};
+
+    fn ev(npu: u8, bank: u8, row: u32, ty: ErrorType) -> ErrorEvent {
+        let addr = BankAddress {
+            npu: NpuId(npu),
+            bank: BankIndex(bank),
+            ..BankAddress::default()
+        }
+        .cell(RowId(row), ColId(0));
+        ErrorEvent::new(addr, Timestamp::ZERO, ty)
+    }
+
+    fn sample_log() -> MceLog {
+        MceLog::from_events(vec![
+            ev(0, 0, 1, ErrorType::Ce),
+            ev(0, 0, 2, ErrorType::Uer),
+            ev(0, 1, 3, ErrorType::Ueo),
+            ev(1, 0, 1, ErrorType::Uer),
+        ])
+    }
+
+    #[test]
+    fn npu_level_rollup_counts_distinct_npus() {
+        let rollup = rollup_level(&sample_log(), MicroLevel::Npu);
+        assert_eq!(rollup.with_ce, 1);
+        assert_eq!(rollup.with_ueo, 1);
+        assert_eq!(rollup.with_uer, 2);
+        assert_eq!(rollup.total, 2);
+    }
+
+    #[test]
+    fn bank_level_rollup_counts_distinct_banks() {
+        let rollup = rollup_level(&sample_log(), MicroLevel::Bank);
+        assert_eq!(rollup.total, 3);
+        assert_eq!(rollup.with_uer, 2);
+    }
+
+    #[test]
+    fn row_level_rollup_counts_distinct_rows() {
+        let rollup = rollup_level(&sample_log(), MicroLevel::Row);
+        assert_eq!(rollup.total, 4);
+        assert_eq!(rollup.with_ce, 1);
+    }
+
+    #[test]
+    fn totals_are_monotone_with_level_fineness() {
+        let rollups = rollup_all_levels(&sample_log());
+        assert_eq!(rollups.len(), 7);
+        for pair in rollups.windows(2) {
+            assert!(
+                pair[0].1.total <= pair[1].1.total,
+                "finer level must have at least as many affected units"
+            );
+        }
+    }
+
+    #[test]
+    fn units_with_filters_severity() {
+        let log = sample_log();
+        assert_eq!(units_with(&log, MicroLevel::Npu, ErrorType::Uer).len(), 2);
+        assert_eq!(units_with(&log, MicroLevel::Npu, ErrorType::Ce).len(), 1);
+    }
+
+    #[test]
+    fn events_in_unit_selects_exactly_the_unit() {
+        let log = sample_log();
+        let key = log.events()[0].addr.project(MicroLevel::Npu);
+        let events = events_in_unit(&log, &key);
+        assert_eq!(events.len(), 3); // all npu0 events
+    }
+
+    #[test]
+    fn empty_log_rolls_up_to_zero() {
+        let rollup = rollup_level(&MceLog::new(), MicroLevel::Bank);
+        assert_eq!(rollup, LevelRollup::default());
+    }
+}

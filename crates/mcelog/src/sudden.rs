@@ -1,0 +1,206 @@
+//! Sudden vs. non-sudden UER analysis — the computation behind Table I.
+//!
+//! Following the paper (§III-A, after its reference \[29\]): a unit's UER is **non-sudden**
+//! when it was preceded, *within the same unit*, by at least one milder
+//! error (CE or UEO) — those UERs are in principle predictable by in-row
+//! (in-unit) history-based methods. A UER with no such precursor is
+//! **sudden** and invisible to in-row prediction. Table I reports, per
+//! micro-level, the counts of sudden and non-sudden UER units and the
+//! resulting "predictable ratio" = non-sudden / (sudden + non-sudden).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use cordial_topology::{MicroLevel, UnitKey};
+
+use crate::event::{ErrorType, Timestamp};
+use crate::log::MceLog;
+
+/// Verdict for one unit that experienced at least one UER.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UerOnset {
+    /// First UER arrived with no prior CE/UEO in the unit.
+    Sudden,
+    /// Milder precursors preceded the first UER in the unit.
+    NonSudden,
+}
+
+/// Per-level sudden/non-sudden counts (one row of Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SuddenStats {
+    /// Units whose first UER had no precursor.
+    pub sudden: usize,
+    /// Units whose first UER had at least one CE/UEO precursor.
+    pub non_sudden: usize,
+}
+
+impl SuddenStats {
+    /// Fraction of UER units that are in principle predictable from in-unit
+    /// history (the paper's "Predictable Ratio" column).
+    ///
+    /// Returns `None` when no unit saw a UER.
+    pub fn predictable_ratio(&self) -> Option<f64> {
+        let total = self.sudden + self.non_sudden;
+        (total > 0).then(|| self.non_sudden as f64 / total as f64)
+    }
+
+    /// Fraction of UER units whose first UER was sudden.
+    pub fn sudden_ratio(&self) -> Option<f64> {
+        self.predictable_ratio().map(|p| 1.0 - p)
+    }
+}
+
+/// Classifies every UER-bearing unit at `level` as sudden or non-sudden.
+pub fn classify_units(log: &MceLog, level: MicroLevel) -> BTreeMap<UnitKey, UerOnset> {
+    // First UER time and first precursor time per unit, in one pass.
+    let mut first_uer: BTreeMap<UnitKey, Timestamp> = BTreeMap::new();
+    let mut first_precursor: BTreeMap<UnitKey, Timestamp> = BTreeMap::new();
+    for event in log.events() {
+        let key = event.addr.project(level);
+        let slot = match event.error_type {
+            ErrorType::Uer => &mut first_uer,
+            ErrorType::Ce | ErrorType::Ueo => &mut first_precursor,
+        };
+        slot.entry(key).or_insert(event.time);
+    }
+    first_uer
+        .into_iter()
+        .map(|(key, uer_time)| {
+            let onset = match first_precursor.get(&key) {
+                Some(&precursor_time) if precursor_time < uer_time => UerOnset::NonSudden,
+                _ => UerOnset::Sudden,
+            };
+            (key, onset)
+        })
+        .collect()
+}
+
+/// Computes the sudden/non-sudden counts at one micro-level.
+pub fn sudden_stats(log: &MceLog, level: MicroLevel) -> SuddenStats {
+    let mut stats = SuddenStats::default();
+    for onset in classify_units(log, level).values() {
+        match onset {
+            UerOnset::Sudden => stats.sudden += 1,
+            UerOnset::NonSudden => stats.non_sudden += 1,
+        }
+    }
+    stats
+}
+
+/// Computes sudden stats for every micro-level, coarsest first (full Table I).
+pub fn sudden_stats_all_levels(log: &MceLog) -> Vec<(MicroLevel, SuddenStats)> {
+    MicroLevel::ALL
+        .iter()
+        .map(|&level| (level, sudden_stats(log, level)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::ErrorEvent;
+    use cordial_topology::{BankAddress, ColId, NodeId, RowId};
+
+    fn ev(node: u32, row: u32, t: u64, ty: ErrorType) -> ErrorEvent {
+        let addr = BankAddress {
+            node: NodeId(node),
+            ..BankAddress::default()
+        }
+        .cell(RowId(row), ColId(0));
+        ErrorEvent::new(addr, Timestamp::from_millis(t), ty)
+    }
+
+    #[test]
+    fn uer_with_prior_ce_in_same_row_is_non_sudden() {
+        let log = MceLog::from_events(vec![
+            ev(0, 5, 1, ErrorType::Ce),
+            ev(0, 5, 10, ErrorType::Uer),
+        ]);
+        let stats = sudden_stats(&log, MicroLevel::Row);
+        assert_eq!(stats.non_sudden, 1);
+        assert_eq!(stats.sudden, 0);
+        assert_eq!(stats.predictable_ratio(), Some(1.0));
+    }
+
+    #[test]
+    fn uer_with_no_precursor_is_sudden() {
+        let log = MceLog::from_events(vec![ev(0, 5, 10, ErrorType::Uer)]);
+        let stats = sudden_stats(&log, MicroLevel::Row);
+        assert_eq!(stats.sudden, 1);
+        assert_eq!(stats.sudden_ratio(), Some(1.0));
+    }
+
+    #[test]
+    fn precursor_in_other_row_counts_only_at_coarser_levels() {
+        // CE in row 5, UER in row 100 of the same bank: sudden at row level,
+        // non-sudden at bank level — precisely the paper's Table I gradient.
+        let log = MceLog::from_events(vec![
+            ev(0, 5, 1, ErrorType::Ce),
+            ev(0, 100, 10, ErrorType::Uer),
+        ]);
+        assert_eq!(sudden_stats(&log, MicroLevel::Row).sudden, 1);
+        assert_eq!(sudden_stats(&log, MicroLevel::Bank).non_sudden, 1);
+        assert_eq!(sudden_stats(&log, MicroLevel::Npu).non_sudden, 1);
+    }
+
+    #[test]
+    fn precursor_after_uer_does_not_make_it_non_sudden() {
+        let log = MceLog::from_events(vec![
+            ev(0, 5, 10, ErrorType::Uer),
+            ev(0, 5, 20, ErrorType::Ce),
+        ]);
+        let stats = sudden_stats(&log, MicroLevel::Row);
+        assert_eq!(stats.sudden, 1);
+        assert_eq!(stats.non_sudden, 0);
+    }
+
+    #[test]
+    fn precursor_at_same_instant_counts_as_sudden() {
+        // Tie-break: a precursor must strictly precede the UER.
+        let log = MceLog::from_events(vec![
+            ev(0, 5, 10, ErrorType::Ce),
+            ev(0, 5, 10, ErrorType::Uer),
+        ]);
+        assert_eq!(sudden_stats(&log, MicroLevel::Row).sudden, 1);
+    }
+
+    #[test]
+    fn units_without_uer_are_not_counted() {
+        let log = MceLog::from_events(vec![ev(0, 5, 1, ErrorType::Ce)]);
+        let stats = sudden_stats(&log, MicroLevel::Row);
+        assert_eq!(stats, SuddenStats::default());
+        assert_eq!(stats.predictable_ratio(), None);
+    }
+
+    #[test]
+    fn all_levels_report_in_table_order() {
+        let log = MceLog::from_events(vec![
+            ev(0, 5, 1, ErrorType::Ce),
+            ev(0, 100, 10, ErrorType::Uer),
+            ev(1, 7, 5, ErrorType::Uer),
+        ]);
+        let table = sudden_stats_all_levels(&log);
+        assert_eq!(table.len(), 7);
+        assert_eq!(table[0].0, MicroLevel::Npu);
+        assert_eq!(table[6].0, MicroLevel::Row);
+        // Predictable ratio must not increase from coarse to fine here.
+        let ratios: Vec<f64> = table
+            .iter()
+            .map(|(_, s)| s.predictable_ratio().unwrap_or(0.0))
+            .collect();
+        assert!(ratios[0] >= ratios[6]);
+    }
+
+    #[test]
+    fn classify_units_returns_one_verdict_per_uer_unit() {
+        let log = MceLog::from_events(vec![
+            ev(0, 5, 1, ErrorType::Uer),
+            ev(0, 5, 2, ErrorType::Uer),
+            ev(1, 9, 3, ErrorType::Uer),
+        ]);
+        let verdicts = classify_units(&log, MicroLevel::Row);
+        assert_eq!(verdicts.len(), 2);
+        assert!(verdicts.values().all(|v| *v == UerOnset::Sudden));
+    }
+}

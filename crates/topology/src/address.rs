@@ -1,0 +1,356 @@
+//! Newtype identifiers for every level of the HBM hierarchy and the composite
+//! [`BankAddress`] / [`CellAddress`] types.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::AddressParseError;
+
+macro_rules! id_newtype {
+    ($(#[$meta:meta])* $name:ident, $inner:ty, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+            Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(pub $inner);
+
+        impl $name {
+            /// Returns the raw numeric index.
+            #[inline]
+            pub fn index(self) -> $inner {
+                self.0
+            }
+
+            /// The textual prefix used when formatting this component
+            /// (e.g. `"bank"` in `bank3`).
+            pub const PREFIX: &'static str = $prefix;
+        }
+
+        impl From<$inner> for $name {
+            fn from(v: $inner) -> Self {
+                Self(v)
+            }
+        }
+
+        impl From<$name> for $inner {
+            fn from(v: $name) -> Self {
+                v.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}{}", $prefix, self.0)
+            }
+        }
+
+        impl FromStr for $name {
+            type Err = AddressParseError;
+
+            fn from_str(s: &str) -> Result<Self, Self::Err> {
+                let digits = s.strip_prefix($prefix).ok_or_else(|| {
+                    AddressParseError::missing_prefix($prefix, s)
+                })?;
+                digits
+                    .parse::<$inner>()
+                    .map($name)
+                    .map_err(|_| AddressParseError::bad_number($prefix, s))
+            }
+        }
+    };
+}
+
+id_newtype!(
+    /// Identifier of a compute node in the training cluster.
+    NodeId, u32, "node"
+);
+id_newtype!(
+    /// Index of an NPU within its node (0..8 on the paper's platform).
+    NpuId, u8, "npu"
+);
+id_newtype!(
+    /// HBM socket index on an NPU (each NPU has two sockets, §II-A).
+    HbmSocket, u8, "hbm"
+);
+id_newtype!(
+    /// Stack ID: every four dies of an 8Hi stack form one SID, so an HBM2E
+    /// stack exposes two SIDs.
+    StackId, u8, "sid"
+);
+id_newtype!(
+    /// Channel index within a SID (8 channels per die group).
+    Channel, u8, "ch"
+);
+id_newtype!(
+    /// Pseudo-channel index within a channel (each channel splits in two).
+    PseudoChannel, u8, "pch"
+);
+id_newtype!(
+    /// Bank-group index within a pseudo-channel (4 groups).
+    BankGroup, u8, "bg"
+);
+id_newtype!(
+    /// Bank index within a bank group (4 banks).
+    BankIndex, u8, "bank"
+);
+id_newtype!(
+    /// Row index within a bank's two-dimensional cell array.
+    RowId, u32, "row"
+);
+id_newtype!(
+    /// Column index within a bank's two-dimensional cell array.
+    ColId, u16, "col"
+);
+
+impl RowId {
+    /// Absolute row distance between two rows, saturating at `u32::MAX`.
+    ///
+    /// Row distance is the fundamental quantity of the paper's locality study
+    /// (Figure 4): cross-row prediction targets rows within a bounded
+    /// distance of an observed UER row.
+    #[inline]
+    pub fn distance(self, other: RowId) -> u32 {
+        self.0.abs_diff(other.0)
+    }
+
+    /// Row shifted by a signed offset, clamped to `0..=max_row`.
+    #[inline]
+    pub fn offset_clamped(self, delta: i64, max_row: u32) -> RowId {
+        let shifted = (self.0 as i64 + delta).clamp(0, max_row as i64);
+        RowId(shifted as u32)
+    }
+}
+
+/// Fully-qualified address of one bank: the unit at which the paper observes
+/// failure patterns and at which Cordial makes isolation decisions.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct BankAddress {
+    /// Compute node hosting the NPU.
+    pub node: NodeId,
+    /// NPU within the node.
+    pub npu: NpuId,
+    /// HBM socket on the NPU.
+    pub hbm: HbmSocket,
+    /// Stack ID within the HBM.
+    pub sid: StackId,
+    /// Channel within the SID.
+    pub channel: Channel,
+    /// Pseudo-channel within the channel.
+    pub pseudo_channel: PseudoChannel,
+    /// Bank group within the pseudo-channel.
+    pub bank_group: BankGroup,
+    /// Bank within the bank group.
+    pub bank: BankIndex,
+}
+
+impl BankAddress {
+    /// Number of `/`-separated components in the canonical text form.
+    const COMPONENTS: usize = 8;
+
+    /// Creates a bank address from all eight hierarchy components.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        node: NodeId,
+        npu: NpuId,
+        hbm: HbmSocket,
+        sid: StackId,
+        channel: Channel,
+        pseudo_channel: PseudoChannel,
+        bank_group: BankGroup,
+        bank: BankIndex,
+    ) -> Self {
+        Self {
+            node,
+            npu,
+            hbm,
+            sid,
+            channel,
+            pseudo_channel,
+            bank_group,
+            bank,
+        }
+    }
+
+    /// Returns the cell address formed by attaching `row` and `col`.
+    pub fn cell(self, row: RowId, col: ColId) -> CellAddress {
+        CellAddress::new(self, row, col)
+    }
+}
+
+impl fmt::Display for BankAddress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{}/{}/{}/{}/{}/{}/{}",
+            self.node,
+            self.npu,
+            self.hbm,
+            self.sid,
+            self.channel,
+            self.pseudo_channel,
+            self.bank_group,
+            self.bank
+        )
+    }
+}
+
+impl FromStr for BankAddress {
+    type Err = AddressParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let parts: Vec<&str> = s.split('/').collect();
+        if parts.len() != Self::COMPONENTS {
+            return Err(AddressParseError::wrong_component_count(
+                Self::COMPONENTS,
+                parts.len(),
+                s,
+            ));
+        }
+        Ok(Self {
+            node: parts[0].parse()?,
+            npu: parts[1].parse()?,
+            hbm: parts[2].parse()?,
+            sid: parts[3].parse()?,
+            channel: parts[4].parse()?,
+            pseudo_channel: parts[5].parse()?,
+            bank_group: parts[6].parse()?,
+            bank: parts[7].parse()?,
+        })
+    }
+}
+
+/// Fully-qualified address of one cell: a bank plus row and column.
+///
+/// This is the address recorded for every error event in the MCE log.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct CellAddress {
+    /// The containing bank.
+    pub bank: BankAddress,
+    /// Row within the bank.
+    pub row: RowId,
+    /// Column within the bank.
+    pub col: ColId,
+}
+
+impl CellAddress {
+    /// Creates a cell address from a bank, row and column.
+    pub fn new(bank: BankAddress, row: RowId, col: ColId) -> Self {
+        Self { bank, row, col }
+    }
+}
+
+impl fmt::Display for CellAddress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}/{}", self.bank, self.row, self.col)
+    }
+}
+
+impl FromStr for CellAddress {
+    type Err = AddressParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let Some((bank_part, rest)) = s.rsplit_once("/row").map(|(b, r)| (b, format!("row{r}")))
+        else {
+            return Err(AddressParseError::missing_prefix("row", s));
+        };
+        let Some((row_part, col_part)) = rest.split_once('/') else {
+            return Err(AddressParseError::wrong_component_count(10, 9, s));
+        };
+        Ok(Self {
+            bank: bank_part.parse()?,
+            row: row_part.parse()?,
+            col: col_part.parse()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bank() -> BankAddress {
+        BankAddress::new(
+            NodeId(7),
+            NpuId(3),
+            HbmSocket(1),
+            StackId(0),
+            Channel(4),
+            PseudoChannel(1),
+            BankGroup(2),
+            BankIndex(3),
+        )
+    }
+
+    #[test]
+    fn bank_display_round_trips() {
+        let bank = sample_bank();
+        let text = bank.to_string();
+        assert_eq!(text, "node7/npu3/hbm1/sid0/ch4/pch1/bg2/bank3");
+        let parsed: BankAddress = text.parse().unwrap();
+        assert_eq!(parsed, bank);
+    }
+
+    #[test]
+    fn cell_display_round_trips() {
+        let cell = sample_bank().cell(RowId(30_000), ColId(127));
+        let text = cell.to_string();
+        assert_eq!(text, "node7/npu3/hbm1/sid0/ch4/pch1/bg2/bank3/row30000/col127");
+        let parsed: CellAddress = text.parse().unwrap();
+        assert_eq!(parsed, cell);
+    }
+
+    #[test]
+    fn parse_rejects_wrong_component_count() {
+        let err = "node7/npu3".parse::<BankAddress>().unwrap_err();
+        assert!(err.to_string().contains("expected 8"));
+    }
+
+    #[test]
+    fn parse_rejects_wrong_prefix() {
+        let err = "node7/gpu3/hbm1/sid0/ch4/pch1/bg2/bank3"
+            .parse::<BankAddress>()
+            .unwrap_err();
+        assert!(err.to_string().contains("npu"));
+    }
+
+    #[test]
+    fn parse_rejects_non_numeric_index() {
+        let err = "nodeX".parse::<NodeId>().unwrap_err();
+        assert!(err.to_string().contains("invalid number"));
+    }
+
+    #[test]
+    fn row_distance_is_symmetric() {
+        assert_eq!(RowId(100).distance(RowId(164)), 64);
+        assert_eq!(RowId(164).distance(RowId(100)), 64);
+        assert_eq!(RowId(5).distance(RowId(5)), 0);
+    }
+
+    #[test]
+    fn row_offset_clamps_at_bounds() {
+        assert_eq!(RowId(10).offset_clamped(-20, 1000), RowId(0));
+        assert_eq!(RowId(990).offset_clamped(40, 1000), RowId(1000));
+        assert_eq!(RowId(500).offset_clamped(3, 1000), RowId(503));
+    }
+
+    #[test]
+    fn ids_order_numerically() {
+        assert!(RowId(2) < RowId(10));
+        assert!(NodeId(1) < NodeId(2));
+    }
+
+    #[test]
+    fn cell_parse_rejects_missing_column() {
+        assert!("node7/npu3/hbm1/sid0/ch4/pch1/bg2/bank3/row5"
+            .parse::<CellAddress>()
+            .is_err());
+    }
+}

@@ -1,0 +1,292 @@
+//! Physical-address decoding: the bit-field codec between the flat
+//! physical addresses raw MCE records carry and the structured
+//! [`CellAddress`] the rest of the suite consumes.
+//!
+//! Memory controllers scatter consecutive physical addresses across
+//! channels and banks for parallelism; the BMC (or a decoder like this one)
+//! must invert that mapping before any spatial analysis is possible — a
+//! cluster of failing rows is invisible in physical-address space. The
+//! codec packs the intra-HBM hierarchy into contiguous bit fields:
+//!
+//! ```text
+//! MSB ........................................... LSB
+//! | row | sid | bank | bank-group | ps-ch | ch | col |
+//! ```
+//!
+//! Field widths derive from the [`HbmGeometry`]; the layout matches the
+//! row-bank-column interleaving HBM2E controllers commonly use (column bits
+//! lowest so bursts stream within a row).
+
+use serde::{Deserialize, Serialize};
+
+use crate::address::{
+    BankAddress, BankGroup, BankIndex, CellAddress, Channel, ColId, HbmSocket, NodeId, NpuId,
+    PseudoChannel, RowId, StackId,
+};
+use crate::error::GeometryError;
+use crate::geometry::HbmGeometry;
+
+/// A flat intra-HBM physical address as carried by raw MCE records.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct PhysicalAddress(pub u64);
+
+impl std::fmt::Display for PhysicalAddress {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:#012x}", self.0)
+    }
+}
+
+/// Bit-field codec between [`PhysicalAddress`] and the intra-HBM components
+/// of a [`CellAddress`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AddressMap {
+    geometry: HbmGeometry,
+    col_bits: u32,
+    ch_bits: u32,
+    pch_bits: u32,
+    bg_bits: u32,
+    bank_bits: u32,
+    sid_bits: u32,
+    row_bits: u32,
+}
+
+impl AddressMap {
+    /// Builds the codec for a geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any geometry dimension is not a power of two (controllers
+    /// require power-of-two interleaving; every built-in geometry complies).
+    pub fn new(geometry: HbmGeometry) -> Self {
+        let bits = |n: u64, what: &str| -> u32 {
+            assert!(
+                n.is_power_of_two(),
+                "{what} ({n}) must be a power of two for bit-field decoding"
+            );
+            n.trailing_zeros()
+        };
+        Self {
+            geometry,
+            col_bits: bits(geometry.cols as u64, "cols"),
+            ch_bits: bits(geometry.channels as u64, "channels"),
+            pch_bits: bits(geometry.pseudo_channels as u64, "pseudo-channels"),
+            bg_bits: bits(geometry.bank_groups as u64, "bank groups"),
+            bank_bits: bits(geometry.banks_per_group as u64, "banks"),
+            sid_bits: bits(geometry.sids as u64, "SIDs"),
+            row_bits: bits(geometry.rows as u64, "rows"),
+        }
+    }
+
+    /// Total number of address bits the codec uses.
+    pub fn total_bits(&self) -> u32 {
+        self.col_bits
+            + self.ch_bits
+            + self.pch_bits
+            + self.bg_bits
+            + self.bank_bits
+            + self.sid_bits
+            + self.row_bits
+    }
+
+    /// Encodes the intra-HBM components of a cell into a physical address.
+    ///
+    /// The node/NPU/socket components are carried out-of-band by real BMCs
+    /// (they identify the reporting device) and are not encoded.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GeometryError`] when the cell is outside the geometry.
+    pub fn encode(&self, cell: &CellAddress) -> Result<PhysicalAddress, GeometryError> {
+        self.geometry.validate_cell(cell)?;
+        let bank = &cell.bank;
+        let mut value: u64 = 0;
+        let mut shift: u32 = 0;
+        let mut pack = |field: u64, bits: u32| {
+            value |= field << shift;
+            shift += bits;
+        };
+        pack(cell.col.0 as u64, self.col_bits);
+        pack(bank.channel.0 as u64, self.ch_bits);
+        pack(bank.pseudo_channel.0 as u64, self.pch_bits);
+        pack(bank.bank_group.0 as u64, self.bg_bits);
+        pack(bank.bank.0 as u64, self.bank_bits);
+        pack(bank.sid.0 as u64, self.sid_bits);
+        pack(cell.row.0 as u64, self.row_bits);
+        Ok(PhysicalAddress(value))
+    }
+
+    /// Decodes a physical address reported by `(node, npu, socket)` into a
+    /// full cell address.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GeometryError`] when the address has bits beyond the
+    /// codec's range.
+    pub fn decode(
+        &self,
+        node: NodeId,
+        npu: NpuId,
+        hbm: HbmSocket,
+        addr: PhysicalAddress,
+    ) -> Result<CellAddress, GeometryError> {
+        if self.total_bits() < 64 && (addr.0 >> self.total_bits()) != 0 {
+            return Err(GeometryError::new(
+                "physical address",
+                addr.0,
+                1u64 << self.total_bits(),
+            ));
+        }
+        let mut value = addr.0;
+        let mut unpack = |bits: u32| -> u64 {
+            let field = value & ((1u64 << bits) - 1);
+            value >>= bits;
+            field
+        };
+        let col = unpack(self.col_bits) as u16;
+        let ch = unpack(self.ch_bits) as u8;
+        let pch = unpack(self.pch_bits) as u8;
+        let bg = unpack(self.bg_bits) as u8;
+        let bank = unpack(self.bank_bits) as u8;
+        let sid = unpack(self.sid_bits) as u8;
+        let row = unpack(self.row_bits) as u32;
+        let bank_addr = BankAddress {
+            node,
+            npu,
+            hbm,
+            sid: StackId(sid),
+            channel: Channel(ch),
+            pseudo_channel: PseudoChannel(pch),
+            bank_group: BankGroup(bg),
+            bank: BankIndex(bank),
+        };
+        Ok(bank_addr.cell(RowId(row), ColId(col)))
+    }
+
+    /// The geometry this codec was built for.
+    pub fn geometry(&self) -> HbmGeometry {
+        self.geometry
+    }
+}
+
+impl Default for AddressMap {
+    fn default() -> Self {
+        Self::new(HbmGeometry::hbm2e_8hi())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_cells() -> Vec<CellAddress> {
+        let geom = HbmGeometry::hbm2e_8hi();
+        let mut cells = Vec::new();
+        for sid in 0..geom.sids {
+            for ch in [0, geom.channels - 1] {
+                for bg in [0, geom.bank_groups - 1] {
+                    let bank = BankAddress {
+                        node: NodeId(3),
+                        npu: NpuId(1),
+                        hbm: HbmSocket(1),
+                        sid: StackId(sid),
+                        channel: Channel(ch),
+                        pseudo_channel: PseudoChannel(1),
+                        bank_group: BankGroup(bg),
+                        bank: BankIndex(2),
+                    };
+                    cells.push(bank.cell(RowId(12_345), ColId(77)));
+                    cells.push(bank.cell(RowId(0), ColId(0)));
+                    cells.push(bank.cell(RowId(geom.max_row()), ColId(geom.max_col())));
+                }
+            }
+        }
+        cells
+    }
+
+    #[test]
+    fn encode_decode_round_trips_every_component() {
+        let map = AddressMap::default();
+        for cell in sample_cells() {
+            let physical = map.encode(&cell).unwrap();
+            let decoded = map
+                .decode(cell.bank.node, cell.bank.npu, cell.bank.hbm, physical)
+                .unwrap();
+            assert_eq!(decoded, cell, "round trip failed for {cell}");
+        }
+    }
+
+    #[test]
+    fn total_bits_match_hbm2e_capacity() {
+        // 7 col + 3 ch + 1 pch + 2 bg + 2 bank + 1 sid + 15 row = 31 bits.
+        assert_eq!(AddressMap::default().total_bits(), 31);
+    }
+
+    #[test]
+    fn distinct_cells_get_distinct_addresses() {
+        let map = AddressMap::default();
+        let mut seen = std::collections::HashSet::new();
+        for cell in sample_cells() {
+            assert!(seen.insert(map.encode(&cell).unwrap()), "collision at {cell}");
+        }
+    }
+
+    #[test]
+    fn adjacent_columns_are_adjacent_physically() {
+        // Column bits are lowest: a burst streams within one row.
+        let map = AddressMap::default();
+        let bank = BankAddress::default();
+        let a = map.encode(&bank.cell(RowId(10), ColId(5))).unwrap();
+        let b = map.encode(&bank.cell(RowId(10), ColId(6))).unwrap();
+        assert_eq!(b.0 - a.0, 1);
+        // Adjacent rows are far apart (one full row of interleaved space).
+        let c = map.encode(&bank.cell(RowId(11), ColId(5))).unwrap();
+        assert!(c.0 - a.0 > 1 << 10);
+    }
+
+    #[test]
+    fn out_of_range_inputs_are_rejected() {
+        let map = AddressMap::default();
+        let bad_cell = BankAddress::default().cell(RowId(40_000), ColId(0));
+        assert!(map.encode(&bad_cell).is_err());
+        let too_wide = PhysicalAddress(1 << 40);
+        assert!(map
+            .decode(NodeId(0), NpuId(0), HbmSocket(0), too_wide)
+            .is_err());
+    }
+
+    #[test]
+    fn tiny_geometry_also_round_trips() {
+        let geom = HbmGeometry::tiny();
+        let map = AddressMap::new(geom);
+        let bank = BankAddress {
+            channel: Channel(1),
+            bank_group: BankGroup(1),
+            bank: BankIndex(1),
+            ..BankAddress::default()
+        };
+        let cell = bank.cell(RowId(1023), ColId(31));
+        let addr = map.encode(&cell).unwrap();
+        assert_eq!(
+            map.decode(NodeId(0), NpuId(0), HbmSocket(0), addr).unwrap(),
+            cell
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_geometry_is_rejected() {
+        AddressMap::new(HbmGeometry {
+            rows: 30_000,
+            ..HbmGeometry::hbm2e_8hi()
+        });
+    }
+
+    #[test]
+    fn display_is_hex() {
+        // `{:#012x}` counts the `0x` prefix in the width: 10 hex digits.
+        assert_eq!(PhysicalAddress(0xABC).to_string(), "0x0000000abc");
+    }
+}

@@ -1,0 +1,123 @@
+//! Error types for address parsing and geometry validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when parsing a textual address component or composite
+/// address fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AddressParseError {
+    kind: ParseErrorKind,
+    input: String,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ParseErrorKind {
+    MissingPrefix { prefix: &'static str },
+    BadNumber { prefix: &'static str },
+    WrongComponentCount { expected: usize, found: usize },
+}
+
+impl AddressParseError {
+    pub(crate) fn missing_prefix(prefix: &'static str, input: &str) -> Self {
+        Self {
+            kind: ParseErrorKind::MissingPrefix { prefix },
+            input: input.to_owned(),
+        }
+    }
+
+    pub(crate) fn bad_number(prefix: &'static str, input: &str) -> Self {
+        Self {
+            kind: ParseErrorKind::BadNumber { prefix },
+            input: input.to_owned(),
+        }
+    }
+
+    pub(crate) fn wrong_component_count(expected: usize, found: usize, input: &str) -> Self {
+        Self {
+            kind: ParseErrorKind::WrongComponentCount { expected, found },
+            input: input.to_owned(),
+        }
+    }
+
+    /// The offending input text.
+    pub fn input(&self) -> &str {
+        &self.input
+    }
+}
+
+impl fmt::Display for AddressParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            ParseErrorKind::MissingPrefix { prefix } => {
+                write!(f, "expected prefix `{prefix}` in `{}`", self.input)
+            }
+            ParseErrorKind::BadNumber { prefix } => {
+                write!(f, "invalid number after `{prefix}` in `{}`", self.input)
+            }
+            ParseErrorKind::WrongComponentCount { expected, found } => write!(
+                f,
+                "expected {expected} `/`-separated components, found {found} in `{}`",
+                self.input
+            ),
+        }
+    }
+}
+
+impl Error for AddressParseError {}
+
+/// Error produced when an address lies outside the coordinate space described
+/// by an [`HbmGeometry`](crate::HbmGeometry).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GeometryError {
+    component: &'static str,
+    value: u64,
+    limit: u64,
+}
+
+impl GeometryError {
+    pub(crate) fn new(component: &'static str, value: u64, limit: u64) -> Self {
+        Self {
+            component,
+            value,
+            limit,
+        }
+    }
+
+    /// Name of the out-of-range hierarchy component (e.g. `"row"`).
+    pub fn component(&self) -> &'static str {
+        self.component
+    }
+}
+
+impl fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} index {} out of range (limit {})",
+            self.component, self.value, self.limit
+        )
+    }
+}
+
+impl Error for GeometryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_error_messages_are_informative() {
+        let err = AddressParseError::missing_prefix("bank", "bonk3");
+        assert_eq!(err.to_string(), "expected prefix `bank` in `bonk3`");
+        assert_eq!(err.input(), "bonk3");
+    }
+
+    #[test]
+    fn geometry_error_names_component() {
+        let err = GeometryError::new("row", 40_000, 32_768);
+        assert_eq!(err.component(), "row");
+        assert!(err.to_string().contains("40000"));
+        assert!(err.to_string().contains("32768"));
+    }
+}

@@ -1,0 +1,202 @@
+//! Fleet-level layout: how many nodes, NPUs and HBM stacks a cluster has,
+//! and iteration over every device.
+
+use serde::{Deserialize, Serialize};
+
+use crate::address::{BankAddress, BankGroup, BankIndex, Channel, HbmSocket, NodeId, NpuId,
+    PseudoChannel, StackId};
+use crate::geometry::HbmGeometry;
+
+/// Layout of an LLM-training cluster's memory fleet.
+///
+/// The paper's platform pairs 8 NPUs per compute node with 2 HBM sockets per
+/// NPU (§II-A); the studied fleet exceeds 10,000 NPUs / 80,000 HBMs. The
+/// defaults here describe a scaled-down but structurally identical fleet so
+/// that examples and tests run quickly; experiments scale `nodes` up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FleetConfig {
+    /// Number of compute nodes.
+    pub nodes: u32,
+    /// NPUs per node (8 on the paper's platform).
+    pub npus_per_node: u8,
+    /// HBM sockets per NPU (2 on the paper's platform).
+    pub hbms_per_npu: u8,
+    /// Geometry of each HBM stack.
+    pub geometry: HbmGeometry,
+}
+
+impl FleetConfig {
+    /// A structurally faithful small fleet (16 nodes × 8 NPUs × 2 HBMs).
+    pub fn small() -> Self {
+        Self {
+            nodes: 16,
+            npus_per_node: 8,
+            hbms_per_npu: 2,
+            geometry: HbmGeometry::hbm2e_8hi(),
+        }
+    }
+
+    /// A fleet with the given node count and paper-standard ratios.
+    pub fn with_nodes(nodes: u32) -> Self {
+        Self {
+            nodes,
+            ..Self::small()
+        }
+    }
+
+    /// Total NPU count.
+    pub fn total_npus(&self) -> u64 {
+        self.nodes as u64 * self.npus_per_node as u64
+    }
+
+    /// Total HBM stack count.
+    pub fn total_hbms(&self) -> u64 {
+        self.total_npus() * self.hbms_per_npu as u64
+    }
+
+    /// Total bank count across the fleet.
+    pub fn total_banks(&self) -> u64 {
+        self.total_hbms() * self.geometry.banks_per_hbm() as u64
+    }
+
+    /// Iterates over every NPU in the fleet.
+    pub fn npus(&self) -> impl Iterator<Item = NpuRef> + '_ {
+        let per_node = self.npus_per_node;
+        (0..self.nodes).flat_map(move |node| {
+            (0..per_node).map(move |npu| NpuRef {
+                node: NodeId(node),
+                npu: NpuId(npu),
+            })
+        })
+    }
+
+    /// Iterates over every HBM stack in the fleet.
+    pub fn hbms(&self) -> impl Iterator<Item = HbmRef> + '_ {
+        let per_npu = self.hbms_per_npu;
+        self.npus().flat_map(move |npu| {
+            (0..per_npu).map(move |socket| HbmRef {
+                node: npu.node,
+                npu: npu.npu,
+                hbm: HbmSocket(socket),
+            })
+        })
+    }
+
+    /// Iterates over every bank address of one HBM stack.
+    pub fn banks_of(&self, hbm: HbmRef) -> impl Iterator<Item = BankAddress> + '_ {
+        let g = self.geometry;
+        (0..g.sids).flat_map(move |sid| {
+            (0..g.channels).flat_map(move |ch| {
+                (0..g.pseudo_channels).flat_map(move |pch| {
+                    (0..g.bank_groups).flat_map(move |bg| {
+                        (0..g.banks_per_group).map(move |bank| BankAddress {
+                            node: hbm.node,
+                            npu: hbm.npu,
+                            hbm: hbm.hbm,
+                            sid: StackId(sid),
+                            channel: Channel(ch),
+                            pseudo_channel: PseudoChannel(pch),
+                            bank_group: BankGroup(bg),
+                            bank: BankIndex(bank),
+                        })
+                    })
+                })
+            })
+        })
+    }
+
+    /// Returns true when `bank` lies inside this fleet (node/NPU/socket in
+    /// range and intra-HBM components valid for the geometry).
+    pub fn contains(&self, bank: &BankAddress) -> bool {
+        bank.node.0 < self.nodes
+            && bank.npu.0 < self.npus_per_node
+            && bank.hbm.0 < self.hbms_per_npu
+            && self.geometry.validate_bank(bank).is_ok()
+    }
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        Self::small()
+    }
+}
+
+/// Reference to one NPU in the fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NpuRef {
+    /// Hosting node.
+    pub node: NodeId,
+    /// NPU index within the node.
+    pub npu: NpuId,
+}
+
+/// Reference to one HBM stack in the fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct HbmRef {
+    /// Hosting node.
+    pub node: NodeId,
+    /// Hosting NPU.
+    pub npu: NpuId,
+    /// Socket on the NPU.
+    pub hbm: HbmSocket,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_multiply_out() {
+        let fleet = FleetConfig::small();
+        assert_eq!(fleet.total_npus(), 16 * 8);
+        assert_eq!(fleet.total_hbms(), 16 * 8 * 2);
+        assert_eq!(fleet.total_banks(), 16 * 8 * 2 * 512);
+    }
+
+    #[test]
+    fn npu_iteration_covers_fleet_exactly_once() {
+        let fleet = FleetConfig::with_nodes(3);
+        let npus: Vec<_> = fleet.npus().collect();
+        assert_eq!(npus.len() as u64, fleet.total_npus());
+        let mut dedup = npus.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), npus.len());
+    }
+
+    #[test]
+    fn hbm_iteration_matches_total() {
+        let fleet = FleetConfig::with_nodes(2);
+        assert_eq!(fleet.hbms().count() as u64, fleet.total_hbms());
+    }
+
+    #[test]
+    fn banks_of_one_hbm_are_distinct_and_complete() {
+        let fleet = FleetConfig {
+            geometry: HbmGeometry::tiny(),
+            ..FleetConfig::with_nodes(1)
+        };
+        let hbm = fleet.hbms().next().unwrap();
+        let banks: Vec<_> = fleet.banks_of(hbm).collect();
+        assert_eq!(banks.len() as u32, fleet.geometry.banks_per_hbm());
+        let mut dedup = banks.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), banks.len());
+        for bank in &banks {
+            assert!(fleet.contains(bank));
+        }
+    }
+
+    #[test]
+    fn contains_rejects_out_of_fleet_banks() {
+        let fleet = FleetConfig::with_nodes(2);
+        let mut bank = fleet.banks_of(fleet.hbms().next().unwrap()).next().unwrap();
+        bank.node = NodeId(2);
+        assert!(!fleet.contains(&bank));
+        bank.node = NodeId(1);
+        assert!(fleet.contains(&bank));
+        bank.npu = NpuId(8);
+        assert!(!fleet.contains(&bank));
+    }
+}

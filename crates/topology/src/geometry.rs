@@ -1,0 +1,201 @@
+//! Coordinate-space description and validation for HBM stacks.
+
+use serde::{Deserialize, Serialize};
+
+use crate::address::{BankAddress, CellAddress, RowId};
+use crate::error::GeometryError;
+
+/// Dimensions of one HBM stack's coordinate space.
+///
+/// The defaults ([`HbmGeometry::hbm2e_8hi`]) follow the paper's §II-A
+/// description of the HBM2E parts deployed on the studied platform: an 8Hi
+/// stack whose eight DRAM dies form two SIDs, 8 channels, 2 pseudo-channels
+/// per channel, 4 bank groups of 4 banks, and banks of 32768 rows × 128
+/// columns (the figure axes in Fig. 3 run to ~32k rows and 128 columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct HbmGeometry {
+    /// Number of stack IDs per HBM (8Hi → 2 SIDs).
+    pub sids: u8,
+    /// Channels per SID.
+    pub channels: u8,
+    /// Pseudo-channels per channel.
+    pub pseudo_channels: u8,
+    /// Bank groups per pseudo-channel.
+    pub bank_groups: u8,
+    /// Banks per bank group.
+    pub banks_per_group: u8,
+    /// Rows per bank.
+    pub rows: u32,
+    /// Columns per bank.
+    pub cols: u16,
+}
+
+impl HbmGeometry {
+    /// Geometry of the HBM2E 8Hi stacks described in the paper.
+    pub const fn hbm2e_8hi() -> Self {
+        Self {
+            sids: 2,
+            channels: 8,
+            pseudo_channels: 2,
+            bank_groups: 4,
+            banks_per_group: 4,
+            rows: 32_768,
+            cols: 128,
+        }
+    }
+
+    /// A deliberately tiny geometry for fast tests and examples.
+    pub const fn tiny() -> Self {
+        Self {
+            sids: 1,
+            channels: 2,
+            pseudo_channels: 1,
+            bank_groups: 2,
+            banks_per_group: 2,
+            rows: 1024,
+            cols: 32,
+        }
+    }
+
+    /// Total number of banks in one HBM stack.
+    pub fn banks_per_hbm(&self) -> u32 {
+        self.sids as u32
+            * self.channels as u32
+            * self.pseudo_channels as u32
+            * self.bank_groups as u32
+            * self.banks_per_group as u32
+    }
+
+    /// Largest valid row index.
+    pub fn max_row(&self) -> u32 {
+        self.rows - 1
+    }
+
+    /// Largest valid column index.
+    pub fn max_col(&self) -> u16 {
+        self.cols - 1
+    }
+
+    /// Middle row of a bank; the "half total-row clustering" pattern places
+    /// its second cluster at a half-bank offset from the first.
+    pub fn half_rows(&self) -> u32 {
+        self.rows / 2
+    }
+
+    /// Validates the intra-HBM components of `bank` against this geometry.
+    ///
+    /// Node/NPU/socket indices are fleet-level concerns and are validated by
+    /// [`FleetConfig`](crate::FleetConfig) instead.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GeometryError`] naming the first out-of-range component.
+    pub fn validate_bank(&self, bank: &BankAddress) -> Result<(), GeometryError> {
+        check("sid", bank.sid.0 as u64, self.sids as u64)?;
+        check("channel", bank.channel.0 as u64, self.channels as u64)?;
+        check(
+            "pseudo-channel",
+            bank.pseudo_channel.0 as u64,
+            self.pseudo_channels as u64,
+        )?;
+        check(
+            "bank-group",
+            bank.bank_group.0 as u64,
+            self.bank_groups as u64,
+        )?;
+        check("bank", bank.bank.0 as u64, self.banks_per_group as u64)?;
+        Ok(())
+    }
+
+    /// Validates a full cell address (bank plus row/column bounds).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GeometryError`] naming the first out-of-range component.
+    pub fn validate_cell(&self, cell: &CellAddress) -> Result<(), GeometryError> {
+        self.validate_bank(&cell.bank)?;
+        check("row", cell.row.0 as u64, self.rows as u64)?;
+        check("col", cell.col.0 as u64, self.cols as u64)?;
+        Ok(())
+    }
+
+    /// Clamps an arbitrary row index into this geometry's valid range.
+    pub fn clamp_row(&self, row: i64) -> RowId {
+        RowId(row.clamp(0, self.max_row() as i64) as u32)
+    }
+}
+
+impl Default for HbmGeometry {
+    fn default() -> Self {
+        Self::hbm2e_8hi()
+    }
+}
+
+fn check(component: &'static str, value: u64, limit: u64) -> Result<(), GeometryError> {
+    if value < limit {
+        Ok(())
+    } else {
+        Err(GeometryError::new(component, value, limit))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::address::*;
+
+    #[test]
+    fn hbm2e_bank_count_matches_architecture() {
+        // 2 SIDs × 8 CH × 2 PS-CH × 4 BG × 4 banks = 512 banks per stack.
+        assert_eq!(HbmGeometry::hbm2e_8hi().banks_per_hbm(), 512);
+    }
+
+    #[test]
+    fn validates_in_range_bank() {
+        let geom = HbmGeometry::hbm2e_8hi();
+        let bank = BankAddress::new(
+            NodeId(0),
+            NpuId(7),
+            HbmSocket(1),
+            StackId(1),
+            Channel(7),
+            PseudoChannel(1),
+            BankGroup(3),
+            BankIndex(3),
+        );
+        assert!(geom.validate_bank(&bank).is_ok());
+    }
+
+    #[test]
+    fn rejects_out_of_range_channel() {
+        let geom = HbmGeometry::hbm2e_8hi();
+        let bank = BankAddress {
+            channel: Channel(8),
+            ..BankAddress::default()
+        };
+        let err = geom.validate_bank(&bank).unwrap_err();
+        assert_eq!(err.component(), "channel");
+    }
+
+    #[test]
+    fn rejects_out_of_range_row_and_col() {
+        let geom = HbmGeometry::hbm2e_8hi();
+        let bad_row = BankAddress::default().cell(RowId(32_768), ColId(0));
+        assert_eq!(geom.validate_cell(&bad_row).unwrap_err().component(), "row");
+        let bad_col = BankAddress::default().cell(RowId(0), ColId(128));
+        assert_eq!(geom.validate_cell(&bad_col).unwrap_err().component(), "col");
+    }
+
+    #[test]
+    fn clamp_row_saturates() {
+        let geom = HbmGeometry::tiny();
+        assert_eq!(geom.clamp_row(-5), RowId(0));
+        assert_eq!(geom.clamp_row(5000), RowId(1023));
+        assert_eq!(geom.clamp_row(512), RowId(512));
+    }
+
+    #[test]
+    fn half_rows_is_midpoint() {
+        assert_eq!(HbmGeometry::hbm2e_8hi().half_rows(), 16_384);
+    }
+}

@@ -1,0 +1,295 @@
+//! The micro-level hierarchy of the paper's empirical study.
+//!
+//! Tables I and II slice the fleet's error population at seven levels — NPU,
+//! HBM, SID, PS-CH, BG, bank, row. [`MicroLevel`] enumerates those levels and
+//! [`CellAddress::project`](crate::CellAddress::project) (provided here)
+//! collapses a cell address to the [`UnitKey`] identifying its containing
+//! unit at any level.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::address::{BankAddress, CellAddress};
+
+/// One level of the HBM micro-hierarchy, ordered from coarsest to finest.
+///
+/// The paper's Table I shows the sudden-UER ratio growing monotonically from
+/// the NPU level (~58%) to the row level (~96%); Table II reports per-level
+/// populations. Both are computed by projecting every error event onto each
+/// of these levels.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum MicroLevel {
+    /// Neural-processing unit (8 per node).
+    Npu,
+    /// One HBM stack (2 per NPU).
+    Hbm,
+    /// Stack ID (2 per HBM).
+    Sid,
+    /// Pseudo-channel (2 per channel, 8 channels per SID).
+    PsCh,
+    /// Bank group (4 per pseudo-channel).
+    Bg,
+    /// Bank (4 per bank group).
+    Bank,
+    /// Row within a bank.
+    Row,
+}
+
+impl MicroLevel {
+    /// All levels, coarsest first — the row order of Tables I and II.
+    pub const ALL: [MicroLevel; 7] = [
+        MicroLevel::Npu,
+        MicroLevel::Hbm,
+        MicroLevel::Sid,
+        MicroLevel::PsCh,
+        MicroLevel::Bg,
+        MicroLevel::Bank,
+        MicroLevel::Row,
+    ];
+
+    /// The display name used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            MicroLevel::Npu => "NPU",
+            MicroLevel::Hbm => "HBM",
+            MicroLevel::Sid => "SID",
+            MicroLevel::PsCh => "PS-CH",
+            MicroLevel::Bg => "BG",
+            MicroLevel::Bank => "Bank",
+            MicroLevel::Row => "Row",
+        }
+    }
+
+    /// Whether `self` is at least as fine-grained as `other`.
+    pub fn is_finer_or_equal(self, other: MicroLevel) -> bool {
+        self >= other
+    }
+}
+
+impl fmt::Display for MicroLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Identity of the unit containing a given cell at a given [`MicroLevel`].
+///
+/// Two error events belong to the same unit at level `L` iff their projected
+/// `UnitKey`s are equal. The key embeds all coarser components, so equality
+/// at a fine level implies equality at every coarser level.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct UnitKey {
+    level: MicroLevel,
+    // Packed coarse-to-fine component values; components finer than `level`
+    // are zeroed so that keys compare by containing unit only.
+    node: u32,
+    npu: u8,
+    hbm: u8,
+    sid: u8,
+    ch: u8,
+    pch: u8,
+    bg: u8,
+    bank: u8,
+    row: u32,
+}
+
+impl UnitKey {
+    /// The level this key identifies a unit at.
+    pub fn level(&self) -> MicroLevel {
+        self.level
+    }
+}
+
+impl fmt::Display for UnitKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}/npu{}", self.node, self.npu)?;
+        if self.level >= MicroLevel::Hbm {
+            write!(f, "/hbm{}", self.hbm)?;
+        }
+        if self.level >= MicroLevel::Sid {
+            write!(f, "/sid{}", self.sid)?;
+        }
+        if self.level >= MicroLevel::PsCh {
+            write!(f, "/ch{}/pch{}", self.ch, self.pch)?;
+        }
+        if self.level >= MicroLevel::Bg {
+            write!(f, "/bg{}", self.bg)?;
+        }
+        if self.level >= MicroLevel::Bank {
+            write!(f, "/bank{}", self.bank)?;
+        }
+        if self.level >= MicroLevel::Row {
+            write!(f, "/row{}", self.row)?;
+        }
+        Ok(())
+    }
+}
+
+impl CellAddress {
+    /// Projects this cell onto the unit containing it at `level`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use cordial_topology::{BankAddress, MicroLevel, RowId, ColId};
+    ///
+    /// let bank: BankAddress = "node0/npu1/hbm0/sid1/ch2/pch0/bg3/bank2".parse()?;
+    /// let a = bank.cell(RowId(10), ColId(3));
+    /// let b = bank.cell(RowId(999), ColId(7));
+    /// // Same bank, different rows:
+    /// assert_eq!(a.project(MicroLevel::Bank), b.project(MicroLevel::Bank));
+    /// assert_ne!(a.project(MicroLevel::Row), b.project(MicroLevel::Row));
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn project(&self, level: MicroLevel) -> UnitKey {
+        let b = &self.bank;
+        let mut key = UnitKey {
+            level,
+            node: b.node.0,
+            npu: b.npu.0,
+            hbm: 0,
+            sid: 0,
+            ch: 0,
+            pch: 0,
+            bg: 0,
+            bank: 0,
+            row: 0,
+        };
+        if level >= MicroLevel::Hbm {
+            key.hbm = b.hbm.0;
+        }
+        if level >= MicroLevel::Sid {
+            key.sid = b.sid.0;
+        }
+        if level >= MicroLevel::PsCh {
+            key.ch = b.channel.0;
+            key.pch = b.pseudo_channel.0;
+        }
+        if level >= MicroLevel::Bg {
+            key.bg = b.bank_group.0;
+        }
+        if level >= MicroLevel::Bank {
+            key.bank = b.bank.0;
+        }
+        if level >= MicroLevel::Row {
+            key.row = self.row.0;
+        }
+        key
+    }
+}
+
+impl BankAddress {
+    /// Projects this bank onto the unit containing it at `level`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is [`MicroLevel::Row`]: a bank address carries no row.
+    pub fn project(&self, level: MicroLevel) -> UnitKey {
+        assert!(
+            level < MicroLevel::Row,
+            "cannot project a bank address onto the row level"
+        );
+        self.cell(crate::RowId(0), crate::ColId(0)).project(level)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::address::*;
+
+    fn bank(npu: u8, sid: u8, ch: u8, bg: u8, bank: u8) -> BankAddress {
+        BankAddress::new(
+            NodeId(1),
+            NpuId(npu),
+            HbmSocket(0),
+            StackId(sid),
+            Channel(ch),
+            PseudoChannel(0),
+            BankGroup(bg),
+            BankIndex(bank),
+        )
+    }
+
+    #[test]
+    fn levels_order_coarse_to_fine() {
+        for window in MicroLevel::ALL.windows(2) {
+            assert!(window[0] < window[1]);
+        }
+        assert!(MicroLevel::Row.is_finer_or_equal(MicroLevel::Npu));
+        assert!(!MicroLevel::Npu.is_finer_or_equal(MicroLevel::Bank));
+    }
+
+    #[test]
+    fn same_npu_different_bank_collide_at_npu_level() {
+        let a = bank(2, 0, 1, 0, 0).cell(RowId(5), ColId(0));
+        let b = bank(2, 1, 7, 3, 3).cell(RowId(9), ColId(1));
+        assert_eq!(a.project(MicroLevel::Npu), b.project(MicroLevel::Npu));
+        assert_ne!(a.project(MicroLevel::Sid), b.project(MicroLevel::Sid));
+    }
+
+    #[test]
+    fn row_level_separates_rows_in_same_bank() {
+        let bk = bank(0, 0, 0, 0, 0);
+        let a = bk.cell(RowId(5), ColId(0));
+        let b = bk.cell(RowId(6), ColId(0));
+        assert_eq!(a.project(MicroLevel::Bank), b.project(MicroLevel::Bank));
+        assert_ne!(a.project(MicroLevel::Row), b.project(MicroLevel::Row));
+    }
+
+    #[test]
+    fn column_never_affects_projection() {
+        let bk = bank(0, 0, 0, 0, 0);
+        let a = bk.cell(RowId(5), ColId(0));
+        let b = bk.cell(RowId(5), ColId(100));
+        for level in MicroLevel::ALL {
+            assert_eq!(a.project(level), b.project(level));
+        }
+    }
+
+    #[test]
+    fn equality_at_fine_level_implies_coarser_equality() {
+        let a = bank(3, 1, 4, 2, 1).cell(RowId(77), ColId(3));
+        let b = bank(3, 1, 4, 2, 1).cell(RowId(77), ColId(9));
+        assert_eq!(a.project(MicroLevel::Row), b.project(MicroLevel::Row));
+        for level in MicroLevel::ALL {
+            assert_eq!(a.project(level), b.project(level));
+        }
+    }
+
+    #[test]
+    fn unit_key_display_truncates_at_level() {
+        let cell = bank(2, 1, 3, 0, 1).cell(RowId(42), ColId(0));
+        assert_eq!(cell.project(MicroLevel::Npu).to_string(), "node1/npu2");
+        assert_eq!(
+            cell.project(MicroLevel::Row).to_string(),
+            "node1/npu2/hbm0/sid1/ch3/pch0/bg0/bank1/row42"
+        );
+    }
+
+    #[test]
+    fn bank_projection_matches_cell_projection() {
+        let bk = bank(1, 0, 2, 3, 2);
+        let cell = bk.cell(RowId(100), ColId(10));
+        for level in &MicroLevel::ALL[..6] {
+            assert_eq!(bk.project(*level), cell.project(*level));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "row level")]
+    fn bank_projection_to_row_panics() {
+        bank(0, 0, 0, 0, 0).project(MicroLevel::Row);
+    }
+
+    #[test]
+    fn table_order_names_match_paper() {
+        let names: Vec<&str> = MicroLevel::ALL.iter().map(|l| l.name()).collect();
+        assert_eq!(names, ["NPU", "HBM", "SID", "PS-CH", "BG", "Bank", "Row"]);
+    }
+}

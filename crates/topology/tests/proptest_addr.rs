@@ -1,0 +1,99 @@
+//! Property-based tests for addressing: text and physical codecs must be
+//! total inverses over the whole coordinate space.
+
+use proptest::prelude::*;
+
+use cordial_topology::{
+    AddressMap, BankAddress, BankGroup, BankIndex, CellAddress, Channel, ColId, HbmGeometry,
+    HbmSocket, MicroLevel, NodeId, NpuId, PhysicalAddress, PseudoChannel, RowId, StackId,
+};
+
+fn arb_cell() -> impl Strategy<Value = CellAddress> {
+    (
+        0u32..5000,
+        0u8..8,
+        0u8..2,
+        0u8..2,
+        0u8..8,
+        0u8..2,
+        0u8..4,
+        0u8..4,
+        0u32..32_768,
+        0u16..128,
+    )
+        .prop_map(
+            |(node, npu, hbm, sid, ch, pch, bg, bank, row, col)| CellAddress {
+                bank: BankAddress {
+                    node: NodeId(node),
+                    npu: NpuId(npu),
+                    hbm: HbmSocket(hbm),
+                    sid: StackId(sid),
+                    channel: Channel(ch),
+                    pseudo_channel: PseudoChannel(pch),
+                    bank_group: BankGroup(bg),
+                    bank: BankIndex(bank),
+                },
+                row: RowId(row),
+                col: ColId(col),
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn physical_codec_is_a_bijection_over_valid_cells(cell in arb_cell()) {
+        let map = AddressMap::default();
+        let physical = map.encode(&cell).expect("cell is in range");
+        let decoded = map
+            .decode(cell.bank.node, cell.bank.npu, cell.bank.hbm, physical)
+            .expect("address is in range");
+        prop_assert_eq!(decoded, cell);
+    }
+
+    #[test]
+    fn every_in_range_physical_address_decodes_and_re_encodes(raw in 0u64..(1 << 31)) {
+        let map = AddressMap::default();
+        let physical = PhysicalAddress(raw);
+        let cell = map
+            .decode(NodeId(1), NpuId(2), HbmSocket(1), physical)
+            .expect("31-bit addresses are in range");
+        prop_assert!(HbmGeometry::hbm2e_8hi().validate_cell(&cell).is_ok());
+        prop_assert_eq!(map.encode(&cell).unwrap(), physical);
+    }
+
+    #[test]
+    fn text_and_physical_codecs_agree(cell in arb_cell()) {
+        // Round-trip through *text* and through *physical bits* must land on
+        // the same cell.
+        let via_text: CellAddress = cell.to_string().parse().unwrap();
+        let map = AddressMap::default();
+        let via_bits = map
+            .decode(
+                cell.bank.node,
+                cell.bank.npu,
+                cell.bank.hbm,
+                map.encode(&cell).unwrap(),
+            )
+            .unwrap();
+        prop_assert_eq!(via_text, via_bits);
+    }
+
+    #[test]
+    fn physical_adjacency_respects_projection(cell in arb_cell()) {
+        // Two cells that differ only in column share every projection level;
+        // their physical addresses differ only in the low column bits.
+        let map = AddressMap::default();
+        let sibling = CellAddress {
+            col: ColId((cell.col.index() + 1) % 128),
+            ..cell
+        };
+        for level in MicroLevel::ALL {
+            prop_assert_eq!(cell.project(level), sibling.project(level));
+        }
+        let a = map.encode(&cell).unwrap().0;
+        let b = map.encode(&sibling).unwrap().0;
+        prop_assert_eq!(a >> 7, b >> 7, "only the 7 column bits may differ");
+    }
+}

@@ -1,0 +1,262 @@
+//! Dense dataset container and train/test splitting.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::error::FitError;
+
+/// A dense, row-major feature matrix with integer class labels.
+///
+/// Missing feature values are encoded as `f64::NAN`; every split routine in
+/// this crate routes NaN to the left branch deterministically, so models are
+/// NaN-tolerant by construction.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Dataset {
+    n_features: usize,
+    n_classes: usize,
+    features: Vec<f64>,
+    labels: Vec<usize>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset with `n_features` columns and labels drawn
+    /// from `0..n_classes`.
+    pub fn new(n_features: usize, n_classes: usize) -> Self {
+        Self {
+            n_features,
+            n_classes,
+            features: Vec::new(),
+            labels: Vec::new(),
+        }
+    }
+
+    /// Appends one labelled row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FitError::FeatureCountMismatch`] or
+    /// [`FitError::LabelOutOfRange`] on malformed input.
+    pub fn push_row(&mut self, row: &[f64], label: usize) -> Result<(), FitError> {
+        if row.len() != self.n_features {
+            return Err(FitError::FeatureCountMismatch {
+                expected: self.n_features,
+                found: row.len(),
+            });
+        }
+        if label >= self.n_classes {
+            return Err(FitError::LabelOutOfRange {
+                label,
+                n_classes: self.n_classes,
+            });
+        }
+        self.features.extend_from_slice(row);
+        self.labels.push(label);
+        Ok(())
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of feature columns.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Number of label classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Feature row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n_rows()`.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.features[i * self.n_features..(i + 1) * self.n_features]
+    }
+
+    /// Label of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n_rows()`.
+    pub fn label(&self, i: usize) -> usize {
+        self.labels[i]
+    }
+
+    /// All labels in row order.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Value of feature `f` in row `i` (may be NaN for missing).
+    pub fn value(&self, i: usize, f: usize) -> f64 {
+        self.features[i * self.n_features + f]
+    }
+
+    /// Per-class row counts.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.n_classes];
+        for &label in &self.labels {
+            counts[label] += 1;
+        }
+        counts
+    }
+
+    /// Most frequent class (first on ties); `None` for an empty dataset.
+    pub fn majority_class(&self) -> Option<usize> {
+        if self.is_empty() {
+            return None;
+        }
+        let counts = self.class_counts();
+        Some(crate::argmax(
+            &counts.iter().map(|&c| c as f64).collect::<Vec<_>>(),
+        ))
+    }
+
+    /// Builds a sub-dataset from the given row indices (rows are copied).
+    pub fn select(&self, indices: &[usize]) -> Dataset {
+        let mut out = Dataset::new(self.n_features, self.n_classes);
+        for &i in indices {
+            out.features.extend_from_slice(self.row(i));
+            out.labels.push(self.labels[i]);
+        }
+        out
+    }
+
+    /// Splits rows into train/test index sets with approximately
+    /// `train_fraction` of each class in the training set (stratified — the
+    /// paper splits its dataset 7:3, §V-A).
+    ///
+    /// Deterministic for a given `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `train_fraction` is not within `(0, 1)`.
+    pub fn stratified_split(&self, train_fraction: f64, seed: u64) -> SplitSets {
+        assert!(
+            train_fraction > 0.0 && train_fraction < 1.0,
+            "train_fraction must be in (0, 1)"
+        );
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut per_class: Vec<Vec<usize>> = vec![Vec::new(); self.n_classes];
+        for (i, &label) in self.labels.iter().enumerate() {
+            per_class[label].push(i);
+        }
+        let mut train = Vec::new();
+        let mut test = Vec::new();
+        for mut indices in per_class {
+            indices.shuffle(&mut rng);
+            let cut = ((indices.len() as f64) * train_fraction).round() as usize;
+            let cut = cut.min(indices.len());
+            train.extend_from_slice(&indices[..cut]);
+            test.extend_from_slice(&indices[cut..]);
+        }
+        train.sort_unstable();
+        test.sort_unstable();
+        SplitSets { train, test }
+    }
+}
+
+/// Result of a train/test split: row indices into the source dataset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitSets {
+    /// Training-row indices (sorted).
+    pub train: Vec<usize>,
+    /// Test-row indices (sorted).
+    pub test: Vec<usize>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_class_dataset() -> Dataset {
+        let mut data = Dataset::new(2, 3);
+        for i in 0..30 {
+            data.push_row(&[i as f64, 0.0], 0).unwrap();
+        }
+        for i in 0..20 {
+            data.push_row(&[i as f64, 1.0], 1).unwrap();
+        }
+        for i in 0..10 {
+            data.push_row(&[i as f64, 2.0], 2).unwrap();
+        }
+        data
+    }
+
+    #[test]
+    fn push_row_validates_shape_and_label() {
+        let mut data = Dataset::new(2, 2);
+        assert!(data.push_row(&[1.0], 0).is_err());
+        assert!(data.push_row(&[1.0, 2.0], 5).is_err());
+        assert!(data.push_row(&[1.0, 2.0], 1).is_ok());
+        assert_eq!(data.n_rows(), 1);
+    }
+
+    #[test]
+    fn accessors_read_back_rows() {
+        let data = three_class_dataset();
+        assert_eq!(data.row(0), &[0.0, 0.0]);
+        assert_eq!(data.label(30), 1);
+        assert_eq!(data.value(30, 1), 1.0);
+        assert_eq!(data.class_counts(), vec![30, 20, 10]);
+        assert_eq!(data.majority_class(), Some(0));
+    }
+
+    #[test]
+    fn select_copies_requested_rows() {
+        let data = three_class_dataset();
+        let sub = data.select(&[0, 30, 50]);
+        assert_eq!(sub.n_rows(), 3);
+        assert_eq!(sub.labels(), &[0, 1, 2]);
+        assert_eq!(sub.row(1), data.row(30));
+    }
+
+    #[test]
+    fn stratified_split_preserves_class_ratios() {
+        let data = three_class_dataset();
+        let split = data.stratified_split(0.7, 42);
+        assert_eq!(split.train.len() + split.test.len(), data.n_rows());
+        let train_counts = data.select(&split.train).class_counts();
+        assert_eq!(train_counts, vec![21, 14, 7]);
+    }
+
+    #[test]
+    fn stratified_split_is_deterministic_per_seed() {
+        let data = three_class_dataset();
+        assert_eq!(data.stratified_split(0.7, 1), data.stratified_split(0.7, 1));
+        assert_ne!(
+            data.stratified_split(0.7, 1).train,
+            data.stratified_split(0.7, 2).train
+        );
+    }
+
+    #[test]
+    fn split_sets_are_disjoint() {
+        let data = three_class_dataset();
+        let split = data.stratified_split(0.5, 3);
+        for i in &split.train {
+            assert!(!split.test.contains(i));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "train_fraction")]
+    fn split_rejects_bad_fraction() {
+        three_class_dataset().stratified_split(1.5, 0);
+    }
+
+    #[test]
+    fn majority_class_of_empty_is_none() {
+        assert_eq!(Dataset::new(2, 2).majority_class(), None);
+    }
+}

@@ -1,0 +1,66 @@
+//! Error type shared by all model-fitting entry points.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a model cannot be fitted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FitError {
+    /// The training set contains no rows.
+    EmptyDataset,
+    /// A row had the wrong number of features.
+    FeatureCountMismatch {
+        /// Expected feature count.
+        expected: usize,
+        /// Provided feature count.
+        found: usize,
+    },
+    /// A label was outside `0..n_classes`.
+    LabelOutOfRange {
+        /// The offending label.
+        label: usize,
+        /// The dataset's class count.
+        n_classes: usize,
+    },
+    /// A hyperparameter value is invalid (e.g. zero trees).
+    InvalidConfig(&'static str),
+}
+
+impl fmt::Display for FitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FitError::EmptyDataset => f.write_str("training set contains no rows"),
+            FitError::FeatureCountMismatch { expected, found } => {
+                write!(f, "expected {expected} features per row, found {found}")
+            }
+            FitError::LabelOutOfRange { label, n_classes } => {
+                write!(f, "label {label} out of range for {n_classes} classes")
+            }
+            FitError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl Error for FitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        assert!(FitError::EmptyDataset.to_string().contains("no rows"));
+        let err = FitError::FeatureCountMismatch {
+            expected: 4,
+            found: 2,
+        };
+        assert!(err.to_string().contains('4'));
+        assert!(FitError::LabelOutOfRange {
+            label: 9,
+            n_classes: 3
+        }
+        .to_string()
+        .contains('9'));
+        assert!(FitError::InvalidConfig("zero trees").to_string().contains("zero trees"));
+    }
+}

@@ -1,0 +1,606 @@
+//! Second-order gradient-boosted decision trees in the XGBoost style.
+//!
+//! Each boosting round fits one regression tree per class to the first- and
+//! second-order derivatives (grad/hess) of the softmax cross-entropy loss.
+//! Split gain and leaf weights follow the XGBoost formulation:
+//!
+//! ```text
+//! gain = ½ [ G_L²/(H_L+λ) + G_R²/(H_R+λ) − G²/(H+λ) ] − γ
+//! leaf  = −G/(H+λ)
+//! ```
+
+use serde::{Deserialize, Serialize};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::data::Dataset;
+use crate::error::FitError;
+use crate::Classifier;
+
+/// Hyperparameters of a [`Gbdt`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GbdtConfig {
+    /// Boosting rounds (trees per class).
+    pub n_rounds: usize,
+    /// Maximum depth of each regression tree.
+    pub max_depth: usize,
+    /// Shrinkage applied to every leaf (the learning rate η).
+    pub learning_rate: f64,
+    /// L2 regularisation λ on leaf weights.
+    pub lambda: f64,
+    /// Minimum split gain γ.
+    pub gamma: f64,
+    /// Minimum hessian mass per child (akin to `min_child_weight`).
+    pub min_child_weight: f64,
+    /// Fraction of rows sampled per round (stochastic boosting).
+    pub subsample: f64,
+    /// Fraction of features considered per tree.
+    pub colsample: f64,
+    /// Stop boosting after this many rounds without validation-loss
+    /// improvement; `None` disables early stopping.
+    pub early_stopping_rounds: Option<usize>,
+    /// Fraction of rows held out as the validation set when early stopping
+    /// is enabled.
+    pub validation_fraction: f64,
+    /// RNG seed for row/feature subsampling.
+    pub seed: u64,
+}
+
+impl Default for GbdtConfig {
+    fn default() -> Self {
+        Self {
+            n_rounds: 60,
+            max_depth: 5,
+            learning_rate: 0.2,
+            lambda: 1.0,
+            gamma: 0.0,
+            min_child_weight: 1.0,
+            subsample: 1.0,
+            colsample: 1.0,
+            early_stopping_rounds: None,
+            validation_fraction: 0.15,
+            seed: 0,
+        }
+    }
+}
+
+impl GbdtConfig {
+    /// Returns the config with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns the config with a different round count.
+    pub fn with_rounds(mut self, n_rounds: usize) -> Self {
+        self.n_rounds = n_rounds;
+        self
+    }
+}
+
+/// A fitted gradient-boosted ensemble (XGBoost-style).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Gbdt {
+    /// `trees[round][class]`.
+    trees: Vec<Vec<RegTree>>,
+    n_classes: usize,
+    n_features: usize,
+    base_score: Vec<f64>,
+    learning_rate: f64,
+    /// Total split gain accumulated per feature during training.
+    gains: Vec<f64>,
+}
+
+impl Gbdt {
+    /// Fits a boosted ensemble.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FitError::EmptyDataset`] for an empty training set and
+    /// [`FitError::InvalidConfig`] for invalid hyperparameters.
+    pub fn fit(data: &Dataset, config: &GbdtConfig) -> Result<Self, FitError> {
+        validate(data, config)?;
+        let n = data.n_rows();
+        let k = data.n_classes();
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut gains = vec![0.0f64; data.n_features()];
+
+        // Early-stopping holdout: validation rows never feed tree fitting.
+        let (train_rows, val_rows): (Vec<usize>, Vec<usize>) =
+            if config.early_stopping_rounds.is_some() {
+                let mut all: Vec<usize> = (0..n).collect();
+                all.shuffle(&mut rng);
+                let cut = (((n as f64) * config.validation_fraction).round() as usize)
+                    .clamp(1, n.saturating_sub(1));
+                let (val, train) = all.split_at(cut);
+                (train.to_vec(), val.to_vec())
+            } else {
+                ((0..n).collect(), Vec::new())
+            };
+
+        // Base score: log prior per class.
+        let counts = data.class_counts();
+        let base_score: Vec<f64> = counts
+            .iter()
+            .map(|&c| (((c as f64) + 1.0) / ((n + k) as f64)).ln())
+            .collect();
+
+        // Raw scores per row per class.
+        let mut scores: Vec<Vec<f64>> = vec![base_score.clone(); n];
+        let mut trees: Vec<Vec<RegTree>> = Vec::with_capacity(config.n_rounds);
+        let mut best_val_loss = f64::INFINITY;
+        let mut best_round = 0usize;
+        let mut rounds_since_best = 0usize;
+
+        for _ in 0..config.n_rounds {
+            // Softmax probabilities.
+            let probs: Vec<Vec<f64>> = scores.iter().map(|s| softmax(s)).collect();
+
+            // Row subsample for this round (training rows only).
+            let rows: Vec<usize> = if config.subsample < 1.0 {
+                let target =
+                    (((train_rows.len() as f64) * config.subsample).ceil() as usize).max(1);
+                let mut all = train_rows.clone();
+                all.shuffle(&mut rng);
+                all.truncate(target);
+                all
+            } else {
+                train_rows.clone()
+            };
+
+            let mut round_trees = Vec::with_capacity(k);
+            for class in 0..k {
+                let grad_hess: Vec<(f64, f64)> = (0..n)
+                    .map(|i| {
+                        let p = probs[i][class];
+                        let y = f64::from(data.label(i) == class);
+                        (p - y, (p * (1.0 - p)).max(1e-16))
+                    })
+                    .collect();
+
+                let features: Vec<usize> = if config.colsample < 1.0 {
+                    let target = (((data.n_features() as f64) * config.colsample).ceil()
+                        as usize)
+                        .max(1);
+                    let mut all: Vec<usize> = (0..data.n_features()).collect();
+                    all.shuffle(&mut rng);
+                    all.truncate(target);
+                    all
+                } else {
+                    (0..data.n_features()).collect()
+                };
+
+                let tree = RegTree::fit(data, &rows, &grad_hess, &features, config, &mut gains);
+                for (i, score_row) in scores.iter_mut().enumerate() {
+                    score_row[class] += config.learning_rate * tree.predict(data.row(i));
+                }
+                round_trees.push(tree);
+            }
+            trees.push(round_trees);
+
+            // Early stopping on validation log-loss.
+            if let Some(patience) = config.early_stopping_rounds {
+                let loss: f64 = val_rows
+                    .iter()
+                    .map(|&i| {
+                        let p = softmax(&scores[i])[data.label(i)].max(1e-12);
+                        -p.ln()
+                    })
+                    .sum::<f64>()
+                    / val_rows.len().max(1) as f64;
+                if loss + 1e-9 < best_val_loss {
+                    best_val_loss = loss;
+                    best_round = trees.len();
+                    rounds_since_best = 0;
+                } else {
+                    rounds_since_best += 1;
+                    if rounds_since_best >= patience {
+                        trees.truncate(best_round);
+                        break;
+                    }
+                }
+            }
+        }
+
+        Ok(Gbdt {
+            trees,
+            n_classes: k,
+            n_features: data.n_features(),
+            base_score,
+            learning_rate: config.learning_rate,
+            gains,
+        })
+    }
+
+    /// Number of boosting rounds.
+    pub fn n_rounds(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Total split gain contributed by each feature, normalised to sum
+    /// to 1 (all zeros when no split was ever made).
+    pub fn feature_importance(&self) -> Vec<f64> {
+        normalise_gains(&self.gains)
+    }
+
+    /// Raw (pre-softmax) scores for a row.
+    pub fn raw_scores(&self, row: &[f64]) -> Vec<f64> {
+        assert_eq!(row.len(), self.n_features, "feature count mismatch");
+        let mut scores = self.base_score.clone();
+        for round in &self.trees {
+            for (class, tree) in round.iter().enumerate() {
+                scores[class] += self.learning_rate * tree.predict(row);
+            }
+        }
+        scores
+    }
+}
+
+impl Classifier for Gbdt {
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    fn predict_proba(&self, row: &[f64]) -> Vec<f64> {
+        softmax(&self.raw_scores(row))
+    }
+}
+
+fn validate(data: &Dataset, config: &GbdtConfig) -> Result<(), FitError> {
+    if data.is_empty() {
+        return Err(FitError::EmptyDataset);
+    }
+    if config.n_rounds == 0 {
+        return Err(FitError::InvalidConfig("n_rounds must be >= 1"));
+    }
+    if config.learning_rate.is_nan() || config.learning_rate <= 0.0 {
+        return Err(FitError::InvalidConfig("learning_rate must be positive"));
+    }
+    if !(config.subsample > 0.0 && config.subsample <= 1.0) {
+        return Err(FitError::InvalidConfig("subsample must be in (0, 1]"));
+    }
+    if !(config.colsample > 0.0 && config.colsample <= 1.0) {
+        return Err(FitError::InvalidConfig("colsample must be in (0, 1]"));
+    }
+    if config.lambda < 0.0 {
+        return Err(FitError::InvalidConfig("lambda must be non-negative"));
+    }
+    Ok(())
+}
+
+/// Normalises a gain vector to sum to 1 (zeros stay zeros).
+pub(crate) fn normalise_gains(gains: &[f64]) -> Vec<f64> {
+    let total: f64 = gains.iter().sum();
+    if total <= 0.0 {
+        return vec![0.0; gains.len()];
+    }
+    gains.iter().map(|&g| g / total).collect()
+}
+
+pub(crate) fn softmax(scores: &[f64]) -> Vec<f64> {
+    let max = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = scores.iter().map(|&s| (s - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+/// A regression tree fitted to grad/hess pairs (XGBoost objective).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct RegTree {
+    nodes: Vec<RegNode>,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum RegNode {
+    Leaf {
+        weight: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+impl RegTree {
+    fn fit(
+        data: &Dataset,
+        rows: &[usize],
+        grad_hess: &[(f64, f64)],
+        features: &[usize],
+        config: &GbdtConfig,
+        gains: &mut [f64],
+    ) -> Self {
+        let mut tree = RegTree { nodes: Vec::new() };
+        let mut work = rows.to_vec();
+        tree.build(data, &mut work, grad_hess, features, 0, config, gains);
+        tree
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn build(
+        &mut self,
+        data: &Dataset,
+        rows: &mut [usize],
+        grad_hess: &[(f64, f64)],
+        features: &[usize],
+        depth: usize,
+        config: &GbdtConfig,
+        gains: &mut [f64],
+    ) -> usize {
+        let (g_sum, h_sum) = rows.iter().fold((0.0, 0.0), |(g, h), &i| {
+            (g + grad_hess[i].0, h + grad_hess[i].1)
+        });
+
+        if depth < config.max_depth && rows.len() >= 2 {
+            if let Some(split) = best_split(data, rows, grad_hess, features, g_sum, h_sum, config) {
+                let mid = partition(data, rows, split.feature, split.threshold);
+                if mid > 0 && mid < rows.len() {
+                    gains[split.feature] += split.gain.max(0.0);
+                    let node_idx = self.nodes.len();
+                    self.nodes.push(RegNode::Leaf { weight: 0.0 });
+                    let (left_rows, right_rows) = rows.split_at_mut(mid);
+                    let left = self
+                        .build(data, left_rows, grad_hess, features, depth + 1, config, gains);
+                    let right = self
+                        .build(data, right_rows, grad_hess, features, depth + 1, config, gains);
+                    self.nodes[node_idx] = RegNode::Split {
+                        feature: split.feature,
+                        threshold: split.threshold,
+                        left,
+                        right,
+                    };
+                    return node_idx;
+                }
+            }
+        }
+
+        let weight = -g_sum / (h_sum + config.lambda);
+        let node_idx = self.nodes.len();
+        self.nodes.push(RegNode::Leaf { weight });
+        node_idx
+    }
+
+    fn predict(&self, row: &[f64]) -> f64 {
+        let mut idx = 0;
+        loop {
+            match &self.nodes[idx] {
+                RegNode::Leaf { weight } => return *weight,
+                RegNode::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    let v = row[*feature];
+                    idx = if v.is_nan() || v <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+}
+
+struct RegSplit {
+    feature: usize,
+    threshold: f64,
+    gain: f64,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn best_split(
+    data: &Dataset,
+    rows: &[usize],
+    grad_hess: &[(f64, f64)],
+    features: &[usize],
+    g_sum: f64,
+    h_sum: f64,
+    config: &GbdtConfig,
+) -> Option<RegSplit> {
+    let parent_score = g_sum * g_sum / (h_sum + config.lambda);
+    let mut best_gain = 1e-12;
+    let mut best = None;
+    let mut sorted: Vec<(f64, f64, f64)> = Vec::with_capacity(rows.len());
+    for &feature in features {
+        sorted.clear();
+        sorted.extend(rows.iter().map(|&i| {
+            let v = data.value(i, feature);
+            let key = if v.is_nan() { f64::NEG_INFINITY } else { v };
+            (key, grad_hess[i].0, grad_hess[i].1)
+        }));
+        sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN mapped to -inf"));
+
+        let mut g_left = 0.0;
+        let mut h_left = 0.0;
+        for pos in 0..sorted.len() - 1 {
+            g_left += sorted[pos].1;
+            h_left += sorted[pos].2;
+            let (value, next_value) = (sorted[pos].0, sorted[pos + 1].0);
+            if value == next_value || value == f64::NEG_INFINITY {
+                continue;
+            }
+            let h_right = h_sum - h_left;
+            if h_left < config.min_child_weight || h_right < config.min_child_weight {
+                continue;
+            }
+            let g_right = g_sum - g_left;
+            let gain = 0.5
+                * (g_left * g_left / (h_left + config.lambda)
+                    + g_right * g_right / (h_right + config.lambda)
+                    - parent_score)
+                - config.gamma;
+            if gain > best_gain {
+                best_gain = gain;
+                best = Some(RegSplit {
+                    feature,
+                    threshold: value + (next_value - value) / 2.0,
+                    gain,
+                });
+            }
+        }
+    }
+    best
+}
+
+fn partition(data: &Dataset, rows: &mut [usize], feature: usize, threshold: f64) -> usize {
+    let mut mid = 0;
+    for i in 0..rows.len() {
+        let v = data.value(rows[i], feature);
+        if v.is_nan() || v <= threshold {
+            rows.swap(i, mid);
+            mid += 1;
+        }
+    }
+    mid
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> Dataset {
+        let mut data = Dataset::new(2, 3);
+        for i in 0..40 {
+            let v = (i % 10) as f64 * 0.1;
+            data.push_row(&[v, v], 0).unwrap();
+            data.push_row(&[5.0 + v, 5.0 + v], 1).unwrap();
+            data.push_row(&[10.0 + v, -5.0 - v], 2).unwrap();
+        }
+        data
+    }
+
+    #[test]
+    fn softmax_is_a_distribution() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+        // Numerically stable for large scores.
+        let p = softmax(&[1000.0, 1001.0]);
+        assert!(p[1] > p[0]);
+        assert!(p.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn classifies_separable_blobs() {
+        let model = Gbdt::fit(&blobs(), &GbdtConfig::default().with_rounds(20)).unwrap();
+        assert_eq!(model.predict(&[0.2, 0.2]), 0);
+        assert_eq!(model.predict(&[5.2, 5.2]), 1);
+        assert_eq!(model.predict(&[10.2, -5.2]), 2);
+    }
+
+    #[test]
+    fn binary_classification_works() {
+        let mut data = Dataset::new(1, 2);
+        for i in 0..50 {
+            data.push_row(&[i as f64], usize::from(i >= 25)).unwrap();
+        }
+        let model = Gbdt::fit(&data, &GbdtConfig::default().with_rounds(10)).unwrap();
+        assert_eq!(model.predict(&[3.0]), 0);
+        assert_eq!(model.predict(&[47.0]), 1);
+        let p = model.predict_proba(&[49.0]);
+        assert!(p[1] > 0.9);
+    }
+
+    #[test]
+    fn more_rounds_reduce_training_loss() {
+        let data = blobs();
+        let short = Gbdt::fit(&data, &GbdtConfig::default().with_rounds(2)).unwrap();
+        let long = Gbdt::fit(&data, &GbdtConfig::default().with_rounds(30)).unwrap();
+        let loss = |m: &Gbdt| -> f64 {
+            (0..data.n_rows())
+                .map(|i| -m.predict_proba(data.row(i))[data.label(i)].max(1e-12).ln())
+                .sum::<f64>()
+        };
+        assert!(loss(&long) < loss(&short));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let data = blobs();
+        let config = GbdtConfig {
+            subsample: 0.8,
+            colsample: 0.5,
+            ..GbdtConfig::default().with_rounds(5)
+        };
+        let a = Gbdt::fit(&data, &config.with_seed(7)).unwrap();
+        let b = Gbdt::fit(&data, &config.with_seed(7)).unwrap();
+        assert_eq!(a, b);
+        let c = Gbdt::fit(&data, &config.with_seed(8)).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn rejects_invalid_configs() {
+        let data = blobs();
+        for config in [
+            GbdtConfig::default().with_rounds(0),
+            GbdtConfig {
+                learning_rate: 0.0,
+                ..GbdtConfig::default()
+            },
+            GbdtConfig {
+                subsample: 0.0,
+                ..GbdtConfig::default()
+            },
+            GbdtConfig {
+                colsample: 1.5,
+                ..GbdtConfig::default()
+            },
+            GbdtConfig {
+                lambda: -1.0,
+                ..GbdtConfig::default()
+            },
+        ] {
+            assert!(matches!(
+                Gbdt::fit(&data, &config),
+                Err(FitError::InvalidConfig(_))
+            ));
+        }
+        assert_eq!(
+            Gbdt::fit(&Dataset::new(1, 2), &GbdtConfig::default()),
+            Err(FitError::EmptyDataset)
+        );
+    }
+
+    #[test]
+    fn handles_nan_features() {
+        let mut data = Dataset::new(2, 2);
+        for i in 0..30 {
+            data.push_row(&[f64::NAN, i as f64], 0).unwrap();
+            data.push_row(&[1.0, 100.0 + i as f64], 1).unwrap();
+        }
+        let model = Gbdt::fit(&data, &GbdtConfig::default().with_rounds(10)).unwrap();
+        assert_eq!(model.predict(&[f64::NAN, 5.0]), 0);
+        assert_eq!(model.predict(&[1.0, 110.0]), 1);
+    }
+
+    #[test]
+    fn gamma_prunes_low_gain_splits() {
+        let data = blobs();
+        let loose = Gbdt::fit(&data, &GbdtConfig::default().with_rounds(3)).unwrap();
+        let strict = Gbdt::fit(
+            &data,
+            &GbdtConfig {
+                gamma: 1e9,
+                ..GbdtConfig::default().with_rounds(3)
+            },
+        )
+        .unwrap();
+        // With an enormous gamma no split clears the bar, so predictions
+        // collapse to the prior; the loose model must differ.
+        let row = &[0.2, 0.2];
+        assert_ne!(loose.predict_proba(row), strict.predict_proba(row));
+    }
+
+    #[test]
+    fn raw_scores_have_one_entry_per_class() {
+        let model = Gbdt::fit(&blobs(), &GbdtConfig::default().with_rounds(2)).unwrap();
+        assert_eq!(model.raw_scores(&[1.0, 1.0]).len(), 3);
+        assert_eq!(model.n_rounds(), 2);
+    }
+}

@@ -1,0 +1,229 @@
+//! Histogram binning: the quantile bin mapper and per-feature gradient
+//! histograms that power the LightGBM-style learner.
+
+use serde::{Deserialize, Serialize};
+use crate::data::Dataset;
+
+/// Bin index reserved for missing (NaN) values.
+pub const MISSING_BIN: u16 = 0;
+
+/// Maps raw feature values to small integer bins using per-feature quantile
+/// boundaries (LightGBM's core trick: split search over ≤256 bins instead of
+/// all distinct values).
+///
+/// Bin 0 is reserved for missing values; finite values map to `1..=n_bins`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BinMapper {
+    /// `boundaries[f]` holds the ascending upper edges for feature `f`;
+    /// a value maps to 1 + (number of boundaries strictly below it).
+    boundaries: Vec<Vec<f64>>,
+}
+
+impl BinMapper {
+    /// Builds a mapper from the dataset's empirical quantiles, with at most
+    /// `max_bins` finite bins per feature.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_bins < 2`.
+    pub fn fit(data: &Dataset, max_bins: usize) -> Self {
+        assert!(max_bins >= 2, "max_bins must be at least 2");
+        let mut boundaries = Vec::with_capacity(data.n_features());
+        for f in 0..data.n_features() {
+            let mut values: Vec<f64> = (0..data.n_rows())
+                .map(|i| data.value(i, f))
+                .filter(|v| !v.is_nan())
+                .collect();
+            values.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+            values.dedup();
+            let edges = if values.len() <= max_bins {
+                // One bin per distinct value: boundaries are the midpoints.
+                values
+                    .windows(2)
+                    .map(|w| w[0] + (w[1] - w[0]) / 2.0)
+                    .collect()
+            } else {
+                // Quantile boundaries.
+                let mut edges = Vec::with_capacity(max_bins - 1);
+                for q in 1..max_bins {
+                    let idx = q * values.len() / max_bins;
+                    let edge = values[idx.min(values.len() - 1)];
+                    if edges.last().is_none_or(|&last| edge > last) {
+                        edges.push(edge);
+                    }
+                }
+                edges
+            };
+            boundaries.push(edges);
+        }
+        Self { boundaries }
+    }
+
+    /// Number of features the mapper covers.
+    pub fn n_features(&self) -> usize {
+        self.boundaries.len()
+    }
+
+    /// Number of bins for feature `f`, including the missing bin.
+    pub fn n_bins(&self, f: usize) -> usize {
+        self.boundaries[f].len() + 2
+    }
+
+    /// Maps one value of feature `f` to its bin.
+    pub fn bin(&self, f: usize, value: f64) -> u16 {
+        if value.is_nan() {
+            return MISSING_BIN;
+        }
+        let edges = &self.boundaries[f];
+        let pos = edges.partition_point(|&e| e < value);
+        (pos + 1) as u16
+    }
+
+    /// Bins every value of the dataset (row-major, same layout as the data).
+    pub fn bin_dataset(&self, data: &Dataset) -> Vec<u16> {
+        let mut out = Vec::with_capacity(data.n_rows() * data.n_features());
+        for i in 0..data.n_rows() {
+            for f in 0..data.n_features() {
+                out.push(self.bin(f, data.value(i, f)));
+            }
+        }
+        out
+    }
+
+    /// Bins one raw feature row.
+    pub fn bin_row(&self, row: &[f64]) -> Vec<u16> {
+        assert_eq!(row.len(), self.n_features(), "feature count mismatch");
+        row.iter()
+            .enumerate()
+            .map(|(f, &v)| self.bin(f, v))
+            .collect()
+    }
+}
+
+/// Per-bin gradient statistics for one feature at one tree node.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FeatureHistogram {
+    /// Sum of gradients per bin.
+    pub grad: Vec<f64>,
+    /// Sum of hessians per bin.
+    pub hess: Vec<f64>,
+    /// Row count per bin.
+    pub count: Vec<u32>,
+}
+
+impl FeatureHistogram {
+    /// Creates an all-zero histogram with `n_bins` bins.
+    pub fn zeros(n_bins: usize) -> Self {
+        Self {
+            grad: vec![0.0; n_bins],
+            hess: vec![0.0; n_bins],
+            count: vec![0; n_bins],
+        }
+    }
+
+    /// Accumulates one observation into `bin`.
+    #[inline]
+    pub fn add(&mut self, bin: u16, grad: f64, hess: f64) {
+        let b = bin as usize;
+        self.grad[b] += grad;
+        self.hess[b] += hess;
+        self.count[b] += 1;
+    }
+
+    /// Total gradient/hessian/count across all bins.
+    pub fn totals(&self) -> (f64, f64, u32) {
+        (
+            self.grad.iter().sum(),
+            self.hess.iter().sum(),
+            self.count.iter().sum(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset(values: &[f64]) -> Dataset {
+        let mut data = Dataset::new(1, 2);
+        for &v in values {
+            data.push_row(&[v], 0).unwrap();
+        }
+        data
+    }
+
+    #[test]
+    fn nan_maps_to_missing_bin() {
+        let mapper = BinMapper::fit(&dataset(&[1.0, 2.0, 3.0]), 8);
+        assert_eq!(mapper.bin(0, f64::NAN), MISSING_BIN);
+        assert!(mapper.bin(0, 1.0) > MISSING_BIN);
+    }
+
+    #[test]
+    fn binning_is_monotone() {
+        let mapper = BinMapper::fit(&dataset(&[1.0, 5.0, 9.0, 13.0]), 8);
+        let bins: Vec<u16> = [0.0, 1.0, 5.0, 9.0, 13.0, 20.0]
+            .iter()
+            .map(|&v| mapper.bin(0, v))
+            .collect();
+        for pair in bins.windows(2) {
+            assert!(pair[0] <= pair[1], "bins must be monotone: {bins:?}");
+        }
+    }
+
+    #[test]
+    fn few_distinct_values_get_exact_bins() {
+        let mapper = BinMapper::fit(&dataset(&[1.0, 1.0, 2.0, 2.0, 3.0]), 8);
+        let b1 = mapper.bin(0, 1.0);
+        let b2 = mapper.bin(0, 2.0);
+        let b3 = mapper.bin(0, 3.0);
+        assert!(b1 < b2 && b2 < b3);
+    }
+
+    #[test]
+    fn many_distinct_values_respect_max_bins() {
+        let values: Vec<f64> = (0..10_000).map(|i| i as f64).collect();
+        let mapper = BinMapper::fit(&dataset(&values), 16);
+        assert!(mapper.n_bins(0) <= 17); // 15 edges + missing + 1
+        let max_bin = values.iter().map(|&v| mapper.bin(0, v)).max().unwrap();
+        assert!(max_bin as usize <= mapper.n_bins(0));
+    }
+
+    #[test]
+    fn bin_dataset_matches_bin_row() {
+        let mut data = Dataset::new(2, 2);
+        data.push_row(&[1.0, f64::NAN], 0).unwrap();
+        data.push_row(&[3.0, 2.0], 1).unwrap();
+        let mapper = BinMapper::fit(&data, 8);
+        let all = mapper.bin_dataset(&data);
+        assert_eq!(&all[0..2], mapper.bin_row(data.row(0)).as_slice());
+        assert_eq!(&all[2..4], mapper.bin_row(data.row(1)).as_slice());
+    }
+
+    #[test]
+    fn histogram_accumulates_and_totals() {
+        let mut hist = FeatureHistogram::zeros(4);
+        hist.add(1, 0.5, 1.0);
+        hist.add(1, 0.25, 1.0);
+        hist.add(3, -1.0, 2.0);
+        assert_eq!(hist.count[1], 2);
+        assert_eq!(hist.grad[3], -1.0);
+        let (g, h, c) = hist.totals();
+        assert!((g - (-0.25)).abs() < 1e-12);
+        assert_eq!(h, 4.0);
+        assert_eq!(c, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_bins")]
+    fn mapper_rejects_one_bin() {
+        BinMapper::fit(&dataset(&[1.0]), 1);
+    }
+
+    #[test]
+    fn constant_feature_yields_single_bin() {
+        let mapper = BinMapper::fit(&dataset(&[7.0, 7.0, 7.0]), 8);
+        assert_eq!(mapper.bin(0, 7.0), 1);
+        assert_eq!(mapper.n_bins(0), 2);
+    }
+}

@@ -1,0 +1,313 @@
+//! Classification metrics: confusion matrix, per-class and weighted
+//! precision / recall / F1 — the scores reported in the paper's
+//! Tables III and IV.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Precision / recall / F1 triple for one class (or an average).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct PrfScores {
+    /// Fraction of predicted positives that are true positives.
+    pub precision: f64,
+    /// Fraction of actual positives that are predicted positive.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+}
+
+impl PrfScores {
+    fn from_counts(tp: usize, fp: usize, fn_: usize) -> Self {
+        let precision = if tp + fp > 0 {
+            tp as f64 / (tp + fp) as f64
+        } else {
+            0.0
+        };
+        let recall = if tp + fn_ > 0 {
+            tp as f64 / (tp + fn_) as f64
+        } else {
+            0.0
+        };
+        let f1 = if precision + recall > 0.0 {
+            2.0 * precision * recall / (precision + recall)
+        } else {
+            0.0
+        };
+        Self {
+            precision,
+            recall,
+            f1,
+        }
+    }
+}
+
+impl fmt::Display for PrfScores {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "P={:.3} R={:.3} F1={:.3}",
+            self.precision, self.recall, self.f1
+        )
+    }
+}
+
+/// A `k × k` confusion matrix; `matrix[actual][predicted]`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    n_classes: usize,
+    cells: Vec<usize>,
+}
+
+impl ConfusionMatrix {
+    /// Creates an empty matrix for `n_classes` classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_classes` is zero.
+    pub fn new(n_classes: usize) -> Self {
+        assert!(n_classes > 0, "n_classes must be positive");
+        Self {
+            n_classes,
+            cells: vec![0; n_classes * n_classes],
+        }
+    }
+
+    /// Builds a matrix from parallel actual/predicted label slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths or contain labels
+    /// `>= n_classes`.
+    pub fn from_predictions(n_classes: usize, actual: &[usize], predicted: &[usize]) -> Self {
+        assert_eq!(actual.len(), predicted.len(), "label slices differ in length");
+        let mut m = Self::new(n_classes);
+        for (&a, &p) in actual.iter().zip(predicted) {
+            m.record(a, p);
+        }
+        m
+    }
+
+    /// Records one (actual, predicted) observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either label is `>= n_classes`.
+    pub fn record(&mut self, actual: usize, predicted: usize) {
+        assert!(actual < self.n_classes && predicted < self.n_classes);
+        self.cells[actual * self.n_classes + predicted] += 1;
+    }
+
+    /// Count in cell `(actual, predicted)`.
+    pub fn count(&self, actual: usize, predicted: usize) -> usize {
+        self.cells[actual * self.n_classes + predicted]
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> usize {
+        self.cells.iter().sum()
+    }
+
+    /// Number of observations whose actual class is `class` (row support).
+    pub fn support(&self, class: usize) -> usize {
+        (0..self.n_classes).map(|p| self.count(class, p)).sum()
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: usize = (0..self.n_classes).map(|c| self.count(c, c)).sum();
+        correct as f64 / total as f64
+    }
+
+    /// Precision / recall / F1 for one class (one-vs-rest).
+    pub fn class_scores(&self, class: usize) -> PrfScores {
+        let tp = self.count(class, class);
+        let fp: usize = (0..self.n_classes)
+            .filter(|&a| a != class)
+            .map(|a| self.count(a, class))
+            .sum();
+        let fn_: usize = (0..self.n_classes)
+            .filter(|&p| p != class)
+            .map(|p| self.count(class, p))
+            .sum();
+        PrfScores::from_counts(tp, fp, fn_)
+    }
+
+    /// Support-weighted average of the per-class scores (the paper's
+    /// "Weighted Average" row in Table III).
+    pub fn weighted_scores(&self) -> PrfScores {
+        let total = self.total();
+        if total == 0 {
+            return PrfScores::default();
+        }
+        let mut out = PrfScores::default();
+        for class in 0..self.n_classes {
+            let w = self.support(class) as f64 / total as f64;
+            let s = self.class_scores(class);
+            out.precision += w * s.precision;
+            out.recall += w * s.recall;
+            out.f1 += w * s.f1;
+        }
+        out
+    }
+
+    /// Unweighted (macro) average of the per-class scores.
+    pub fn macro_scores(&self) -> PrfScores {
+        let mut out = PrfScores::default();
+        for class in 0..self.n_classes {
+            let s = self.class_scores(class);
+            out.precision += s.precision;
+            out.recall += s.recall;
+            out.f1 += s.f1;
+        }
+        let k = self.n_classes as f64;
+        out.precision /= k;
+        out.recall /= k;
+        out.f1 /= k;
+        out
+    }
+}
+
+impl fmt::Display for ConfusionMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "confusion matrix ({} classes):", self.n_classes)?;
+        for a in 0..self.n_classes {
+            for p in 0..self.n_classes {
+                write!(f, "{:>7}", self.count(a, p))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Binary precision/recall/F1 over parallel boolean slices — convenience
+/// wrapper used by the cross-row block predictor (Table IV's positive class).
+pub fn binary_scores(actual: &[bool], predicted: &[bool]) -> PrfScores {
+    assert_eq!(actual.len(), predicted.len(), "label slices differ in length");
+    let mut tp = 0;
+    let mut fp = 0;
+    let mut fn_ = 0;
+    for (&a, &p) in actual.iter().zip(predicted) {
+        match (a, p) {
+            (true, true) => tp += 1,
+            (false, true) => fp += 1,
+            (true, false) => fn_ += 1,
+            (false, false) => {}
+        }
+    }
+    PrfScores::from_counts(tp, fp, fn_)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions_score_one() {
+        let m = ConfusionMatrix::from_predictions(3, &[0, 1, 2, 1], &[0, 1, 2, 1]);
+        assert_eq!(m.accuracy(), 1.0);
+        for c in 0..3 {
+            let s = m.class_scores(c);
+            assert_eq!((s.precision, s.recall, s.f1), (1.0, 1.0, 1.0));
+        }
+        assert_eq!(m.weighted_scores().f1, 1.0);
+    }
+
+    #[test]
+    fn known_confusion_matrix_scores() {
+        // actual:    0 0 0 1 1
+        // predicted: 0 0 1 1 0
+        let m = ConfusionMatrix::from_predictions(2, &[0, 0, 0, 1, 1], &[0, 0, 1, 1, 0]);
+        let s0 = m.class_scores(0);
+        assert!((s0.precision - 2.0 / 3.0).abs() < 1e-12);
+        assert!((s0.recall - 2.0 / 3.0).abs() < 1e-12);
+        let s1 = m.class_scores(1);
+        assert!((s1.precision - 0.5).abs() < 1e-12);
+        assert!((s1.recall - 0.5).abs() < 1e-12);
+        assert!((m.accuracy() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn class_never_predicted_has_zero_precision() {
+        let m = ConfusionMatrix::from_predictions(2, &[1, 1], &[0, 0]);
+        let s1 = m.class_scores(1);
+        assert_eq!(s1.precision, 0.0);
+        assert_eq!(s1.recall, 0.0);
+        assert_eq!(s1.f1, 0.0);
+    }
+
+    #[test]
+    fn weighted_average_weights_by_support() {
+        // class 0: 9 rows all correct; class 1: 1 row wrong.
+        let mut m = ConfusionMatrix::new(2);
+        for _ in 0..9 {
+            m.record(0, 0);
+        }
+        m.record(1, 0);
+        let weighted = m.weighted_scores();
+        let macro_ = m.macro_scores();
+        // Weighted leans towards the majority class.
+        assert!(weighted.recall > macro_.recall);
+        assert!((weighted.recall - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn support_and_total() {
+        let m = ConfusionMatrix::from_predictions(3, &[0, 0, 1, 2], &[0, 1, 1, 2]);
+        assert_eq!(m.support(0), 2);
+        assert_eq!(m.support(1), 1);
+        assert_eq!(m.total(), 4);
+    }
+
+    #[test]
+    fn binary_scores_match_matrix() {
+        let actual = [true, true, false, false, true];
+        let predicted = [true, false, true, false, true];
+        let s = binary_scores(&actual, &predicted);
+        let m = ConfusionMatrix::from_predictions(
+            2,
+            &actual.iter().map(|&b| b as usize).collect::<Vec<_>>(),
+            &predicted.iter().map(|&b| b as usize).collect::<Vec<_>>(),
+        );
+        let s1 = m.class_scores(1);
+        assert!((s.precision - s1.precision).abs() < 1e-12);
+        assert!((s.recall - s1.recall).abs() < 1e-12);
+        assert!((s.f1 - s1.f1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_matrix_scores_zero() {
+        let m = ConfusionMatrix::new(2);
+        assert_eq!(m.accuracy(), 0.0);
+        assert_eq!(m.weighted_scores(), PrfScores::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "n_classes")]
+    fn zero_classes_rejected() {
+        ConfusionMatrix::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "differ in length")]
+    fn mismatched_slices_rejected() {
+        ConfusionMatrix::from_predictions(2, &[0, 1], &[0]);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let m = ConfusionMatrix::from_predictions(2, &[0, 1], &[0, 1]);
+        assert!(m.to_string().contains("confusion"));
+        assert!(!format!("{}", m.class_scores(0)).is_empty());
+    }
+}

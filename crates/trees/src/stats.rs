@@ -1,0 +1,135 @@
+//! Statistical helpers: chi-square statistics for contingency tables.
+//!
+//! The paper's Figure 4 quantifies cross-row error locality by computing
+//! "the chi-square statistic of subsequent UERs occurring within various row
+//! distance thresholds" — a 2×2 contingency test of *observed within-threshold
+//! co-occurrence* against the expectation under spatial independence.
+
+/// Pearson chi-square statistic of an observed-vs-expected pair of
+/// frequency vectors.
+///
+/// Cells with non-positive expected counts are skipped (they carry no
+/// information and would divide by zero).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn chi_square(observed: &[f64], expected: &[f64]) -> f64 {
+    assert_eq!(
+        observed.len(),
+        expected.len(),
+        "observed and expected must align"
+    );
+    observed
+        .iter()
+        .zip(expected)
+        .filter(|(_, &e)| e > 0.0)
+        .map(|(&o, &e)| {
+            let d = o - e;
+            d * d / e
+        })
+        .sum()
+}
+
+/// Pearson chi-square statistic of a 2×2 contingency table
+/// `[[a, b], [c, d]]` under the independence hypothesis.
+///
+/// Returns 0 when any marginal is zero (the table is degenerate).
+pub fn chi_square_2x2(a: f64, b: f64, c: f64, d: f64) -> f64 {
+    let n = a + b + c + d;
+    let row1 = a + b;
+    let row2 = c + d;
+    let col1 = a + c;
+    let col2 = b + d;
+    if n <= 0.0 || row1 <= 0.0 || row2 <= 0.0 || col1 <= 0.0 || col2 <= 0.0 {
+        return 0.0;
+    }
+    let expected = [
+        row1 * col1 / n,
+        row1 * col2 / n,
+        row2 * col1 / n,
+        row2 * col2 / n,
+    ];
+    chi_square(&[a, b, c, d], &expected)
+}
+
+/// Mean of a slice; 0 for an empty slice.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Population standard deviation; 0 for slices shorter than 2.
+pub fn std_dev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    (values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / values.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_distributions_have_zero_statistic() {
+        assert_eq!(chi_square(&[10.0, 20.0], &[10.0, 20.0]), 0.0);
+    }
+
+    #[test]
+    fn known_chi_square_value() {
+        // observed [12, 8], expected [10, 10] → (4/10) + (4/10) = 0.8
+        assert!((chi_square(&[12.0, 8.0], &[10.0, 10.0]) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_expected_cells_are_skipped() {
+        assert_eq!(chi_square(&[5.0, 3.0], &[0.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "align")]
+    fn mismatched_lengths_panic() {
+        chi_square(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn independent_2x2_table_scores_zero() {
+        // Perfect independence: all cells equal.
+        assert!(chi_square_2x2(25.0, 25.0, 25.0, 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn associated_2x2_table_scores_high() {
+        // Strong association: diagonal-heavy table.
+        let strong = chi_square_2x2(50.0, 5.0, 5.0, 50.0);
+        let weak = chi_square_2x2(30.0, 25.0, 25.0, 30.0);
+        assert!(strong > weak);
+        assert!(strong > 50.0);
+    }
+
+    #[test]
+    fn degenerate_2x2_table_scores_zero() {
+        assert_eq!(chi_square_2x2(0.0, 0.0, 0.0, 0.0), 0.0);
+        assert_eq!(chi_square_2x2(10.0, 10.0, 0.0, 0.0), 0.0);
+        assert_eq!(chi_square_2x2(10.0, 0.0, 10.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn classic_2x2_example() {
+        // Textbook example: chi2 of [[20,30],[30,20]] = 4.0 (without Yates).
+        assert!((chi_square_2x2(20.0, 30.0, 30.0, 20.0) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_and_std_dev() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(std_dev(&[5.0]), 0.0);
+        assert!((std_dev(&[2.0, 4.0]) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,83 @@
+//! Serialisation round-trips: a trained model must survive JSON
+//! persistence byte-for-byte in behaviour (deployment stores models on
+//! disk and reloads them in the BMC-side service).
+
+use cordial_trees::{
+    Classifier, Dataset, Gbdt, GbdtConfig, LightGbm, LightGbmConfig, RandomForest,
+    RandomForestConfig,
+};
+
+fn training_data() -> Dataset {
+    let mut data = Dataset::new(3, 3);
+    for i in 0..60 {
+        let v = (i % 10) as f64 * 0.3;
+        data.push_row(&[v, -v, 0.0], 0).unwrap();
+        data.push_row(&[10.0 + v, v, 1.0], 1).unwrap();
+        data.push_row(&[-10.0 - v, 5.0 + v, 2.0], 2).unwrap();
+    }
+    data
+}
+
+fn probe_rows() -> Vec<Vec<f64>> {
+    vec![
+        vec![0.5, -0.5, 0.0],
+        vec![10.5, 0.5, 1.0],
+        vec![-10.5, 5.5, 2.0],
+        vec![f64::NAN, 1.0, 0.5],
+        vec![3.0, 3.0, 3.0],
+    ]
+}
+
+fn assert_equivalent<M: Classifier>(original: &M, reloaded: &M) {
+    for row in probe_rows() {
+        let a = original.predict_proba(&row);
+        let b = reloaded.predict_proba(&row);
+        assert_eq!(a, b, "probabilities must match exactly for {row:?}");
+        assert_eq!(original.predict(&row), reloaded.predict(&row));
+    }
+}
+
+#[test]
+fn random_forest_round_trips_through_json() {
+    let data = training_data();
+    let model =
+        RandomForest::fit(&data, &RandomForestConfig::default().with_trees(20)).unwrap();
+    let json = serde_json::to_string(&model).unwrap();
+    let reloaded: RandomForest = serde_json::from_str(&json).unwrap();
+    assert_eq!(model, reloaded);
+    assert_equivalent(&model, &reloaded);
+}
+
+#[test]
+fn gbdt_round_trips_through_json() {
+    let data = training_data();
+    let model = Gbdt::fit(&data, &GbdtConfig::default().with_rounds(10)).unwrap();
+    let json = serde_json::to_string(&model).unwrap();
+    let reloaded: Gbdt = serde_json::from_str(&json).unwrap();
+    assert_eq!(model, reloaded);
+    assert_equivalent(&model, &reloaded);
+}
+
+#[test]
+fn lightgbm_round_trips_through_json() {
+    let data = training_data();
+    let model = LightGbm::fit(&data, &LightGbmConfig::default().with_rounds(10)).unwrap();
+    let json = serde_json::to_string(&model).unwrap();
+    let reloaded: LightGbm = serde_json::from_str(&json).unwrap();
+    assert_eq!(model, reloaded);
+    assert_equivalent(&model, &reloaded);
+}
+
+#[test]
+fn serialised_models_are_reasonably_compact() {
+    // A regression guard against accidentally serialising training state.
+    let data = training_data();
+    let model =
+        RandomForest::fit(&data, &RandomForestConfig::default().with_trees(10)).unwrap();
+    let json = serde_json::to_string(&model).unwrap();
+    assert!(
+        json.len() < 200_000,
+        "10-tree forest serialised to {} bytes",
+        json.len()
+    );
+}

@@ -1,0 +1,62 @@
+//! Quickstart: simulate a fleet, train Cordial, and plan mitigations.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use cordial_suite::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Generate a synthetic HBM fleet — the stand-in for production MCE
+    //    logs. `small()` is a 16-node cluster with 60 faulty banks.
+    let dataset = generate_fleet_dataset(&FleetDatasetConfig::small(), 42);
+    println!(
+        "fleet log: {} events across {} error banks ({} with UERs)",
+        dataset.log.len(),
+        dataset.log.by_bank().len(),
+        dataset.truth.len()
+    );
+
+    // 2. Split banks 7:3 (the paper's protocol) and train the pipeline.
+    let split = split_banks(&dataset, 0.7, 42);
+    let config = CordialConfig::default(); // RF, 3 UERs, 16×8-row blocks
+    let cordial = Cordial::fit(&dataset, &split.train, &config)?;
+    println!(
+        "trained on {} banks ({} held out)",
+        split.train.len(),
+        split.test.len()
+    );
+
+    // 3. Ask for mitigation plans on unseen banks.
+    let by_bank = dataset.log.by_bank();
+    let mut shown = 0;
+    for bank in &split.test {
+        let history = &by_bank[bank];
+        match cordial.plan(history) {
+            MitigationPlan::RowSparing { pattern, rows } => {
+                println!(
+                    "{bank}\n  classified {pattern}; spare {} rows around the failure site",
+                    rows.len()
+                );
+                shown += 1;
+            }
+            MitigationPlan::BankSparing => {
+                println!("{bank}\n  classified Scattered; replace the bank");
+                shown += 1;
+            }
+            MitigationPlan::InsufficientData => {}
+        }
+        if shown == 5 {
+            break;
+        }
+    }
+
+    // 4. Score the pipeline with the paper's metrics.
+    let (_, eval) = cordial::eval::evaluate_cordial(&dataset, &split.train, &split.test, &config)?;
+    println!(
+        "\nblock prediction: P={:.3} R={:.3} F1={:.3}",
+        eval.block_scores.precision, eval.block_scores.recall, eval.block_scores.f1
+    );
+    println!("isolation coverage rate: {:.2}%", eval.icr * 100.0);
+    Ok(())
+}

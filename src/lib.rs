@@ -1,0 +1,28 @@
+//! Facade crate for the Cordial suite: one dependency that re-exports every
+//! workspace crate, hosting the runnable examples (`examples/`) and the
+//! cross-crate integration tests (`tests/`).
+//!
+//! Downstream users typically depend on the [`cordial`] core crate directly;
+//! this crate exists so the examples and integration tests can exercise the
+//! whole stack through a single import:
+//!
+//! ```
+//! use cordial_suite::prelude::*;
+//!
+//! let dataset = generate_fleet_dataset(&FleetDatasetConfig::small(), 1);
+//! assert!(!dataset.log.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use cordial;
+pub use cordial_faultsim as faultsim;
+pub use cordial_mcelog as mcelog;
+pub use cordial_topology as topology;
+pub use cordial_trees as trees;
+
+/// Re-export of [`cordial::prelude`].
+pub mod prelude {
+    pub use cordial::prelude::*;
+}

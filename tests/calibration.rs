@@ -1,0 +1,128 @@
+//! Calibration tests: the synthetic fleet must reproduce the paper's
+//! empirical findings in shape — these are the invariants the whole
+//! reproduction rests on.
+
+use cordial::empirical;
+use cordial::eval::evaluate_in_row_ceiling;
+use cordial::locality::{chi_square_sweep, peak_threshold, PAPER_THRESHOLDS};
+use cordial_suite::prelude::*;
+
+fn medium() -> FleetDataset {
+    generate_fleet_dataset(&FleetDatasetConfig::medium(), 2025)
+}
+
+#[test]
+fn sudden_ratio_gradient_matches_table1_shape() {
+    let dataset = medium();
+    let rows = empirical::sudden_ratio_table(&dataset.log);
+    assert_eq!(rows.len(), 7);
+
+    // Monotone: coarse levels are more history-predictable.
+    for pair in rows.windows(2) {
+        assert!(
+            pair[0].predictable_ratio >= pair[1].predictable_ratio - 0.03,
+            "{}: {:.3} then {}: {:.3}",
+            pair[0].level,
+            pair[0].predictable_ratio,
+            pair[1].level,
+            pair[1].predictable_ratio
+        );
+    }
+
+    // The paper's headline: >90% of row-level UERs are sudden.
+    let row = rows.last().unwrap();
+    assert!(
+        row.predictable_ratio < 0.10,
+        "row-level predictable ratio {:.3} should be < 10%",
+        row.predictable_ratio
+    );
+    // Bank level sits near the paper's 29.23%.
+    let bank = &rows[5];
+    assert!(
+        (bank.predictable_ratio - 0.2923).abs() < 0.10,
+        "bank-level predictable ratio {:.3} should be near 0.29",
+        bank.predictable_ratio
+    );
+}
+
+#[test]
+fn pattern_distribution_matches_fig3b() {
+    let dataset = medium();
+    let distribution = empirical::pattern_distribution(&dataset);
+    for (kind, measured) in &distribution {
+        let paper = kind.paper_fraction();
+        assert!(
+            (measured - paper).abs() < 0.06,
+            "{kind}: measured {measured:.3} vs paper {paper:.3}"
+        );
+    }
+    let aggregation = empirical::aggregation_fraction(&dataset);
+    assert!(
+        (aggregation - 0.80).abs() < 0.06,
+        "aggregation fraction {aggregation:.3} should be near the paper's ~0.78-0.80"
+    );
+}
+
+#[test]
+fn locality_sweep_peaks_at_128_like_fig4() {
+    let dataset = medium();
+    let points = chi_square_sweep(
+        &dataset.log,
+        &HbmGeometry::hbm2e_8hi(),
+        &PAPER_THRESHOLDS,
+    );
+    assert_eq!(peak_threshold(&points), Some(128));
+
+    // The profile rises to the peak and falls beyond it (Fig. 4's shape).
+    let peak_idx = PAPER_THRESHOLDS.iter().position(|&t| t == 128).unwrap();
+    assert!(points[peak_idx].chi_square > points[0].chi_square);
+    assert!(points[peak_idx].chi_square > points.last().unwrap().chi_square);
+}
+
+#[test]
+fn in_row_ceiling_sits_near_the_papers_4_percent() {
+    let dataset = medium();
+    let split = split_banks(&dataset, 0.7, 2025);
+    let ceiling = evaluate_in_row_ceiling(&dataset, &split.test, &CordialConfig::default());
+    assert!(
+        ceiling < 0.10,
+        "in-row ceiling {ceiling:.3} must stay far below cross-row coverage"
+    );
+}
+
+#[test]
+fn table2_populations_have_paper_proportions() {
+    let dataset = medium();
+    let rows = empirical::dataset_summary(&dataset.log);
+    let bank_row = rows.iter().find(|r| r.level == MicroLevel::Bank).unwrap();
+    // CE banks dwarf UER banks (paper: 8557 vs 1074 ≈ 8:1).
+    let ratio = bank_row.with_ce as f64 / bank_row.with_uer as f64;
+    assert!(
+        (4.0..=12.0).contains(&ratio),
+        "CE:UER bank ratio {ratio:.1} should be near the paper's ~8:1"
+    );
+    // Totals are monotone with level fineness.
+    for pair in rows.windows(2) {
+        assert!(pair[0].total <= pair[1].total);
+    }
+}
+
+#[test]
+fn calibration_is_stable_across_seeds() {
+    // The headline calibrations must hold for seeds we never tuned on.
+    for seed in [77, 4242] {
+        let dataset = generate_fleet_dataset(&FleetDatasetConfig::medium(), seed);
+        let rows = empirical::sudden_ratio_table(&dataset.log);
+        assert!(rows.last().unwrap().predictable_ratio < 0.12, "seed {seed}");
+        let points = chi_square_sweep(
+            &dataset.log,
+            &HbmGeometry::hbm2e_8hi(),
+            &PAPER_THRESHOLDS,
+        );
+        let peak = peak_threshold(&points).unwrap();
+        assert!(
+            (64..=256).contains(&peak),
+            "seed {seed}: locality peak {peak}"
+        );
+    }
+}

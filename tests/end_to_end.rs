@@ -1,0 +1,132 @@
+//! End-to-end integration tests spanning every crate: simulate a fleet,
+//! serialise/parse its log, train the pipeline, plan mitigations, apply
+//! them against spare budgets, and score the result.
+
+use cordial::eval::{evaluate_cordial, evaluate_neighbor_rows};
+use cordial_suite::faultsim::{IsolationEngine, SparingBudget};
+use cordial_suite::mcelog::{BankErrorHistory, MceRecord};
+use cordial_suite::prelude::*;
+
+fn dataset_and_split() -> (FleetDataset, cordial::split::BankSplit) {
+    let dataset = generate_fleet_dataset(&FleetDatasetConfig::small(), 1234);
+    let split = split_banks(&dataset, 0.7, 1234);
+    (dataset, split)
+}
+
+#[test]
+fn log_survives_wire_round_trip_and_pipeline_agrees() {
+    let (dataset, split) = dataset_and_split();
+    let config = CordialConfig::default();
+    let cordial = Cordial::fit(&dataset, &split.train, &config).expect("train");
+
+    // Serialise the fleet log to the MCE wire format and parse it back.
+    let wire = MceRecord::format_log(dataset.log.events());
+    let parsed = MceLog::from_events(MceRecord::parse_log(&wire).expect("parse"));
+    assert_eq!(parsed, dataset.log, "wire round-trip must be lossless");
+
+    // Plans computed from the parsed log match plans from the original.
+    let original = dataset.log.by_bank();
+    let reparsed = parsed.by_bank();
+    for bank in split.test.iter().take(10) {
+        assert_eq!(
+            cordial.plan(&original[bank]),
+            cordial.plan(&reparsed[bank]),
+            "plan must be identical after wire round-trip"
+        );
+    }
+}
+
+#[test]
+fn full_pipeline_trains_plans_and_scores() {
+    let (dataset, split) = dataset_and_split();
+    let config = CordialConfig::default();
+    let (cordial, eval) =
+        evaluate_cordial(&dataset, &split.train, &split.test, &config).expect("train");
+
+    assert!(eval.n_banks > 0, "test set must produce observation windows");
+    assert!((0.0..=1.0).contains(&eval.icr));
+    assert!((0.0..=1.0).contains(&eval.block_scores.f1));
+
+    // Every test bank receives a well-formed plan.
+    let by_bank = dataset.log.by_bank();
+    for bank in &split.test {
+        match cordial.plan(&by_bank[bank]) {
+            MitigationPlan::RowSparing { rows, .. } => {
+                assert!(!rows.is_empty() || rows.is_empty()); // shape only
+                assert!(rows.windows(2).all(|w| w[0] < w[1]), "sorted, deduped");
+            }
+            MitigationPlan::BankSparing | MitigationPlan::InsufficientData => {}
+        }
+    }
+}
+
+#[test]
+fn plans_apply_against_hardware_budgets() {
+    let (dataset, split) = dataset_and_split();
+    let config = CordialConfig::default();
+    let cordial = Cordial::fit(&dataset, &split.train, &config).expect("train");
+    let by_bank = dataset.log.by_bank();
+
+    let mut engine = IsolationEngine::new(SparingBudget::typical());
+    let mut applied_total = 0;
+    for bank in &split.test {
+        let plan = cordial.plan(&by_bank[bank]);
+        applied_total += cordial::isolation::apply_plan(&mut engine, *bank, &plan);
+    }
+    assert!(applied_total > 0, "some isolations must be admitted");
+    // The typical budget (64 rows/bank) comfortably holds Cordial's plans.
+    for bank in &split.test {
+        assert!(engine.rows_used(bank) <= 64);
+    }
+}
+
+#[test]
+fn cordial_outperforms_baseline_on_icr_at_scale() {
+    // The headline deployment claim (Table IV): Cordial's isolation
+    // coverage beats the ±4-row industrial baseline.
+    let dataset = generate_fleet_dataset(&FleetDatasetConfig::medium(), 7);
+    let split = split_banks(&dataset, 0.7, 7);
+    let config = CordialConfig::default();
+    let (_, cordial_eval) =
+        evaluate_cordial(&dataset, &split.train, &split.test, &config).expect("train");
+    let baseline_eval = evaluate_neighbor_rows(&dataset, &split.test, &config);
+    assert!(
+        cordial_eval.icr > baseline_eval.icr,
+        "Cordial ICR {:.3} must beat baseline {:.3}",
+        cordial_eval.icr,
+        baseline_eval.icr
+    );
+}
+
+#[test]
+fn retraining_with_same_seed_is_reproducible() {
+    let (dataset, split) = dataset_and_split();
+    let config = CordialConfig::default().with_seed(5);
+    let a = Cordial::fit(&dataset, &split.train, &config).expect("train");
+    let b = Cordial::fit(&dataset, &split.train, &config).expect("train");
+    let by_bank = dataset.log.by_bank();
+    for bank in &split.test {
+        assert_eq!(a.plan(&by_bank[bank]), b.plan(&by_bank[bank]));
+    }
+}
+
+#[test]
+fn empty_and_sparse_histories_are_handled() {
+    let (dataset, split) = dataset_and_split();
+    let cordial =
+        Cordial::fit(&dataset, &split.train, &CordialConfig::default()).expect("train");
+
+    let empty = BankErrorHistory::new(BankAddress::default(), vec![]);
+    assert_eq!(cordial.plan(&empty), MitigationPlan::InsufficientData);
+
+    // A bank with a single UER event cannot be classified either.
+    let one_uer = BankErrorHistory::new(
+        BankAddress::default(),
+        vec![ErrorEvent::new(
+            BankAddress::default().cell(RowId(5), cordial_suite::topology::ColId(0)),
+            Timestamp::from_secs(1),
+            ErrorType::Uer,
+        )],
+    );
+    assert_eq!(cordial.plan(&one_uer), MitigationPlan::InsufficientData);
+}

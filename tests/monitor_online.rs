@@ -1,0 +1,70 @@
+//! Integration test: the streaming monitor must agree with batch analysis.
+
+use cordial::monitor::CordialMonitor;
+use cordial_suite::faultsim::SparingBudget;
+use cordial_suite::prelude::*;
+
+#[test]
+fn online_plans_match_batch_plans() {
+    let dataset = generate_fleet_dataset(&FleetDatasetConfig::small(), 301);
+    let split = split_banks(&dataset, 0.7, 301);
+    let config = CordialConfig::default();
+    let cordial = Cordial::fit(&dataset, &split.train, &config).unwrap();
+
+    // Batch: plan from each bank's full history.
+    let by_bank = dataset.log.by_bank();
+
+    // Online: stream every event through the monitor.
+    let mut monitor = CordialMonitor::new(cordial.clone(), SparingBudget::unlimited());
+    let online_plans = monitor.ingest_all(dataset.log.events().iter().copied());
+
+    for (bank, online_plan) in &online_plans {
+        // The online plan is computed at the observation cut; the batch plan
+        // from the full history uses the same cut (observe_until_k_uers), so
+        // the two must agree.
+        let batch_plan = cordial.plan(&by_bank[bank]);
+        assert_eq!(
+            &batch_plan, online_plan,
+            "bank {bank}: online and batch plans diverge"
+        );
+    }
+
+    // Every bank the batch pipeline can plan must also be planned online.
+    let batch_plannable = split
+        .train
+        .iter()
+        .chain(&split.test)
+        .filter(|b| cordial.plan(&by_bank[b]) != MitigationPlan::InsufficientData)
+        .count();
+    assert_eq!(online_plans.len(), batch_plannable);
+}
+
+#[test]
+fn monitor_absorption_tracks_isolation_quality() {
+    let dataset = generate_fleet_dataset(&FleetDatasetConfig::small(), 302);
+    let split = split_banks(&dataset, 0.7, 302);
+    let config = CordialConfig::default();
+    let cordial = Cordial::fit(&dataset, &split.train, &config).unwrap();
+
+    // With an unlimited budget the monitor absorbs strictly more (or equal)
+    // UERs than with a starvation budget.
+    let mut generous = CordialMonitor::new(cordial.clone(), SparingBudget::unlimited());
+    generous.ingest_all(dataset.log.events().iter().copied());
+
+    let mut starved = CordialMonitor::new(
+        cordial,
+        SparingBudget {
+            spare_rows_per_bank: 1,
+            spare_banks_per_hbm: 0,
+        },
+    );
+    starved.ingest_all(dataset.log.events().iter().copied());
+
+    assert!(
+        generous.stats().uers_absorbed >= starved.stats().uers_absorbed,
+        "generous {} vs starved {}",
+        generous.stats().uers_absorbed,
+        starved.stats().uers_absorbed
+    );
+    assert!(generous.stats().absorption_rate() > 0.05);
+}

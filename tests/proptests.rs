@@ -1,0 +1,235 @@
+//! Cross-crate property-based tests: invariants that must hold for *any*
+//! input the strategies can produce, not just the fixtures unit tests use.
+
+use proptest::prelude::*;
+
+use cordial::crossrow::BlockSpec;
+use cordial::features::{bank_features, BANK_FEATURE_NAMES};
+use cordial::isolation::{icr, IcrAccounting};
+use cordial::locality::{peak_threshold, sweep_distances};
+use cordial_suite::mcelog::{BankErrorHistory, MceRecord};
+use cordial_suite::prelude::*;
+use cordial_suite::topology::{
+    BankGroup, BankIndex, Channel, ColId, HbmSocket, NodeId, NpuId, PseudoChannel, StackId,
+};
+
+fn arb_bank() -> impl Strategy<Value = BankAddress> {
+    (
+        0u32..2000,
+        0u8..8,
+        0u8..2,
+        0u8..2,
+        0u8..8,
+        0u8..2,
+        0u8..4,
+        0u8..4,
+    )
+        .prop_map(|(node, npu, hbm, sid, ch, pch, bg, bank)| BankAddress {
+            node: NodeId(node),
+            npu: NpuId(npu),
+            hbm: HbmSocket(hbm),
+            sid: StackId(sid),
+            channel: Channel(ch),
+            pseudo_channel: PseudoChannel(pch),
+            bank_group: BankGroup(bg),
+            bank: BankIndex(bank),
+        })
+}
+
+fn arb_event(bank: BankAddress) -> impl Strategy<Value = ErrorEvent> {
+    (0u32..32_768, 0u16..128, 0u64..10_000_000, 0u8..3).prop_map(move |(row, col, t, ty)| {
+        let error_type = match ty {
+            0 => ErrorType::Ce,
+            1 => ErrorType::Ueo,
+            _ => ErrorType::Uer,
+        };
+        ErrorEvent::new(
+            bank.cell(RowId(row), ColId(col)),
+            Timestamp::from_millis(t),
+            error_type,
+        )
+    })
+}
+
+fn arb_bank_events() -> impl Strategy<Value = (BankAddress, Vec<ErrorEvent>)> {
+    arb_bank().prop_flat_map(|bank| {
+        prop::collection::vec(arb_event(bank), 0..60).prop_map(move |events| (bank, events))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ----- addressing -------------------------------------------------
+
+    #[test]
+    fn bank_address_display_parse_round_trips(bank in arb_bank()) {
+        let text = bank.to_string();
+        prop_assert_eq!(text.parse::<BankAddress>().unwrap(), bank);
+    }
+
+    #[test]
+    fn cell_address_display_parse_round_trips(
+        bank in arb_bank(),
+        row in 0u32..32_768,
+        col in 0u16..128,
+    ) {
+        let cell = bank.cell(RowId(row), ColId(col));
+        prop_assert_eq!(cell.to_string().parse::<cordial_suite::topology::CellAddress>().unwrap(), cell);
+    }
+
+    #[test]
+    fn projection_is_hierarchical(
+        bank in arb_bank(),
+        row in 0u32..32_768,
+        other_row in 0u32..32_768,
+    ) {
+        // Equal at a fine level ⇒ equal at every coarser level.
+        let a = bank.cell(RowId(row), ColId(0));
+        let b = bank.cell(RowId(other_row), ColId(1));
+        let mut equal_seen_after_unequal = false;
+        let mut unequal_seen = false;
+        for level in MicroLevel::ALL {
+            let eq = a.project(level) == b.project(level);
+            if unequal_seen && eq {
+                equal_seen_after_unequal = true;
+            }
+            if !eq {
+                unequal_seen = true;
+            }
+        }
+        prop_assert!(!equal_seen_after_unequal, "keys must only diverge, never re-merge");
+    }
+
+    // ----- MCE log -----------------------------------------------------
+
+    #[test]
+    fn mce_wire_format_round_trips((_, events) in arb_bank_events()) {
+        let log = MceLog::from_events(events);
+        let text = MceRecord::format_log(log.events());
+        let parsed = MceLog::from_events(MceRecord::parse_log(&text).unwrap());
+        prop_assert_eq!(parsed, log);
+    }
+
+    #[test]
+    fn log_is_always_time_sorted((_, events) in arb_bank_events()) {
+        let log = MceLog::from_events(events);
+        for pair in log.events().windows(2) {
+            prop_assert!(pair[0].time <= pair[1].time);
+        }
+    }
+
+    #[test]
+    fn observation_cut_partitions_history((bank, events) in arb_bank_events()) {
+        let history = BankErrorHistory::new(bank, events);
+        if let Some((window, future)) = history.observe_until_k_uers(3) {
+            prop_assert_eq!(window.events().len() + future.len(), history.events().len());
+            prop_assert_eq!(window.uer_rows().len(), 3);
+            // The last window event is the UER that completed the cut.
+            let last = window.events().last().unwrap();
+            prop_assert!(last.is_uer());
+        }
+    }
+
+    // ----- features ------------------------------------------------------
+
+    #[test]
+    fn bank_features_have_fixed_arity_and_no_infinities((bank, events) in arb_bank_events()) {
+        let history = BankErrorHistory::new(bank, events);
+        if let Some((window, _)) = history.observe_until_k_uers(3) {
+            let features = bank_features(&window, &HbmGeometry::hbm2e_8hi());
+            prop_assert_eq!(features.len(), BANK_FEATURE_NAMES.len());
+            for f in &features {
+                prop_assert!(!f.is_infinite(), "features must be finite or NaN");
+            }
+        }
+    }
+
+    #[test]
+    fn bank_features_are_insensitive_to_event_insertion_order(
+        (bank, mut events) in arb_bank_events()
+    ) {
+        let forward = BankErrorHistory::new(bank, events.clone());
+        events.reverse();
+        let backward = BankErrorHistory::new(bank, events);
+        match (forward.observe_until_k_uers(3), backward.observe_until_k_uers(3)) {
+            (Some((a, _)), Some((b, _))) => {
+                let fa = bank_features(&a, &HbmGeometry::hbm2e_8hi());
+                let fb = bank_features(&b, &HbmGeometry::hbm2e_8hi());
+                for (x, y) in fa.iter().zip(&fb) {
+                    prop_assert!(x == y || (x.is_nan() && y.is_nan()));
+                }
+            }
+            (a, b) => prop_assert_eq!(a.is_some(), b.is_some()),
+        }
+    }
+
+    // ----- blocks --------------------------------------------------------
+
+    #[test]
+    fn blocks_tile_the_window_without_gaps(
+        anchor in 0u32..32_768,
+        n_blocks in 2usize..32,
+        rows_per_block in 1u32..32,
+    ) {
+        let spec = BlockSpec { n_blocks, rows_per_block };
+        let anchor = RowId(anchor);
+        let (first_lo, _) = spec.block_bounds(anchor, 0);
+        let (_, last_hi) = spec.block_bounds(anchor, n_blocks - 1);
+        prop_assert_eq!(
+            (last_hi - first_lo + 1) as u32,
+            n_blocks as u32 * rows_per_block
+        );
+        for i in 0..n_blocks - 1 {
+            let (_, hi) = spec.block_bounds(anchor, i);
+            let (lo, _) = spec.block_bounds(anchor, i + 1);
+            prop_assert_eq!(lo, hi + 1);
+        }
+    }
+
+    #[test]
+    fn every_in_window_row_is_in_exactly_one_block(
+        anchor in 100u32..32_000,
+        offset in -64i64..64,
+    ) {
+        let spec = BlockSpec::paper();
+        let anchor = RowId(anchor);
+        let row = RowId((anchor.0 as i64 + offset) as u32);
+        let containing: Vec<usize> = (0..spec.n_blocks)
+            .filter(|&i| spec.contains(anchor, i, row))
+            .collect();
+        prop_assert_eq!(containing.len(), 1, "row {:?} blocks {:?}", row, containing);
+    }
+
+    // ----- metrics --------------------------------------------------------
+
+    #[test]
+    fn icr_is_a_valid_ratio(covered in 0usize..100, extra in 0usize..100) {
+        let total = covered + extra;
+        let value = icr(covered, total);
+        prop_assert!((0.0..=1.0).contains(&value));
+        let mut acc = IcrAccounting { covered, total, rows_isolated: 0, banks_spared: 0 };
+        acc.absorb(IcrAccounting::default());
+        prop_assert_eq!(acc.icr(), value);
+    }
+
+    #[test]
+    fn locality_sweep_is_well_formed(
+        distances in prop::collection::vec(1u32..32_768, 0..500)
+    ) {
+        let geom = HbmGeometry::hbm2e_8hi();
+        let points = sweep_distances(&distances, &geom, &[4, 16, 64, 256, 1024]);
+        for pair in points.windows(2) {
+            prop_assert!(pair[0].observed_within <= pair[1].observed_within);
+        }
+        for p in &points {
+            prop_assert!(p.chi_square >= 0.0);
+            prop_assert!(p.chi_square.is_finite());
+        }
+        if distances.is_empty() {
+            prop_assert!(points.iter().all(|p| p.chi_square == 0.0));
+        } else {
+            prop_assert!(peak_threshold(&points).is_some());
+        }
+    }
+}

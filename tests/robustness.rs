@@ -1,0 +1,143 @@
+//! Failure-injection and robustness tests: the pipeline must degrade
+//! gracefully on malformed, truncated, reordered or adversarial inputs —
+//! real BMC scrapers produce all of those.
+
+use proptest::prelude::*;
+
+use cordial_suite::mcelog::{BankErrorHistory, MceRecord};
+use cordial_suite::prelude::*;
+use cordial_suite::topology::ColId;
+
+fn trained_pipeline() -> (FleetDataset, cordial::split::BankSplit, Cordial) {
+    let dataset = generate_fleet_dataset(&FleetDatasetConfig::small(), 99);
+    let split = split_banks(&dataset, 0.7, 99);
+    let cordial = Cordial::fit(&dataset, &split.train, &CordialConfig::default()).unwrap();
+    (dataset, split, cordial)
+}
+
+#[test]
+fn corrupted_log_lines_error_instead_of_panicking() {
+    let dataset = generate_fleet_dataset(&FleetDatasetConfig::small(), 5);
+    let mut wire = MceRecord::format_log(dataset.log.events());
+
+    // Truncate mid-line.
+    wire.truncate(wire.len() - 7);
+    let result = MceRecord::parse_log(&wire);
+    assert!(result.is_err(), "truncated log must be rejected with an error");
+    let err = result.unwrap_err();
+    assert!(err.line().is_some(), "error should carry a line number");
+}
+
+#[test]
+fn garbage_bytes_are_rejected_cleanly() {
+    for garbage in [
+        "ts=abc addr=nonsense type=CE",
+        "completely unrelated text",
+        "addr=node0/npu0 ts=5 type=CE",
+        "ts=1 addr=node0/npu0/hbm0/sid0/ch0/pch0/bg0/bank0/row1/col2 type=EXPLODED",
+        "ts=99999999999999999999999 addr=node0/npu0/hbm0/sid0/ch0/pch0/bg0/bank0/row1/col2 type=CE",
+    ] {
+        assert!(
+            garbage.parse::<MceRecord>().is_err(),
+            "`{garbage}` must not parse"
+        );
+    }
+}
+
+#[test]
+fn pipeline_tolerates_duplicate_and_reordered_events() {
+    let (dataset, split, cordial) = trained_pipeline();
+    let by_bank = dataset.log.by_bank();
+    let bank = split.test[0];
+    let history = &by_bank[&bank];
+
+    // Duplicate every event and shuffle the copy's order: the plan must not
+    // change (histories re-sort, and features count distinct structure).
+    let mut events: Vec<ErrorEvent> = history.events().to_vec();
+    let mut doubled = events.clone();
+    doubled.extend(events.iter().copied());
+    events.reverse();
+
+    let reordered = BankErrorHistory::new(bank, events);
+    assert_eq!(cordial.plan(history), cordial.plan(&reordered));
+}
+
+#[test]
+fn pipeline_survives_pathological_histories() {
+    let (_, _, cordial) = trained_pipeline();
+    let bank = BankAddress::default();
+    let uer = |row: u32, t: u64| {
+        ErrorEvent::new(
+            bank.cell(RowId(row), ColId(0)),
+            Timestamp::from_secs(t),
+            ErrorType::Uer,
+        )
+    };
+
+    // All UERs at the same instant.
+    let simultaneous =
+        BankErrorHistory::new(bank, vec![uer(1, 5), uer(2, 5), uer(3, 5), uer(4, 5)]);
+    let _ = cordial.plan(&simultaneous);
+
+    // UERs at the extreme rows of the bank.
+    let edges = BankErrorHistory::new(bank, vec![uer(0, 1), uer(1, 2), uer(32_767, 3)]);
+    match cordial.plan(&edges) {
+        MitigationPlan::RowSparing { rows, .. } => {
+            assert!(rows.iter().all(|r| r.index() < 32_768));
+        }
+        MitigationPlan::BankSparing | MitigationPlan::InsufficientData => {}
+    }
+
+    // A thousand UERs on one row plus two neighbours (classification needs
+    // three distinct rows; massive duplication must not blow up).
+    let mut flood: Vec<ErrorEvent> = (0..1000).map(|i| uer(100, i)).collect();
+    flood.push(uer(101, 2000));
+    flood.push(uer(102, 2001));
+    let flooded = BankErrorHistory::new(bank, flood);
+    assert_ne!(cordial.plan(&flooded), MitigationPlan::InsufficientData);
+}
+
+#[test]
+fn mixed_fleet_logs_do_not_confuse_per_bank_views() {
+    // Interleave two fleets' logs: per-bank histories must remain disjoint.
+    let a = generate_fleet_dataset(&FleetDatasetConfig::small(), 1);
+    let b = generate_fleet_dataset(&FleetDatasetConfig::small(), 2);
+    let mut merged = a.log.clone();
+    merged.merge(b.log.clone());
+    assert_eq!(merged.len(), a.log.len() + b.log.len());
+    let merged_banks = merged.by_bank();
+    for (bank, history) in a.log.by_bank() {
+        let merged_history = &merged_banks[&bank];
+        assert!(merged_history.events().len() >= history.events().len());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // Fuzz: the MCE line parser must never panic, whatever bytes arrive.
+    #[test]
+    fn record_parser_never_panics(line in "\\PC{0,120}") {
+        let _ = line.parse::<MceRecord>();
+        let _ = MceRecord::parse_log(&line);
+    }
+
+    // Fuzz: mutating a valid log line either parses to something or errors —
+    // but never panics and never mis-addresses events.
+    #[test]
+    fn mutated_wire_lines_are_safe(mutation in "[a-z0-9/=. ]{0,40}", position in 0usize..60) {
+        let bank = BankAddress::default();
+        let event = ErrorEvent::new(
+            bank.cell(RowId(12), ColId(3)),
+            Timestamp::from_secs(9),
+            ErrorType::Ueo,
+        );
+        let mut line = MceRecord::new(event).to_string();
+        let at = position.min(line.len());
+        line.insert_str(at, &mutation);
+        if let Ok(record) = line.parse::<MceRecord>() {
+            // Whatever parsed must be internally consistent.
+            prop_assert!(record.event.time.as_millis() < u64::MAX);
+        }
+    }
+}
