@@ -1,0 +1,227 @@
+//! Offline vendored stand-in for the `criterion` crate (0.5 API subset).
+//!
+//! Provides `Criterion`, `benchmark_group`, `bench_function`, `Throughput`,
+//! `Bencher::iter`, and the `criterion_group!`/`criterion_main!` macros with
+//! a simple median-of-samples timing harness. No statistical regression
+//! analysis, plots, or HTML reports — each benchmark prints its median
+//! per-iteration time (plus derived throughput) to stdout, which is enough
+//! to compare code paths locally and in CI logs.
+
+use std::time::{Duration, Instant};
+
+/// Re-export location used by older criterion idioms
+/// (`criterion::black_box`); prefer `std::hint::black_box` in new code.
+pub use std::hint::black_box;
+
+/// Top-level harness handle.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Applies command-line filters. The vendored harness accepts and
+    /// ignores the arguments cargo-bench passes (`--bench`, filters).
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Registers a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.sample_size;
+        run_benchmark(name, sample_size, None, f);
+        self
+    }
+}
+
+/// Units for reporting throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A named collection of benchmarks sharing sample settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares per-iteration throughput for derived rates in the report.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Upstream tunes measurement time; the vendored harness has a fixed
+    /// per-sample budget, so this is accepted and ignored.
+    pub fn measurement_time(&mut self, _time: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        run_benchmark(&full, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Finishes the group (reporting already happened per-benchmark).
+    pub fn finish(self) {}
+}
+
+/// Timer handle passed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, collecting one sample per configured repetition.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            black_box(routine());
+        }
+        self.samples.push(start.elapsed() / self.iters_per_sample as u32);
+    }
+}
+
+fn run_benchmark<F>(name: &str, sample_size: usize, throughput: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Calibrate: one untimed call to estimate cost and pick a repetition
+    // count targeting ~10ms per sample (bounded to keep total time sane).
+    let mut calibrate = Bencher {
+        samples: Vec::new(),
+        iters_per_sample: 1,
+    };
+    f(&mut calibrate);
+    let est = calibrate
+        .samples
+        .first()
+        .copied()
+        .unwrap_or(Duration::from_micros(1));
+    let target = Duration::from_millis(10);
+    let iters = if est.is_zero() {
+        1_000
+    } else {
+        (target.as_nanos() / est.as_nanos().max(1)).clamp(1, 10_000) as u64
+    };
+
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        iters_per_sample: iters,
+    };
+    for _ in 0..sample_size {
+        f(&mut bencher);
+    }
+    let mut samples = bencher.samples;
+    if samples.is_empty() {
+        println!("{name:<50} (no samples: closure never called iter)");
+        return;
+    }
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format!(
+            "  {:>12.0} elem/s",
+            n as f64 / median.as_secs_f64().max(f64::MIN_POSITIVE)
+        ),
+        Throughput::Bytes(n) => format!(
+            "  {:>12.0} B/s",
+            n as f64 / median.as_secs_f64().max(f64::MIN_POSITIVE)
+        ),
+    });
+    println!(
+        "{name:<50} median {:>12}{}",
+        format_duration(median),
+        rate.unwrap_or_default()
+    );
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Declares a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main` from group runners.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_reports_and_returns() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("vendored");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(100));
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.finish();
+    }
+}

@@ -1,0 +1,92 @@
+//! Offline vendored stand-in for the `crossbeam` crate (0.8 API subset).
+//!
+//! Only scoped threads are provided — the one crossbeam facility the
+//! workspace uses — implemented on top of `std::thread::scope`, which gives
+//! the same guarantee (all spawned threads join before `scope` returns, so
+//! borrows of stack data are sound) with real OS-thread parallelism.
+
+/// Scoped-thread support, mirroring `crossbeam::thread`.
+pub mod thread {
+    use std::thread::{Scope as StdScope, ScopedJoinHandle as StdHandle};
+
+    /// A scope handle passed to the closure of [`scope`].
+    pub struct Scope<'scope, 'env: 'scope>(&'scope StdScope<'scope, 'env>);
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T>(StdHandle<'scope, T>);
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope again so
+        /// nested spawns work, matching crossbeam's signature.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            ScopedJoinHandle(self.0.spawn(move || f(&scope)))
+        }
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish, returning its result or the
+        /// panic payload.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.0.join()
+        }
+    }
+
+    /// Creates a scope in which threads borrowing `'env` data can be
+    /// spawned; joins them all before returning.
+    ///
+    /// # Errors
+    ///
+    /// Unlike upstream (which collects child panics into `Err`), a child
+    /// panic propagates out of the underlying `std::thread::scope` join and
+    /// unwinds here; callers that `.expect()` the result behave identically.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope(s))))
+    }
+}
+
+pub use thread::scope;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_stack_data() {
+        let data = vec![1u64, 2, 3, 4];
+        let total: u64 = super::scope(|scope| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| scope.spawn(move |_| chunk.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("join")).sum()
+        })
+        .expect("scope");
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn nested_spawn_receives_scope() {
+        let result = super::scope(|scope| {
+            scope
+                .spawn(|inner| inner.spawn(|_| 7).join().expect("inner join"))
+                .join()
+                .expect("outer join")
+        })
+        .expect("scope");
+        assert_eq!(result, 7);
+    }
+}

@@ -1,0 +1,635 @@
+//! Offline vendored stand-in for the [`proptest`](https://proptest-rs.github.io)
+//! crate.
+//!
+//! Implements the strategy/combinator surface this workspace uses —
+//! `proptest!`, `prop_assert!`/`prop_assert_eq!`/`prop_assume!`,
+//! `prop_oneof!`, `Just`, numeric-range strategies, strategy tuples,
+//! `prop::collection::vec`, `prop_map`, `prop_flat_map`, and
+//! `ProptestConfig::with_cases` — as a deterministic random-sampling engine.
+//!
+//! Differences from upstream: no shrinking (a failing case reports the
+//! failing assertion directly) and a fixed deterministic seed per test
+//! function, which keeps CI runs reproducible.
+
+/// Strategy trait and combinators.
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use rand::Rng;
+
+    /// A source of random values of one type.
+    ///
+    /// Object-safe: only [`Strategy::sample`] is required; combinators are
+    /// provided methods gated on `Self: Sized`.
+    pub trait Strategy {
+        /// The generated value type.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generates an intermediate value, then samples the strategy it
+        /// selects (dependent generation).
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            (**self).sample(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut TestRng) -> S::Value {
+            (**self).sample(rng)
+        }
+    }
+
+    /// Always produces a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    #[derive(Debug, Clone)]
+    pub struct FlatMap<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+        fn sample(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.sample(rng)).sample(rng)
+        }
+    }
+
+    /// Weighted choice between strategies (backs `prop_oneof!`).
+    pub struct Union<T> {
+        branches: Vec<(u32, BoxedStrategy<T>)>,
+        total: u32,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union from weighted type-erased branches.
+        ///
+        /// # Panics
+        ///
+        /// Panics if no branch or all weights are zero.
+        pub fn new_weighted(branches: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            let total: u32 = branches.iter().map(|(w, _)| *w).sum();
+            assert!(total > 0, "prop_oneof!: total weight must be positive");
+            Union { branches, total }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let mut pick = rng.rng.gen_range(0..self.total);
+            for (weight, branch) in &self.branches {
+                if pick < *weight {
+                    return branch.sample(rng);
+                }
+                pick -= weight;
+            }
+            unreachable!("weights sum to total")
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+    impl Strategy for core::ops::Range<char> {
+        type Value = char;
+        fn sample(&self, rng: &mut TestRng) -> char {
+            let lo = self.start as u32;
+            let hi = self.end as u32;
+            loop {
+                if let Some(c) = char::from_u32(rng.rng.gen_range(lo..hi)) {
+                    return c;
+                }
+            }
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident),+))*) => {$(
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+        (A, B, C, D, E, F, G)
+        (A, B, C, D, E, F, G, H)
+        (A, B, C, D, E, F, G, H, I)
+        (A, B, C, D, E, F, G, H, I, J)
+        (A, B, C, D, E, F, G, H, I, J, K)
+        (A, B, C, D, E, F, G, H, I, J, K, L)
+    }
+
+    /// Strategy for `bool` with even odds.
+    impl Strategy for fn() -> bool {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.rng.gen_bool(0.5)
+        }
+    }
+
+    /// String literals act as regex-shaped generators, like upstream.
+    ///
+    /// Supported subset (all this workspace's patterns use): literal chars,
+    /// `.` (any printable), char classes `[a-z0-9/=. ]` with ranges, the
+    /// escapes `\d` `\w` `\PC` (printable non-control), and `{lo,hi}`
+    /// quantifiers on the preceding atom.
+    impl Strategy for str {
+        type Value = String;
+        fn sample(&self, rng: &mut TestRng) -> String {
+            sample_regex(self, rng)
+        }
+    }
+
+    enum Atom {
+        Class(Vec<(char, char)>),
+        Printable,
+    }
+
+    fn sample_regex(pattern: &str, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut out = String::new();
+        let mut i = 0usize;
+        while i < chars.len() {
+            let atom = match chars[i] {
+                '[' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == ']')
+                        .map(|off| i + off)
+                        .expect("string strategy: unterminated char class");
+                    let mut ranges = Vec::new();
+                    let mut j = i + 1;
+                    while j < close {
+                        if j + 2 < close && chars[j + 1] == '-' {
+                            ranges.push((chars[j], chars[j + 2]));
+                            j += 3;
+                        } else {
+                            ranges.push((chars[j], chars[j]));
+                            j += 1;
+                        }
+                    }
+                    i = close + 1;
+                    Atom::Class(ranges)
+                }
+                '\\' => {
+                    let atom = match chars.get(i + 1) {
+                        Some('d') => Atom::Class(vec![('0', '9')]),
+                        Some('w') => {
+                            Atom::Class(vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')])
+                        }
+                        Some('P') if chars.get(i + 2) == Some(&'C') => {
+                            i += 1;
+                            Atom::Printable
+                        }
+                        Some(&c) => Atom::Class(vec![(c, c)]),
+                        None => panic!("string strategy: trailing backslash"),
+                    };
+                    i += 2;
+                    atom
+                }
+                '.' => {
+                    i += 1;
+                    Atom::Printable
+                }
+                c => {
+                    i += 1;
+                    Atom::Class(vec![(c, c)])
+                }
+            };
+            // Optional {lo,hi} quantifier.
+            let mut reps = 1usize;
+            if chars.get(i) == Some(&'{') {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .map(|off| i + off)
+                    .expect("string strategy: unterminated quantifier");
+                let body: String = chars[i + 1..close].iter().collect();
+                let (lo, hi) = match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse::<usize>().expect("quantifier lo"),
+                        hi.trim().parse::<usize>().expect("quantifier hi"),
+                    ),
+                    None => {
+                        let n = body.trim().parse::<usize>().expect("quantifier");
+                        (n, n)
+                    }
+                };
+                reps = rng.rng.gen_range(lo..=hi);
+                i = close + 1;
+            }
+            for _ in 0..reps {
+                match &atom {
+                    Atom::Class(ranges) => {
+                        let (lo, hi) = ranges[rng.rng.gen_range(0..ranges.len())];
+                        let c = char::from_u32(rng.rng.gen_range(lo as u32..=hi as u32))
+                            .unwrap_or(lo);
+                        out.push(c);
+                    }
+                    Atom::Printable => {
+                        // Mostly ASCII printable, occasionally wider unicode.
+                        let c = if rng.rng.gen_bool(0.9) {
+                            char::from(rng.rng.gen_range(0x20u8..0x7f))
+                        } else {
+                            loop {
+                                let raw = rng.rng.gen_range(0xA0u32..0x2_FFFF);
+                                if let Some(c) = char::from_u32(raw) {
+                                    if !c.is_control() {
+                                        break c;
+                                    }
+                                }
+                            }
+                        };
+                        out.push(c);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Accepted length specifications for [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> Self {
+            SizeRange {
+                lo: exact,
+                hi_inclusive: exact,
+            }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "vec strategy: empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s with lengths drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors of values drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.rng.gen_range(self.size.lo..=self.size.hi_inclusive);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Test-runner plumbing: configuration, RNG, case outcome.
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Per-test configuration.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of cases to run per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Overrides the number of cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Deterministic RNG handed to strategies.
+    pub struct TestRng {
+        pub(crate) rng: StdRng,
+    }
+
+    impl TestRng {
+        /// A fixed-seed RNG; every run of a test samples the same cases.
+        pub fn deterministic(salt: u64) -> Self {
+            TestRng {
+                rng: StdRng::seed_from_u64(0x70_72_6f_70 ^ salt),
+            }
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the inputs; the case is skipped.
+        Reject,
+        /// `prop_assert!`-style failure; the test fails.
+        Fail(String),
+    }
+
+    /// Outcome of one generated case.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+}
+
+/// `use proptest::prelude::*;` — everything the test files need.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult, TestRng};
+    pub use crate::{prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof,
+        proptest};
+}
+
+/// Namespace mirror of upstream's `proptest::prop` re-export hierarchy.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Defines property tests: `proptest! { fn name(x in strategy) { body } }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($config) $($rest)*);
+    };
+    (@impl ($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            #[test]
+            fn $name() {
+                let __config = $config;
+                // Salt the RNG with the test name so sibling properties in
+                // one block explore different streams.
+                let __salt = {
+                    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+                    for b in stringify!($name).bytes() {
+                        h ^= b as u64;
+                        h = h.wrapping_mul(0x1000_0000_01b3);
+                    }
+                    h
+                };
+                let mut __rng = $crate::test_runner::TestRng::deterministic(__salt);
+                let mut __ran: u32 = 0;
+                let mut __attempts: u32 = 0;
+                while __ran < __config.cases && __attempts < __config.cases * 16 {
+                    __attempts += 1;
+                    $(
+                        let $pat = $crate::strategy::Strategy::sample(&($strategy), &mut __rng);
+                    )+
+                    let __outcome: $crate::test_runner::TestCaseResult = (|| {
+                        $body
+                        Ok(())
+                    })();
+                    match __outcome {
+                        Ok(()) => { __ran += 1; }
+                        Err($crate::test_runner::TestCaseError::Reject) => {}
+                        Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!("proptest case failed: {msg}");
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside `proptest!`, failing the case (not panicking
+/// mid-strategy) on violation.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(::std::format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside `proptest!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{:?}` == `{:?}`", l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!($($fmt)*),
+            ));
+        }
+    }};
+}
+
+/// Asserts inequality inside `proptest!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{:?}` != `{:?}`", l, r
+        );
+    }};
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Weighted or unweighted choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(::std::vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strategy))),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(::std::vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strategy))),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn union_respects_weights() {
+        let strat = prop_oneof![9 => 0u32..1, 1 => 100u32..101];
+        let mut rng = TestRng::deterministic(1);
+        let hits = (0..1_000)
+            .filter(|_| strat.sample(&mut rng) == 100)
+            .count();
+        assert!((50..200).contains(&hits), "hits {hits}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        fn generated_vecs_honour_bounds(v in crate::collection::vec(0u32..10, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+
+        fn assume_skips_cases(x in 0u32..100, y in 0u32..100) {
+            prop_assume!(x != y);
+            prop_assert_ne!(x, y);
+        }
+
+        fn flat_map_dependent_generation(pair in (1usize..5).prop_flat_map(|n| {
+            crate::collection::vec(0u64..100, n..n + 1).prop_map(move |v| (n, v))
+        })) {
+            prop_assert_eq!(pair.0, pair.1.len());
+        }
+    }
+}

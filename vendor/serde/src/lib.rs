@@ -1,0 +1,516 @@
+//! Offline vendored stand-in for the [`serde`](https://serde.rs) crate.
+//!
+//! The build environment has no crates.io access, so the workspace vendors a
+//! self-contained serialization framework under the `serde` name exposing
+//! the API subset the workspace uses: `#[derive(Serialize, Deserialize)]`
+//! (including `#[serde(transparent)]`), the two traits, and enough impls for
+//! the primitive / container types that appear in serialized models.
+//!
+//! Instead of upstream's visitor-based data model, serialization goes
+//! through an owned [`Value`] tree (the shape `serde_json` then prints).
+//! Round-tripping through the vendored `serde_json` is exact for every type
+//! in this workspace, including `f64` payloads (shortest-roundtrip float
+//! formatting and correctly-rounded parsing); non-finite floats encode as
+//! `null` and decode back to `NaN`, mirroring `serde_json`'s lossy `null`
+//! encoding for non-finite values.
+
+use std::collections::{BTreeMap, HashMap};
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing serialized value (the `serde_json` data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null` (also the encoding of `None` and non-finite floats).
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Finite float.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Sequence (arrays, tuples, maps-as-pair-lists).
+    Seq(Vec<Value>),
+    /// String-keyed map (structs, externally-tagged enum payloads).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a struct field by name.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        match self {
+            Value::Map(entries) => entries.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Serialization error (unused by serialization itself, which is total, but
+/// part of the public surface for symmetry).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Creates an error with a message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can be serialized into a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be reconstructed from a [`Value`] tree.
+///
+/// The lifetime parameter exists for signature compatibility with upstream
+/// bounds like `for<'de> Deserialize<'de>`; this vendored model is always
+/// owned.
+pub trait Deserialize<'de>: Sized {
+    /// Rebuilds `Self` from a value tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] when the tree's shape does not match `Self`.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+// --- helper functions used by generated derive code ---
+
+/// Reads a struct field (derive-internal).
+///
+/// # Errors
+///
+/// Propagates the field's own deserialization error; a missing field is
+/// deserialized from `Null` so `Option` fields default to `None`.
+pub fn de_field<T: for<'de> Deserialize<'de>>(value: &Value, name: &str) -> Result<T, Error> {
+    match value.get(name) {
+        Some(v) => T::from_value(v)
+            .map_err(|e| Error::custom(format!("field `{name}`: {e}"))),
+        None => T::from_value(&Value::Null)
+            .map_err(|_| Error::custom(format!("missing field `{name}`"))),
+    }
+}
+
+/// Reads a tuple element (derive-internal).
+///
+/// # Errors
+///
+/// Fails when the value is not a sequence or the index is out of range.
+pub fn de_elem<T: for<'de> Deserialize<'de>>(value: &Value, idx: usize) -> Result<T, Error> {
+    match value {
+        Value::Seq(items) => match items.get(idx) {
+            Some(v) => T::from_value(v).map_err(|e| Error::custom(format!("element {idx}: {e}"))),
+            None => Err(Error::custom(format!("missing tuple element {idx}"))),
+        },
+        other => Err(Error::custom(format!(
+            "expected sequence for tuple, got {other:?}"
+        ))),
+    }
+}
+
+// --- primitive impls ---
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let raw = match *value {
+                    Value::U64(v) => v,
+                    Value::I64(v) if v >= 0 => v as u64,
+                    ref other => {
+                        return Err(Error::custom(format!(
+                            concat!("expected ", stringify!($t), ", got {:?}"),
+                            other
+                        )))
+                    }
+                };
+                <$t>::try_from(raw).map_err(|_| {
+                    Error::custom(format!(concat!(stringify!($t), " out of range: {}"), raw))
+                })
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 { Value::U64(v as u64) } else { Value::I64(v) }
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let raw: i64 = match *value {
+                    Value::I64(v) => v,
+                    Value::U64(v) => i64::try_from(v).map_err(|_| {
+                        Error::custom(format!("integer out of i64 range: {v}"))
+                    })?,
+                    ref other => {
+                        return Err(Error::custom(format!(
+                            concat!("expected ", stringify!($t), ", got {:?}"),
+                            other
+                        )))
+                    }
+                };
+                <$t>::try_from(raw).map_err(|_| {
+                    Error::custom(format!(concat!(stringify!($t), " out of range: {}"), raw))
+                })
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        if self.is_finite() {
+            Value::F64(*self)
+        } else {
+            Value::Null
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match *value {
+            Value::F64(v) => Ok(v),
+            Value::U64(v) => Ok(v as f64),
+            Value::I64(v) => Ok(v as f64),
+            Value::Null => Ok(f64::NAN),
+            ref other => Err(Error::custom(format!("expected f64, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        (f64::from(*self)).to_value()
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        f64::from_value(value).map(|v| v as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::custom(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::custom(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(Error::custom(format!("expected char, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(()),
+            other => Err(Error::custom(format!("expected null, got {other:?}"))),
+        }
+    }
+}
+
+// --- reference / container impls ---
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::custom(format!("expected sequence, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de> + std::fmt::Debug, const N: usize> Deserialize<'de> for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let items: Vec<T> = Vec::from_value(value)?;
+        <[T; N]>::try_from(items)
+            .map_err(|v| Error::custom(format!("expected array of {N}, got {}", v.len())))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Seq(items) => {
+                        let expected = [$($idx,)+].len();
+                        if items.len() != expected {
+                            return Err(Error::custom(format!(
+                                "expected tuple of {expected}, got {}", items.len()
+                            )));
+                        }
+                        Ok(($($name::from_value(&items[$idx])?,)+))
+                    }
+                    other => Err(Error::custom(format!("expected tuple, got {other:?}"))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7)
+}
+
+// Maps serialize as a sequence of `[key, value]` pairs. This keeps
+// structured (non-string) keys exactly round-trippable, which JSON objects
+// cannot do; upstream serde_json would reject such keys outright.
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Seq(
+            self.iter()
+                .map(|(k, v)| Value::Seq(vec![k.to_value(), v.to_value()]))
+                .collect(),
+        )
+    }
+}
+
+impl<'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> Deserialize<'de> for BTreeMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let pairs: Vec<(K, V)> = Vec::from_value(value)?;
+        Ok(pairs.into_iter().collect())
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        // Deterministic output: sort entries by serialized key rendering.
+        let mut entries: Vec<(String, Value, Value)> = self
+            .iter()
+            .map(|(k, v)| {
+                let kv = k.to_value();
+                (format!("{kv:?}"), kv, v.to_value())
+            })
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Seq(
+            entries
+                .into_iter()
+                .map(|(_, k, v)| Value::Seq(vec![k, v]))
+                .collect(),
+        )
+    }
+}
+
+impl<'de, K, V, S> Deserialize<'de> for HashMap<K, V, S>
+where
+    K: Deserialize<'de> + std::hash::Hash + Eq,
+    V: Deserialize<'de>,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let pairs: Vec<(K, V)> = Vec::from_value(value)?;
+        Ok(pairs.into_iter().collect())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+impl Serialize for std::time::Duration {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("secs".to_owned(), Value::U64(self.as_secs())),
+            ("nanos".to_owned(), Value::U64(u64::from(self.subsec_nanos()))),
+        ])
+    }
+}
+
+impl<'de> Deserialize<'de> for std::time::Duration {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let secs: u64 = de_field(value, "secs")?;
+        let nanos: u32 = de_field(value, "nanos")?;
+        Ok(std::time::Duration::new(secs, nanos))
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_null_round_trip() {
+        let some: Option<u32> = Some(7);
+        let none: Option<u32> = None;
+        assert_eq!(Option::<u32>::from_value(&some.to_value()).unwrap(), Some(7));
+        assert_eq!(Option::<u32>::from_value(&none.to_value()).unwrap(), None);
+    }
+
+    #[test]
+    fn nan_encodes_as_null_and_returns_as_nan() {
+        assert_eq!(f64::NAN.to_value(), Value::Null);
+        assert!(f64::from_value(&Value::Null).unwrap().is_nan());
+    }
+
+    #[test]
+    fn map_round_trips_structured_keys() {
+        let mut m = BTreeMap::new();
+        m.insert((1u32, 2u32), "a".to_string());
+        m.insert((3, 4), "b".to_string());
+        let back = BTreeMap::<(u32, u32), String>::from_value(&m.to_value()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn integers_cross_decode() {
+        assert_eq!(u32::from_value(&Value::U64(5)).unwrap(), 5);
+        assert_eq!(i64::from_value(&Value::U64(5)).unwrap(), 5);
+        assert!(u8::from_value(&Value::U64(300)).is_err());
+        assert!((f64::from_value(&Value::U64(5)).unwrap() - 5.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,520 @@
+//! Offline vendored stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against
+//! the vendored value-tree `serde` without `syn`/`quote`: the item is parsed
+//! directly from the `proc_macro::TokenStream` and the impl is emitted as a
+//! source string. Supported shapes are exactly what the workspace uses:
+//! structs (named, tuple, unit — with optional lifetime generics and
+//! `#[serde(transparent)]`) and enums with unit / tuple / struct variants.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    emit_serialize(&item).parse().expect("derive(Serialize): emitted code must parse")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    emit_deserialize(&item).parse().expect("derive(Deserialize): emitted code must parse")
+}
+
+// --- parsed model ---
+
+enum Body {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    body: VariantBody,
+}
+
+enum VariantBody {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    generics: String,
+    transparent: bool,
+    body: Body,
+}
+
+// --- token-stream parsing ---
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    let mut transparent = false;
+
+    // Outer attributes: `#[...]`; record `#[serde(transparent)]`.
+    while matches!(&tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        if let Some(TokenTree::Group(g)) = tokens.get(pos + 1) {
+            if attr_is_serde_transparent(g.stream()) {
+                transparent = true;
+            }
+        }
+        pos += 2;
+    }
+
+    skip_visibility(&tokens, &mut pos);
+
+    let kind = expect_ident(&tokens, &mut pos);
+    let name = expect_ident(&tokens, &mut pos);
+    let generics = parse_generics(&tokens, &mut pos);
+
+    let body = match kind.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::TupleStruct(count_top_level_items(g.stream()))
+            }
+            _ => Body::UnitStruct,
+        },
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("derive: enum without brace body: {other:?}"),
+        },
+        other => panic!("derive: unsupported item kind `{other}`"),
+    };
+
+    Item {
+        name,
+        generics,
+        transparent,
+        body,
+    }
+}
+
+fn attr_is_serde_transparent(stream: TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match tokens.first() {
+        Some(TokenTree::Ident(i)) if i.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match tokens.get(1) {
+        Some(TokenTree::Group(g)) => g
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "transparent")),
+        _ => false,
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if matches!(tokens.get(*pos), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        *pos += 1;
+        if matches!(
+            tokens.get(*pos),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            *pos += 1;
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], pos: &mut usize) -> String {
+    match tokens.get(*pos) {
+        Some(TokenTree::Ident(i)) => {
+            *pos += 1;
+            i.to_string()
+        }
+        other => panic!("derive: expected identifier, found {other:?}"),
+    }
+}
+
+/// Consumes `<...>` if present, returning its textual content (`'a`, ...).
+/// Only lifetime parameters appear in this workspace.
+fn parse_generics(tokens: &[TokenTree], pos: &mut usize) -> String {
+    if !matches!(tokens.get(*pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return String::new();
+    }
+    *pos += 1;
+    let mut depth = 1usize;
+    let mut out = String::new();
+    while depth > 0 {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                depth += 1;
+                out.push('<');
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                depth -= 1;
+                if depth > 0 {
+                    out.push('>');
+                }
+            }
+            Some(tok) => {
+                out.push_str(&tok.to_string());
+                if !matches!(tok, TokenTree::Punct(p) if p.spacing() == proc_macro::Spacing::Joint)
+                {
+                    out.push(' ');
+                }
+            }
+            None => panic!("derive: unterminated generics"),
+        }
+        *pos += 1;
+    }
+    out.trim().to_owned()
+}
+
+/// Field names of a `{ ... }` struct body, skipping attrs/vis/types.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_attributes(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut pos);
+        let name = expect_ident(&tokens, &mut pos);
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => panic!("derive: expected `:` after field `{name}`, found {other:?}"),
+        }
+        fields.push(name);
+        skip_type_until_comma(&tokens, &mut pos);
+    }
+    fields
+}
+
+fn skip_attributes(tokens: &[TokenTree], pos: &mut usize) {
+    while matches!(tokens.get(*pos), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *pos += 2;
+    }
+}
+
+/// Advances past a type expression up to (and over) the next top-level `,`.
+fn skip_type_until_comma(tokens: &[TokenTree], pos: &mut usize) {
+    let mut angle_depth = 0usize;
+    while let Some(tok) = tokens.get(*pos) {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1);
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                *pos += 1;
+                return;
+            }
+            _ => {}
+        }
+        *pos += 1;
+    }
+}
+
+/// Number of top-level comma-separated items in a token group.
+fn count_top_level_items(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0usize;
+    let mut saw_item = false;
+    for tok in &tokens {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1);
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => count += 1,
+            _ => saw_item = true,
+        }
+    }
+    // Tolerate a trailing comma.
+    if let Some(TokenTree::Punct(p)) = tokens.last() {
+        if p.as_char() == ',' && saw_item {
+            count -= 1;
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_attributes(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut pos);
+        let body = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                VariantBody::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                VariantBody::Tuple(count_top_level_items(g.stream()))
+            }
+            _ => VariantBody::Unit,
+        };
+        // Consume a separating comma if present.
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+        variants.push(Variant { name, body });
+    }
+    variants
+}
+
+// --- code generation ---
+
+fn impl_header(item: &Item, trait_path: &str, extra_lifetime: Option<&str>) -> String {
+    let mut params = String::new();
+    if let Some(lt) = extra_lifetime {
+        params.push_str(lt);
+    }
+    if !item.generics.is_empty() {
+        if !params.is_empty() {
+            params.push_str(", ");
+        }
+        params.push_str(&item.generics);
+    }
+    let ty_generics = if item.generics.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", item.generics)
+    };
+    let impl_generics = if params.is_empty() {
+        String::new()
+    } else {
+        format!("<{params}>")
+    };
+    format!(
+        "impl{impl_generics} {trait_path} for {}{ty_generics}",
+        item.name
+    )
+}
+
+fn emit_serialize(item: &Item) -> String {
+    let body = match &item.body {
+        Body::NamedStruct(fields) => {
+            if item.transparent {
+                assert_eq!(
+                    fields.len(),
+                    1,
+                    "serde(transparent) requires exactly one field"
+                );
+                format!("::serde::Serialize::to_value(&self.{})", fields[0])
+            } else {
+                let entries: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "(::std::string::String::from(\"{f}\"), \
+                             ::serde::Serialize::to_value(&self.{f}))"
+                        )
+                    })
+                    .collect();
+                format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+            }
+        }
+        Body::TupleStruct(arity) => {
+            if *arity == 1 {
+                "::serde::Serialize::to_value(&self.0)".to_owned()
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+            }
+        }
+        Body::UnitStruct => "::serde::Value::Null".to_owned(),
+        Body::Enum(variants) => {
+            let name = &item.name;
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.body {
+                        VariantBody::Unit => format!(
+                            "{name}::{vname} => \
+                             ::serde::Value::Str(::std::string::String::from(\"{vname}\"))"
+                        ),
+                        VariantBody::Tuple(arity) => {
+                            let binds: Vec<String> =
+                                (0..*arity).map(|i| format!("__f{i}")).collect();
+                            let payload = if *arity == 1 {
+                                "::serde::Serialize::to_value(__f0)".to_owned()
+                            } else {
+                                let items: Vec<String> = binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                    .collect();
+                                format!(
+                                    "::serde::Value::Seq(::std::vec![{}])",
+                                    items.join(", ")
+                                )
+                            };
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Value::Map(::std::vec![\
+                                 (::std::string::String::from(\"{vname}\"), {payload})])",
+                                binds.join(", ")
+                            )
+                        }
+                        VariantBody::Named(fields) => {
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{f}\"), \
+                                         ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {} }} => ::serde::Value::Map(::std::vec![\
+                                 (::std::string::String::from(\"{vname}\"), \
+                                 ::serde::Value::Map(::std::vec![{}]))])",
+                                fields.join(", "),
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "{} {{ fn to_value(&self) -> ::serde::Value {{ {body} }} }}",
+        impl_header(item, "::serde::Serialize", None)
+    )
+}
+
+fn emit_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::NamedStruct(fields) => {
+            if item.transparent {
+                format!(
+                    "::core::result::Result::Ok({name} {{ {}: \
+                     ::serde::Deserialize::from_value(__value)? }})",
+                    fields[0]
+                )
+            } else {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| format!("{f}: ::serde::de_field(__value, \"{f}\")?"))
+                    .collect();
+                format!(
+                    "::core::result::Result::Ok({name} {{ {} }})",
+                    inits.join(", ")
+                )
+            }
+        }
+        Body::TupleStruct(arity) => {
+            if *arity == 1 {
+                format!(
+                    "::core::result::Result::Ok({name}(\
+                     ::serde::Deserialize::from_value(__value)?))"
+                )
+            } else {
+                let inits: Vec<String> = (0..*arity)
+                    .map(|i| format!("::serde::de_elem(__value, {i})?"))
+                    .collect();
+                format!(
+                    "::core::result::Result::Ok({name}({}))",
+                    inits.join(", ")
+                )
+            }
+        }
+        Body::UnitStruct => format!("::core::result::Result::Ok({name})"),
+        Body::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.body, VariantBody::Unit))
+                .map(|v| {
+                    format!(
+                        "\"{0}\" => ::core::result::Result::Ok({name}::{0})",
+                        v.name
+                    )
+                })
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.body {
+                        VariantBody::Unit => None,
+                        VariantBody::Tuple(arity) => Some(if *arity == 1 {
+                            format!(
+                                "\"{vname}\" => ::core::result::Result::Ok({name}::{vname}(\
+                                 ::serde::Deserialize::from_value(__payload)?))"
+                            )
+                        } else {
+                            let inits: Vec<String> = (0..*arity)
+                                .map(|i| format!("::serde::de_elem(__payload, {i})?"))
+                                .collect();
+                            format!(
+                                "\"{vname}\" => ::core::result::Result::Ok({name}::{vname}({}))",
+                                inits.join(", ")
+                            )
+                        }),
+                        VariantBody::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| format!("{f}: ::serde::de_field(__payload, \"{f}\")?"))
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => ::core::result::Result::Ok({name}::{vname} \
+                                 {{ {} }})",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match __value {{ \
+                 ::serde::Value::Str(__s) => match __s.as_str() {{ \
+                 {unit_arms} \
+                 __other => ::core::result::Result::Err(::serde::Error::custom(\
+                 ::std::format!(\"unknown variant `{{__other}}` of {name}\"))) }}, \
+                 ::serde::Value::Map(__entries) if __entries.len() == 1 => {{ \
+                 let (__tag, __payload) = &__entries[0]; \
+                 match __tag.as_str() {{ \
+                 {tagged_arms} \
+                 __other => ::core::result::Result::Err(::serde::Error::custom(\
+                 ::std::format!(\"unknown variant `{{__other}}` of {name}\"))) }} }}, \
+                 __other => ::core::result::Result::Err(::serde::Error::custom(\
+                 ::std::format!(\"expected {name} variant, got {{__other:?}}\"))) }}",
+                unit_arms = if unit_arms.is_empty() {
+                    String::new()
+                } else {
+                    format!("{},", unit_arms.join(", "))
+                },
+                tagged_arms = if tagged_arms.is_empty() {
+                    String::new()
+                } else {
+                    format!("{},", tagged_arms.join(", "))
+                },
+            )
+        }
+    };
+    format!(
+        "{} {{ fn from_value(__value: &::serde::Value) \
+         -> ::core::result::Result<Self, ::serde::Error> {{ {body} }} }}",
+        impl_header(item, "::serde::Deserialize<'de>", Some("'de"))
+    )
+}
