@@ -26,8 +26,8 @@ fn bench_k_uers(c: &mut Criterion) {
         };
         group.bench_function(format!("k={k}"), |b| {
             b.iter(|| {
-                let (_, eval) = evaluate_cordial(&dataset, &split.train, &split.test, &config)
-                    .expect("train");
+                let (_, eval) =
+                    evaluate_cordial(&dataset, &split.train, &split.test, &config).expect("train");
                 black_box(eval)
             })
         });
@@ -49,12 +49,14 @@ fn bench_block_spec(c: &mut Criterion) {
             ..CordialConfig::default().with_seed(BENCH_SEED)
         };
         group.bench_function(
-            format!("{n_blocks}x{rows_per_block}rows_radius{}", config.block.radius()),
+            format!(
+                "{n_blocks}x{rows_per_block}rows_radius{}",
+                config.block.radius()
+            ),
             |b| {
                 b.iter(|| {
-                    let (_, eval) =
-                        evaluate_cordial(&dataset, &split.train, &split.test, &config)
-                            .expect("train");
+                    let (_, eval) = evaluate_cordial(&dataset, &split.train, &split.test, &config)
+                        .expect("train");
                     black_box(eval)
                 })
             },
@@ -72,8 +74,8 @@ fn bench_model_family(c: &mut Criterion) {
         let config = CordialConfig::with_model(model).with_seed(BENCH_SEED);
         group.bench_function(model.short_name(), |b| {
             b.iter(|| {
-                let (_, eval) = evaluate_cordial(&dataset, &split.train, &split.test, &config)
-                    .expect("train");
+                let (_, eval) =
+                    evaluate_cordial(&dataset, &split.train, &split.test, &config).expect("train");
                 black_box(eval)
             })
         });
@@ -93,8 +95,8 @@ fn bench_threshold_mode(c: &mut Criterion) {
         };
         group.bench_function(name, |b| {
             b.iter(|| {
-                let (_, eval) = evaluate_cordial(&dataset, &split.train, &split.test, &config)
-                    .expect("train");
+                let (_, eval) =
+                    evaluate_cordial(&dataset, &split.train, &split.test, &config).expect("train");
                 black_box(eval)
             })
         });

@@ -23,8 +23,13 @@ fn bench_fig3a_layout_sampling(c: &mut Criterion) {
                 let layout = PatternLayout::sample(kind, &geom, &mut rng);
                 let mut prev = None;
                 for _ in 0..32 {
-                    let (row, col) = layout
-                        .sample_next_cell(prev, &kernel, GrowthDirection::Up, &geom, &mut rng);
+                    let (row, col) = layout.sample_next_cell(
+                        prev,
+                        &kernel,
+                        GrowthDirection::Up,
+                        &geom,
+                        &mut rng,
+                    );
                     prev = Some(row);
                     black_box((row, col));
                 }

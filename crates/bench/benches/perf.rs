@@ -1,0 +1,89 @@
+//! Performance-layer benchmarks: the speedups claimed by the suite-wide
+//! parallel/pre-binned training paths, measured against their sequential
+//! twins. Every compared pair produces bit-identical models (enforced by
+//! the determinism tests), so these benches measure *only* time.
+//!
+//! Run with `cargo bench -p cordial-bench --bench perf`.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use cordial::pipeline::Cordial;
+use cordial::CordialConfig;
+use cordial_bench::{bench_dataset, bench_split, BENCH_SEED};
+use cordial_trees::{BinnedDataset, Dataset, LightGbm, LightGbmConfig};
+
+/// A synthetic multi-class matrix big enough for the parallel paths to
+/// engage (the per-feature histogram fan-out gates on rows × features).
+fn synthetic_dataset(n_rows: usize, n_features: usize, n_classes: usize) -> Dataset {
+    let mut data = Dataset::new(n_features, n_classes);
+    let mut x = 0.0f64;
+    for i in 0..n_rows {
+        let row: Vec<f64> = (0..n_features)
+            .map(|f| {
+                x = (x * 1103515245.0 + 12345.0) % 1000.0;
+                x / 100.0 + (i % n_classes) as f64 * (f % 5) as f64
+            })
+            .collect();
+        data.push_row(&row, i % n_classes).expect("row");
+    }
+    data
+}
+
+fn bench_lgbm_fit(c: &mut Criterion) {
+    let data = synthetic_dataset(2000, 27, 3);
+    let binned = BinnedDataset::fit(&data, LightGbmConfig::default().max_bins);
+    let mut group = c.benchmark_group("lgbm_fit");
+    group.sample_size(10);
+    for threads in [1, 4] {
+        let config = LightGbmConfig::default()
+            .with_seed(BENCH_SEED)
+            .with_threads(threads);
+        group.bench_function(format!("raw_{threads}_threads"), |b| {
+            b.iter(|| black_box(LightGbm::fit(&data, &config).expect("fit")))
+        });
+        group.bench_function(format!("prebinned_{threads}_threads"), |b| {
+            b.iter(|| black_box(LightGbm::fit_prebinned(&data, &binned, &config).expect("fit")))
+        });
+    }
+    group.finish();
+}
+
+fn bench_cordial_fit(c: &mut Criterion) {
+    let dataset = bench_dataset();
+    let split = bench_split(&dataset);
+    let mut group = c.benchmark_group("cordial_fit");
+    group.sample_size(10);
+    for threads in [1, 4] {
+        let config = CordialConfig::default()
+            .with_seed(BENCH_SEED)
+            .with_threads(threads);
+        group.bench_function(format!("{threads}_threads"), |b| {
+            b.iter(|| black_box(Cordial::fit(&dataset, &split.train, &config).expect("fit")))
+        });
+    }
+    group.finish();
+}
+
+fn bench_plan_batch(c: &mut Criterion) {
+    let dataset = bench_dataset();
+    let split = bench_split(&dataset);
+    let by_bank = dataset.log.by_bank();
+    let histories: Vec<_> = split.test.iter().map(|b| &by_bank[b]).collect();
+
+    let mut group = c.benchmark_group("plan_batch");
+    group.throughput(Throughput::Elements(histories.len() as u64));
+    for threads in [1, 4] {
+        let config = CordialConfig::default()
+            .with_seed(BENCH_SEED)
+            .with_threads(threads);
+        let cordial = Cordial::fit(&dataset, &split.train, &config).expect("train");
+        group.bench_function(format!("{threads}_threads"), |b| {
+            b.iter(|| black_box(cordial.plan_batch(black_box(&histories))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(perf, bench_lgbm_fit, bench_cordial_fit, bench_plan_batch);
+criterion_main!(perf);

@@ -62,5 +62,11 @@ fn bench_table4(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(tables, bench_table1, bench_table2, bench_table3, bench_table4);
+criterion_group!(
+    tables,
+    bench_table1,
+    bench_table2,
+    bench_table3,
+    bench_table4
+);
 criterion_main!(tables);

@@ -147,11 +147,8 @@ fn plan(args: &Args) -> Result<(), String> {
                 planned += 1;
             }
             MitigationPlan::RowSparing { pattern, rows } => {
-                let preview: Vec<String> = rows
-                    .iter()
-                    .take(6)
-                    .map(|r| r.index().to_string())
-                    .collect();
+                let preview: Vec<String> =
+                    rows.iter().take(6).map(|r| r.index().to_string()).collect();
                 println!(
                     "{bank}: {pattern} -> ROW SPARING {} rows [{}{}]",
                     rows.len(),
@@ -224,10 +221,7 @@ mod tests {
     #[test]
     fn seed_parses_with_default() {
         assert_eq!(args(&["plan"]).unwrap().seed().unwrap(), 2025);
-        assert_eq!(
-            args(&["plan", "--seed", "7"]).unwrap().seed().unwrap(),
-            7
-        );
+        assert_eq!(args(&["plan", "--seed", "7"]).unwrap().seed().unwrap(), 7);
         assert!(args(&["plan", "--seed", "x"]).unwrap().seed().is_err());
     }
 

@@ -138,12 +138,14 @@ mod tests {
     fn neighbor_rows_isolates_eight_adjacent_rows() {
         let history = window_from(vec![ev(1000, 1, ErrorType::Uer)]);
         let (window, _) = history.observe_until_k_uers(1).unwrap();
-        let rows =
-            NeighborRowsBaseline::paper().predicted_rows(&window, &HbmGeometry::hbm2e_8hi());
+        let rows = NeighborRowsBaseline::paper().predicted_rows(&window, &HbmGeometry::hbm2e_8hi());
         assert_eq!(rows.len(), 8);
         assert!(rows.contains(&RowId(996)));
         assert!(rows.contains(&RowId(1004)));
-        assert!(!rows.contains(&RowId(1000)), "the failed row itself is reactive");
+        assert!(
+            !rows.contains(&RowId(1000)),
+            "the failed row itself is reactive"
+        );
     }
 
     #[test]
@@ -153,8 +155,7 @@ mod tests {
             ev(1002, 2, ErrorType::Uer),
         ]);
         let (window, _) = history.observe_until_k_uers(2).unwrap();
-        let rows =
-            NeighborRowsBaseline::paper().predicted_rows(&window, &HbmGeometry::hbm2e_8hi());
+        let rows = NeighborRowsBaseline::paper().predicted_rows(&window, &HbmGeometry::hbm2e_8hi());
         // Overlap is deduplicated; 1000 and 1002 are each other's neighbours.
         assert!(rows.contains(&RowId(1000)));
         assert!(rows.contains(&RowId(1002)));
@@ -167,8 +168,7 @@ mod tests {
     fn neighbor_rows_clamps_at_bank_edge() {
         let history = window_from(vec![ev(1, 1, ErrorType::Uer)]);
         let (window, _) = history.observe_until_k_uers(1).unwrap();
-        let rows =
-            NeighborRowsBaseline::paper().predicted_rows(&window, &HbmGeometry::hbm2e_8hi());
+        let rows = NeighborRowsBaseline::paper().predicted_rows(&window, &HbmGeometry::hbm2e_8hi());
         assert!(rows.iter().all(|r| r.0 < 32_768));
         assert!(rows.contains(&RowId(0)));
         assert_eq!(rows.len(), 5); // 0 plus 2..=5

@@ -4,11 +4,11 @@
 //! window (all CEs/UEOs + first `k` distinct-row UERs) to one of the three
 //! coarse classes: double-row clustering, single-row clustering, scattered.
 
-use serde::{Deserialize, Serialize};
 use cordial_faultsim::{CoarsePattern, FleetDataset};
 use cordial_mcelog::{BankErrorHistory, ObservedWindow};
 use cordial_topology::{BankAddress, HbmGeometry};
 use cordial_trees::{Classifier, Dataset};
+use serde::{Deserialize, Serialize};
 
 use crate::config::CordialConfig;
 use crate::error::CordialError;
@@ -41,26 +41,30 @@ impl PatternClassifier {
     ) -> Result<Self, CordialError> {
         let geom = geometry_of(dataset);
         let by_bank = dataset.log.by_bank();
+        // Feature extraction is per-bank independent, so it fans out to
+        // worker threads; rows are pushed back in `train_banks` order.
+        let samples = cordial_trees::parallel::ordered_map(
+            train_banks,
+            config.n_threads,
+            |bank| -> Option<(Vec<f64>, usize)> {
+                let truth = dataset.truth.get(bank)?;
+                let history = by_bank.get(bank)?;
+                let (window, _) = history.observe_until_k_uers(config.k_uers)?;
+                let mut features = bank_features(&window, &geom);
+                mask_bank_features(&mut features, &config.feature_mask);
+                Some((features, truth.kind().coarse().class_index()))
+            },
+        );
         let mut data = Dataset::new(BANK_FEATURE_NAMES.len(), CoarsePattern::ALL.len());
-        for bank in train_banks {
-            let Some(truth) = dataset.truth.get(bank) else {
-                continue;
-            };
-            let Some(history) = by_bank.get(bank) else {
-                continue;
-            };
-            let Some((window, _)) = history.observe_until_k_uers(config.k_uers) else {
-                continue;
-            };
-            let mut features = bank_features(&window, &geom);
-            mask_bank_features(&mut features, &config.feature_mask);
-            let label = truth.kind().coarse().class_index();
+        for (features, label) in samples.into_iter().flatten() {
             data.push_row(&features, label)?;
         }
         if data.is_empty() {
             return Err(CordialError::NoTrainableBanks);
         }
-        let model = config.model.fit(&data, config.seed)?;
+        let model = config
+            .model
+            .fit_threaded(&data, config.seed, config.n_threads)?;
         Ok(Self {
             model,
             geom,
@@ -117,8 +121,7 @@ impl PatternClassifier {
         let by_bank = dataset.log.by_bank();
         let mut pairs = Vec::new();
         for bank in test_banks {
-            let (Some(truth), Some(history)) = (dataset.truth.get(bank), by_bank.get(bank))
-            else {
+            let (Some(truth), Some(history)) = (dataset.truth.get(bank), by_bank.get(bank)) else {
                 continue;
             };
             if let Some(predicted) = self.classify(history) {

@@ -29,6 +29,9 @@ pub struct CordialConfig {
     pub feature_mask: FeatureMask,
     /// RNG seed for model training.
     pub seed: u64,
+    /// Worker threads for training and batch planning (1 = sequential).
+    /// Every result is identical for every thread count.
+    pub n_threads: usize,
 }
 
 impl CordialConfig {
@@ -45,6 +48,12 @@ impl CordialConfig {
         self.seed = seed;
         self
     }
+
+    /// Returns the config with a different worker-thread count.
+    pub fn with_threads(mut self, n_threads: usize) -> Self {
+        self.n_threads = n_threads;
+        self
+    }
 }
 
 impl Default for CordialConfig {
@@ -56,6 +65,7 @@ impl Default for CordialConfig {
             block_threshold: None,
             feature_mask: FeatureMask::ALL,
             seed: 0,
+            n_threads: 4,
         }
     }
 }

@@ -112,28 +112,40 @@ impl CrossRowPredictor {
         train_banks: &[BankAddress],
         config: &CordialConfig,
     ) -> Result<Self, CordialError> {
+        /// One aggregation bank's pattern plus its labelled block samples.
+        type BankBlockSamples = (CoarsePattern, Vec<(Vec<f64>, usize)>);
+
         let geom = geometry_of(dataset);
         let by_bank = dataset.log.by_bank();
         let mut single = Dataset::new(BLOCK_FEATURE_LEN, 2);
         let mut double = Dataset::new(BLOCK_FEATURE_LEN, 2);
         let mut pooled = Dataset::new(BLOCK_FEATURE_LEN, 2);
 
-        for bank in train_banks {
-            let Some(truth) = dataset.truth.get(bank) else {
-                continue;
-            };
-            let pattern = truth.kind().coarse();
-            if !pattern.is_aggregation() {
-                continue;
-            }
-            let Some(history) = by_bank.get(bank) else {
-                continue;
-            };
-            let Some((window, future)) = history.observe_until_k_uers(config.k_uers) else {
-                continue;
-            };
-            let samples =
-                block_samples_masked(&window, future, &config.block, &geom, &config.feature_mask);
+        // Sample generation (feature extraction over every block of every
+        // aggregation bank) is per-bank independent: fan out to worker
+        // threads, then route the samples sequentially in bank order.
+        let per_bank = cordial_trees::parallel::ordered_map(
+            train_banks,
+            config.n_threads,
+            |bank| -> Option<BankBlockSamples> {
+                let truth = dataset.truth.get(bank)?;
+                let pattern = truth.kind().coarse();
+                if !pattern.is_aggregation() {
+                    return None;
+                }
+                let history = by_bank.get(bank)?;
+                let (window, future) = history.observe_until_k_uers(config.k_uers)?;
+                let samples = block_samples_masked(
+                    &window,
+                    future,
+                    &config.block,
+                    &geom,
+                    &config.feature_mask,
+                );
+                Some((pattern, samples))
+            },
+        );
+        for (pattern, samples) in per_bank.into_iter().flatten() {
             let target = match pattern {
                 CoarsePattern::SingleRow => &mut single,
                 CoarsePattern::DoubleRow => &mut double,
@@ -152,7 +164,9 @@ impl CrossRowPredictor {
         }
         let fit_or_pool = |own: &Dataset| -> Result<(TrainedModel, f64), CordialError> {
             let source = if own.is_empty() { &pooled } else { own };
-            let model = config.model.fit(source, config.seed)?;
+            let model = config
+                .model
+                .fit_threaded(source, config.seed, config.n_threads)?;
             let threshold = config
                 .block_threshold
                 .unwrap_or_else(|| calibrate_threshold(&model, source));
@@ -220,8 +234,7 @@ impl CrossRowPredictor {
         (0..self.spec.n_blocks)
             .map(|index| {
                 let (lo, hi) = self.spec.block_bounds(anchor, index);
-                let features =
-                    block_features(window, &bank_feats, index, lo, hi, anchor.0 as i64);
+                let features = block_features(window, &bank_feats, index, lo, hi, anchor.0 as i64);
                 model.predict_proba(&features)[1]
             })
             .collect()
@@ -350,8 +363,7 @@ pub fn block_samples_masked(
         .map(|index| {
             let (lo, hi) = spec.block_bounds(anchor, index);
             let features = block_features(window, &bank_feats, index, lo, hi, anchor.0 as i64);
-            let label =
-                usize::from(targets.iter().any(|row| spec.contains(anchor, index, *row)));
+            let label = usize::from(targets.iter().any(|row| spec.contains(anchor, index, *row)));
             (features, label)
         })
         .collect()
@@ -521,8 +533,7 @@ mod tests {
     #[test]
     fn no_aggregation_banks_is_an_error() {
         let dataset = generate_fleet_dataset(&FleetDatasetConfig::small(), 33);
-        let err =
-            CrossRowPredictor::fit(&dataset, &[], &CordialConfig::default()).unwrap_err();
+        let err = CrossRowPredictor::fit(&dataset, &[], &CordialConfig::default()).unwrap_err();
         assert!(matches!(err, CordialError::NoCrossRowSamples { .. }));
     }
 }

@@ -71,11 +71,7 @@ pub fn pattern_distribution(dataset: &FleetDataset) -> Vec<(PatternKind, f64)> {
     PatternKind::ALL
         .iter()
         .map(|&kind| {
-            let count = dataset
-                .truth
-                .values()
-                .filter(|t| t.kind() == kind)
-                .count();
+            let count = dataset.truth.values().filter(|t| t.kind() == kind).count();
             (kind, count as f64 / total)
         })
         .collect()
@@ -147,11 +143,7 @@ pub fn render_summary_table(rows: &[SummaryRow]) -> String {
 /// Renders the Fig. 3(b) distribution with the paper's reference values.
 pub fn render_pattern_distribution(distribution: &[(PatternKind, f64)]) -> String {
     let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "{:<28} {:>10} {:>10}",
-        "Pattern", "Measured", "Paper"
-    );
+    let _ = writeln!(out, "{:<28} {:>10} {:>10}", "Pattern", "Measured", "Paper");
     for (kind, fraction) in distribution {
         let _ = writeln!(
             out,

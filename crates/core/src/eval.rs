@@ -52,20 +52,24 @@ pub fn evaluate_cordial(
     let mut actual_blocks = Vec::new();
     let mut predicted_blocks = Vec::new();
     let mut accounting = IcrAccounting::default();
-    let mut n_banks = 0;
 
-    for bank in test_banks {
-        let Some(history) = by_bank.get(bank) else {
-            continue;
-        };
-        let Some((window, future)) = history.observe_until_k_uers(config.k_uers) else {
-            continue;
-        };
-        n_banks += 1;
-        let plan = cordial.plan(history);
-        accounting.absorb(score_plan(&plan, &window, future));
+    // Plan the whole test fleet in one parallel batch, then score the
+    // plans sequentially in bank order.
+    let histories: Vec<&_> = test_banks
+        .iter()
+        .filter_map(|bank| by_bank.get(bank))
+        .filter(|history| history.observe_until_k_uers(config.k_uers).is_some())
+        .collect();
+    let n_banks = histories.len();
+    let plans = cordial.plan_batch(&histories);
 
-        if let MitigationPlan::RowSparing { pattern, .. } = &plan {
+    for (history, plan) in histories.iter().zip(&plans) {
+        let (window, future) = history
+            .observe_until_k_uers(config.k_uers)
+            .expect("filtered above");
+        accounting.absorb(score_plan(plan, &window, future));
+
+        if let MitigationPlan::RowSparing { pattern, .. } = plan {
             actual_blocks.extend(block_labels(&window, future, &config.block));
             predicted_blocks.extend(cordial.crossrow().predict_blocks(&window, *pattern));
         }
@@ -221,4 +225,3 @@ mod tests {
         }
     }
 }
-

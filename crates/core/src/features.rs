@@ -65,59 +65,140 @@ pub const BLOCK_CONTEXT_FEATURE_NAMES: [&str; 9] = [
 ];
 
 /// Total length of a block feature vector.
-pub const BLOCK_FEATURE_LEN: usize =
-    BLOCK_CONTEXT_FEATURE_NAMES.len() + BANK_FEATURE_NAMES.len();
+pub const BLOCK_FEATURE_LEN: usize = BLOCK_CONTEXT_FEATURE_NAMES.len() + BANK_FEATURE_NAMES.len();
+
+/// Running min/max/mean of |x[i+1] − x[i]| over a value stream, with the
+/// same NaN encoding as [`consecutive_abs_diff_stats`] (all-NaN below two
+/// values). `f64::min`/`f64::max` discard the NaN seed exactly like the
+/// fold in [`min_of`]/[`max_of`].
+#[derive(Clone, Copy)]
+struct DiffScan {
+    prev: f64,
+    seen: usize,
+    min: f64,
+    max: f64,
+    sum: f64,
+}
+
+impl DiffScan {
+    const EMPTY: Self = Self {
+        prev: f64::NAN,
+        seen: 0,
+        min: f64::NAN,
+        max: f64::NAN,
+        sum: 0.0,
+    };
+
+    fn absorb(&mut self, value: f64) {
+        if self.seen > 0 {
+            let diff = (value - self.prev).abs();
+            self.min = self.min.min(diff);
+            self.max = self.max.max(diff);
+            self.sum += diff;
+        }
+        self.prev = value;
+        self.seen += 1;
+    }
+
+    fn mean(&self) -> f64 {
+        if self.seen < 2 {
+            f64::NAN
+        } else {
+            self.sum / (self.seen - 1) as f64
+        }
+    }
+}
+
+/// Running per-severity aggregates of one [`bank_features`] scan.
+#[derive(Clone, Copy)]
+struct SeverityScan {
+    row_min: f64,
+    row_max: f64,
+    times: DiffScan,
+}
+
+impl SeverityScan {
+    const EMPTY: Self = Self {
+        row_min: f64::NAN,
+        row_max: f64::NAN,
+        times: DiffScan::EMPTY,
+    };
+
+    fn absorb(&mut self, row: f64, time_s: f64) {
+        self.row_min = self.row_min.min(row);
+        self.row_max = self.row_max.max(row);
+        self.times.absorb(time_s);
+    }
+}
 
 /// Extracts the §IV-B bank-level feature vector from an observed window.
+///
+/// All per-severity extrema, inter-arrival extrema, consecutive row
+/// differences and pre-first-UER counts come out of a **single scan** over
+/// the window's events (the window is re-scanned per block sample during
+/// training, so this is a hot path). The output — NaN encodings included —
+/// is identical to computing each statistic with its own filtered pass.
 pub fn bank_features(window: &ObservedWindow<'_>, geom: &HbmGeometry) -> Vec<f64> {
     let events = window.events();
 
-    let rows_of = |ty: ErrorType| -> Vec<f64> {
-        events
-            .iter()
-            .filter(|e| e.error_type == ty)
-            .map(|e| e.addr.row.0 as f64)
-            .collect()
+    let mut ce = SeverityScan::EMPTY;
+    let mut ueo = SeverityScan::EMPTY;
+    let mut uer = SeverityScan::EMPTY;
+    let mut all_rows = DiffScan::EMPTY;
+    let mut uer_rows = DiffScan::EMPTY;
+
+    // Counts before the first UER (§IV-B count features): strictly earlier
+    // timestamps only, every CE/UEO when no UER exists. Until the first
+    // UER's timestamp is known, candidate times are buffered.
+    let mut first_uer_time = None;
+    let mut ce_before = 0usize;
+    let mut ueo_before = 0usize;
+    let mut pending_ce = Vec::new();
+    let mut pending_ueo = Vec::new();
+
+    for e in events {
+        let row = e.addr.row.0 as f64;
+        let time_s = e.time.as_millis() as f64 / 1000.0;
+        all_rows.absorb(row);
+        match e.error_type {
+            ErrorType::Ce => ce.absorb(row, time_s),
+            ErrorType::Ueo => ueo.absorb(row, time_s),
+            ErrorType::Uer => {
+                uer.absorb(row, time_s);
+                uer_rows.absorb(row);
+            }
+        }
+        match first_uer_time {
+            Some(t) => match e.error_type {
+                ErrorType::Ce if e.time < t => ce_before += 1,
+                ErrorType::Ueo if e.time < t => ueo_before += 1,
+                _ => {}
+            },
+            None if e.is_uer() => {
+                first_uer_time = Some(e.time);
+                ce_before = pending_ce.iter().filter(|&&t| t < e.time).count();
+                ueo_before = pending_ueo.iter().filter(|&&t| t < e.time).count();
+            }
+            None => match e.error_type {
+                ErrorType::Ce => pending_ce.push(e.time),
+                ErrorType::Ueo => pending_ueo.push(e.time),
+                ErrorType::Uer => unreachable!("handled above"),
+            },
+        }
+    }
+    if first_uer_time.is_none() {
+        ce_before = pending_ce.len();
+        ueo_before = pending_ueo.len();
+    }
+
+    let uer_span = if uer_rows.seen == 0 {
+        f64::NAN
+    } else {
+        uer.row_max - uer.row_min
     };
-    let times_of = |ty: ErrorType| -> Vec<f64> {
-        events
-            .iter()
-            .filter(|e| e.error_type == ty)
-            .map(|e| e.time.as_millis() as f64 / 1000.0)
-            .collect()
-    };
-
-    let ce_rows = rows_of(ErrorType::Ce);
-    let ueo_rows = rows_of(ErrorType::Ueo);
-    let uer_rows = rows_of(ErrorType::Uer);
-
-    // Counts before the first UER (§IV-B count features).
-    let first_uer_time = events.iter().find(|e| e.is_uer()).map(|e| e.time);
-    let count_before = |ty: ErrorType| -> f64 {
-        events
-            .iter()
-            .filter(|e| {
-                e.error_type == ty && first_uer_time.is_none_or(|t| e.time < t)
-            })
-            .count() as f64
-    };
-
-    // Row differences between consecutive (in time) errors.
-    let all_rows: Vec<f64> = events.iter().map(|e| e.addr.row.0 as f64).collect();
-    let (diff_min, diff_max, diff_mean) = consecutive_abs_diff_stats(&all_rows);
-    let (uer_diff_min, uer_diff_max, uer_diff_mean) = consecutive_abs_diff_stats(&uer_rows);
-
-    // Inter-arrival times per severity.
-    let (ce_dt_min, ce_dt_max, _) = consecutive_abs_diff_stats(&times_of(ErrorType::Ce));
-    let (ueo_dt_min, ueo_dt_max, _) = consecutive_abs_diff_stats(&times_of(ErrorType::Ueo));
-    let (uer_dt_min, uer_dt_max, _) = consecutive_abs_diff_stats(&times_of(ErrorType::Uer));
 
     // Pairwise distances among the distinct observed UER rows.
-    let distinct_uer: Vec<f64> = window
-        .uer_rows()
-        .iter()
-        .map(|r| r.0 as f64)
-        .collect();
+    let distinct_uer: Vec<f64> = window.uer_rows().iter().map(|r| r.0 as f64).collect();
     let mut pairwise: Vec<f64> = Vec::new();
     for i in 0..distinct_uer.len() {
         for j in (i + 1)..distinct_uer.len() {
@@ -132,30 +213,28 @@ pub fn bank_features(window: &ObservedWindow<'_>, geom: &HbmGeometry) -> Vec<f64
         f64::NAN
     };
 
-    let uer_span = range_span(&uer_rows);
-
     vec![
-        count_before(ErrorType::Ce),
-        count_before(ErrorType::Ueo),
-        min_of(&ce_rows),
-        max_of(&ce_rows),
-        min_of(&ueo_rows),
-        max_of(&ueo_rows),
-        min_of(&uer_rows),
-        max_of(&uer_rows),
+        ce_before as f64,
+        ueo_before as f64,
+        ce.row_min,
+        ce.row_max,
+        ueo.row_min,
+        ueo.row_max,
+        uer.row_min,
+        uer.row_max,
         uer_span,
-        diff_min,
-        diff_max,
-        diff_mean,
-        uer_diff_min,
-        uer_diff_max,
-        uer_diff_mean,
-        ce_dt_min,
-        ce_dt_max,
-        ueo_dt_min,
-        ueo_dt_max,
-        uer_dt_min,
-        uer_dt_max,
+        all_rows.min,
+        all_rows.max,
+        all_rows.mean(),
+        uer_rows.min,
+        uer_rows.max,
+        uer_rows.mean(),
+        ce.times.min,
+        ce.times.max,
+        ueo.times.min,
+        ueo.times.max,
+        uer.times.min,
+        uer.times.max,
         pd(0),
         pd(pairwise.len().saturating_sub(1) / 2),
         pd(pairwise.len().saturating_sub(1)),
@@ -220,23 +299,22 @@ pub fn block_features(
     out
 }
 
+/// Reference multi-pass fold that [`DiffScan`] replaced; kept as the
+/// oracle the equivalence tests compare the streaming scan against.
+#[cfg(test)]
 fn min_of(values: &[f64]) -> f64 {
     values.iter().copied().fold(f64::NAN, f64::min)
 }
 
+/// See [`min_of`].
+#[cfg(test)]
 fn max_of(values: &[f64]) -> f64 {
     values.iter().copied().fold(f64::NAN, f64::max)
 }
 
-fn range_span(values: &[f64]) -> f64 {
-    if values.is_empty() {
-        f64::NAN
-    } else {
-        max_of(values) - min_of(values)
-    }
-}
-
 /// Min/max/mean of |x[i+1] - x[i]|; all-NaN for fewer than two values.
+/// Reference implementation for the [`DiffScan`] equivalence tests.
+#[cfg(test)]
 fn consecutive_abs_diff_stats(values: &[f64]) -> (f64, f64, f64) {
     if values.len() < 2 {
         return (f64::NAN, f64::NAN, f64::NAN);
@@ -426,6 +504,31 @@ mod tests {
         assert_eq!((min, max), (2.0, 3.0));
         assert!((mean - 2.5).abs() < 1e-12);
     }
+
+    #[test]
+    fn diff_scan_matches_the_reference_fold() {
+        let streams: [&[f64]; 6] = [
+            &[],
+            &[7.0],
+            &[1.0, 4.0, 2.0],
+            &[3.0, 3.0, 3.0, 3.0],
+            &[0.0, -5.0, 12.5, -0.25, 100.0],
+            &[1e9, 1e-9, 1e9],
+        ];
+        for values in streams {
+            let mut scan = DiffScan::EMPTY;
+            for &v in values {
+                scan.absorb(v);
+            }
+            let (min, max, mean) = consecutive_abs_diff_stats(values);
+            for (streamed, reference) in [(scan.min, min), (scan.max, max), (scan.mean(), mean)] {
+                assert!(
+                    streamed == reference || (streamed.is_nan() && reference.is_nan()),
+                    "{values:?}: {streamed} vs {reference}"
+                );
+            }
+        }
+    }
 }
 
 /// The §IV-B feature group of each bank feature.
@@ -442,33 +545,33 @@ pub enum FeatureGroup {
 /// Group assignment of every bank feature, aligned with
 /// [`BANK_FEATURE_NAMES`].
 pub const BANK_FEATURE_GROUPS: [FeatureGroup; 27] = [
-    FeatureGroup::Count,   // ce_count_before_first_uer
-    FeatureGroup::Count,   // ueo_count_before_first_uer
-    FeatureGroup::Spatial, // ce_row_min
-    FeatureGroup::Spatial, // ce_row_max
-    FeatureGroup::Spatial, // ueo_row_min
-    FeatureGroup::Spatial, // ueo_row_max
-    FeatureGroup::Spatial, // uer_row_min
-    FeatureGroup::Spatial, // uer_row_max
-    FeatureGroup::Spatial, // uer_row_span
-    FeatureGroup::Spatial, // row_diff_min
-    FeatureGroup::Spatial, // row_diff_max
-    FeatureGroup::Spatial, // row_diff_mean
-    FeatureGroup::Spatial, // uer_row_diff_min
-    FeatureGroup::Spatial, // uer_row_diff_max
-    FeatureGroup::Spatial, // uer_row_diff_mean
+    FeatureGroup::Count,    // ce_count_before_first_uer
+    FeatureGroup::Count,    // ueo_count_before_first_uer
+    FeatureGroup::Spatial,  // ce_row_min
+    FeatureGroup::Spatial,  // ce_row_max
+    FeatureGroup::Spatial,  // ueo_row_min
+    FeatureGroup::Spatial,  // ueo_row_max
+    FeatureGroup::Spatial,  // uer_row_min
+    FeatureGroup::Spatial,  // uer_row_max
+    FeatureGroup::Spatial,  // uer_row_span
+    FeatureGroup::Spatial,  // row_diff_min
+    FeatureGroup::Spatial,  // row_diff_max
+    FeatureGroup::Spatial,  // row_diff_mean
+    FeatureGroup::Spatial,  // uer_row_diff_min
+    FeatureGroup::Spatial,  // uer_row_diff_max
+    FeatureGroup::Spatial,  // uer_row_diff_mean
     FeatureGroup::Temporal, // ce_time_diff_min_s
     FeatureGroup::Temporal, // ce_time_diff_max_s
     FeatureGroup::Temporal, // ueo_time_diff_min_s
     FeatureGroup::Temporal, // ueo_time_diff_max_s
     FeatureGroup::Temporal, // uer_time_diff_min_s
     FeatureGroup::Temporal, // uer_time_diff_max_s
-    FeatureGroup::Spatial, // uer_pairwise_dist_small
-    FeatureGroup::Spatial, // uer_pairwise_dist_mid
-    FeatureGroup::Spatial, // uer_pairwise_dist_large
-    FeatureGroup::Spatial, // uer_dist_ratio
-    FeatureGroup::Spatial, // uer_span_fraction
-    FeatureGroup::Count,   // total_event_count
+    FeatureGroup::Spatial,  // uer_pairwise_dist_small
+    FeatureGroup::Spatial,  // uer_pairwise_dist_mid
+    FeatureGroup::Spatial,  // uer_pairwise_dist_large
+    FeatureGroup::Spatial,  // uer_dist_ratio
+    FeatureGroup::Spatial,  // uer_span_fraction
+    FeatureGroup::Count,    // total_event_count
 ];
 
 /// Which §IV-B feature groups a model may use (ablation control).
@@ -591,9 +694,7 @@ mod mask_tests {
     fn masking_nans_exactly_the_disabled_groups() {
         let mut values: Vec<f64> = (0..27).map(|i| i as f64).collect();
         mask_bank_features(&mut values, &FeatureMask::only(FeatureGroup::Temporal));
-        for ((value, group), original) in
-            values.iter().zip(BANK_FEATURE_GROUPS).zip(0..27)
-        {
+        for ((value, group), original) in values.iter().zip(BANK_FEATURE_GROUPS).zip(0..27) {
             if group == FeatureGroup::Temporal {
                 assert_eq!(*value, original as f64);
             } else {

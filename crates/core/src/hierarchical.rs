@@ -74,10 +74,7 @@ fn hbm_tallies(dataset: &FleetDataset) -> BTreeMap<UnitKey, HbmTally> {
 /// Builds the per-row feature vectors of one observed window: one sample
 /// per row that has at least one event (rows without history are invisible
 /// to an in-row method — that is the point).
-fn row_samples(
-    window: &ObservedWindow<'_>,
-    hbm: Option<&HbmTally>,
-) -> Vec<(RowId, Vec<f64>)> {
+fn row_samples(window: &ObservedWindow<'_>, hbm: Option<&HbmTally>) -> Vec<(RowId, Vec<f64>)> {
     let events = window.events();
     let cut = events.last().map_or(Timestamp::ZERO, |e| e.time);
 
@@ -168,7 +165,9 @@ impl HierarchicalInRowPredictor {
         if data.is_empty() {
             return Err(CordialError::NoTrainableBanks);
         }
-        let model = config.model.fit(&data, config.seed)?;
+        let model = config
+            .model
+            .fit_threaded(&data, config.seed, config.n_threads)?;
         // Recall-friendly fixed threshold: in-row methods isolate every row
         // their model flags — the candidate set is tiny anyway.
         Ok(Self {
@@ -243,13 +242,11 @@ mod tests {
         let split = split_banks(&dataset, 0.7, 23);
         let config = CordialConfig::default();
 
-        let in_row =
-            HierarchicalInRowPredictor::fit(&dataset, &split.train, &config).unwrap();
+        let in_row = HierarchicalInRowPredictor::fit(&dataset, &split.train, &config).unwrap();
         let in_row_icr = in_row.evaluate_icr(&dataset, &split.test);
 
         // The oracle ceiling: isolate *every* row with history.
-        let ceiling =
-            crate::eval::evaluate_in_row_ceiling(&dataset, &split.test, &config);
+        let ceiling = crate::eval::evaluate_in_row_ceiling(&dataset, &split.test, &config);
         assert!(
             in_row_icr <= ceiling + 1e-9,
             "learned in-row {in_row_icr:.4} cannot exceed the oracle ceiling {ceiling:.4}"
@@ -271,16 +268,14 @@ mod tests {
         let dataset = generate_fleet_dataset(&FleetDatasetConfig::small(), 24);
         let split = split_banks(&dataset, 0.7, 24);
         let config = CordialConfig::default();
-        let in_row =
-            HierarchicalInRowPredictor::fit(&dataset, &split.train, &config).unwrap();
+        let in_row = HierarchicalInRowPredictor::fit(&dataset, &split.train, &config).unwrap();
         let by_bank = dataset.log.by_bank();
         let oracle = InRowPredictor::new();
         for bank in split.test.iter().take(10) {
             let Some((window, _)) = by_bank[bank].observe_until_k_uers(3) else {
                 continue;
             };
-            let seen_rows: Vec<RowId> =
-                window.events().iter().map(|e| e.addr.row).collect();
+            let seen_rows: Vec<RowId> = window.events().iter().map(|e| e.addr.row).collect();
             for row in in_row.predicted_rows(&window, None) {
                 assert!(
                     seen_rows.contains(&row),
@@ -298,8 +293,8 @@ mod tests {
     #[test]
     fn training_requires_samples() {
         let dataset = generate_fleet_dataset(&FleetDatasetConfig::small(), 25);
-        let err = HierarchicalInRowPredictor::fit(&dataset, &[], &CordialConfig::default())
-            .unwrap_err();
+        let err =
+            HierarchicalInRowPredictor::fit(&dataset, &[], &CordialConfig::default()).unwrap_err();
         assert_eq!(err, CordialError::NoTrainableBanks);
     }
 

@@ -93,11 +93,7 @@ pub fn score_plan(
 
 /// Applies a plan to a hardware [`IsolationEngine`], returning how many of
 /// the plan's isolations the spare budget actually admitted.
-pub fn apply_plan(
-    engine: &mut IsolationEngine,
-    bank: BankAddress,
-    plan: &MitigationPlan,
-) -> usize {
+pub fn apply_plan(engine: &mut IsolationEngine, bank: BankAddress, plan: &MitigationPlan) -> usize {
     match plan {
         MitigationPlan::InsufficientData => 0,
         MitigationPlan::BankSparing => {
@@ -227,7 +223,11 @@ mod tests {
         };
         let applied = apply_plan(&mut engine, BankAddress::default(), &plan);
         assert_eq!(applied, 2); // third row exceeds the budget
-        let applied = apply_plan(&mut engine, BankAddress::default(), &MitigationPlan::BankSparing);
+        let applied = apply_plan(
+            &mut engine,
+            BankAddress::default(),
+            &MitigationPlan::BankSparing,
+        );
         assert_eq!(applied, 1);
         let applied = apply_plan(
             &mut engine,

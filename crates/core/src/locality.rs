@@ -59,7 +59,11 @@ pub fn subsequent_uer_distances(log: &MceLog) -> Vec<u32> {
 }
 
 /// Runs the chi-square sweep over the given thresholds.
-pub fn chi_square_sweep(log: &MceLog, geom: &HbmGeometry, thresholds: &[u32]) -> Vec<LocalityPoint> {
+pub fn chi_square_sweep(
+    log: &MceLog,
+    geom: &HbmGeometry,
+    thresholds: &[u32],
+) -> Vec<LocalityPoint> {
     let distances = subsequent_uer_distances(log);
     sweep_distances(&distances, geom, thresholds)
 }
@@ -74,8 +78,7 @@ pub fn sweep_distances(
     thresholds
         .iter()
         .map(|&threshold| {
-            let observed_within =
-                distances.iter().filter(|&&d| d <= threshold).count() as u64;
+            let observed_within = distances.iter().filter(|&&d| d <= threshold).count() as u64;
             // Under uniform placement of the next UER row, the probability of
             // landing within ±T of the current row is ≈ min(2T, rows-1)/(rows-1).
             let p = f64::min(
@@ -141,7 +144,7 @@ mod tests {
             uer(0, 100, 1),
             uer(0, 100, 2), // same row: skipped
             uer(0, 110, 3),
-            uer(0, 130, 4), // pairs: (100,110), (100,130), (110,130)
+            uer(0, 130, 4),  // pairs: (100,110), (100,130), (110,130)
             uer(1, 5000, 5), // different bank: no cross-bank pair
             uer(1, 5020, 6),
         ]);

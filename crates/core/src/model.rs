@@ -91,12 +91,28 @@ impl ModelKind {
         }
     }
 
-    /// Fits the selected family on a dataset.
+    /// Fits the selected family on a dataset with the family's default
+    /// worker-thread count.
     ///
     /// # Errors
     ///
     /// Propagates the underlying [`FitError`].
     pub fn fit(&self, data: &Dataset, seed: u64) -> Result<TrainedModel, FitError> {
+        self.fit_threaded(data, seed, RandomForestConfig::default().n_threads)
+    }
+
+    /// Fits the selected family with an explicit worker-thread count
+    /// (1 = sequential; the fitted model is the same either way).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying [`FitError`].
+    pub fn fit_threaded(
+        &self,
+        data: &Dataset,
+        seed: u64,
+        n_threads: usize,
+    ) -> Result<TrainedModel, FitError> {
         match *self {
             ModelKind::RandomForest { n_trees, max_depth } => {
                 let config = RandomForestConfig {
@@ -107,6 +123,7 @@ impl ModelKind {
                         ..Default::default()
                     },
                     seed,
+                    n_threads,
                     ..Default::default()
                 };
                 RandomForest::fit(data, &config).map(TrainedModel::Forest)
@@ -116,6 +133,7 @@ impl ModelKind {
                 max_depth,
                 learning_rate,
             } => {
+                // The depth-wise GBDT has no parallel fit path.
                 let config = GbdtConfig {
                     n_rounds,
                     max_depth,
@@ -135,6 +153,7 @@ impl ModelKind {
                     max_leaves,
                     learning_rate,
                     seed,
+                    n_threads,
                     ..Default::default()
                 };
                 LightGbm::fit(data, &config).map(TrainedModel::Lgbm)

@@ -116,6 +116,16 @@ impl CordialMonitor {
     /// Events are expected in roughly time order (the per-bank history is
     /// re-sorted at planning time, so modest reordering is harmless).
     pub fn ingest(&mut self, event: ErrorEvent) -> IngestOutcome {
+        self.ingest_with_cache(event, &mut BTreeMap::new())
+    }
+
+    /// [`CordialMonitor::ingest`], consuming a plan pre-computed for the
+    /// bank's first trigger when one is cached (the batch fast path).
+    fn ingest_with_cache(
+        &mut self,
+        event: ErrorEvent,
+        cache: &mut BTreeMap<BankAddress, MitigationPlan>,
+    ) -> IngestOutcome {
         self.stats.events += 1;
         let bank = event.addr.bank;
 
@@ -138,8 +148,13 @@ impl CordialMonitor {
         // Plan exactly once, the moment the observation window completes.
         if !state.planned && state.distinct_uer_rows.len() >= k_uers {
             state.planned = true;
-            let history = BankErrorHistory::new(bank, state.events.clone());
-            let plan = self.pipeline.plan(&history);
+            let plan = match cache.remove(&bank) {
+                Some(plan) => plan,
+                None => {
+                    let history = BankErrorHistory::new(bank, state.events.clone());
+                    self.pipeline.plan(&history)
+                }
+            };
             if plan == MitigationPlan::InsufficientData {
                 // Extremely rare (duplicate timestamps can reorder the cut);
                 // allow a later event to retrigger.
@@ -159,14 +174,77 @@ impl CordialMonitor {
     }
 
     /// Ingests a whole batch, returning the triggered plans.
+    ///
+    /// Equivalent to calling [`CordialMonitor::ingest`] per event, but the
+    /// expensive model inference is hoisted into one parallel
+    /// [`Cordial::plan_batch`] call. Three passes:
+    ///
+    /// 1. scan the stream to find each unplanned bank's first trigger
+    ///    point and the event prefix it will plan from — valid because a
+    ///    bank has isolations only once planned, so its pre-trigger prefix
+    ///    is bank-local and independent of the other banks;
+    /// 2. plan every triggering bank in parallel;
+    /// 3. replay the stream sequentially, applying the cached plan the
+    ///    moment each bank triggers, so spare-budget admission and
+    ///    absorption accounting stay order-exact.
     pub fn ingest_all(
         &mut self,
         events: impl IntoIterator<Item = ErrorEvent>,
     ) -> Vec<(BankAddress, MitigationPlan)> {
+        let events: Vec<ErrorEvent> = events.into_iter().collect();
+        let k_uers = self.pipeline.config().k_uers;
+
+        struct Probe {
+            prefix: Vec<ErrorEvent>,
+            distinct_uer_rows: Vec<RowId>,
+            done: bool,
+            triggered: bool,
+        }
+        let mut probes: BTreeMap<BankAddress, Probe> = BTreeMap::new();
+        for event in &events {
+            let bank = event.addr.bank;
+            let probe = probes.entry(bank).or_insert_with(|| {
+                let state = self.banks.get(&bank);
+                Probe {
+                    prefix: state.map(|s| s.events.clone()).unwrap_or_default(),
+                    distinct_uer_rows: state
+                        .map(|s| s.distinct_uer_rows.clone())
+                        .unwrap_or_default(),
+                    done: state.is_some_and(|s| s.planned),
+                    triggered: false,
+                }
+            });
+            if probe.done {
+                continue;
+            }
+            probe.prefix.push(*event);
+            if event.is_uer() && !probe.distinct_uer_rows.contains(&event.addr.row) {
+                probe.distinct_uer_rows.push(event.addr.row);
+            }
+            if probe.distinct_uer_rows.len() >= k_uers {
+                probe.done = true;
+                probe.triggered = true;
+            }
+        }
+
+        let triggering: Vec<(BankAddress, BankErrorHistory)> = probes
+            .into_iter()
+            .filter(|(_, probe)| probe.triggered)
+            .map(|(bank, probe)| (bank, BankErrorHistory::new(bank, probe.prefix)))
+            .collect();
+        let histories: Vec<&BankErrorHistory> =
+            triggering.iter().map(|(_, history)| history).collect();
+        let batch_plans = self.pipeline.plan_batch(&histories);
+        let mut cache: BTreeMap<BankAddress, MitigationPlan> = triggering
+            .iter()
+            .map(|(bank, _)| *bank)
+            .zip(batch_plans)
+            .collect();
+
         let mut plans = Vec::new();
         for event in events {
             let bank = event.addr.bank;
-            if let IngestOutcome::Planned { plan, .. } = self.ingest(event) {
+            if let IngestOutcome::Planned { plan, .. } = self.ingest_with_cache(event, &mut cache) {
                 plans.push((bank, plan));
             }
         }

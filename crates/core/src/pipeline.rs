@@ -49,7 +49,8 @@ impl MitigationPlan {
         match self {
             MitigationPlan::InsufficientData => false,
             MitigationPlan::BankSparing => true,
-            MitigationPlan::RowSparing { rows, .. } => rows.contains(&row),
+            // `rows` is ascending and distinct by construction.
+            MitigationPlan::RowSparing { rows, .. } => rows.binary_search(&row).is_ok(),
         }
     }
 }
@@ -116,6 +117,18 @@ impl Cordial {
         rows.dedup();
         MitigationPlan::RowSparing { pattern, rows }
     }
+
+    /// Plans a whole fleet of banks at once: [`Cordial::plan`] for each
+    /// history, fanned out over `config.n_threads` worker threads.
+    ///
+    /// The returned plans are in input order and each is exactly what
+    /// [`Cordial::plan`] returns for that history — inference is
+    /// per-bank independent, so threading cannot change any plan.
+    pub fn plan_batch(&self, histories: &[&BankErrorHistory]) -> Vec<MitigationPlan> {
+        cordial_trees::parallel::ordered_map(histories, self.config.n_threads, |history| {
+            self.plan(history)
+        })
+    }
 }
 
 #[cfg(test)]
@@ -149,7 +162,10 @@ mod tests {
         }
         // Aggregation dominates the pattern mix, so row sparing must
         // dominate the plans.
-        assert!(row_sparing > bank_sparing, "{row_sparing} vs {bank_sparing}");
+        assert!(
+            row_sparing > bank_sparing,
+            "{row_sparing} vs {bank_sparing}"
+        );
     }
 
     #[test]

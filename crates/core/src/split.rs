@@ -84,10 +84,8 @@ mod tests {
         let data = dataset();
         let split = split_banks(&data, 0.7, 3);
         for side in [&split.train, &split.test] {
-            let classes: std::collections::BTreeSet<_> = side
-                .iter()
-                .map(|b| data.truth[b].kind().coarse())
-                .collect();
+            let classes: std::collections::BTreeSet<_> =
+                side.iter().map(|b| data.truth[b].kind().coarse()).collect();
             // The small dataset has every coarse class; the dominant
             // single-row class must certainly appear on both sides.
             assert!(classes.contains(&CoarsePattern::SingleRow));

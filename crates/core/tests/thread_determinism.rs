@@ -1,0 +1,59 @@
+//! The thread count is a pure performance knob: training and batch
+//! planning must produce bit-identical results for every `n_threads`.
+
+use cordial::pipeline::Cordial;
+use cordial::prelude::*;
+
+fn fit_with_threads(
+    dataset: &FleetDataset,
+    train: &[BankAddress],
+    model: ModelKind,
+    n_threads: usize,
+) -> Cordial {
+    let config = CordialConfig::with_model(model)
+        .with_seed(5)
+        .with_threads(n_threads);
+    Cordial::fit(dataset, train, &config).unwrap()
+}
+
+#[test]
+fn trained_models_are_identical_for_every_thread_count() {
+    let dataset = generate_fleet_dataset(&FleetDatasetConfig::small(), 85);
+    let split = split_banks(&dataset, 0.7, 85);
+
+    for model in [ModelKind::random_forest(), ModelKind::lightgbm()] {
+        let sequential = fit_with_threads(&dataset, &split.train, model, 1);
+        for n_threads in [2, 4, 8] {
+            let parallel = fit_with_threads(&dataset, &split.train, model, n_threads);
+            // The configs differ in `n_threads` by construction, so compare
+            // the trained stages, not the whole pipeline.
+            assert_eq!(
+                sequential.classifier(),
+                parallel.classifier(),
+                "{} classifier must not depend on n_threads={n_threads}",
+                model.name()
+            );
+            assert_eq!(
+                sequential.crossrow(),
+                parallel.crossrow(),
+                "{} cross-row stage must not depend on n_threads={n_threads}",
+                model.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn plan_batch_equals_sequential_plans() {
+    let dataset = generate_fleet_dataset(&FleetDatasetConfig::small(), 86);
+    let split = split_banks(&dataset, 0.7, 86);
+    let cordial = fit_with_threads(&dataset, &split.train, ModelKind::random_forest(), 4);
+
+    let by_bank = dataset.log.by_bank();
+    let histories: Vec<_> = split.test.iter().map(|b| &by_bank[b]).collect();
+    let batched = cordial.plan_batch(&histories);
+    assert_eq!(batched.len(), histories.len());
+    for (history, plan) in histories.iter().zip(&batched) {
+        assert_eq!(plan, &cordial.plan(history));
+    }
+}

@@ -296,7 +296,11 @@ struct Table4Row {
     paper_icr_percent: f64,
 }
 
-fn table4_row(method: &str, eval: &PredictionEval, paper: &(&str, f64, f64, f64, f64)) -> Table4Row {
+fn table4_row(
+    method: &str,
+    eval: &PredictionEval,
+    paper: &(&str, f64, f64, f64, f64),
+) -> Table4Row {
     Table4Row {
         method: method.to_string(),
         precision: eval.block_scores.precision,
@@ -346,12 +350,9 @@ pub fn run_table4(ctx: &Context) -> Result<(), String> {
         "\nin-row prediction ceiling (perfect history-based method): ICR {:.2}%  (paper: 4.39%)",
         in_row * 100.0
     );
-    let hierarchical = cordial::hierarchical::HierarchicalInRowPredictor::fit(
-        dataset,
-        &split.train,
-        &base_config,
-    )
-    .map_err(|e| format!("training hierarchical in-row baseline: {e}"))?;
+    let hierarchical =
+        cordial::hierarchical::HierarchicalInRowPredictor::fit(dataset, &split.train, &base_config)
+            .map_err(|e| format!("training hierarchical in-row baseline: {e}"))?;
     println!(
         "Calchas-style in-row ML (related work, §I/§VI):          ICR {:.2}%  (capped by the ceiling)",
         hierarchical.evaluate_icr(dataset, &split.test) * 100.0
@@ -408,7 +409,12 @@ pub fn run_fig3(ctx: &Context) -> Result<(), String> {
         println!("\n{kind} — {} error addresses:", cells.len());
         println!("{}", ascii_bank_map(&cells, &geom));
     }
-    let csv_path = write_csv(&ctx.out_dir, "fig3a_pattern_examples", "pattern,row,col", &csv_rows)?;
+    let csv_path = write_csv(
+        &ctx.out_dir,
+        "fig3a_pattern_examples",
+        "pattern,row,col",
+        &csv_rows,
+    )?;
 
     // --- 3(b): distribution -------------------------------------------------
     let distribution = empirical::pattern_distribution(ctx.dataset());
@@ -439,7 +445,10 @@ pub fn run_fig3(ctx: &Context) -> Result<(), String> {
 
 /// Renders a coarse ASCII scatter of error cells in a bank (rows downward,
 /// columns across), mirroring the paper's Fig. 3(a) panels.
-fn ascii_bank_map(cells: &[(cordial_topology::RowId, cordial_topology::ColId)], geom: &HbmGeometry) -> String {
+fn ascii_bank_map(
+    cells: &[(cordial_topology::RowId, cordial_topology::ColId)],
+    geom: &HbmGeometry,
+) -> String {
     const HEIGHT: usize = 16;
     const WIDTH: usize = 32;
     let mut grid = vec![vec!['.'; WIDTH]; HEIGHT];
@@ -449,7 +458,10 @@ fn ascii_bank_map(cells: &[(cordial_topology::RowId, cordial_topology::ColId)], 
         grid[r][c] = '*';
     }
     let mut out = String::new();
-    out.push_str(&format!("    rows 0..{} (down), cols 0..{} (across)\n", geom.rows, geom.cols));
+    out.push_str(&format!(
+        "    rows 0..{} (down), cols 0..{} (across)\n",
+        geom.rows, geom.cols
+    ));
     for line in grid {
         out.push_str("    ");
         out.extend(line);
@@ -468,7 +480,10 @@ pub fn run_fig4(ctx: &Context) -> Result<(), String> {
     let peak = peak_threshold(&points);
 
     println!("== Figure 4: Statistical Significance of Distance Thresholds ==");
-    println!("{:>10} {:>16} {:>12} {:>14}", "threshold", "chi-square", "obs within", "exp within");
+    println!(
+        "{:>10} {:>16} {:>12} {:>14}",
+        "threshold", "chi-square", "obs within", "exp within"
+    );
     let max_chi = points.iter().map(|p| p.chi_square).fold(1.0, f64::max);
     for p in &points {
         let bar_len = ((p.chi_square / max_chi) * 40.0).round() as usize;
@@ -550,7 +565,10 @@ pub fn run_ablations(ctx: &Context) -> Result<(), String> {
     };
 
     println!("== Ablations: Cordial design choices (Random Forest) ==");
-    println!("{:<22} {:<18} {:>8} {:>8} {:>10}", "Dimension", "Setting", "F1", "ICR", "rows/plan");
+    println!(
+        "{:<22} {:<18} {:>8} {:>8} {:>10}",
+        "Dimension", "Setting", "F1", "ICR", "rows/plan"
+    );
 
     // (1) Number of UERs observed before classification.
     for k in [1usize, 2, 3, 5] {
@@ -562,7 +580,12 @@ pub fn run_ablations(ctx: &Context) -> Result<(), String> {
         let marker = if k == 3 { "  <- paper" } else { "" };
         println!(
             "{:<22} {:<18} {:>8.3} {:>7.2}% {:>10}{}",
-            "k UERs observed", format!("k={k}"), f1, icr, rows, marker
+            "k UERs observed",
+            format!("k={k}"),
+            f1,
+            icr,
+            rows,
+            marker
         );
         records.push(AblationRow {
             dimension: "k_uers",
@@ -623,7 +646,11 @@ pub fn run_ablations(ctx: &Context) -> Result<(), String> {
                 ..CordialConfig::default().with_seed(ctx.seed)
             };
             let (f1, icr, rows) = eval_with(&config)?;
-            let marker = if mask == FeatureMask::ALL { "  <- paper" } else { "" };
+            let marker = if mask == FeatureMask::ALL {
+                "  <- paper"
+            } else {
+                ""
+            };
             println!(
                 "{:<22} {:<18} {:>8.3} {:>7.2}% {:>10}{}",
                 "feature groups",
@@ -660,7 +687,11 @@ pub fn run_ablations(ctx: &Context) -> Result<(), String> {
                 .map_err(|e| format!("classification ablation: {e}"))?;
             let matrix = pattern_confusion(&classifier.evaluate(dataset, &split.test));
             let f1 = matrix.weighted_scores().f1;
-            let marker = if mask == FeatureMask::ALL { "  <- paper" } else { "" };
+            let marker = if mask == FeatureMask::ALL {
+                "  <- paper"
+            } else {
+                ""
+            };
             println!(
                 "{:<22} {:<18} {:>8.3} {:>8} {:>10}{}",
                 "classifier features",
@@ -681,13 +712,21 @@ pub fn run_ablations(ctx: &Context) -> Result<(), String> {
     }
 
     // (4) Decision threshold policy.
-    for (name, threshold) in [("calibrated", None), ("fixed 0.5", Some(0.5)), ("fixed 0.25", Some(0.25))] {
+    for (name, threshold) in [
+        ("calibrated", None),
+        ("fixed 0.5", Some(0.5)),
+        ("fixed 0.25", Some(0.25)),
+    ] {
         let config = CordialConfig {
             block_threshold: threshold,
             ..CordialConfig::default().with_seed(ctx.seed)
         };
         let (f1, icr, rows) = eval_with(&config)?;
-        let marker = if threshold.is_none() { "  <- default" } else { "" };
+        let marker = if threshold.is_none() {
+            "  <- default"
+        } else {
+            ""
+        };
         println!(
             "{:<22} {:<18} {:>8.3} {:>7.2}% {:>10}{}",
             "block threshold", name, f1, icr, rows, marker
@@ -740,7 +779,12 @@ pub fn run_importance(ctx: &Context) -> Result<(), String> {
             continue;
         }
         let bar = "#".repeat((importance * 120.0).round() as usize);
-        println!("{:<28} {:<10} {:>9.1}%  {bar}", name, feature_group(name), importance * 100.0);
+        println!(
+            "{:<28} {:<10} {:>9.1}%  {bar}",
+            name,
+            feature_group(name),
+            importance * 100.0
+        );
     }
 
     let mut group_totals = std::collections::BTreeMap::new();

@@ -7,11 +7,10 @@ use serde::Serialize;
 
 /// Writes one experiment's JSON record to `<out>/<name>.json`.
 pub fn write_json<T: Serialize>(out_dir: &Path, name: &str, value: &T) -> Result<PathBuf, String> {
-    fs::create_dir_all(out_dir)
-        .map_err(|e| format!("cannot create {}: {e}", out_dir.display()))?;
+    fs::create_dir_all(out_dir).map_err(|e| format!("cannot create {}: {e}", out_dir.display()))?;
     let path = out_dir.join(format!("{name}.json"));
-    let text = serde_json::to_string_pretty(value)
-        .map_err(|e| format!("cannot serialise {name}: {e}"))?;
+    let text =
+        serde_json::to_string_pretty(value).map_err(|e| format!("cannot serialise {name}: {e}"))?;
     fs::write(&path, text).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
     Ok(path)
 }
@@ -23,8 +22,7 @@ pub fn write_csv(
     header: &str,
     rows: &[String],
 ) -> Result<PathBuf, String> {
-    fs::create_dir_all(out_dir)
-        .map_err(|e| format!("cannot create {}: {e}", out_dir.display()))?;
+    fs::create_dir_all(out_dir).map_err(|e| format!("cannot create {}: {e}", out_dir.display()))?;
     let path = out_dir.join(format!("{name}.csv"));
     let mut text = String::from(header);
     text.push('\n');

@@ -311,8 +311,14 @@ mod tests {
         let bank_sudden = bank.sudden_ratio().unwrap();
         let npu_sudden = npu.sudden_ratio().unwrap();
         assert!(row_sudden > 0.90, "row sudden ratio {row_sudden}");
-        assert!(bank_sudden < row_sudden, "bank {bank_sudden} vs row {row_sudden}");
-        assert!(npu_sudden < bank_sudden, "npu {npu_sudden} vs bank {bank_sudden}");
+        assert!(
+            bank_sudden < row_sudden,
+            "bank {bank_sudden} vs row {row_sudden}"
+        );
+        assert!(
+            npu_sudden < bank_sudden,
+            "npu {npu_sudden} vs bank {bank_sudden}"
+        );
     }
 
     #[test]

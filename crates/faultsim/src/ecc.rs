@@ -94,10 +94,7 @@ impl EccCode {
 
     /// Classifies a batch of incidents, dropping zero-bit ones.
     pub fn classify_all(&self, incidents: &[RawIncident]) -> Vec<ErrorEvent> {
-        incidents
-            .iter()
-            .filter_map(|i| self.to_event(i))
-            .collect()
+        incidents.iter().filter_map(|i| self.to_event(i)).collect()
     }
 }
 
@@ -155,8 +152,13 @@ mod tests {
     #[test]
     fn zero_bits_is_no_event() {
         let ecc = EccCode::sec_ded();
-        assert_eq!(ecc.classify(&incident(0, DetectionPath::DemandAccess)), None);
-        assert!(ecc.to_event(&incident(0, DetectionPath::PatrolScrub)).is_none());
+        assert_eq!(
+            ecc.classify(&incident(0, DetectionPath::DemandAccess)),
+            None
+        );
+        assert!(ecc
+            .to_event(&incident(0, DetectionPath::PatrolScrub))
+            .is_none());
     }
 
     #[test]

@@ -52,7 +52,9 @@ pub mod workload;
 pub use dataset::{generate_fleet_dataset, BankTruth, FleetDataset, FleetDatasetConfig};
 pub use ecc::{DetectionPath, EccCode, RawIncident};
 pub use fault::FaultKind;
-pub use patterns::{CoarsePattern, GrowthDirection, LocalityKernel, PatternKind, PatternLayout, PatternMix};
+pub use patterns::{
+    CoarsePattern, GrowthDirection, LocalityKernel, PatternKind, PatternLayout, PatternMix,
+};
 pub use plan::{BankFaultPlan, PlanConfig};
 pub use repair::{RepairOutcome, RepairProcess};
 pub use scrub::PatrolScrubber;

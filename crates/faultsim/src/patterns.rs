@@ -151,8 +151,7 @@ pub struct PatternMix {
 impl PatternMix {
     /// The paper's fleet mix (Fig. 3(b)).
     pub fn paper() -> Self {
-        let weights =
-            std::array::from_fn(|i| PatternKind::ALL[i].paper_fraction());
+        let weights = std::array::from_fn(|i| PatternKind::ALL[i].paper_fraction());
         Self { weights }
     }
 
@@ -371,8 +370,7 @@ impl PatternLayout {
                 };
                 if rng.gen_bool(0.40) {
                     let other = centers[1 - own];
-                    let row = geom
-                        .clamp_row(other.0 as i64 + kernel.sample_offset(rng));
+                    let row = geom.clamp_row(other.0 as i64 + kernel.sample_offset(rng));
                     (row, col)
                 } else {
                     (walk_within(centers[own], rng), col)
@@ -584,7 +582,8 @@ mod tests {
             rows.insert(row);
         }
         // Rows spread widely (scattered special case).
-        let spread = rows.iter().map(|r| r.0).max().unwrap() - rows.iter().map(|r| r.0).min().unwrap();
+        let spread =
+            rows.iter().map(|r| r.0).max().unwrap() - rows.iter().map(|r| r.0).min().unwrap();
         assert!(spread > geom.rows / 2);
     }
 
@@ -611,8 +610,7 @@ mod tests {
         let n = 10_000;
         let offsets: Vec<i64> = (0..n).map(|_| kernel.sample_offset(&mut rng)).collect();
         assert!(offsets.iter().all(|o| o.abs() <= 64));
-        let mean_abs: f64 =
-            offsets.iter().map(|o| o.abs() as f64).sum::<f64>() / n as f64;
+        let mean_abs: f64 = offsets.iter().map(|o| o.abs() as f64).sum::<f64>() / n as f64;
         // Uniform in [-64, 64] → mean |offset| ≈ 32.
         assert!((mean_abs - 32.0).abs() < 3.0, "mean |offset| = {mean_abs}");
     }

@@ -156,8 +156,7 @@ impl BankFaultPlan {
         let window_ms = config.window.as_millis() as u64;
         // Leave room before the onset for precursors and after it for the
         // failure to develop.
-        let first_uer =
-            Timestamp::from_millis(rng.gen_range(window_ms / 5..window_ms * 9 / 10));
+        let first_uer = Timestamp::from_millis(rng.gen_range(window_ms / 5..window_ms * 9 / 10));
         Self {
             bank,
             kind,
@@ -455,7 +454,10 @@ mod tests {
     fn exponential_mean_is_roughly_right() {
         let mut rng = StdRng::seed_from_u64(21);
         let n = 20_000;
-        let mean: f64 = (0..n).map(|_| exponential(1000.0, &mut rng) as f64).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n)
+            .map(|_| exponential(1000.0, &mut rng) as f64)
+            .sum::<f64>()
+            / n as f64;
         assert!((mean - 1000.0).abs() < 50.0, "mean {mean}");
     }
 }

@@ -84,8 +84,7 @@ impl RepairProcess {
                     // Abandoned repairs still consumed their attempts' time.
                     at = at
                         + Duration::from_millis(
-                            self.copy_duration.as_millis() as u64
-                                * (self.max_retries as u64 + 1),
+                            self.copy_duration.as_millis() as u64 * (self.max_retries as u64 + 1),
                         );
                 }
                 outcome
@@ -95,7 +94,10 @@ impl RepairProcess {
 
     /// Expected success probability of one row repair (analytic).
     pub fn success_probability(&self) -> f64 {
-        1.0 - self.interruption_prob.min(1.0).powi(self.max_retries as i32 + 1)
+        1.0 - self
+            .interruption_prob
+            .min(1.0)
+            .powi(self.max_retries as i32 + 1)
     }
 }
 

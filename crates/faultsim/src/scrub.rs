@@ -128,6 +128,9 @@ mod tests {
 
     #[test]
     fn daily_scrubber_has_24h_interval() {
-        assert_eq!(PatrolScrubber::daily().interval(), Duration::from_secs(86_400));
+        assert_eq!(
+            PatrolScrubber::daily().interval(),
+            Duration::from_secs(86_400)
+        );
     }
 }

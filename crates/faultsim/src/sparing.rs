@@ -174,7 +174,10 @@ mod tests {
     #[test]
     fn row_isolation_is_idempotent() {
         let mut engine = IsolationEngine::new(SparingBudget::typical());
-        assert_eq!(engine.isolate_row(bank(0), RowId(5)), SparingOutcome::Applied);
+        assert_eq!(
+            engine.isolate_row(bank(0), RowId(5)),
+            SparingOutcome::Applied
+        );
         assert_eq!(
             engine.isolate_row(bank(0), RowId(5)),
             SparingOutcome::AlreadyIsolated
@@ -190,14 +193,23 @@ mod tests {
             spare_rows_per_bank: 2,
             spare_banks_per_hbm: 1,
         });
-        assert_eq!(engine.isolate_row(bank(0), RowId(1)), SparingOutcome::Applied);
-        assert_eq!(engine.isolate_row(bank(0), RowId(2)), SparingOutcome::Applied);
+        assert_eq!(
+            engine.isolate_row(bank(0), RowId(1)),
+            SparingOutcome::Applied
+        );
+        assert_eq!(
+            engine.isolate_row(bank(0), RowId(2)),
+            SparingOutcome::Applied
+        );
         assert_eq!(
             engine.isolate_row(bank(0), RowId(3)),
             SparingOutcome::BudgetExhausted
         );
         // Other banks have their own budget.
-        assert_eq!(engine.isolate_row(bank(1), RowId(3)), SparingOutcome::Applied);
+        assert_eq!(
+            engine.isolate_row(bank(1), RowId(3)),
+            SparingOutcome::Applied
+        );
         assert_eq!(engine.rows_used(&bank(0)), 2);
     }
 

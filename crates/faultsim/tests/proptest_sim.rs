@@ -14,12 +14,12 @@ use cordial_topology::{BankAddress, FleetConfig, HbmGeometry};
 
 fn arb_plan_config() -> impl Strategy<Value = PlanConfig> {
     (
-        16.0..256.0f64,             // half_width
-        4.0..48.0f64,               // growth_step
-        0.0..=1.0f64,               // bank_precursor_prob
-        0.0..=0.5f64,               // row_precursor_prob
-        0.0..=0.9f64,               // revisit_prob
-        1u64..72,                   // scrub interval hours
+        16.0..256.0f64, // half_width
+        4.0..48.0f64,   // growth_step
+        0.0..=1.0f64,   // bank_precursor_prob
+        0.0..=0.5f64,   // row_precursor_prob
+        0.0..=0.9f64,   // revisit_prob
+        1u64..72,       // scrub interval hours
     )
         .prop_map(|(hw, gs, bank_p, row_p, revisit, scrub_h)| PlanConfig {
             kernel: LocalityKernel {
@@ -29,9 +29,7 @@ fn arb_plan_config() -> impl Strategy<Value = PlanConfig> {
             bank_precursor_prob: bank_p,
             row_precursor_prob: row_p,
             revisit_prob: revisit,
-            scrubber: cordial_faultsim::PatrolScrubber::new(Duration::from_secs(
-                scrub_h * 3600,
-            )),
+            scrubber: cordial_faultsim::PatrolScrubber::new(Duration::from_secs(scrub_h * 3600)),
             ..PlanConfig::paper()
         })
 }

@@ -81,8 +81,7 @@ impl BmcCollector {
         let mut state = self.state.lock();
         if event.error_type == ErrorType::Ce {
             if let Some(&last) = state.last_ce.get(&event.addr) {
-                if event.time.saturating_since(last) < self.config.ce_throttle
-                    && event.time >= last
+                if event.time.saturating_since(last) < self.config.ce_throttle && event.time >= last
                 {
                     state.dropped += 1;
                     return false;

@@ -161,7 +161,10 @@ mod tests {
         ]);
         let ratio = uer_burst_ratio(&log, &BurstConfig::default());
         assert!((ratio - 1.0 / 3.0).abs() < 1e-12);
-        assert_eq!(uer_burst_ratio(&MceLog::new(), &BurstConfig::default()), 0.0);
+        assert_eq!(
+            uer_burst_ratio(&MceLog::new(), &BurstConfig::default()),
+            0.0
+        );
     }
 
     #[test]

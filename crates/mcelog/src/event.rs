@@ -9,9 +9,7 @@ use serde::{Deserialize, Serialize};
 use cordial_topology::CellAddress;
 
 /// Severity class of one HBM error, as classified by the ECC (paper §II-B).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum ErrorType {
     /// Correctable error: within ECC correction capability.
     Ce,

@@ -100,7 +100,10 @@ impl MceLog {
         if events.is_empty() {
             None
         } else {
-            Some(BankErrorHistory { bank: *bank, events })
+            Some(BankErrorHistory {
+                bank: *bank,
+                events,
+            })
         }
     }
 
@@ -385,7 +388,11 @@ mod tests {
         assert!(log
             .between(Timestamp::from_millis(31), Timestamp::from_millis(99))
             .is_empty());
-        assert_eq!(log.between(Timestamp::ZERO, Timestamp::from_millis(u64::MAX)).len(), 3);
+        assert_eq!(
+            log.between(Timestamp::ZERO, Timestamp::from_millis(u64::MAX))
+                .len(),
+            3
+        );
     }
 
     #[test]
@@ -408,9 +415,12 @@ mod tests {
 
     #[test]
     fn collect_from_iterator() {
-        let log: MceLog = vec![ev(bank(0), 1, 2, ErrorType::Ce), ev(bank(0), 1, 1, ErrorType::Ce)]
-            .into_iter()
-            .collect();
+        let log: MceLog = vec![
+            ev(bank(0), 1, 2, ErrorType::Ce),
+            ev(bank(0), 1, 1, ErrorType::Ce),
+        ]
+        .into_iter()
+        .collect();
         assert_eq!(log.events()[0].time.as_millis(), 1);
     }
 }

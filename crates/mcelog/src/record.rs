@@ -182,7 +182,8 @@ mod tests {
 
     #[test]
     fn parse_accepts_any_field_order_and_extensions() {
-        let line = "type=CE vendor=acme ts=5 addr=node0/npu0/hbm0/sid0/ch0/pch0/bg0/bank0/row1/col2";
+        let line =
+            "type=CE vendor=acme ts=5 addr=node0/npu0/hbm0/sid0/ch0/pch0/bg0/bank0/row1/col2";
         let record: MceRecord = line.parse().unwrap();
         assert_eq!(record.event.error_type, ErrorType::Ce);
         assert_eq!(record.event.time, Timestamp::from_millis(5));
@@ -210,9 +211,11 @@ mod tests {
     #[test]
     fn parse_rejects_missing_fields() {
         assert!("ts=1 type=CE".parse::<MceRecord>().is_err());
-        assert!("addr=node0/npu0/hbm0/sid0/ch0/pch0/bg0/bank0/row1/col2 type=CE"
-            .parse::<MceRecord>()
-            .is_err());
+        assert!(
+            "addr=node0/npu0/hbm0/sid0/ch0/pch0/bg0/bank0/row1/col2 type=CE"
+                .parse::<MceRecord>()
+                .is_err()
+        );
         let err = "ts=1 addr=node0/npu0/hbm0/sid0/ch0/pch0/bg0/bank0/row1/col2"
             .parse::<MceRecord>()
             .unwrap_err();

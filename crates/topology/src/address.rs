@@ -302,7 +302,10 @@ mod tests {
     fn cell_display_round_trips() {
         let cell = sample_bank().cell(RowId(30_000), ColId(127));
         let text = cell.to_string();
-        assert_eq!(text, "node7/npu3/hbm1/sid0/ch4/pch1/bg2/bank3/row30000/col127");
+        assert_eq!(
+            text,
+            "node7/npu3/hbm1/sid0/ch4/pch1/bg2/bank3/row30000/col127"
+        );
         let parsed: CellAddress = text.parse().unwrap();
         assert_eq!(parsed, cell);
     }

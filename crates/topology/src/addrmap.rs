@@ -229,7 +229,10 @@ mod tests {
         let map = AddressMap::default();
         let mut seen = std::collections::HashSet::new();
         for cell in sample_cells() {
-            assert!(seen.insert(map.encode(&cell).unwrap()), "collision at {cell}");
+            assert!(
+                seen.insert(map.encode(&cell).unwrap()),
+                "collision at {cell}"
+            );
         }
     }
 

@@ -3,8 +3,9 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::address::{BankAddress, BankGroup, BankIndex, Channel, HbmSocket, NodeId, NpuId,
-    PseudoChannel, StackId};
+use crate::address::{
+    BankAddress, BankGroup, BankIndex, Channel, HbmSocket, NodeId, NpuId, PseudoChannel, StackId,
+};
 use crate::geometry::HbmGeometry;
 
 /// Layout of an LLM-training cluster's memory fleet.

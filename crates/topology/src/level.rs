@@ -18,9 +18,7 @@ use crate::address::{BankAddress, CellAddress};
 /// the NPU level (~58%) to the row level (~96%); Table II reports per-level
 /// populations. Both are computed by projecting every error event onto each
 /// of these levels.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum MicroLevel {
     /// Neural-processing unit (8 per node).
     Npu,
@@ -80,9 +78,7 @@ impl fmt::Display for MicroLevel {
 /// Two error events belong to the same unit at level `L` iff their projected
 /// `UnitKey`s are equal. The key embeds all coarser components, so equality
 /// at a fine level implies equality at every coarser level.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct UnitKey {
     level: MicroLevel,
     // Packed coarse-to-fine component values; components finer than `level`

@@ -45,8 +45,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod addrmap;
 mod address;
+pub mod addrmap;
 mod error;
 mod fleet;
 mod geometry;

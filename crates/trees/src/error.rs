@@ -61,6 +61,8 @@ mod tests {
         }
         .to_string()
         .contains('9'));
-        assert!(FitError::InvalidConfig("zero trees").to_string().contains("zero trees"));
+        assert!(FitError::InvalidConfig("zero trees")
+            .to_string()
+            .contains("zero trees"));
     }
 }

@@ -1,9 +1,9 @@
 //! Random forest: bootstrap-aggregated CART trees with probability averaging.
 
-use serde::{Deserialize, Serialize};
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
 
 use crate::data::Dataset;
 use crate::error::FitError;
@@ -106,9 +106,7 @@ impl RandomForest {
             return Err(FitError::InvalidConfig("n_trees must be >= 1"));
         }
         if !(config.sample_fraction > 0.0 && config.sample_fraction <= 1.0) {
-            return Err(FitError::InvalidConfig(
-                "sample_fraction must be in (0, 1]",
-            ));
+            return Err(FitError::InvalidConfig("sample_fraction must be in (0, 1]"));
         }
 
         let max_features = config
@@ -136,27 +134,9 @@ impl RandomForest {
             DecisionTree::fit_indices(data, &indices, &tree_config)
         };
 
-        let trees: Vec<Result<DecisionTree, FitError>> = if config.n_threads <= 1 {
-            tree_seeds.iter().map(|&s| fit_one(s)).collect()
-        } else {
-            let n_threads = config.n_threads.min(tree_seeds.len());
-            let chunks: Vec<&[u64]> = tree_seeds
-                .chunks(tree_seeds.len().div_ceil(n_threads))
-                .collect();
-            crossbeam::scope(|scope| {
-                let handles: Vec<_> = chunks
-                    .into_iter()
-                    .map(|chunk| scope.spawn(move |_| chunk.iter().map(|&s| fit_one(s)).collect::<Vec<_>>()))
-                    .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("forest worker panicked"))
-                    .collect()
-            })
-            .expect("forest thread scope failed")
-        };
-
-        let trees = trees.into_iter().collect::<Result<Vec<_>, _>>()?;
+        let trees = crate::parallel::ordered_map(&tree_seeds, config.n_threads, |&s| fit_one(s))
+            .into_iter()
+            .collect::<Result<Vec<_>, _>>()?;
         let forest = RandomForest {
             trees,
             n_classes: data.n_classes(),
@@ -175,8 +155,7 @@ impl RandomForest {
             }
             for i in 0..data.n_rows() {
                 if !in_bag[i] {
-                    for (vote, p) in oob_votes[i].iter_mut().zip(tree.predict_proba(data.row(i)))
-                    {
+                    for (vote, p) in oob_votes[i].iter_mut().zip(tree.predict_proba(data.row(i))) {
                         *vote += p;
                     }
                     oob_counts[i] += 1;
@@ -307,10 +286,16 @@ mod tests {
     #[test]
     fn different_seeds_differ() {
         let data = blobs();
-        let a = RandomForest::fit(&data, &RandomForestConfig::default().with_trees(5).with_seed(1))
-            .unwrap();
-        let b = RandomForest::fit(&data, &RandomForestConfig::default().with_trees(5).with_seed(2))
-            .unwrap();
+        let a = RandomForest::fit(
+            &data,
+            &RandomForestConfig::default().with_trees(5).with_seed(1),
+        )
+        .unwrap();
+        let b = RandomForest::fit(
+            &data,
+            &RandomForestConfig::default().with_trees(5).with_seed(2),
+        )
+        .unwrap();
         assert_ne!(a, b);
     }
 
@@ -386,7 +371,9 @@ mod oob_tests {
         let mut data = Dataset::new(1, 2);
         let mut x = 7u64;
         for i in 0..200 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             data.push_row(&[i as f64], (x >> 33) as usize % 2).unwrap();
         }
         let (_, oob) =

@@ -9,10 +9,10 @@
 //! leaf  = −G/(H+λ)
 //! ```
 
-use serde::{Deserialize, Serialize};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
 
 use crate::data::Dataset;
 use crate::error::FitError;
@@ -160,9 +160,8 @@ impl Gbdt {
                     .collect();
 
                 let features: Vec<usize> = if config.colsample < 1.0 {
-                    let target = (((data.n_features() as f64) * config.colsample).ceil()
-                        as usize)
-                        .max(1);
+                    let target =
+                        (((data.n_features() as f64) * config.colsample).ceil() as usize).max(1);
                     let mut all: Vec<usize> = (0..data.n_features()).collect();
                     all.shuffle(&mut rng);
                     all.truncate(target);
@@ -342,10 +341,24 @@ impl RegTree {
                     let node_idx = self.nodes.len();
                     self.nodes.push(RegNode::Leaf { weight: 0.0 });
                     let (left_rows, right_rows) = rows.split_at_mut(mid);
-                    let left = self
-                        .build(data, left_rows, grad_hess, features, depth + 1, config, gains);
-                    let right = self
-                        .build(data, right_rows, grad_hess, features, depth + 1, config, gains);
+                    let left = self.build(
+                        data,
+                        left_rows,
+                        grad_hess,
+                        features,
+                        depth + 1,
+                        config,
+                        gains,
+                    );
+                    let right = self.build(
+                        data,
+                        right_rows,
+                        grad_hess,
+                        features,
+                        depth + 1,
+                        config,
+                        gains,
+                    );
                     self.nodes[node_idx] = RegNode::Split {
                         feature: split.feature,
                         threshold: split.threshold,

@@ -6,16 +6,37 @@
 //!   ([`BinMapper`]), so split search scans bins instead of sorted values;
 //! * trees grow **leaf-wise**: the leaf with the highest split gain anywhere
 //!   in the tree is split next, until `max_leaves` is reached.
+//!
+//! # Performance architecture
+//!
+//! Training follows the real LightGBM playbook:
+//!
+//! * the dataset is binned **once** into a shared column-major
+//!   [`BinnedDataset`] and reused across every round and class (and across
+//!   fits, via [`LightGbm::fit_prebinned`]);
+//! * every tree node carries its per-feature histograms; when a node
+//!   splits, only the **smaller** child is rebuilt by scanning rows — the
+//!   larger child is derived in O(bins) with the histogram-subtraction
+//!   trick ([`FeatureHistogram::subtracted_from`]);
+//! * the per-class trees of one boosting round are fitted on worker
+//!   threads, and large histogram builds are split across features.
+//!
+//! Parallelism never changes the result: GOSS/colsample seeds are derived
+//! per `(round, class)` up front and all reductions run in input order, so
+//! any `n_threads` produces a bit-identical model (the same invariant
+//! [`RandomForest`](crate::RandomForest) upholds).
 
-use serde::{Deserialize, Serialize};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
+use rand::Rng;
 use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
 
 use crate::data::Dataset;
 use crate::error::FitError;
 use crate::gbdt::softmax;
-use crate::hist::{BinMapper, FeatureHistogram};
+use crate::hist::{BinMapper, BinnedDataset, FeatureHistogram};
+use crate::parallel::{ordered_map, ordered_map_indexed};
 use crate::Classifier;
 
 /// Hyperparameters of a [`LightGbm`] model.
@@ -43,6 +64,9 @@ pub struct LightGbmConfig {
     pub goss_other_rate: f64,
     /// RNG seed for feature subsampling and GOSS.
     pub seed: u64,
+    /// Worker threads used while fitting (1 = sequential). The fitted
+    /// model is identical for every thread count.
+    pub n_threads: usize,
 }
 
 impl Default for LightGbmConfig {
@@ -58,6 +82,7 @@ impl Default for LightGbmConfig {
             goss_top_rate: 0.0,
             goss_other_rate: 0.1,
             seed: 0,
+            n_threads: 4,
         }
     }
 }
@@ -72,6 +97,12 @@ impl LightGbmConfig {
     /// Returns the config with a different round count.
     pub fn with_rounds(mut self, n_rounds: usize) -> Self {
         self.n_rounds = n_rounds;
+        self
+    }
+
+    /// Returns the config with a different worker-thread count.
+    pub fn with_threads(mut self, n_threads: usize) -> Self {
+        self.n_threads = n_threads;
         self
     }
 }
@@ -98,42 +129,37 @@ impl LightGbm {
     /// Returns [`FitError::EmptyDataset`] for an empty training set and
     /// [`FitError::InvalidConfig`] for invalid hyperparameters.
     pub fn fit(data: &Dataset, config: &LightGbmConfig) -> Result<Self, FitError> {
-        if data.is_empty() {
-            return Err(FitError::EmptyDataset);
-        }
-        if config.n_rounds == 0 {
-            return Err(FitError::InvalidConfig("n_rounds must be >= 1"));
-        }
-        if config.max_leaves < 2 {
-            return Err(FitError::InvalidConfig("max_leaves must be >= 2"));
-        }
-        if config.learning_rate.is_nan() || config.learning_rate <= 0.0 {
-            return Err(FitError::InvalidConfig("learning_rate must be positive"));
-        }
-        if config.max_bins < 2 {
-            return Err(FitError::InvalidConfig("max_bins must be >= 2"));
-        }
-        if !(config.colsample > 0.0 && config.colsample <= 1.0) {
-            return Err(FitError::InvalidConfig("colsample must be in (0, 1]"));
-        }
-        if !(0.0..1.0).contains(&config.goss_top_rate) {
-            return Err(FitError::InvalidConfig("goss_top_rate must be in [0, 1)"));
-        }
-        if config.goss_top_rate > 0.0
-            && !(config.goss_other_rate > 0.0
-                && config.goss_top_rate + config.goss_other_rate <= 1.0)
-        {
+        validate(data, config)?;
+        let binned = BinnedDataset::fit(data, config.max_bins);
+        Self::fit_prebinned(data, &binned, config)
+    }
+
+    /// Fits a model on a dataset binned up front with [`BinnedDataset::fit`]
+    /// (or [`BinnedDataset::with_mapper`]), skipping the quantile fit and
+    /// the dataset scan — the dominant fixed cost when the same dataset is
+    /// fitted repeatedly (seed sweeps, multi-stage pipelines, benchmarks).
+    ///
+    /// `config.max_bins` is not consulted: the binning of `binned` governs.
+    ///
+    /// # Errors
+    ///
+    /// As [`LightGbm::fit`], plus [`FitError::InvalidConfig`] when the
+    /// shape of `binned` does not match `data`.
+    pub fn fit_prebinned(
+        data: &Dataset,
+        binned: &BinnedDataset,
+        config: &LightGbmConfig,
+    ) -> Result<Self, FitError> {
+        validate(data, config)?;
+        if binned.n_rows() != data.n_rows() || binned.n_features() != data.n_features() {
             return Err(FitError::InvalidConfig(
-                "goss_other_rate must be positive with a + b <= 1",
+                "pre-binned dataset shape does not match the raw dataset",
             ));
         }
 
         let n = data.n_rows();
         let k = data.n_classes();
-        let mapper = BinMapper::fit(data, config.max_bins);
-        let binned = mapper.bin_dataset(data);
         let n_features = data.n_features();
-        let mut rng = StdRng::seed_from_u64(config.seed);
 
         let counts = data.class_counts();
         let base_score: Vec<f64> = counts
@@ -144,82 +170,57 @@ impl LightGbm {
         let mut trees: Vec<Vec<HistTree>> = Vec::with_capacity(config.n_rounds);
         let mut gains = vec![0.0f64; n_features];
 
-        for _ in 0..config.n_rounds {
+        // Derive every (round, class) sampling seed up front: each class
+        // tree then owns an independent RNG, so the trees of one round can
+        // be fitted on worker threads without changing the model.
+        let mut seed_rng = StdRng::seed_from_u64(config.seed);
+        let class_seeds: Vec<Vec<u64>> = (0..config.n_rounds)
+            .map(|_| (0..k).map(|_| seed_rng.gen()).collect())
+            .collect();
+
+        let labels: Vec<usize> = (0..n).map(|i| data.label(i)).collect();
+
+        for round_seeds in &class_seeds {
             let probs: Vec<Vec<f64>> = scores.iter().map(|s| softmax(s)).collect();
-            let mut round_trees = Vec::with_capacity(k);
-            for class in 0..k {
+
+            let fit_class = |class: usize| -> ClassFit {
+                let mut rng = StdRng::seed_from_u64(round_seeds[class]);
                 let mut grad_hess: Vec<(f64, f64)> = (0..n)
                     .map(|i| {
                         let p = probs[i][class];
-                        let y = f64::from(data.label(i) == class);
+                        let y = f64::from(labels[i] == class);
                         (p - y, (p * (1.0 - p)).max(1e-16))
                     })
                     .collect();
-
-                // GOSS: keep the large-gradient rows, sample and up-weight
-                // a fraction of the rest, and drop the remainder from this
-                // tree by zeroing their gradients.
-                let tree_rows: Vec<usize> = if config.goss_top_rate > 0.0 {
-                    let mut order: Vec<usize> = (0..n).collect();
-                    order.sort_by(|&a, &b| {
-                        grad_hess[b]
-                            .0
-                            .abs()
-                            .partial_cmp(&grad_hess[a].0.abs())
-                            .expect("gradients are finite")
-                    });
-                    let top = (((n as f64) * config.goss_top_rate).ceil() as usize).min(n);
-                    let rest = &order[top..];
-                    let keep_rest =
-                        (((n as f64) * config.goss_other_rate).ceil() as usize).min(rest.len());
-                    let mut rest: Vec<usize> = rest.to_vec();
-                    rest.shuffle(&mut rng);
-                    rest.truncate(keep_rest);
-                    let amplify = (1.0 - config.goss_top_rate)
-                        / config.goss_other_rate.max(f64::MIN_POSITIVE);
-                    for &i in &rest {
-                        grad_hess[i].0 *= amplify;
-                        grad_hess[i].1 *= amplify;
-                    }
-                    let mut rows: Vec<usize> = order[..top].to_vec();
-                    rows.extend(rest);
-                    rows
-                } else {
-                    (0..n).collect()
-                };
-
-                let features: Vec<usize> = if config.colsample < 1.0 {
-                    let target =
-                        (((n_features as f64) * config.colsample).ceil() as usize).max(1);
-                    let mut all: Vec<usize> = (0..n_features).collect();
-                    all.shuffle(&mut rng);
-                    all.truncate(target);
-                    all
-                } else {
-                    (0..n_features).collect()
-                };
-
-                let tree = HistTree::fit(
-                    &binned,
-                    n_features,
-                    &mapper,
-                    &grad_hess,
-                    &tree_rows,
-                    &features,
-                    config,
-                    &mut gains,
-                );
-                for (i, score_row) in scores.iter_mut().enumerate() {
-                    let bin_row = &binned[i * n_features..(i + 1) * n_features];
-                    score_row[class] += config.learning_rate * tree.predict_binned(bin_row);
+                let tree_rows = goss_rows(&mut grad_hess, config, &mut rng);
+                let features = sampled_features(n_features, config, &mut rng);
+                let (tree, tree_gains) =
+                    HistTree::fit(binned, &grad_hess, &tree_rows, &features, config);
+                let preds: Vec<f64> = (0..n).map(|i| tree.predict_binned(binned.row(i))).collect();
+                ClassFit {
+                    tree,
+                    gains: tree_gains,
+                    preds,
                 }
-                round_trees.push(tree);
+            };
+
+            let fitted: Vec<ClassFit> = ordered_map_indexed(k, config.n_threads, fit_class);
+
+            let mut round_trees = Vec::with_capacity(k);
+            for (class, fit) in fitted.into_iter().enumerate() {
+                for (score_row, pred) in scores.iter_mut().zip(&fit.preds) {
+                    score_row[class] += config.learning_rate * pred;
+                }
+                for (total, delta) in gains.iter_mut().zip(&fit.gains) {
+                    *total += delta;
+                }
+                round_trees.push(fit.tree);
             }
             trees.push(round_trees);
         }
 
         Ok(LightGbm {
-            mapper,
+            mapper: binned.mapper().clone(),
             trees,
             n_classes: k,
             n_features,
@@ -254,6 +255,96 @@ impl LightGbm {
     }
 }
 
+fn validate(data: &Dataset, config: &LightGbmConfig) -> Result<(), FitError> {
+    if data.is_empty() {
+        return Err(FitError::EmptyDataset);
+    }
+    if config.n_rounds == 0 {
+        return Err(FitError::InvalidConfig("n_rounds must be >= 1"));
+    }
+    if config.max_leaves < 2 {
+        return Err(FitError::InvalidConfig("max_leaves must be >= 2"));
+    }
+    if config.learning_rate.is_nan() || config.learning_rate <= 0.0 {
+        return Err(FitError::InvalidConfig("learning_rate must be positive"));
+    }
+    if config.max_bins < 2 {
+        return Err(FitError::InvalidConfig("max_bins must be >= 2"));
+    }
+    if !(config.colsample > 0.0 && config.colsample <= 1.0) {
+        return Err(FitError::InvalidConfig("colsample must be in (0, 1]"));
+    }
+    if !(0.0..1.0).contains(&config.goss_top_rate) {
+        return Err(FitError::InvalidConfig("goss_top_rate must be in [0, 1)"));
+    }
+    if config.goss_top_rate > 0.0
+        && !(config.goss_other_rate > 0.0 && config.goss_top_rate + config.goss_other_rate <= 1.0)
+    {
+        return Err(FitError::InvalidConfig(
+            "goss_other_rate must be positive with a + b <= 1",
+        ));
+    }
+    Ok(())
+}
+
+/// One fitted class tree of a boosting round, with everything the
+/// sequential reduction needs to fold it back in deterministically.
+struct ClassFit {
+    tree: HistTree,
+    /// Per-feature split gain accumulated by this tree.
+    gains: Vec<f64>,
+    /// This tree's raw prediction for every training row.
+    preds: Vec<f64>,
+}
+
+/// GOSS: keep the large-gradient rows, sample and up-weight a fraction of
+/// the rest, and drop the remainder from this tree. Returns the rows the
+/// tree trains on; without GOSS, all rows.
+fn goss_rows(
+    grad_hess: &mut [(f64, f64)],
+    config: &LightGbmConfig,
+    rng: &mut StdRng,
+) -> Vec<usize> {
+    let n = grad_hess.len();
+    if config.goss_top_rate <= 0.0 {
+        return (0..n).collect();
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        grad_hess[b]
+            .0
+            .abs()
+            .partial_cmp(&grad_hess[a].0.abs())
+            .expect("gradients are finite")
+    });
+    let top = (((n as f64) * config.goss_top_rate).ceil() as usize).min(n);
+    let rest = &order[top..];
+    let keep_rest = (((n as f64) * config.goss_other_rate).ceil() as usize).min(rest.len());
+    let mut rest: Vec<usize> = rest.to_vec();
+    rest.shuffle(rng);
+    rest.truncate(keep_rest);
+    let amplify = (1.0 - config.goss_top_rate) / config.goss_other_rate.max(f64::MIN_POSITIVE);
+    for &i in &rest {
+        grad_hess[i].0 *= amplify;
+        grad_hess[i].1 *= amplify;
+    }
+    let mut rows: Vec<usize> = order[..top].to_vec();
+    rows.extend(rest);
+    rows
+}
+
+/// Column subsampling: the feature subset this tree may split on.
+fn sampled_features(n_features: usize, config: &LightGbmConfig, rng: &mut StdRng) -> Vec<usize> {
+    if config.colsample >= 1.0 {
+        return (0..n_features).collect();
+    }
+    let target = (((n_features as f64) * config.colsample).ceil() as usize).max(1);
+    let mut all: Vec<usize> = (0..n_features).collect();
+    all.shuffle(rng);
+    all.truncate(target);
+    all
+}
+
 impl Classifier for LightGbm {
     fn n_classes(&self) -> usize {
         self.n_classes
@@ -284,12 +375,15 @@ enum HistNode {
     },
 }
 
-/// A grow-able leaf during leaf-wise construction.
+/// A grow-able leaf during leaf-wise construction. Carries its per-feature
+/// histograms (indexed like the tree's `features` subset) so children can
+/// be derived by subtraction instead of rescanned.
 struct GrowLeaf {
     node_idx: usize,
     rows: Vec<usize>,
     g_sum: f64,
     h_sum: f64,
+    hists: Vec<FeatureHistogram>,
     best: Option<LeafSplit>,
 }
 
@@ -300,19 +394,49 @@ struct LeafSplit {
     gain: f64,
 }
 
+/// Minimum `rows × features` product before a histogram build fans out to
+/// worker threads; below this the spawn overhead dominates the scan.
+const PARALLEL_HIST_WORK: usize = 1 << 14;
+
+/// Builds the per-feature histograms of one node by scanning its rows over
+/// the column-major bins — the O(rows × features) kernel of split search,
+/// split across features when the node is large enough. Per-feature
+/// arithmetic is independent, so the result is thread-count invariant.
+fn build_hists(
+    binned: &BinnedDataset,
+    rows: &[usize],
+    features: &[usize],
+    grad_hess: &[(f64, f64)],
+    n_threads: usize,
+) -> Vec<FeatureHistogram> {
+    let threads = if rows.len().saturating_mul(features.len()) >= PARALLEL_HIST_WORK {
+        n_threads
+    } else {
+        1
+    };
+    ordered_map(features, threads, |&feature| {
+        let col = binned.column(feature);
+        let mut hist = FeatureHistogram::zeros(binned.n_bins(feature));
+        for &r in rows {
+            let (g, h) = grad_hess[r];
+            hist.add(col[r], g, h);
+        }
+        hist
+    })
+}
+
 impl HistTree {
-    #[allow(clippy::too_many_arguments)]
+    /// Grows one leaf-wise tree, returning it together with the
+    /// per-feature split gain it accumulated.
     fn fit(
-        binned: &[u16],
-        n_features: usize,
-        mapper: &BinMapper,
+        binned: &BinnedDataset,
         grad_hess: &[(f64, f64)],
         rows: &[usize],
         features: &[usize],
         config: &LightGbmConfig,
-        gains: &mut [f64],
-    ) -> Self {
+    ) -> (Self, Vec<f64>) {
         let mut tree = HistTree { nodes: Vec::new() };
+        let mut gains = vec![0.0f64; binned.n_features()];
         let rows: Vec<usize> = rows.to_vec();
         let (g_sum, h_sum) = rows.iter().fold((0.0, 0.0), |(g, h), &i| {
             (g + grad_hess[i].0, h + grad_hess[i].1)
@@ -321,16 +445,16 @@ impl HistTree {
             weight: -g_sum / (h_sum + config.lambda),
         });
 
+        let root_hists = build_hists(binned, &rows, features, grad_hess, config.n_threads);
         let mut leaves = vec![GrowLeaf {
             node_idx: 0,
             rows,
             g_sum,
             h_sum,
+            hists: root_hists,
             best: None,
         }];
-        leaves[0].best = best_split(
-            binned, n_features, mapper, grad_hess, &leaves[0], features, config,
-        );
+        leaves[0].best = best_split(&leaves[0], features, config);
 
         let mut n_leaves = 1;
         while n_leaves < config.max_leaves {
@@ -353,24 +477,40 @@ impl HistTree {
             let split = leaf.best.expect("picked leaf has a split");
             gains[split.feature] += split.gain.max(0.0);
 
-            // Partition rows by bin threshold.
+            // Partition rows by bin threshold (contiguous column scan).
+            let column = binned.column(split.feature);
             let mut left_rows = Vec::new();
             let mut right_rows = Vec::new();
             for &r in &leaf.rows {
-                if binned[r * n_features + split.feature] <= split.bin_threshold {
+                if column[r] <= split.bin_threshold {
                     left_rows.push(r);
                 } else {
                     right_rows.push(r);
                 }
             }
-            let fold =
-                |rows: &[usize]| -> (f64, f64) {
-                    rows.iter().fold((0.0, 0.0), |(g, h), &i| {
-                        (g + grad_hess[i].0, h + grad_hess[i].1)
-                    })
-                };
+            let fold = |rows: &[usize]| -> (f64, f64) {
+                rows.iter().fold((0.0, 0.0), |(g, h), &i| {
+                    (g + grad_hess[i].0, h + grad_hess[i].1)
+                })
+            };
             let (gl, hl) = fold(&left_rows);
             let (gr, hr) = (leaf.g_sum - gl, leaf.h_sum - hl);
+
+            // Histogram subtraction: scan only the smaller child, derive
+            // the larger one from the parent in O(bins).
+            let scan_left = left_rows.len() <= right_rows.len();
+            let scan_rows = if scan_left { &left_rows } else { &right_rows };
+            let scanned = build_hists(binned, scan_rows, features, grad_hess, config.n_threads);
+            let derived: Vec<FeatureHistogram> = scanned
+                .iter()
+                .zip(&leaf.hists)
+                .map(|(child, parent)| child.subtracted_from(parent))
+                .collect();
+            let (left_hists, right_hists) = if scan_left {
+                (scanned, derived)
+            } else {
+                (derived, scanned)
+            };
 
             let left_idx = tree.nodes.len();
             tree.nodes.push(HistNode::Leaf {
@@ -393,26 +533,24 @@ impl HistTree {
                 rows: left_rows,
                 g_sum: gl,
                 h_sum: hl,
+                hists: left_hists,
                 best: None,
             };
-            left_leaf.best = best_split(
-                binned, n_features, mapper, grad_hess, &left_leaf, features, config,
-            );
+            left_leaf.best = best_split(&left_leaf, features, config);
             let mut right_leaf = GrowLeaf {
                 node_idx: right_idx,
                 rows: right_rows,
                 g_sum: gr,
                 h_sum: hr,
+                hists: right_hists,
                 best: None,
             };
-            right_leaf.best = best_split(
-                binned, n_features, mapper, grad_hess, &right_leaf, features, config,
-            );
+            right_leaf.best = best_split(&right_leaf, features, config);
             leaves.push(left_leaf);
             leaves.push(right_leaf);
         }
 
-        tree
+        (tree, gains)
     }
 
     fn predict_binned(&self, bin_row: &[u16]) -> f64 {
@@ -437,28 +575,20 @@ impl HistTree {
     }
 }
 
-fn best_split(
-    binned: &[u16],
-    n_features: usize,
-    mapper: &BinMapper,
-    grad_hess: &[(f64, f64)],
-    leaf: &GrowLeaf,
-    features: &[usize],
-    config: &LightGbmConfig,
-) -> Option<LeafSplit> {
+/// Scans the leaf's cached histograms for the best split. Features are
+/// visited in subset order and bins in ascending order with a
+/// strictly-greater comparison, so the selected split does not depend on
+/// how the histograms were produced (direct scan or subtraction sibling,
+/// sequential or parallel build).
+fn best_split(leaf: &GrowLeaf, features: &[usize], config: &LightGbmConfig) -> Option<LeafSplit> {
     if leaf.rows.len() < 2 * config.min_data_in_leaf {
         return None;
     }
     let parent_score = leaf.g_sum * leaf.g_sum / (leaf.h_sum + config.lambda);
     let mut best: Option<LeafSplit> = None;
-    for &feature in features {
-        let n_bins = mapper.n_bins(feature);
-        let mut hist = FeatureHistogram::zeros(n_bins);
-        for &r in &leaf.rows {
-            let bin = binned[r * n_features + feature];
-            let (g, h) = grad_hess[r];
-            hist.add(bin, g, h);
-        }
+    for (slot, &feature) in features.iter().enumerate() {
+        let hist = &leaf.hists[slot];
+        let n_bins = hist.grad.len();
         let mut g_left = 0.0;
         let mut h_left = 0.0;
         let mut count_left: u32 = 0;
@@ -556,6 +686,49 @@ mod tests {
         let a = LightGbm::fit(&data, &config.with_seed(3)).unwrap();
         let b = LightGbm::fit(&data, &config.with_seed(3)).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_model() {
+        // The tentpole invariant: with sampling (GOSS + colsample) active,
+        // the parallel fit must still be bit-identical to the sequential
+        // one, because seeds are pre-derived and reductions run in order.
+        let data = blobs();
+        let base = LightGbmConfig {
+            colsample: 0.5,
+            goss_top_rate: 0.2,
+            goss_other_rate: 0.2,
+            min_data_in_leaf: 2,
+            ..LightGbmConfig::default().with_rounds(6).with_seed(9)
+        };
+        let sequential = LightGbm::fit(&data, &base.with_threads(1)).unwrap();
+        for n_threads in [2, 4, 8] {
+            let parallel = LightGbm::fit(&data, &base.with_threads(n_threads)).unwrap();
+            assert_eq!(sequential, parallel, "n_threads={n_threads}");
+        }
+    }
+
+    #[test]
+    fn prebinned_fit_matches_plain_fit() {
+        let data = blobs();
+        let config = LightGbmConfig::default().with_rounds(8).with_seed(5);
+        let plain = LightGbm::fit(&data, &config).unwrap();
+        let binned = BinnedDataset::fit(&data, config.max_bins);
+        let prebinned = LightGbm::fit_prebinned(&data, &binned, &config).unwrap();
+        assert_eq!(plain, prebinned);
+    }
+
+    #[test]
+    fn prebinned_shape_mismatch_is_rejected() {
+        let data = blobs();
+        let mut other = Dataset::new(1, 2);
+        other.push_row(&[1.0], 0).unwrap();
+        other.push_row(&[2.0], 1).unwrap();
+        let binned = BinnedDataset::fit(&other, 16);
+        assert!(matches!(
+            LightGbm::fit_prebinned(&data, &binned, &LightGbmConfig::default()),
+            Err(FitError::InvalidConfig(_))
+        ));
     }
 
     #[test]

@@ -51,6 +51,7 @@ mod hist;
 mod lgbm;
 pub mod metrics;
 pub mod model_selection;
+pub mod parallel;
 pub mod stats;
 mod tree;
 
@@ -58,7 +59,7 @@ pub use data::{Dataset, SplitSets};
 pub use error::FitError;
 pub use forest::{OobEstimate, RandomForest, RandomForestConfig};
 pub use gbdt::{Gbdt, GbdtConfig};
-pub use hist::{BinMapper, FeatureHistogram};
+pub use hist::{BinMapper, BinnedDataset, FeatureHistogram};
 pub use lgbm::{LightGbm, LightGbmConfig};
 pub use tree::{DecisionTree, ImpurityKind, TreeConfig};
 
@@ -86,7 +87,9 @@ pub trait Classifier {
 
     /// Predicts every row of a dataset.
     fn predict_all(&self, data: &Dataset) -> Vec<usize> {
-        (0..data.n_rows()).map(|i| self.predict(data.row(i))).collect()
+        (0..data.n_rows())
+            .map(|i| self.predict(data.row(i)))
+            .collect()
     }
 }
 

@@ -80,7 +80,11 @@ impl ConfusionMatrix {
     /// Panics if the slices have different lengths or contain labels
     /// `>= n_classes`.
     pub fn from_predictions(n_classes: usize, actual: &[usize], predicted: &[usize]) -> Self {
-        assert_eq!(actual.len(), predicted.len(), "label slices differ in length");
+        assert_eq!(
+            actual.len(),
+            predicted.len(),
+            "label slices differ in length"
+        );
         let mut m = Self::new(n_classes);
         for (&a, &p) in actual.iter().zip(predicted) {
             m.record(a, p);
@@ -193,7 +197,11 @@ impl fmt::Display for ConfusionMatrix {
 /// Binary precision/recall/F1 over parallel boolean slices — convenience
 /// wrapper used by the cross-row block predictor (Table IV's positive class).
 pub fn binary_scores(actual: &[bool], predicted: &[bool]) -> PrfScores {
-    assert_eq!(actual.len(), predicted.len(), "label slices differ in length");
+    assert_eq!(
+        actual.len(),
+        predicted.len(),
+        "label slices differ in length"
+    );
     let mut tp = 0;
     let mut fp = 0;
     let mut fn_ = 0;

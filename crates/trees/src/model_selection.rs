@@ -18,7 +18,10 @@ use crate::Classifier;
 /// Panics if `k < 2` or `k > n_rows`.
 pub fn kfold(n_rows: usize, k: usize, seed: u64) -> Vec<(Vec<usize>, Vec<usize>)> {
     assert!(k >= 2, "k-fold needs k >= 2");
-    assert!(k <= n_rows, "k ({k}) must not exceed the row count ({n_rows})");
+    assert!(
+        k <= n_rows,
+        "k ({k}) must not exceed the row count ({n_rows})"
+    );
     let mut order: Vec<usize> = (0..n_rows).collect();
     order.shuffle(&mut rand::rngs::StdRng::seed_from_u64(seed));
 

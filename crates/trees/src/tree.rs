@@ -3,10 +3,10 @@
 //!
 //! [`RandomForest`]: crate::RandomForest
 
-use serde::{Deserialize, Serialize};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
 
 use crate::data::Dataset;
 use crate::error::FitError;

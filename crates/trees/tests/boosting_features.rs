@@ -1,9 +1,7 @@
 //! Tests for the boosting extras: early stopping, GOSS sampling, and
 //! gain-based feature importance.
 
-use cordial_trees::{
-    Classifier, Dataset, FitError, Gbdt, GbdtConfig, LightGbm, LightGbmConfig,
-};
+use cordial_trees::{Classifier, Dataset, FitError, Gbdt, GbdtConfig, LightGbm, LightGbmConfig};
 
 /// Two informative features (0, 1) and two pure-noise features (2, 3).
 fn noisy_blobs(n_per_class: usize) -> Dataset {
@@ -15,7 +13,8 @@ fn noisy_blobs(n_per_class: usize) -> Dataset {
     };
     for i in 0..n_per_class {
         let v = (i % 17) as f64 * 0.1;
-        data.push_row(&[v, -v, next_noise(), next_noise()], 0).unwrap();
+        data.push_row(&[v, -v, next_noise(), next_noise()], 0)
+            .unwrap();
         data.push_row(&[8.0 + v, 8.0 - v, next_noise(), next_noise()], 1)
             .unwrap();
     }
@@ -114,7 +113,10 @@ fn goss_rejects_invalid_rates() {
             ..LightGbmConfig::default()
         };
         assert!(
-            matches!(LightGbm::fit(&data, &config), Err(FitError::InvalidConfig(_))),
+            matches!(
+                LightGbm::fit(&data, &config),
+                Err(FitError::InvalidConfig(_))
+            ),
             "a={a} b={b} should be rejected"
         );
     }

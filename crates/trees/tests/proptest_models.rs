@@ -4,8 +4,8 @@
 use proptest::prelude::*;
 
 use cordial_trees::{
-    Classifier, Dataset, DecisionTree, Gbdt, GbdtConfig, LightGbm, LightGbmConfig, RandomForest,
-    RandomForestConfig, TreeConfig,
+    BinnedDataset, Classifier, Dataset, DecisionTree, Gbdt, GbdtConfig, LightGbm, LightGbmConfig,
+    RandomForest, RandomForestConfig, TreeConfig,
 };
 
 /// A random small dataset: 2-5 features, 2-3 classes, 10-80 rows, values in
@@ -123,6 +123,27 @@ proptest! {
             let sum: f64 = importance.iter().sum();
             prop_assert!(sum.abs() < 1e-9 || (sum - 1.0).abs() < 1e-9);
             prop_assert!(importance.iter().all(|&g| g >= 0.0));
+        }
+    }
+
+    #[test]
+    fn binned_dataset_agrees_with_the_mapper_value_by_value(
+        data in arb_dataset(),
+        max_bins in 2usize..=64,
+    ) {
+        // The column-major cache must be a pure re-layout of what
+        // `BinMapper::bin` says about every (row, feature) value: the
+        // histogram fit paths trust `column`/`row` blindly.
+        let binned = BinnedDataset::fit(&data, max_bins);
+        prop_assert_eq!(binned.n_rows(), data.n_rows());
+        prop_assert_eq!(binned.n_features(), data.n_features());
+        for f in 0..data.n_features() {
+            for (i, &cached) in binned.column(f).iter().enumerate() {
+                let expected = binned.mapper().bin(f, data.row(i)[f]);
+                prop_assert_eq!(cached, expected);
+                prop_assert_eq!(binned.row(i)[f], expected);
+                prop_assert!((expected as usize) < binned.n_bins(f));
+            }
         }
     }
 

@@ -40,8 +40,7 @@ fn assert_equivalent<M: Classifier>(original: &M, reloaded: &M) {
 #[test]
 fn random_forest_round_trips_through_json() {
     let data = training_data();
-    let model =
-        RandomForest::fit(&data, &RandomForestConfig::default().with_trees(20)).unwrap();
+    let model = RandomForest::fit(&data, &RandomForestConfig::default().with_trees(20)).unwrap();
     let json = serde_json::to_string(&model).unwrap();
     let reloaded: RandomForest = serde_json::from_str(&json).unwrap();
     assert_eq!(model, reloaded);
@@ -72,8 +71,7 @@ fn lightgbm_round_trips_through_json() {
 fn serialised_models_are_reasonably_compact() {
     // A regression guard against accidentally serialising training state.
     let data = training_data();
-    let model =
-        RandomForest::fit(&data, &RandomForestConfig::default().with_trees(10)).unwrap();
+    let model = RandomForest::fit(&data, &RandomForestConfig::default().with_trees(10)).unwrap();
     let json = serde_json::to_string(&model).unwrap();
     assert!(
         json.len() < 200_000,

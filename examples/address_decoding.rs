@@ -64,7 +64,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         )?;
         assert_eq!(decoded, original.addr);
     }
-    println!("\nall {} raw records decoded losslessly — the pipeline can run on", raw.len());
+    println!(
+        "\nall {} raw records decoded losslessly — the pipeline can run on",
+        raw.len()
+    );
     println!("BMC feeds that only carry (device id, physical address, severity).");
     Ok(())
 }

@@ -16,9 +16,21 @@ use cordial_suite::prelude::*;
 fn main() {
     let geom = HbmGeometry::hbm2e_8hi();
     let scenarios = [
-        ("tight faults (hw=32)", LocalityKernel { half_width: 32.0, growth_step: 8.0 }),
+        (
+            "tight faults (hw=32)",
+            LocalityKernel {
+                half_width: 32.0,
+                growth_step: 8.0,
+            },
+        ),
         ("paper-calibrated (hw=128)", LocalityKernel::paper()),
-        ("loose faults (hw=512)", LocalityKernel { half_width: 512.0, growth_step: 96.0 }),
+        (
+            "loose faults (hw=512)",
+            LocalityKernel {
+                half_width: 512.0,
+                growth_step: 96.0,
+            },
+        ),
     ];
 
     for (name, kernel) in scenarios {

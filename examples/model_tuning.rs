@@ -56,9 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         };
         println!("{n_trees:>8} {max_depth:>8} {score:>13.3}{marker}");
     }
-    println!(
-        "\nThe pipeline default (100 trees, depth 12) sits at the accuracy",
-    );
+    println!("\nThe pipeline default (100 trees, depth 12) sits at the accuracy",);
     println!("plateau — more capacity buys nothing on the 3-UER feature set.");
     Ok(())
 }

@@ -13,9 +13,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use cordial::features::{bank_features, BANK_FEATURE_NAMES};
-use cordial_suite::faultsim::{
-    BankFaultPlan, FaultKind, PatternKind, PlanConfig,
-};
+use cordial_suite::faultsim::{BankFaultPlan, FaultKind, PatternKind, PlanConfig};
 use cordial_suite::mcelog::BankErrorHistory;
 use cordial_suite::prelude::*;
 
@@ -27,11 +25,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Train a classifier to interrogate.
     let dataset = generate_fleet_dataset(&FleetDatasetConfig::small(), 7);
     let banks: Vec<BankAddress> = dataset.truth.keys().copied().collect();
-    let classifier = cordial::classifier::PatternClassifier::fit(
-        &dataset,
-        &banks,
-        &CordialConfig::default(),
-    )?;
+    let classifier =
+        cordial::classifier::PatternClassifier::fit(&dataset, &banks, &CordialConfig::default())?;
 
     for kind in PatternKind::ALL {
         let bank = BankAddress::default();
@@ -42,7 +37,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
         println!("================================================================");
         println!("{kind}");
-        println!("  root cause: {} ({:?})", plan.fault, FaultKind::sample_for_pattern(kind, &mut rng));
+        println!(
+            "  root cause: {} ({:?})",
+            plan.fault,
+            FaultKind::sample_for_pattern(kind, &mut rng)
+        );
         println!(
             "  events: {} CE, {} UEO, {} UER across {} distinct UER rows",
             history.count(ErrorType::Ce),

@@ -54,9 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 total += 1;
                 // Bank-spared banks protect the row but do not count as a
                 // cross-row prediction (the paper's ICR convention).
-                if !cordial_engine.is_bank_isolated(bank)
-                    && cordial_engine.is_isolated(bank, row)
-                {
+                if !cordial_engine.is_bank_isolated(bank) && cordial_engine.is_isolated(bank, row) {
                     c_cover += 1;
                 }
                 if baseline_engine.is_isolated(bank, row) {

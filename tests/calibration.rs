@@ -66,11 +66,7 @@ fn pattern_distribution_matches_fig3b() {
 #[test]
 fn locality_sweep_peaks_at_128_like_fig4() {
     let dataset = medium();
-    let points = chi_square_sweep(
-        &dataset.log,
-        &HbmGeometry::hbm2e_8hi(),
-        &PAPER_THRESHOLDS,
-    );
+    let points = chi_square_sweep(&dataset.log, &HbmGeometry::hbm2e_8hi(), &PAPER_THRESHOLDS);
     assert_eq!(peak_threshold(&points), Some(128));
 
     // The profile rises to the peak and falls beyond it (Fig. 4's shape).
@@ -114,11 +110,7 @@ fn calibration_is_stable_across_seeds() {
         let dataset = generate_fleet_dataset(&FleetDatasetConfig::medium(), seed);
         let rows = empirical::sudden_ratio_table(&dataset.log);
         assert!(rows.last().unwrap().predictable_ratio < 0.12, "seed {seed}");
-        let points = chi_square_sweep(
-            &dataset.log,
-            &HbmGeometry::hbm2e_8hi(),
-            &PAPER_THRESHOLDS,
-        );
+        let points = chi_square_sweep(&dataset.log, &HbmGeometry::hbm2e_8hi(), &PAPER_THRESHOLDS);
         let peak = peak_threshold(&points).unwrap();
         assert!(
             (64..=256).contains(&peak),

@@ -43,7 +43,10 @@ fn full_pipeline_trains_plans_and_scores() {
     let (cordial, eval) =
         evaluate_cordial(&dataset, &split.train, &split.test, &config).expect("train");
 
-    assert!(eval.n_banks > 0, "test set must produce observation windows");
+    assert!(
+        eval.n_banks > 0,
+        "test set must produce observation windows"
+    );
     assert!((0.0..=1.0).contains(&eval.icr));
     assert!((0.0..=1.0).contains(&eval.block_scores.f1));
 
@@ -113,8 +116,7 @@ fn retraining_with_same_seed_is_reproducible() {
 #[test]
 fn empty_and_sparse_histories_are_handled() {
     let (dataset, split) = dataset_and_split();
-    let cordial =
-        Cordial::fit(&dataset, &split.train, &CordialConfig::default()).expect("train");
+    let cordial = Cordial::fit(&dataset, &split.train, &CordialConfig::default()).expect("train");
 
     let empty = BankErrorHistory::new(BankAddress::default(), vec![]);
     assert_eq!(cordial.plan(&empty), MitigationPlan::InsufficientData);

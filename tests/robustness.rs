@@ -23,7 +23,10 @@ fn corrupted_log_lines_error_instead_of_panicking() {
     // Truncate mid-line.
     wire.truncate(wire.len() - 7);
     let result = MceRecord::parse_log(&wire);
-    assert!(result.is_err(), "truncated log must be rejected with an error");
+    assert!(
+        result.is_err(),
+        "truncated log must be rejected with an error"
+    );
     let err = result.unwrap_err();
     assert!(err.line().is_some(), "error should carry a line number");
 }

@@ -42,13 +42,14 @@ impl Criterion {
         }
     }
 
-    /// Registers a stand-alone benchmark.
-    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    /// Registers a stand-alone benchmark. Upstream accepts any benchmark
+    /// id; here both `&str` and `String` work.
+    pub fn bench_function<F>(&mut self, name: impl AsRef<str>, f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
         let sample_size = self.sample_size;
-        run_benchmark(name, sample_size, None, f);
+        run_benchmark(name.as_ref(), sample_size, None, f);
         self
     }
 }
@@ -89,12 +90,13 @@ impl BenchmarkGroup<'_> {
         self
     }
 
-    /// Runs one benchmark in the group.
-    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    /// Runs one benchmark in the group. Accepts `&str` or `String` ids
+    /// like upstream.
+    pub fn bench_function<F>(&mut self, name: impl AsRef<str>, f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
-        let full = format!("{}/{}", self.name, name);
+        let full = format!("{}/{}", self.name, name.as_ref());
         run_benchmark(&full, self.sample_size, self.throughput, f);
         self
     }
@@ -119,7 +121,8 @@ impl Bencher {
         for _ in 0..self.iters_per_sample {
             black_box(routine());
         }
-        self.samples.push(start.elapsed() / self.iters_per_sample as u32);
+        self.samples
+            .push(start.elapsed() / self.iters_per_sample as u32);
     }
 }
 

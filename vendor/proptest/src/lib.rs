@@ -317,8 +317,8 @@ pub mod strategy {
                 match &atom {
                     Atom::Class(ranges) => {
                         let (lo, hi) = ranges[rng.rng.gen_range(0..ranges.len())];
-                        let c = char::from_u32(rng.rng.gen_range(lo as u32..=hi as u32))
-                            .unwrap_or(lo);
+                        let c =
+                            char::from_u32(rng.rng.gen_range(lo as u32..=hi as u32)).unwrap_or(lo);
                         out.push(c);
                     }
                     Atom::Printable => {
@@ -465,8 +465,9 @@ pub mod test_runner {
 pub mod prelude {
     pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
     pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult, TestRng};
-    pub use crate::{prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof,
-        proptest};
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 }
 
 /// Namespace mirror of upstream's `proptest::prop` re-export hierarchy.
@@ -568,10 +569,7 @@ macro_rules! prop_assert_eq {
 macro_rules! prop_assert_ne {
     ($left:expr, $right:expr) => {{
         let (l, r) = (&$left, &$right);
-        $crate::prop_assert!(
-            *l != *r,
-            "assertion failed: `{:?}` != `{:?}`", l, r
-        );
+        $crate::prop_assert!(*l != *r, "assertion failed: `{:?}` != `{:?}`", l, r);
     }};
 }
 
@@ -608,9 +606,7 @@ mod tests {
     fn union_respects_weights() {
         let strat = prop_oneof![9 => 0u32..1, 1 => 100u32..101];
         let mut rng = TestRng::deterministic(1);
-        let hits = (0..1_000)
-            .filter(|_| strat.sample(&mut rng) == 100)
-            .count();
+        let hits = (0..1_000).filter(|_| strat.sample(&mut rng) == 100).count();
         assert!((50..200).contains(&hits), "hits {hits}");
     }
 

@@ -101,8 +101,7 @@ pub trait Deserialize<'de>: Sized {
 /// deserialized from `Null` so `Option` fields default to `None`.
 pub fn de_field<T: for<'de> Deserialize<'de>>(value: &Value, name: &str) -> Result<T, Error> {
     match value.get(name) {
-        Some(v) => T::from_value(v)
-            .map_err(|e| Error::custom(format!("field `{name}`: {e}"))),
+        Some(v) => T::from_value(v).map_err(|e| Error::custom(format!("field `{name}`: {e}"))),
         None => T::from_value(&Value::Null)
             .map_err(|_| Error::custom(format!("missing field `{name}`"))),
     }
@@ -454,7 +453,10 @@ impl Serialize for std::time::Duration {
     fn to_value(&self) -> Value {
         Value::Map(vec![
             ("secs".to_owned(), Value::U64(self.as_secs())),
-            ("nanos".to_owned(), Value::U64(u64::from(self.subsec_nanos()))),
+            (
+                "nanos".to_owned(),
+                Value::U64(u64::from(self.subsec_nanos())),
+            ),
         ])
     }
 }
@@ -487,7 +489,10 @@ mod tests {
     fn option_null_round_trip() {
         let some: Option<u32> = Some(7);
         let none: Option<u32> = None;
-        assert_eq!(Option::<u32>::from_value(&some.to_value()).unwrap(), Some(7));
+        assert_eq!(
+            Option::<u32>::from_value(&some.to_value()).unwrap(),
+            Some(7)
+        );
         assert_eq!(Option::<u32>::from_value(&none.to_value()).unwrap(), None);
     }
 

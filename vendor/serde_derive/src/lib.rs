@@ -13,14 +13,18 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 #[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
-    emit_serialize(&item).parse().expect("derive(Serialize): emitted code must parse")
+    emit_serialize(&item)
+        .parse()
+        .expect("derive(Serialize): emitted code must parse")
 }
 
 /// Derives `serde::Deserialize`.
 #[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
-    emit_deserialize(&item).parse().expect("derive(Deserialize): emitted code must parse")
+    emit_deserialize(&item)
+        .parse()
+        .expect("derive(Deserialize): emitted code must parse")
 }
 
 // --- parsed model ---
@@ -361,10 +365,7 @@ fn emit_serialize(item: &Item) -> String {
                                     .iter()
                                     .map(|b| format!("::serde::Serialize::to_value({b})"))
                                     .collect();
-                                format!(
-                                    "::serde::Value::Seq(::std::vec![{}])",
-                                    items.join(", ")
-                                )
+                                format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
                             };
                             format!(
                                 "{name}::{vname}({}) => ::serde::Value::Map(::std::vec![\
@@ -433,10 +434,7 @@ fn emit_deserialize(item: &Item) -> String {
                 let inits: Vec<String> = (0..*arity)
                     .map(|i| format!("::serde::de_elem(__value, {i})?"))
                     .collect();
-                format!(
-                    "::core::result::Result::Ok({name}({}))",
-                    inits.join(", ")
-                )
+                format!("::core::result::Result::Ok({name}({}))", inits.join(", "))
             }
         }
         Body::UnitStruct => format!("::core::result::Result::Ok({name})"),
@@ -444,12 +442,7 @@ fn emit_deserialize(item: &Item) -> String {
             let unit_arms: Vec<String> = variants
                 .iter()
                 .filter(|v| matches!(v.body, VariantBody::Unit))
-                .map(|v| {
-                    format!(
-                        "\"{0}\" => ::core::result::Result::Ok({name}::{0})",
-                        v.name
-                    )
-                })
+                .map(|v| format!("\"{0}\" => ::core::result::Result::Ok({name}::{0})", v.name))
                 .collect();
             let tagged_arms: Vec<String> = variants
                 .iter()
