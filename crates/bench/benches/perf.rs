@@ -85,5 +85,77 @@ fn bench_plan_batch(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(perf, bench_lgbm_fit, bench_cordial_fit, bench_plan_batch);
+/// Telemetry overhead on the hot path. Two claims are checked:
+///
+/// * criterion numbers for `plan_batch` with recording disabled (every
+///   instrumentation site collapses to one relaxed atomic load) vs
+///   enabled (counters, histograms and spans actually record);
+/// * a hard pin that the disabled path is never more than 2% slower than
+///   the enabled path — the disabled path does strictly less work, so any
+///   violation beyond noise means the no-op gate is broken.
+fn bench_obs_overhead(c: &mut Criterion) {
+    let dataset = bench_dataset();
+    let split = bench_split(&dataset);
+    let by_bank = dataset.log.by_bank();
+    let histories: Vec<_> = split.test.iter().map(|b| &by_bank[b]).collect();
+    let config = CordialConfig::default()
+        .with_seed(BENCH_SEED)
+        .with_threads(4);
+    let cordial = Cordial::fit(&dataset, &split.train, &config).expect("train");
+
+    let mut group = c.benchmark_group("obs_overhead");
+    group.throughput(Throughput::Elements(histories.len() as u64));
+    cordial_obs::set_enabled(false);
+    group.bench_function("plan_batch_disabled", |b| {
+        b.iter(|| black_box(cordial.plan_batch(black_box(&histories))))
+    });
+    cordial_obs::set_enabled(true);
+    group.bench_function("plan_batch_enabled", |b| {
+        b.iter(|| black_box(cordial.plan_batch(black_box(&histories))))
+    });
+    cordial_obs::set_enabled(false);
+    group.finish();
+
+    // The hard pin, measured interleaved so clock drift and cache warmth
+    // hit both modes equally.
+    let time_once = |enabled: bool| {
+        cordial_obs::set_enabled(enabled);
+        let start = std::time::Instant::now();
+        black_box(cordial.plan_batch(black_box(&histories)));
+        start.elapsed().as_secs_f64()
+    };
+    for _ in 0..3 {
+        time_once(false);
+        time_once(true);
+    }
+    let mut disabled = Vec::new();
+    let mut enabled = Vec::new();
+    for _ in 0..15 {
+        disabled.push(time_once(false));
+        enabled.push(time_once(true));
+    }
+    cordial_obs::set_enabled(false);
+    let median = |samples: &mut Vec<f64>| {
+        samples.sort_by(f64::total_cmp);
+        samples[samples.len() / 2]
+    };
+    let disabled = median(&mut disabled);
+    let enabled = median(&mut enabled);
+    println!(
+        "obs no-op pin: disabled {disabled:.6}s vs enabled {enabled:.6}s ({:+.2}%)",
+        (disabled / enabled - 1.0) * 100.0
+    );
+    assert!(
+        disabled <= enabled * 1.02,
+        "disabled instrumentation must be a no-op: {disabled:.6}s vs {enabled:.6}s enabled"
+    );
+}
+
+criterion_group!(
+    perf,
+    bench_lgbm_fit,
+    bench_cordial_fit,
+    bench_plan_batch,
+    bench_obs_overhead
+);
 criterion_main!(perf);

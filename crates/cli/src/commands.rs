@@ -4,10 +4,11 @@ use std::collections::HashMap;
 use std::path::PathBuf;
 
 use cordial::eval::{evaluate_cordial, evaluate_neighbor_rows};
+use cordial::monitor::CordialMonitor;
 use cordial::pipeline::{Cordial, MitigationPlan};
 use cordial::split::split_banks;
 use cordial::{CordialConfig, ModelKind};
-use cordial_faultsim::{generate_fleet_dataset, FleetDatasetConfig};
+use cordial_faultsim::{generate_fleet_dataset, FleetDatasetConfig, SparingBudget};
 use cordial_topology::BankAddress;
 
 use crate::io;
@@ -57,13 +58,28 @@ impl Args {
 /// Entry point used by `main`.
 pub fn dispatch(args: &[String]) -> Result<(), String> {
     let args = Args::parse(args)?;
-    match args.command.as_str() {
+    // `--metrics-out` works on every subcommand: it switches recording on
+    // up front and exports whatever the command recorded on success.
+    let metrics_out = args.flags.get("metrics-out").map(PathBuf::from);
+    if metrics_out.is_some() {
+        cordial_obs::set_enabled(true);
+    }
+    let result = match args.command.as_str() {
         "simulate" => simulate(&args),
         "train" => train(&args),
         "plan" => plan(&args),
         "eval" => eval(&args),
+        "run" => run(&args),
+        "stats" => stats(&args),
         unknown => Err(format!("unknown subcommand `{unknown}`")),
+    };
+    if result.is_ok() {
+        if let Some(path) = metrics_out {
+            io::write_metrics(&path, &cordial_obs::snapshot())?;
+            cordial_obs::info!("metrics written to {}", path.display());
+        }
     }
+    result
 }
 
 fn scale_config(name: &str) -> Result<FleetDatasetConfig, String> {
@@ -190,6 +206,53 @@ fn eval(args: &Args) -> Result<(), String> {
         cordial_eval.block_scores.f1,
         cordial_eval.icr * 100.0
     );
+    Ok(())
+}
+
+/// End-to-end demo pipeline: simulate → split → train → monitor the full
+/// event stream. The interesting output is the telemetry: with
+/// `--metrics-out metrics.prom` the whole run's counters, gauges and
+/// latency histograms land in one scrape-able file.
+fn run(args: &Args) -> Result<(), String> {
+    let config = scale_config(args.flags.get("scale").map_or("small", String::as_str))?;
+    let seed = args.seed()?;
+    let model = model_kind(args.flags.get("model").map_or("rf", String::as_str))?;
+
+    let dataset = generate_fleet_dataset(&config, seed);
+    let split = split_banks(&dataset, 0.7, seed);
+    let pipeline_config = CordialConfig::with_model(model).with_seed(seed);
+    let cordial = Cordial::fit(&dataset, &split.train, &pipeline_config)
+        .map_err(|e| format!("training failed: {e}"))?;
+
+    let mut monitor = CordialMonitor::new(cordial, SparingBudget::typical());
+    let _plans = monitor.ingest_all(dataset.log.events().iter().copied());
+    let stats = monitor.stats();
+    println!(
+        "ingested {} events across {} banks (seed {seed})",
+        stats.events,
+        monitor.tracked_banks()
+    );
+    println!(
+        "planned {} banks: {} rows isolated, {} banks spared, absorption {:.1}%",
+        stats.banks_planned,
+        stats.rows_isolated,
+        stats.banks_spared,
+        stats.absorption_rate() * 100.0
+    );
+    println!(
+        "spare budget left: {} rows / {} banks (of {}/bank, {}/HBM)",
+        stats.spare_rows_remaining,
+        stats.spare_banks_remaining,
+        stats.budget.spare_rows_per_bank,
+        stats.budget.spare_banks_per_hbm
+    );
+    Ok(())
+}
+
+/// Renders a metrics file written by `--metrics-out` as a readable table.
+fn stats(args: &Args) -> Result<(), String> {
+    let snapshot = io::read_metrics(&args.path("metrics")?)?;
+    print!("{}", snapshot.render_table());
     Ok(())
 }
 

@@ -72,6 +72,34 @@ pub fn read_pipeline(path: &Path) -> Result<Cordial, String> {
     read_json(path)
 }
 
+/// Whether a metrics path selects the JSON format (by `.json` extension);
+/// anything else gets Prometheus text exposition.
+fn metrics_format_is_json(path: &Path) -> bool {
+    path.extension().is_some_and(|ext| ext == "json")
+}
+
+/// Writes a metrics snapshot, choosing the format from the extension.
+pub fn write_metrics(path: &Path, snapshot: &cordial_obs::Snapshot) -> Result<(), String> {
+    let text = if metrics_format_is_json(path) {
+        cordial_obs::export::to_json(snapshot)?
+    } else {
+        cordial_obs::export::to_prometheus(snapshot)
+    };
+    fs::write(path, text).map_err(|e| format!("cannot write {}: {e}", path.display()))
+}
+
+/// Reads a metrics snapshot written by [`write_metrics`].
+pub fn read_metrics(path: &Path) -> Result<cordial_obs::Snapshot, String> {
+    let text =
+        fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    if metrics_format_is_json(path) {
+        cordial_obs::export::from_json(&text)
+    } else {
+        cordial_obs::export::parse_prometheus(&text)
+    }
+    .map_err(|e| format!("{}: {e}", path.display()))
+}
+
 /// Assembles a dataset from a log and its truth sidecar.
 pub fn assemble_dataset(log: MceLog, truth: TruthFile) -> FleetDataset {
     FleetDataset {
@@ -119,6 +147,27 @@ mod tests {
     fn missing_files_yield_errors() {
         assert!(read_log(std::path::Path::new("/nonexistent/x.mce")).is_err());
         assert!(read_json::<TruthFile>(std::path::Path::new("/nonexistent/x.json")).is_err());
+    }
+
+    #[test]
+    fn metrics_files_round_trip_in_both_formats() {
+        cordial_obs::set_enabled(true);
+        cordial_obs::global()
+            .counter("cli.io_roundtrip_test")
+            .add(3);
+        let snapshot = cordial_obs::snapshot();
+
+        // JSON keeps the internal dotted names; Prometheus exposition
+        // parses back with the sanitized `cordial_*` family names.
+        let json_path = temp_path("metrics.json");
+        write_metrics(&json_path, &snapshot).unwrap();
+        assert_eq!(read_metrics(&json_path).unwrap(), snapshot);
+        let _ = fs::remove_file(json_path);
+
+        let prom_path = temp_path("metrics.prom");
+        write_metrics(&prom_path, &snapshot).unwrap();
+        assert_eq!(read_metrics(&prom_path).unwrap(), snapshot.sanitized());
+        let _ = fs::remove_file(prom_path);
     }
 
     #[test]

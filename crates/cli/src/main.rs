@@ -12,7 +12,12 @@
 //! * `train` fits the full pipeline on the log and persists it as JSON;
 //! * `plan` loads a trained pipeline and prints mitigation plans for the
 //!   banks of a (possibly live) log;
-//! * `eval` reproduces the Table IV metrics for a stored pipeline.
+//! * `eval` reproduces the Table IV metrics for a stored pipeline;
+//! * `run` executes the whole simulate→train→monitor loop in one go;
+//! * `stats` pretty-prints a metrics file written with `--metrics-out`.
+//!
+//! Every subcommand accepts `--metrics-out FILE` to export the run's
+//! telemetry (Prometheus text, or JSON for a `.json` path).
 
 use std::process::ExitCode;
 
@@ -24,13 +29,19 @@ fn main() -> ExitCode {
     match commands::dispatch(&args) {
         Ok(()) => ExitCode::SUCCESS,
         Err(message) => {
-            eprintln!("error: {message}");
-            eprintln!();
-            eprintln!("usage:");
-            eprintln!("  cordial-cli simulate --scale <small|medium|paper> [--seed N] --log FILE --truth FILE");
-            eprintln!("  cordial-cli train    --log FILE --truth FILE [--model rf|xgb|lgbm] [--seed N] --out FILE");
-            eprintln!("  cordial-cli plan     --log FILE --pipeline FILE [--bank ADDR]");
-            eprintln!("  cordial-cli eval     --log FILE --truth FILE --pipeline FILE [--seed N]");
+            cordial_obs::error!("error: {message}");
+            cordial_obs::error!("");
+            cordial_obs::error!("usage:");
+            cordial_obs::error!("  cordial-cli simulate --scale <small|medium|paper> [--seed N] --log FILE --truth FILE");
+            cordial_obs::error!("  cordial-cli train    --log FILE --truth FILE [--model rf|xgb|lgbm] [--seed N] --out FILE");
+            cordial_obs::error!("  cordial-cli plan     --log FILE --pipeline FILE [--bank ADDR]");
+            cordial_obs::error!(
+                "  cordial-cli eval     --log FILE --truth FILE --pipeline FILE [--seed N]"
+            );
+            cordial_obs::error!(
+                "  cordial-cli run      [--scale S] [--seed N] [--model M] [--metrics-out FILE]"
+            );
+            cordial_obs::error!("  cordial-cli stats    --metrics FILE");
             ExitCode::FAILURE
         }
     }

@@ -43,18 +43,21 @@ impl PatternClassifier {
         let by_bank = dataset.log.by_bank();
         // Feature extraction is per-bank independent, so it fans out to
         // worker threads; rows are pushed back in `train_banks` order.
-        let samples = cordial_trees::parallel::ordered_map(
-            train_banks,
-            config.n_threads,
-            |bank| -> Option<(Vec<f64>, usize)> {
-                let truth = dataset.truth.get(bank)?;
-                let history = by_bank.get(bank)?;
-                let (window, _) = history.observe_until_k_uers(config.k_uers)?;
-                let mut features = bank_features(&window, &geom);
-                mask_bank_features(&mut features, &config.feature_mask);
-                Some((features, truth.kind().coarse().class_index()))
-            },
-        );
+        let samples = {
+            let _span = cordial_obs::span!("features");
+            cordial_trees::parallel::ordered_map(
+                train_banks,
+                config.n_threads,
+                |bank| -> Option<(Vec<f64>, usize)> {
+                    let truth = dataset.truth.get(bank)?;
+                    let history = by_bank.get(bank)?;
+                    let (window, _) = history.observe_until_k_uers(config.k_uers)?;
+                    let mut features = bank_features(&window, &geom);
+                    mask_bank_features(&mut features, &config.feature_mask);
+                    Some((features, truth.kind().coarse().class_index()))
+                },
+            )
+        };
         let mut data = Dataset::new(BANK_FEATURE_NAMES.len(), CoarsePattern::ALL.len());
         for (features, label) in samples.into_iter().flatten() {
             data.push_row(&features, label)?;
@@ -62,9 +65,13 @@ impl PatternClassifier {
         if data.is_empty() {
             return Err(CordialError::NoTrainableBanks);
         }
-        let model = config
-            .model
-            .fit_threaded(&data, config.seed, config.n_threads)?;
+        cordial_obs::counter!("fit.classifier_samples").add(data.n_rows() as u64);
+        let model = {
+            let _span = cordial_obs::span!("model");
+            config
+                .model
+                .fit_threaded(&data, config.seed, config.n_threads)?
+        };
         Ok(Self {
             model,
             geom,

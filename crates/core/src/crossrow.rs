@@ -124,27 +124,30 @@ impl CrossRowPredictor {
         // Sample generation (feature extraction over every block of every
         // aggregation bank) is per-bank independent: fan out to worker
         // threads, then route the samples sequentially in bank order.
-        let per_bank = cordial_trees::parallel::ordered_map(
-            train_banks,
-            config.n_threads,
-            |bank| -> Option<BankBlockSamples> {
-                let truth = dataset.truth.get(bank)?;
-                let pattern = truth.kind().coarse();
-                if !pattern.is_aggregation() {
-                    return None;
-                }
-                let history = by_bank.get(bank)?;
-                let (window, future) = history.observe_until_k_uers(config.k_uers)?;
-                let samples = block_samples_masked(
-                    &window,
-                    future,
-                    &config.block,
-                    &geom,
-                    &config.feature_mask,
-                );
-                Some((pattern, samples))
-            },
-        );
+        let per_bank = {
+            let _span = cordial_obs::span!("features");
+            cordial_trees::parallel::ordered_map(
+                train_banks,
+                config.n_threads,
+                |bank| -> Option<BankBlockSamples> {
+                    let truth = dataset.truth.get(bank)?;
+                    let pattern = truth.kind().coarse();
+                    if !pattern.is_aggregation() {
+                        return None;
+                    }
+                    let history = by_bank.get(bank)?;
+                    let (window, future) = history.observe_until_k_uers(config.k_uers)?;
+                    let samples = block_samples_masked(
+                        &window,
+                        future,
+                        &config.block,
+                        &geom,
+                        &config.feature_mask,
+                    );
+                    Some((pattern, samples))
+                },
+            )
+        };
         for (pattern, samples) in per_bank.into_iter().flatten() {
             let target = match pattern {
                 CoarsePattern::SingleRow => &mut single,
@@ -162,7 +165,9 @@ impl CrossRowPredictor {
                 pattern: "aggregation",
             });
         }
+        cordial_obs::counter!("fit.crossrow_samples").add(pooled.n_rows() as u64);
         let fit_or_pool = |own: &Dataset| -> Result<(TrainedModel, f64), CordialError> {
+            let _span = cordial_obs::span!("model");
             let source = if own.is_empty() { &pooled } else { own };
             let model = config
                 .model

@@ -87,6 +87,7 @@ pub mod prelude {
     pub use crate::split::{split_banks, BankSplit};
     pub use cordial_faultsim::{
         generate_fleet_dataset, CoarsePattern, FleetDataset, FleetDatasetConfig, PatternKind,
+        SparingBudget,
     };
     pub use cordial_mcelog::{ErrorEvent, ErrorType, MceLog, Timestamp};
     pub use cordial_topology::{BankAddress, HbmGeometry, MicroLevel, RowId};

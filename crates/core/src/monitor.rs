@@ -11,7 +11,7 @@
 use std::collections::BTreeMap;
 
 use cordial_faultsim::{IsolationEngine, SparingBudget};
-use cordial_mcelog::{BankErrorHistory, ErrorEvent};
+use cordial_mcelog::{BankErrorHistory, ErrorEvent, Timestamp};
 use cordial_topology::{BankAddress, RowId};
 
 use crate::isolation::apply_plan;
@@ -36,10 +36,18 @@ pub enum IngestOutcome {
 }
 
 /// Running totals of a monitoring session.
+///
+/// The per-[`IngestOutcome`] split is complete: every ingested event lands
+/// in exactly one of `outcomes_recorded`, `uers_absorbed`
+/// ([`IngestOutcome::AbsorbedByIsolation`]) or `banks_planned`
+/// ([`IngestOutcome::Planned`]). The sparing fields are derived from the
+/// isolation engine at [`CordialMonitor::stats`] time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct MonitorStats {
     /// Events ingested.
     pub events: usize,
+    /// Events that returned [`IngestOutcome::Recorded`] (no action).
+    pub outcomes_recorded: usize,
     /// UER events absorbed by earlier isolations.
     pub uers_absorbed: usize,
     /// UER events that reached live data.
@@ -50,6 +58,14 @@ pub struct MonitorStats {
     pub rows_isolated: usize,
     /// Banks spared wholesale.
     pub banks_spared: usize,
+    /// The sparing budget the isolation engine was created with.
+    pub budget: SparingBudget,
+    /// Spare rows still unused across banks that have consumed at least
+    /// one (untouched banks sit at the full per-bank budget).
+    pub spare_rows_remaining: u64,
+    /// Spare banks still unused across HBMs that have consumed at least
+    /// one.
+    pub spare_banks_remaining: u64,
 }
 
 impl MonitorStats {
@@ -98,6 +114,10 @@ struct BankState {
     events: Vec<ErrorEvent>,
     distinct_uer_rows: Vec<RowId>,
     planned: bool,
+    /// Simulated time the bank's plan was applied; anchors the lead-time
+    /// histogram (plan → first absorbed UER). Simulated rather than wall
+    /// clock, so the distribution is identical across thread counts.
+    planned_at: Option<Timestamp>,
 }
 
 impl CordialMonitor {
@@ -127,12 +147,24 @@ impl CordialMonitor {
         cache: &mut BTreeMap<BankAddress, MitigationPlan>,
     ) -> IngestOutcome {
         self.stats.events += 1;
+        cordial_obs::counter!("monitor.events").inc();
         let bank = event.addr.bank;
 
         // An access into an isolated region is absorbed by the spare.
         if event.is_uer() {
             if self.engine.is_isolated(&bank, event.addr.row) {
                 self.stats.uers_absorbed += 1;
+                cordial_obs::counter!("monitor.outcome.absorbed").inc();
+                // Lead time from the plan to this absorbed UER, in
+                // simulated stream time (deterministic across runs).
+                if let Some(planned_at) = self.banks.get(&bank).and_then(|s| s.planned_at) {
+                    let lead = event.time.saturating_since(planned_at).as_secs_f64();
+                    cordial_obs::histogram!(
+                        "monitor.lead_time.seconds",
+                        cordial_obs::LEAD_TIME_BOUNDS
+                    )
+                    .observe(lead);
+                }
                 return IngestOutcome::AbsorbedByIsolation;
             }
             self.stats.uers_missed += 1;
@@ -159,18 +191,43 @@ impl CordialMonitor {
                 // Extremely rare (duplicate timestamps can reorder the cut);
                 // allow a later event to retrigger.
                 state.planned = false;
+                self.stats.outcomes_recorded += 1;
+                cordial_obs::counter!("monitor.outcome.recorded").inc();
                 return IngestOutcome::Recorded;
             }
+            state.planned_at = Some(event.time);
             let applied = apply_plan(&mut self.engine, bank, &plan);
             self.stats.banks_planned += 1;
+            cordial_obs::counter!("monitor.outcome.planned").inc();
             match &plan {
-                MitigationPlan::RowSparing { .. } => self.stats.rows_isolated += applied,
-                MitigationPlan::BankSparing => self.stats.banks_spared += applied,
+                MitigationPlan::RowSparing { .. } => {
+                    self.stats.rows_isolated += applied;
+                    cordial_obs::counter!("monitor.rows_isolated").add(applied as u64);
+                }
+                MitigationPlan::BankSparing => {
+                    self.stats.banks_spared += applied;
+                    cordial_obs::counter!("monitor.banks_spared").add(applied as u64);
+                }
                 MitigationPlan::InsufficientData => {}
             }
+            self.update_gauges();
             return IngestOutcome::Planned { plan, applied };
         }
+        self.stats.outcomes_recorded += 1;
+        cordial_obs::counter!("monitor.outcome.recorded").inc();
         IngestOutcome::Recorded
+    }
+
+    /// Refreshes the registry gauges that mirror monitor state.
+    fn update_gauges(&self) {
+        if !cordial_obs::enabled() {
+            return;
+        }
+        cordial_obs::gauge!("monitor.banks_tracked").set(self.banks.len() as f64);
+        cordial_obs::gauge!("monitor.spare_rows_remaining")
+            .set(self.engine.spare_rows_remaining() as f64);
+        cordial_obs::gauge!("monitor.spare_banks_remaining")
+            .set(self.engine.spare_banks_remaining() as f64);
     }
 
     /// Ingests a whole batch, returning the triggered plans.
@@ -191,6 +248,7 @@ impl CordialMonitor {
         &mut self,
         events: impl IntoIterator<Item = ErrorEvent>,
     ) -> Vec<(BankAddress, MitigationPlan)> {
+        let _span = cordial_obs::span!("ingest_all");
         let events: Vec<ErrorEvent> = events.into_iter().collect();
         let k_uers = self.pipeline.config().k_uers;
 
@@ -248,12 +306,18 @@ impl CordialMonitor {
                 plans.push((bank, plan));
             }
         }
+        self.update_gauges();
         plans
     }
 
-    /// Session totals so far.
+    /// Session totals so far, including the engine-derived sparing-budget
+    /// fields.
     pub fn stats(&self) -> MonitorStats {
-        self.stats
+        let mut stats = self.stats;
+        stats.budget = self.engine.budget();
+        stats.spare_rows_remaining = self.engine.spare_rows_remaining();
+        stats.spare_banks_remaining = self.engine.spare_banks_remaining();
+        stats
     }
 
     /// The hardware isolation state.
@@ -366,6 +430,26 @@ mod tests {
         }
         assert_eq!(monitor.stats().banks_planned, 0);
         assert_eq!(monitor.tracked_banks(), 1);
+    }
+
+    #[test]
+    fn stats_outcome_split_is_complete_and_budget_tracked() {
+        let (dataset, mut monitor) = trained_monitor();
+        monitor.ingest_all(dataset.log.events().iter().copied());
+        let stats = monitor.stats();
+        // Every event lands in exactly one outcome bucket.
+        assert_eq!(
+            stats.outcomes_recorded + stats.uers_absorbed + stats.banks_planned,
+            stats.events
+        );
+        assert_eq!(stats.budget, SparingBudget::typical());
+        // Consumed + remaining spare rows add up to whole per-bank budgets.
+        assert!(stats.rows_isolated > 0);
+        let per_bank = u64::from(stats.budget.spare_rows_per_bank);
+        assert_eq!(
+            (stats.spare_rows_remaining + stats.rows_isolated as u64) % per_bank,
+            0
+        );
     }
 
     #[test]

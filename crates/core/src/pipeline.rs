@@ -74,8 +74,16 @@ impl Cordial {
         train_banks: &[BankAddress],
         config: &CordialConfig,
     ) -> Result<Self, CordialError> {
-        let classifier = PatternClassifier::fit(dataset, train_banks, config)?;
-        let crossrow = CrossRowPredictor::fit(dataset, train_banks, config)?;
+        let _span = cordial_obs::span!("fit");
+        cordial_obs::counter!("fit.train_banks").add(train_banks.len() as u64);
+        let classifier = {
+            let _span = cordial_obs::span!("classifier");
+            PatternClassifier::fit(dataset, train_banks, config)?
+        };
+        let crossrow = {
+            let _span = cordial_obs::span!("crossrow");
+            CrossRowPredictor::fit(dataset, train_banks, config)?
+        };
         Ok(Self {
             classifier,
             crossrow,
@@ -105,16 +113,25 @@ impl Cordial {
     /// * classified aggregation → [`MitigationPlan::RowSparing`] with the
     ///   rows of every positively predicted block.
     pub fn plan(&self, history: &BankErrorHistory) -> MitigationPlan {
+        // Root span: `plan` runs inline for 1 thread but on workers for
+        // more, so a stack-derived path would vary with the thread count.
+        let _span = cordial_obs::span_root!("plan");
+        cordial_obs::counter!("plan.requests").inc();
         let Some((window, _)) = history.observe_until_k_uers(self.config.k_uers) else {
+            cordial_obs::counter!("plan.insufficient_data").inc();
             return MitigationPlan::InsufficientData;
         };
         let pattern = self.classifier.classify_window(&window);
         if !pattern.is_aggregation() {
+            cordial_obs::counter!("plan.bank_sparing").inc();
             return MitigationPlan::BankSparing;
         }
         let mut rows = self.crossrow.predicted_rows(&window, pattern);
         rows.sort();
         rows.dedup();
+        cordial_obs::counter!("plan.row_sparing").inc();
+        cordial_obs::histogram!("plan.rows_per_plan", cordial_obs::COUNT_BOUNDS)
+            .observe(rows.len() as f64);
         MitigationPlan::RowSparing { pattern, rows }
     }
 
@@ -125,6 +142,9 @@ impl Cordial {
     /// [`Cordial::plan`] returns for that history — inference is
     /// per-bank independent, so threading cannot change any plan.
     pub fn plan_batch(&self, histories: &[&BankErrorHistory]) -> Vec<MitigationPlan> {
+        let _span = cordial_obs::span!("plan_batch");
+        cordial_obs::histogram!("plan.batch_size", cordial_obs::COUNT_BOUNDS)
+            .observe(histories.len() as f64);
         cordial_trees::parallel::ordered_map(histories, self.config.n_threads, |history| {
             self.plan(history)
         })

@@ -1,8 +1,20 @@
 //! The thread count is a pure performance knob: training and batch
-//! planning must produce bit-identical results for every `n_threads`.
+//! planning must produce bit-identical results — and bit-identical
+//! telemetry digests — for every `n_threads`.
+
+use std::sync::Mutex;
 
 use cordial::pipeline::Cordial;
 use cordial::prelude::*;
+
+/// Serialises the tests in this binary: the telemetry test switches the
+/// process-global metrics registry on and resets it, so no other test may
+/// record concurrently.
+static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+fn obs_guard() -> std::sync::MutexGuard<'static, ()> {
+    OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 fn fit_with_threads(
     dataset: &FleetDataset,
@@ -18,6 +30,7 @@ fn fit_with_threads(
 
 #[test]
 fn trained_models_are_identical_for_every_thread_count() {
+    let _guard = obs_guard();
     let dataset = generate_fleet_dataset(&FleetDatasetConfig::small(), 85);
     let split = split_banks(&dataset, 0.7, 85);
 
@@ -45,6 +58,7 @@ fn trained_models_are_identical_for_every_thread_count() {
 
 #[test]
 fn plan_batch_equals_sequential_plans() {
+    let _guard = obs_guard();
     let dataset = generate_fleet_dataset(&FleetDatasetConfig::small(), 86);
     let split = split_banks(&dataset, 0.7, 86);
     let cordial = fit_with_threads(&dataset, &split.train, ModelKind::random_forest(), 4);
@@ -56,4 +70,44 @@ fn plan_batch_equals_sequential_plans() {
     for (history, plan) in histories.iter().zip(&batched) {
         assert_eq!(plan, &cordial.plan(history));
     }
+}
+
+/// Telemetry must be as thread-invariant as the results: the snapshot
+/// digest (counter values and histogram observation counts, minus the
+/// explicitly thread-dependent `parallel.*` families) of a `plan_batch`
+/// run is identical for 1 and 4 worker threads.
+#[test]
+fn plan_batch_telemetry_is_identical_across_thread_counts() {
+    let _guard = obs_guard();
+    let dataset = generate_fleet_dataset(&FleetDatasetConfig::small(), 87);
+    let split = split_banks(&dataset, 0.7, 87);
+    let by_bank = dataset.log.by_bank();
+    let histories: Vec<_> = split.test.iter().map(|b| &by_bank[b]).collect();
+
+    cordial_obs::set_enabled(true);
+    let mut digests = Vec::new();
+    for n_threads in [1, 4] {
+        let cordial = fit_with_threads(
+            &dataset,
+            &split.train,
+            ModelKind::random_forest(),
+            n_threads,
+        );
+        cordial_obs::reset();
+        let plans = cordial.plan_batch(&histories);
+        assert_eq!(plans.len(), histories.len());
+        digests.push(cordial_obs::snapshot().digest());
+    }
+    cordial_obs::set_enabled(false);
+
+    assert!(
+        digests[0].contains_key("plan.requests"),
+        "digest must cover the plan counters: {:?}",
+        digests[0].keys().collect::<Vec<_>>()
+    );
+    assert!(digests[0].contains_key("span.plan.seconds.count"));
+    assert_eq!(
+        digests[0], digests[1],
+        "telemetry digest must not depend on the thread count"
+    );
 }

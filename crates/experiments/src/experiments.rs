@@ -56,9 +56,11 @@ impl Context {
 
     fn dataset(&self) -> &FleetDataset {
         self.dataset.get_or_init(|| {
-            eprintln!(
+            cordial_obs::info!(
                 "[setup] generating synthetic fleet (scale={}, seed={}, {} UER banks)...",
-                self.scale_name, self.seed, self.config.n_uer_banks
+                self.scale_name,
+                self.seed,
+                self.config.n_uer_banks
             );
             generate_fleet_dataset(&self.config, self.seed)
         })
@@ -71,6 +73,11 @@ impl Context {
 
     fn geometry(&self) -> HbmGeometry {
         self.config.fleet.geometry
+    }
+
+    /// The directory experiment artifacts are written to.
+    pub fn out_dir(&self) -> &std::path::Path {
+        &self.out_dir
     }
 }
 

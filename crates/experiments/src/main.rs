@@ -37,9 +37,9 @@ fn main() -> ExitCode {
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
         Err(message) => {
-            eprintln!("error: {message}");
-            eprintln!();
-            eprintln!(
+            cordial_obs::error!("error: {message}");
+            cordial_obs::error!("");
+            cordial_obs::error!(
                 "usage: cordial-experiments [--scale small|medium|paper] [--seed N] \
                  [--out DIR] <table1|...|fig4|ablations|importance|all>"
             );
@@ -77,27 +77,46 @@ fn run(args: &[String]) -> Result<(), String> {
 
     let command = command.ok_or("missing command")?;
     let context = Context::new(&scale, seed, &out_dir)?;
+    cordial_obs::set_enabled(true);
 
     match command.as_str() {
-        "table1" => run_table1(&context),
-        "table2" => run_table2(&context),
-        "table3" => run_table3(&context),
-        "table4" => run_table4(&context),
-        "fig3" => run_fig3(&context),
-        "fig4" => run_fig4(&context),
-        "ablations" => run_ablations(&context),
-        "importance" => run_importance(&context),
-        "sensitivity" => run_sensitivity(&context),
+        "table1" => telemetry("table1", &context, run_table1),
+        "table2" => telemetry("table2", &context, run_table2),
+        "table3" => telemetry("table3", &context, run_table3),
+        "table4" => telemetry("table4", &context, run_table4),
+        "fig3" => telemetry("fig3", &context, run_fig3),
+        "fig4" => telemetry("fig4", &context, run_fig4),
+        "ablations" => telemetry("ablations", &context, run_ablations),
+        "importance" => telemetry("importance", &context, run_importance),
+        "sensitivity" => telemetry("sensitivity", &context, run_sensitivity),
         "all" => {
-            run_table1(&context)?;
-            run_table2(&context)?;
-            run_table3(&context)?;
-            run_table4(&context)?;
-            run_fig3(&context)?;
-            run_fig4(&context)?;
-            run_ablations(&context)?;
-            run_importance(&context)
+            telemetry("table1", &context, run_table1)?;
+            telemetry("table2", &context, run_table2)?;
+            telemetry("table3", &context, run_table3)?;
+            telemetry("table4", &context, run_table4)?;
+            telemetry("fig3", &context, run_fig3)?;
+            telemetry("fig4", &context, run_fig4)?;
+            telemetry("ablations", &context, run_ablations)?;
+            telemetry("importance", &context, run_importance)
         }
         unknown => Err(format!("unknown command `{unknown}`")),
     }
+}
+
+/// Runs one experiment with a fresh metrics registry and reports what it
+/// recorded: a telemetry table on stdout plus a `<name>_telemetry.json`
+/// artifact next to the experiment's own output.
+fn telemetry(
+    name: &str,
+    context: &Context,
+    experiment: fn(&Context) -> Result<(), String>,
+) -> Result<(), String> {
+    cordial_obs::reset();
+    experiment(context)?;
+    let snapshot = cordial_obs::snapshot();
+    println!("== Telemetry: {name} ==");
+    print!("{}", snapshot.render_table());
+    let path = report::write_json(context.out_dir(), &format!("{name}_telemetry"), &snapshot)?;
+    println!("[written] {}\n", path.display());
+    Ok(())
 }

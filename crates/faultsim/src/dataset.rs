@@ -144,6 +144,7 @@ impl FleetDataset {
 
 /// Generates a synthetic fleet dataset. Deterministic for a given `seed`.
 pub fn generate_fleet_dataset(config: &FleetDatasetConfig, seed: u64) -> FleetDataset {
+    let _span = cordial_obs::span!("faultsim_generate");
     let mut rng = StdRng::seed_from_u64(seed);
     let geom = config.fleet.geometry;
     let window_ms = config.plan.window.as_millis() as u64;
@@ -188,6 +189,15 @@ pub fn generate_fleet_dataset(config: &FleetDatasetConfig, seed: u64) -> FleetDa
         let plan = BankFaultPlan::sample(bank, kind, &config.plan, &geom, &mut rng);
         let incidents = plan.generate_incidents(&config.plan, &geom, &mut rng);
         let bank_events = config.plan.ecc.classify_all(&incidents);
+        // Per-pattern tallies reproduce the Fig. 3(b) mix in the metrics
+        // export — a free sanity check on the simulator's distribution.
+        let registry = cordial_obs::global();
+        registry
+            .counter(&format!("faultsim.pattern_banks.{}", kind.metric_name()))
+            .inc();
+        registry
+            .counter(&format!("faultsim.pattern_events.{}", kind.metric_name()))
+            .add(bank_events.len() as u64);
         let mut uer_rows: Vec<RowId> = bank_events
             .iter()
             .filter(|e| e.is_uer())
@@ -241,6 +251,18 @@ pub fn generate_fleet_dataset(config: &FleetDatasetConfig, seed: u64) -> FleetDa
             events.extend(config.plan.ecc.to_event(&incident));
         }
     }
+
+    let registry = cordial_obs::global();
+    registry.counter("faultsim.events").add(events.len() as u64);
+    registry
+        .counter("faultsim.banks.uer")
+        .add(u64::from(config.n_uer_banks));
+    registry
+        .counter("faultsim.banks.ce_only")
+        .add(u64::from(config.n_ce_only_banks));
+    registry
+        .counter("faultsim.banks.ueo_only")
+        .add(u64::from(config.n_ueo_only_banks));
 
     FleetDataset {
         log: MceLog::from_events(events),

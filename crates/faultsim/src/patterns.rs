@@ -72,6 +72,18 @@ impl PatternKind {
             PatternKind::WholeColumn => "Whole Column",
         }
     }
+
+    /// Stable lowercase identifier used as a metric-name segment
+    /// (`faultsim.pattern_banks.<metric_name>`).
+    pub fn metric_name(self) -> &'static str {
+        match self {
+            PatternKind::SingleRowCluster => "single_row",
+            PatternKind::DoubleRowCluster => "double_row",
+            PatternKind::HalfTotalRowCluster => "half_total_row",
+            PatternKind::Scattered => "scattered",
+            PatternKind::WholeColumn => "whole_column",
+        }
+    }
 }
 
 impl std::fmt::Display for PatternKind {

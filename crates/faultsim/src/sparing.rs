@@ -157,6 +157,30 @@ impl IsolationEngine {
     pub fn total_banks_isolated(&self) -> usize {
         self.isolated_banks.len()
     }
+
+    /// The budget the engine was created with.
+    pub fn budget(&self) -> SparingBudget {
+        self.budget
+    }
+
+    /// Spare rows still unused, summed over every bank that has at least
+    /// one row isolation (untouched banks all sit at the full per-bank
+    /// budget and are not counted).
+    pub fn spare_rows_remaining(&self) -> u64 {
+        self.isolated_rows
+            .values()
+            .map(|rows| u64::from(self.budget.spare_rows_per_bank) - rows.len() as u64)
+            .sum()
+    }
+
+    /// Spare banks still unused, summed over every HBM that has consumed at
+    /// least one spare bank (untouched HBMs are not counted).
+    pub fn spare_banks_remaining(&self) -> u64 {
+        self.spare_banks_used
+            .values()
+            .map(|&used| u64::from(self.budget.spare_banks_per_hbm - used))
+            .sum()
+    }
 }
 
 #[cfg(test)]

@@ -55,11 +55,14 @@ impl MceRecord {
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
-            let record: MceRecord = line
-                .parse()
-                .map_err(|e: RecordParseError| e.at_line(idx + 1))?;
+            cordial_obs::counter!("mcelog.parse.lines").inc();
+            let record: MceRecord = line.parse().map_err(|e: RecordParseError| {
+                cordial_obs::counter!("mcelog.parse.errors").inc();
+                e.at_line(idx + 1)
+            })?;
             events.push(record.event);
         }
+        cordial_obs::counter!("mcelog.parse.events").add(events.len() as u64);
         Ok(events)
     }
 }

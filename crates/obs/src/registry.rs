@@ -1,0 +1,503 @@
+//! The metrics registry: counters, gauges, fixed-bucket histograms, and
+//! deterministic snapshots.
+//!
+//! Registration (name → metric) is guarded by a `parking_lot` `RwLock`, but
+//! the lock is only touched when a call site first resolves its handle (the
+//! `counter!`/`gauge!`/`histogram!` macros cache handles in statics).
+//! Recording itself is relaxed atomics on `Arc`-shared cells, safe to call
+//! from the suite's fork-join worker threads.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`. No-op while recording is disabled.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if crate::enabled() {
+            self.cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins gauge (stored as `f64`).
+#[derive(Debug, Clone)]
+pub struct Gauge {
+    bits: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// Sets the gauge. No-op while recording is disabled.
+    #[inline]
+    pub fn set(&self, value: f64) {
+        if crate::enabled() {
+            self.bits.store(value.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCell {
+    /// Finite bucket upper bounds, ascending. Bucket `i` counts
+    /// observations `v <= bounds[i]` (Prometheus `le` semantics); one extra
+    /// overflow bucket catches everything above the last bound.
+    bounds: Vec<f64>,
+    buckets: Vec<AtomicU64>,
+    sum_bits: AtomicU64,
+    count: AtomicU64,
+}
+
+/// A fixed-bucket histogram.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    cell: Arc<HistogramCell>,
+}
+
+impl Histogram {
+    /// Records one observation. No-op while recording is disabled.
+    pub fn observe(&self, value: f64) {
+        if !crate::enabled() {
+            return;
+        }
+        let cell = &*self.cell;
+        let idx = cell
+            .bounds
+            .iter()
+            .position(|&bound| value <= bound)
+            .unwrap_or(cell.bounds.len());
+        cell.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        cell.count.fetch_add(1, Ordering::Relaxed);
+        // f64 add via CAS loop; the sum is a diagnostic aggregate, relaxed
+        // ordering and non-associative accumulation order are acceptable.
+        let mut current = cell.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + value).to_bits();
+            match cell.sum_bits.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    /// Number of observations recorded.
+    pub fn count(&self) -> u64 {
+        self.cell.count.load(Ordering::Relaxed)
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.cell.bounds.clone(),
+            buckets: self
+                .cell
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            sum: f64::from_bits(self.cell.sum_bits.load(Ordering::Relaxed)),
+            count: self.cell.count.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// A registry of named metrics.
+///
+/// Names are dotted lowercase paths (`monitor.events`,
+/// `span.fit.classifier.seconds`); the exporters prefix and sanitise them
+/// into Prometheus families (`cordial_monitor_events_total`).
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    metrics: RwLock<BTreeMap<String, Metric>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub const fn new() -> Self {
+        Self {
+            metrics: RwLock::new(BTreeMap::new()),
+        }
+    }
+
+    /// Registers (or fetches) the counter `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Counter {
+        if let Some(metric) = self.metrics.read().get(name) {
+            return match metric {
+                Metric::Counter(c) => c.clone(),
+                _ => panic!("metric `{name}` already registered with a different kind"),
+            };
+        }
+        let mut metrics = self.metrics.write();
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| {
+                Metric::Counter(Counter {
+                    cell: Arc::new(AtomicU64::new(0)),
+                })
+            })
+            .clone()
+        {
+            Metric::Counter(c) => c,
+            _ => panic!("metric `{name}` already registered with a different kind"),
+        }
+    }
+
+    /// Registers (or fetches) the gauge `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        if let Some(metric) = self.metrics.read().get(name) {
+            return match metric {
+                Metric::Gauge(g) => g.clone(),
+                _ => panic!("metric `{name}` already registered with a different kind"),
+            };
+        }
+        let mut metrics = self.metrics.write();
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| {
+                Metric::Gauge(Gauge {
+                    bits: Arc::new(AtomicU64::new(0f64.to_bits())),
+                })
+            })
+            .clone()
+        {
+            Metric::Gauge(g) => g,
+            _ => panic!("metric `{name}` already registered with a different kind"),
+        }
+    }
+
+    /// Registers (or fetches) the histogram `name` with the given finite
+    /// bucket upper bounds. `bounds` is consulted only on first
+    /// registration; later callers inherit the original buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly ascending, or if `name`
+    /// is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str, bounds: &[f64]) -> Histogram {
+        if let Some(metric) = self.metrics.read().get(name) {
+            return match metric {
+                Metric::Histogram(h) => h.clone(),
+                _ => panic!("metric `{name}` already registered with a different kind"),
+            };
+        }
+        assert!(!bounds.is_empty(), "histogram `{name}` needs >= 1 bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram `{name}` bounds must be strictly ascending"
+        );
+        let mut metrics = self.metrics.write();
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| {
+                Metric::Histogram(Histogram {
+                    cell: Arc::new(HistogramCell {
+                        bounds: bounds.to_vec(),
+                        buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+                        sum_bits: AtomicU64::new(0f64.to_bits()),
+                        count: AtomicU64::new(0),
+                    }),
+                })
+            })
+            .clone()
+        {
+            Metric::Histogram(h) => h,
+            _ => panic!("metric `{name}` already registered with a different kind"),
+        }
+    }
+
+    /// Captures every metric's current value, keyed by name in sorted
+    /// order. Two snapshots of identical registry state are identical —
+    /// the property the export and determinism tests build on.
+    pub fn snapshot(&self) -> Snapshot {
+        let metrics = self.metrics.read();
+        let mut snapshot = Snapshot::default();
+        for (name, metric) in metrics.iter() {
+            match metric {
+                Metric::Counter(c) => {
+                    snapshot.counters.insert(name.clone(), c.get());
+                }
+                Metric::Gauge(g) => {
+                    snapshot.gauges.insert(name.clone(), g.get());
+                }
+                Metric::Histogram(h) => {
+                    snapshot.histograms.insert(name.clone(), h.snapshot());
+                }
+            }
+        }
+        snapshot
+    }
+
+    /// Zeroes every registered metric in place without unregistering it, so
+    /// handles cached by call sites stay valid.
+    pub fn reset(&self) {
+        let metrics = self.metrics.read();
+        for metric in metrics.values() {
+            match metric {
+                Metric::Counter(c) => c.cell.store(0, Ordering::Relaxed),
+                Metric::Gauge(g) => g.bits.store(0f64.to_bits(), Ordering::Relaxed),
+                Metric::Histogram(h) => {
+                    for bucket in &h.cell.buckets {
+                        bucket.store(0, Ordering::Relaxed);
+                    }
+                    h.cell.sum_bits.store(0f64.to_bits(), Ordering::Relaxed);
+                    h.cell.count.store(0, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Point-in-time value of one histogram.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Finite bucket upper bounds, ascending.
+    pub bounds: Vec<f64>,
+    /// Per-bucket (non-cumulative) observation counts; one entry per bound
+    /// plus a final overflow bucket.
+    pub buckets: Vec<u64>,
+    /// Sum of all observed values.
+    pub sum: f64,
+    /// Total number of observations.
+    pub count: u64,
+}
+
+/// A deterministic point-in-time view of a registry.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram states by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// The thread-count-invariant digest of the snapshot: counters, gauge
+    /// bit patterns, and histogram observation **counts** (bucket contents
+    /// of wall-clock histograms legitimately shift between runs; how many
+    /// observations happened must not).
+    ///
+    /// Metrics with a `parallel` path segment are excluded: per-worker task
+    /// metrics are the one family that genuinely depends on the thread
+    /// count (four chunk timings at `n_threads = 4`, one at 1).
+    pub fn digest(&self) -> BTreeMap<String, u64> {
+        let thread_dependent = |name: &str| name.split('.').any(|segment| segment == "parallel");
+        let mut digest = BTreeMap::new();
+        for (name, value) in &self.counters {
+            if !thread_dependent(name) {
+                digest.insert(name.clone(), *value);
+            }
+        }
+        for (name, value) in &self.gauges {
+            if !thread_dependent(name) {
+                digest.insert(format!("{name}.bits"), value.to_bits());
+            }
+        }
+        for (name, hist) in &self.histograms {
+            if !thread_dependent(name) {
+                digest.insert(format!("{name}.count"), hist.count);
+            }
+        }
+        digest
+    }
+
+    /// Renders the snapshot as an aligned human-readable table (the CLI
+    /// `stats` subcommand and the experiments telemetry sections).
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (name, value) in &self.counters {
+                out.push_str(&format!("  {name:<44} {value}\n"));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for (name, value) in &self.gauges {
+                out.push_str(&format!("  {name:<44} {value}\n"));
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("histograms:\n");
+            for (name, hist) in &self.histograms {
+                let mean = if hist.count == 0 {
+                    0.0
+                } else {
+                    hist.sum / hist.count as f64
+                };
+                out.push_str(&format!(
+                    "  {name:<44} count={} sum={:.6} mean={:.6}\n",
+                    hist.count, hist.sum, mean
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_gauges_histograms_record_when_enabled() {
+        crate::set_enabled(true);
+        let registry = MetricsRegistry::new();
+        let counter = registry.counter("t.counter");
+        counter.inc();
+        counter.add(4);
+        assert_eq!(counter.get(), 5);
+
+        let gauge = registry.gauge("t.gauge");
+        gauge.set(2.5);
+        assert_eq!(gauge.get(), 2.5);
+
+        let hist = registry.histogram("t.hist", &[1.0, 10.0]);
+        hist.observe(0.5);
+        hist.observe(5.0);
+        hist.observe(100.0);
+        let snap = registry.snapshot();
+        let h = &snap.histograms["t.hist"];
+        assert_eq!(h.buckets, vec![1, 1, 1]);
+        assert_eq!(h.count, 3);
+        assert!((h.sum - 105.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bucket_boundaries_are_inclusive_upper_bounds() {
+        crate::set_enabled(true);
+        let registry = MetricsRegistry::new();
+        let hist = registry.histogram("t.bounds", &[1.0, 2.0, 4.0]);
+        // Exactly on a bound lands in that bound's bucket (`le` semantics).
+        hist.observe(1.0);
+        hist.observe(2.0);
+        hist.observe(4.0);
+        // Just above a bound spills into the next bucket.
+        hist.observe(1.0000001);
+        hist.observe(4.0000001);
+        let snap = registry.snapshot().histograms["t.bounds"].clone();
+        assert_eq!(snap.buckets, vec![1, 2, 1, 1]);
+        assert_eq!(snap.count, 5);
+    }
+
+    #[test]
+    fn registration_is_idempotent_and_shares_state() {
+        crate::set_enabled(true);
+        let registry = MetricsRegistry::new();
+        registry.counter("t.shared").inc();
+        registry.counter("t.shared").inc();
+        assert_eq!(registry.counter("t.shared").get(), 2);
+        // Histogram bounds are fixed by the first registration.
+        registry.histogram("t.h", &[1.0, 2.0]);
+        let again = registry.histogram("t.h", &[99.0]);
+        again.observe(1.5);
+        assert_eq!(registry.snapshot().histograms["t.h"].bounds, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_mismatch_panics() {
+        let registry = MetricsRegistry::new();
+        registry.counter("t.kind");
+        registry.gauge("t.kind");
+    }
+
+    #[test]
+    fn reset_zeroes_in_place_and_keeps_handles_valid() {
+        crate::set_enabled(true);
+        let registry = MetricsRegistry::new();
+        let counter = registry.counter("t.reset");
+        let hist = registry.histogram("t.reset.h", &[1.0]);
+        counter.add(7);
+        hist.observe(0.5);
+        registry.reset();
+        assert_eq!(counter.get(), 0);
+        assert_eq!(hist.count(), 0);
+        // The pre-reset handle still records into the registry.
+        counter.inc();
+        assert_eq!(registry.snapshot().counters["t.reset"], 1);
+    }
+
+    #[test]
+    fn snapshots_are_deterministically_ordered() {
+        crate::set_enabled(true);
+        let registry = MetricsRegistry::new();
+        // Register in non-sorted order.
+        registry.counter("t.z");
+        registry.counter("t.a");
+        registry.gauge("t.m");
+        let snap_a = registry.snapshot();
+        let snap_b = registry.snapshot();
+        assert_eq!(snap_a, snap_b);
+        let keys: Vec<&String> = snap_a.counters.keys().collect();
+        assert_eq!(keys, vec!["t.a", "t.z"]);
+    }
+
+    #[test]
+    fn digest_keeps_counts_and_drops_parallel_metrics() {
+        crate::set_enabled(true);
+        let registry = MetricsRegistry::new();
+        registry.counter("t.kept").add(3);
+        registry.counter("t.parallel.tasks").add(4);
+        registry
+            .histogram("span.t.parallel.chunk.seconds", &[1.0])
+            .observe(0.1);
+        registry.histogram("t.h", &[1.0]).observe(0.2);
+        let digest = registry.snapshot().digest();
+        assert_eq!(digest["t.kept"], 3);
+        assert_eq!(digest["t.h.count"], 1);
+        assert!(!digest.contains_key("t.parallel.tasks"));
+        assert!(!digest.contains_key("span.t.parallel.chunk.seconds.count"));
+    }
+}

@@ -1,0 +1,139 @@
+//! RAII timing spans feeding the histogram registry.
+//!
+//! A span is opened with the [`span!`](crate::span!) macro and records its
+//! wall-clock duration when dropped. Spans nest per thread: the recorded
+//! histogram name is `span.<path>.seconds` where `<path>` joins every open
+//! span name on the current thread, so `span!("fit")` containing
+//! `span!("classifier")` produces the families `span.fit.seconds` and
+//! `span.fit.classifier.seconds`.
+//!
+//! Worker threads start with an empty stack: a span opened inside a
+//! fork-join worker records under its own name, independent of whatever the
+//! coordinating thread has open — exactly what per-stage attribution wants.
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+thread_local! {
+    /// Names of the spans currently open on this thread, outermost first.
+    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// An open timing span; records on drop. Construct via
+/// [`span!`](crate::span!) or [`Span::enter`].
+#[derive(Debug)]
+#[must_use = "a span records its timing when dropped; bind it to `_span`"]
+pub struct Span {
+    start: Option<Instant>,
+    /// `Some` for a root span: recorded flat under this name without
+    /// touching the per-thread stack.
+    root: Option<&'static str>,
+}
+
+impl Span {
+    /// Opens a span named `name`. When recording is disabled this is a
+    /// no-op guard: no clock read, no thread-local touch.
+    pub fn enter(name: &'static str) -> Self {
+        if !crate::enabled() {
+            return Self {
+                start: None,
+                root: None,
+            };
+        }
+        SPAN_STACK.with(|stack| stack.borrow_mut().push(name));
+        Self {
+            start: Some(Instant::now()),
+            root: None,
+        }
+    }
+
+    /// Opens a stack-independent span: it always records
+    /// `span.<name>.seconds`, no matter which spans are open on the
+    /// current thread, and it does not become a parent for nested spans.
+    ///
+    /// Use this for leaf operations that may run either inline on the
+    /// coordinating thread or on fork-join worker threads — a
+    /// stack-derived path would differ between the two, breaking the
+    /// thread-count invariance of [`Snapshot::digest`](crate::Snapshot::digest).
+    pub fn enter_root(name: &'static str) -> Self {
+        if !crate::enabled() {
+            return Self {
+                start: None,
+                root: None,
+            };
+        }
+        Self {
+            start: Some(Instant::now()),
+            root: Some(name),
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(start) = self.start else {
+            return;
+        };
+        let elapsed = start.elapsed().as_secs_f64();
+        let path = match self.root {
+            Some(name) => name.to_string(),
+            None => SPAN_STACK.with(|stack| {
+                let mut stack = stack.borrow_mut();
+                let path = stack.join(".");
+                stack.pop();
+                path
+            }),
+        };
+        crate::global()
+            .histogram(&format!("span.{path}.seconds"), crate::DURATION_BOUNDS)
+            .observe(elapsed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_spans_record_hierarchical_paths() {
+        crate::set_enabled(true);
+        {
+            let _outer = Span::enter("outer_test");
+            let _inner = Span::enter("inner_test");
+        }
+        let snapshot = crate::snapshot();
+        assert!(snapshot.histograms.contains_key("span.outer_test.seconds"));
+        assert!(snapshot
+            .histograms
+            .contains_key("span.outer_test.inner_test.seconds"));
+        assert!(snapshot.histograms["span.outer_test.seconds"].count >= 1);
+    }
+
+    #[test]
+    fn root_spans_ignore_the_stack() {
+        crate::set_enabled(true);
+        {
+            let _outer = Span::enter("root_outer_test");
+            let _leaf = Span::enter_root("root_leaf_test");
+        }
+        let snapshot = crate::snapshot();
+        assert!(snapshot
+            .histograms
+            .contains_key("span.root_leaf_test.seconds"));
+        assert!(!snapshot
+            .histograms
+            .contains_key("span.root_outer_test.root_leaf_test.seconds"));
+    }
+
+    #[test]
+    fn sibling_spans_share_a_family() {
+        crate::set_enabled(true);
+        crate::global().histogram("span.sibling_test.seconds", crate::DURATION_BOUNDS);
+        let before = crate::snapshot().histograms["span.sibling_test.seconds"].count;
+        for _ in 0..3 {
+            let _span = Span::enter("sibling_test");
+        }
+        let after = crate::snapshot().histograms["span.sibling_test.seconds"].count;
+        assert_eq!(after - before, 3);
+    }
+}

@@ -121,7 +121,9 @@ impl RandomForest {
         let mut seed_rng = StdRng::seed_from_u64(config.seed);
         let tree_seeds: Vec<u64> = (0..config.n_trees).map(|_| seed_rng.gen()).collect();
 
+        let _span = cordial_obs::span!("forest_fit");
         let fit_one = |tree_seed: u64| -> Result<DecisionTree, FitError> {
+            cordial_obs::counter!("trees.trees_built").inc();
             let mut rng = StdRng::seed_from_u64(tree_seed);
             let indices: Vec<usize> = (0..sample_size)
                 .map(|_| rng.gen_range(0..data.n_rows()))

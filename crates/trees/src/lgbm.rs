@@ -156,6 +156,7 @@ impl LightGbm {
                 "pre-binned dataset shape does not match the raw dataset",
             ));
         }
+        let _span = cordial_obs::span!("lgbm_fit");
 
         let n = data.n_rows();
         let k = data.n_classes();
@@ -181,9 +182,11 @@ impl LightGbm {
         let labels: Vec<usize> = (0..n).map(|i| data.label(i)).collect();
 
         for round_seeds in &class_seeds {
+            cordial_obs::counter!("trees.boost_rounds").inc();
             let probs: Vec<Vec<f64>> = scores.iter().map(|s| softmax(s)).collect();
 
             let fit_class = |class: usize| -> ClassFit {
+                cordial_obs::counter!("trees.trees_built").inc();
                 let mut rng = StdRng::seed_from_u64(round_seeds[class]);
                 let mut grad_hess: Vec<(f64, f64)> = (0..n)
                     .map(|i| {
@@ -414,6 +417,7 @@ fn build_hists(
     } else {
         1
     };
+    cordial_obs::counter!("trees.histogram_builds").add(features.len() as u64);
     ordered_map(features, threads, |&feature| {
         let col = binned.column(feature);
         let mut hist = FeatureHistogram::zeros(binned.n_bins(feature));

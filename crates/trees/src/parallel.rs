@@ -30,11 +30,22 @@ where
     }
     let n_threads = n_threads.min(items.len());
     let chunks: Vec<&[T]> = items.chunks(items.len().div_ceil(n_threads)).collect();
+    cordial_obs::counter!("parallel.forks").inc();
+    cordial_obs::counter!("parallel.tasks").add(chunks.len() as u64);
     crossbeam::scope(|scope| {
         let f = &f;
         let handles: Vec<_> = chunks
             .into_iter()
-            .map(|chunk| scope.spawn(move |_| chunk.iter().map(f).collect::<Vec<R>>()))
+            .map(|chunk| {
+                scope.spawn(move |_| {
+                    // Per-worker utilisation: each chunk's wall-clock time
+                    // lands in `span.parallel.task.seconds`. This family is
+                    // thread-count-dependent by nature and is excluded from
+                    // `Snapshot::digest`.
+                    let _span = cordial_obs::span!("parallel.task");
+                    chunk.iter().map(f).collect::<Vec<R>>()
+                })
+            })
             .collect();
         handles
             .into_iter()
