@@ -1,0 +1,374 @@
+//! Seeded stream and wire-format fault injection.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use cordial_mcelog::ErrorEvent;
+
+/// Per-class seed salts: each fault class samples from its own RNG stream
+/// so the classes are independent and each class's decisions are a pure
+/// function of `(seed, event index)` — the nesting property the
+/// degradation sweep relies on.
+const SALT_DROP: u64 = 0x6472_6f70; // "drop"
+const SALT_DUP: u64 = 0x6475_706c; // "dupl"
+const SALT_REORDER: u64 = 0x7265_6f72; // "reor"
+const SALT_CORRUPT: u64 = 0x636f_7272; // "corr"
+
+/// Injection rates and bounds for one chaos run.
+///
+/// All rates are probabilities in `[0, 1]` applied per event (or per line
+/// for `corruption_rate`). The default is a quiet stream: every rate zero,
+/// no truncation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChaosConfig {
+    /// Seed of every injection stream; same seed → same faults.
+    pub seed: u64,
+    /// Probability that a wire-format line is corrupted (byte flip,
+    /// deletion, or garbage insertion).
+    pub corruption_rate: f64,
+    /// Probability that an event is delivered twice.
+    pub duplication_rate: f64,
+    /// Probability that an event's *delivery* is delayed by a uniform
+    /// amount up to `reorder_bound_ms`, arriving out of order while
+    /// keeping its original timestamp.
+    pub reorder_rate: f64,
+    /// Maximum delivery delay injected by reordering, in stream
+    /// milliseconds.
+    pub reorder_bound_ms: u64,
+    /// Probability that an event is silently dropped.
+    pub drop_rate: f64,
+    /// When set, the wire-format text is cut (possibly mid-line) after
+    /// this fraction of its bytes — a scraper that died mid-copy.
+    pub truncate_at: Option<f64>,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            corruption_rate: 0.0,
+            duplication_rate: 0.0,
+            reorder_rate: 0.0,
+            reorder_bound_ms: 300_000,
+            drop_rate: 0.0,
+            truncate_at: None,
+        }
+    }
+}
+
+/// What the injector did to an event stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct InjectionSummary {
+    /// Events offered to the injector.
+    pub input_events: usize,
+    /// Events silently dropped.
+    pub dropped: usize,
+    /// Extra copies injected.
+    pub duplicated: usize,
+    /// Events whose delivery was delayed past at least one later event.
+    pub reordered: usize,
+    /// Events in the output stream (`input - dropped + duplicated`).
+    pub output_events: usize,
+}
+
+/// What the injector did to a wire-format log text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct WireSummary {
+    /// Lines in the input text.
+    pub input_lines: usize,
+    /// Lines corrupted in place.
+    pub corrupted_lines: usize,
+    /// Bytes removed by mid-stream truncation (0 when not truncating).
+    pub truncated_bytes: usize,
+}
+
+/// Seeded fault injector over event streams and wire-format logs.
+///
+/// The injector is stateless between calls: every decision derives from
+/// the config seed and the event/line index, so the same injector applied
+/// to the same input always produces the same degraded output.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    config: ChaosConfig,
+}
+
+impl FaultInjector {
+    /// Creates an injector for the given configuration.
+    pub fn new(config: ChaosConfig) -> Self {
+        Self { config }
+    }
+
+    /// The injector's configuration.
+    pub fn config(&self) -> &ChaosConfig {
+        &self.config
+    }
+
+    /// Degrades an event stream: drops, duplicates and (boundedly)
+    /// reorders events. Timestamps are never altered — reordering perturbs
+    /// *delivery* order, which is exactly the disorder the monitor's
+    /// reorder guard is specified against.
+    ///
+    /// For a fixed seed the dropped set is nested across drop rates: every
+    /// event dropped at rate `r` is also dropped at any rate `≥ r`.
+    pub fn inject_events(&self, events: &[ErrorEvent]) -> (Vec<ErrorEvent>, InjectionSummary) {
+        let mut drop_rng = StdRng::seed_from_u64(self.config.seed ^ SALT_DROP);
+        let mut dup_rng = StdRng::seed_from_u64(self.config.seed ^ SALT_DUP);
+        let mut reorder_rng = StdRng::seed_from_u64(self.config.seed ^ SALT_REORDER);
+
+        let mut summary = InjectionSummary {
+            input_events: events.len(),
+            ..InjectionSummary::default()
+        };
+
+        // (delivery key, injection order) pairs; delivery key is the
+        // event's own timestamp plus any injected delay, so sorting by it
+        // yields the degraded arrival order.
+        let mut deliveries: Vec<(u64, usize, ErrorEvent)> = Vec::with_capacity(events.len());
+        let mut order = 0usize;
+        for event in events {
+            // Exactly one draw per class per event, whether or not the
+            // fault fires: this keeps the streams aligned across rates.
+            let drop_draw: f64 = drop_rng.gen();
+            let dup_draw: f64 = dup_rng.gen();
+            let reorder_draw: f64 = reorder_rng.gen();
+            let delay: u64 = reorder_rng.gen_range(0..=self.config.reorder_bound_ms);
+
+            if drop_draw < self.config.drop_rate {
+                summary.dropped += 1;
+                continue;
+            }
+            let delay = if reorder_draw < self.config.reorder_rate {
+                delay
+            } else {
+                0
+            };
+            if delay > 0 {
+                summary.reordered += 1;
+            }
+            deliveries.push((event.time.as_millis().saturating_add(delay), order, *event));
+            order += 1;
+            if dup_draw < self.config.duplication_rate {
+                summary.duplicated += 1;
+                // The duplicate arrives immediately after its original
+                // (same delivery key, later injection order).
+                deliveries.push((event.time.as_millis().saturating_add(delay), order, *event));
+                order += 1;
+            }
+        }
+        deliveries.sort_by_key(|&(at, order, _)| (at, order));
+        let output: Vec<ErrorEvent> = deliveries.into_iter().map(|(_, _, e)| e).collect();
+        summary.output_events = output.len();
+
+        cordial_obs::counter!("chaos.events.input").add(summary.input_events as u64);
+        cordial_obs::counter!("chaos.events.dropped").add(summary.dropped as u64);
+        cordial_obs::counter!("chaos.events.duplicated").add(summary.duplicated as u64);
+        cordial_obs::counter!("chaos.events.reordered").add(summary.reordered as u64);
+        (output, summary)
+    }
+
+    /// Degrades a wire-format log text: corrupts lines in place and
+    /// optionally truncates the text mid-stream.
+    pub fn inject_wire(&self, text: &str) -> (String, WireSummary) {
+        let mut summary = WireSummary::default();
+        let mut out = String::with_capacity(text.len());
+        for (idx, line) in text.lines().enumerate() {
+            summary.input_lines += 1;
+            // Per-line derived stream: corruption of line `i` is
+            // independent of how many earlier lines were corrupted.
+            let mut rng = StdRng::seed_from_u64(self.config.seed ^ SALT_CORRUPT ^ (idx as u64));
+            if rng.gen::<f64>() < self.config.corruption_rate && !line.is_empty() {
+                summary.corrupted_lines += 1;
+                out.push_str(&corrupt_line(line, &mut rng));
+            } else {
+                out.push_str(line);
+            }
+            out.push('\n');
+        }
+        if let Some(fraction) = self.config.truncate_at {
+            let keep = (out.len() as f64 * fraction.clamp(0.0, 1.0)) as usize;
+            if keep < out.len() {
+                summary.truncated_bytes = out.len() - keep;
+                // Cut on a char boundary at or below the target so the
+                // result stays valid UTF-8 (the cut may still bisect a
+                // record, which is the point).
+                let mut cut = keep;
+                while cut > 0 && !out.is_char_boundary(cut) {
+                    cut -= 1;
+                }
+                out.truncate(cut);
+            }
+        }
+        cordial_obs::counter!("chaos.wire.lines").add(summary.input_lines as u64);
+        cordial_obs::counter!("chaos.wire.corrupted").add(summary.corrupted_lines as u64);
+        (out, summary)
+    }
+}
+
+/// Mangles one log line: flips a character, deletes a span, or splices in
+/// garbage — the three shapes of damage real scrapers produce.
+fn corrupt_line(line: &str, rng: &mut StdRng) -> String {
+    let bytes: Vec<char> = line.chars().collect();
+    match rng.gen_range(0u8..3) {
+        // Overwrite one character with noise.
+        0 => {
+            let pos = rng.gen_range(0..bytes.len());
+            let noise = char::from(rng.gen_range(b'!'..=b'~'));
+            bytes
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| if i == pos { noise } else { c })
+                .collect()
+        }
+        // Delete the tail from a random position (truncated line).
+        1 => {
+            let pos = rng.gen_range(0..bytes.len());
+            bytes[..pos].iter().collect()
+        }
+        // Splice garbage into the middle.
+        _ => {
+            let pos = rng.gen_range(0..=bytes.len());
+            let mut out: String = bytes[..pos].iter().collect();
+            out.push_str("\u{fffd}garbage\u{fffd}");
+            out.extend(&bytes[pos..]);
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cordial_mcelog::{ErrorType, MceRecord, Timestamp};
+    use cordial_topology::{BankAddress, ColId, RowId};
+
+    fn events(n: u64) -> Vec<ErrorEvent> {
+        (0..n)
+            .map(|i| {
+                ErrorEvent::new(
+                    BankAddress::default().cell(RowId(i as u32), ColId(0)),
+                    Timestamp::from_millis(i * 1_000),
+                    ErrorType::Ce,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn zero_rates_are_the_identity() {
+        let input = events(100);
+        let (output, summary) = FaultInjector::new(ChaosConfig::default()).inject_events(&input);
+        assert_eq!(output, input);
+        assert_eq!(summary.dropped + summary.duplicated + summary.reordered, 0);
+        let text = MceRecord::format_log(&input);
+        let (wire, wire_summary) = FaultInjector::new(ChaosConfig::default()).inject_wire(&text);
+        assert_eq!(wire, text);
+        assert_eq!(wire_summary.corrupted_lines, 0);
+    }
+
+    #[test]
+    fn injection_is_deterministic_per_seed() {
+        let input = events(500);
+        let config = ChaosConfig {
+            seed: 42,
+            corruption_rate: 0.05,
+            duplication_rate: 0.05,
+            reorder_rate: 0.2,
+            drop_rate: 0.05,
+            truncate_at: Some(0.9),
+            ..ChaosConfig::default()
+        };
+        let (a, sa) = FaultInjector::new(config).inject_events(&input);
+        let (b, sb) = FaultInjector::new(config).inject_events(&input);
+        assert_eq!(a, b);
+        assert_eq!(sa, sb);
+        let other = ChaosConfig { seed: 43, ..config };
+        let (c, _) = FaultInjector::new(other).inject_events(&input);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn dropped_sets_are_nested_across_rates() {
+        let input = events(1_000);
+        let mut previous: Option<Vec<ErrorEvent>> = None;
+        for rate in [0.0, 0.01, 0.05, 0.2, 0.5] {
+            let config = ChaosConfig {
+                seed: 7,
+                drop_rate: rate,
+                ..ChaosConfig::default()
+            };
+            let (survivors, _) = FaultInjector::new(config).inject_events(&input);
+            if let Some(prev) = &previous {
+                // Higher rate → survivors are a subset of the previous set.
+                assert!(
+                    survivors.iter().all(|e| prev.contains(e)),
+                    "survivors at rate {rate} must be nested"
+                );
+                assert!(survivors.len() <= prev.len());
+            }
+            previous = Some(survivors);
+        }
+    }
+
+    #[test]
+    fn reordering_stays_within_the_bound() {
+        let input = events(500);
+        let config = ChaosConfig {
+            seed: 3,
+            reorder_rate: 0.5,
+            reorder_bound_ms: 10_000,
+            ..ChaosConfig::default()
+        };
+        let (output, summary) = FaultInjector::new(config).inject_events(&input);
+        assert!(summary.reordered > 0);
+        assert_eq!(output.len(), input.len());
+        // Delivery disorder is bounded: an event can only be passed by
+        // events at most `bound` ahead of it in stream time.
+        let mut max_seen = 0u64;
+        for event in &output {
+            let t = event.time.as_millis();
+            assert!(
+                max_seen.saturating_sub(t) <= 10_000,
+                "event at {t}ms arrived more than the bound after {max_seen}ms"
+            );
+            max_seen = max_seen.max(t);
+        }
+    }
+
+    #[test]
+    fn duplicates_follow_their_original() {
+        let input = events(300);
+        let config = ChaosConfig {
+            seed: 11,
+            duplication_rate: 0.2,
+            ..ChaosConfig::default()
+        };
+        let (output, summary) = FaultInjector::new(config).inject_events(&input);
+        assert!(summary.duplicated > 0);
+        assert_eq!(output.len(), input.len() + summary.duplicated);
+        let dup_pairs = output.windows(2).filter(|w| w[0] == w[1]).count();
+        assert_eq!(dup_pairs, summary.duplicated);
+    }
+
+    #[test]
+    fn wire_corruption_and_truncation_are_counted() {
+        let input = events(400);
+        let text = MceRecord::format_log(&input);
+        let config = ChaosConfig {
+            seed: 9,
+            corruption_rate: 0.1,
+            truncate_at: Some(0.5),
+            ..ChaosConfig::default()
+        };
+        let (wire, summary) = FaultInjector::new(config).inject_wire(&text);
+        assert!(summary.corrupted_lines > 0);
+        assert!(summary.truncated_bytes > 0);
+        assert!(wire.len() < text.len());
+        // The degraded text still parses lossily without panicking, and
+        // recovers a sane share of the records.
+        let (recovered, errors) = MceRecord::parse_log_lossy(&wire);
+        assert!(!recovered.is_empty());
+        assert!(!errors.is_empty() || summary.corrupted_lines == 0);
+        assert!(recovered.len() <= input.len());
+    }
+}

@@ -1,0 +1,36 @@
+//! Seeded fault injection and a chaos harness for the Cordial suite.
+//!
+//! Production MCE pipelines fail in mundane ways long before the memory
+//! does: scrapers truncate files mid-line, BMC buffers replay records,
+//! collectors race each other's timestamps, and whole volleys of events
+//! vanish when a node reboots. This crate makes those failure modes
+//! *reproducible*:
+//!
+//! * [`FaultInjector`] mutates an event stream / wire-format log with
+//!   configurable, independently-seeded rates of line corruption, record
+//!   duplication, bounded timestamp reordering, event drops and mid-stream
+//!   truncation ([`ChaosConfig`]);
+//! * [`run_harness`] drives the full simulate → train → monitor pipeline
+//!   under injection and checks the suite's robustness invariants: no
+//!   panics anywhere, a complete [`MonitorStats`](cordial::monitor::MonitorStats)
+//!   outcome split, and graceful degradation of the absorption rate as
+//!   injected loss grows ([`degradation_sweep`]).
+//!
+//! Sampling is *nested*: each fault class draws from its own RNG stream
+//! with exactly one draw per event, so the set of events dropped at rate
+//! `r₁` is a subset of those dropped at `r₂ ≥ r₁` for the same seed. That
+//! is what makes the degradation sweep monotone by construction rather
+//! than by luck.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+// The whole point of this crate is that nothing panics on degraded input.
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
+mod harness;
+mod inject;
+
+pub use harness::{
+    degradation_sweep, run_harness, HarnessConfig, HarnessReport, InvariantCheck, SweepPoint,
+};
+pub use inject::{ChaosConfig, FaultInjector, InjectionSummary, WireSummary};

@@ -1,0 +1,126 @@
+//! Acceptance tests for the chaos harness: the full pipeline under the
+//! ISSUE's reference fault rates must hold every robustness invariant.
+
+use std::sync::Mutex;
+
+use cordial_chaos::{degradation_sweep, run_harness, ChaosConfig, HarnessConfig};
+
+/// Serialises tests that toggle the process-global metrics registry.
+static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+fn obs_guard() -> std::sync::MutexGuard<'static, ()> {
+    OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// The acceptance-criteria run: seed 0 with 1% corruption, 2% duplication,
+/// 5% bounded reordering and 1% drops completes with zero panics and a
+/// complete outcome split.
+#[test]
+fn reference_fault_rates_hold_every_invariant() {
+    let config = HarnessConfig::default();
+    assert_eq!(config.chaos.seed, 0);
+    assert_eq!(config.chaos.corruption_rate, 0.01);
+    assert_eq!(config.chaos.duplication_rate, 0.02);
+    assert_eq!(config.chaos.reorder_rate, 0.05);
+    assert_eq!(config.chaos.drop_rate, 0.01);
+
+    let report = run_harness(&config);
+    let rendered = report.render();
+    assert!(report.all_passed(), "harness failed:\n{rendered}");
+    assert!(!report.panicked);
+    assert!(report.stats.split_is_complete());
+    assert!(report.stats.banks_planned > 0, "chaos run must still plan");
+    assert!(
+        report.stats.rejected_duplicates > 0,
+        "2% duplication must exercise the dedup path:\n{rendered}"
+    );
+    assert!(
+        report.parse_rejected_lines > 0,
+        "1% corruption must reject lines"
+    );
+    // The render is the greppable CI surface.
+    assert!(rendered.contains("invariant zero-panics: PASS"));
+    assert!(rendered.contains("invariant stats-split-complete: PASS"));
+    assert!(rendered.contains("chaos verdict: PASS"));
+}
+
+/// The same degraded stream produces the same metrics digest whether the
+/// pipeline trains and plans on 1 thread or 4.
+#[test]
+fn chaos_telemetry_digest_is_thread_invariant() {
+    let _guard = obs_guard();
+    cordial_obs::set_enabled(true);
+    let mut digests = Vec::new();
+    for n_threads in [1, 4] {
+        let config = HarnessConfig {
+            n_threads,
+            ..HarnessConfig::default()
+        };
+        cordial_obs::reset();
+        let report = run_harness(&config);
+        assert!(report.all_passed(), "{}", report.render());
+        digests.push(cordial_obs::snapshot().digest());
+    }
+    cordial_obs::set_enabled(false);
+    assert!(
+        digests[0].contains_key("chaos.events.input"),
+        "digest must cover the chaos counters: {:?}",
+        digests[0].keys().collect::<Vec<_>>()
+    );
+    assert_eq!(
+        digests[0], digests[1],
+        "chaos telemetry must not depend on the thread count"
+    );
+}
+
+/// Absorption degrades gracefully and the delivered-UER count degrades
+/// monotonically as the drop rate grows (the injector's nested sampling
+/// makes the latter exact, not statistical).
+#[test]
+fn absorption_degrades_monotonically_with_injected_loss() {
+    let base = HarnessConfig {
+        chaos: ChaosConfig {
+            seed: 0,
+            ..ChaosConfig::default()
+        },
+        ..HarnessConfig::default()
+    };
+    let points = degradation_sweep(&base, &[0.0, 0.05, 0.2, 0.5, 0.9]);
+    assert_eq!(points.len(), 5);
+    for pair in points.windows(2) {
+        assert!(!pair[0].panicked && !pair[1].panicked);
+        assert!(
+            pair[1].uers_delivered <= pair[0].uers_delivered,
+            "delivered UERs must be monotone: {points:?}"
+        );
+        assert!((0.0..=1.0).contains(&pair[1].absorption_rate));
+    }
+    let clean = &points[0];
+    let worst = &points[points.len() - 1];
+    assert!(
+        clean.absorption_rate > 0.0,
+        "clean run must absorb: {points:?}"
+    );
+    assert!(
+        worst.uers_delivered < clean.uers_delivered,
+        "a 90% drop rate must lose most UERs: {points:?}"
+    );
+}
+
+/// Mid-stream truncation is survivable: the tail of the fleet's history
+/// simply never arrives, and every invariant still holds.
+#[test]
+fn mid_stream_truncation_is_survivable() {
+    let config = HarnessConfig {
+        chaos: ChaosConfig {
+            seed: 0,
+            truncate_at: Some(0.6),
+            ..ChaosConfig::default()
+        },
+        ..HarnessConfig::default()
+    };
+    let report = run_harness(&config);
+    assert!(report.all_passed(), "{}", report.render());
+    assert!(report.wire.truncated_bytes > 0);
+    assert!(report.parse_recovered_events < report.wire.input_lines);
+}

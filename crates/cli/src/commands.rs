@@ -1,13 +1,14 @@
 //! CLI command implementations and argument handling.
 
 use std::collections::HashMap;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 use cordial::eval::{evaluate_cordial, evaluate_neighbor_rows};
-use cordial::monitor::CordialMonitor;
+use cordial::monitor::{CordialMonitor, GuardConfig, MonitorStats};
 use cordial::pipeline::{Cordial, MitigationPlan};
 use cordial::split::split_banks;
 use cordial::{CordialConfig, ModelKind};
+use cordial_chaos::{run_harness, ChaosConfig, HarnessConfig};
 use cordial_faultsim::{generate_fleet_dataset, FleetDatasetConfig, SparingBudget};
 use cordial_topology::BankAddress;
 
@@ -53,6 +54,40 @@ impl Args {
             Some(s) => s.parse().map_err(|_| "--seed must be an integer".into()),
         }
     }
+
+    fn u64_flag(&self, name: &str, default: u64) -> Result<u64, String> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(s) => s
+                .parse()
+                .map_err(|_| format!("--{name} must be an integer")),
+        }
+    }
+
+    fn usize_flag(&self, name: &str, default: usize) -> Result<usize, String> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(s) => s
+                .parse()
+                .map_err(|_| format!("--{name} must be an integer")),
+        }
+    }
+
+    fn rate_flag(&self, name: &str, default: f64) -> Result<f64, String> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(s) => {
+                let rate: f64 = s
+                    .parse()
+                    .map_err(|_| format!("--{name} must be a number"))?;
+                if (0.0..=1.0).contains(&rate) {
+                    Ok(rate)
+                } else {
+                    Err(format!("--{name} must be in [0, 1], got {rate}"))
+                }
+            }
+        }
+    }
 }
 
 /// Entry point used by `main`.
@@ -70,6 +105,8 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
         "plan" => plan(&args),
         "eval" => eval(&args),
         "run" => run(&args),
+        "monitor" => monitor(&args),
+        "chaos" => chaos(&args),
         "stats" => stats(&args),
         unknown => Err(format!("unknown subcommand `{unknown}`")),
     };
@@ -209,28 +246,12 @@ fn eval(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-/// End-to-end demo pipeline: simulate → split → train → monitor the full
-/// event stream. The interesting output is the telemetry: with
-/// `--metrics-out metrics.prom` the whole run's counters, gauges and
-/// latency histograms land in one scrape-able file.
-fn run(args: &Args) -> Result<(), String> {
-    let config = scale_config(args.flags.get("scale").map_or("small", String::as_str))?;
-    let seed = args.seed()?;
-    let model = model_kind(args.flags.get("model").map_or("rf", String::as_str))?;
-
-    let dataset = generate_fleet_dataset(&config, seed);
-    let split = split_banks(&dataset, 0.7, seed);
-    let pipeline_config = CordialConfig::with_model(model).with_seed(seed);
-    let cordial = Cordial::fit(&dataset, &split.train, &pipeline_config)
-        .map_err(|e| format!("training failed: {e}"))?;
-
-    let mut monitor = CordialMonitor::new(cordial, SparingBudget::typical());
-    let _plans = monitor.ingest_all(dataset.log.events().iter().copied());
-    let stats = monitor.stats();
+/// Prints a monitoring session's summary lines (shared by `run` and
+/// `monitor`).
+fn print_monitor_summary(stats: &MonitorStats, tracked_banks: usize, seed_note: &str) {
     println!(
-        "ingested {} events across {} banks (seed {seed})",
-        stats.events,
-        monitor.tracked_banks()
+        "ingested {} events across {} banks{seed_note}",
+        stats.events, tracked_banks
     );
     println!(
         "planned {} banks: {} rows isolated, {} banks spared, absorption {:.1}%",
@@ -239,6 +260,16 @@ fn run(args: &Args) -> Result<(), String> {
         stats.banks_spared,
         stats.absorption_rate() * 100.0
     );
+    if stats.rejected() + stats.recovered_reordered + stats.plans_saturated > 0 {
+        println!(
+            "guard: {} rejected ({} duplicate, {} late), {} reordered events recovered, {} plans saturated",
+            stats.rejected(),
+            stats.rejected_duplicates,
+            stats.rejected_late,
+            stats.recovered_reordered,
+            stats.plans_saturated
+        );
+    }
     println!(
         "spare budget left: {} rows / {} banks (of {}/bank, {}/HBM)",
         stats.spare_rows_remaining,
@@ -246,7 +277,194 @@ fn run(args: &Args) -> Result<(), String> {
         stats.budget.spare_rows_per_bank,
         stats.budget.spare_banks_per_hbm
     );
+}
+
+/// Writes a `--checkpoint` file atomically (pipeline + monitor state).
+fn write_checkpoint(
+    path: &Path,
+    monitor: &CordialMonitor,
+    pipeline: &Cordial,
+) -> Result<(), String> {
+    let file = io::CheckpointFile {
+        pipeline: pipeline.clone(),
+        state: monitor.checkpoint(),
+    };
+    io::write_json_atomic(path, &file)
+}
+
+/// End-to-end demo pipeline: simulate → split → train → monitor the full
+/// event stream. The interesting output is the telemetry: with
+/// `--metrics-out metrics.prom` the whole run's counters, gauges and
+/// latency histograms land in one scrape-able file.
+///
+/// `--checkpoint FILE` persists the finished monitor state atomically;
+/// `--resume FILE` restores a previous checkpoint (the fleet is
+/// regenerated from the same `--scale`/`--seed`, so only the events not
+/// yet offered are replayed).
+fn run(args: &Args) -> Result<(), String> {
+    let config = scale_config(args.flags.get("scale").map_or("small", String::as_str))?;
+    let seed = args.seed()?;
+    let model = model_kind(args.flags.get("model").map_or("rf", String::as_str))?;
+
+    let dataset = generate_fleet_dataset(&config, seed);
+
+    let (cordial, mut monitor) = match args.flags.get("resume") {
+        Some(path) => {
+            let file: io::CheckpointFile = io::read_json(Path::new(path))?;
+            let monitor = CordialMonitor::restore(file.pipeline.clone(), file.state);
+            (file.pipeline, monitor)
+        }
+        None => {
+            let split = split_banks(&dataset, 0.7, seed);
+            let pipeline_config = CordialConfig::with_model(model).with_seed(seed);
+            let cordial = Cordial::fit(&dataset, &split.train, &pipeline_config)
+                .map_err(|e| format!("training failed: {e}"))?;
+            let monitor = CordialMonitor::new(cordial.clone(), SparingBudget::typical());
+            (cordial, monitor)
+        }
+    };
+
+    let skip = monitor.events_offered();
+    let events = dataset.log.events();
+    if skip > events.len() {
+        return Err(format!(
+            "checkpoint is ahead of the stream: {skip} events offered, log has {}",
+            events.len()
+        ));
+    }
+    monitor.ingest_all_guarded(events[skip..].iter().copied());
+    let stats = monitor.stats();
+    print_monitor_summary(&stats, monitor.tracked_banks(), &format!(" (seed {seed})"));
+    if let Some(path) = args.flags.get("checkpoint") {
+        write_checkpoint(Path::new(path), &monitor, &cordial)?;
+        println!("checkpoint written to {path}");
+    }
     Ok(())
+}
+
+/// Replays an on-disk MCE log through the degraded-stream monitor, with
+/// crash-safe checkpointing:
+///
+/// ```text
+/// cordial-cli monitor --log fleet.mce --pipeline model.json \
+///     --checkpoint ckpt.json --checkpoint-every 1000
+/// cordial-cli monitor --log fleet.mce --resume ckpt.json --checkpoint ckpt.json
+/// ```
+///
+/// The log is parsed **lossily** (malformed lines are warned about and
+/// skipped) and ingested through the guard, so duplicated, reordered and
+/// late records are handled rather than corrupting state. `--abort-after N`
+/// stops after offering N events (for crash-recovery drills).
+fn monitor(args: &Args) -> Result<(), String> {
+    let (log, warnings) = io::read_log_lossy(&args.path("log")?)?;
+    for warning in &warnings {
+        cordial_obs::warn!("skipped malformed line: {warning}");
+    }
+    if !warnings.is_empty() {
+        println!("lossy parse: skipped {} malformed lines", warnings.len());
+    }
+
+    let (cordial, mut mon) = match (args.flags.get("resume"), args.flags.get("pipeline")) {
+        (Some(path), _) => {
+            let file: io::CheckpointFile = io::read_json(Path::new(path))?;
+            let monitor = CordialMonitor::restore(file.pipeline.clone(), file.state);
+            (file.pipeline, monitor)
+        }
+        (None, Some(path)) => {
+            let cordial = io::read_pipeline(Path::new(path))?;
+            let guard = GuardConfig {
+                reorder_bound_ms: args.u64_flag("reorder-bound-ms", 300_000)?,
+            };
+            let monitor = CordialMonitor::new(cordial.clone(), SparingBudget::typical())
+                .with_guard_config(guard);
+            (cordial, monitor)
+        }
+        (None, None) => return Err("monitor needs --pipeline FILE or --resume CKPT".into()),
+    };
+
+    let checkpoint_path = args.flags.get("checkpoint").map(PathBuf::from);
+    let checkpoint_every = args.usize_flag("checkpoint-every", 0)?;
+    let abort_after = args.usize_flag("abort-after", 0)?;
+
+    let skip = mon.events_offered();
+    let events = log.events();
+    if skip > events.len() {
+        return Err(format!(
+            "checkpoint is ahead of the log: {skip} events offered, log has {}",
+            events.len()
+        ));
+    }
+    if skip > 0 {
+        println!("resuming after {skip} already-offered events");
+    }
+
+    let mut aborted = false;
+    for event in events[skip..].iter().copied() {
+        mon.ingest_guarded(event);
+        let offered = mon.events_offered();
+        if checkpoint_every > 0 && offered % checkpoint_every == 0 {
+            if let Some(path) = &checkpoint_path {
+                write_checkpoint(path, &mon, &cordial)?;
+            }
+        }
+        if abort_after > 0 && offered >= abort_after {
+            aborted = true;
+            break;
+        }
+    }
+    if aborted {
+        // Leave the reorder buffer intact inside the checkpoint: resuming
+        // continues the stream exactly where it stopped.
+        if let Some(path) = &checkpoint_path {
+            write_checkpoint(path, &mon, &cordial)?;
+            println!("checkpoint written to {}", path.display());
+        }
+        println!(
+            "aborted after {} events (resume with --resume)",
+            mon.events_offered()
+        );
+        return Ok(());
+    }
+    mon.flush_guarded();
+    if let Some(path) = &checkpoint_path {
+        write_checkpoint(path, &mon, &cordial)?;
+        println!("checkpoint written to {}", path.display());
+    }
+    let stats = mon.stats();
+    print_monitor_summary(&stats, mon.tracked_banks(), "");
+    Ok(())
+}
+
+/// Runs the chaos harness: the full simulate → train → monitor pipeline
+/// under seeded fault injection, printing greppable invariant verdicts and
+/// failing the exit code if any invariant breaks.
+fn chaos(args: &Args) -> Result<(), String> {
+    let dataset = scale_config(args.flags.get("scale").map_or("small", String::as_str))?;
+    let defaults = HarnessConfig::default();
+    let config = HarnessConfig {
+        dataset,
+        dataset_seed: args.seed()?,
+        n_threads: args.usize_flag("threads", defaults.n_threads)?,
+        chaos: ChaosConfig {
+            seed: args.u64_flag("chaos-seed", defaults.chaos.seed)?,
+            corruption_rate: args.rate_flag("corruption", defaults.chaos.corruption_rate)?,
+            duplication_rate: args.rate_flag("duplication", defaults.chaos.duplication_rate)?,
+            reorder_rate: args.rate_flag("reorder", defaults.chaos.reorder_rate)?,
+            reorder_bound_ms: args.u64_flag("reorder-bound-ms", defaults.chaos.reorder_bound_ms)?,
+            drop_rate: args.rate_flag("drops", defaults.chaos.drop_rate)?,
+            truncate_at: match args.flags.get("truncate") {
+                None => None,
+                Some(_) => Some(args.rate_flag("truncate", 1.0)?),
+            },
+        },
+    };
+    let report = run_harness(&config);
+    print!("{}", report.render());
+    if report.all_passed() {
+        Ok(())
+    } else {
+        Err("chaos harness invariants failed (see verdicts above)".into())
+    }
 }
 
 /// Renders a metrics file written by `--metrics-out` as a readable table.

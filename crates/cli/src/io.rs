@@ -45,13 +45,33 @@ pub fn write_log(path: &Path, log: &MceLog) -> Result<(), String> {
         .map_err(|e| format!("cannot write {}: {e}", path.display()))
 }
 
-/// Reads a textual MCE log.
+/// Reads a textual MCE log, rejecting the whole file on the first
+/// malformed line (reported as `path:line`).
 pub fn read_log(path: &Path) -> Result<MceLog, String> {
     let text =
         fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-    let events = MceRecord::parse_log(&text)
-        .map_err(|e| format!("{}: malformed MCE log: {e}", path.display()))?;
+    let events = MceRecord::parse_log(&text).map_err(|e| match e.line() {
+        Some(line) => format!("{}:{line}: malformed MCE log: {e}", path.display()),
+        None => format!("{}: malformed MCE log: {e}", path.display()),
+    })?;
     Ok(MceLog::from_events(events))
+}
+
+/// Reads a textual MCE log **lossily**: malformed lines are returned as
+/// `path:line`-prefixed warnings instead of failing the read, and every
+/// well-formed line is recovered.
+pub fn read_log_lossy(path: &Path) -> Result<(MceLog, Vec<String>), String> {
+    let text =
+        fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let (events, errors) = MceRecord::parse_log_lossy(&text);
+    let warnings = errors
+        .into_iter()
+        .map(|e| match e.line() {
+            Some(line) => format!("{}:{line}: {e}", path.display()),
+            None => format!("{}: {e}", path.display()),
+        })
+        .collect();
+    Ok((MceLog::from_events(events), warnings))
 }
 
 /// Writes a JSON value.
@@ -65,6 +85,36 @@ pub fn read_json<T: for<'de> Deserialize<'de>>(path: &Path) -> Result<T, String>
     let text =
         fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
     serde_json::from_str(&text).map_err(|e| format!("{}: malformed JSON: {e}", path.display()))
+}
+
+/// Writes a JSON value **atomically**: the bytes land in a sibling
+/// temporary file first and are moved into place with a single rename, so
+/// a crash mid-write can never leave a truncated file at `path`. This is
+/// what makes `--checkpoint` files safe to resume from.
+pub fn write_json_atomic<T: Serialize>(path: &Path, value: &T) -> Result<(), String> {
+    let text = serde_json::to_string(value).map_err(|e| format!("serialisation failed: {e}"))?;
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    fs::write(&tmp, text).map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
+    fs::rename(&tmp, path).map_err(|e| {
+        format!(
+            "cannot move {} into place as {}: {e}",
+            tmp.display(),
+            path.display()
+        )
+    })
+}
+
+/// On-disk checkpoint of a monitoring session: the (immutable) trained
+/// pipeline plus the monitor's mutable state, so `--resume` needs exactly
+/// one file. Always written via [`write_json_atomic`].
+#[derive(Debug, Serialize, Deserialize)]
+pub struct CheckpointFile {
+    /// The trained pipeline the monitor was running.
+    pub pipeline: Cordial,
+    /// The monitor's mutable state (engine, histories, stats, guard).
+    pub state: cordial::monitor::MonitorCheckpoint,
 }
 
 /// Reads a trained pipeline.

@@ -13,11 +13,18 @@
 //! * `plan` loads a trained pipeline and prints mitigation plans for the
 //!   banks of a (possibly live) log;
 //! * `eval` reproduces the Table IV metrics for a stored pipeline;
-//! * `run` executes the whole simulate→train→monitor loop in one go;
+//! * `run` executes the whole simulate→train→monitor loop in one go,
+//!   optionally writing/resuming an atomic `--checkpoint`;
+//! * `monitor` replays an on-disk log through the degraded-stream monitor
+//!   with lossy parsing and crash-safe checkpoint/resume;
+//! * `chaos` runs the fault-injection harness and reports invariant
+//!   verdicts;
 //! * `stats` pretty-prints a metrics file written with `--metrics-out`.
 //!
 //! Every subcommand accepts `--metrics-out FILE` to export the run's
 //! telemetry (Prometheus text, or JSON for a `.json` path).
+
+#![warn(clippy::unwrap_used, clippy::expect_used)]
 
 use std::process::ExitCode;
 
@@ -39,8 +46,10 @@ fn main() -> ExitCode {
                 "  cordial-cli eval     --log FILE --truth FILE --pipeline FILE [--seed N]"
             );
             cordial_obs::error!(
-                "  cordial-cli run      [--scale S] [--seed N] [--model M] [--metrics-out FILE]"
+                "  cordial-cli run      [--scale S] [--seed N] [--model M] [--checkpoint FILE] [--resume FILE] [--metrics-out FILE]"
             );
+            cordial_obs::error!("  cordial-cli monitor  --log FILE (--pipeline FILE | --resume CKPT) [--checkpoint CKPT] [--checkpoint-every N] [--abort-after N] [--reorder-bound-ms MS]");
+            cordial_obs::error!("  cordial-cli chaos    [--scale S] [--seed N] [--chaos-seed N] [--corruption R] [--duplication R] [--reorder R] [--drops R] [--truncate F] [--threads N]");
             cordial_obs::error!("  cordial-cli stats    --metrics FILE");
             ExitCode::FAILURE
         }

@@ -69,6 +69,162 @@ fn full_workflow_succeeds() {
     let _ = std::fs::remove_dir_all(dir);
 }
 
+/// Extracts just the monitor summary block from a `monitor` run's stdout,
+/// so interrupted-then-resumed runs can be compared to uninterrupted ones
+/// regardless of checkpoint/resume chatter.
+fn summary_of(stdout: &[u8]) -> String {
+    String::from_utf8_lossy(stdout)
+        .lines()
+        .filter(|l| {
+            l.starts_with("ingested")
+                || l.starts_with("planned")
+                || l.starts_with("guard:")
+                || l.starts_with("spare budget")
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn monitor_resume_after_abort_matches_uninterrupted_run() {
+    let dir = workdir("resume");
+    let log = dir.join("fleet.mce");
+    let truth = dir.join("truth.json");
+    let model = dir.join("model.json");
+    let ckpt = dir.join("ckpt.json");
+
+    let out = bin()
+        .args(["simulate", "--scale", "small", "--seed", "11"])
+        .args(["--log", log.to_str().unwrap()])
+        .args(["--truth", truth.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let out = bin()
+        .args(["train", "--seed", "11"])
+        .args(["--log", log.to_str().unwrap()])
+        .args(["--truth", truth.to_str().unwrap()])
+        .args(["--out", model.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+
+    // Uninterrupted baseline.
+    let baseline = bin()
+        .args(["monitor"])
+        .args(["--log", log.to_str().unwrap()])
+        .args(["--pipeline", model.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(baseline.status.success(), "{baseline:?}");
+    let expected = summary_of(&baseline.stdout);
+    assert!(expected.contains("ingested"), "{expected}");
+
+    // Crash drill: abort mid-stream, checkpoint, then resume.
+    let aborted = bin()
+        .args(["monitor", "--abort-after", "200"])
+        .args(["--log", log.to_str().unwrap()])
+        .args(["--pipeline", model.to_str().unwrap()])
+        .args(["--checkpoint", ckpt.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(aborted.status.success(), "{aborted:?}");
+    assert!(
+        String::from_utf8_lossy(&aborted.stdout).contains("aborted after 200 events"),
+        "{aborted:?}"
+    );
+    assert!(ckpt.exists());
+
+    let resumed = bin()
+        .args(["monitor"])
+        .args(["--log", log.to_str().unwrap()])
+        .args(["--resume", ckpt.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(resumed.status.success(), "{resumed:?}");
+    let resumed_stdout = String::from_utf8_lossy(&resumed.stdout).to_string();
+    assert!(
+        resumed_stdout.contains("resuming after 200 already-offered events"),
+        "{resumed_stdout}"
+    );
+    assert_eq!(
+        summary_of(&resumed.stdout),
+        expected,
+        "resumed run must reach the same final state"
+    );
+
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn monitor_survives_a_corrupted_log() {
+    let dir = workdir("lossy");
+    let log = dir.join("fleet.mce");
+    let truth = dir.join("truth.json");
+    let model = dir.join("model.json");
+
+    let out = bin()
+        .args(["simulate", "--scale", "small", "--seed", "13"])
+        .args(["--log", log.to_str().unwrap()])
+        .args(["--truth", truth.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let out = bin()
+        .args(["train", "--seed", "13"])
+        .args(["--log", log.to_str().unwrap()])
+        .args(["--truth", truth.to_str().unwrap()])
+        .args(["--out", model.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+
+    // Smash two lines of the log; the strict path would refuse the file.
+    let mut text = std::fs::read_to_string(&log).unwrap();
+    text.push_str("ts=notanumber addr=?? type=UER\ncomplete garbage\n");
+    std::fs::write(&log, text).unwrap();
+
+    let out = bin()
+        .args(["monitor"])
+        .args(["--log", log.to_str().unwrap()])
+        .args(["--pipeline", model.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("lossy parse: skipped 2 malformed lines"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("ingested"), "{stdout}");
+
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn chaos_subcommand_passes_at_reference_fault_rates() {
+    let out = bin()
+        .args([
+            "chaos",
+            "--scale",
+            "small",
+            "--seed",
+            "7",
+            "--chaos-seed",
+            "0",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("invariant zero-panics: PASS"), "{stdout}");
+    assert!(
+        stdout.contains("invariant stats-split-complete: PASS"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("chaos verdict: PASS"), "{stdout}");
+}
+
 #[test]
 fn missing_inputs_fail_with_usage() {
     let out = bin().args(["train"]).output().expect("run train");

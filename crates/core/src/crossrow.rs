@@ -214,11 +214,13 @@ impl CrossRowPredictor {
     /// Per-block probability of a future UER for an observed window, using
     /// the predictor of the given aggregation pattern.
     ///
+    /// A window with no UER row has no anchor: every block probability is
+    /// zero (nothing to predict from, nothing isolated).
+    ///
     /// # Panics
     ///
     /// Panics if `pattern` is [`CoarsePattern::Scattered`] — scattered banks
-    /// never reach cross-row prediction (§IV-C) — or if the window has no
-    /// UER row to anchor on.
+    /// never reach cross-row prediction (§IV-C).
     pub fn predict_block_proba(
         &self,
         window: &ObservedWindow<'_>,
@@ -231,9 +233,9 @@ impl CrossRowPredictor {
                 panic!("cross-row prediction is not defined for scattered banks")
             }
         };
-        let anchor = window
-            .last_uer_row()
-            .expect("observed window must contain a UER row");
+        let Some(anchor) = window.last_uer_row() else {
+            return vec![0.0; self.spec.n_blocks];
+        };
         let mut bank_feats = bank_features(window, &self.geom);
         mask_bank_features(&mut bank_feats, &self.mask);
         (0..self.spec.n_blocks)
@@ -262,9 +264,9 @@ impl CrossRowPredictor {
         window: &ObservedWindow<'_>,
         pattern: CoarsePattern,
     ) -> Vec<RowId> {
-        let anchor = window
-            .last_uer_row()
-            .expect("observed window must contain a UER row");
+        let Some(anchor) = window.last_uer_row() else {
+            return Vec::new();
+        };
         let mut rows = Vec::new();
         for (index, positive) in self.predict_blocks(window, pattern).iter().enumerate() {
             if *positive {
@@ -289,7 +291,7 @@ fn calibrate_threshold(model: &TrainedModel, data: &Dataset) -> f64 {
         .map(|i| model.predict_proba(data.row(i))[1])
         .collect();
     let mut candidates: Vec<f64> = probs.clone();
-    candidates.sort_by(|a, b| a.partial_cmp(b).expect("probabilities are finite"));
+    candidates.sort_by(f64::total_cmp);
     candidates.dedup();
 
     let mut scored: Vec<(f64, f64)> = Vec::new();

@@ -64,9 +64,10 @@ pub fn evaluate_cordial(
     let plans = cordial.plan_batch(&histories);
 
     for (history, plan) in histories.iter().zip(&plans) {
-        let (window, future) = history
-            .observe_until_k_uers(config.k_uers)
-            .expect("filtered above");
+        // Guaranteed by the filter above; skip rather than panic if not.
+        let Some((window, future)) = history.observe_until_k_uers(config.k_uers) else {
+            continue;
+        };
         accounting.absorb(score_plan(plan, &window, future));
 
         if let MitigationPlan::RowSparing { pattern, .. } = plan {

@@ -205,7 +205,7 @@ pub fn bank_features(window: &ObservedWindow<'_>, geom: &HbmGeometry) -> Vec<f64
             pairwise.push((distinct_uer[i] - distinct_uer[j]).abs());
         }
     }
-    pairwise.sort_by(|a, b| a.partial_cmp(b).expect("finite distances"));
+    pairwise.sort_by(f64::total_cmp);
     let pd = |i: usize| pairwise.get(i).copied().unwrap_or(f64::NAN);
     let dist_ratio = if pairwise.len() >= 2 {
         pairwise[pairwise.len() - 1] / (pairwise[0] + 1.0)

@@ -52,6 +52,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Prediction-path code must degrade, not panic: unwraps are confined to
+// tests (`clippy.toml` sets `allow-unwrap-in-tests`).
+#![warn(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod baseline;
 pub mod classifier;
@@ -82,7 +85,9 @@ pub mod prelude {
     pub use crate::eval::{evaluate_cordial, evaluate_neighbor_rows, PredictionEval};
     pub use crate::isolation::icr;
     pub use crate::model::{ModelKind, TrainedModel};
-    pub use crate::monitor::{CordialMonitor, IngestOutcome, MonitorStats};
+    pub use crate::monitor::{
+        CordialMonitor, GuardConfig, IngestOutcome, MonitorCheckpoint, MonitorStats, RejectReason,
+    };
     pub use crate::pipeline::{Cordial, MitigationPlan};
     pub use crate::split::{split_banks, BankSplit};
     pub use cordial_faultsim::{

@@ -111,11 +111,7 @@ pub fn sweep_distances(
 pub fn peak_threshold(points: &[LocalityPoint]) -> Option<u32> {
     points
         .iter()
-        .max_by(|a, b| {
-            a.chi_square
-                .partial_cmp(&b.chi_square)
-                .expect("chi-square values are finite")
-        })
+        .max_by(|a, b| a.chi_square.total_cmp(&b.chi_square))
         .map(|p| p.threshold)
 }
 

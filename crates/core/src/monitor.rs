@@ -9,13 +9,27 @@
 //! job.
 
 use std::collections::BTreeMap;
+use std::time::Duration;
 
-use cordial_faultsim::{IsolationEngine, SparingBudget};
-use cordial_mcelog::{BankErrorHistory, ErrorEvent, Timestamp};
-use cordial_topology::{BankAddress, RowId};
+use serde::{Deserialize, Serialize};
+
+use cordial_faultsim::{IsolationEngine, IsolationSnapshot, SparingBudget};
+use cordial_mcelog::{BankErrorHistory, ErrorEvent, ErrorType, Timestamp};
+use cordial_topology::{BankAddress, CellAddress, RowId};
 
 use crate::isolation::apply_plan;
 use crate::pipeline::{Cordial, MitigationPlan};
+
+/// Why the degraded-stream guard refused an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RejectReason {
+    /// An identical event (same cell, timestamp and severity) is already
+    /// in flight within the reorder window.
+    Duplicate,
+    /// The event's timestamp is older than the guard's reorder bound
+    /// allows; admitting it would break the ordered release guarantee.
+    LateArrival,
+}
 
 /// What happened when the monitor ingested one event.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -33,18 +47,26 @@ pub enum IngestOutcome {
         /// How many of the plan's isolations the spare budget admitted.
         applied: usize,
     },
+    /// The degraded-stream guard refused the event (guarded ingestion
+    /// only); it was counted but not recorded into any bank history.
+    Rejected {
+        /// Why the event was refused.
+        reason: RejectReason,
+    },
 }
 
 /// Running totals of a monitoring session.
 ///
 /// The per-[`IngestOutcome`] split is complete: every ingested event lands
 /// in exactly one of `outcomes_recorded`, `uers_absorbed`
-/// ([`IngestOutcome::AbsorbedByIsolation`]) or `banks_planned`
-/// ([`IngestOutcome::Planned`]). The sparing fields are derived from the
-/// isolation engine at [`CordialMonitor::stats`] time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+/// ([`IngestOutcome::AbsorbedByIsolation`]), `banks_planned`
+/// ([`IngestOutcome::Planned`]), `rejected_duplicates` or `rejected_late`
+/// (the two [`IngestOutcome::Rejected`] reasons). The sparing fields are
+/// derived from the isolation engine at [`CordialMonitor::stats`] time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct MonitorStats {
-    /// Events ingested.
+    /// Events ingested (including rejected ones; excluding events still
+    /// buffered in the reorder window).
     pub events: usize,
     /// Events that returned [`IngestOutcome::Recorded`] (no action).
     pub outcomes_recorded: usize,
@@ -58,6 +80,16 @@ pub struct MonitorStats {
     pub rows_isolated: usize,
     /// Banks spared wholesale.
     pub banks_spared: usize,
+    /// Duplicate events suppressed by the guard.
+    pub rejected_duplicates: usize,
+    /// Events rejected for arriving beyond the reorder bound.
+    pub rejected_late: usize,
+    /// Out-of-order events the guard buffered and re-released in order
+    /// (these also land in one of the regular outcome buckets).
+    pub recovered_reordered: usize,
+    /// Plans whose isolations the spare budget admitted only partially
+    /// (or not at all): the saturating-degradation path.
+    pub plans_saturated: usize,
     /// The sparing budget the isolation engine was created with.
     pub budget: SparingBudget,
     /// Spare rows still unused across banks that have consumed at least
@@ -77,6 +109,81 @@ impl MonitorStats {
         } else {
             self.uers_absorbed as f64 / total as f64
         }
+    }
+
+    /// Total events the degraded-stream guard refused.
+    pub fn rejected(&self) -> usize {
+        self.rejected_duplicates + self.rejected_late
+    }
+
+    /// Whether every counted event landed in exactly one outcome bucket —
+    /// the completeness invariant the chaos harness asserts.
+    pub fn split_is_complete(&self) -> bool {
+        self.outcomes_recorded + self.uers_absorbed + self.banks_planned + self.rejected()
+            == self.events
+    }
+}
+
+/// Tuning of the degraded-stream guard in front of a [`CordialMonitor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GuardConfig {
+    /// Maximum tolerated timestamp disorder, in milliseconds: an event
+    /// whose timestamp is more than this behind the stream's watermark is
+    /// rejected as [`RejectReason::LateArrival`], and buffered events are
+    /// released (in time order) only once the watermark has moved past
+    /// their timestamp by more than this bound.
+    pub reorder_bound_ms: u64,
+}
+
+impl Default for GuardConfig {
+    fn default() -> Self {
+        // Five simulated minutes: generous against BMC scrape jitter while
+        // keeping the reorder buffer small relative to fleet event rates.
+        Self {
+            reorder_bound_ms: 300_000,
+        }
+    }
+}
+
+/// Dedup/ordering key of one event: exact equality means duplicate.
+type EventKey = (Timestamp, CellAddress, ErrorType);
+
+fn event_key(event: &ErrorEvent) -> EventKey {
+    (event.time, event.addr, event.error_type)
+}
+
+/// Degraded-stream front end: bounded reorder buffer plus duplicate
+/// suppression. Events are admitted in arrival order but released to the
+/// monitor in timestamp order; the buffer holds exactly the events within
+/// `reorder_bound_ms` of the watermark, so memory stays bounded by the
+/// stream rate times the bound.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct StreamGuard {
+    config: GuardConfig,
+    /// Admitted-but-unreleased events, sorted by [`event_key`].
+    pending: Vec<ErrorEvent>,
+    /// Highest event timestamp admitted so far.
+    watermark: Timestamp,
+    /// Whether any event has been admitted (gives `watermark` meaning).
+    started: bool,
+    /// Total events offered to the guard (admitted + rejected): the resume
+    /// cursor for checkpointed ingestion.
+    offered: usize,
+}
+
+impl StreamGuard {
+    fn new(config: GuardConfig) -> Self {
+        Self {
+            config,
+            pending: Vec::new(),
+            watermark: Timestamp::ZERO,
+            started: false,
+            offered: 0,
+        }
+    }
+
+    fn bound(&self) -> Duration {
+        Duration::from_millis(self.config.reorder_bound_ms)
     }
 }
 
@@ -107,9 +214,11 @@ pub struct CordialMonitor {
     /// Per-bank incremental state.
     banks: BTreeMap<BankAddress, BankState>,
     stats: MonitorStats,
+    /// Degraded-stream front end for the `*_guarded` ingestion paths.
+    guard: StreamGuard,
 }
 
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 struct BankState {
     events: Vec<ErrorEvent>,
     distinct_uer_rows: Vec<RowId>,
@@ -120,6 +229,29 @@ struct BankState {
     planned_at: Option<Timestamp>,
 }
 
+/// Serialisable capture of a [`CordialMonitor`]'s complete mutable state:
+/// isolation engine, per-bank histories, session stats and the guard's
+/// reorder buffer. Produced by [`CordialMonitor::checkpoint`], consumed by
+/// [`CordialMonitor::restore`]; the trained pipeline travels separately.
+///
+/// The fields are intentionally opaque — a checkpoint is a resume token,
+/// not an inspection surface (use [`CordialMonitor::stats`] after restore).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MonitorCheckpoint {
+    engine: IsolationSnapshot,
+    banks: Vec<(BankAddress, BankState)>,
+    stats: MonitorStats,
+    guard: StreamGuard,
+}
+
+impl MonitorCheckpoint {
+    /// Events offered to the guard when the checkpoint was taken: how many
+    /// stream records to skip when resuming guarded ingestion.
+    pub fn events_offered(&self) -> usize {
+        self.guard.offered
+    }
+}
+
 impl CordialMonitor {
     /// Wraps a trained pipeline with a fresh isolation engine.
     pub fn new(pipeline: Cordial, budget: SparingBudget) -> Self {
@@ -128,7 +260,17 @@ impl CordialMonitor {
             engine: IsolationEngine::new(budget),
             banks: BTreeMap::new(),
             stats: MonitorStats::default(),
+            guard: StreamGuard::new(GuardConfig::default()),
         }
+    }
+
+    /// Replaces the degraded-stream guard configuration (builder style).
+    ///
+    /// Only meaningful before the first `*_guarded` ingestion; changing the
+    /// bound mid-stream would retroactively reclassify buffered events.
+    pub fn with_guard_config(mut self, config: GuardConfig) -> Self {
+        self.guard = StreamGuard::new(config);
+        self
     }
 
     /// Ingests one event from the BMC stream.
@@ -199,6 +341,18 @@ impl CordialMonitor {
             let applied = apply_plan(&mut self.engine, bank, &plan);
             self.stats.banks_planned += 1;
             cordial_obs::counter!("monitor.outcome.planned").inc();
+            // Budget saturation is a degradation, not an error: the plan
+            // still lands (partially), later events keep being ingested,
+            // and the shortfall is surfaced as telemetry.
+            let intended = match &plan {
+                MitigationPlan::RowSparing { rows, .. } => rows.len(),
+                MitigationPlan::BankSparing => 1,
+                MitigationPlan::InsufficientData => 0,
+            };
+            if applied < intended {
+                self.stats.plans_saturated += 1;
+                cordial_obs::counter!("monitor.plans_saturated").inc();
+            }
             match &plan {
                 MitigationPlan::RowSparing { .. } => {
                     self.stats.rows_isolated += applied;
@@ -308,6 +462,174 @@ impl CordialMonitor {
         }
         self.update_gauges();
         plans
+    }
+
+    /// Admits one event into the guard, or rejects it outright.
+    ///
+    /// Returns `Some(outcome)` when the event is refused (late or
+    /// duplicate), `None` when it was buffered. Rejections are final: they
+    /// are counted into the stats split immediately.
+    fn guard_admit(&mut self, event: ErrorEvent) -> Option<IngestOutcome> {
+        self.guard.offered += 1;
+        if self.guard.started
+            && self.guard.watermark.saturating_since(event.time) > self.guard.bound()
+        {
+            self.stats.events += 1;
+            self.stats.rejected_late += 1;
+            cordial_obs::counter!("monitor.outcome.rejected.late").inc();
+            return Some(IngestOutcome::Rejected {
+                reason: RejectReason::LateArrival,
+            });
+        }
+        let key = event_key(&event);
+        match self
+            .guard
+            .pending
+            .binary_search_by(|e| event_key(e).cmp(&key))
+        {
+            Ok(_) => {
+                self.stats.events += 1;
+                self.stats.rejected_duplicates += 1;
+                cordial_obs::counter!("monitor.outcome.rejected.duplicate").inc();
+                Some(IngestOutcome::Rejected {
+                    reason: RejectReason::Duplicate,
+                })
+            }
+            Err(pos) => {
+                if self.guard.started && event.time < self.guard.watermark {
+                    self.stats.recovered_reordered += 1;
+                    cordial_obs::counter!("monitor.guard.reordered").inc();
+                }
+                self.guard.pending.insert(pos, event);
+                self.guard.started = true;
+                self.guard.watermark = self.guard.watermark.max(event.time);
+                if cordial_obs::enabled() {
+                    cordial_obs::gauge!("monitor.guard.pending")
+                        .set(self.guard.pending.len() as f64);
+                }
+                None
+            }
+        }
+    }
+
+    /// Pops the buffered events that are safe to release: those whose
+    /// timestamp the watermark has passed by more than the reorder bound
+    /// (every admissible future event must sort after them), or everything
+    /// when `flush_all` is set.
+    fn guard_due(&mut self, flush_all: bool) -> Vec<ErrorEvent> {
+        let bound = self.guard.bound();
+        let due = if flush_all {
+            self.guard.pending.len()
+        } else {
+            self.guard
+                .pending
+                .partition_point(|e| self.guard.watermark.saturating_since(e.time) > bound)
+        };
+        self.guard.pending.drain(..due).collect()
+    }
+
+    /// Ingests one event from a **degraded** stream: duplicates are
+    /// suppressed, bounded timestamp reordering is repaired through the
+    /// guard's buffer, and events beyond the reorder bound are rejected
+    /// rather than corrupting bank histories.
+    ///
+    /// Returns the outcomes finalised by this call: a rejection yields the
+    /// offered event's [`IngestOutcome::Rejected`]; an admission yields the
+    /// (possibly empty) list of buffered events the watermark advance
+    /// released, each with its regular ingest outcome. Call
+    /// [`CordialMonitor::flush_guarded`] at end of stream to drain the
+    /// buffer.
+    pub fn ingest_guarded(&mut self, event: ErrorEvent) -> Vec<(ErrorEvent, IngestOutcome)> {
+        if let Some(outcome) = self.guard_admit(event) {
+            return vec![(event, outcome)];
+        }
+        self.guard_due(false)
+            .into_iter()
+            .map(|released| {
+                let outcome = self.ingest(released);
+                (released, outcome)
+            })
+            .collect()
+    }
+
+    /// Drains the guard's reorder buffer through regular ingestion: the end
+    /// of a guarded stream (or a checkpoint-before-shutdown).
+    pub fn flush_guarded(&mut self) -> Vec<(ErrorEvent, IngestOutcome)> {
+        self.guard_due(true)
+            .into_iter()
+            .map(|released| {
+                let outcome = self.ingest(released);
+                (released, outcome)
+            })
+            .collect()
+    }
+
+    /// Guarded batch ingestion: admits the whole batch through the guard
+    /// (counting rejections), then runs the sanitised ordered sub-stream
+    /// through the parallel [`CordialMonitor::ingest_all`] fast path.
+    ///
+    /// The batch is treated as the complete remainder of the stream: the
+    /// reorder buffer is flushed at the end, so the result equals calling
+    /// [`CordialMonitor::ingest_guarded`] per event followed by
+    /// [`CordialMonitor::flush_guarded`].
+    pub fn ingest_all_guarded(
+        &mut self,
+        events: impl IntoIterator<Item = ErrorEvent>,
+    ) -> Vec<(BankAddress, MitigationPlan)> {
+        let _span = cordial_obs::span!("ingest_all_guarded");
+        let mut sanitized = Vec::new();
+        for event in events {
+            if self.guard_admit(event).is_none() {
+                sanitized.extend(self.guard_due(false));
+            }
+        }
+        sanitized.extend(self.guard_due(true));
+        self.ingest_all(sanitized)
+    }
+
+    /// Number of events currently buffered in the guard's reorder window.
+    pub fn guard_pending(&self) -> usize {
+        self.guard.pending.len()
+    }
+
+    /// Total events offered through the guarded ingestion paths (admitted
+    /// or rejected): the resume cursor for checkpointed streams.
+    pub fn events_offered(&self) -> usize {
+        self.guard.offered
+    }
+
+    /// Captures the monitor's complete mutable state (bank histories,
+    /// isolation engine, stats, guard buffer) as a serialisable
+    /// checkpoint. The trained pipeline is *not* included — persist it
+    /// separately (it is immutable) and pass it back to
+    /// [`CordialMonitor::restore`].
+    pub fn checkpoint(&self) -> MonitorCheckpoint {
+        MonitorCheckpoint {
+            engine: self.engine.snapshot(),
+            banks: self
+                .banks
+                .iter()
+                .map(|(bank, state)| (*bank, state.clone()))
+                .collect(),
+            stats: self.stats,
+            guard: self.guard.clone(),
+        }
+    }
+
+    /// Rebuilds a monitor from a [`CordialMonitor::checkpoint`] capture
+    /// and the pipeline it was running.
+    ///
+    /// Resumed ingestion is bit-equivalent to never having stopped: final
+    /// stats and isolation state match the uninterrupted run's for any
+    /// checkpoint index.
+    pub fn restore(pipeline: Cordial, checkpoint: MonitorCheckpoint) -> Self {
+        Self {
+            pipeline,
+            engine: IsolationEngine::from_snapshot(checkpoint.engine),
+            banks: checkpoint.banks.into_iter().collect(),
+            stats: checkpoint.stats,
+            guard: checkpoint.guard,
+        }
     }
 
     /// Session totals so far, including the engine-derived sparing-budget
@@ -461,5 +783,151 @@ mod tests {
             single_monitor.ingest(*event);
         }
         assert_eq!(batch_monitor.stats(), single_monitor.stats());
+    }
+
+    fn guard_event(row: u32, millis: u64) -> ErrorEvent {
+        ErrorEvent::new(
+            BankAddress::default().cell(RowId(row), ColId(0)),
+            Timestamp::from_millis(millis),
+            ErrorType::Ce,
+        )
+    }
+
+    #[test]
+    fn guard_suppresses_duplicates_within_the_window() {
+        let (_, mut monitor) = trained_monitor();
+        assert!(monitor.ingest_guarded(guard_event(1, 1000)).is_empty());
+        let outcomes = monitor.ingest_guarded(guard_event(1, 1000));
+        assert_eq!(
+            outcomes,
+            vec![(
+                guard_event(1, 1000),
+                IngestOutcome::Rejected {
+                    reason: RejectReason::Duplicate
+                }
+            )]
+        );
+        monitor.flush_guarded();
+        let stats = monitor.stats();
+        assert_eq!(stats.rejected_duplicates, 1);
+        assert_eq!(stats.events, 2);
+        assert!(stats.split_is_complete());
+    }
+
+    #[test]
+    fn guard_rejects_events_beyond_the_reorder_bound() {
+        let (_, mut monitor) = trained_monitor();
+        let monitor = &mut monitor;
+        // Watermark moves to t=400s; bound is 300s, so t=50s is too late
+        // while t=150s is still admissible.
+        assert!(monitor.ingest_guarded(guard_event(1, 400_000)).is_empty());
+        let outcomes = monitor.ingest_guarded(guard_event(2, 50_000));
+        assert_eq!(
+            outcomes,
+            vec![(
+                guard_event(2, 50_000),
+                IngestOutcome::Rejected {
+                    reason: RejectReason::LateArrival
+                }
+            )]
+        );
+        assert!(monitor.ingest_guarded(guard_event(3, 150_000)).is_empty());
+        assert_eq!(monitor.guard_pending(), 2);
+        monitor.flush_guarded();
+        let stats = monitor.stats();
+        assert_eq!(stats.rejected_late, 1);
+        assert_eq!(stats.recovered_reordered, 1);
+        assert!(stats.split_is_complete());
+    }
+
+    #[test]
+    fn guard_releases_events_in_timestamp_order() {
+        let (_, mut monitor) = trained_monitor();
+        assert!(monitor.ingest_guarded(guard_event(1, 200_000)).is_empty());
+        assert!(monitor.ingest_guarded(guard_event(2, 100_000)).is_empty());
+        // Watermark jumps far ahead: both buffered events become due, and
+        // they must come out re-sorted (100s before 200s).
+        let released = monitor.ingest_guarded(guard_event(3, 900_000));
+        let times: Vec<u64> = released.iter().map(|(e, _)| e.time.as_millis()).collect();
+        assert_eq!(times, vec![100_000, 200_000]);
+    }
+
+    #[test]
+    fn guarded_incremental_and_batch_ingestion_agree_on_degraded_input() {
+        let (dataset, mut incremental) = trained_monitor();
+        let (_, mut batch) = trained_monitor();
+        // Degrade the stream: duplicate every 7th event, swap adjacent
+        // pairs every 5th, inject one hopelessly late event.
+        let mut events: Vec<ErrorEvent> = dataset.log.events().to_vec();
+        let mut degraded = Vec::new();
+        for (i, event) in events.drain(..).enumerate() {
+            degraded.push(event);
+            if i % 7 == 0 {
+                degraded.push(event);
+            }
+            if i % 5 == 0 && degraded.len() >= 2 {
+                let n = degraded.len();
+                degraded.swap(n - 1, n - 2);
+            }
+        }
+        degraded.push(guard_event(9, 0));
+
+        for event in &degraded {
+            incremental.ingest_guarded(*event);
+        }
+        incremental.flush_guarded();
+        batch.ingest_all_guarded(degraded.iter().copied());
+
+        let a = incremental.stats();
+        let b = batch.stats();
+        assert_eq!(a, b);
+        assert!(a.rejected_duplicates > 0);
+        assert!(a.split_is_complete(), "split must stay complete: {a:?}");
+        assert_eq!(incremental.events_offered(), degraded.len());
+    }
+
+    #[test]
+    fn guarded_ingestion_of_a_clean_stream_matches_plain_ingestion() {
+        let (dataset, mut guarded) = trained_monitor();
+        let (_, mut plain) = trained_monitor();
+        guarded.ingest_all_guarded(dataset.log.events().iter().copied());
+        plain.ingest_all(dataset.log.events().iter().copied());
+        assert_eq!(guarded.stats(), plain.stats());
+        assert_eq!(guarded.stats().rejected(), 0);
+    }
+
+    #[test]
+    fn checkpoint_restore_is_equivalent_to_an_uninterrupted_run() {
+        let (dataset, mut reference) = trained_monitor();
+        let events: Vec<ErrorEvent> = dataset.log.events().to_vec();
+        for event in &events {
+            reference.ingest_guarded(*event);
+        }
+        reference.flush_guarded();
+        let expected = reference.stats();
+
+        for kill_at in [0, 1, events.len() / 2, events.len() - 1, events.len()] {
+            let (_, mut first) = trained_monitor();
+            for event in &events[..kill_at] {
+                first.ingest_guarded(*event);
+            }
+            let checkpoint = first.checkpoint();
+            let json = serde_json::to_string(&checkpoint).unwrap();
+            let checkpoint: MonitorCheckpoint = serde_json::from_str(&json).unwrap();
+            assert_eq!(checkpoint.events_offered(), kill_at);
+
+            let (_, template) = trained_monitor();
+            let mut resumed = CordialMonitor::restore(template.pipeline, checkpoint);
+            for event in &events[kill_at..] {
+                resumed.ingest_guarded(*event);
+            }
+            resumed.flush_guarded();
+            assert_eq!(
+                resumed.stats(),
+                expected,
+                "kill at {kill_at} must not change the final stats"
+            );
+            assert_eq!(resumed.engine(), reference.engine());
+        }
     }
 }

@@ -58,5 +58,5 @@ pub use patterns::{
 pub use plan::{BankFaultPlan, PlanConfig};
 pub use repair::{RepairOutcome, RepairProcess};
 pub use scrub::PatrolScrubber;
-pub use sparing::{IsolationEngine, SparingBudget, SparingOutcome};
+pub use sparing::{IsolationEngine, IsolationSnapshot, SparingBudget, SparingOutcome};
 pub use workload::WorkloadModel;

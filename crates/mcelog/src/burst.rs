@@ -55,21 +55,18 @@ impl Burst {
 pub fn detect_bursts(history: &BankErrorHistory, config: &BurstConfig) -> Vec<Burst> {
     let mut bursts: Vec<Burst> = Vec::new();
     for event in history.events() {
-        let extend = bursts
-            .last()
-            .is_some_and(|b| event.time.saturating_since(b.end) <= config.max_gap);
-        if extend {
-            let burst = bursts.last_mut().expect("just checked");
-            burst.end = event.time;
-            burst.events += 1;
-            burst.uers += usize::from(event.error_type == ErrorType::Uer);
-        } else {
-            bursts.push(Burst {
+        match bursts.last_mut() {
+            Some(burst) if event.time.saturating_since(burst.end) <= config.max_gap => {
+                burst.end = event.time;
+                burst.events += 1;
+                burst.uers += usize::from(event.error_type == ErrorType::Uer);
+            }
+            _ => bursts.push(Burst {
                 start: event.time,
                 end: event.time,
                 events: 1,
                 uers: usize::from(event.error_type == ErrorType::Uer),
-            });
+            }),
         }
     }
     bursts

@@ -42,6 +42,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Ingestion code must degrade, not panic: unwraps are confined to tests
+// (`clippy.toml` sets `allow-unwrap-in-tests`).
+#![warn(clippy::unwrap_used, clippy::expect_used)]
 
 mod bmc;
 pub mod burst;

@@ -65,6 +65,36 @@ impl MceRecord {
         cordial_obs::counter!("mcelog.parse.events").add(events.len() as u64);
         Ok(events)
     }
+
+    /// Parses a whole log **lossily**: malformed lines are collected as
+    /// errors (each annotated with its 1-based line number) instead of
+    /// aborting the parse, and every well-formed line is recovered.
+    ///
+    /// This is the ingestion mode for production scrapes, where a single
+    /// truncated or vendor-mangled line must not discard the surrounding
+    /// telemetry. Recovered events and rejected lines are counted through
+    /// the `mcelog.parse.lossy.*` metric families.
+    pub fn parse_log_lossy(text: &str) -> (Vec<ErrorEvent>, Vec<RecordParseError>) {
+        let mut events = Vec::new();
+        let mut errors = Vec::new();
+        for (idx, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            cordial_obs::counter!("mcelog.parse.lines").inc();
+            match line.parse::<MceRecord>() {
+                Ok(record) => events.push(record.event),
+                Err(e) => {
+                    cordial_obs::counter!("mcelog.parse.errors").inc();
+                    errors.push(e.at_line(idx + 1));
+                }
+            }
+        }
+        cordial_obs::counter!("mcelog.parse.lossy.recovered").add(events.len() as u64);
+        cordial_obs::counter!("mcelog.parse.lossy.rejected_lines").add(errors.len() as u64);
+        (events, errors)
+    }
 }
 
 impl fmt::Display for MceRecord {
@@ -229,6 +259,27 @@ mod tests {
     fn parse_rejects_unknown_error_type() {
         let line = "ts=1 addr=node0/npu0/hbm0/sid0/ch0/pch0/bg0/bank0/row1/col2 type=FATAL";
         assert!(line.parse::<MceRecord>().is_err());
+    }
+
+    #[test]
+    fn parse_log_lossy_recovers_good_lines_and_numbers_bad_ones() {
+        let good = MceRecord::new(event()).to_string();
+        let text = format!("# header\n{good}\nts=1 addr=broken type=CE\n{good}\nnonsense\n");
+        let (events, errors) = MceRecord::parse_log_lossy(&text);
+        assert_eq!(events.len(), 2);
+        assert_eq!(errors.len(), 2);
+        assert_eq!(errors[0].line(), Some(3));
+        assert_eq!(errors[1].line(), Some(5));
+        assert!(errors[0].to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn parse_log_lossy_matches_strict_parse_on_clean_input() {
+        let events = vec![event(), event(), event()];
+        let text = MceRecord::format_log(&events);
+        let (lossy, errors) = MceRecord::parse_log_lossy(&text);
+        assert!(errors.is_empty());
+        assert_eq!(lossy, MceRecord::parse_log(&text).unwrap());
     }
 
     #[test]

@@ -1,0 +1,116 @@
+//! Property tests for the log parsers: however a well-formed log is
+//! mutated — bytes flipped, the tail truncated, lines reordered — neither
+//! parser may panic, and the lossy parser must recover every line the
+//! mutation did not touch.
+
+use proptest::prelude::*;
+
+use cordial_mcelog::{ErrorEvent, ErrorType, MceRecord, Timestamp};
+use cordial_topology::{BankAddress, ColId, RowId};
+
+/// A deterministic 32-line log: varied rows, columns, times and severities.
+fn fleet_events() -> Vec<ErrorEvent> {
+    (0..32u32)
+        .map(|i| {
+            let bank: BankAddress = "node1/npu2/hbm0/sid1/ch3/pch0/bg2/bank5"
+                .parse()
+                .expect("static address parses");
+            ErrorEvent::new(
+                bank.cell(RowId(100 + 7 * i), ColId(i as u16 % 64)),
+                Timestamp::from_millis(u64::from(i) * 1_111),
+                ErrorType::ALL[i as usize % 3],
+            )
+        })
+        .collect()
+}
+
+/// Non-blank, non-comment lines: the ones the parsers classify.
+fn classified_lines(text: &str) -> Vec<&str> {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Byte-flip, truncate and reorder a valid wire log; the strict parser
+    /// must fail cleanly and the lossy parser must keep its accounting
+    /// exact while recovering every untouched line.
+    #[test]
+    fn mutated_logs_never_panic_and_lossy_recovers_untouched_lines(
+        flips in prop::collection::vec((0usize..4096, 0usize..95), 0..6),
+        truncate_at in 0usize..4096,
+        do_truncate in 0usize..2,
+        swap in (0usize..32, 0usize..32),
+    ) {
+        let events = fleet_events();
+        let mut lines: Vec<String> = MceRecord::format_log(&events)
+            .lines()
+            .map(str::to_string)
+            .collect();
+        // Reorder: swap two whole lines.
+        let (a, b) = swap;
+        let n = lines.len();
+        lines.swap(a % n, b % n);
+        let mut bytes = lines.join("\n").into_bytes();
+        // Corrupt: overwrite bytes with printable ASCII (keeps the text
+        // valid UTF-8; the parser sees arbitrary printable damage).
+        for &(pos, noise) in &flips {
+            let at = pos % bytes.len();
+            bytes[at] = b' ' + noise as u8;
+        }
+        // Truncate mid-stream.
+        if do_truncate == 1 {
+            bytes.truncate(truncate_at % (bytes.len() + 1));
+        }
+        let mutated = String::from_utf8(bytes).expect("ASCII mutations stay UTF-8");
+
+        // Strict parse: any outcome but a panic.
+        let _ = MceRecord::parse_log(&mutated);
+
+        // Lossy parse: exact accounting...
+        let (recovered, errors) = MceRecord::parse_log_lossy(&mutated);
+        let classified = classified_lines(&mutated);
+        prop_assert_eq!(recovered.len() + errors.len(), classified.len());
+        // ...and every untouched line is recovered with its event intact
+        // (an untouched line still parses to one of the original events).
+        let mut recovered_iter = recovered.iter();
+        for line in &classified {
+            if let Ok(record) = line.parse::<MceRecord>() {
+                let next = recovered_iter.next();
+                prop_assert_eq!(next, Some(&record.event), "recovered stream lost `{}`", line);
+            }
+        }
+        for error in &errors {
+            prop_assert!(error.line().is_some(), "lossy errors must carry line numbers");
+        }
+    }
+
+    /// The lossy parser recovers *every* record when the mutation only
+    /// reorders lines (no corruption): reordering is not loss.
+    #[test]
+    fn reordered_logs_lose_nothing_under_lossy_parse(
+        swaps in prop::collection::vec((0usize..32, 0usize..32), 0..16),
+    ) {
+        let events = fleet_events();
+        let mut lines: Vec<String> = MceRecord::format_log(&events)
+            .lines()
+            .map(str::to_string)
+            .collect();
+        let n = lines.len();
+        for &(a, b) in &swaps {
+            lines.swap(a % n, b % n);
+        }
+        let text = lines.join("\n");
+        let (recovered, errors) = MceRecord::parse_log_lossy(&text);
+        prop_assert!(errors.is_empty());
+        prop_assert_eq!(recovered.len(), events.len());
+        let mut sorted = recovered.clone();
+        sorted.sort_by_key(|e| (e.time, e.addr, e.error_type));
+        let mut expected = events.clone();
+        expected.sort_by_key(|e| (e.time, e.addr, e.error_type));
+        prop_assert_eq!(sorted, expected);
+    }
+}

@@ -17,6 +17,7 @@
 #![warn(missing_docs)]
 
 pub use cordial;
+pub use cordial_chaos as chaos;
 pub use cordial_faultsim as faultsim;
 pub use cordial_mcelog as mcelog;
 pub use cordial_topology as topology;
