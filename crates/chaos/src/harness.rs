@@ -49,6 +49,30 @@ impl Default for HarnessConfig {
     }
 }
 
+/// The pipeline stage a contained panic originated from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PanicStage {
+    /// Fleet simulation or wire-format rendering.
+    Simulate,
+    /// Lossy parsing of the degraded wire text.
+    Parse,
+    /// Model training (`Cordial::fit`).
+    Train,
+    /// Guarded monitoring of the degraded stream.
+    Monitor,
+}
+
+impl std::fmt::Display for PanicStage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            PanicStage::Simulate => "simulate",
+            PanicStage::Parse => "parse",
+            PanicStage::Train => "train",
+            PanicStage::Monitor => "monitor",
+        })
+    }
+}
+
 /// One named invariant verdict.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct InvariantCheck {
@@ -65,6 +89,9 @@ pub struct InvariantCheck {
 pub struct HarnessReport {
     /// Whether any pipeline stage panicked (caught, not propagated).
     pub panicked: bool,
+    /// The first stage a contained panic originated from, if any.
+    #[serde(default)]
+    pub panicked_stage: Option<PanicStage>,
     /// What the wire-level injector did.
     pub wire: WireSummary,
     /// How many malformed lines the lossy parser rejected.
@@ -127,8 +154,12 @@ impl HarnessReport {
         }
         let _ = writeln!(
             out,
-            "chaos verdict: {}",
-            if self.all_passed() { "PASS" } else { "FAIL" }
+            "chaos verdict: {}{}",
+            if self.all_passed() { "PASS" } else { "FAIL" },
+            match self.panicked_stage {
+                Some(stage) => format!(" (panic contained in stage: {stage})"),
+                None => String::new(),
+            }
         );
         out
     }
@@ -164,20 +195,44 @@ fn check(checks: &mut Vec<InvariantCheck>, name: &str, passed: bool, detail: Str
 /// propagated.
 pub fn run_harness(config: &HarnessConfig) -> HarnessReport {
     let injector = FaultInjector::new(config.chaos);
+    // The first stage a contained panic originated from, if any.
+    let mut panicked_stage: Option<PanicStage> = None;
 
     // Simulate, then round-trip the log through the degraded wire format.
-    let dataset = generate_fleet_dataset(&config.dataset, config.dataset_seed);
-    let text = MceRecord::format_log(dataset.log.events());
+    let simulate_result = catch_unwind(AssertUnwindSafe(|| {
+        let dataset = generate_fleet_dataset(&config.dataset, config.dataset_seed);
+        let text = MceRecord::format_log(dataset.log.events());
+        (dataset, text)
+    }));
+    let Ok((dataset, text)) = simulate_result else {
+        panicked_stage = Some(PanicStage::Simulate);
+        let mut checks = Vec::new();
+        check(
+            &mut checks,
+            "zero-panics",
+            false,
+            "panicked=simulate".to_string(),
+        );
+        return HarnessReport {
+            panicked: true,
+            panicked_stage,
+            wire: WireSummary::default(),
+            parse_rejected_lines: 0,
+            parse_recovered_events: 0,
+            injection: InjectionSummary::default(),
+            stats: MonitorStats::default(),
+            checks,
+        };
+    };
     let (degraded_text, wire) = injector.inject_wire(&text);
 
     let parse_result = catch_unwind(AssertUnwindSafe(|| {
         MceRecord::parse_log_lossy(&degraded_text)
     }));
-    let mut panicked = false;
     let (parsed, parse_errors) = match parse_result {
         Ok(pair) => pair,
         Err(_) => {
-            panicked = true;
+            panicked_stage.get_or_insert(PanicStage::Parse);
             (Vec::new(), Vec::new())
         }
     };
@@ -186,38 +241,56 @@ pub fn run_harness(config: &HarnessConfig) -> HarnessReport {
     let (delivered, injection) = injector.inject_events(&parsed);
 
     // Train on the *clean* dataset (training robustness to label noise is a
-    // different axis; the harness stresses the ingestion side) and monitor
-    // the degraded stream through the guard.
+    // different axis; the harness stresses the ingestion side)...
     let split = split_banks(&dataset, 0.7, config.dataset_seed);
     let pipeline_config = CordialConfig::default()
         .with_seed(config.dataset_seed)
         .with_threads(config.n_threads);
-    let monitor_result = catch_unwind(AssertUnwindSafe(|| {
-        let cordial = Cordial::fit(&dataset, &split.train, &pipeline_config)?;
-        let mut monitor =
-            CordialMonitor::new(cordial, SparingBudget::typical()).with_guard_config(GuardConfig {
-                reorder_bound_ms: config.chaos.reorder_bound_ms,
-            });
-        monitor.ingest_all_guarded(delivered.iter().copied());
-        Ok::<MonitorStats, cordial::CordialError>(monitor.stats())
+    let train_result = catch_unwind(AssertUnwindSafe(|| {
+        Cordial::fit(&dataset, &split.train, &pipeline_config)
     }));
-    let stats = match monitor_result {
-        Ok(Ok(stats)) => stats,
+    let cordial = match train_result {
         // A training error is a graceful failure, not a panic; it still
         // zeroes the stats (nothing was monitored).
-        Ok(Err(_)) => MonitorStats::default(),
+        Ok(fitted) => fitted.ok(),
         Err(_) => {
-            panicked = true;
-            MonitorStats::default()
+            panicked_stage.get_or_insert(PanicStage::Train);
+            None
         }
     };
 
+    // ...and monitor the degraded stream through the guard.
+    let stats = match cordial {
+        Some(cordial) => {
+            let monitor_result = catch_unwind(AssertUnwindSafe(|| {
+                let mut monitor = CordialMonitor::new(cordial, SparingBudget::typical())
+                    .with_guard_config(GuardConfig {
+                        reorder_bound_ms: config.chaos.reorder_bound_ms,
+                    });
+                monitor.ingest_all_guarded(delivered.iter().copied());
+                monitor.stats()
+            }));
+            match monitor_result {
+                Ok(stats) => stats,
+                Err(_) => {
+                    panicked_stage.get_or_insert(PanicStage::Monitor);
+                    MonitorStats::default()
+                }
+            }
+        }
+        None => MonitorStats::default(),
+    };
+
+    let panicked = panicked_stage.is_some();
     let mut checks = Vec::new();
     check(
         &mut checks,
         "zero-panics",
         !panicked,
-        format!("panicked={panicked}"),
+        match panicked_stage {
+            Some(stage) => format!("panicked={stage}"),
+            None => "panicked=none".to_string(),
+        },
     );
     check(
         &mut checks,
@@ -270,6 +343,7 @@ pub fn run_harness(config: &HarnessConfig) -> HarnessReport {
 
     HarnessReport {
         panicked,
+        panicked_stage,
         wire,
         parse_rejected_lines: parse_errors.len(),
         parse_recovered_events: parsed.len(),

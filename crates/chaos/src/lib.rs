@@ -31,6 +31,7 @@ mod harness;
 mod inject;
 
 pub use harness::{
-    degradation_sweep, run_harness, HarnessConfig, HarnessReport, InvariantCheck, SweepPoint,
+    degradation_sweep, run_harness, HarnessConfig, HarnessReport, InvariantCheck, PanicStage,
+    SweepPoint,
 };
 pub use inject::{ChaosConfig, FaultInjector, InjectionSummary, WireSummary};

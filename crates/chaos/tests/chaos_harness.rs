@@ -3,7 +3,7 @@
 
 use std::sync::Mutex;
 
-use cordial_chaos::{degradation_sweep, run_harness, ChaosConfig, HarnessConfig};
+use cordial_chaos::{degradation_sweep, run_harness, ChaosConfig, HarnessConfig, PanicStage};
 
 /// Serialises tests that toggle the process-global metrics registry.
 static OBS_LOCK: Mutex<()> = Mutex::new(());
@@ -28,6 +28,8 @@ fn reference_fault_rates_hold_every_invariant() {
     let rendered = report.render();
     assert!(report.all_passed(), "harness failed:\n{rendered}");
     assert!(!report.panicked);
+    assert_eq!(report.panicked_stage, None);
+    assert!(rendered.contains("panicked=none"));
     assert!(report.stats.split_is_complete());
     assert!(report.stats.banks_planned > 0, "chaos run must still plan");
     assert!(
@@ -123,4 +125,29 @@ fn mid_stream_truncation_is_survivable() {
     assert!(report.all_passed(), "{}", report.render());
     assert!(report.wire.truncated_bytes > 0);
     assert!(report.parse_recovered_events < report.wire.input_lines);
+}
+
+/// A contained panic is attributed to the stage it originated from, both in
+/// the typed report and in the rendered verdict line.
+#[test]
+fn contained_panics_are_attributed_to_their_stage() {
+    let mut report = run_harness(&HarnessConfig::default());
+    report.panicked = true;
+    report.panicked_stage = Some(PanicStage::Monitor);
+    let rendered = report.render();
+    assert!(
+        rendered.contains("chaos verdict: FAIL (panic contained in stage: monitor)"),
+        "stage must appear in the verdict line:\n{rendered}"
+    );
+
+    // The stage survives a serde round-trip, and pre-stage reports (no
+    // `panicked_stage` field) still deserialize.
+    let json = serde_json::to_string(&report).unwrap();
+    let back: cordial_chaos::HarnessReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.panicked_stage, Some(PanicStage::Monitor));
+    let legacy = json
+        .replace("\"panicked_stage\":{\"Monitor\":null},", "")
+        .replace("\"panicked_stage\":\"Monitor\",", "");
+    let back: cordial_chaos::HarnessReport = serde_json::from_str(&legacy).unwrap();
+    assert_eq!(back.panicked_stage, None);
 }

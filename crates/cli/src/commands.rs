@@ -10,6 +10,7 @@ use cordial::split::split_banks;
 use cordial::{CordialConfig, ModelKind};
 use cordial_chaos::{run_harness, ChaosConfig, HarnessConfig};
 use cordial_faultsim::{generate_fleet_dataset, FleetDatasetConfig, SparingBudget};
+use cordial_fleet::{run_fleet_harness, BreakerConfig, FleetHarnessConfig, GateConfig};
 use cordial_topology::BankAddress;
 
 use crate::io;
@@ -107,6 +108,7 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
         "run" => run(&args),
         "monitor" => monitor(&args),
         "chaos" => chaos(&args),
+        "fleet" => fleet(&args),
         "stats" => stats(&args),
         unknown => Err(format!("unknown subcommand `{unknown}`")),
     };
@@ -311,7 +313,8 @@ fn run(args: &Args) -> Result<(), String> {
     let (cordial, mut monitor) = match args.flags.get("resume") {
         Some(path) => {
             let file: io::CheckpointFile = io::read_json(Path::new(path))?;
-            let monitor = CordialMonitor::restore(file.pipeline.clone(), file.state);
+            let monitor = CordialMonitor::restore(file.pipeline.clone(), file.state)
+                .map_err(|e| format!("cannot resume from {path}: {e}"))?;
             (file.pipeline, monitor)
         }
         None => {
@@ -367,7 +370,8 @@ fn monitor(args: &Args) -> Result<(), String> {
     let (cordial, mut mon) = match (args.flags.get("resume"), args.flags.get("pipeline")) {
         (Some(path), _) => {
             let file: io::CheckpointFile = io::read_json(Path::new(path))?;
-            let monitor = CordialMonitor::restore(file.pipeline.clone(), file.state);
+            let monitor = CordialMonitor::restore(file.pipeline.clone(), file.state)
+                .map_err(|e| format!("cannot resume from {path}: {e}"))?;
             (file.pipeline, monitor)
         }
         (None, Some(path)) => {
@@ -464,6 +468,59 @@ fn chaos(args: &Args) -> Result<(), String> {
         Ok(())
     } else {
         Err("chaos harness invariants failed (see verdicts above)".into())
+    }
+}
+
+/// Runs the fleet chaos harness: a multi-device supervisor over a simulated
+/// fleet, with a configurable fraction of devices killed and streams
+/// corrupted, printing greppable invariant verdicts and failing the exit
+/// code if any invariant (quarantine exactness, the availability floor,
+/// healthy-device cleanliness) breaks.
+fn fleet(args: &Args) -> Result<(), String> {
+    let dataset = scale_config(args.flags.get("scale").map_or("small", String::as_str))?;
+    let defaults = FleetHarnessConfig::default();
+    let mut config = FleetHarnessConfig {
+        dataset,
+        dataset_seed: args.seed()?,
+        n_threads: args.usize_flag("threads", defaults.n_threads)?,
+        seed: args.u64_flag("fleet-seed", defaults.seed)?,
+        kill_fraction: args.rate_flag("kill", defaults.kill_fraction)?,
+        corrupt_fraction: args.rate_flag("corrupt", defaults.corrupt_fraction)?,
+        min_availability: args.rate_flag("min-availability", defaults.min_availability)?,
+        max_devices: match args.usize_flag("devices", 0)? {
+            0 => None,
+            n => Some(n),
+        },
+        ..defaults
+    };
+    config.supervisor.breaker = BreakerConfig {
+        window: args.usize_flag("breaker-window", config.supervisor.breaker.window)?,
+        trip_error_rate: args.rate_flag(
+            "breaker-trip-rate",
+            config.supervisor.breaker.trip_error_rate,
+        )?,
+        min_events: args.usize_flag("breaker-min-events", config.supervisor.breaker.min_events)?,
+        backoff_base_ms: args.u64_flag(
+            "breaker-backoff-ms",
+            config.supervisor.breaker.backoff_base_ms,
+        )?,
+        max_retries: args.u64_flag(
+            "breaker-max-retries",
+            config.supervisor.breaker.max_retries as u64,
+        )? as u32,
+        ..config.supervisor.breaker
+    };
+    config.supervisor.gate = GateConfig {
+        f1_margin: args.rate_flag("promotion-margin", config.supervisor.gate.f1_margin)?,
+        ..config.supervisor.gate
+    };
+
+    let report = run_fleet_harness(&config).map_err(|e| format!("fleet harness failed: {e}"))?;
+    print!("{}", report.render());
+    if report.all_passed() {
+        Ok(())
+    } else {
+        Err("fleet harness invariants failed (see verdicts above)".into())
     }
 }
 

@@ -19,6 +19,8 @@
 //!   with lossy parsing and crash-safe checkpoint/resume;
 //! * `chaos` runs the fault-injection harness and reports invariant
 //!   verdicts;
+//! * `fleet` runs the multi-device fleet supervisor under device kills and
+//!   stream corruption and reports quarantine/availability verdicts;
 //! * `stats` pretty-prints a metrics file written with `--metrics-out`.
 //!
 //! Every subcommand accepts `--metrics-out FILE` to export the run's
@@ -50,6 +52,7 @@ fn main() -> ExitCode {
             );
             cordial_obs::error!("  cordial-cli monitor  --log FILE (--pipeline FILE | --resume CKPT) [--checkpoint CKPT] [--checkpoint-every N] [--abort-after N] [--reorder-bound-ms MS]");
             cordial_obs::error!("  cordial-cli chaos    [--scale S] [--seed N] [--chaos-seed N] [--corruption R] [--duplication R] [--reorder R] [--drops R] [--truncate F] [--threads N]");
+            cordial_obs::error!("  cordial-cli fleet    [--scale S] [--seed N] [--devices N] [--kill R] [--corrupt R] [--min-availability R] [--breaker-window N] [--breaker-trip-rate R] [--breaker-min-events N] [--breaker-backoff-ms MS] [--breaker-max-retries N] [--promotion-margin R] [--metrics-out FILE]");
             cordial_obs::error!("  cordial-cli stats    --metrics FILE");
             ExitCode::FAILURE
         }

@@ -47,6 +47,19 @@ pub fn evaluate_cordial(
     config: &CordialConfig,
 ) -> Result<(Cordial, PredictionEval), CordialError> {
     let cordial = Cordial::fit(dataset, train_banks, config)?;
+    let eval = evaluate_pipeline(&cordial, dataset, test_banks);
+    Ok((cordial, eval))
+}
+
+/// Scores an already-fitted pipeline on a held-out bank set — the shadow
+/// half of `evaluate_cordial`, used by the fleet promotion gate to judge a
+/// candidate without retraining the incumbent.
+pub fn evaluate_pipeline(
+    cordial: &Cordial,
+    dataset: &FleetDataset,
+    test_banks: &[BankAddress],
+) -> PredictionEval {
+    let config = cordial.config();
     let by_bank = dataset.log.by_bank();
 
     let mut actual_blocks = Vec::new();
@@ -76,14 +89,13 @@ pub fn evaluate_cordial(
         }
     }
 
-    let eval = PredictionEval {
+    PredictionEval {
         block_scores: binary_scores(&actual_blocks, &predicted_blocks),
         icr: accounting.icr(),
         rows_isolated: accounting.rows_isolated,
         banks_spared: accounting.banks_spared,
         n_banks,
-    };
-    Ok((cordial, eval))
+    }
 }
 
 /// Evaluates the neighbor-rows industrial baseline on the same protocol.

@@ -82,11 +82,14 @@ pub mod prelude {
     pub use crate::classifier::PatternClassifier;
     pub use crate::config::CordialConfig;
     pub use crate::crossrow::{BlockSpec, CrossRowPredictor};
-    pub use crate::eval::{evaluate_cordial, evaluate_neighbor_rows, PredictionEval};
+    pub use crate::eval::{
+        evaluate_cordial, evaluate_neighbor_rows, evaluate_pipeline, PredictionEval,
+    };
     pub use crate::isolation::icr;
     pub use crate::model::{ModelKind, TrainedModel};
     pub use crate::monitor::{
-        CordialMonitor, GuardConfig, IngestOutcome, MonitorCheckpoint, MonitorStats, RejectReason,
+        CheckpointVersionMismatch, CordialMonitor, GuardConfig, IngestOutcome, MonitorCheckpoint,
+        MonitorStats, RejectReason, CHECKPOINT_SCHEMA_VERSION,
     };
     pub use crate::pipeline::{Cordial, MitigationPlan};
     pub use crate::split::{split_banks, BankSplit};

@@ -20,6 +20,38 @@ use cordial_topology::{BankAddress, CellAddress, RowId};
 use crate::isolation::apply_plan;
 use crate::pipeline::{Cordial, MitigationPlan};
 
+/// Version of the [`MonitorCheckpoint`] wire format this build writes.
+///
+/// Bumped whenever the checkpoint layout changes incompatibly (new stats
+/// fields, guard-buffer shape, …). [`CordialMonitor::restore`] refuses a
+/// checkpoint whose version differs instead of silently deserializing an
+/// incompatible token; checkpoints written before versioning existed read
+/// back as version 0.
+pub const CHECKPOINT_SCHEMA_VERSION: u32 = 1;
+
+/// A checkpoint was produced by an incompatible build: its schema version
+/// does not match [`CHECKPOINT_SCHEMA_VERSION`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointVersionMismatch {
+    /// The version recorded in the checkpoint (0 for pre-versioning
+    /// checkpoints that lack the field).
+    pub found: u32,
+    /// The version this build reads and writes.
+    pub expected: u32,
+}
+
+impl std::fmt::Display for CheckpointVersionMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "checkpoint schema version {} is incompatible with this build (expects {})",
+            self.found, self.expected
+        )
+    }
+}
+
+impl std::error::Error for CheckpointVersionMismatch {}
+
 /// Why the degraded-stream guard refused an event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum RejectReason {
@@ -90,6 +122,14 @@ pub struct MonitorStats {
     /// Plans whose isolations the spare budget admitted only partially
     /// (or not at all): the saturating-degradation path.
     pub plans_saturated: usize,
+    /// Planned banks whose isolations have absorbed at least one UER so
+    /// far: the numerator of [`MonitorStats::live_precision`], the live
+    /// health signal a serving fleet watches for model drift.
+    pub plans_absorbing: usize,
+    /// Sum of plan→absorbed-UER lead times in stream milliseconds (one
+    /// term per absorbed UER); integer so the stat stays `Eq` and
+    /// bit-identical across runs.
+    pub lead_time_ms_total: u64,
     /// The sparing budget the isolation engine was created with.
     pub budget: SparingBudget,
     /// Spare rows still unused across banks that have consumed at least
@@ -114,6 +154,28 @@ impl MonitorStats {
     /// Total events the degraded-stream guard refused.
     pub fn rejected(&self) -> usize {
         self.rejected_duplicates + self.rejected_late
+    }
+
+    /// Fraction of planned banks whose plan has absorbed at least one UER:
+    /// the online analogue of prediction precision, computable without
+    /// ground truth. `1.0` while nothing has been planned yet (no evidence
+    /// of a bad model).
+    pub fn live_precision(&self) -> f64 {
+        if self.banks_planned == 0 {
+            1.0
+        } else {
+            self.plans_absorbing as f64 / self.banks_planned as f64
+        }
+    }
+
+    /// Mean plan→absorption lead time over all absorbed UERs, in stream
+    /// milliseconds (0 when nothing has been absorbed).
+    pub fn mean_lead_time_ms(&self) -> f64 {
+        if self.uers_absorbed == 0 {
+            0.0
+        } else {
+            self.lead_time_ms_total as f64 / self.uers_absorbed as f64
+        }
     }
 
     /// Whether every counted event landed in exactly one outcome bucket —
@@ -227,6 +289,9 @@ struct BankState {
     /// histogram (plan → first absorbed UER). Simulated rather than wall
     /// clock, so the distribution is identical across thread counts.
     planned_at: Option<Timestamp>,
+    /// Whether the bank's plan has absorbed at least one UER (feeds
+    /// [`MonitorStats::plans_absorbing`] exactly once per bank).
+    absorbed_once: bool,
 }
 
 /// Serialisable capture of a [`CordialMonitor`]'s complete mutable state:
@@ -236,8 +301,15 @@ struct BankState {
 ///
 /// The fields are intentionally opaque — a checkpoint is a resume token,
 /// not an inspection surface (use [`CordialMonitor::stats`] after restore).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// Serialization is hand-written rather than derived so that a checkpoint
+/// written **before** versioning existed (no `schema_version` entry) still
+/// *deserializes* — as version 0, with its state left empty — and the
+/// incompatibility surfaces as a typed [`CheckpointVersionMismatch`] from
+/// [`CordialMonitor::restore`] instead of an opaque missing-field error.
+#[derive(Debug, Clone)]
 pub struct MonitorCheckpoint {
+    schema_version: u32,
     engine: IsolationSnapshot,
     banks: Vec<(BankAddress, BankState)>,
     stats: MonitorStats,
@@ -249,6 +321,61 @@ impl MonitorCheckpoint {
     /// stream records to skip when resuming guarded ingestion.
     pub fn events_offered(&self) -> usize {
         self.guard.offered
+    }
+
+    /// The wire-format version this checkpoint was written with (0 for
+    /// checkpoints that predate versioning).
+    pub fn schema_version(&self) -> u32 {
+        self.schema_version
+    }
+}
+
+impl Serialize for MonitorCheckpoint {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            (
+                String::from("schema_version"),
+                self.schema_version.to_value(),
+            ),
+            (String::from("engine"), self.engine.to_value()),
+            (String::from("banks"), self.banks.to_value()),
+            (String::from("stats"), self.stats.to_value()),
+            (String::from("guard"), self.guard.to_value()),
+        ])
+    }
+}
+
+impl<'de> Deserialize<'de> for MonitorCheckpoint {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        // Missing field (pre-versioning checkpoint) defaults to 0, which
+        // can never equal a real CHECKPOINT_SCHEMA_VERSION.
+        let schema_version: u32 = match value.get("schema_version") {
+            Some(v) => Deserialize::from_value(v)?,
+            None => 0,
+        };
+        if schema_version != CHECKPOINT_SCHEMA_VERSION {
+            // A foreign version's field layout is unknown; carry only the
+            // version so `restore` can report the mismatch precisely.
+            return Ok(Self {
+                schema_version,
+                engine: IsolationSnapshot {
+                    budget: SparingBudget::default(),
+                    isolated_rows: Vec::new(),
+                    isolated_banks: Vec::new(),
+                    spare_banks_used: Vec::new(),
+                },
+                banks: Vec::new(),
+                stats: MonitorStats::default(),
+                guard: StreamGuard::new(GuardConfig::default()),
+            });
+        }
+        Ok(Self {
+            schema_version,
+            engine: serde::de_field(value, "engine")?,
+            banks: serde::de_field(value, "banks")?,
+            stats: serde::de_field(value, "stats")?,
+            guard: serde::de_field(value, "guard")?,
+        })
     }
 }
 
@@ -299,13 +426,20 @@ impl CordialMonitor {
                 cordial_obs::counter!("monitor.outcome.absorbed").inc();
                 // Lead time from the plan to this absorbed UER, in
                 // simulated stream time (deterministic across runs).
-                if let Some(planned_at) = self.banks.get(&bank).and_then(|s| s.planned_at) {
-                    let lead = event.time.saturating_since(planned_at).as_secs_f64();
-                    cordial_obs::histogram!(
-                        "monitor.lead_time.seconds",
-                        cordial_obs::LEAD_TIME_BOUNDS
-                    )
-                    .observe(lead);
+                if let Some(state) = self.banks.get_mut(&bank) {
+                    if let Some(planned_at) = state.planned_at {
+                        if !state.absorbed_once {
+                            state.absorbed_once = true;
+                            self.stats.plans_absorbing += 1;
+                        }
+                        let lead = event.time.saturating_since(planned_at);
+                        self.stats.lead_time_ms_total += lead.as_millis() as u64;
+                        cordial_obs::histogram!(
+                            "monitor.lead_time.seconds",
+                            cordial_obs::LEAD_TIME_BOUNDS
+                        )
+                        .observe(lead.as_secs_f64());
+                    }
                 }
                 return IngestOutcome::AbsorbedByIsolation;
             }
@@ -605,6 +739,7 @@ impl CordialMonitor {
     /// [`CordialMonitor::restore`].
     pub fn checkpoint(&self) -> MonitorCheckpoint {
         MonitorCheckpoint {
+            schema_version: CHECKPOINT_SCHEMA_VERSION,
             engine: self.engine.snapshot(),
             banks: self
                 .banks
@@ -622,14 +757,29 @@ impl CordialMonitor {
     /// Resumed ingestion is bit-equivalent to never having stopped: final
     /// stats and isolation state match the uninterrupted run's for any
     /// checkpoint index.
-    pub fn restore(pipeline: Cordial, checkpoint: MonitorCheckpoint) -> Self {
-        Self {
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointVersionMismatch`] when the checkpoint was written with a
+    /// different [`CHECKPOINT_SCHEMA_VERSION`] (including pre-versioning
+    /// checkpoints, which read back as version 0).
+    pub fn restore(
+        pipeline: Cordial,
+        checkpoint: MonitorCheckpoint,
+    ) -> Result<Self, CheckpointVersionMismatch> {
+        if checkpoint.schema_version != CHECKPOINT_SCHEMA_VERSION {
+            return Err(CheckpointVersionMismatch {
+                found: checkpoint.schema_version,
+                expected: CHECKPOINT_SCHEMA_VERSION,
+            });
+        }
+        Ok(Self {
             pipeline,
             engine: IsolationEngine::from_snapshot(checkpoint.engine),
             banks: checkpoint.banks.into_iter().collect(),
             stats: checkpoint.stats,
             guard: checkpoint.guard,
-        }
+        })
     }
 
     /// Session totals so far, including the engine-derived sparing-budget
@@ -645,6 +795,21 @@ impl CordialMonitor {
     /// The hardware isolation state.
     pub fn engine(&self) -> &IsolationEngine {
         &self.engine
+    }
+
+    /// The trained pipeline currently serving this monitor.
+    pub fn pipeline(&self) -> &Cordial {
+        &self.pipeline
+    }
+
+    /// Replaces the serving pipeline in place, returning the previous one.
+    ///
+    /// All monitor state (bank histories, isolation engine, stats, guard
+    /// buffer) is preserved: plans already applied stay applied, and only
+    /// banks that trigger *after* the swap are planned by the new model.
+    /// This is the model promotion/rollback hook a fleet supervisor uses.
+    pub fn swap_pipeline(&mut self, pipeline: Cordial) -> Cordial {
+        std::mem::replace(&mut self.pipeline, pipeline)
     }
 
     /// Number of banks currently tracked.
@@ -897,6 +1062,92 @@ mod tests {
     }
 
     #[test]
+    fn incompatible_checkpoint_versions_are_rejected_with_a_typed_error() {
+        let (_, monitor) = trained_monitor();
+        let mut checkpoint = monitor.checkpoint();
+        checkpoint.schema_version = CHECKPOINT_SCHEMA_VERSION + 1;
+        let (_, template) = trained_monitor();
+        let err = CordialMonitor::restore(template.pipeline, checkpoint).unwrap_err();
+        assert_eq!(
+            err,
+            CheckpointVersionMismatch {
+                found: CHECKPOINT_SCHEMA_VERSION + 1,
+                expected: CHECKPOINT_SCHEMA_VERSION,
+            }
+        );
+        assert!(err.to_string().contains("schema version"));
+    }
+
+    #[test]
+    fn pre_versioning_checkpoints_deserialize_as_version_zero() {
+        let (_, monitor) = trained_monitor();
+        let json = serde_json::to_string(&monitor.checkpoint()).unwrap();
+        // A checkpoint written before versioning existed has no
+        // `schema_version` entry; strip ours to simulate one.
+        let legacy = json.replacen("\"schema_version\":1,", "", 1);
+        assert_ne!(legacy, json, "fixture must actually strip the field");
+        let checkpoint: MonitorCheckpoint = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(checkpoint.schema_version(), 0);
+        let (_, template) = trained_monitor();
+        let err = CordialMonitor::restore(template.pipeline, checkpoint).unwrap_err();
+        assert_eq!(err.found, 0);
+        assert_eq!(err.expected, CHECKPOINT_SCHEMA_VERSION);
+    }
+
+    #[test]
+    fn live_precision_and_lead_time_track_absorption() {
+        let (_, mut monitor) = trained_monitor();
+        assert_eq!(monitor.stats().live_precision(), 1.0, "no plans yet");
+        let bank = BankAddress::default();
+        let uer = |row: u32, t: u64| {
+            ErrorEvent::new(
+                bank.cell(RowId(row), ColId(0)),
+                Timestamp::from_secs(t),
+                ErrorType::Uer,
+            )
+        };
+        monitor.ingest(uer(1000, 1));
+        monitor.ingest(uer(1003, 2));
+        let IngestOutcome::Planned { plan, .. } = monitor.ingest(uer(1006, 3)) else {
+            panic!("expected a plan");
+        };
+        // A fresh plan has not absorbed anything yet: precision dips to 0.
+        assert_eq!(monitor.stats().plans_absorbing, 0);
+        assert_eq!(monitor.stats().live_precision(), 0.0);
+        if let MitigationPlan::RowSparing { rows, .. } = &plan {
+            if let Some(&row) = rows.first() {
+                monitor.ingest(uer(row.index(), 63));
+                monitor.ingest(uer(row.index(), 123));
+                let stats = monitor.stats();
+                // Two absorbed UERs, one absorbing plan.
+                assert_eq!(stats.plans_absorbing, 1);
+                assert_eq!(stats.live_precision(), 1.0);
+                assert_eq!(stats.lead_time_ms_total, 60_000 + 120_000);
+                assert_eq!(stats.mean_lead_time_ms(), 90_000.0);
+            }
+        }
+    }
+
+    #[test]
+    fn swap_pipeline_preserves_monitor_state() {
+        let (dataset, mut monitor) = trained_monitor();
+        let events: Vec<ErrorEvent> = dataset.log.events().to_vec();
+        let half = events.len() / 2;
+        monitor.ingest_all(events[..half].iter().copied());
+        let mid = monitor.stats();
+        let (_, replacement) = trained_monitor();
+        let old = monitor.swap_pipeline(replacement.pipeline);
+        assert_eq!(monitor.stats(), mid, "swap must not disturb stats");
+        // Swapping back the original pipeline reproduces the single-model
+        // run exactly.
+        monitor.swap_pipeline(old);
+        monitor.ingest_all(events[half..].iter().copied());
+        let (_, mut reference) = trained_monitor();
+        reference.ingest_all(events.iter().copied());
+        assert_eq!(monitor.stats(), reference.stats());
+    }
+
+    #[test]
     fn checkpoint_restore_is_equivalent_to_an_uninterrupted_run() {
         let (dataset, mut reference) = trained_monitor();
         let events: Vec<ErrorEvent> = dataset.log.events().to_vec();
@@ -915,9 +1166,10 @@ mod tests {
             let json = serde_json::to_string(&checkpoint).unwrap();
             let checkpoint: MonitorCheckpoint = serde_json::from_str(&json).unwrap();
             assert_eq!(checkpoint.events_offered(), kill_at);
+            assert_eq!(checkpoint.schema_version(), CHECKPOINT_SCHEMA_VERSION);
 
             let (_, template) = trained_monitor();
-            let mut resumed = CordialMonitor::restore(template.pipeline, checkpoint);
+            let mut resumed = CordialMonitor::restore(template.pipeline, checkpoint).unwrap();
             for event in &events[kill_at..] {
                 resumed.ingest_guarded(*event);
             }

@@ -1,0 +1,81 @@
+//! Fleet addressing: the (node, NPU, HBM-socket) triple that identifies one
+//! physical HBM device — the unit of supervision, quarantine and eviction.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use cordial_topology::{BankAddress, HbmSocket, NodeId, NpuId};
+
+/// Stable identity of one HBM device in the fleet.
+///
+/// Every bank-level address maps to exactly one device via [`DeviceId::of`];
+/// the supervisor routes events by this key and keeps one
+/// [`CordialMonitor`](cordial::monitor::CordialMonitor) per device. The
+/// derived `Ord` makes `BTreeMap<DeviceId, _>` iteration — and therefore
+/// every fleet-level aggregate — deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DeviceId {
+    /// Compute node hosting the device.
+    pub node: NodeId,
+    /// NPU index within the node.
+    pub npu: NpuId,
+    /// HBM socket on the NPU.
+    pub hbm: HbmSocket,
+}
+
+impl DeviceId {
+    /// The device that owns a bank.
+    pub fn of(bank: &BankAddress) -> Self {
+        Self {
+            node: bank.node,
+            npu: bank.npu,
+            hbm: bank.hbm,
+        }
+    }
+
+    /// A stable per-device salt for seeding device-local RNG streams
+    /// (breaker backoff jitter, per-device fault injection). Injective for
+    /// any realistic fleet (< 2^48 nodes, < 256 NPUs/sockets).
+    pub fn salt(&self) -> u64 {
+        (u64::from(self.node.index()) << 16)
+            | (u64::from(self.npu.index()) << 8)
+            | u64::from(self.hbm.index())
+    }
+}
+
+impl fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}/{}", self.node, self.npu, self.hbm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cordial_topology::{ColId, RowId};
+
+    #[test]
+    fn device_of_a_bank_ignores_sub_device_coordinates() {
+        let bank = BankAddress::default();
+        let cell = bank.cell(RowId(5), ColId(2));
+        assert_eq!(DeviceId::of(&cell.bank), DeviceId::of(&bank));
+    }
+
+    #[test]
+    fn salts_are_distinct_across_neighbouring_devices() {
+        let mut a = BankAddress::default();
+        let mut b = BankAddress::default();
+        a.npu = NpuId(1);
+        b.hbm = HbmSocket(1);
+        let (da, db) = (DeviceId::of(&a), DeviceId::of(&b));
+        assert_ne!(da.salt(), db.salt());
+        assert_ne!(da.salt(), DeviceId::of(&BankAddress::default()).salt());
+    }
+
+    #[test]
+    fn display_is_the_slash_joined_address() {
+        let id = DeviceId::of(&BankAddress::default());
+        assert_eq!(id.to_string(), "node0/npu0/hbm0");
+    }
+}

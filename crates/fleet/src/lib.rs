@@ -1,0 +1,52 @@
+//! **cordial-fleet** — a self-healing supervisor for fleets of Cordial
+//! monitors.
+//!
+//! The paper's deployment target is a production platform with >80,000
+//! HBMs; one clean stream into one monitor is not the serving reality.
+//! This crate adds the layer above a single
+//! [`CordialMonitor`](cordial::monitor::CordialMonitor):
+//!
+//! * [`FleetSupervisor`] owns one monitor per device ([`DeviceId`]:
+//!   node/NPU/HBM-socket), demultiplexes an interleaved fleet stream, and
+//!   self-heals at two levels —
+//! * **device level**: a per-device [`CircuitBreaker`]
+//!   (Closed → Open → HalfOpen → Evicted) trips on contained panics, guard
+//!   rejection rates or a stalled-stream watchdog; quarantine backs off
+//!   exponentially with seeded jitter, and each re-probe restarts the
+//!   monitor from its last
+//!   [`MonitorCheckpoint`](cordial::monitor::MonitorCheckpoint);
+//! * **model level**: [`ModelRegistry`] keeps the incumbent and
+//!   last-known-good models, a shadow-scoring promotion gate
+//!   ([`shadow_score`]/[`clears_gate`]) admits candidates only when they
+//!   clear the incumbent by configured margins, and live precision
+//!   (from [`MonitorStats`](cordial::monitor::MonitorStats)) below the
+//!   floor triggers automatic rollback.
+//!
+//! [`run_fleet_harness`] wires it to `cordial-chaos`: kill a fraction of
+//! devices (sticky panic injection), corrupt a fraction of streams, and
+//! assert that the supervisor quarantines exactly the offenders while the
+//! healthy fleet's stats stay byte-identical to an uninjected run.
+//!
+//! Everything runs on *stream time* with seeded randomness: no wall-clock
+//! reads, no thread-count dependence, bit-reproducible verdicts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+// The supervisor must degrade, never panic, on any input.
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
+mod breaker;
+mod device;
+mod harness;
+mod registry;
+mod supervisor;
+
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+pub use device::DeviceId;
+pub use harness::{run_fleet_harness, FleetHarnessConfig, FleetReport};
+pub use registry::{
+    clears_gate, shadow_score, GateConfig, ModelRegistry, PromotionDecision, ShadowScore,
+};
+pub use supervisor::{
+    DeviceStatus, FleetSupervisor, RouteOutcome, SupervisorConfig, AVAILABILITY_BOUNDS,
+};

@@ -1,0 +1,604 @@
+//! The fleet supervisor: N per-device monitors behind circuit breakers,
+//! with checkpoint-based restart, an ingest watchdog, and canary-style
+//! model promotion/rollback.
+//!
+//! Determinism contract: the supervisor never reads the wall clock — all
+//! deadlines and backoffs run on *stream time* (event timestamps), and all
+//! jitter comes from seeded per-device RNG streams. Routing the same event
+//! sequence through the same config always produces bit-identical device
+//! stats, breaker histories and `fleet.*` telemetry.
+
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Once;
+
+use cordial::monitor::{
+    CordialMonitor, GuardConfig, IngestOutcome, MonitorCheckpoint, MonitorStats,
+};
+use cordial::pipeline::Cordial;
+use cordial_faultsim::{FleetDataset, SparingBudget};
+use cordial_mcelog::ErrorEvent;
+use cordial_topology::BankAddress;
+
+use crate::breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+use crate::device::DeviceId;
+use crate::registry::{clears_gate, shadow_score, GateConfig, ModelRegistry, PromotionDecision};
+
+/// Bucket bounds for the per-device availability histogram.
+pub const AVAILABILITY_BOUNDS: &[f64] = &[0.5, 0.75, 0.9, 0.95, 0.99, 0.999, 1.0];
+
+/// How often (in routed events) the supervisor runs its periodic sweeps
+/// (watchdog scan, canary precision check).
+const SWEEP_EVERY: u64 = 256;
+
+static PANIC_HOOK: Once = Once::new();
+
+thread_local! {
+    /// Set while a supervised ingest runs under `catch_unwind`: the panic
+    /// hook stays silent for panics we contain by design.
+    static QUIET_PANICS: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Installs (once per process) a forwarding panic hook that suppresses the
+/// default "thread panicked" noise for panics the supervisor contains.
+fn install_quiet_hook() {
+    PANIC_HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !QUIET_PANICS.with(Cell::get) {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Runs `f` under `catch_unwind` with the quiet panic hook engaged.
+fn contain_panic<T>(f: impl FnOnce() -> T) -> Result<T, ()> {
+    QUIET_PANICS.with(|q| q.set(true));
+    let result = catch_unwind(AssertUnwindSafe(f));
+    QUIET_PANICS.with(|q| q.set(false));
+    result.map_err(|_| ())
+}
+
+/// Supervisor tuning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SupervisorConfig {
+    /// Seed for every per-device RNG stream (breaker jitter).
+    pub seed: u64,
+    /// Per-device circuit-breaker tuning.
+    pub breaker: BreakerConfig,
+    /// Promotion-gate margins.
+    pub gate: GateConfig,
+    /// Live-precision floor: once a promoted model's precision (measured
+    /// since promotion) drops below this with enough samples, the
+    /// supervisor rolls back to last-known-good.
+    pub precision_floor: f64,
+    /// Plans required since promotion before precision is judged.
+    pub min_planned: usize,
+    /// Events between per-device checkpoint refreshes (the restart token).
+    pub checkpoint_every: usize,
+    /// Watchdog deadline in stream milliseconds: a registered device whose
+    /// last event trails the fleet watermark by more than this is tripped.
+    /// `0` disables the watchdog.
+    pub watchdog_deadline_ms: u64,
+    /// Spare capacity granted to each device's isolation engine.
+    pub budget: SparingBudget,
+    /// Degraded-stream guard in front of each monitor.
+    pub guard: GuardConfig,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            breaker: BreakerConfig::default(),
+            gate: GateConfig::default(),
+            precision_floor: 0.05,
+            min_planned: 8,
+            checkpoint_every: 64,
+            watchdog_deadline_ms: 0,
+            budget: SparingBudget::typical(),
+            guard: GuardConfig {
+                reorder_bound_ms: 300_000,
+            },
+        }
+    }
+}
+
+/// What happened to one routed event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteOutcome {
+    /// The device's monitor accepted the event (possibly buffering it).
+    Accepted,
+    /// The device is quarantined or evicted; the event was shed.
+    Shed,
+    /// Ingesting this event tripped the device's breaker (panic or
+    /// rejection-rate threshold); the monitor was restored from its last
+    /// checkpoint.
+    Tripped,
+}
+
+/// A point-in-time view of one supervised device.
+#[derive(Debug, Clone)]
+pub struct DeviceStatus {
+    /// The device.
+    pub id: DeviceId,
+    /// Breaker state.
+    pub state: BreakerState,
+    /// Events routed to the device (including shed ones).
+    pub routed: u64,
+    /// Events shed while quarantined/evicted.
+    pub shed: u64,
+    /// Lifetime breaker trips.
+    pub trips: u64,
+    /// Checkpoint restores performed.
+    pub restores: u64,
+    /// Panics contained while ingesting.
+    pub panics: u64,
+    /// The monitor's stats as of now.
+    pub stats: MonitorStats,
+}
+
+struct DeviceSlot {
+    monitor: CordialMonitor,
+    breaker: CircuitBreaker,
+    checkpoint: MonitorCheckpoint,
+    since_checkpoint: usize,
+    routed: u64,
+    shed: u64,
+    panics: u64,
+    restores: u64,
+    /// Chaos hook: every ingest at/after this routed count panics.
+    panic_after: Option<u64>,
+    last_seen_ms: u64,
+}
+
+/// Baseline for canary precision: fleet totals at promotion time.
+#[derive(Debug, Clone, Copy)]
+struct PrecisionBaseline {
+    banks_planned: usize,
+    plans_absorbing: usize,
+}
+
+/// Owns the per-device monitors and the model registry; routes interleaved
+/// multi-device streams and self-heals at the device and model level.
+pub struct FleetSupervisor {
+    config: SupervisorConfig,
+    registry: ModelRegistry,
+    devices: BTreeMap<DeviceId, DeviceSlot>,
+    watermark_ms: u64,
+    routed_total: u64,
+    shed_total: u64,
+    baseline: Option<PrecisionBaseline>,
+    rolled_back: bool,
+}
+
+impl FleetSupervisor {
+    /// A supervisor serving `pipeline` on every pre-registered device.
+    /// Devices not listed are auto-registered on their first event.
+    pub fn new(
+        config: SupervisorConfig,
+        pipeline: Cordial,
+        devices: impl IntoIterator<Item = DeviceId>,
+    ) -> Self {
+        install_quiet_hook();
+        let registry = ModelRegistry::new(pipeline);
+        let mut supervisor = Self {
+            config,
+            registry,
+            devices: BTreeMap::new(),
+            watermark_ms: 0,
+            routed_total: 0,
+            shed_total: 0,
+            baseline: None,
+            rolled_back: false,
+        };
+        for id in devices {
+            supervisor.register_device(id);
+        }
+        supervisor
+    }
+
+    /// Registers a device (idempotent): a fresh monitor on the incumbent
+    /// model behind a closed breaker.
+    pub fn register_device(&mut self, id: DeviceId) {
+        if self.devices.contains_key(&id) {
+            return;
+        }
+        let monitor = CordialMonitor::new(self.registry.incumbent().clone(), self.config.budget)
+            .with_guard_config(self.config.guard);
+        let checkpoint = monitor.checkpoint();
+        let breaker = CircuitBreaker::new(
+            self.config.breaker,
+            self.config.seed ^ id.salt().wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        self.devices.insert(
+            id,
+            DeviceSlot {
+                monitor,
+                breaker,
+                checkpoint,
+                since_checkpoint: 0,
+                routed: 0,
+                shed: 0,
+                panics: 0,
+                restores: 0,
+                panic_after: None,
+                last_seen_ms: 0,
+            },
+        );
+        cordial_obs::gauge!("fleet.devices.total").set(self.devices.len() as f64);
+    }
+
+    /// Chaos hook: from the `nth` routed event on, every ingest on `id`
+    /// panics (contained by the supervisor). Registers the device if
+    /// needed. Models a hard device fault, so the panic is sticky and the
+    /// device rides its breaker into eviction.
+    pub fn inject_panic_after(&mut self, id: DeviceId, nth: u64) {
+        self.register_device(id);
+        if let Some(slot) = self.devices.get_mut(&id) {
+            slot.panic_after = Some(nth.max(1));
+        }
+    }
+
+    /// Routes one event to its device's monitor through the breaker.
+    pub fn route(&mut self, event: ErrorEvent) -> RouteOutcome {
+        let id = DeviceId::of(&event.addr.bank);
+        self.register_device(id);
+        let now_ms = event.time.as_millis();
+        self.watermark_ms = self.watermark_ms.max(now_ms);
+        self.routed_total += 1;
+        cordial_obs::counter!("fleet.events.routed").inc();
+
+        let outcome = self.route_to_slot(id, event, now_ms);
+
+        if self.routed_total.is_multiple_of(SWEEP_EVERY) {
+            if self.config.watchdog_deadline_ms > 0 {
+                self.check_watchdogs();
+            }
+            self.maybe_rollback();
+        }
+        outcome
+    }
+
+    fn route_to_slot(&mut self, id: DeviceId, event: ErrorEvent, now_ms: u64) -> RouteOutcome {
+        let incumbent = self.registry.incumbent().clone();
+        let config = self.config;
+        let Some(slot) = self.devices.get_mut(&id) else {
+            return RouteOutcome::Shed;
+        };
+        slot.routed += 1;
+        slot.last_seen_ms = now_ms;
+
+        if slot.breaker.poll(now_ms) {
+            // Quarantine expired: probe on a monitor restored from the last
+            // good checkpoint.
+            Self::restore_slot(slot, &incumbent, &config);
+        }
+        if !slot.breaker.state().is_serving() {
+            slot.shed += 1;
+            self.shed_total += 1;
+            cordial_obs::counter!("fleet.events.shed").inc();
+            return RouteOutcome::Shed;
+        }
+
+        let must_panic = slot.panic_after.is_some_and(|nth| slot.routed >= nth);
+        let monitor = &mut slot.monitor;
+        let ingested = contain_panic(|| {
+            if must_panic {
+                panic!("injected device fault");
+            }
+            monitor.ingest_guarded(event)
+        });
+        let outcomes = match ingested {
+            Ok(outcomes) => outcomes,
+            Err(()) => {
+                slot.panics += 1;
+                cordial_obs::counter!("fleet.breaker.panics").inc();
+                Self::trip_slot(slot, &incumbent, &config, now_ms);
+                self.update_health_gauges();
+                return RouteOutcome::Tripped;
+            }
+        };
+
+        cordial_obs::counter!("fleet.events.accepted").inc();
+        for (_, outcome) in &outcomes {
+            let failure = matches!(outcome, IngestOutcome::Rejected { .. });
+            if slot.breaker.record(now_ms, failure) {
+                Self::trip_slot(slot, &incumbent, &config, now_ms);
+                self.update_health_gauges();
+                return RouteOutcome::Tripped;
+            }
+        }
+
+        slot.since_checkpoint += 1;
+        if slot.since_checkpoint >= config.checkpoint_every.max(1) {
+            slot.checkpoint = slot.monitor.checkpoint();
+            slot.since_checkpoint = 0;
+            cordial_obs::counter!("fleet.checkpoints").inc();
+        }
+        RouteOutcome::Accepted
+    }
+
+    /// Quarantines `slot` and discards possibly-poisoned monitor state by
+    /// restoring from the last checkpoint.
+    fn trip_slot(
+        slot: &mut DeviceSlot,
+        incumbent: &Cordial,
+        config: &SupervisorConfig,
+        now_ms: u64,
+    ) {
+        slot.breaker.trip(now_ms);
+        cordial_obs::counter!("fleet.breaker.trips").inc();
+        if slot.breaker.state() == BreakerState::Evicted {
+            cordial_obs::counter!("fleet.breaker.evictions").inc();
+        }
+        Self::restore_slot(slot, incumbent, config);
+    }
+
+    fn restore_slot(slot: &mut DeviceSlot, incumbent: &Cordial, config: &SupervisorConfig) {
+        slot.monitor = match CordialMonitor::restore(incumbent.clone(), slot.checkpoint.clone()) {
+            Ok(monitor) => monitor,
+            // Unreachable (the checkpoint was minted by this build), but a
+            // fresh monitor is the safe degraded fallback.
+            Err(_) => CordialMonitor::new(incumbent.clone(), config.budget)
+                .with_guard_config(config.guard),
+        };
+        slot.since_checkpoint = 0;
+        slot.restores += 1;
+        cordial_obs::counter!("fleet.breaker.restores").inc();
+    }
+
+    /// Trips every registered device whose stream has silently stalled:
+    /// no event for `watchdog_deadline_ms` of stream time while the fleet
+    /// watermark kept advancing.
+    fn check_watchdogs(&mut self) {
+        let deadline = self.config.watchdog_deadline_ms;
+        let watermark = self.watermark_ms;
+        let incumbent = self.registry.incumbent().clone();
+        let config = self.config;
+        for slot in self.devices.values_mut() {
+            if slot.breaker.state() == BreakerState::Closed
+                && watermark.saturating_sub(slot.last_seen_ms) > deadline
+            {
+                cordial_obs::counter!("fleet.watchdog.trips").inc();
+                Self::trip_slot(slot, &incumbent, &config, watermark);
+            }
+        }
+        self.update_health_gauges();
+    }
+
+    /// Shadow-scores `candidate` against the incumbent on a calibration
+    /// bank set; swaps it into every monitor only if it clears the gate.
+    pub fn consider_candidate(
+        &mut self,
+        candidate: Cordial,
+        dataset: &FleetDataset,
+        calibration: &[BankAddress],
+    ) -> PromotionDecision {
+        let budget = self.config.budget;
+        let guard = self.config.guard;
+        let candidate_score = shadow_score(&candidate, dataset, calibration, budget, guard);
+        let incumbent_score = shadow_score(
+            self.registry.incumbent(),
+            dataset,
+            calibration,
+            budget,
+            guard,
+        );
+        match clears_gate(&candidate_score, &incumbent_score, &self.config.gate) {
+            Ok(()) => {
+                cordial_obs::counter!("fleet.model.promotions").inc();
+                self.adopt(candidate);
+                PromotionDecision::Promoted {
+                    candidate: candidate_score,
+                    incumbent: incumbent_score,
+                }
+            }
+            Err(reason) => {
+                cordial_obs::counter!("fleet.model.rejections").inc();
+                self.registry.note_rejection();
+                PromotionDecision::Rejected {
+                    candidate: candidate_score,
+                    incumbent: incumbent_score,
+                    reason,
+                }
+            }
+        }
+    }
+
+    /// Installs `candidate` bypassing the gate — an operator override (and
+    /// the chaos hook that lets tests exercise rollback).
+    pub fn force_promote(&mut self, candidate: Cordial) {
+        cordial_obs::counter!("fleet.model.forced").inc();
+        self.adopt(candidate);
+    }
+
+    fn adopt(&mut self, candidate: Cordial) {
+        self.registry.promote(candidate.clone());
+        for slot in self.devices.values_mut() {
+            slot.monitor.swap_pipeline(candidate.clone());
+        }
+        self.baseline = Some(PrecisionBaseline {
+            banks_planned: self.total_banks_planned(),
+            plans_absorbing: self.total_plans_absorbing(),
+        });
+        self.rolled_back = false;
+    }
+
+    /// The canary's current evidence: plans made since the last promotion
+    /// and the live precision over them (`None` before any promotion; a
+    /// plan-free sample reads as perfect precision).
+    pub fn canary_sample(&self) -> Option<(usize, f64)> {
+        let baseline = self.baseline?;
+        let planned = self
+            .total_banks_planned()
+            .saturating_sub(baseline.banks_planned);
+        let absorbing = self
+            .total_plans_absorbing()
+            .saturating_sub(baseline.plans_absorbing);
+        if planned == 0 {
+            return Some((0, 1.0));
+        }
+        Some((planned, absorbing as f64 / planned as f64))
+    }
+
+    /// Canary check: live precision measured *since the last promotion*
+    /// (new plans that went on to absorb / new plans made). Rolls back to
+    /// last-known-good and returns the failing precision when it sinks
+    /// below the floor with at least `min_planned` samples.
+    pub fn maybe_rollback(&mut self) -> Option<f64> {
+        let baseline = self.baseline?;
+        if self.rolled_back {
+            return None;
+        }
+        let planned = self
+            .total_banks_planned()
+            .saturating_sub(baseline.banks_planned);
+        let absorbing = self
+            .total_plans_absorbing()
+            .saturating_sub(baseline.plans_absorbing);
+        if planned < self.config.min_planned.max(1) {
+            return None;
+        }
+        let precision = absorbing as f64 / planned as f64;
+        cordial_obs::gauge!("fleet.model.live_precision").set(precision);
+        if precision >= self.config.precision_floor {
+            return None;
+        }
+        cordial_obs::counter!("fleet.model.rollbacks").inc();
+        let good = self.registry.rollback();
+        for slot in self.devices.values_mut() {
+            slot.monitor.swap_pipeline(good.clone());
+        }
+        self.rolled_back = true;
+        Some(precision)
+    }
+
+    /// Flushes every serving monitor's reorder buffer and publishes the
+    /// end-of-run health gauges and the per-device availability histogram.
+    pub fn finish(&mut self) {
+        for slot in self.devices.values_mut() {
+            if slot.breaker.state().is_serving() {
+                slot.monitor.flush_guarded();
+            }
+            if slot.routed > 0 {
+                let availability = (slot.routed - slot.shed) as f64 / slot.routed as f64;
+                cordial_obs::histogram!("fleet.device.availability", AVAILABILITY_BOUNDS)
+                    .observe(availability);
+            }
+        }
+        self.update_health_gauges();
+    }
+
+    fn update_health_gauges(&self) {
+        let mut healthy = 0u64;
+        let mut quarantined = 0u64;
+        let mut evicted = 0u64;
+        for slot in self.devices.values() {
+            match slot.breaker.state() {
+                BreakerState::Closed => healthy += 1,
+                BreakerState::Open | BreakerState::HalfOpen => quarantined += 1,
+                BreakerState::Evicted => evicted += 1,
+            }
+        }
+        cordial_obs::gauge!("fleet.devices.healthy").set(healthy as f64);
+        cordial_obs::gauge!("fleet.devices.quarantined").set(quarantined as f64);
+        cordial_obs::gauge!("fleet.devices.evicted").set(evicted as f64);
+    }
+
+    fn total_banks_planned(&self) -> usize {
+        self.devices
+            .values()
+            .map(|s| s.monitor.stats().banks_planned)
+            .sum()
+    }
+
+    fn total_plans_absorbing(&self) -> usize {
+        self.devices
+            .values()
+            .map(|s| s.monitor.stats().plans_absorbing)
+            .sum()
+    }
+
+    /// The model currently serving on every healthy device.
+    pub fn incumbent(&self) -> &Cordial {
+        self.registry.incumbent()
+    }
+
+    /// Lifecycle counters (promotions / rejections / rollbacks).
+    pub fn registry(&self) -> &ModelRegistry {
+        &self.registry
+    }
+
+    /// All registered devices in address order.
+    pub fn device_ids(&self) -> Vec<DeviceId> {
+        self.devices.keys().copied().collect()
+    }
+
+    /// A snapshot of one device.
+    pub fn status(&self, id: DeviceId) -> Option<DeviceStatus> {
+        self.devices.get(&id).map(|slot| DeviceStatus {
+            id,
+            state: slot.breaker.state(),
+            routed: slot.routed,
+            shed: slot.shed,
+            trips: slot.breaker.trips(),
+            restores: slot.restores,
+            panics: slot.panics,
+            stats: slot.monitor.stats(),
+        })
+    }
+
+    /// Snapshots of every device, in address order.
+    pub fn statuses(&self) -> Vec<DeviceStatus> {
+        self.devices
+            .keys()
+            .copied()
+            .filter_map(|id| self.status(id))
+            .collect()
+    }
+
+    /// Devices whose breaker has ever tripped, in address order.
+    pub fn tripped_devices(&self) -> Vec<DeviceId> {
+        self.devices
+            .iter()
+            .filter(|(_, slot)| slot.breaker.trips() > 0)
+            .map(|(id, _)| *id)
+            .collect()
+    }
+
+    /// Permanently evicted devices, in address order.
+    pub fn evicted_devices(&self) -> Vec<DeviceId> {
+        self.devices
+            .iter()
+            .filter(|(_, slot)| slot.breaker.state() == BreakerState::Evicted)
+            .map(|(id, _)| *id)
+            .collect()
+    }
+
+    /// Fraction of routed events that were actually served (not shed).
+    pub fn availability(&self) -> f64 {
+        if self.routed_total == 0 {
+            1.0
+        } else {
+            (self.routed_total - self.shed_total) as f64 / self.routed_total as f64
+        }
+    }
+
+    /// Total events routed so far.
+    pub fn events_routed(&self) -> u64 {
+        self.routed_total
+    }
+
+    /// Total events shed so far.
+    pub fn events_shed(&self) -> u64 {
+        self.shed_total
+    }
+
+    /// The highest event timestamp seen, in stream milliseconds.
+    pub fn watermark_ms(&self) -> u64 {
+        self.watermark_ms
+    }
+}

@@ -1,0 +1,268 @@
+//! Acceptance tests for the fleet supervisor: the ISSUE's chaos scenario
+//! (kill 10%, corrupt 5%, quarantine exactly the offenders, healthy stats
+//! byte-identical), the model promotion gate + rollback, the watchdog, and
+//! determinism across runs and thread counts.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use cordial::monitor::MonitorStats;
+use cordial::pipeline::Cordial;
+use cordial::split::split_banks;
+use cordial::{CordialConfig, ModelKind};
+use cordial_faultsim::{generate_fleet_dataset, FleetDataset, FleetDatasetConfig, SparingBudget};
+use cordial_fleet::{
+    run_fleet_harness, BreakerState, DeviceId, FleetHarnessConfig, FleetSupervisor,
+    PromotionDecision, SupervisorConfig,
+};
+use cordial_mcelog::{ErrorEvent, ErrorType, Timestamp};
+use cordial_topology::{BankAddress, ColId, NpuId, RowId};
+
+/// Serialises tests that toggle the process-global metrics registry.
+static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+fn obs_guard() -> std::sync::MutexGuard<'static, ()> {
+    OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn fitted(dataset: &FleetDataset, seed: u64, model: ModelKind) -> Cordial {
+    let split = split_banks(dataset, 0.7, seed);
+    let config = CordialConfig::with_model(model).with_seed(seed);
+    Cordial::fit(dataset, &split.train, &config).unwrap()
+}
+
+/// The acceptance-criteria scenario: ≥10 devices, 10% killed via panic
+/// injection, 5% of streams corrupted, and the supervisor quarantines
+/// exactly the offending devices while availability clears the floor.
+#[test]
+fn fleet_harness_quarantines_exactly_the_offenders() {
+    let config = FleetHarnessConfig::default();
+    let report = run_fleet_harness(&config).unwrap();
+    let rendered = report.render();
+
+    assert!(
+        report.devices >= 10,
+        "need a real fleet: {}",
+        report.devices
+    );
+    assert!(!report.killed.is_empty(), "10% kill must target someone");
+    assert!(
+        !report.corrupted.is_empty(),
+        "5% corrupt must target someone"
+    );
+    assert!(report.all_passed(), "fleet harness failed:\n{rendered}");
+    assert!(report.events_shed > 0, "tripped devices must shed traffic");
+    assert!(report.availability < 1.0 && report.availability >= config.min_availability);
+
+    // The render is the greppable CI surface.
+    assert!(rendered.contains("invariant quarantine-exact: PASS"));
+    assert!(rendered.contains("invariant availability-floor: PASS"));
+    assert!(rendered.contains("fleet verdict: PASS"));
+}
+
+/// Healthy devices must not notice the chaos at all: their MonitorStats are
+/// byte-identical (full `Eq`) to the same fleet run with zero injection.
+#[test]
+fn healthy_devices_are_byte_identical_to_an_uninjected_run() {
+    let injected = run_fleet_harness(&FleetHarnessConfig::default()).unwrap();
+    let clean = run_fleet_harness(&FleetHarnessConfig {
+        kill_fraction: 0.0,
+        corrupt_fraction: 0.0,
+        ..FleetHarnessConfig::default()
+    })
+    .unwrap();
+
+    assert!(clean.tripped.is_empty(), "{}", clean.render());
+    assert_eq!(clean.availability, 1.0);
+
+    let clean_stats: BTreeMap<DeviceId, MonitorStats> =
+        clean.statuses.iter().map(|s| (s.id, s.stats)).collect();
+    let healthy = injected.healthy_stats();
+    assert!(!healthy.is_empty());
+    for (id, stats) in healthy {
+        assert_eq!(
+            clean_stats.get(&id),
+            Some(&stats),
+            "healthy device {id} diverged from the uninjected run"
+        );
+    }
+}
+
+/// The same config yields the same verdicts, stats and tripped set across
+/// repeat runs and across training thread counts.
+#[test]
+fn fleet_harness_is_deterministic_and_thread_invariant() {
+    let base = FleetHarnessConfig::default();
+    let a = run_fleet_harness(&base).unwrap();
+    let b = run_fleet_harness(&base).unwrap();
+    let threaded = run_fleet_harness(&FleetHarnessConfig {
+        n_threads: 4,
+        ..base.clone()
+    })
+    .unwrap();
+
+    for other in [&b, &threaded] {
+        assert_eq!(a.tripped, other.tripped);
+        assert_eq!(a.evicted, other.evicted);
+        assert_eq!(a.availability, other.availability);
+        assert_eq!(a.events_routed, other.events_routed);
+        assert_eq!(a.events_shed, other.events_shed);
+        let pairs = a.statuses.iter().zip(&other.statuses);
+        for (x, y) in pairs {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.stats, y.stats, "device {} stats diverged", x.id);
+            assert_eq!(x.trips, y.trips);
+        }
+    }
+}
+
+/// The `fleet.*` metric families join the suite-wide thread-invariance
+/// contract: identical digests for 1 and 4 training threads.
+#[test]
+fn fleet_telemetry_digest_is_thread_invariant() {
+    let _guard = obs_guard();
+    cordial_obs::set_enabled(true);
+    let mut digests = Vec::new();
+    for n_threads in [1, 4] {
+        let config = FleetHarnessConfig {
+            n_threads,
+            ..FleetHarnessConfig::default()
+        };
+        cordial_obs::reset();
+        let report = run_fleet_harness(&config).unwrap();
+        assert!(report.all_passed(), "{}", report.render());
+        digests.push(cordial_obs::snapshot().digest());
+    }
+    cordial_obs::set_enabled(false);
+    for family in [
+        "fleet.events.routed",
+        "fleet.events.shed",
+        "fleet.breaker.trips",
+        "fleet.device.availability.count",
+    ] {
+        assert!(
+            digests[0].contains_key(family),
+            "digest must cover {family}: {:?}",
+            digests[0].keys().collect::<Vec<_>>()
+        );
+    }
+    assert_eq!(
+        digests[0], digests[1],
+        "fleet telemetry must not depend on the thread count"
+    );
+}
+
+/// A miscalibrated candidate is rejected by the shadow-scoring gate; when an
+/// operator forces it in anyway, the live-precision canary rolls the fleet
+/// back to the last-known-good model.
+#[test]
+fn gate_rejects_bad_model_and_precision_canary_rolls_it_back() {
+    let dataset = generate_fleet_dataset(&FleetDatasetConfig::small(), 7);
+    let split = split_banks(&dataset, 0.7, 7);
+    let good = fitted(&dataset, 7, ModelKind::default());
+    // An overconfident decision threshold: the classifier predicts almost no
+    // blocks, so every plan isolates nothing and never absorbs a UER.
+    let bad_config = CordialConfig {
+        block_threshold: Some(0.999),
+        ..CordialConfig::default().with_seed(7)
+    };
+    let bad = Cordial::fit(&dataset, &split.train, &bad_config).unwrap();
+    assert_ne!(good, bad, "the miscalibrated model must differ");
+
+    let devices: std::collections::BTreeSet<DeviceId> = dataset
+        .log
+        .events()
+        .iter()
+        .map(|e| DeviceId::of(&e.addr.bank))
+        .collect();
+    let config = SupervisorConfig {
+        precision_floor: 0.10,
+        min_planned: 5,
+        // No whole-bank sparing: a bank plan that cannot be applied absorbs
+        // nothing, so live precision reflects row-plan quality alone.
+        budget: SparingBudget {
+            spare_rows_per_bank: 64,
+            spare_banks_per_hbm: 0,
+        },
+        ..SupervisorConfig::default()
+    };
+    let mut supervisor = FleetSupervisor::new(config, good.clone(), devices);
+
+    // 1. The gate shadow-scores and refuses the degenerate candidate.
+    let decision = supervisor.consider_candidate(bad.clone(), &dataset, &split.test);
+    let PromotionDecision::Rejected { reason, .. } = &decision else {
+        panic!("gate must reject the degenerate model: {decision:?}");
+    };
+    assert!(!reason.is_empty());
+    assert_eq!(supervisor.registry().rejections(), 1);
+    assert_eq!(supervisor.incumbent(), &good);
+
+    // 2. Forced past the gate, the canary catches it live and rolls back.
+    supervisor.force_promote(bad.clone());
+    assert_eq!(supervisor.incumbent(), &bad);
+    for event in dataset.log.events() {
+        supervisor.route(*event);
+    }
+    supervisor.finish();
+    supervisor.maybe_rollback();
+
+    assert_eq!(
+        supervisor.registry().rollbacks(),
+        1,
+        "live precision under the floor must trigger exactly one rollback"
+    );
+    assert_eq!(
+        supervisor.incumbent(),
+        &good,
+        "rollback restores last-known-good"
+    );
+}
+
+/// A registered device whose stream goes silent while the fleet watermark
+/// advances is tripped by the watchdog.
+#[test]
+fn watchdog_trips_a_silently_stalled_device() {
+    let dataset = generate_fleet_dataset(&FleetDatasetConfig::small(), 7);
+    let good = fitted(&dataset, 7, ModelKind::default());
+
+    let chatty_bank = BankAddress::default();
+    let silent_bank = BankAddress {
+        npu: NpuId(7),
+        ..BankAddress::default()
+    };
+    let chatty = DeviceId::of(&chatty_bank);
+    let silent = DeviceId::of(&silent_bank);
+
+    let config = SupervisorConfig {
+        // One hour of stream time without events while others progress.
+        watchdog_deadline_ms: 3_600_000,
+        ..SupervisorConfig::default()
+    };
+    let mut supervisor = FleetSupervisor::new(config, good, [chatty, silent]);
+
+    // The silent device speaks once at t=0, then stalls while the chatty
+    // one streams CEs for ~8 hours of simulated time.
+    supervisor.route(ErrorEvent::new(
+        silent_bank.cell(RowId(1), ColId(0)),
+        Timestamp::from_secs(0),
+        ErrorType::Ce,
+    ));
+    for i in 0..500u64 {
+        supervisor.route(ErrorEvent::new(
+            chatty_bank.cell(RowId(i as u32 % 64), ColId(0)),
+            Timestamp::from_secs(i * 60),
+            ErrorType::Ce,
+        ));
+    }
+    supervisor.finish();
+
+    let silent_status = supervisor.status(silent).unwrap();
+    let chatty_status = supervisor.status(chatty).unwrap();
+    assert!(
+        silent_status.trips > 0,
+        "watchdog must trip the stalled device"
+    );
+    assert_ne!(silent_status.state, BreakerState::Closed);
+    assert_eq!(chatty_status.trips, 0, "a progressing device must not trip");
+    assert_eq!(chatty_status.state, BreakerState::Closed);
+}

@@ -19,6 +19,7 @@
 pub use cordial;
 pub use cordial_chaos as chaos;
 pub use cordial_faultsim as faultsim;
+pub use cordial_fleet as fleet;
 pub use cordial_mcelog as mcelog;
 pub use cordial_topology as topology;
 pub use cordial_trees as trees;
