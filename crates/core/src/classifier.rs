@@ -87,9 +87,44 @@ impl PatternClassifier {
 
     /// Classifies an observed window.
     pub fn classify_window(&self, window: &ObservedWindow<'_>) -> CoarsePattern {
-        let mut features = bank_features(window, &self.geom);
+        self.classify_masked(bank_features(window, &self.geom), None)
+    }
+
+    /// Classifies from a pre-computed **raw** (unmasked) §IV-B feature
+    /// vector, optionally through a flattened model twin. The monitor's
+    /// incremental path computes features once and shares them between
+    /// classification and cross-row prediction; the flat twin produces
+    /// bit-identical probabilities, so the predicted class never differs
+    /// from the pointer-based model.
+    pub fn classify_from_features(
+        &self,
+        raw_features: &[f64],
+        flat: Option<&cordial_trees::FlatEnsemble>,
+    ) -> CoarsePattern {
+        self.classify_masked(raw_features.to_vec(), flat)
+    }
+
+    fn classify_masked(
+        &self,
+        mut features: Vec<f64>,
+        flat: Option<&cordial_trees::FlatEnsemble>,
+    ) -> CoarsePattern {
         mask_bank_features(&mut features, &self.mask);
-        CoarsePattern::from_class_index(self.model.predict(&features))
+        let class = match flat {
+            Some(flat) => flat.predict(&features),
+            None => self.model.predict(&features),
+        };
+        CoarsePattern::from_class_index(class)
+    }
+
+    /// The trained model (flat-twin construction).
+    pub fn model(&self) -> &TrainedModel {
+        &self.model
+    }
+
+    /// The geometry features are normalised against.
+    pub(crate) fn geom(&self) -> &HbmGeometry {
+        &self.geom
     }
 
     /// Classifies a bank history, returning `None` when the bank has not yet

@@ -275,6 +275,85 @@ impl CrossRowPredictor {
         }
         rows
     }
+
+    /// [`CrossRowPredictor::predicted_rows`] from a pre-computed **raw**
+    /// (unmasked) §IV-B bank feature vector, optionally through flattened
+    /// model twins.
+    ///
+    /// This is the plan hot path: [`crate::pipeline::Cordial`] computes the
+    /// bank features once per plan and shares them between classification
+    /// and block prediction instead of rescanning the window per stage.
+    /// The flat twins produce bit-identical probabilities, so the rows
+    /// never differ from the pointer-based path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pattern` is [`CoarsePattern::Scattered`].
+    pub fn predicted_rows_from_features(
+        &self,
+        window: &ObservedWindow<'_>,
+        pattern: CoarsePattern,
+        raw_features: &[f64],
+        flat: Option<&crate::pipeline::FlatPipeline>,
+    ) -> Vec<RowId> {
+        let (model, flat_model) = match pattern {
+            CoarsePattern::SingleRow => (&self.single, flat.and_then(|f| f.single.as_ref())),
+            CoarsePattern::DoubleRow => (&self.double, flat.and_then(|f| f.double.as_ref())),
+            CoarsePattern::Scattered => {
+                panic!("cross-row prediction is not defined for scattered banks")
+            }
+        };
+        let threshold = self.threshold(pattern);
+        let Some(anchor) = window.last_uer_row() else {
+            return Vec::new();
+        };
+        let mut bank_feats = raw_features.to_vec();
+        mask_bank_features(&mut bank_feats, &self.mask);
+        let mut rows = Vec::new();
+        let flat_timer = flat_model.map(|_| std::time::Instant::now());
+        let block_rows: Vec<Vec<f64>> = (0..self.spec.n_blocks)
+            .map(|index| {
+                let (lo, hi) = self.spec.block_bounds(anchor, index);
+                block_features(window, &bank_feats, index, lo, hi, anchor.0 as i64)
+            })
+            .collect();
+        let probas: Vec<f64> = match flat_model {
+            // All blocks of a plan go through the flat ensemble as one
+            // batch: rows share a single binning buffer and traverse the
+            // packed node pool together ([`FlatEnsemble::predict_proba_batch`]
+            // is bit-identical to the per-row path).
+            Some(flat_model) => {
+                let refs: Vec<&[f64]> = block_rows.iter().map(Vec::as_slice).collect();
+                flat_model
+                    .predict_proba_batch(&refs)
+                    .iter()
+                    .map(|proba| proba[1])
+                    .collect()
+            }
+            None => block_rows
+                .iter()
+                .map(|features| model.predict_proba(features)[1])
+                .collect(),
+        };
+        for (index, proba) in probas.iter().enumerate() {
+            if *proba >= threshold {
+                rows.extend(self.spec.rows_in_block(anchor, index, &self.geom));
+            }
+        }
+        if let Some(start) = flat_timer {
+            // Wall-clock values vary run to run but the observation *count*
+            // is deterministic, which is all the telemetry digest pins.
+            cordial_obs::histogram!("plan.flat_infer.seconds", cordial_obs::DURATION_BOUNDS)
+                .observe(start.elapsed().as_secs_f64());
+        }
+        rows
+    }
+
+    /// The per-pattern block models, `(single, double)` (flat-twin
+    /// construction).
+    pub(crate) fn models(&self) -> (&TrainedModel, &TrainedModel) {
+        (&self.single, &self.double)
+    }
 }
 
 /// Picks the probability threshold for block predictions on the training

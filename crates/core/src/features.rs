@@ -15,7 +15,9 @@
 //! Missing values (e.g. no UEO observed) are encoded as `NaN`; every model
 //! in [`cordial_trees`] is NaN-tolerant by construction.
 
-use cordial_mcelog::{ErrorType, ObservedWindow};
+use std::cell::RefCell;
+
+use cordial_mcelog::{ErrorType, ObservedWindow, Timestamp};
 use cordial_topology::HbmGeometry;
 
 /// Names of the bank-level features, aligned with
@@ -71,17 +73,17 @@ pub const BLOCK_FEATURE_LEN: usize = BLOCK_CONTEXT_FEATURE_NAMES.len() + BANK_FE
 /// same NaN encoding as [`consecutive_abs_diff_stats`] (all-NaN below two
 /// values). `f64::min`/`f64::max` discard the NaN seed exactly like the
 /// fold in [`min_of`]/[`max_of`].
-#[derive(Clone, Copy)]
-struct DiffScan {
-    prev: f64,
-    seen: usize,
-    min: f64,
-    max: f64,
-    sum: f64,
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct DiffScan {
+    pub(crate) prev: f64,
+    pub(crate) seen: usize,
+    pub(crate) min: f64,
+    pub(crate) max: f64,
+    pub(crate) sum: f64,
 }
 
 impl DiffScan {
-    const EMPTY: Self = Self {
+    pub(crate) const EMPTY: Self = Self {
         prev: f64::NAN,
         seen: 0,
         min: f64::NAN,
@@ -89,7 +91,7 @@ impl DiffScan {
         sum: 0.0,
     };
 
-    fn absorb(&mut self, value: f64) {
+    pub(crate) fn absorb(&mut self, value: f64) {
         if self.seen > 0 {
             let diff = (value - self.prev).abs();
             self.min = self.min.min(diff);
@@ -100,7 +102,7 @@ impl DiffScan {
         self.seen += 1;
     }
 
-    fn mean(&self) -> f64 {
+    pub(crate) fn mean(&self) -> f64 {
         if self.seen < 2 {
             f64::NAN
         } else {
@@ -110,25 +112,52 @@ impl DiffScan {
 }
 
 /// Running per-severity aggregates of one [`bank_features`] scan.
-#[derive(Clone, Copy)]
-struct SeverityScan {
-    row_min: f64,
-    row_max: f64,
-    times: DiffScan,
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SeverityScan {
+    pub(crate) row_min: f64,
+    pub(crate) row_max: f64,
+    pub(crate) times: DiffScan,
 }
 
 impl SeverityScan {
-    const EMPTY: Self = Self {
+    pub(crate) const EMPTY: Self = Self {
         row_min: f64::NAN,
         row_max: f64::NAN,
         times: DiffScan::EMPTY,
     };
 
-    fn absorb(&mut self, row: f64, time_s: f64) {
+    pub(crate) fn absorb(&mut self, row: f64, time_s: f64) {
         self.row_min = self.row_min.min(row);
         self.row_max = self.row_max.max(row);
         self.times.absorb(time_s);
     }
+}
+
+/// Reusable buffers for [`bank_features_with_scratch`].
+///
+/// A fresh scan buffers candidate pre-first-UER timestamps and pairwise UER
+/// row distances in `Vec`s; allocating them anew per call is measurable when
+/// a plan batch scans thousands of windows. Threading one scratch through a
+/// batch (the monitor and [`crate::pipeline::Cordial::plan_batch`] keep one
+/// per worker thread) amortises the allocations across every scan.
+#[derive(Debug, Default)]
+pub struct FeatureScratch {
+    pending_ce: Vec<Timestamp>,
+    pending_ueo: Vec<Timestamp>,
+    pairwise: Vec<f64>,
+}
+
+impl FeatureScratch {
+    /// An empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+thread_local! {
+    /// Per-thread scratch behind [`bank_features`], so every caller —
+    /// training loops included — reuses buffers without threading state.
+    static BANK_FEATURE_SCRATCH: RefCell<FeatureScratch> = RefCell::new(FeatureScratch::new());
 }
 
 /// Extracts the §IV-B bank-level feature vector from an observed window.
@@ -139,6 +168,21 @@ impl SeverityScan {
 /// training, so this is a hot path). The output — NaN encodings included —
 /// is identical to computing each statistic with its own filtered pass.
 pub fn bank_features(window: &ObservedWindow<'_>, geom: &HbmGeometry) -> Vec<f64> {
+    BANK_FEATURE_SCRATCH.with(|scratch| match scratch.try_borrow_mut() {
+        Ok(mut scratch) => bank_features_with_scratch(window, geom, &mut scratch),
+        // Re-entrant call (not expected on any current path): fall back to
+        // a one-shot scratch rather than panicking.
+        Err(_) => bank_features_with_scratch(window, geom, &mut FeatureScratch::new()),
+    })
+}
+
+/// [`bank_features`] with caller-owned scratch buffers (see
+/// [`FeatureScratch`]).
+pub fn bank_features_with_scratch(
+    window: &ObservedWindow<'_>,
+    geom: &HbmGeometry,
+    scratch: &mut FeatureScratch,
+) -> Vec<f64> {
     let events = window.events();
 
     let mut ce = SeverityScan::EMPTY;
@@ -153,8 +197,10 @@ pub fn bank_features(window: &ObservedWindow<'_>, geom: &HbmGeometry) -> Vec<f64
     let mut first_uer_time = None;
     let mut ce_before = 0usize;
     let mut ueo_before = 0usize;
-    let mut pending_ce = Vec::new();
-    let mut pending_ueo = Vec::new();
+    let pending_ce = &mut scratch.pending_ce;
+    let pending_ueo = &mut scratch.pending_ueo;
+    pending_ce.clear();
+    pending_ueo.clear();
 
     for e in events {
         let row = e.addr.row.0 as f64;
@@ -199,7 +245,8 @@ pub fn bank_features(window: &ObservedWindow<'_>, geom: &HbmGeometry) -> Vec<f64
 
     // Pairwise distances among the distinct observed UER rows.
     let distinct_uer: Vec<f64> = window.uer_rows().iter().map(|r| r.0 as f64).collect();
-    let mut pairwise: Vec<f64> = Vec::new();
+    let pairwise = &mut scratch.pairwise;
+    pairwise.clear();
     for i in 0..distinct_uer.len() {
         for j in (i + 1)..distinct_uer.len() {
             pairwise.push((distinct_uer[i] - distinct_uer[j]).abs());

@@ -1,0 +1,330 @@
+//! Incrementally maintained §IV-B bank features (the monitor's ingest→plan
+//! fast path).
+//!
+//! [`crate::features::bank_features`] rescans a bank's whole observed
+//! window per plan call. A monitor that replans per ingested batch pays
+//! that scan — plus a clone-and-sort of the event buffer to build a
+//! [`cordial_mcelog::BankErrorHistory`] — on every trigger.
+//! [`IncrementalBankFeatures`] maintains the same statistics under O(1)
+//! amortised per-event updates instead: the per-severity extrema and
+//! running diff accumulators of the reference scan absorb each event as it
+//! arrives, and the feature vector is assembled on demand in O(feature
+//! count).
+//!
+//! **Bit-identity contract.** When events arrive nondecreasing by
+//! [`MceLog::sort_key`] (equal keys allowed — the reference sort is
+//! stable), absorbing them one by one visits the exact event sequence the
+//! reference scan sees, applying the *same f64 operations in the same
+//! order*. [`IncrementalBankFeatures::vector`] is therefore bit-identical
+//! to the reference — NaN encodings of empty severities included — which
+//! property tests pin down. An out-of-order arrival permanently marks the
+//! state unsorted and `vector` returns `None`; callers then fall back to
+//! the reference scan (the monitor counts both paths, see
+//! `monitor.features.*` counters).
+
+use cordial_mcelog::{ErrorEvent, ErrorType, MceLog, Timestamp};
+use cordial_topology::{CellAddress, HbmGeometry, RowId};
+
+use crate::features::{DiffScan, SeverityScan, BANK_FEATURE_NAMES};
+
+/// Streaming twin of [`crate::features::bank_features`]: absorbs a bank's
+/// events one at a time and reproduces the reference feature vector
+/// bit-for-bit (see the [module docs](self) for the contract).
+#[derive(Debug, Clone)]
+pub struct IncrementalBankFeatures {
+    ce: SeverityScan,
+    ueo: SeverityScan,
+    uer: SeverityScan,
+    all_rows: DiffScan,
+    uer_rows: DiffScan,
+    first_uer_time: Option<Timestamp>,
+    ce_before: usize,
+    ueo_before: usize,
+    /// Candidate pre-first-UER timestamps; cleared once the first UER fixes
+    /// the counts, so a long UER-free stream is the only case that buffers.
+    pending_ce: Vec<Timestamp>,
+    pending_ueo: Vec<Timestamp>,
+    /// Distinct UER rows in first-occurrence order (bounded by the
+    /// monitor's `k_uers`, 3 in the paper configuration).
+    distinct_uer: Vec<RowId>,
+    n_events: usize,
+    last_key: Option<(Timestamp, CellAddress, ErrorType)>,
+    sorted: bool,
+}
+
+impl Default for IncrementalBankFeatures {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl IncrementalBankFeatures {
+    /// Empty state: no events absorbed, arrival order (vacuously) sorted.
+    pub fn new() -> Self {
+        Self {
+            ce: SeverityScan::EMPTY,
+            ueo: SeverityScan::EMPTY,
+            uer: SeverityScan::EMPTY,
+            all_rows: DiffScan::EMPTY,
+            uer_rows: DiffScan::EMPTY,
+            first_uer_time: None,
+            ce_before: 0,
+            ueo_before: 0,
+            pending_ce: Vec::new(),
+            pending_ueo: Vec::new(),
+            distinct_uer: Vec::new(),
+            n_events: 0,
+            last_key: None,
+            sorted: true,
+        }
+    }
+
+    /// Whether every absorbed event arrived nondecreasing by
+    /// [`MceLog::sort_key`] — the precondition for [`Self::vector`].
+    pub fn is_sorted(&self) -> bool {
+        self.sorted
+    }
+
+    /// Number of events absorbed.
+    pub fn n_events(&self) -> usize {
+        self.n_events
+    }
+
+    /// Distinct UER rows absorbed so far, in first-occurrence order.
+    pub fn distinct_uer_rows(&self) -> &[RowId] {
+        &self.distinct_uer
+    }
+
+    /// Absorbs one event in arrival order.
+    ///
+    /// An event whose sort key is strictly below the previous one marks the
+    /// state permanently unsorted; further statistics updates are skipped
+    /// (the state can no longer match any sorted window) and
+    /// [`Self::vector`] returns `None`.
+    pub fn absorb(&mut self, event: &ErrorEvent) {
+        self.n_events += 1;
+        let key = MceLog::sort_key(event);
+        if let Some(last) = self.last_key {
+            if key < last {
+                self.sorted = false;
+            }
+        }
+        self.last_key = Some(key);
+        if !self.sorted {
+            return;
+        }
+
+        let row = event.addr.row.0 as f64;
+        let time_s = event.time.as_millis() as f64 / 1000.0;
+        self.all_rows.absorb(row);
+        match event.error_type {
+            ErrorType::Ce => self.ce.absorb(row, time_s),
+            ErrorType::Ueo => self.ueo.absorb(row, time_s),
+            ErrorType::Uer => {
+                self.uer.absorb(row, time_s);
+                self.uer_rows.absorb(row);
+                if !self.distinct_uer.contains(&event.addr.row) {
+                    self.distinct_uer.push(event.addr.row);
+                }
+            }
+        }
+        match self.first_uer_time {
+            Some(t) => match event.error_type {
+                ErrorType::Ce if event.time < t => self.ce_before += 1,
+                ErrorType::Ueo if event.time < t => self.ueo_before += 1,
+                _ => {}
+            },
+            None if event.is_uer() => {
+                self.first_uer_time = Some(event.time);
+                self.ce_before = self.pending_ce.iter().filter(|&&t| t < event.time).count();
+                self.ueo_before = self.pending_ueo.iter().filter(|&&t| t < event.time).count();
+                self.pending_ce = Vec::new();
+                self.pending_ueo = Vec::new();
+            }
+            None => match event.error_type {
+                ErrorType::Ce => self.pending_ce.push(event.time),
+                ErrorType::Ueo => self.pending_ueo.push(event.time),
+                ErrorType::Uer => unreachable!("handled above"),
+            },
+        }
+    }
+
+    /// Assembles the §IV-B feature vector for the absorbed prefix.
+    ///
+    /// Returns `None` when events arrived out of sort order — callers must
+    /// then rebuild a sorted window and run the reference scan. When `Some`,
+    /// the vector is bit-identical to
+    /// [`crate::features::bank_features`] over the equivalent
+    /// [`cordial_mcelog::ObservedWindow`].
+    pub fn vector(&self, geom: &HbmGeometry) -> Option<Vec<f64>> {
+        if !self.sorted {
+            return None;
+        }
+        let (ce_before, ueo_before) = if self.first_uer_time.is_none() {
+            (self.pending_ce.len(), self.pending_ueo.len())
+        } else {
+            (self.ce_before, self.ueo_before)
+        };
+
+        let uer_span = if self.uer_rows.seen == 0 {
+            f64::NAN
+        } else {
+            self.uer.row_max - self.uer.row_min
+        };
+
+        // Pairwise distances among distinct UER rows: |distinct| is bounded
+        // by the trigger threshold (3 in the paper), so recomputing the
+        // O(k²) pairs per read keeps absorb O(1) without approximation.
+        let distinct_uer: Vec<f64> = self.distinct_uer.iter().map(|r| r.0 as f64).collect();
+        let mut pairwise: Vec<f64> = Vec::new();
+        for i in 0..distinct_uer.len() {
+            for j in (i + 1)..distinct_uer.len() {
+                pairwise.push((distinct_uer[i] - distinct_uer[j]).abs());
+            }
+        }
+        pairwise.sort_by(f64::total_cmp);
+        let pd = |i: usize| pairwise.get(i).copied().unwrap_or(f64::NAN);
+        let dist_ratio = if pairwise.len() >= 2 {
+            pairwise[pairwise.len() - 1] / (pairwise[0] + 1.0)
+        } else {
+            f64::NAN
+        };
+
+        let vector = vec![
+            ce_before as f64,
+            ueo_before as f64,
+            self.ce.row_min,
+            self.ce.row_max,
+            self.ueo.row_min,
+            self.ueo.row_max,
+            self.uer.row_min,
+            self.uer.row_max,
+            uer_span,
+            self.all_rows.min,
+            self.all_rows.max,
+            self.all_rows.mean(),
+            self.uer_rows.min,
+            self.uer_rows.max,
+            self.uer_rows.mean(),
+            self.ce.times.min,
+            self.ce.times.max,
+            self.ueo.times.min,
+            self.ueo.times.max,
+            self.uer.times.min,
+            self.uer.times.max,
+            pd(0),
+            pd(pairwise.len().saturating_sub(1) / 2),
+            pd(pairwise.len().saturating_sub(1)),
+            dist_ratio,
+            uer_span / geom.rows as f64,
+            self.n_events as f64,
+        ];
+        debug_assert_eq!(vector.len(), BANK_FEATURE_NAMES.len());
+        Some(vector)
+    }
+
+    /// Rebuilds the state by replaying `events` in order (checkpoint
+    /// restore: the monitor's per-bank buffers are persisted, this state is
+    /// not).
+    pub fn replay(events: &[ErrorEvent]) -> Self {
+        let mut state = Self::new();
+        for event in events {
+            state.absorb(event);
+        }
+        state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::bank_features;
+    use cordial_mcelog::ObservedWindow;
+    use cordial_topology::BankAddress;
+
+    fn bank() -> BankAddress {
+        BankAddress::default()
+    }
+
+    fn event(ms: u64, row: u32, kind: ErrorType) -> ErrorEvent {
+        ErrorEvent {
+            time: Timestamp::from_millis(ms),
+            addr: CellAddress {
+                bank: bank(),
+                row: RowId(row),
+                ..CellAddress::default()
+            },
+            error_type: kind,
+        }
+    }
+
+    fn assert_matches_reference(events: &[ErrorEvent]) {
+        let geom = HbmGeometry::hbm2e_8hi();
+        let state = IncrementalBankFeatures::replay(events);
+        let window = ObservedWindow::from_sorted_events(bank(), events);
+        let reference = bank_features(&window, &geom);
+        let fast = state.vector(&geom).expect("sorted stream");
+        assert_eq!(reference.len(), fast.len());
+        for (name, (r, f)) in BANK_FEATURE_NAMES.iter().zip(reference.iter().zip(&fast)) {
+            assert_eq!(
+                r.to_bits(),
+                f.to_bits(),
+                "{name}: reference {r} vs fast {f}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_stream_is_all_nan_except_counts() {
+        assert_matches_reference(&[]);
+    }
+
+    #[test]
+    fn ce_only_stream_keeps_uer_features_nan() {
+        let events = vec![
+            event(10, 5, ErrorType::Ce),
+            event(20, 9, ErrorType::Ce),
+            event(35, 2, ErrorType::Ce),
+        ];
+        assert_matches_reference(&events);
+    }
+
+    #[test]
+    fn mixed_stream_with_uers_matches_reference_at_every_prefix() {
+        let events = [
+            event(5, 100, ErrorType::Ce),
+            event(9, 104, ErrorType::Ueo),
+            event(9, 104, ErrorType::Ueo),
+            event(12, 101, ErrorType::Uer),
+            event(14, 101, ErrorType::Uer),
+            event(18, 160, ErrorType::Ce),
+            event(21, 99, ErrorType::Uer),
+            event(30, 300, ErrorType::Uer),
+        ];
+        for cut in 0..=events.len() {
+            assert_matches_reference(&events[..cut]);
+        }
+    }
+
+    #[test]
+    fn out_of_order_arrival_disables_the_fast_path() {
+        let mut state = IncrementalBankFeatures::new();
+        state.absorb(&event(20, 1, ErrorType::Ce));
+        state.absorb(&event(10, 2, ErrorType::Ce));
+        assert!(!state.is_sorted());
+        assert!(state.vector(&HbmGeometry::hbm2e_8hi()).is_none());
+        // Later in-order events cannot resurrect the state.
+        state.absorb(&event(30, 3, ErrorType::Ce));
+        assert!(state.vector(&HbmGeometry::hbm2e_8hi()).is_none());
+    }
+
+    #[test]
+    fn equal_sort_keys_stay_on_the_fast_path() {
+        let events = vec![
+            event(10, 7, ErrorType::Ce),
+            event(10, 7, ErrorType::Ce),
+            event(10, 7, ErrorType::Uer),
+        ];
+        assert_matches_reference(&events);
+    }
+}

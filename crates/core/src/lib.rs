@@ -65,6 +65,7 @@ mod error;
 pub mod eval;
 pub mod features;
 pub mod hierarchical;
+pub mod incremental;
 pub mod isolation;
 pub mod locality;
 pub mod model;
@@ -85,6 +86,8 @@ pub mod prelude {
     pub use crate::eval::{
         evaluate_cordial, evaluate_neighbor_rows, evaluate_pipeline, PredictionEval,
     };
+    pub use crate::features::FeatureScratch;
+    pub use crate::incremental::IncrementalBankFeatures;
     pub use crate::isolation::icr;
     pub use crate::model::{ModelKind, TrainedModel};
     pub use crate::monitor::{

@@ -3,8 +3,8 @@
 use serde::{Deserialize, Serialize};
 
 use cordial_trees::{
-    Classifier, Dataset, FitError, Gbdt, GbdtConfig, LightGbm, LightGbmConfig, RandomForest,
-    RandomForestConfig,
+    Classifier, Dataset, FitError, FlatEnsemble, Gbdt, GbdtConfig, LightGbm, LightGbmConfig,
+    RandomForest, RandomForestConfig,
 };
 
 /// Which tree-ensemble family to train (paper §IV-C: "Random Forest,
@@ -194,6 +194,19 @@ impl TrainedModel {
             TrainedModel::Forest(m) => m.feature_importance(),
             TrainedModel::Xgb(m) => m.feature_importance(),
             TrainedModel::Lgbm(m) => m.feature_importance(),
+        }
+    }
+
+    /// Flattens the model into a branchless SoA inference twin
+    /// ([`FlatEnsemble`]). `None` for random forests (no boosted-ensemble
+    /// flat form) and for GBDTs whose per-feature threshold tables would
+    /// overflow `u16` bin indices; callers keep this pointer model as the
+    /// reference path either way.
+    pub fn flatten(&self) -> Option<FlatEnsemble> {
+        match self {
+            TrainedModel::Forest(_) => None,
+            TrainedModel::Xgb(m) => FlatEnsemble::from_gbdt(m),
+            TrainedModel::Lgbm(m) => Some(FlatEnsemble::from_lightgbm(m)),
         }
     }
 }

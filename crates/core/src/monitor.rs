@@ -14,11 +14,12 @@ use std::time::Duration;
 use serde::{Deserialize, Serialize};
 
 use cordial_faultsim::{IsolationEngine, IsolationSnapshot, SparingBudget};
-use cordial_mcelog::{BankErrorHistory, ErrorEvent, ErrorType, Timestamp};
+use cordial_mcelog::{BankErrorHistory, ErrorEvent, ErrorType, ObservedWindow, Timestamp};
 use cordial_topology::{BankAddress, CellAddress, RowId};
 
+use crate::incremental::IncrementalBankFeatures;
 use crate::isolation::apply_plan;
-use crate::pipeline::{Cordial, MitigationPlan};
+use crate::pipeline::{Cordial, FlatPipeline, MitigationPlan, PlanRequest};
 
 /// Version of the [`MonitorCheckpoint`] wire format this build writes.
 ///
@@ -272,9 +273,17 @@ impl StreamGuard {
 #[derive(Debug, Clone)]
 pub struct CordialMonitor {
     pipeline: Cordial,
+    /// Flattened SoA inference twins of the serving pipeline's ensembles,
+    /// rebuilt on construction, restore and pipeline swap (the pipeline
+    /// itself stays pure model state, so checkpoints are unaffected).
+    flat: FlatPipeline,
     engine: IsolationEngine,
     /// Per-bank incremental state.
     banks: BTreeMap<BankAddress, BankState>,
+    /// Per-bank incrementally maintained §IV-B features — the ingest→plan
+    /// fast path. Not checkpointed: rebuilt by replaying the persisted
+    /// per-bank event buffers on restore.
+    features: BTreeMap<BankAddress, IncrementalBankFeatures>,
     stats: MonitorStats,
     /// Degraded-stream front end for the `*_guarded` ingestion paths.
     guard: StreamGuard,
@@ -382,10 +391,13 @@ impl<'de> Deserialize<'de> for MonitorCheckpoint {
 impl CordialMonitor {
     /// Wraps a trained pipeline with a fresh isolation engine.
     pub fn new(pipeline: Cordial, budget: SparingBudget) -> Self {
+        let flat = pipeline.flatten();
         Self {
             pipeline,
+            flat,
             engine: IsolationEngine::new(budget),
             banks: BTreeMap::new(),
+            features: BTreeMap::new(),
             stats: MonitorStats::default(),
             guard: StreamGuard::new(GuardConfig::default()),
         }
@@ -448,7 +460,18 @@ impl CordialMonitor {
 
         let k_uers = self.pipeline.config().k_uers;
         let state = self.banks.entry(bank).or_default();
+        // Incremental features are valid only at the *first* completion of
+        // the observation window: there the buffered events are exactly the
+        // window the pipeline would observe, so a sorted-arrival stream can
+        // reuse the incrementally maintained vector instead of rescanning.
+        // A retrigger after `InsufficientData` has trailing events beyond
+        // the cut and must take the reference scan.
+        let completes_window = !state.planned
+            && event.is_uer()
+            && !state.distinct_uer_rows.contains(&event.addr.row)
+            && state.distinct_uer_rows.len() + 1 == k_uers;
         state.events.push(event);
+        self.features.entry(bank).or_default().absorb(&event);
         if event.is_uer() && !state.distinct_uer_rows.contains(&event.addr.row) {
             state.distinct_uer_rows.push(event.addr.row);
         }
@@ -459,8 +482,26 @@ impl CordialMonitor {
             let plan = match cache.remove(&bank) {
                 Some(plan) => plan,
                 None => {
-                    let history = BankErrorHistory::new(bank, state.events.clone());
-                    self.pipeline.plan(&history)
+                    let fast = if completes_window {
+                        self.features
+                            .get(&bank)
+                            .and_then(|f| f.vector(self.pipeline.classifier().geom()))
+                    } else {
+                        None
+                    };
+                    match fast {
+                        Some(raw) => {
+                            cordial_obs::counter!("monitor.features.incremental").inc();
+                            let window = ObservedWindow::from_sorted_events(bank, &state.events);
+                            self.pipeline
+                                .plan_window_with_features(&window, &raw, Some(&self.flat))
+                        }
+                        None => {
+                            cordial_obs::counter!("monitor.features.reference_scan").inc();
+                            let history = BankErrorHistory::new(bank, state.events.clone());
+                            self.pipeline.plan_with(&history, Some(&self.flat))
+                        }
+                    }
                 }
             };
             if plan == MitigationPlan::InsufficientData {
@@ -539,10 +580,15 @@ impl CordialMonitor {
         let _span = cordial_obs::span!("ingest_all");
         let events: Vec<ErrorEvent> = events.into_iter().collect();
         let k_uers = self.pipeline.config().k_uers;
+        let geom = self.pipeline.classifier().geom();
 
         struct Probe {
             prefix: Vec<ErrorEvent>,
             distinct_uer_rows: Vec<RowId>,
+            features: IncrementalBankFeatures,
+            /// Incremental feature vector captured at the trigger point,
+            /// when the probe's prefix is exactly the observed window.
+            fast: Option<Vec<f64>>,
             done: bool,
             triggered: bool,
         }
@@ -556,6 +602,8 @@ impl CordialMonitor {
                     distinct_uer_rows: state
                         .map(|s| s.distinct_uer_rows.clone())
                         .unwrap_or_default(),
+                    features: self.features.get(&bank).cloned().unwrap_or_default(),
+                    fast: None,
                     done: state.is_some_and(|s| s.planned),
                     triggered: false,
                 }
@@ -563,24 +611,58 @@ impl CordialMonitor {
             if probe.done {
                 continue;
             }
+            let completes_window = event.is_uer()
+                && !probe.distinct_uer_rows.contains(&event.addr.row)
+                && probe.distinct_uer_rows.len() + 1 == k_uers;
             probe.prefix.push(*event);
+            probe.features.absorb(event);
             if event.is_uer() && !probe.distinct_uer_rows.contains(&event.addr.row) {
                 probe.distinct_uer_rows.push(event.addr.row);
             }
             if probe.distinct_uer_rows.len() >= k_uers {
                 probe.done = true;
                 probe.triggered = true;
+                if completes_window {
+                    probe.fast = probe.features.vector(geom);
+                }
             }
         }
 
-        let triggering: Vec<(BankAddress, BankErrorHistory)> = probes
+        enum Prepared {
+            /// Sorted-arrival window plus its incrementally computed
+            /// features: plan without rescanning or re-sorting.
+            Fast(Vec<ErrorEvent>, Vec<f64>),
+            /// Fallback: sort into a history and rescan.
+            Slow(BankErrorHistory),
+        }
+        let triggering: Vec<(BankAddress, Prepared)> = probes
             .into_iter()
             .filter(|(_, probe)| probe.triggered)
-            .map(|(bank, probe)| (bank, BankErrorHistory::new(bank, probe.prefix)))
+            .map(|(bank, probe)| match probe.fast {
+                Some(raw) => {
+                    cordial_obs::counter!("monitor.features.incremental").inc();
+                    (bank, Prepared::Fast(probe.prefix, raw))
+                }
+                None => {
+                    cordial_obs::counter!("monitor.features.reference_scan").inc();
+                    (
+                        bank,
+                        Prepared::Slow(BankErrorHistory::new(bank, probe.prefix)),
+                    )
+                }
+            })
             .collect();
-        let histories: Vec<&BankErrorHistory> =
-            triggering.iter().map(|(_, history)| history).collect();
-        let batch_plans = self.pipeline.plan_batch(&histories);
+        let requests: Vec<PlanRequest<'_>> = triggering
+            .iter()
+            .map(|(bank, prepared)| match prepared {
+                Prepared::Fast(events, raw) => PlanRequest::Window {
+                    window: ObservedWindow::from_sorted_events(*bank, events),
+                    features: raw,
+                },
+                Prepared::Slow(history) => PlanRequest::History(history),
+            })
+            .collect();
+        let batch_plans = self.pipeline.plan_batch_with(&requests, Some(&self.flat));
         let mut cache: BTreeMap<BankAddress, MitigationPlan> = triggering
             .iter()
             .map(|(bank, _)| *bank)
@@ -773,10 +855,21 @@ impl CordialMonitor {
                 expected: CHECKPOINT_SCHEMA_VERSION,
             });
         }
+        let banks: BTreeMap<BankAddress, BankState> = checkpoint.banks.into_iter().collect();
+        // Incremental feature state is derived, not persisted: replay each
+        // bank's buffered events (arrival order) so a restored monitor's
+        // fast/fallback path choice matches an uninterrupted run's.
+        let features = banks
+            .iter()
+            .map(|(bank, state)| (*bank, IncrementalBankFeatures::replay(&state.events)))
+            .collect();
+        let flat = pipeline.flatten();
         Ok(Self {
             pipeline,
+            flat,
             engine: IsolationEngine::from_snapshot(checkpoint.engine),
-            banks: checkpoint.banks.into_iter().collect(),
+            banks,
+            features,
             stats: checkpoint.stats,
             guard: checkpoint.guard,
         })
@@ -809,6 +902,7 @@ impl CordialMonitor {
     /// banks that trigger *after* the swap are planned by the new model.
     /// This is the model promotion/rollback hook a fleet supervisor uses.
     pub fn swap_pipeline(&mut self, pipeline: Cordial) -> Cordial {
+        self.flat = pipeline.flatten();
         std::mem::replace(&mut self.pipeline, pipeline)
     }
 

@@ -1,0 +1,201 @@
+//! Property-based pin of the incremental feature fast path: for any
+//! sorted-arrival event stream, [`IncrementalBankFeatures`] must reproduce
+//! the reference [`bank_features`] scan **bit-for-bit** at every window
+//! cut — NaN encodings of absent severities included — and any
+//! out-of-order arrival must permanently disable the fast path instead of
+//! silently drifting.
+
+use proptest::prelude::*;
+
+use cordial::features::{bank_features, BANK_FEATURE_NAMES};
+use cordial::incremental::IncrementalBankFeatures;
+use cordial_mcelog::{ErrorEvent, ErrorType, MceLog, ObservedWindow, Timestamp};
+use cordial_topology::{BankAddress, ColId, HbmGeometry, RowId};
+
+fn bank() -> BankAddress {
+    BankAddress::default()
+}
+
+/// One random event: small time deltas force duplicate timestamps, the
+/// row range forces repeated rows, and the severity weights regularly
+/// produce streams missing whole severities (whose features must come out
+/// NaN on both paths, with identical bit patterns).
+fn arb_event_parts() -> impl Strategy<Value = (u64, u32, ErrorType)> {
+    (
+        0u64..40,
+        0u32..48,
+        prop_oneof![
+            5 => Just(ErrorType::Ce),
+            2 => Just(ErrorType::Ueo),
+            2 => Just(ErrorType::Uer),
+        ],
+    )
+}
+
+/// A stream whose arrival order is nondecreasing by [`MceLog::sort_key`]
+/// — the monitor-side precondition for the fast path. Duplicate sort keys
+/// survive the (stable) sort, so ties are exercised too.
+fn arb_sorted_stream() -> impl Strategy<Value = Vec<ErrorEvent>> {
+    prop::collection::vec(arb_event_parts(), 0..60).prop_map(|parts| {
+        let mut time = 0u64;
+        let mut events: Vec<ErrorEvent> = parts
+            .into_iter()
+            .map(|(delta, row, error_type)| {
+                time += delta;
+                ErrorEvent::new(
+                    bank().cell(RowId(row), ColId(0)),
+                    Timestamp::from_millis(time),
+                    error_type,
+                )
+            })
+            .collect();
+        events.sort_by(|a, b| MceLog::sort_key(a).cmp(&MceLog::sort_key(b)));
+        events
+    })
+}
+
+/// Bitwise comparison with feature names in the failure message, so a
+/// mismatch points at the drifting statistic directly.
+fn assert_bitwise(reference: &[f64], fast: &[f64]) -> Result<(), TestCaseError> {
+    prop_assert_eq!(reference.len(), fast.len());
+    for (name, (r, f)) in BANK_FEATURE_NAMES.iter().zip(reference.iter().zip(fast)) {
+        prop_assert_eq!(
+            r.to_bits(),
+            f.to_bits(),
+            "{}: reference {} vs incremental {}",
+            name,
+            r,
+            f
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// One state absorbing the stream in a single pass must agree with the
+    /// reference scan at *every* cut it slides through — the monitor reads
+    /// the vector at whatever event completes the observation window, so
+    /// every prefix is a potential read point.
+    #[test]
+    fn single_pass_state_matches_reference_at_every_window_slide(
+        events in arb_sorted_stream(),
+    ) {
+        let geom = HbmGeometry::hbm2e_8hi();
+        let mut state = IncrementalBankFeatures::new();
+        for cut in 0..=events.len() {
+            if cut > 0 {
+                state.absorb(&events[cut - 1]);
+            }
+            prop_assert!(state.is_sorted());
+            let window = ObservedWindow::from_sorted_events(bank(), &events[..cut]);
+            let reference = bank_features(&window, &geom);
+            let fast = state.vector(&geom).expect("sorted stream stays fast");
+            assert_bitwise(&reference, &fast)?;
+        }
+    }
+
+    /// Replaying a prefix from scratch is equivalent to having slid to it:
+    /// the restore path (checkpointed event buffers, derived state) may
+    /// not disagree with the uninterrupted run.
+    #[test]
+    fn replay_of_any_prefix_matches_the_slid_state(
+        events in arb_sorted_stream(),
+        cut_seed in 0usize..1000,
+    ) {
+        let geom = HbmGeometry::hbm2e_8hi();
+        let cut = if events.is_empty() { 0 } else { cut_seed % (events.len() + 1) };
+        let mut slid = IncrementalBankFeatures::new();
+        for event in &events[..cut] {
+            slid.absorb(event);
+        }
+        let replayed = IncrementalBankFeatures::replay(&events[..cut]);
+        prop_assert_eq!(replayed.n_events(), slid.n_events());
+        let a = slid.vector(&geom).expect("sorted");
+        let b = replayed.vector(&geom).expect("sorted");
+        assert_bitwise(&a, &b)?;
+    }
+
+    /// An arrival whose sort key strictly decreases must disable the fast
+    /// path permanently — `vector` returns `None` from that point on, no
+    /// matter how many in-order events follow.
+    #[test]
+    fn strictly_decreasing_arrival_disables_the_fast_path_forever(
+        events in arb_sorted_stream(),
+        swap_seed in 0usize..1000,
+        tail in prop::collection::vec(arb_event_parts(), 0..8),
+    ) {
+        let geom = HbmGeometry::hbm2e_8hi();
+        // Find an adjacent pair with strictly increasing keys to swap;
+        // streams made entirely of duplicate keys cannot go unsorted.
+        let increasing: Vec<usize> = events
+            .windows(2)
+            .enumerate()
+            .filter(|(_, w)| MceLog::sort_key(&w[0]) < MceLog::sort_key(&w[1]))
+            .map(|(i, _)| i)
+            .collect();
+        prop_assume!(!increasing.is_empty());
+        let at = increasing[swap_seed % increasing.len()];
+        let mut shuffled = events.clone();
+        shuffled.swap(at, at + 1);
+
+        let mut state = IncrementalBankFeatures::replay(&shuffled);
+        prop_assert!(!state.is_sorted());
+        prop_assert!(state.vector(&geom).is_none());
+        let last_ms = events.last().map_or(0, |e| e.time.as_millis());
+        for (delta, row, error_type) in tail {
+            state.absorb(&ErrorEvent::new(
+                bank().cell(RowId(row), ColId(0)),
+                Timestamp::from_millis(last_ms + 1 + delta),
+                error_type,
+            ));
+            prop_assert!(state.vector(&geom).is_none());
+        }
+    }
+
+    /// Streams missing whole severities (all-CE, no-UER, even empty) keep
+    /// the corresponding features NaN with the reference's exact bit
+    /// patterns — a fast path that "helpfully" canonicalised NaNs would
+    /// change downstream tree routing.
+    #[test]
+    fn missing_severities_reproduce_reference_nan_encodings(
+        parts in prop::collection::vec((0u64..40, 0u32..48), 0..40),
+        keep in prop_oneof![
+            Just([true, false, false]),
+            Just([false, true, false]),
+            Just([true, true, false]),
+            Just([false, false, true]),
+        ],
+    ) {
+        let geom = HbmGeometry::hbm2e_8hi();
+        let kinds: Vec<ErrorType> = [ErrorType::Ce, ErrorType::Ueo, ErrorType::Uer]
+            .into_iter()
+            .zip(keep)
+            .filter(|(_, k)| *k)
+            .map(|(kind, _)| kind)
+            .collect();
+        let mut time = 0u64;
+        let mut events: Vec<ErrorEvent> = parts
+            .iter()
+            .enumerate()
+            .map(|(i, &(delta, row))| {
+                time += delta;
+                ErrorEvent::new(
+                    bank().cell(RowId(row), ColId(0)),
+                    Timestamp::from_millis(time),
+                    kinds[i % kinds.len()],
+                )
+            })
+            .collect();
+        events.sort_by(|a, b| MceLog::sort_key(a).cmp(&MceLog::sort_key(b)));
+
+        let state = IncrementalBankFeatures::replay(&events);
+        let window = ObservedWindow::from_sorted_events(bank(), &events);
+        let reference = bank_features(&window, &geom);
+        let fast = state.vector(&geom).expect("sorted");
+        // The absent severities really are NaN, and every NaN matches bitwise.
+        prop_assert!(reference.iter().zip(&fast).all(|(r, f)| r.is_nan() == f.is_nan()));
+        assert_bitwise(&reference, &fast)?;
+    }
+}

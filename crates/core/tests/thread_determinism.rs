@@ -111,3 +111,46 @@ fn plan_batch_telemetry_is_identical_across_thread_counts() {
         "telemetry digest must not depend on the thread count"
     );
 }
+
+/// The incremental-feature fast path and the flat inference twins must not
+/// perturb the thread-invariance of monitor telemetry: a full LightGBM
+/// monitor replay (sorted stream, so the fast path fires) produces the
+/// same digest for 1 and 4 planner threads, and that digest shows both the
+/// fast-path counter and the flat-inference histogram actually firing.
+#[test]
+fn monitor_fast_path_telemetry_is_identical_across_thread_counts() {
+    let _guard = obs_guard();
+    let dataset = generate_fleet_dataset(&FleetDatasetConfig::small(), 88);
+    let split = split_banks(&dataset, 0.7, 88);
+
+    cordial_obs::set_enabled(true);
+    let mut digests = Vec::new();
+    let mut stats = Vec::new();
+    for n_threads in [1, 4] {
+        let cordial = fit_with_threads(&dataset, &split.train, ModelKind::lightgbm(), n_threads);
+        let mut monitor = CordialMonitor::new(cordial, SparingBudget::typical());
+        cordial_obs::reset();
+        let plans = monitor.ingest_all(dataset.log.events().iter().copied());
+        assert!(!plans.is_empty(), "the fleet replay must trigger plans");
+        digests.push(cordial_obs::snapshot().digest());
+        stats.push(monitor.stats());
+    }
+    cordial_obs::set_enabled(false);
+
+    let digest = &digests[0];
+    assert!(
+        digest.contains_key("monitor.features.incremental"),
+        "sorted fleet replay must exercise the incremental fast path: {:?}",
+        digest.keys().collect::<Vec<_>>()
+    );
+    assert!(
+        digest.contains_key("plan.flat_infer.seconds.count"),
+        "LightGBM plans must route through flat inference: {:?}",
+        digest.keys().collect::<Vec<_>>()
+    );
+    assert_eq!(
+        digests[0], digests[1],
+        "monitor telemetry digest must not depend on the thread count"
+    );
+    assert_eq!(stats[0], stats[1], "monitor stats must match too");
+}

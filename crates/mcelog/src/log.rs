@@ -30,7 +30,12 @@ impl MceLog {
         Self { events }
     }
 
-    fn sort_key(e: &ErrorEvent) -> (Timestamp, cordial_topology::CellAddress, ErrorType) {
+    /// The `(time, address, type)` key the log keeps events sorted by.
+    ///
+    /// Public so streaming consumers (the monitor's incremental feature
+    /// path) can check whether events arrive already in log order and skip
+    /// the clone-and-sort of [`BankErrorHistory::new`].
+    pub fn sort_key(e: &ErrorEvent) -> (Timestamp, cordial_topology::CellAddress, ErrorType) {
         (e.time, e.addr, e.error_type)
     }
 
@@ -237,6 +242,26 @@ pub struct ObservedWindow<'a> {
 }
 
 impl<'a> ObservedWindow<'a> {
+    /// Wraps an already-sorted event slice as an observed window, without
+    /// the clone-and-sort of [`BankErrorHistory::new`] followed by
+    /// [`BankErrorHistory::observe_until_k_uers`].
+    ///
+    /// The caller asserts that `events` are nondecreasing by
+    /// [`MceLog::sort_key`] and already end at the classification cut (the
+    /// event completing the `k`-th distinct UER row is the last element) —
+    /// exactly the state of a monitor's per-bank buffer at first trigger
+    /// when events arrived in log order.
+    pub fn from_sorted_events(bank: BankAddress, events: &'a [ErrorEvent]) -> Self {
+        debug_assert!(
+            events
+                .windows(2)
+                .all(|w| MceLog::sort_key(&w[0]) <= MceLog::sort_key(&w[1])),
+            "events must be nondecreasing by MceLog::sort_key"
+        );
+        debug_assert!(events.iter().all(|e| e.addr.bank == bank));
+        Self { bank, events }
+    }
+
     /// The bank under observation.
     pub fn bank(&self) -> BankAddress {
         self.bank

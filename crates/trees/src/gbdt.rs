@@ -234,6 +234,26 @@ impl Gbdt {
         }
         scores
     }
+
+    /// Fitted trees in `[round][class]` order (flat-twin construction).
+    pub(crate) fn tree_rounds(&self) -> &[Vec<RegTree>] {
+        &self.trees
+    }
+
+    /// Per-class raw-score priors (flat-twin construction).
+    pub(crate) fn base_scores(&self) -> &[f64] {
+        &self.base_score
+    }
+
+    /// The fitted learning rate (flat-twin construction).
+    pub(crate) fn shrinkage(&self) -> f64 {
+        self.learning_rate
+    }
+
+    /// Number of input features the model was trained on.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
 }
 
 impl Classifier for Gbdt {
@@ -285,13 +305,15 @@ pub(crate) fn softmax(scores: &[f64]) -> Vec<f64> {
 }
 
 /// A regression tree fitted to grad/hess pairs (XGBoost objective).
+///
+/// Crate-visible so [`crate::flat::FlatEnsemble`] can flatten fitted trees.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-struct RegTree {
-    nodes: Vec<RegNode>,
+pub(crate) struct RegTree {
+    pub(crate) nodes: Vec<RegNode>,
 }
 
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-enum RegNode {
+pub(crate) enum RegNode {
     Leaf {
         weight: f64,
     },
@@ -376,7 +398,7 @@ impl RegTree {
         node_idx
     }
 
-    fn predict(&self, row: &[f64]) -> f64 {
+    pub(crate) fn predict(&self, row: &[f64]) -> f64 {
         let mut idx = 0;
         loop {
             match &self.nodes[idx] {

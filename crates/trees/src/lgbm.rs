@@ -256,6 +256,31 @@ impl LightGbm {
         }
         scores
     }
+
+    /// The fitted quantile bin mapper (flat-twin construction).
+    pub(crate) fn bin_mapper(&self) -> &BinMapper {
+        &self.mapper
+    }
+
+    /// Fitted trees in `[round][class]` order (flat-twin construction).
+    pub(crate) fn tree_rounds(&self) -> &[Vec<HistTree>] {
+        &self.trees
+    }
+
+    /// Per-class raw-score priors (flat-twin construction).
+    pub(crate) fn base_scores(&self) -> &[f64] {
+        &self.base_score
+    }
+
+    /// The fitted learning rate (flat-twin construction).
+    pub(crate) fn shrinkage(&self) -> f64 {
+        self.learning_rate
+    }
+
+    /// Number of input features the model was trained on.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
 }
 
 fn validate(data: &Dataset, config: &LightGbmConfig) -> Result<(), FitError> {
@@ -359,13 +384,15 @@ impl Classifier for LightGbm {
 }
 
 /// A regression tree over binned features, grown leaf-wise.
+///
+/// Crate-visible so [`crate::flat::FlatEnsemble`] can flatten fitted trees.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-struct HistTree {
-    nodes: Vec<HistNode>,
+pub(crate) struct HistTree {
+    pub(crate) nodes: Vec<HistNode>,
 }
 
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-enum HistNode {
+pub(crate) enum HistNode {
     Leaf {
         weight: f64,
     },
@@ -557,7 +584,7 @@ impl HistTree {
         (tree, gains)
     }
 
-    fn predict_binned(&self, bin_row: &[u16]) -> f64 {
+    pub(crate) fn predict_binned(&self, bin_row: &[u16]) -> f64 {
         let mut idx = 0;
         loop {
             match &self.nodes[idx] {

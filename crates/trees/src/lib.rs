@@ -45,6 +45,7 @@
 
 mod data;
 mod error;
+pub mod flat;
 mod forest;
 mod gbdt;
 mod hist;
@@ -57,6 +58,7 @@ mod tree;
 
 pub use data::{Dataset, SplitSets};
 pub use error::FitError;
+pub use flat::FlatEnsemble;
 pub use forest::{OobEstimate, RandomForest, RandomForestConfig};
 pub use gbdt::{Gbdt, GbdtConfig};
 pub use hist::{BinMapper, BinnedDataset, FeatureHistogram};

@@ -1,0 +1,197 @@
+//! Equivalence pin of the flat SoA inference twins: for every fitted
+//! boosted ensemble, [`FlatEnsemble`] must reproduce the pointer model's
+//! raw scores and probabilities **bit-for-bit** — including on NaN-laced
+//! probe rows — and the flattening must be invariant under the fit-time
+//! worker-thread count (fits are thread-invariant, so their flat forms
+//! must be too).
+
+use cordial_trees::{
+    Classifier, Dataset, FlatEnsemble, Gbdt, GbdtConfig, LightGbm, LightGbmConfig,
+};
+
+/// Four features, three classes, with NaN holes so missing-value routing
+/// is part of what the equivalence pins.
+fn dataset_with_nans() -> Dataset {
+    let mut data = Dataset::new(4, 3);
+    let mut noise = 1.0f64;
+    let mut next = || {
+        noise = (noise * 9301.0 + 49_297.0) % 233_280.0;
+        noise / 233_280.0 * 12.0 - 6.0
+    };
+    for i in 0..90 {
+        let v = (i % 15) as f64 * 0.3;
+        let hole = if i % 7 == 0 { f64::NAN } else { next() };
+        data.push_row(&[v, -v, hole, next()], 0).unwrap();
+        data.push_row(&[6.0 + v, 6.0 - v, next(), hole], 1).unwrap();
+        data.push_row(&[-6.0 - v, 12.0 + v, hole, hole], 2).unwrap();
+    }
+    data
+}
+
+/// Probe rows spanning the training range, the far tails, exact zeros of
+/// both signs, infinities, and every NaN placement.
+fn probe_rows() -> Vec<Vec<f64>> {
+    let mut rows = vec![
+        vec![0.0, 0.0, 0.0, 0.0],
+        vec![-0.0, -0.0, -0.0, -0.0],
+        vec![1.5, -1.5, 2.0, -2.0],
+        vec![7.0, 5.0, -1.0, 1.0],
+        vec![-8.0, 13.0, 0.3, -0.3],
+        vec![1e9, -1e9, 1e-9, -1e-9],
+        vec![f64::INFINITY, f64::NEG_INFINITY, 0.0, 0.0],
+    ];
+    for i in 0..4 {
+        let mut row = vec![0.5, -0.5, 1.0, -1.0];
+        row[i] = f64::NAN;
+        rows.push(row);
+    }
+    rows.push(vec![f64::NAN; 4]);
+    rows
+}
+
+fn assert_bitwise_equal(pointer: &[f64], flat: &[f64], what: &str) {
+    assert_eq!(pointer.len(), flat.len(), "{what}: length");
+    for (i, (p, f)) in pointer.iter().zip(flat).enumerate() {
+        assert_eq!(
+            p.to_bits(),
+            f.to_bits(),
+            "{what}[{i}]: pointer {p} vs flat {f}"
+        );
+    }
+}
+
+fn assert_flat_matches_pointer(pointer: &dyn Classifier, flat: &FlatEnsemble, label: &str) {
+    for (r, row) in probe_rows().iter().enumerate() {
+        assert_bitwise_equal(
+            &pointer.predict_proba(row),
+            &flat.predict_proba(row),
+            &format!("{label} probe {r} proba"),
+        );
+        assert_eq!(
+            pointer.predict(row),
+            flat.predict(row),
+            "{label} probe {r} class"
+        );
+    }
+}
+
+#[test]
+fn flat_lightgbm_matches_pointer_across_fit_thread_counts() {
+    let data = dataset_with_nans();
+    let mut flats: Vec<FlatEnsemble> = Vec::new();
+    for n_threads in [1, 2, 4, 8] {
+        let config = LightGbmConfig::default()
+            .with_rounds(12)
+            .with_seed(7)
+            .with_threads(n_threads);
+        let model = LightGbm::fit(&data, &config).unwrap();
+        let flat = FlatEnsemble::from_lightgbm(&model);
+        assert_flat_matches_pointer(&model, &flat, &format!("lgbm t{n_threads}"));
+        for (r, row) in probe_rows().iter().enumerate() {
+            assert_bitwise_equal(
+                &model.raw_scores(row),
+                &flat.raw_scores(row),
+                &format!("lgbm t{n_threads} probe {r} raw"),
+            );
+        }
+        flats.push(flat);
+    }
+    // Fits are thread-invariant, so the flat twins must be identical too.
+    for flat in &flats[1..] {
+        assert_eq!(flat, &flats[0], "flat form must not depend on n_threads");
+    }
+}
+
+#[test]
+fn flat_gbdt_matches_pointer_bit_for_bit() {
+    let data = dataset_with_nans();
+    let config = GbdtConfig::default().with_rounds(12).with_seed(7);
+    let model = Gbdt::fit(&data, &config).unwrap();
+    let flat = FlatEnsemble::from_gbdt(&model).expect("bin tables fit u16");
+    assert_flat_matches_pointer(&model, &flat, "gbdt");
+    for (r, row) in probe_rows().iter().enumerate() {
+        assert_bitwise_equal(
+            &model.raw_scores(row),
+            &flat.raw_scores(row),
+            &format!("gbdt probe {r} raw"),
+        );
+    }
+}
+
+/// The batch kernels (shared binning buffer, packed-record traversal) and
+/// their threaded wrappers must be bit-identical to the per-row path for
+/// every batch size and worker count — including batches smaller than a
+/// chunk and counts exceeding the (single) host core.
+#[test]
+fn flat_batch_kernels_match_per_row_across_thread_counts() {
+    let data = dataset_with_nans();
+    let lgbm = LightGbm::fit(
+        &data,
+        &LightGbmConfig::default().with_rounds(12).with_seed(7),
+    )
+    .unwrap();
+    let lgbm_flat = FlatEnsemble::from_lightgbm(&lgbm);
+    let gbdt = Gbdt::fit(&data, &GbdtConfig::default().with_rounds(12).with_seed(7)).unwrap();
+    let gbdt_flat = FlatEnsemble::from_gbdt(&gbdt).expect("bin tables fit u16");
+
+    let probes = probe_rows();
+    for (label, flat) in [("lgbm", &lgbm_flat), ("gbdt", &gbdt_flat)] {
+        for batch in [1usize, 7, 9, 67] {
+            // Cycle the probe rows (NaN placements included) out to `batch`.
+            let rows: Vec<&[f64]> = (0..batch)
+                .map(|i| probes[i % probes.len()].as_slice())
+                .collect();
+            let per_row: Vec<Vec<f64>> = rows.iter().map(|row| flat.predict_proba(row)).collect();
+            let batched = flat.predict_proba_batch(&rows);
+            assert_eq!(batched.len(), rows.len());
+            for (i, (reference, got)) in per_row.iter().zip(&batched).enumerate() {
+                assert_bitwise_equal(reference, got, &format!("{label} batch {batch} row {i}"));
+            }
+            for n_threads in [1, 2, 4, 8] {
+                let threaded = flat.predict_proba_batch_threaded(&rows, n_threads);
+                assert_eq!(
+                    threaded, batched,
+                    "{label} batch {batch}: t{n_threads} differs from sequential"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn flat_form_survives_pointer_model_serde_round_trip() {
+    // Checkpoint restore re-flattens the deserialised pointer model; the
+    // result must equal the flat form of the original.
+    let data = dataset_with_nans();
+    let model = LightGbm::fit(
+        &data,
+        &LightGbmConfig::default().with_rounds(8).with_seed(3),
+    )
+    .unwrap();
+    let json = serde_json::to_string(&model).unwrap();
+    let restored: LightGbm = serde_json::from_str(&json).unwrap();
+    assert_eq!(
+        FlatEnsemble::from_lightgbm(&model),
+        FlatEnsemble::from_lightgbm(&restored)
+    );
+}
+
+#[test]
+fn flat_layout_is_contiguous_and_complete() {
+    let data = dataset_with_nans();
+    let model = LightGbm::fit(
+        &data,
+        &LightGbmConfig::default().with_rounds(10).with_seed(5),
+    )
+    .unwrap();
+    let flat = FlatEnsemble::from_lightgbm(&model);
+    assert_eq!(flat.n_trees(), 10 * 3, "one tree per (round, class)");
+    assert_eq!(flat.n_features(), 4);
+    // Every split node holds exactly one feature/threshold and two child
+    // refs; every leaf is referenced by exactly one negative ref or root.
+    assert_eq!(
+        flat.n_leaves(),
+        flat.n_split_nodes() + flat.n_trees(),
+        "binary trees: leaves = splits + trees"
+    );
+}

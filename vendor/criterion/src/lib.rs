@@ -16,20 +16,69 @@ pub use std::hint::black_box;
 /// Top-level harness handle.
 pub struct Criterion {
     sample_size: usize,
+    /// `--sample-size N` from the command line; overrides both the default
+    /// and per-group [`BenchmarkGroup::sample_size`] settings (so CI can
+    /// force a quick smoke pass over the whole binary).
+    cli_sample_size: Option<usize>,
+    /// Positional command-line arguments: substring filters on the full
+    /// benchmark id (`group/name`). Empty means run everything.
+    filters: Vec<String>,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 20 }
+        Criterion {
+            sample_size: 20,
+            cli_sample_size: None,
+            filters: Vec::new(),
+        }
     }
 }
 
 impl Criterion {
-    /// Applies command-line filters. The vendored harness accepts and
-    /// ignores the arguments cargo-bench passes (`--bench`, filters).
+    /// Applies command-line configuration, upstream-style: positional
+    /// arguments are substring filters on benchmark ids, `--sample-size N`
+    /// overrides every sample count, and the flags cargo-bench itself
+    /// passes (`--bench` etc.) are accepted and ignored.
     #[must_use]
     pub fn configure_from_args(self) -> Self {
+        self.configure_from(std::env::args().skip(1))
+    }
+
+    /// [`Criterion::configure_from_args`] over an explicit argument list
+    /// (exposed for the harness's own tests).
+    #[must_use]
+    pub fn configure_from(mut self, args: impl IntoIterator<Item = String>) -> Self {
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
+            if arg == "--sample-size" {
+                self.cli_sample_size = args
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .map(|n: usize| n.max(1));
+            } else if let Some(n) = arg.strip_prefix("--sample-size=") {
+                self.cli_sample_size = n.parse().ok().map(|n: usize| n.max(1));
+            } else if arg.starts_with('-') {
+                // Flags the vendored harness does not implement
+                // (`--bench`, `--exact`, baselines, ...) are ignored.
+            } else {
+                self.filters.push(arg);
+            }
+        }
         self
+    }
+
+    /// The effective sample count: the CLI override when present, the
+    /// built-in default otherwise. Custom measurement code that bypasses
+    /// [`Bencher::iter`] should honour this.
+    pub fn sample_size(&self) -> usize {
+        self.cli_sample_size.unwrap_or(self.sample_size)
+    }
+
+    /// Whether a benchmark id passes the command-line filters (substring
+    /// match, like upstream). Custom measurement code should honour this.
+    pub fn matches(&self, name: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| name.contains(f))
     }
 
     /// Opens a named group of related benchmarks.
@@ -38,7 +87,7 @@ impl Criterion {
             name: name.into(),
             sample_size: self.sample_size,
             throughput: None,
-            _criterion: self,
+            criterion: self,
         }
     }
 
@@ -48,8 +97,9 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        let sample_size = self.sample_size;
-        run_benchmark(name.as_ref(), sample_size, None, f);
+        if self.matches(name.as_ref()) {
+            run_benchmark(name.as_ref(), self.sample_size(), None, f);
+        }
         self
     }
 }
@@ -68,7 +118,7 @@ pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: usize,
     throughput: Option<Throughput>,
-    _criterion: &'a mut Criterion,
+    criterion: &'a mut Criterion,
 }
 
 impl BenchmarkGroup<'_> {
@@ -97,7 +147,10 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let full = format!("{}/{}", self.name, name.as_ref());
-        run_benchmark(&full, self.sample_size, self.throughput, f);
+        if self.criterion.matches(&full) {
+            let sample_size = self.criterion.cli_sample_size.unwrap_or(self.sample_size);
+            run_benchmark(&full, sample_size, self.throughput, f);
+        }
         self
     }
 
@@ -226,5 +279,33 @@ mod tests {
         group.throughput(Throughput::Elements(100));
         group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
         group.finish();
+    }
+
+    #[test]
+    fn args_configure_filters_and_sample_size() {
+        let args = ["--bench", "hotpath", "--sample-size", "7"];
+        let c = Criterion::default().configure_from(args.iter().map(|s| s.to_string()));
+        assert_eq!(c.sample_size(), 7);
+        assert!(c.matches("perf/hotpath_ingest"));
+        assert!(c.matches("hotpath"));
+        assert!(!c.matches("lgbm_fit/raw_4_threads"));
+
+        let c = Criterion::default().configure_from(["--sample-size=0".to_string()]);
+        assert_eq!(c.sample_size(), 1, "sample size is clamped to >= 1");
+        assert!(c.matches("anything"), "no positional filters means run all");
+
+        let c = Criterion::default().configure_from(Vec::new());
+        assert_eq!(c.sample_size(), 20);
+    }
+
+    #[test]
+    fn filtered_out_benchmarks_do_not_run() {
+        let mut c = Criterion::default().configure_from(["only_this".to_string()]);
+        let mut ran = false;
+        c.bench_function("something_else", |b| {
+            ran = true;
+            b.iter(|| 1 + 1)
+        });
+        assert!(!ran, "non-matching benchmark must be skipped");
     }
 }
