@@ -157,6 +157,99 @@ fn bench_obs_overhead(c: &mut Criterion) {
     );
 }
 
+/// Flight-recorder overhead pin (`BENCH_obs.json` at the workspace
+/// root): a full monitor replay of the bench fleet log with the recorder
+/// off vs on, metrics enabled in both modes so the pair isolates the
+/// recorder's own cost (ring push per span/instant). Interleaved samples,
+/// like the obs no-op pin, so clock drift and cache warmth hit both
+/// modes equally. Schema and the ≤5% overhead ceiling are pinned by
+/// `crates/bench/tests/bench_schema.rs`.
+fn bench_recorder_overhead(c: &mut Criterion) {
+    if !c.matches("obs_recorder") {
+        return;
+    }
+    let sample_size = c.sample_size();
+    let dataset = bench_dataset();
+    let split = bench_split(&dataset);
+    let config = CordialConfig::default()
+        .with_seed(BENCH_SEED)
+        .with_threads(4);
+    let cordial = Cordial::fit(&dataset, &split.train, &config).expect("train");
+    let budget = cordial_faultsim::SparingBudget::typical();
+    let events = dataset.log.events();
+
+    cordial_obs::set_enabled(true);
+    let time_once = |recorder_on: bool| {
+        cordial_obs::recorder::set_enabled(recorder_on);
+        let mut monitor = cordial::monitor::CordialMonitor::new(cordial.clone(), budget);
+        let start = Instant::now();
+        black_box(monitor.ingest_all(events.iter().copied()));
+        let elapsed = start.elapsed().as_secs_f64();
+        if recorder_on {
+            cordial_obs::recorder::clear();
+        }
+        elapsed
+    };
+    for _ in 0..3 {
+        time_once(false);
+        time_once(true);
+    }
+    let mut disabled = Vec::new();
+    let mut enabled = Vec::new();
+    for _ in 0..sample_size.max(5) {
+        disabled.push(time_once(false));
+        enabled.push(time_once(true));
+    }
+    cordial_obs::recorder::set_enabled(false);
+    cordial_obs::set_enabled(false);
+    let median = |samples: &mut Vec<f64>| {
+        samples.sort_by(f64::total_cmp);
+        samples[samples.len() / 2]
+    };
+    let disabled_ns = median(&mut disabled) * 1e9;
+    let enabled_ns = median(&mut enabled) * 1e9;
+    let overhead = enabled_ns / disabled_ns;
+    println!(
+        "obs_recorder/monitor_replay       off: {disabled_ns:>12.0} ns   on: {enabled_ns:>12.0} ns   overhead {:.2}%",
+        (overhead - 1.0) * 100.0
+    );
+    write_obs_json(sample_size, disabled_ns, enabled_ns);
+}
+
+/// Serialises the recorder-overhead pin (`BENCH_obs.json` at the
+/// workspace root). Schema pinned by `crates/bench/tests/bench_schema.rs`.
+fn write_obs_json(sample_size: usize, disabled_ns: f64, enabled_ns: f64) {
+    use serde_json::Value;
+    let doc = Value::Map(vec![
+        ("schema_version".into(), Value::U64(1)),
+        (
+            "source".into(),
+            Value::Str("cargo bench -p cordial-bench --bench perf -- obs_recorder".into()),
+        ),
+        ("sample_size".into(), Value::U64(sample_size as u64)),
+        (
+            "benches".into(),
+            Value::Map(vec![(
+                "recorder_replay".into(),
+                Value::Map(vec![
+                    ("disabled".into(), Value::Str("recorder_off".into())),
+                    ("enabled".into(), Value::Str("recorder_on".into())),
+                    ("disabled_median_ns".into(), Value::F64(disabled_ns)),
+                    ("enabled_median_ns".into(), Value::F64(enabled_ns)),
+                    ("overhead".into(), Value::F64(enabled_ns / disabled_ns)),
+                ]),
+            )]),
+        ),
+    ]);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_obs.json");
+    let body = serde_json::to_string_pretty(&doc).expect("serialise") + "\n";
+    if let Err(e) = std::fs::write(path, body) {
+        println!("obs_recorder: could not write {path}: {e}");
+    } else {
+        println!("obs_recorder: wrote {path}");
+    }
+}
+
 /// Median per-iteration time of `f` in nanoseconds, measured like the
 /// vendored harness (calibrated repetition count, median of
 /// `sample_size` samples) but returning the number so the hot-path
@@ -541,6 +634,7 @@ criterion_group!(
     bench_cordial_fit,
     bench_plan_batch,
     bench_obs_overhead,
+    bench_recorder_overhead,
     bench_hotpath
 );
 criterion_main!(perf);

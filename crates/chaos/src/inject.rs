@@ -164,6 +164,23 @@ impl FaultInjector {
         cordial_obs::counter!("chaos.events.dropped").add(summary.dropped as u64);
         cordial_obs::counter!("chaos.events.duplicated").add(summary.duplicated as u64);
         cordial_obs::counter!("chaos.events.reordered").add(summary.reordered as u64);
+        // One timeline instant per fault class that actually fired, so a
+        // trace shows *when* the stream was degraded and by how much.
+        if cordial_obs::recorder::enabled() {
+            for (name, count) in [
+                ("drop", summary.dropped),
+                ("duplicate", summary.duplicated),
+                ("reorder", summary.reordered),
+            ] {
+                if count > 0 {
+                    cordial_obs::recorder::instant(
+                        "chaos",
+                        name,
+                        format!("{count} of {} events", summary.input_events),
+                    );
+                }
+            }
+        }
         (output, summary)
     }
 
@@ -201,6 +218,16 @@ impl FaultInjector {
         }
         cordial_obs::counter!("chaos.wire.lines").add(summary.input_lines as u64);
         cordial_obs::counter!("chaos.wire.corrupted").add(summary.corrupted_lines as u64);
+        if cordial_obs::recorder::enabled() && summary.corrupted_lines > 0 {
+            cordial_obs::recorder::instant(
+                "chaos",
+                "corrupt_wire",
+                format!(
+                    "{} of {} lines corrupted, {} bytes truncated",
+                    summary.corrupted_lines, summary.input_lines, summary.truncated_bytes
+                ),
+            );
+        }
         (out, summary)
     }
 }

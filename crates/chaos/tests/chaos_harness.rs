@@ -52,6 +52,7 @@ fn reference_fault_rates_hold_every_invariant() {
 fn chaos_telemetry_digest_is_thread_invariant() {
     let _guard = obs_guard();
     cordial_obs::set_enabled(true);
+    cordial_obs::recorder::set_enabled(true);
     let mut digests = Vec::new();
     for n_threads in [1, 4] {
         let config = HarnessConfig {
@@ -59,16 +60,20 @@ fn chaos_telemetry_digest_is_thread_invariant() {
             ..HarnessConfig::default()
         };
         cordial_obs::reset();
+        cordial_obs::recorder::clear();
         let report = run_harness(&config);
         assert!(report.all_passed(), "{}", report.render());
         digests.push(cordial_obs::snapshot().digest());
     }
+    cordial_obs::recorder::set_enabled(false);
     cordial_obs::set_enabled(false);
-    assert!(
-        digests[0].contains_key("chaos.events.input"),
-        "digest must cover the chaos counters: {:?}",
-        digests[0].keys().collect::<Vec<_>>()
-    );
+    for family in ["chaos.events.input", "obs.recorder.instants"] {
+        assert!(
+            digests[0].contains_key(family),
+            "digest must cover {family}: {:?}",
+            digests[0].keys().collect::<Vec<_>>()
+        );
+    }
     assert_eq!(
         digests[0], digests[1],
         "chaos telemetry must not depend on the thread count"

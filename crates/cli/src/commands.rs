@@ -99,6 +99,22 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
     let metrics_out = args.flags.get("metrics-out").map(PathBuf::from);
     if metrics_out.is_some() {
         cordial_obs::set_enabled(true);
+        cordial_obs::export::describe_defaults();
+    }
+    // `--trace-out` switches the flight recorder on and exports the merged
+    // timeline on success (`.jsonl` → JSON lines, anything else → Chrome
+    // trace-event JSON for chrome://tracing / Perfetto).
+    let trace_out = args.flags.get("trace-out").map(PathBuf::from);
+    // `--dump-dir` arms the black-box: breaker opens and contained panics
+    // snapshot the recorder rings + metrics into this directory.
+    let dump_dir = args.flags.get("dump-dir").map(PathBuf::from);
+    if trace_out.is_some() || dump_dir.is_some() {
+        cordial_obs::recorder::set_enabled(true);
+    }
+    if let Some(dir) = &dump_dir {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create dump dir {}: {e}", dir.display()))?;
+        cordial_obs::blackbox::set_dump_dir(Some(dir));
     }
     let result = match args.command.as_str() {
         "simulate" => simulate(&args),
@@ -116,6 +132,15 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
         if let Some(path) = metrics_out {
             io::write_metrics(&path, &cordial_obs::snapshot())?;
             cordial_obs::info!("metrics written to {}", path.display());
+        }
+        if let Some(path) = trace_out {
+            let events = cordial_obs::recorder::drain();
+            cordial_obs::trace::write_file(&path, &events)?;
+            cordial_obs::info!(
+                "trace written to {} ({} events)",
+                path.display(),
+                events.len()
+            );
         }
     }
     result
@@ -526,9 +551,56 @@ fn fleet(args: &Args) -> Result<(), String> {
 
 /// Renders a metrics file written by `--metrics-out` as a readable table.
 fn stats(args: &Args) -> Result<(), String> {
-    let snapshot = io::read_metrics(&args.path("metrics")?)?;
-    print!("{}", snapshot.render_table());
+    let path = args.path("metrics")?;
+    // `--watch N` re-reads and re-renders N times (bounded so scripts and
+    // CI terminate); anything under 2 is a single plain render.
+    let refreshes = args.u64_flag("watch", 1)?.max(1);
+    let interval_ms = args.u64_flag("watch-interval-ms", 500)?;
+    for refresh in 0..refreshes {
+        let snapshot = io::read_metrics(&path)?;
+        if refreshes > 1 {
+            // Clear screen + home, like `watch(1)` does.
+            print!("\x1b[2J\x1b[H");
+            println!(
+                "cordial stats — {} — refresh {}/{refreshes}",
+                path.display(),
+                refresh + 1
+            );
+        }
+        print!("{}", snapshot.render_table());
+        print!("{}", render_health(&snapshot));
+        if refresh + 1 < refreshes {
+            std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+        }
+    }
     Ok(())
+}
+
+/// Renders the watchdog-health section of `stats`: active alert counters
+/// and the current shift/burn gauges, or nothing when the snapshot
+/// carries no `obs.watchdog.*` telemetry.
+fn render_health(snapshot: &cordial_obs::Snapshot) -> String {
+    let alerts: Vec<(&String, &u64)> = snapshot
+        .counters
+        .iter()
+        .filter(|(name, _)| name.starts_with("obs.watchdog.alerts"))
+        .collect();
+    let gauges: Vec<(&String, &f64)> = snapshot
+        .gauges
+        .iter()
+        .filter(|(name, _)| name.starts_with("obs.watchdog."))
+        .collect();
+    if alerts.is_empty() && gauges.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("\nhealth watchdogs\n");
+    for (name, value) in alerts {
+        out.push_str(&format!("  {name:<40} {value}\n"));
+    }
+    for (name, value) in gauges {
+        out.push_str(&format!("  {name:<40} {value:.4}\n"));
+    }
+    out
 }
 
 #[cfg(test)]

@@ -21,10 +21,16 @@
 //!   verdicts;
 //! * `fleet` runs the multi-device fleet supervisor under device kills and
 //!   stream corruption and reports quarantine/availability verdicts;
-//! * `stats` pretty-prints a metrics file written with `--metrics-out`.
+//! * `stats` pretty-prints a metrics file written with `--metrics-out`;
+//!   `--watch N` re-renders it N times like `watch(1)` and appends the
+//!   health-watchdog section when `obs.watchdog.*` telemetry is present.
 //!
 //! Every subcommand accepts `--metrics-out FILE` to export the run's
-//! telemetry (Prometheus text, or JSON for a `.json` path).
+//! telemetry (Prometheus text, or JSON for a `.json` path),
+//! `--trace-out FILE` to switch the flight recorder on and export the
+//! merged causal timeline (Chrome trace-event JSON, or JSON lines for a
+//! `.jsonl` path), and `--dump-dir DIR` to arm black-box post-mortem
+//! dumps on contained panics and breaker opens.
 
 #![warn(clippy::unwrap_used, clippy::expect_used)]
 
@@ -53,7 +59,13 @@ fn main() -> ExitCode {
             cordial_obs::error!("  cordial-cli monitor  --log FILE (--pipeline FILE | --resume CKPT) [--checkpoint CKPT] [--checkpoint-every N] [--abort-after N] [--reorder-bound-ms MS]");
             cordial_obs::error!("  cordial-cli chaos    [--scale S] [--seed N] [--chaos-seed N] [--corruption R] [--duplication R] [--reorder R] [--drops R] [--truncate F] [--threads N]");
             cordial_obs::error!("  cordial-cli fleet    [--scale S] [--seed N] [--devices N] [--kill R] [--corrupt R] [--min-availability R] [--breaker-window N] [--breaker-trip-rate R] [--breaker-min-events N] [--breaker-backoff-ms MS] [--breaker-max-retries N] [--promotion-margin R] [--metrics-out FILE]");
-            cordial_obs::error!("  cordial-cli stats    --metrics FILE");
+            cordial_obs::error!(
+                "  cordial-cli stats    --metrics FILE [--watch N] [--watch-interval-ms MS]"
+            );
+            cordial_obs::error!("");
+            cordial_obs::error!(
+                "global flags: [--metrics-out FILE] [--trace-out FILE] [--dump-dir DIR]"
+            );
             ExitCode::FAILURE
         }
     }

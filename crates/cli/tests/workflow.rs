@@ -283,3 +283,83 @@ fn plan_accepts_a_single_bank_filter() {
 
     let _ = std::fs::remove_dir_all(dir);
 }
+
+#[test]
+fn run_with_trace_out_and_dump_dir_exports_observability_artifacts() {
+    let dir = workdir("trace");
+    let trace = dir.join("trace.json");
+    let metrics = dir.join("metrics.prom");
+    let dumps = dir.join("dumps");
+
+    // `run` with the full observability flag set: metrics file, Chrome
+    // trace, armed black-box directory. A clean run opens no breaker and
+    // contains no panic, so arming must leave the directory empty.
+    let out = bin()
+        .args(["run", "--scale", "small", "--seed", "7"])
+        .args(["--metrics-out", metrics.to_str().unwrap()])
+        .args(["--trace-out", trace.to_str().unwrap()])
+        .args(["--dump-dir", dumps.to_str().unwrap()])
+        .output()
+        .expect("run with trace");
+    assert!(out.status.success(), "{out:?}");
+    assert!(metrics.exists());
+
+    let body = std::fs::read_to_string(&trace).expect("trace file written");
+    let stats = cordial_obs::trace::parse_chrome_trace(&body).expect("valid Chrome trace");
+    assert!(
+        stats.complete_pairs >= 1,
+        "the run must record span pairs: {stats:?}"
+    );
+    assert!(
+        stats.categories.contains_key("plan"),
+        "plan decisions must appear on the timeline: {stats:?}"
+    );
+    let stray: Vec<_> = std::fs::read_dir(&dumps)
+        .expect("dump dir created by --dump-dir")
+        .collect();
+    assert!(stray.is_empty(), "clean run must not dump: {stray:?}");
+
+    // A `.jsonl` destination selects the JSON-lines exporter instead.
+    let jsonl = dir.join("trace.jsonl");
+    let out = bin()
+        .args(["run", "--scale", "small", "--seed", "7"])
+        .args(["--trace-out", jsonl.to_str().unwrap()])
+        .output()
+        .expect("run with jsonl trace");
+    assert!(out.status.success(), "{out:?}");
+    let body = std::fs::read_to_string(&jsonl).unwrap();
+    assert!(body.lines().count() >= 2, "one JSON object per line");
+    for line in body.lines() {
+        serde_json::parse_value_str(line).expect("each line is standalone JSON");
+    }
+
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn stats_watch_renders_bounded_refreshes() {
+    let dir = workdir("watch");
+    let metrics = dir.join("metrics.prom");
+
+    let out = bin()
+        .args(["run", "--scale", "small", "--seed", "7"])
+        .args(["--metrics-out", metrics.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+
+    let out = bin()
+        .args(["stats", "--metrics", metrics.to_str().unwrap()])
+        .args(["--watch", "2", "--watch-interval-ms", "1"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("refresh 1/2") && stdout.contains("refresh 2/2"),
+        "--watch 2 must render exactly two refreshes:\n{stdout}"
+    );
+    assert!(stdout.contains("cordial_monitor_events"), "{stdout}");
+
+    let _ = std::fs::remove_dir_all(dir);
+}

@@ -13,8 +13,9 @@ use std::time::Duration;
 
 use serde::{Deserialize, Serialize};
 
-use cordial_faultsim::{IsolationEngine, IsolationSnapshot, SparingBudget};
+use cordial_faultsim::{CoarsePattern, IsolationEngine, IsolationSnapshot, SparingBudget};
 use cordial_mcelog::{BankErrorHistory, ErrorEvent, ErrorType, ObservedWindow, Timestamp};
+use cordial_obs::{BurnConfig, BurnRate, DriftConfig, MixDriftDetector};
 use cordial_topology::{BankAddress, CellAddress, RowId};
 
 use crate::incremental::IncrementalBankFeatures;
@@ -287,6 +288,119 @@ pub struct CordialMonitor {
     stats: MonitorStats,
     /// Degraded-stream front end for the `*_guarded` ingestion paths.
     guard: StreamGuard,
+    /// Rolling health watchdogs; derived state, never checkpointed.
+    health: MonitorHealth,
+}
+
+/// Configuration for the monitor's telemetry health watchdogs
+/// ([`MonitorHealth`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HealthConfig {
+    /// Drift detector over the classified pattern mix of planned banks
+    /// (double-row / single-row / scattered shares).
+    pub pattern_mix: DriftConfig,
+    /// Drift detector over lead-time histogram bucket occupancy
+    /// (plan → first absorbed UER, simulated stream time).
+    pub lead_time: DriftConfig,
+    /// SLO burn gauge over guard rejections (rejected / offered events).
+    pub rejected: BurnConfig,
+    /// SLO burn gauge over inline planning latency. Wall clock by nature,
+    /// so it is routed through the obs layer's `wallclock` metric families
+    /// and excluded from deterministic telemetry digests.
+    pub plan_latency: BurnConfig,
+    /// Inline planning latency budget in seconds; a plan slower than this
+    /// burns one slot of the `plan_latency` window.
+    pub plan_latency_slo: f64,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        Self {
+            pattern_mix: DriftConfig {
+                window: 32,
+                threshold: 0.35,
+            },
+            lead_time: DriftConfig {
+                window: 64,
+                threshold: 0.35,
+            },
+            rejected: BurnConfig {
+                window: 256,
+                budget: 0.05,
+            },
+            plan_latency: BurnConfig {
+                window: 64,
+                budget: 0.25,
+            },
+            plan_latency_slo: 0.25,
+        }
+    }
+}
+
+/// Rolling telemetry health watchdogs fed by the ingest stream.
+///
+/// Every detector except `plan_latency` is a pure function of the event
+/// stream (simulated time and arrival order), so alert counts and shift
+/// gauges are identical across thread counts and ingestion paths.
+/// Watchdog state is derived, in-memory state: it is intentionally *not*
+/// checkpointed — a restored monitor restarts with empty windows and the
+/// default [`HealthConfig`] (re-apply
+/// [`CordialMonitor::with_health_config`] after restore if customised).
+#[derive(Debug, Clone)]
+pub struct MonitorHealth {
+    config: HealthConfig,
+    pattern_mix: MixDriftDetector,
+    lead_time: MixDriftDetector,
+    rejected: BurnRate,
+    plan_latency: BurnRate,
+}
+
+impl MonitorHealth {
+    fn new(config: HealthConfig) -> Self {
+        Self {
+            config,
+            pattern_mix: MixDriftDetector::new(
+                "pattern_mix",
+                CoarsePattern::ALL.len(),
+                config.pattern_mix,
+            ),
+            lead_time: MixDriftDetector::new(
+                "lead_time",
+                cordial_obs::LEAD_TIME_BOUNDS.len() + 1,
+                config.lead_time,
+            ),
+            rejected: BurnRate::new("rejected", config.rejected),
+            plan_latency: BurnRate::new_wallclock("plan_latency.wallclock", config.plan_latency),
+        }
+    }
+
+    /// Drift detector over the classified pattern mix of planned banks.
+    pub fn pattern_mix(&self) -> &MixDriftDetector {
+        &self.pattern_mix
+    }
+
+    /// Drift detector over lead-time histogram bucket occupancy.
+    pub fn lead_time(&self) -> &MixDriftDetector {
+        &self.lead_time
+    }
+
+    /// Burn-rate gauge over guard rejections.
+    pub fn rejected(&self) -> &BurnRate {
+        &self.rejected
+    }
+
+    /// Wall-clock burn-rate gauge over inline planning latency.
+    pub fn plan_latency(&self) -> &BurnRate {
+        &self.plan_latency
+    }
+
+    /// Total alerts raised across the stream-deterministic watchdogs
+    /// (pattern mix, lead time, rejections). The wall-clock
+    /// `plan_latency` alerts are deliberately excluded so the total is
+    /// reproducible across machines.
+    pub fn alerts(&self) -> u64 {
+        self.pattern_mix.alerts() + self.lead_time.alerts() + self.rejected.alerts()
+    }
 }
 
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
@@ -400,6 +514,7 @@ impl CordialMonitor {
             features: BTreeMap::new(),
             stats: MonitorStats::default(),
             guard: StreamGuard::new(GuardConfig::default()),
+            health: MonitorHealth::new(HealthConfig::default()),
         }
     }
 
@@ -410,6 +525,21 @@ impl CordialMonitor {
     pub fn with_guard_config(mut self, config: GuardConfig) -> Self {
         self.guard = StreamGuard::new(config);
         self
+    }
+
+    /// Replaces the health-watchdog configuration (builder style).
+    ///
+    /// Resets every rolling window, so it is only meaningful before
+    /// ingestion starts (or immediately after [`CordialMonitor::restore`],
+    /// whose windows start empty anyway).
+    pub fn with_health_config(mut self, config: HealthConfig) -> Self {
+        self.health = MonitorHealth::new(config);
+        self
+    }
+
+    /// The telemetry health watchdogs' current state.
+    pub fn health(&self) -> &MonitorHealth {
+        &self.health
     }
 
     /// Ingests one event from the BMC stream.
@@ -443,14 +573,33 @@ impl CordialMonitor {
                         if !state.absorbed_once {
                             state.absorbed_once = true;
                             self.stats.plans_absorbing += 1;
+                            // Timeline instant on the *first* absorption
+                            // per bank only (the plan-validated moment):
+                            // per-UER instants would dominate the
+                            // recorder's hot-path budget for nothing.
+                            if cordial_obs::recorder::enabled() {
+                                cordial_obs::recorder::instant(
+                                    "ingest",
+                                    "absorbed",
+                                    format!("{bank} row {}", event.addr.row),
+                                );
+                            }
                         }
                         let lead = event.time.saturating_since(planned_at);
                         self.stats.lead_time_ms_total += lead.as_millis() as u64;
+                        let lead_secs = lead.as_secs_f64();
                         cordial_obs::histogram!(
                             "monitor.lead_time.seconds",
                             cordial_obs::LEAD_TIME_BOUNDS
                         )
-                        .observe(lead.as_secs_f64());
+                        .observe(lead_secs);
+                        // Same bucketing as the histogram: the drift
+                        // detector watches the bucket-occupancy mix.
+                        let bucket = cordial_obs::LEAD_TIME_BOUNDS
+                            .iter()
+                            .position(|b| lead_secs <= *b)
+                            .unwrap_or(cordial_obs::LEAD_TIME_BOUNDS.len());
+                        self.health.lead_time.observe(bucket);
                     }
                 }
                 return IngestOutcome::AbsorbedByIsolation;
@@ -482,6 +631,11 @@ impl CordialMonitor {
             let plan = match cache.remove(&bank) {
                 Some(plan) => plan,
                 None => {
+                    // Wall-clock planning latency feeds the `wallclock`
+                    // SLO burn gauge only (kept out of deterministic
+                    // digests); timing is skipped entirely when metrics
+                    // are off.
+                    let started = cordial_obs::enabled().then(std::time::Instant::now);
                     let fast = if completes_window {
                         self.features
                             .get(&bank)
@@ -489,7 +643,7 @@ impl CordialMonitor {
                     } else {
                         None
                     };
-                    match fast {
+                    let plan = match fast {
                         Some(raw) => {
                             cordial_obs::counter!("monitor.features.incremental").inc();
                             let window = ObservedWindow::from_sorted_events(bank, &state.events);
@@ -501,7 +655,13 @@ impl CordialMonitor {
                             let history = BankErrorHistory::new(bank, state.events.clone());
                             self.pipeline.plan_with(&history, Some(&self.flat))
                         }
+                    };
+                    if let Some(started) = started {
+                        let slow =
+                            started.elapsed().as_secs_f64() > self.health.config.plan_latency_slo;
+                        self.health.plan_latency.observe(slow);
                     }
+                    plan
                 }
             };
             if plan == MitigationPlan::InsufficientData {
@@ -538,6 +698,25 @@ impl CordialMonitor {
                     cordial_obs::counter!("monitor.banks_spared").add(applied as u64);
                 }
                 MitigationPlan::InsufficientData => {}
+            }
+            // Plan decisions feed the pattern-mix drift watchdog and land
+            // in the flight recorder as causal timeline instants.
+            let class = match &plan {
+                MitigationPlan::RowSparing { pattern, .. } => pattern.class_index(),
+                // `InsufficientData` returned above; bank sparing is the
+                // scattered class's mitigation.
+                _ => CoarsePattern::Scattered.class_index(),
+            };
+            self.health.pattern_mix.observe(class);
+            if cordial_obs::recorder::enabled() {
+                let (name, detail) = match &plan {
+                    MitigationPlan::RowSparing { pattern, rows } => (
+                        "row_sparing",
+                        format!("{bank} {pattern:?} rows={} applied={applied}", rows.len()),
+                    ),
+                    _ => ("bank_sparing", format!("{bank} applied={applied}")),
+                };
+                cordial_obs::recorder::instant("plan", name, detail);
             }
             self.update_gauges();
             return IngestOutcome::Planned { plan, applied };
@@ -693,6 +872,14 @@ impl CordialMonitor {
             self.stats.events += 1;
             self.stats.rejected_late += 1;
             cordial_obs::counter!("monitor.outcome.rejected.late").inc();
+            self.health.rejected.observe(true);
+            if cordial_obs::recorder::enabled() {
+                cordial_obs::recorder::instant(
+                    "ingest",
+                    "rejected.late",
+                    format!("{} at {:?}", event.addr.bank, event.time),
+                );
+            }
             return Some(IngestOutcome::Rejected {
                 reason: RejectReason::LateArrival,
             });
@@ -707,11 +894,20 @@ impl CordialMonitor {
                 self.stats.events += 1;
                 self.stats.rejected_duplicates += 1;
                 cordial_obs::counter!("monitor.outcome.rejected.duplicate").inc();
+                self.health.rejected.observe(true);
+                if cordial_obs::recorder::enabled() {
+                    cordial_obs::recorder::instant(
+                        "ingest",
+                        "rejected.duplicate",
+                        format!("{} at {:?}", event.addr.bank, event.time),
+                    );
+                }
                 Some(IngestOutcome::Rejected {
                     reason: RejectReason::Duplicate,
                 })
             }
             Err(pos) => {
+                self.health.rejected.observe(false);
                 if self.guard.started && event.time < self.guard.watermark {
                     self.stats.recovered_reordered += 1;
                     cordial_obs::counter!("monitor.guard.reordered").inc();
@@ -872,6 +1068,10 @@ impl CordialMonitor {
             features,
             stats: checkpoint.stats,
             guard: checkpoint.guard,
+            // Watchdog windows are derived, short-horizon state: they
+            // restart empty rather than being persisted (see
+            // [`MonitorHealth`]).
+            health: MonitorHealth::new(HealthConfig::default()),
         })
     }
 

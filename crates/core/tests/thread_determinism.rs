@@ -124,17 +124,31 @@ fn monitor_fast_path_telemetry_is_identical_across_thread_counts() {
     let split = split_banks(&dataset, 0.7, 88);
 
     cordial_obs::set_enabled(true);
+    cordial_obs::recorder::set_enabled(true);
     let mut digests = Vec::new();
     let mut stats = Vec::new();
+    let mut instants = Vec::new();
     for n_threads in [1, 4] {
         let cordial = fit_with_threads(&dataset, &split.train, ModelKind::lightgbm(), n_threads);
         let mut monitor = CordialMonitor::new(cordial, SparingBudget::typical());
         cordial_obs::reset();
+        cordial_obs::recorder::clear();
         let plans = monitor.ingest_all(dataset.log.events().iter().copied());
         assert!(!plans.is_empty(), "the fleet replay must trigger plans");
         digests.push(cordial_obs::snapshot().digest());
         stats.push(monitor.stats());
+        // The flight recorder's *deterministic* event stream (timeline
+        // instants: plan decisions, first absorptions) must be as
+        // thread-invariant as the metrics; span events are inherently
+        // parallel and excluded, like their `.parallel` counter family.
+        let timeline: Vec<(String, String)> = cordial_obs::recorder::drain()
+            .into_iter()
+            .filter(|e| e.phase == cordial_obs::TracePhase::Instant)
+            .map(|e| (e.name.clone(), e.detail.clone()))
+            .collect();
+        instants.push(timeline);
     }
+    cordial_obs::recorder::set_enabled(false);
     cordial_obs::set_enabled(false);
 
     let digest = &digests[0];
@@ -148,9 +162,104 @@ fn monitor_fast_path_telemetry_is_identical_across_thread_counts() {
         "LightGBM plans must route through flat inference: {:?}",
         digest.keys().collect::<Vec<_>>()
     );
+    assert!(
+        digest.contains_key("obs.recorder.instants"),
+        "recorder instants must land in the digest: {:?}",
+        digest.keys().collect::<Vec<_>>()
+    );
     assert_eq!(
         digests[0], digests[1],
         "monitor telemetry digest must not depend on the thread count"
     );
     assert_eq!(stats[0], stats[1], "monitor stats must match too");
+    assert!(
+        !instants[0].is_empty(),
+        "the replay must produce timeline instants"
+    );
+    assert_eq!(
+        instants[0], instants[1],
+        "recorder instants must not depend on the thread count"
+    );
+}
+
+/// Acceptance pin for the health watchdogs: a mid-stream shift of the
+/// generated failure-pattern mix (clustered fleet, then a scattered
+/// fleet) must raise a `pattern_mix` drift alert, and both the alert
+/// counters and the shift gauges must be bit-identical across planner
+/// thread counts.
+#[test]
+fn pattern_mix_drift_raises_watchdog_alert_across_thread_counts() {
+    use cordial::monitor::HealthConfig;
+    use cordial_faultsim::PatternMix;
+
+    let _guard = obs_guard();
+    // Phase A: clustered patterns only (single/double-row). Phase B:
+    // scattered + whole-column, i.e. the scattered coarse class.
+    let clustered = FleetDatasetConfig {
+        pattern_mix: PatternMix::new([1.0, 1.0, 0.0, 0.0, 0.0]),
+        ..FleetDatasetConfig::small()
+    };
+    let scattered = FleetDatasetConfig {
+        pattern_mix: PatternMix::new([0.0, 0.0, 0.0, 1.0, 1.0]),
+        ..FleetDatasetConfig::small()
+    };
+    let phase_a = generate_fleet_dataset(&clustered, 901);
+    let phase_b = generate_fleet_dataset(&scattered, 902);
+    let split = split_banks(&phase_a, 0.7, 901);
+
+    // Small window so both phases complete several of them; plan order is
+    // stream order, so the reference window forms inside phase A and the
+    // first full phase-B window trips the detector.
+    let health = HealthConfig {
+        pattern_mix: cordial_obs::DriftConfig {
+            window: 8,
+            threshold: 0.3,
+        },
+        ..HealthConfig::default()
+    };
+
+    cordial_obs::set_enabled(true);
+    let mut digests = Vec::new();
+    let mut alert_counts = Vec::new();
+    for n_threads in [1, 4] {
+        let cordial = fit_with_threads(&phase_a, &split.train, ModelKind::lightgbm(), n_threads);
+        let mut monitor =
+            CordialMonitor::new(cordial, SparingBudget::typical()).with_health_config(health);
+        cordial_obs::reset();
+        let stream: Vec<ErrorEvent> = phase_a
+            .log
+            .events()
+            .iter()
+            .chain(phase_b.log.events())
+            .copied()
+            .collect();
+        monitor.ingest_all(stream);
+        digests.push(cordial_obs::snapshot().digest());
+        alert_counts.push(monitor.health().pattern_mix().alerts());
+    }
+    cordial_obs::set_enabled(false);
+
+    assert!(
+        alert_counts[0] >= 1,
+        "the pattern-mix shift must raise at least one drift alert"
+    );
+    assert_eq!(
+        alert_counts[0], alert_counts[1],
+        "alert count must not depend on the thread count"
+    );
+    let digest = &digests[0];
+    assert!(
+        digest.contains_key("obs.watchdog.alerts"),
+        "watchdog alerts must land in the digest: {:?}",
+        digest.keys().collect::<Vec<_>>()
+    );
+    assert!(
+        digest.contains_key("obs.watchdog.alerts.pattern_mix"),
+        "the per-kind alert counter must land in the digest: {:?}",
+        digest.keys().collect::<Vec<_>>()
+    );
+    assert_eq!(
+        digests[0], digests[1],
+        "watchdog telemetry digest must not depend on the thread count"
+    );
 }

@@ -3,7 +3,7 @@
 //! Regenerates every table and figure of the paper's evaluation:
 //!
 //! ```text
-//! cordial-experiments [--scale small|medium|paper] [--seed N] [--out DIR] <command>
+//! cordial-experiments [--scale small|medium|paper] [--seed N] [--out DIR] [--trace-out FILE] <command>
 //!
 //! commands:
 //!   table1   In-row predictable ratio of UERs (Table I)
@@ -41,7 +41,7 @@ fn main() -> ExitCode {
             cordial_obs::error!("");
             cordial_obs::error!(
                 "usage: cordial-experiments [--scale small|medium|paper] [--seed N] \
-                 [--out DIR] <table1|...|fig4|ablations|importance|all>"
+                 [--out DIR] [--trace-out FILE] <table1|...|fig4|ablations|importance|all>"
             );
             ExitCode::FAILURE
         }
@@ -52,6 +52,7 @@ fn run(args: &[String]) -> Result<(), String> {
     let mut scale = "medium".to_string();
     let mut seed: u64 = 2025;
     let mut out_dir = "results".to_string();
+    let mut trace_out: Option<std::path::PathBuf> = None;
     let mut command: Option<String> = None;
 
     let mut iter = args.iter();
@@ -70,6 +71,9 @@ fn run(args: &[String]) -> Result<(), String> {
             "--out" => {
                 out_dir = iter.next().ok_or("--out requires a value")?.clone();
             }
+            "--trace-out" => {
+                trace_out = Some(iter.next().ok_or("--trace-out requires a value")?.into());
+            }
             cmd if !cmd.starts_with('-') => command = Some(cmd.to_string()),
             unknown => return Err(format!("unknown flag `{unknown}`")),
         }
@@ -78,8 +82,11 @@ fn run(args: &[String]) -> Result<(), String> {
     let command = command.ok_or("missing command")?;
     let context = Context::new(&scale, seed, &out_dir)?;
     cordial_obs::set_enabled(true);
+    if trace_out.is_some() {
+        cordial_obs::recorder::set_enabled(true);
+    }
 
-    match command.as_str() {
+    let result = match command.as_str() {
         "table1" => telemetry("table1", &context, run_table1),
         "table2" => telemetry("table2", &context, run_table2),
         "table3" => telemetry("table3", &context, run_table3),
@@ -100,7 +107,15 @@ fn run(args: &[String]) -> Result<(), String> {
             telemetry("importance", &context, run_importance)
         }
         unknown => Err(format!("unknown command `{unknown}`")),
+    };
+    if result.is_ok() {
+        if let Some(path) = trace_out {
+            let events = cordial_obs::recorder::drain();
+            cordial_obs::trace::write_file(&path, &events)?;
+            println!("[trace] {} ({} events)", path.display(), events.len());
+        }
     }
+    result
 }
 
 /// Runs one experiment with a fresh metrics registry and reports what it

@@ -214,6 +214,7 @@ fn merge_streams(streams: &BTreeMap<DeviceId, Vec<ErrorEvent>>) -> Vec<ErrorEven
 /// Propagates training errors; everything downstream degrades instead of
 /// failing.
 pub fn run_fleet_harness(config: &FleetHarnessConfig) -> Result<FleetReport, CordialError> {
+    let _span = cordial_obs::span!("fleet_harness");
     let dataset = generate_fleet_dataset(&config.dataset, config.dataset_seed);
     let split = split_banks(&dataset, 0.7, config.dataset_seed);
     let pipeline_config = CordialConfig::default()
@@ -279,10 +280,13 @@ pub fn run_fleet_harness(config: &FleetHarnessConfig) -> Result<FleetReport, Cor
         supervisor.inject_panic_after(*id, half);
     }
 
-    for event in merge_streams(&streams) {
-        supervisor.route(event);
+    {
+        let _span = cordial_obs::span!("route");
+        for event in merge_streams(&streams) {
+            supervisor.route(event);
+        }
+        supervisor.finish();
     }
-    supervisor.finish();
 
     let tripped = supervisor.tripped_devices();
     let evicted = supervisor.evicted_devices();

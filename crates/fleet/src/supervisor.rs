@@ -236,6 +236,13 @@ impl FleetSupervisor {
     /// needed. Models a hard device fault, so the panic is sticky and the
     /// device rides its breaker into eviction.
     pub fn inject_panic_after(&mut self, id: DeviceId, nth: u64) {
+        if cordial_obs::recorder::enabled() {
+            cordial_obs::recorder::instant(
+                "chaos",
+                "inject_panic",
+                format!("device {id} will panic at routed event {nth}"),
+            );
+        }
         self.register_device(id);
         if let Some(slot) = self.devices.get_mut(&id) {
             slot.panic_after = Some(nth.max(1));
@@ -274,6 +281,9 @@ impl FleetSupervisor {
         if slot.breaker.poll(now_ms) {
             // Quarantine expired: probe on a monitor restored from the last
             // good checkpoint.
+            if cordial_obs::recorder::enabled() {
+                cordial_obs::recorder::instant("breaker", "probe", format!("device {id}"));
+            }
             Self::restore_slot(slot, &incumbent, &config);
         }
         if !slot.breaker.state().is_serving() {
@@ -296,7 +306,14 @@ impl FleetSupervisor {
             Err(()) => {
                 slot.panics += 1;
                 cordial_obs::counter!("fleet.breaker.panics").inc();
-                Self::trip_slot(slot, &incumbent, &config, now_ms);
+                // Black-box the contained panic before state is discarded:
+                // the dump carries the last events from every thread's
+                // recorder ring plus a metrics snapshot.
+                cordial_obs::blackbox::trigger(
+                    "panic_contained",
+                    &format!("device {id} panicked during ingest at t={now_ms}ms"),
+                );
+                Self::trip_slot(slot, id, &incumbent, &config, now_ms, "panic");
                 self.update_health_gauges();
                 return RouteOutcome::Tripped;
             }
@@ -306,7 +323,7 @@ impl FleetSupervisor {
         for (_, outcome) in &outcomes {
             let failure = matches!(outcome, IngestOutcome::Rejected { .. });
             if slot.breaker.record(now_ms, failure) {
-                Self::trip_slot(slot, &incumbent, &config, now_ms);
+                Self::trip_slot(slot, id, &incumbent, &config, now_ms, "failure_rate");
                 self.update_health_gauges();
                 return RouteOutcome::Tripped;
             }
@@ -325,14 +342,34 @@ impl FleetSupervisor {
     /// restoring from the last checkpoint.
     fn trip_slot(
         slot: &mut DeviceSlot,
+        id: DeviceId,
         incumbent: &Cordial,
         config: &SupervisorConfig,
         now_ms: u64,
+        cause: &'static str,
     ) {
         slot.breaker.trip(now_ms);
         cordial_obs::counter!("fleet.breaker.trips").inc();
-        if slot.breaker.state() == BreakerState::Evicted {
+        let evicted = slot.breaker.state() == BreakerState::Evicted;
+        if evicted {
             cordial_obs::counter!("fleet.breaker.evictions").inc();
+        }
+        if cordial_obs::recorder::enabled() {
+            cordial_obs::recorder::instant(
+                "breaker",
+                if evicted { "evict" } else { "trip" },
+                format!("device {id} cause={cause} at t={now_ms}ms"),
+            );
+        }
+        // A breaker opening is a post-mortem moment: snapshot the recorder
+        // rings and metrics to the black-box dump directory (no-op when no
+        // directory is configured). Panic containment already dumped with
+        // the richer `panic_contained` reason.
+        if cause != "panic" {
+            cordial_obs::blackbox::trigger(
+                "breaker_open",
+                &format!("device {id} cause={cause} at t={now_ms}ms"),
+            );
         }
         Self::restore_slot(slot, incumbent, config);
     }
@@ -348,6 +385,16 @@ impl FleetSupervisor {
         slot.since_checkpoint = 0;
         slot.restores += 1;
         cordial_obs::counter!("fleet.breaker.restores").inc();
+        if cordial_obs::recorder::enabled() {
+            cordial_obs::recorder::instant(
+                "breaker",
+                "restore",
+                format!(
+                    "monitor restored from checkpoint ({} restores)",
+                    slot.restores
+                ),
+            );
+        }
     }
 
     /// Trips every registered device whose stream has silently stalled:
@@ -358,12 +405,12 @@ impl FleetSupervisor {
         let watermark = self.watermark_ms;
         let incumbent = self.registry.incumbent().clone();
         let config = self.config;
-        for slot in self.devices.values_mut() {
+        for (id, slot) in self.devices.iter_mut() {
             if slot.breaker.state() == BreakerState::Closed
                 && watermark.saturating_sub(slot.last_seen_ms) > deadline
             {
                 cordial_obs::counter!("fleet.watchdog.trips").inc();
-                Self::trip_slot(slot, &incumbent, &config, watermark);
+                Self::trip_slot(slot, *id, &incumbent, &config, watermark, "watchdog_stall");
             }
         }
         self.update_health_gauges();
@@ -390,6 +437,13 @@ impl FleetSupervisor {
         match clears_gate(&candidate_score, &incumbent_score, &self.config.gate) {
             Ok(()) => {
                 cordial_obs::counter!("fleet.model.promotions").inc();
+                if cordial_obs::recorder::enabled() {
+                    cordial_obs::recorder::instant(
+                        "model",
+                        "promote",
+                        format!("candidate [{candidate_score}] vs incumbent [{incumbent_score}]"),
+                    );
+                }
                 self.adopt(candidate);
                 PromotionDecision::Promoted {
                     candidate: candidate_score,
@@ -398,6 +452,9 @@ impl FleetSupervisor {
             }
             Err(reason) => {
                 cordial_obs::counter!("fleet.model.rejections").inc();
+                if cordial_obs::recorder::enabled() {
+                    cordial_obs::recorder::instant("model", "reject", reason.to_string());
+                }
                 self.registry.note_rejection();
                 PromotionDecision::Rejected {
                     candidate: candidate_score,
@@ -412,6 +469,9 @@ impl FleetSupervisor {
     /// the chaos hook that lets tests exercise rollback).
     pub fn force_promote(&mut self, candidate: Cordial) {
         cordial_obs::counter!("fleet.model.forced").inc();
+        if cordial_obs::recorder::enabled() {
+            cordial_obs::recorder::instant("model", "force_promote", "operator override");
+        }
         self.adopt(candidate);
     }
 
@@ -468,6 +528,16 @@ impl FleetSupervisor {
             return None;
         }
         cordial_obs::counter!("fleet.model.rollbacks").inc();
+        if cordial_obs::recorder::enabled() {
+            cordial_obs::recorder::instant(
+                "model",
+                "rollback",
+                format!(
+                    "live precision {precision:.4} below floor {:.4} over {planned} plans",
+                    self.config.precision_floor
+                ),
+            );
+        }
         let good = self.registry.rollback();
         for slot in self.devices.values_mut() {
             slot.monitor.swap_pipeline(good.clone());

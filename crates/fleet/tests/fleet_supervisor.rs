@@ -266,3 +266,77 @@ fn watchdog_trips_a_silently_stalled_device() {
     assert_eq!(chatty_status.trips, 0, "a progressing device must not trip");
     assert_eq!(chatty_status.state, BreakerState::Closed);
 }
+
+/// The observability tentpole's fleet acceptance: a chaos fleet run with
+/// the flight recorder on exports a Chrome trace that the validating
+/// parser accepts with at least one complete span pair and the breaker /
+/// chaos instant categories present, and the injected (contained) panic
+/// produces a black-box dump file carrying the recorder rings plus a
+/// metrics snapshot.
+#[test]
+fn chaos_run_exports_chrome_trace_and_blackbox_dump() {
+    let _guard = obs_guard();
+    let dump_dir = std::env::temp_dir().join(format!("cordial-blackbox-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dump_dir);
+    std::fs::create_dir_all(&dump_dir).unwrap();
+
+    cordial_obs::set_enabled(true);
+    cordial_obs::recorder::set_enabled(true);
+    cordial_obs::blackbox::set_dump_dir(Some(&dump_dir));
+    cordial_obs::reset();
+    cordial_obs::recorder::clear();
+
+    let report = run_fleet_harness(&FleetHarnessConfig::default()).unwrap();
+    let events = cordial_obs::recorder::drain();
+
+    cordial_obs::blackbox::set_dump_dir(None);
+    cordial_obs::recorder::set_enabled(false);
+    cordial_obs::set_enabled(false);
+
+    assert!(report.all_passed(), "{}", report.render());
+
+    // The exported timeline loads as well-formed Chrome trace JSON.
+    let trace_path = dump_dir.join("fleet-trace.json");
+    cordial_obs::trace::write_file(&trace_path, &events).unwrap();
+    let text = std::fs::read_to_string(&trace_path).unwrap();
+    let stats = cordial_obs::trace::parse_chrome_trace(&text).unwrap();
+    assert!(
+        stats.complete_pairs >= 1,
+        "the harness run must produce at least one complete span pair: {stats:?}"
+    );
+    for category in ["breaker", "chaos", "plan"] {
+        assert!(
+            stats.categories.contains_key(category),
+            "trace must carry {category} instants: {:?}",
+            stats.categories
+        );
+    }
+
+    // The contained panic black-boxed a post-mortem dump.
+    let dumps: Vec<std::path::PathBuf> = std::fs::read_dir(&dump_dir)
+        .unwrap()
+        .map(|entry| entry.unwrap().path())
+        .filter(|path| {
+            path.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("blackbox-") && n.contains("panic-contained"))
+        })
+        .collect();
+    assert!(
+        !dumps.is_empty(),
+        "the injected panic must produce a black-box dump in {}",
+        dump_dir.display()
+    );
+    let body = std::fs::read_to_string(&dumps[0]).unwrap();
+    let dump = serde_json::parse_value_str(&body).unwrap();
+    let field = |name: &str| {
+        dump.get(name)
+            .unwrap_or_else(|| panic!("dump must carry `{name}`"))
+    };
+    assert!(matches!(field("schema_version"), serde_json::Value::U64(v) if *v >= 1));
+    assert!(matches!(field("reason"), serde_json::Value::Str(s) if s == "panic_contained"));
+    assert!(matches!(field("events"), serde_json::Value::Seq(events) if !events.is_empty()));
+    assert!(matches!(field("metrics"), serde_json::Value::Map(_)));
+
+    let _ = std::fs::remove_dir_all(&dump_dir);
+}

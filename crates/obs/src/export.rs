@@ -15,6 +15,8 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
+use parking_lot::RwLock;
+
 use crate::registry::{HistogramSnapshot, Snapshot};
 
 /// Prefix every exported family carries.
@@ -23,6 +25,95 @@ const PREFIX: &str = "cordial_";
 /// Maps an internal dotted name to its Prometheus family name.
 pub fn prometheus_name(name: &str) -> String {
     format!("{PREFIX}{}", name.replace('.', "_"))
+}
+
+/// Registered `# HELP` texts, keyed by internal dotted metric name.
+static HELP: RwLock<BTreeMap<String, String>> = RwLock::new(BTreeMap::new());
+
+/// Registers the `# HELP` text emitted for the metric `name` (internal
+/// dotted form). Idempotent; the latest text wins. Escaping is applied at
+/// export time, so `help` may contain newlines and backslashes.
+pub fn describe(name: &str, help: &str) {
+    HELP.write().insert(name.to_string(), help.to_string());
+}
+
+/// The registered help text for `name`, if any.
+fn help_for(name: &str) -> Option<String> {
+    HELP.read().get(name).cloned()
+}
+
+/// Escapes a `# HELP` text per the Prometheus exposition format:
+/// backslash and newline only.
+pub fn escape_help(text: &str) -> String {
+    text.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Escapes a label value per the Prometheus exposition format: backslash,
+/// double-quote and newline.
+pub fn escape_label_value(value: &str) -> String {
+    value
+        .replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Reverses [`escape_label_value`].
+pub fn unescape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    let mut chars = value.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some(escaped) => out.push(escaped),
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+fn write_help(out: &mut String, name: &str, sample_family: &str) {
+    if let Some(help) = help_for(name) {
+        let _ = writeln!(out, "# HELP {sample_family} {}", escape_help(&help));
+    }
+}
+
+/// Registers help text for the workspace's headline metric families, so
+/// CLI-produced expositions are self-describing. Idempotent.
+pub fn describe_defaults() {
+    for (name, help) in [
+        ("monitor.events", "Raw error events offered to the monitor"),
+        (
+            "monitor.lead_time.seconds",
+            "Plan-to-absorbed-UER lead time",
+        ),
+        ("plan.requests", "Mitigation plan requests"),
+        ("plan.row_sparing", "Plans that resolved to row sparing"),
+        ("plan.bank_sparing", "Plans that resolved to bank sparing"),
+        (
+            "fleet.events.routed",
+            "Events routed to a healthy device slot",
+        ),
+        ("fleet.breaker.trips", "Circuit-breaker open transitions"),
+        (
+            "obs.recorder.instants",
+            "Flight-recorder instant events (deterministic sites)",
+        ),
+        ("obs.recorder.dumps", "Black-box crash dumps written"),
+        (
+            "obs.watchdog.alerts",
+            "Watchdog alerts across all deterministic detectors",
+        ),
+        (
+            "obs.watchdog.burn.rejected",
+            "Rejected-event SLO burn (multiples of budget)",
+        ),
+    ] {
+        describe(name, help);
+    }
 }
 
 impl Snapshot {
@@ -51,25 +142,34 @@ impl Snapshot {
 }
 
 /// Renders a snapshot in the Prometheus text exposition format.
+///
+/// Families registered via [`describe`] additionally carry a `# HELP`
+/// line (escaped per the exposition format); label values are escaped via
+/// [`escape_label_value`]. [`parse_prometheus`] skips `# HELP` lines, so
+/// described and undescribed exports parse to the same snapshot.
 pub fn to_prometheus(snapshot: &Snapshot) -> String {
     let mut out = String::new();
     for (name, value) in &snapshot.counters {
         let family = prometheus_name(name);
+        write_help(&mut out, name, &format!("{family}_total"));
         let _ = writeln!(out, "# TYPE {family}_total counter");
         let _ = writeln!(out, "{family}_total {value}");
     }
     for (name, value) in &snapshot.gauges {
         let family = prometheus_name(name);
+        write_help(&mut out, name, &family);
         let _ = writeln!(out, "# TYPE {family} gauge");
         let _ = writeln!(out, "{family} {value}");
     }
     for (name, hist) in &snapshot.histograms {
         let family = prometheus_name(name);
+        write_help(&mut out, name, &family);
         let _ = writeln!(out, "# TYPE {family} histogram");
         let mut cumulative = 0u64;
         for (bound, bucket) in hist.bounds.iter().zip(&hist.buckets) {
             cumulative += bucket;
-            let _ = writeln!(out, "{family}_bucket{{le=\"{bound}\"}} {cumulative}");
+            let le = escape_label_value(&bound.to_string());
+            let _ = writeln!(out, "{family}_bucket{{le=\"{le}\"}} {cumulative}");
         }
         let _ = writeln!(out, "{family}_bucket{{le=\"+Inf\"}} {}", hist.count);
         let _ = writeln!(out, "{family}_sum {}", hist.sum);
@@ -140,6 +240,7 @@ pub fn parse_prometheus(text: &str) -> Result<Snapshot, String> {
             let bound_text = label
                 .strip_prefix("le=\"")
                 .and_then(|s| s.strip_suffix("\"}"))
+                .map(unescape_label_value)
                 .ok_or_else(|| fail("expected le=\"...\" label"))?;
             let cumulative: u64 = value_text.parse().map_err(|_| fail("bad bucket count"))?;
             let entry = hists
@@ -153,13 +254,12 @@ pub fn parse_prometheus(text: &str) -> Result<Snapshot, String> {
             continue;
         }
 
-        let value: f64 = value_text.parse().map_err(|_| fail("bad sample value"))?;
         if let Some(family) = key.strip_suffix("_sum") {
             if kinds.get(family).map(String::as_str) == Some("histogram") {
                 hists
                     .entry(family.to_string())
                     .or_insert_with(|| (Vec::new(), Vec::new(), 0.0, 0))
-                    .2 = value;
+                    .2 = value_text.parse().map_err(|_| fail("bad sum"))?;
                 continue;
             }
         }
@@ -174,10 +274,14 @@ pub fn parse_prometheus(text: &str) -> Result<Snapshot, String> {
         }
         if let Some(family) = key.strip_suffix("_total") {
             if kinds.get(key).map(String::as_str) != Some("gauge") {
-                snapshot.counters.insert(family.to_string(), value as u64);
+                // Counters parse as integers, not through `f64`: an `f64`
+                // round trip silently loses counter bits above 2^53.
+                let value: u64 = value_text.parse().map_err(|_| fail("bad counter value"))?;
+                snapshot.counters.insert(family.to_string(), value);
                 continue;
             }
         }
+        let value: f64 = value_text.parse().map_err(|_| fail("bad sample value"))?;
         snapshot.gauges.insert(key.to_string(), value);
     }
 
@@ -276,5 +380,56 @@ mod tests {
         assert!(parse_prometheus("cordial_x_bucket{oops=\"1\"} 2").is_err());
         assert!(parse_prometheus("cordial_x_total not_a_number").is_err());
         assert!(parse_prometheus("just_one_token").is_err());
+    }
+
+    #[test]
+    fn help_text_is_emitted_escaped_and_skipped_by_the_parser() {
+        let snapshot = sample_snapshot();
+        describe(
+            "monitor.events",
+            "raw events offered\nto the monitor, incl. \\ escapes",
+        );
+        describe("span.fit.seconds", "end-to-end fit wall time");
+        let text = to_prometheus(&snapshot);
+        assert!(text.contains(
+            "# HELP cordial_monitor_events_total raw events offered\\nto the monitor, incl. \\\\ escapes"
+        ));
+        assert!(text.contains("# HELP cordial_span_fit_seconds end-to-end fit wall time"));
+        // An undescribed family has no HELP line.
+        assert!(!text.contains("# HELP cordial_plan_total"));
+        // HELP lines do not disturb the round trip.
+        let parsed = parse_prometheus(&text).unwrap();
+        assert_eq!(parsed, snapshot.sanitized());
+    }
+
+    #[test]
+    fn label_values_escape_and_unescape() {
+        let hostile = "a\\b\"c\nd";
+        let escaped = escape_label_value(hostile);
+        assert_eq!(escaped, "a\\\\b\\\"c\\nd");
+        assert_eq!(unescape_label_value(&escaped), hostile);
+        // Plain values pass through untouched.
+        assert_eq!(escape_label_value("0.005"), "0.005");
+        assert_eq!(unescape_label_value("+Inf"), "+Inf");
+        // A trailing lone backslash survives the round trip.
+        assert_eq!(
+            unescape_label_value(&escape_label_value("tail\\")),
+            "tail\\"
+        );
+    }
+
+    #[test]
+    fn exposition_le_buckets_honour_inclusive_upper_bounds() {
+        // The registry invariant (`v <= bound` lands in that bound's
+        // bucket) must survive into the cumulative `le` samples: an
+        // observation exactly on 2.0 counts under le="2", not only +Inf.
+        crate::set_enabled(true);
+        let registry = crate::MetricsRegistry::new();
+        let hist = registry.histogram("edge.case", &[1.0, 2.0]);
+        hist.observe(2.0);
+        let text = to_prometheus(&registry.snapshot());
+        assert!(text.contains("cordial_edge_case_bucket{le=\"1\"} 0"));
+        assert!(text.contains("cordial_edge_case_bucket{le=\"2\"} 1"));
+        assert!(text.contains("cordial_edge_case_bucket{le=\"+Inf\"} 1"));
     }
 }

@@ -14,7 +14,18 @@
 //! 2. a **span facility** ([`span!`]) — RAII guards that record hierarchical
 //!    wall-clock timings into per-path duration histograms;
 //! 3. **exporters** ([`export`]) — Prometheus text exposition and JSON, both
-//!    derived from one deterministic [`Snapshot`].
+//!    derived from one deterministic [`Snapshot`];
+//! 4. a **flight recorder** ([`recorder`]) — per-thread fixed-capacity ring
+//!    buffers of structured events (span begin/end with causal ids, ingest
+//!    outcomes, plan decisions, breaker transitions, chaos injections),
+//!    drainable into one merged timeline and exportable as Chrome
+//!    trace-event JSON or JSON-lines ([`trace`]);
+//! 5. **post-mortem black boxes** ([`blackbox`]) — crash-dump files
+//!    combining the recorder tail with a metrics snapshot, written on
+//!    panic containment and breaker trips;
+//! 6. **health watchdogs** ([`watchdog`]) — rolling-window drift detectors
+//!    and SLO burn-rate trackers over the telemetry itself, raising
+//!    greppable alerts into both the registry and the recorder.
 //!
 //! Recording is **disabled by default**: every instrumentation site costs a
 //! single relaxed atomic load until [`set_enabled`]`(true)` turns the
@@ -45,14 +56,20 @@
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
+pub mod blackbox;
 pub mod export;
 pub mod log;
+pub mod recorder;
 pub mod registry;
 pub mod span;
+pub mod trace;
+pub mod watchdog;
 
 pub use log::Level;
+pub use recorder::{TraceEvent, TracePhase};
 pub use registry::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, Snapshot};
 pub use span::Span;
+pub use watchdog::{BurnConfig, BurnRate, DriftAlert, DriftConfig, MixDriftDetector, SloAlert};
 
 /// Whether metric/span recording is on. Logging is independent of this flag.
 static ENABLED: AtomicBool = AtomicBool::new(false);

@@ -64,9 +64,18 @@ impl Gauge {
 
 #[derive(Debug)]
 struct HistogramCell {
-    /// Finite bucket upper bounds, ascending. Bucket `i` counts
-    /// observations `v <= bounds[i]` (Prometheus `le` semantics); one extra
-    /// overflow bucket catches everything above the last bound.
+    /// Finite bucket upper bounds, ascending.
+    ///
+    /// **Bucket-edge invariant** (Prometheus `le` semantics): bucket `i`
+    /// counts observations with `v <= bounds[i]` that missed every earlier
+    /// bucket — upper bounds are *inclusive*, so an observation exactly on
+    /// a bound lands in that bound's bucket, never the next one. One extra
+    /// overflow bucket catches everything above the last bound; it is what
+    /// the exporter's `le="+Inf"` sample is derived from. The
+    /// `bucket_boundaries_are_inclusive_upper_bounds` unit test and the
+    /// exporter's `le` edge test pin this, because a half-open
+    /// (exclusive-upper) implementation would silently disagree with every
+    /// Prometheus quantile computed from the exposition.
     bounds: Vec<f64>,
     buckets: Vec<AtomicU64>,
     sum_bits: AtomicU64,
@@ -330,9 +339,16 @@ impl Snapshot {
     ///
     /// Metrics with a `parallel` path segment are excluded: per-worker task
     /// metrics are the one family that genuinely depends on the thread
-    /// count (four chunk timings at `n_threads = 4`, one at 1).
+    /// count (four chunk timings at `n_threads = 4`, one at 1). Metrics
+    /// with a `wallclock` path segment are excluded too: they carry values
+    /// *derived from* wall-clock measurements (latency SLO burn gauges and
+    /// their alert counters), which legitimately differ between otherwise
+    /// identical runs.
     pub fn digest(&self) -> BTreeMap<String, u64> {
-        let thread_dependent = |name: &str| name.split('.').any(|segment| segment == "parallel");
+        let thread_dependent = |name: &str| {
+            name.split('.')
+                .any(|segment| segment == "parallel" || segment == "wallclock")
+        };
         let mut digest = BTreeMap::new();
         for (name, value) in &self.counters {
             if !thread_dependent(name) {
@@ -499,5 +515,18 @@ mod tests {
         assert_eq!(digest["t.h.count"], 1);
         assert!(!digest.contains_key("t.parallel.tasks"));
         assert!(!digest.contains_key("span.t.parallel.chunk.seconds.count"));
+    }
+
+    #[test]
+    fn digest_drops_wallclock_metrics() {
+        crate::set_enabled(true);
+        let registry = MetricsRegistry::new();
+        registry.counter("t.alerts.latency.wallclock").add(2);
+        registry.gauge("t.burn.latency.wallclock").set(1.5);
+        registry.gauge("t.burn.rejected").set(0.5);
+        let digest = registry.snapshot().digest();
+        assert!(!digest.contains_key("t.alerts.latency.wallclock"));
+        assert!(!digest.contains_key("t.burn.latency.wallclock.bits"));
+        assert_eq!(digest["t.burn.rejected.bits"], 0.5f64.to_bits());
     }
 }

@@ -1,4 +1,5 @@
-//! RAII timing spans feeding the histogram registry.
+//! RAII timing spans feeding the histogram registry and the flight
+//! recorder.
 //!
 //! A span is opened with the [`span!`](crate::span!) macro and records its
 //! wall-clock duration when dropped. Spans nest per thread: the recorded
@@ -10,13 +11,27 @@
 //! Worker threads start with an empty stack: a span opened inside a
 //! fork-join worker records under its own name, independent of whatever the
 //! coordinating thread has open — exactly what per-stage attribution wants.
+//!
+//! When the [flight recorder](crate::recorder) is enabled, each span
+//! additionally leaves `Begin`/`End` events on the timeline carrying a
+//! process-unique causal id and the id of the enclosing span at entry, so
+//! exported traces reconstruct the call tree even across the ring's
+//! capacity horizon. The two switches are independent: metrics-only runs
+//! skip the recorder, trace-only runs skip the clock-to-histogram path.
 
 use std::cell::RefCell;
 use std::time::Instant;
 
 thread_local! {
-    /// Names of the spans currently open on this thread, outermost first.
-    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+    /// Spans currently open on this thread, outermost first: the name and
+    /// the recorder causal id (0 while the recorder is disabled).
+    static SPAN_STACK: RefCell<Vec<(&'static str, u64)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The recorder causal id of the innermost open span on this thread
+/// (0 when none is open or the recorder was off when it opened).
+fn current_parent() -> u64 {
+    SPAN_STACK.with(|stack| stack.borrow().last().map_or(0, |&(_, id)| id))
 }
 
 /// An open timing span; records on drop. Construct via
@@ -24,26 +39,50 @@ thread_local! {
 #[derive(Debug)]
 #[must_use = "a span records its timing when dropped; bind it to `_span`"]
 pub struct Span {
+    /// `Some` while metric recording was on at entry: the clock to read on
+    /// drop.
     start: Option<Instant>,
-    /// `Some` for a root span: recorded flat under this name without
-    /// touching the per-thread stack.
-    root: Option<&'static str>,
+    /// `true` for root spans: recorded flat under `name` without touching
+    /// the per-thread stack.
+    root: bool,
+    /// The span's own (leaf) name.
+    name: &'static str,
+    /// Recorder causal id; 0 while the recorder is disabled.
+    id: u64,
+    /// Whether this guard pushed onto the per-thread stack.
+    pushed: bool,
 }
 
 impl Span {
-    /// Opens a span named `name`. When recording is disabled this is a
-    /// no-op guard: no clock read, no thread-local touch.
+    const NOOP: Self = Self {
+        start: None,
+        root: false,
+        name: "",
+        id: 0,
+        pushed: false,
+    };
+
+    /// Opens a span named `name`. When both metric recording and the
+    /// flight recorder are disabled this is a no-op guard: no clock read,
+    /// no thread-local touch.
     pub fn enter(name: &'static str) -> Self {
-        if !crate::enabled() {
-            return Self {
-                start: None,
-                root: None,
-            };
+        let metrics = crate::enabled();
+        let recording = crate::recorder::enabled();
+        if !metrics && !recording {
+            return Self::NOOP;
         }
-        SPAN_STACK.with(|stack| stack.borrow_mut().push(name));
+        let id = if recording {
+            crate::recorder::span_begin(name, current_parent())
+        } else {
+            0
+        };
+        SPAN_STACK.with(|stack| stack.borrow_mut().push((name, id)));
         Self {
-            start: Some(Instant::now()),
-            root: None,
+            start: metrics.then(Instant::now),
+            root: false,
+            name,
+            id,
+            pushed: true,
         }
     }
 
@@ -56,37 +95,58 @@ impl Span {
     /// stack-derived path would differ between the two, breaking the
     /// thread-count invariance of [`Snapshot::digest`](crate::Snapshot::digest).
     pub fn enter_root(name: &'static str) -> Self {
-        if !crate::enabled() {
-            return Self {
-                start: None,
-                root: None,
-            };
+        let metrics = crate::enabled();
+        let recording = crate::recorder::enabled();
+        if !metrics && !recording {
+            return Self::NOOP;
         }
+        let id = if recording {
+            crate::recorder::span_begin(name, current_parent())
+        } else {
+            0
+        };
         Self {
-            start: Some(Instant::now()),
-            root: Some(name),
+            start: metrics.then(Instant::now),
+            root: true,
+            name,
+            id,
+            pushed: false,
         }
     }
 }
 
 impl Drop for Span {
     fn drop(&mut self) {
-        let Some(start) = self.start else {
+        if !self.pushed && self.start.is_none() && self.id == 0 {
             return;
-        };
-        let elapsed = start.elapsed().as_secs_f64();
-        let path = match self.root {
-            Some(name) => name.to_string(),
-            None => SPAN_STACK.with(|stack| {
+        }
+        let elapsed = self.start.map(|start| start.elapsed().as_secs_f64());
+        let path = if self.root {
+            elapsed.map(|_| self.name.to_string())
+        } else if self.pushed {
+            SPAN_STACK.with(|stack| {
                 let mut stack = stack.borrow_mut();
-                let path = stack.join(".");
+                let path = elapsed.map(|_| {
+                    stack
+                        .iter()
+                        .map(|&(name, _)| name)
+                        .collect::<Vec<_>>()
+                        .join(".")
+                });
                 stack.pop();
                 path
-            }),
+            })
+        } else {
+            None
         };
-        crate::global()
-            .histogram(&format!("span.{path}.seconds"), crate::DURATION_BOUNDS)
-            .observe(elapsed);
+        if let (Some(elapsed), Some(path)) = (elapsed, path) {
+            crate::global()
+                .histogram(&format!("span.{path}.seconds"), crate::DURATION_BOUNDS)
+                .observe(elapsed);
+        }
+        if self.id != 0 {
+            crate::recorder::span_end(self.name, self.id);
+        }
     }
 }
 
@@ -135,5 +195,44 @@ mod tests {
         }
         let after = crate::snapshot().histograms["span.sibling_test.seconds"].count;
         assert_eq!(after - before, 3);
+    }
+
+    #[test]
+    fn recorder_spans_carry_causal_parent_ids() {
+        let _guard = crate::recorder::testutil::lock();
+        crate::set_enabled(true);
+        crate::recorder::set_enabled(true);
+        crate::recorder::clear();
+        {
+            let _outer = Span::enter("causal_outer");
+            let _inner = Span::enter("causal_inner");
+            let _leaf = Span::enter_root("causal_leaf");
+        }
+        let events = crate::recorder::drain();
+        crate::recorder::set_enabled(false);
+
+        use crate::recorder::TracePhase;
+        let begin = |name: &str| {
+            events
+                .iter()
+                .find(|e| e.phase == TracePhase::Begin && e.name == name)
+        };
+        let outer = begin("causal_outer").expect("outer begin recorded");
+        let inner = begin("causal_inner").expect("inner begin recorded");
+        let leaf = begin("causal_leaf").expect("leaf begin recorded");
+        assert_eq!(outer.parent_id, 0);
+        assert_eq!(inner.parent_id, outer.span_id);
+        // Root spans skip the stack but still report causal parentage.
+        assert_eq!(leaf.parent_id, inner.span_id);
+        // Every begin has its matching end.
+        for b in [outer, inner, leaf] {
+            assert!(
+                events
+                    .iter()
+                    .any(|e| e.phase == TracePhase::End && e.span_id == b.span_id),
+                "span {} must close",
+                b.name
+            );
+        }
     }
 }

@@ -1,0 +1,319 @@
+//! Timeline exporters for flight-recorder events: Chrome trace-event JSON
+//! and compact JSON-lines, plus the validating parser CI and tests load
+//! exports back through.
+//!
+//! [`to_chrome_trace`] emits the [Trace Event Format] object form
+//! (`{"traceEvents": [...]}`): span begins/ends become `"B"`/`"E"` duration
+//! events paired per thread, instants become `"i"` events with
+//! thread scope, and the causal ids travel in `args`. The output loads
+//! directly in `chrome://tracing` and Perfetto. [`to_jsonl`] emits the same
+//! events as one compact JSON object per line — the grep-friendly form the
+//! black-box dumps embed.
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::Path;
+
+use serde::Value;
+
+use crate::recorder::{TraceEvent, TracePhase};
+
+/// Serialises one event as a JSON value (the JSONL/dump object form).
+pub fn event_to_value(event: &TraceEvent) -> Value {
+    Value::Map(vec![
+        ("seq".to_string(), Value::U64(event.seq)),
+        ("ts_us".to_string(), Value::U64(event.ts_us)),
+        ("thread".to_string(), Value::U64(u64::from(event.thread))),
+        (
+            "phase".to_string(),
+            Value::Str(
+                match event.phase {
+                    TracePhase::Begin => "B",
+                    TracePhase::End => "E",
+                    TracePhase::Instant => "i",
+                }
+                .to_string(),
+            ),
+        ),
+        ("cat".to_string(), Value::Str(event.category.to_string())),
+        ("name".to_string(), Value::Str(event.name.clone())),
+        ("detail".to_string(), Value::Str(event.detail.clone())),
+        ("span_id".to_string(), Value::U64(event.span_id)),
+        ("parent_id".to_string(), Value::U64(event.parent_id)),
+    ])
+}
+
+/// Serialises one event in the Chrome trace-event object shape.
+fn chrome_event(event: &TraceEvent) -> Value {
+    let ph = match event.phase {
+        TracePhase::Begin => "B",
+        TracePhase::End => "E",
+        TracePhase::Instant => "i",
+    };
+    let mut fields = vec![
+        ("name".to_string(), Value::Str(event.name.clone())),
+        ("cat".to_string(), Value::Str(event.category.to_string())),
+        ("ph".to_string(), Value::Str(ph.to_string())),
+        ("ts".to_string(), Value::U64(event.ts_us)),
+        ("pid".to_string(), Value::U64(1)),
+        ("tid".to_string(), Value::U64(u64::from(event.thread) + 1)),
+    ];
+    if event.phase == TracePhase::Instant {
+        // Thread-scoped instant marker.
+        fields.push(("s".to_string(), Value::Str("t".to_string())));
+    }
+    fields.push((
+        "args".to_string(),
+        Value::Map(vec![
+            ("seq".to_string(), Value::U64(event.seq)),
+            ("span_id".to_string(), Value::U64(event.span_id)),
+            ("parent_id".to_string(), Value::U64(event.parent_id)),
+            ("detail".to_string(), Value::Str(event.detail.clone())),
+        ]),
+    ));
+    Value::Map(fields)
+}
+
+/// Renders a timeline as Chrome trace-event JSON
+/// (`chrome://tracing`/Perfetto-loadable object form).
+pub fn to_chrome_trace(events: &[TraceEvent]) -> String {
+    let trace = Value::Map(vec![
+        (
+            "traceEvents".to_string(),
+            Value::Seq(events.iter().map(chrome_event).collect()),
+        ),
+        ("displayTimeUnit".to_string(), Value::Str("ms".to_string())),
+    ]);
+    serde_json::to_string_pretty(&trace).unwrap_or_else(|_| "{\"traceEvents\": []}".to_string())
+}
+
+/// Renders a timeline as compact JSON-lines (one event object per line).
+pub fn to_jsonl(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for event in events {
+        if let Ok(line) = serde_json::to_string(&event_to_value(event)) {
+            out.push_str(&line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Summary statistics of a parsed Chrome trace, as validated by
+/// [`parse_chrome_trace`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TraceStats {
+    /// Total trace events.
+    pub events: usize,
+    /// `"B"`/`"E"` pairs that matched up (same thread, same name, stack
+    /// discipline).
+    pub complete_pairs: usize,
+    /// `"i"` instant events.
+    pub instants: usize,
+    /// Event counts per category.
+    pub categories: BTreeMap<String, usize>,
+}
+
+/// Parses and validates Chrome trace-event JSON produced by
+/// [`to_chrome_trace`] (or any object-form trace using `B`/`E`/`i`
+/// phases).
+///
+/// Validation checks the overall shape (`traceEvents` array of objects,
+/// each with `name`/`ph`/`ts`/`pid`/`tid`) and pairs `B`/`E` events per
+/// thread with stack discipline. Unmatched begins (a span still open when
+/// the ring was snapshotted) and unmatched ends (the begin was overwritten
+/// in the ring) are tolerated — that is inherent to a fixed-capacity
+/// flight recorder — but never counted as complete pairs.
+///
+/// # Errors
+///
+/// Returns a description of the first structural violation.
+pub fn parse_chrome_trace(text: &str) -> Result<TraceStats, String> {
+    let root = serde_json::parse_value_str(text).map_err(|e| format!("malformed JSON: {e}"))?;
+    let events = match root.get("traceEvents") {
+        Some(Value::Seq(events)) => events,
+        Some(_) => return Err("`traceEvents` is not an array".to_string()),
+        None => return Err("missing `traceEvents` array".to_string()),
+    };
+
+    let mut stats = TraceStats::default();
+    // Per-tid stack of open span names.
+    let mut open: BTreeMap<u64, Vec<String>> = BTreeMap::new();
+    for (idx, event) in events.iter().enumerate() {
+        let fail = |what: &str| format!("traceEvents[{idx}]: {what}");
+        let name = match event.get("name") {
+            Some(Value::Str(name)) => name.clone(),
+            _ => return Err(fail("missing string `name`")),
+        };
+        let ph = match event.get("ph") {
+            Some(Value::Str(ph)) => ph.clone(),
+            _ => return Err(fail("missing string `ph`")),
+        };
+        match event.get("ts") {
+            Some(Value::U64(_) | Value::I64(_) | Value::F64(_)) => {}
+            _ => return Err(fail("missing numeric `ts`")),
+        }
+        match event.get("pid") {
+            Some(Value::U64(_) | Value::I64(_)) => {}
+            _ => return Err(fail("missing integer `pid`")),
+        }
+        let tid = match event.get("tid") {
+            Some(Value::U64(tid)) => *tid,
+            Some(Value::I64(tid)) if *tid >= 0 => {
+                u64::try_from(*tid).map_err(|_| fail("negative `tid`"))?
+            }
+            _ => return Err(fail("missing integer `tid`")),
+        };
+        if let Some(Value::Str(cat)) = event.get("cat") {
+            *stats.categories.entry(cat.clone()).or_insert(0) += 1;
+        }
+        stats.events += 1;
+        match ph.as_str() {
+            "B" => open.entry(tid).or_default().push(name),
+            "E" => {
+                let stack = open.entry(tid).or_default();
+                if stack.last() == Some(&name) {
+                    stack.pop();
+                    stats.complete_pairs += 1;
+                }
+                // A mismatched end means its begin fell out of the ring;
+                // tolerated, not paired.
+            }
+            "i" | "I" => stats.instants += 1,
+            other => return Err(fail(&format!("unsupported phase `{other}`"))),
+        }
+    }
+    Ok(stats)
+}
+
+/// Writes a timeline to `path`, picking the format from the extension
+/// (`.jsonl` → JSON-lines, anything else → Chrome trace JSON), using the
+/// suite's temp-file + rename discipline so a crash never leaves a
+/// truncated trace.
+///
+/// # Errors
+///
+/// Returns a description of the I/O failure.
+pub fn write_file(path: &Path, events: &[TraceEvent]) -> Result<(), String> {
+    let text = if path.extension().and_then(|e| e.to_str()) == Some("jsonl") {
+        to_jsonl(events)
+    } else {
+        to_chrome_trace(events)
+    };
+    let tmp = path.with_extension("tmp");
+    fs::write(&tmp, text).map_err(|e| format!("cannot write `{}`: {e}", tmp.display()))?;
+    fs::rename(&tmp, path).map_err(|e| format!("cannot rename into `{}`: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent {
+                seq: 0,
+                ts_us: 10,
+                thread: 0,
+                phase: TracePhase::Begin,
+                category: "span",
+                name: "plan".to_string(),
+                detail: String::new(),
+                span_id: 1,
+                parent_id: 0,
+            },
+            TraceEvent {
+                seq: 1,
+                ts_us: 12,
+                thread: 0,
+                phase: TracePhase::Instant,
+                category: "plan",
+                name: "row_sparing".to_string(),
+                detail: "bank node1/... rows 2".to_string(),
+                span_id: 0,
+                parent_id: 1,
+            },
+            TraceEvent {
+                seq: 2,
+                ts_us: 20,
+                thread: 0,
+                phase: TracePhase::End,
+                category: "span",
+                name: "plan".to_string(),
+                detail: String::new(),
+                span_id: 1,
+                parent_id: 0,
+            },
+        ]
+    }
+
+    #[test]
+    fn chrome_trace_round_trips_through_the_validator() {
+        let text = to_chrome_trace(&sample_events());
+        let stats = parse_chrome_trace(&text).expect("well-formed trace");
+        assert_eq!(stats.events, 3);
+        assert_eq!(stats.complete_pairs, 1);
+        assert_eq!(stats.instants, 1);
+        assert_eq!(stats.categories["span"], 2);
+        assert_eq!(stats.categories["plan"], 1);
+    }
+
+    #[test]
+    fn unmatched_span_halves_are_tolerated_not_paired() {
+        let mut events = sample_events();
+        events.remove(0); // begin fell out of the ring
+        let stats = parse_chrome_trace(&to_chrome_trace(&events)).expect("still well-formed");
+        assert_eq!(stats.complete_pairs, 0);
+        assert_eq!(stats.events, 2);
+    }
+
+    #[test]
+    fn malformed_traces_are_rejected() {
+        assert!(parse_chrome_trace("not json").is_err());
+        assert!(parse_chrome_trace("{}").is_err());
+        assert!(parse_chrome_trace("{\"traceEvents\": 3}").is_err());
+        assert!(parse_chrome_trace("{\"traceEvents\": [{\"ph\": \"B\"}]}").is_err());
+        assert!(parse_chrome_trace(
+            "{\"traceEvents\": [{\"name\": \"x\", \"ph\": \"Q\", \"ts\": 1, \
+                 \"pid\": 1, \"tid\": 1}]}"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn jsonl_is_one_compact_object_per_line() {
+        let text = to_jsonl(&sample_events());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for line in &lines {
+            let value = serde_json::parse_value_str(line).expect("each line parses");
+            assert!(value.get("seq").is_some());
+            assert!(value.get("phase").is_some());
+        }
+        assert!(lines[1].contains("row_sparing"));
+    }
+
+    #[test]
+    fn write_file_picks_format_by_extension_and_is_atomic() {
+        let dir = std::env::temp_dir().join(format!("cordial-trace-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        let chrome = dir.join("trace.json");
+        let jsonl = dir.join("trace.jsonl");
+        write_file(&chrome, &sample_events()).expect("write chrome");
+        write_file(&jsonl, &sample_events()).expect("write jsonl");
+        let stats = parse_chrome_trace(&std::fs::read_to_string(&chrome).expect("read back"))
+            .expect("parses");
+        assert_eq!(stats.events, 3);
+        assert_eq!(
+            std::fs::read_to_string(&jsonl)
+                .expect("read back")
+                .lines()
+                .count(),
+            3
+        );
+        assert!(!chrome.with_extension("tmp").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,413 @@
+//! Health watchdogs over the telemetry itself: rolling-window drift
+//! detectors and SLO burn-rate trackers.
+//!
+//! A deployed predictor's telemetry has long-horizon properties — the mix
+//! of failure patterns it plans for, the shape of its lead-time histogram,
+//! the rate at which the stream guard rejects events — whose *changes*
+//! matter more than their instantaneous values. The watchdogs watch those
+//! properties in fixed-size adjacent windows and raise greppable alerts
+//! that land in **both** the metrics registry (`obs.watchdog.*` counters
+//! and gauges) and the flight recorder (`watchdog`-category instants), so
+//! a drift shows up in `stats --watch`, in Prometheus scrapes, and on the
+//! post-mortem timeline alike.
+//!
+//! # Determinism contract
+//!
+//! [`MixDriftDetector`] and [`BurnRate`] are pure functions of the
+//! observation stream: same observations in, same alerts and gauge values
+//! out, regardless of thread count or wall-clock time. They are therefore
+//! safe to include in the thread-invariant telemetry digest. The one
+//! exception is a burn-rate tracker constructed with
+//! [`BurnRate::new_wallclock`], whose *observations* are wall-clock
+//! measurements (e.g. plan latency): its metric families carry a
+//! `wallclock` path segment and its recorder instants are counted under
+//! `obs.recorder.instants.wallclock`, both of which
+//! [`Snapshot::digest`](crate::Snapshot::digest) excludes.
+//!
+//! Watchdog state is derived, in-memory state: it is intentionally *not*
+//! checkpointed. After a restore the windows refill from the live stream,
+//! which is exactly the reference a drift detector wants after downtime.
+
+/// Configuration of a [`MixDriftDetector`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftConfig {
+    /// Observations per window. Two full windows (reference + current)
+    /// must complete before the first comparison.
+    pub window: usize,
+    /// Total-variation distance in `[0, 1]` above which an alert fires.
+    pub threshold: f64,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        Self {
+            window: 64,
+            threshold: 0.25,
+        }
+    }
+}
+
+/// An alert raised by a [`MixDriftDetector`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftAlert {
+    /// Detector kind (`pattern_mix`, `lead_time`, …).
+    pub kind: &'static str,
+    /// The observed total-variation distance between windows.
+    pub shift: f64,
+}
+
+/// Rolling-window drift detector over a small fixed set of classes.
+///
+/// Feed it one class index per observation ([`observe`](Self::observe)).
+/// Every `window` observations it compares the completed window's class
+/// distribution against the previous window's (total-variation distance,
+/// `0.5 * Σ |p_i - q_i|`), publishes the distance on the gauge
+/// `obs.watchdog.<kind>.shift`, and — when the distance exceeds the
+/// threshold — raises an alert on the counters `obs.watchdog.alerts` and
+/// `obs.watchdog.alerts.<kind>`, the recorder, and the warn log. The
+/// completed window then becomes the new reference, so a persistent shift
+/// alerts once, not forever.
+#[derive(Debug, Clone)]
+pub struct MixDriftDetector {
+    kind: &'static str,
+    config: DriftConfig,
+    reference: Option<Vec<u64>>,
+    current: Vec<u64>,
+    seen: usize,
+    alerts: u64,
+    last_shift: f64,
+}
+
+impl MixDriftDetector {
+    /// A detector named `kind` over `classes` distinct class indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes` is 0 or `config.window` is 0.
+    pub fn new(kind: &'static str, classes: usize, config: DriftConfig) -> Self {
+        assert!(classes > 0, "drift detector needs >= 1 class");
+        assert!(config.window > 0, "drift window must be positive");
+        Self {
+            kind,
+            config,
+            reference: None,
+            current: vec![0; classes],
+            seen: 0,
+            alerts: 0,
+            last_shift: 0.0,
+        }
+    }
+
+    /// Records one observation of `class` (indices beyond the configured
+    /// class count are clamped into the last class). Returns the alert if
+    /// this observation completed a drifted window.
+    pub fn observe(&mut self, class: usize) -> Option<DriftAlert> {
+        let idx = class.min(self.current.len() - 1);
+        self.current[idx] += 1;
+        self.seen += 1;
+        if self.seen < self.config.window {
+            return None;
+        }
+
+        let classes = self.current.len();
+        let completed = std::mem::replace(&mut self.current, vec![0; classes]);
+        self.seen = 0;
+        let alert = match &self.reference {
+            None => None,
+            Some(reference) => {
+                let shift = total_variation(reference, &completed, self.config.window);
+                self.last_shift = shift;
+                crate::global()
+                    .gauge(&format!("obs.watchdog.{}.shift", self.kind))
+                    .set(shift);
+                (shift > self.config.threshold).then(|| {
+                    self.alerts += 1;
+                    raise(
+                        self.kind,
+                        &format!(
+                            "{} distribution shifted by {shift:.3} (threshold {:.3})",
+                            self.kind, self.config.threshold
+                        ),
+                        false,
+                    );
+                    DriftAlert {
+                        kind: self.kind,
+                        shift,
+                    }
+                })
+            }
+        };
+        self.reference = Some(completed);
+        alert
+    }
+
+    /// Alerts raised so far.
+    pub fn alerts(&self) -> u64 {
+        self.alerts
+    }
+
+    /// The most recently published window-to-window shift.
+    pub fn last_shift(&self) -> f64 {
+        self.last_shift
+    }
+}
+
+/// Total-variation distance between two equal-total count vectors.
+fn total_variation(reference: &[u64], current: &[u64], window: usize) -> f64 {
+    let n = window as f64;
+    0.5 * reference
+        .iter()
+        .zip(current)
+        .map(|(&r, &c)| (r as f64 / n - c as f64 / n).abs())
+        .sum::<f64>()
+}
+
+/// Configuration of a [`BurnRate`] tracker.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurnConfig {
+    /// Observations per evaluation window.
+    pub window: usize,
+    /// Error budget: the tolerated bad-observation fraction per window.
+    pub budget: f64,
+}
+
+impl Default for BurnConfig {
+    fn default() -> Self {
+        Self {
+            window: 256,
+            budget: 0.05,
+        }
+    }
+}
+
+/// An alert raised by a [`BurnRate`] tracker.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloAlert {
+    /// Tracker kind (`rejected`, `plan_latency.wallclock`, …).
+    pub kind: &'static str,
+    /// Budget multiple burned in the completed window (1.0 = exactly on
+    /// budget).
+    pub burn: f64,
+}
+
+/// SLO burn-rate tracker: the fraction of "bad" observations per window,
+/// normalised by the error budget.
+///
+/// Each completed window publishes `(bad / window) / budget` on the gauge
+/// `obs.watchdog.burn.<kind>` and alerts when the burn exceeds 1.0 — the
+/// window consumed more than its entire budget.
+#[derive(Debug, Clone)]
+pub struct BurnRate {
+    kind: &'static str,
+    config: BurnConfig,
+    wallclock: bool,
+    bad: u64,
+    total: u64,
+    alerts: u64,
+    last_burn: f64,
+}
+
+impl BurnRate {
+    /// A tracker named `kind` fed by deterministic stream-ordered
+    /// observations (part of the thread-invariant digest).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.window` is 0 or `config.budget` is not positive.
+    pub fn new(kind: &'static str, config: BurnConfig) -> Self {
+        assert!(config.window > 0, "burn window must be positive");
+        assert!(config.budget > 0.0, "burn budget must be positive");
+        Self {
+            kind,
+            config,
+            wallclock: false,
+            bad: 0,
+            total: 0,
+            alerts: 0,
+            last_burn: 0.0,
+        }
+    }
+
+    /// A tracker fed by wall-clock measurements. `kind` **must** contain a
+    /// `wallclock` path segment so its families stay out of the digest.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same invalid configs as [`BurnRate::new`], and if
+    /// `kind` lacks a `wallclock` segment.
+    pub fn new_wallclock(kind: &'static str, config: BurnConfig) -> Self {
+        assert!(
+            kind.split('.').any(|segment| segment == "wallclock"),
+            "wall-clock burn tracker `{kind}` needs a `wallclock` path segment"
+        );
+        Self {
+            wallclock: true,
+            ..Self::new(kind, config)
+        }
+    }
+
+    /// Records one observation. Returns the alert if this observation
+    /// completed an over-budget window.
+    pub fn observe(&mut self, bad: bool) -> Option<SloAlert> {
+        self.bad += u64::from(bad);
+        self.total += 1;
+        if self.total < self.config.window as u64 {
+            return None;
+        }
+        let burn = (self.bad as f64 / self.config.window as f64) / self.config.budget;
+        self.last_burn = burn;
+        self.bad = 0;
+        self.total = 0;
+        crate::global()
+            .gauge(&format!("obs.watchdog.burn.{}", self.kind))
+            .set(burn);
+        (burn > 1.0).then(|| {
+            self.alerts += 1;
+            raise(
+                self.kind,
+                &format!(
+                    "SLO burn {burn:.2}x budget over the last {} observations",
+                    self.config.window
+                ),
+                self.wallclock,
+            );
+            SloAlert {
+                kind: self.kind,
+                burn,
+            }
+        })
+    }
+
+    /// Alerts raised so far.
+    pub fn alerts(&self) -> u64 {
+        self.alerts
+    }
+
+    /// The most recently published burn multiple.
+    pub fn last_burn(&self) -> f64 {
+        self.last_burn
+    }
+}
+
+/// Raises one watchdog alert on every surface: counters, recorder, log.
+fn raise(kind: &'static str, detail: &str, wallclock: bool) {
+    if wallclock {
+        // Wall-clock-driven: digest-excluded counter and instant families.
+        crate::global()
+            .counter(&format!("obs.watchdog.alerts.{kind}"))
+            .inc();
+        crate::recorder::instant_wallclock("watchdog", kind, detail.to_string());
+    } else {
+        crate::counter!("obs.watchdog.alerts").inc();
+        crate::global()
+            .counter(&format!("obs.watchdog.alerts.{kind}"))
+            .inc();
+        crate::recorder::instant("watchdog", kind, detail.to_string());
+    }
+    crate::warn!("watchdog alert [{kind}]: {detail}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drift_detector_alerts_once_on_a_mix_shift() {
+        crate::set_enabled(true);
+        let config = DriftConfig {
+            window: 8,
+            threshold: 0.5,
+        };
+        let mut detector = MixDriftDetector::new("unit_mix", 3, config);
+        // Reference + one identical window: no alert.
+        let mut alerts = 0;
+        for _ in 0..16 {
+            alerts += u32::from(detector.observe(0).is_some());
+        }
+        assert_eq!(alerts, 0);
+        assert_eq!(detector.last_shift(), 0.0);
+        // A fully shifted window alerts exactly once...
+        let mut fired = Vec::new();
+        for _ in 0..8 {
+            if let Some(alert) = detector.observe(2) {
+                fired.push(alert);
+            }
+        }
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].kind, "unit_mix");
+        assert!((fired[0].shift - 1.0).abs() < 1e-12);
+        // ...and the shifted mix, once adopted as reference, is quiet.
+        for _ in 0..8 {
+            assert!(detector.observe(2).is_none());
+        }
+        assert_eq!(detector.alerts(), 1);
+        let snap = crate::snapshot();
+        assert!(snap.counters["obs.watchdog.alerts.unit_mix"] >= 1);
+        assert_eq!(snap.gauges["obs.watchdog.unit_mix.shift"], 0.0);
+    }
+
+    #[test]
+    fn drift_detector_is_a_pure_function_of_the_stream() {
+        let config = DriftConfig {
+            window: 4,
+            threshold: 0.3,
+        };
+        let stream: Vec<usize> = (0..64).map(|i| (i * 7 + i / 9) % 3).collect();
+        let run = |stream: &[usize]| {
+            let mut detector = MixDriftDetector::new("unit_pure", 3, config);
+            let alerts: Vec<Option<DriftAlert>> =
+                stream.iter().map(|&c| detector.observe(c)).collect();
+            (alerts, detector.last_shift(), detector.alerts())
+        };
+        assert_eq!(run(&stream), run(&stream));
+    }
+
+    #[test]
+    fn burn_rate_alerts_when_over_budget() {
+        crate::set_enabled(true);
+        let config = BurnConfig {
+            window: 10,
+            budget: 0.2,
+        };
+        let mut burn = BurnRate::new("unit_rejects", config);
+        // 1 bad in 10 = 0.5x budget: gauge moves, no alert.
+        for i in 0..10 {
+            assert!(burn.observe(i == 0).is_none());
+        }
+        assert!((burn.last_burn() - 0.5).abs() < 1e-12);
+        // 5 bad in 10 = 2.5x budget: alert.
+        let mut fired = Vec::new();
+        for i in 0..10 {
+            if let Some(alert) = burn.observe(i % 2 == 0) {
+                fired.push(alert);
+            }
+        }
+        assert_eq!(fired.len(), 1);
+        assert!((fired[0].burn - 2.5).abs() < 1e-12);
+        assert_eq!(burn.alerts(), 1);
+        let snap = crate::snapshot();
+        assert!((snap.gauges["obs.watchdog.burn.unit_rejects"] - 2.5).abs() < 1e-12);
+        assert!(snap.counters["obs.watchdog.alerts.unit_rejects"] >= 1);
+    }
+
+    #[test]
+    fn wallclock_trackers_stay_out_of_the_digest() {
+        crate::set_enabled(true);
+        let config = BurnConfig {
+            window: 2,
+            budget: 0.1,
+        };
+        let mut burn = BurnRate::new_wallclock("unit_latency.wallclock", config);
+        assert!(burn.observe(true).is_none());
+        assert!(burn.observe(true).is_some());
+        let digest = crate::snapshot().digest();
+        assert!(!digest.contains_key("obs.watchdog.burn.unit_latency.wallclock.bits"));
+        assert!(!digest.contains_key("obs.watchdog.alerts.unit_latency.wallclock"));
+    }
+
+    #[test]
+    #[should_panic(expected = "wallclock")]
+    fn wallclock_trackers_must_be_named_wallclock() {
+        let _ = BurnRate::new_wallclock("unit_latency", BurnConfig::default());
+    }
+}

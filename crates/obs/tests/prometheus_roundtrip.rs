@@ -1,0 +1,114 @@
+//! Property tests for the exporters: any well-formed snapshot must
+//! round-trip bit-identically through the Prometheus text exposition
+//! (export → parse → `sanitized()`-equal) and through JSON — the
+//! exposition-hardening satellite of the observability PR.
+//!
+//! Bit-identity across arbitrary finite `f64` payloads leans on the
+//! vendored `serde_json`'s shortest-roundtrip float formatting and on the
+//! exporter escaping/unescaping label values and help text.
+
+use proptest::prelude::*;
+
+use cordial_obs::export::{describe, from_json, parse_prometheus, to_json, to_prometheus};
+use cordial_obs::{HistogramSnapshot, Snapshot};
+
+/// Finite `f64`s drawn from the full bit pattern space (non-finite
+/// patterns are remapped into small literals so every draw is usable).
+fn finite_f64() -> impl Strategy<Value = f64> {
+    (0u64..u64::MAX).prop_map(|bits| {
+        let value = f64::from_bits(bits);
+        if value.is_finite() {
+            value
+        } else {
+            (bits % 1000) as f64 / 8.0
+        }
+    })
+}
+
+/// Strictly ascending finite bucket bounds.
+fn bounds(raw: Vec<f64>) -> Vec<f64> {
+    let mut bounds: Vec<f64> = raw
+        .into_iter()
+        .map(|b| if b.abs() < 1e100 { b } else { b % 1e100 })
+        .collect();
+    bounds.sort_by(f64::total_cmp);
+    bounds.dedup();
+    if bounds.is_empty() {
+        bounds.push(1.0);
+    }
+    bounds
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Export → parse is lossless for counters and gauges with arbitrary
+    /// values and dotted names, with help text registered along the way.
+    fn prometheus_round_trips_counters_and_gauges(
+        counters in prop::collection::vec(("c[a-z]{1,6}\\.[a-z]{1,6}", 0u64..u64::MAX), 0..6),
+        gauges in prop::collection::vec(("g[a-z]{1,6}\\.[a-z]{1,6}", finite_f64()), 0..6),
+        help in "[ -~]{0,40}",
+    ) {
+        let mut snapshot = Snapshot::default();
+        for (name, value) in counters {
+            snapshot.counters.insert(name, value);
+        }
+        for (name, value) in gauges {
+            snapshot.gauges.insert(name, value);
+        }
+        if let Some(name) = snapshot.counters.keys().next() {
+            // Arbitrary printable help text must not disturb parsing.
+            describe(&name.clone(), &format!("{help}\nsecond line \\ with escapes"));
+        }
+        let text = to_prometheus(&snapshot);
+        let parsed = parse_prometheus(&text)
+            .map_err(|e| TestCaseError::Fail(format!("parse failed: {e}")))?;
+        prop_assert_eq!(parsed, snapshot.sanitized());
+    }
+
+    /// Export → parse is lossless for histograms: bounds, per-bucket
+    /// counts (including the overflow bucket) and the f64 sum all survive
+    /// bit-identically.
+    fn prometheus_round_trips_histograms(
+        raw_bounds in prop::collection::vec(finite_f64(), 1..5),
+        raw_buckets in prop::collection::vec(0u64..1_000_000, 6),
+        sum in finite_f64(),
+        name in "h[a-z]{1,6}\\.[a-z]{1,6}",
+    ) {
+        let bounds = bounds(raw_bounds);
+        let buckets: Vec<u64> = raw_buckets[..=bounds.len()].to_vec();
+        let count = buckets.iter().sum();
+        let mut snapshot = Snapshot::default();
+        snapshot.histograms.insert(
+            name,
+            HistogramSnapshot { bounds, buckets, sum, count },
+        );
+        let text = to_prometheus(&snapshot);
+        let parsed = parse_prometheus(&text)
+            .map_err(|e| TestCaseError::Fail(format!("parse failed: {e}")))?;
+        prop_assert_eq!(&parsed, &snapshot.sanitized());
+
+        // The JSON exporter agrees on the very same snapshot.
+        let via_json = from_json(
+            &to_json(&snapshot)
+                .map_err(|e| TestCaseError::Fail(format!("to_json failed: {e}")))?,
+        )
+        .map_err(|e| TestCaseError::Fail(format!("from_json failed: {e}")))?;
+        prop_assert_eq!(via_json.sanitized(), parsed);
+    }
+
+    /// Label-value escaping round-trips arbitrary printable strings,
+    /// including quotes, backslashes and embedded newlines.
+    fn label_values_round_trip(raw in ".{0,24}", newlines in 0usize..3) {
+        use cordial_obs::export::{escape_label_value, unescape_label_value};
+        let mut value = raw;
+        for _ in 0..newlines {
+            value.push('\n');
+            value.push('"');
+            value.push('\\');
+        }
+        let escaped = escape_label_value(&value);
+        prop_assert!(!escaped.contains('\n'));
+        prop_assert_eq!(unescape_label_value(&escaped), value);
+    }
+}
