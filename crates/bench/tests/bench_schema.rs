@@ -1,11 +1,12 @@
 //! Schema and acceptance pins for the committed benchmark artefacts:
 //! `BENCH_hotpath.json` (written by `cargo bench -p cordial-bench --bench
-//! perf -- hotpath`) and `BENCH_obs.json` (written by `-- obs_recorder`).
+//! perf -- hotpath`), `BENCH_obs.json` (written by `-- obs_recorder`) and
+//! `BENCH_serve.json` (written by `--bench serve`).
 //! CI runs a `--sample-size 10` smoke of those benches and then this
 //! test, so a bench change that breaks an artefact's shape — or regresses
-//! the committed hot-path ratios / recorder overhead past their
-//! acceptance bounds — fails the build rather than silently rotting the
-//! committed files.
+//! the committed hot-path ratios / recorder overhead / serving saturation
+//! rate past their acceptance bounds — fails the build rather than
+//! silently rotting the committed files.
 
 use serde_json::Value;
 
@@ -87,6 +88,63 @@ fn committed_obs_artefact_matches_schema_and_overhead_ceiling() {
         "committed recorder overhead {:.2}% breaches the 5% ceiling",
         (overhead - 1.0) * 100.0
     );
+}
+
+#[test]
+fn committed_serve_artefact_matches_schema_and_saturation_floor() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    let body = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("BENCH_serve.json must be committed at {path}: {e}"));
+    let doc = serde_json::parse_value_str(&body).expect("valid JSON");
+
+    assert_eq!(as_f64(get(&doc, "schema_version"), "schema_version"), 1.0);
+    match get(&doc, "source") {
+        Value::Str(s) => assert!(
+            s.contains("cargo bench") && s.contains("serve"),
+            "source must record the producing command, got {s:?}"
+        ),
+        other => panic!("source: expected string, got {other:?}"),
+    }
+
+    let config = get(&doc, "config");
+    for key in ["shards", "queue_capacity", "batch_size", "repeats"] {
+        assert!(
+            as_f64(get(config, key), key) >= 1.0,
+            "config.{key} must be at least 1"
+        );
+    }
+
+    let load = get(&doc, "load");
+    let events = as_f64(get(load, "events"), "load.events");
+    let batches = as_f64(get(load, "batches"), "load.batches");
+    let elapsed = as_f64(get(load, "elapsed_s"), "load.elapsed_s");
+    let rate = as_f64(get(load, "events_per_sec"), "load.events_per_sec");
+    as_f64(get(load, "retries"), "load.retries");
+    assert!(
+        events >= 1_000_000.0,
+        "the saturation run must stream at least a million events, got {events}"
+    );
+    assert!(batches >= 1.0 && elapsed > 0.0 && elapsed.is_finite());
+    assert!(
+        (rate - events / elapsed).abs() <= 1e-6 * rate.abs(),
+        "events_per_sec {rate} inconsistent with {events}/{elapsed}"
+    );
+    // The serving acceptance floor: the daemon must admit, ack and
+    // monitor at least a million simulated events per second end to end.
+    assert!(
+        rate >= 1_000_000.0,
+        "committed saturation rate {rate:.0} events/sec below the 1M floor"
+    );
+
+    let server = get(&doc, "server");
+    let served_events = as_f64(get(server, "events"), "server.events");
+    assert!(
+        (served_events - events).abs() < 0.5,
+        "daemon-side event count {served_events} must equal acked count {events}: \
+         a mismatch means acks were sent for events that never reached a monitor"
+    );
+    assert!(as_f64(get(server, "devices"), "server.devices") >= 1.0);
+    as_f64(get(server, "banks_planned"), "server.banks_planned");
 }
 
 #[test]

@@ -10,6 +10,10 @@
 //!   configurable, independently-seeded rates of line corruption, record
 //!   duplication, bounded timestamp reordering, event drops and mid-stream
 //!   truncation ([`ChaosConfig`]);
+//! * [`inject_frames`] degrades *binary frame* sequences (byte flips,
+//!   tail truncation, duplication) for length-prefixed wire protocols
+//!   like cordial-served's, without depending on the codec under attack
+//!   ([`FrameChaosConfig`]);
 //! * [`run_harness`] drives the full simulate → train → monitor pipeline
 //!   under injection and checks the suite's robustness invariants: no
 //!   panics anywhere, a complete [`MonitorStats`](cordial::monitor::MonitorStats)
@@ -27,9 +31,11 @@
 // The whole point of this crate is that nothing panics on degraded input.
 #![warn(clippy::unwrap_used, clippy::expect_used)]
 
+mod frames;
 mod harness;
 mod inject;
 
+pub use frames::{inject_frames, FrameChaosConfig, FrameSummary};
 pub use harness::{
     degradation_sweep, run_harness, HarnessConfig, HarnessReport, InvariantCheck, PanicStage,
     SweepPoint,

@@ -11,6 +11,7 @@ use cordial::{CordialConfig, ModelKind};
 use cordial_chaos::{run_harness, ChaosConfig, HarnessConfig};
 use cordial_faultsim::{generate_fleet_dataset, FleetDatasetConfig, SparingBudget};
 use cordial_fleet::{run_fleet_harness, BreakerConfig, FleetHarnessConfig, GateConfig};
+use cordial_served::{run_load, signal, Client, ServeConfig, Server};
 use cordial_topology::BankAddress;
 
 use crate::io;
@@ -125,6 +126,8 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
         "monitor" => monitor(&args),
         "chaos" => chaos(&args),
         "fleet" => fleet(&args),
+        "serve" => serve(&args),
+        "load" => load(&args),
         "stats" => stats(&args),
         unknown => Err(format!("unknown subcommand `{unknown}`")),
     };
@@ -547,6 +550,105 @@ fn fleet(args: &Args) -> Result<(), String> {
     } else {
         Err("fleet harness invariants failed (see verdicts above)".into())
     }
+}
+
+/// Runs the cordial-served daemon over a pipeline trained on a simulated
+/// fleet: binds the wire listener and the `/metrics` endpoint, optionally
+/// records the bound addresses to files (so scripts can use ephemeral
+/// ports), then blocks until SIGTERM/SIGINT or a `shutdown` RPC and
+/// drains + checkpoints every monitor.
+fn serve(args: &Args) -> Result<(), String> {
+    // A daemon always records telemetry: its `/metrics` endpoint is the
+    // whole point, and an empty scrape is indistinguishable from a
+    // broken exporter.
+    cordial_obs::set_enabled(true);
+    cordial_obs::export::describe_defaults();
+    let scale = scale_config(args.flags.get("scale").map_or("small", String::as_str))?;
+    let seed = args.seed()?;
+    let dataset = generate_fleet_dataset(&scale, seed);
+    let split = split_banks(&dataset, 0.7, seed);
+    let pipeline = Cordial::fit(&dataset, &split.train, &CordialConfig::default())
+        .map_err(|e| format!("training failed: {e}"))?;
+
+    let defaults = ServeConfig::default();
+    let config = ServeConfig {
+        shards: args.usize_flag("shards", defaults.shards)?,
+        queue_capacity: args.usize_flag("queue-cap", defaults.queue_capacity)?,
+        retry_after_ms: u32::try_from(
+            args.u64_flag("retry-after-ms", u64::from(defaults.retry_after_ms))?,
+        )
+        .map_err(|_| "--retry-after-ms does not fit in u32".to_string())?,
+        checkpoint_dir: args.flags.get("checkpoint-dir").map(PathBuf::from),
+        ..defaults
+    };
+    let port = args.u64_flag("port", 0)?;
+    let metrics_port = args.u64_flag("metrics-port", 0)?;
+    let server = Server::bind(
+        pipeline,
+        config,
+        &format!("127.0.0.1:{port}"),
+        Some(&format!("127.0.0.1:{metrics_port}")),
+    )
+    .map_err(|e| format!("cannot bind daemon: {e}"))?;
+    write_addr_file(args, "port-file", &server.addr().to_string())?;
+    if let Some(metrics_addr) = server.metrics_addr() {
+        write_addr_file(args, "metrics-port-file", &metrics_addr.to_string())?;
+        println!("serving on {} (metrics on {metrics_addr})", server.addr());
+    } else {
+        println!("serving on {}", server.addr());
+    }
+
+    signal::install();
+    while !(signal::triggered() || server.is_shutting_down()) {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    server.trigger_shutdown();
+    let report = server.wait().map_err(|e| format!("shutdown failed: {e}"))?;
+    println!(
+        "drained: {} events over {} devices, {} banks planned, {} checkpoints written",
+        report.stats.events,
+        report.stats.devices,
+        report.stats.banks_planned,
+        report.checkpoints_written
+    );
+    Ok(())
+}
+
+/// Writes a bound address to the file named by `--<flag>`, when given.
+fn write_addr_file(args: &Args, flag: &str, addr: &str) -> Result<(), String> {
+    if let Some(path) = args.flags.get(flag) {
+        std::fs::write(path, format!("{addr}\n"))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    Ok(())
+}
+
+/// Drives a running daemon with the load generator: simulates a fleet,
+/// streams its log in batches (optionally repeated with re-timed passes),
+/// and prints the throughput report as JSON.
+fn load(args: &Args) -> Result<(), String> {
+    let addr = args.require("addr")?.to_string();
+    let scale = scale_config(args.flags.get("scale").map_or("small", String::as_str))?;
+    let seed = args.seed()?;
+    let dataset = generate_fleet_dataset(&scale, seed);
+    let batch = args.usize_flag("batch", 1024)?;
+    let repeats = u32::try_from(args.u64_flag("repeats", 1)?)
+        .map_err(|_| "--repeats does not fit in u32".to_string())?;
+    let report = run_load(&addr, dataset.log.events(), batch, repeats)
+        .map_err(|e| format!("load run failed: {e}"))?;
+    let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+    println!("{json}");
+    if let Some(out) = args.flags.get("out") {
+        std::fs::write(out, format!("{json}\n")).map_err(|e| format!("cannot write {out}: {e}"))?;
+    }
+    if args.flags.get("shutdown").map(String::as_str) == Some("true") {
+        let mut client =
+            Client::connect(&addr).map_err(|e| format!("cannot reconnect for shutdown: {e}"))?;
+        client
+            .shutdown()
+            .map_err(|e| format!("shutdown request failed: {e}"))?;
+    }
+    Ok(())
 }
 
 /// Renders a metrics file written by `--metrics-out` as a readable table.

@@ -21,6 +21,10 @@
 //!   verdicts;
 //! * `fleet` runs the multi-device fleet supervisor under device kills and
 //!   stream corruption and reports quarantine/availability verdicts;
+//! * `serve` runs the cordial-served daemon (wire protocol + `/metrics`)
+//!   until SIGTERM/SIGINT or a `shutdown` RPC, draining and checkpointing
+//!   on the way out; `load` drives a running daemon with the load
+//!   generator and prints the throughput report as JSON;
 //! * `stats` pretty-prints a metrics file written with `--metrics-out`;
 //!   `--watch N` re-renders it N times like `watch(1)` and appends the
 //!   health-watchdog section when `obs.watchdog.*` telemetry is present.
@@ -59,6 +63,8 @@ fn main() -> ExitCode {
             cordial_obs::error!("  cordial-cli monitor  --log FILE (--pipeline FILE | --resume CKPT) [--checkpoint CKPT] [--checkpoint-every N] [--abort-after N] [--reorder-bound-ms MS]");
             cordial_obs::error!("  cordial-cli chaos    [--scale S] [--seed N] [--chaos-seed N] [--corruption R] [--duplication R] [--reorder R] [--drops R] [--truncate F] [--threads N]");
             cordial_obs::error!("  cordial-cli fleet    [--scale S] [--seed N] [--devices N] [--kill R] [--corrupt R] [--min-availability R] [--breaker-window N] [--breaker-trip-rate R] [--breaker-min-events N] [--breaker-backoff-ms MS] [--breaker-max-retries N] [--promotion-margin R] [--metrics-out FILE]");
+            cordial_obs::error!("  cordial-cli serve    [--scale S] [--seed N] [--port P] [--metrics-port P] [--shards N] [--queue-cap N] [--retry-after-ms MS] [--checkpoint-dir DIR] [--port-file FILE] [--metrics-port-file FILE]");
+            cordial_obs::error!("  cordial-cli load     --addr HOST:PORT [--scale S] [--seed N] [--batch N] [--repeats N] [--shutdown true] [--out FILE]");
             cordial_obs::error!(
                 "  cordial-cli stats    --metrics FILE [--watch N] [--watch-interval-ms MS]"
             );

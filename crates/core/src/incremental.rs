@@ -21,11 +21,52 @@
 //! state unsorted and `vector` returns `None`; callers then fall back to
 //! the reference scan (the monitor counts both paths, see
 //! `monitor.features.*` counters).
+//!
+//! **Memory bounds.** Two of the state's buffers would otherwise grow with
+//! the stream: the pre-first-UER candidate timestamps (`pending_ce`/
+//! `pending_ueo`, which a long UER-free stream feeds forever) and the
+//! distinct-UER row list (which keeps growing after a bank is planned).
+//! [`FeatureCaps`] bounds both: an event that would push either buffer
+//! past its cap instead marks the state *capped* — a permanent
+//! reference-scan fallback exactly like the unsorted flag, counted by the
+//! monitor as `monitor.features.capped`. The defaults are far above
+//! anything a window that actually plans can produce, so the caps change
+//! behaviour only on the pathological streams they exist to bound.
 
 use cordial_mcelog::{ErrorEvent, ErrorType, MceLog, Timestamp};
 use cordial_topology::{CellAddress, HbmGeometry, RowId};
+use serde::{Deserialize, Serialize};
 
 use crate::features::{DiffScan, SeverityScan, BANK_FEATURE_NAMES};
+
+/// Memory bounds for one bank's [`IncrementalBankFeatures`] state.
+///
+/// Exceeding either cap permanently marks the state capped:
+/// [`IncrementalBankFeatures::vector`] returns `None` from then on and the
+/// caller takes the reference-scan fallback, keeping the fast path's
+/// per-bank memory O(cap) on arbitrary streams (a days-long UER-free CE
+/// stream being the canonical offender).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FeatureCaps {
+    /// Maximum buffered pre-first-UER candidate timestamps
+    /// (`pending_ce` and `pending_ueo` combined).
+    pub max_pending: usize,
+    /// Maximum tracked distinct UER rows. Must be at least the monitor's
+    /// `k_uers` trigger threshold or the fast path degrades to the
+    /// reference scan before any bank can plan.
+    pub max_distinct_uer: usize,
+}
+
+impl Default for FeatureCaps {
+    /// 65,536 pending timestamps (512 KiB per pathological bank) and 64
+    /// distinct UER rows — far above the paper's `k_uers` = 3 trigger.
+    fn default() -> Self {
+        Self {
+            max_pending: 65_536,
+            max_distinct_uer: 64,
+        }
+    }
+}
 
 /// Streaming twin of [`crate::features::bank_features`]: absorbs a bank's
 /// events one at a time and reproduces the reference feature vector
@@ -42,14 +83,22 @@ pub struct IncrementalBankFeatures {
     ueo_before: usize,
     /// Candidate pre-first-UER timestamps; cleared once the first UER fixes
     /// the counts, so a long UER-free stream is the only case that buffers.
+    /// Bounded by `caps.max_pending` (overflow marks the state capped).
     pending_ce: Vec<Timestamp>,
     pending_ueo: Vec<Timestamp>,
-    /// Distinct UER rows in first-occurrence order (bounded by the
-    /// monitor's `k_uers`, 3 in the paper configuration).
+    /// Distinct UER rows in first-occurrence order. The planning trigger
+    /// consults only the first `k_uers` (3 in the paper configuration),
+    /// but absorption continues after a bank plans, so the list is bounded
+    /// by `caps.max_distinct_uer`, not by `k_uers`.
     distinct_uer: Vec<RowId>,
     n_events: usize,
     last_key: Option<(Timestamp, CellAddress, ErrorType)>,
     sorted: bool,
+    /// Memory bounds; exceeding one sets `capped`.
+    caps: FeatureCaps,
+    /// Permanently true once a cap was exceeded: statistics updates stop
+    /// and [`Self::vector`] returns `None` (reference-scan fallback).
+    capped: bool,
 }
 
 impl Default for IncrementalBankFeatures {
@@ -59,8 +108,14 @@ impl Default for IncrementalBankFeatures {
 }
 
 impl IncrementalBankFeatures {
-    /// Empty state: no events absorbed, arrival order (vacuously) sorted.
+    /// Empty state with the default [`FeatureCaps`].
     pub fn new() -> Self {
+        Self::with_caps(FeatureCaps::default())
+    }
+
+    /// Empty state with explicit memory bounds: no events absorbed,
+    /// arrival order (vacuously) sorted.
+    pub fn with_caps(caps: FeatureCaps) -> Self {
         Self {
             ce: SeverityScan::EMPTY,
             ueo: SeverityScan::EMPTY,
@@ -76,6 +131,8 @@ impl IncrementalBankFeatures {
             n_events: 0,
             last_key: None,
             sorted: true,
+            caps,
+            capped: false,
         }
     }
 
@@ -85,12 +142,30 @@ impl IncrementalBankFeatures {
         self.sorted
     }
 
+    /// Whether a memory cap was exceeded: the state is permanently on the
+    /// reference-scan fallback (see [`FeatureCaps`]).
+    pub fn is_capped(&self) -> bool {
+        self.capped
+    }
+
+    /// The memory bounds this state enforces.
+    pub fn caps(&self) -> FeatureCaps {
+        self.caps
+    }
+
+    /// Buffered pre-first-UER candidate timestamps (`pending_ce` plus
+    /// `pending_ueo`) — the quantity [`FeatureCaps::max_pending`] bounds.
+    pub fn pending_len(&self) -> usize {
+        self.pending_ce.len() + self.pending_ueo.len()
+    }
+
     /// Number of events absorbed.
     pub fn n_events(&self) -> usize {
         self.n_events
     }
 
-    /// Distinct UER rows absorbed so far, in first-occurrence order.
+    /// Distinct UER rows absorbed so far, in first-occurrence order
+    /// (released — empty — once the state is capped or unsorted).
     pub fn distinct_uer_rows(&self) -> &[RowId] {
         &self.distinct_uer
     }
@@ -100,7 +175,9 @@ impl IncrementalBankFeatures {
     /// An event whose sort key is strictly below the previous one marks the
     /// state permanently unsorted; further statistics updates are skipped
     /// (the state can no longer match any sorted window) and
-    /// [`Self::vector`] returns `None`.
+    /// [`Self::vector`] returns `None`. An event that would grow a buffer
+    /// past its [`FeatureCaps`] bound likewise marks the state permanently
+    /// capped (and releases the pending buffers) instead of absorbing.
     pub fn absorb(&mut self, event: &ErrorEvent) {
         self.n_events += 1;
         let key = MceLog::sort_key(event);
@@ -110,7 +187,27 @@ impl IncrementalBankFeatures {
             }
         }
         self.last_key = Some(key);
-        if !self.sorted {
+        if !self.sorted || self.capped {
+            return;
+        }
+        // Enforce the memory caps before touching any statistic: a capped
+        // state is abandoned wholesale (like an unsorted one), so partial
+        // updates would only waste work.
+        let overflows = match event.error_type {
+            ErrorType::Uer => {
+                !self.distinct_uer.contains(&event.addr.row)
+                    && self.distinct_uer.len() >= self.caps.max_distinct_uer
+            }
+            ErrorType::Ce | ErrorType::Ueo => {
+                self.first_uer_time.is_none() && self.pending_len() >= self.caps.max_pending
+            }
+        };
+        if overflows {
+            self.capped = true;
+            // Release the buffers now: the state will never read them again.
+            self.pending_ce = Vec::new();
+            self.pending_ueo = Vec::new();
+            self.distinct_uer = Vec::new();
             return;
         }
 
@@ -151,13 +248,13 @@ impl IncrementalBankFeatures {
 
     /// Assembles the §IV-B feature vector for the absorbed prefix.
     ///
-    /// Returns `None` when events arrived out of sort order — callers must
-    /// then rebuild a sorted window and run the reference scan. When `Some`,
-    /// the vector is bit-identical to
-    /// [`crate::features::bank_features`] over the equivalent
-    /// [`cordial_mcelog::ObservedWindow`].
+    /// Returns `None` when events arrived out of sort order or a
+    /// [`FeatureCaps`] bound was exceeded — callers must then rebuild a
+    /// sorted window and run the reference scan. When `Some`, the vector is
+    /// bit-identical to [`crate::features::bank_features`] over the
+    /// equivalent [`cordial_mcelog::ObservedWindow`].
     pub fn vector(&self, geom: &HbmGeometry) -> Option<Vec<f64>> {
-        if !self.sorted {
+        if !self.sorted || self.capped {
             return None;
         }
         let (ce_before, ueo_before) = if self.first_uer_time.is_none() {
@@ -225,9 +322,16 @@ impl IncrementalBankFeatures {
 
     /// Rebuilds the state by replaying `events` in order (checkpoint
     /// restore: the monitor's per-bank buffers are persisted, this state is
-    /// not).
+    /// not). Uses the default [`FeatureCaps`].
     pub fn replay(events: &[ErrorEvent]) -> Self {
-        let mut state = Self::new();
+        Self::replay_with_caps(events, FeatureCaps::default())
+    }
+
+    /// [`Self::replay`] under explicit memory bounds — restore must replay
+    /// with the caps the live monitor ran, or the rebuilt fast/fallback
+    /// choice could diverge from the uninterrupted run's.
+    pub fn replay_with_caps(events: &[ErrorEvent], caps: FeatureCaps) -> Self {
+        let mut state = Self::with_caps(caps);
         for event in events {
             state.absorb(event);
         }
@@ -325,6 +429,93 @@ mod tests {
             event(10, 7, ErrorType::Ce),
             event(10, 7, ErrorType::Uer),
         ];
+        assert_matches_reference(&events);
+    }
+
+    #[test]
+    fn pending_cap_forces_the_fallback_permanently() {
+        let caps = FeatureCaps {
+            max_pending: 4,
+            ..FeatureCaps::default()
+        };
+        let mut state = IncrementalBankFeatures::with_caps(caps);
+        for i in 0..4u64 {
+            state.absorb(&event(i * 10, i as u32, ErrorType::Ce));
+        }
+        assert!(!state.is_capped(), "at the cap is still fine");
+        assert!(state.vector(&HbmGeometry::hbm2e_8hi()).is_some());
+        state.absorb(&event(50, 9, ErrorType::Ueo));
+        assert!(state.is_capped());
+        assert_eq!(state.pending_len(), 0, "buffers are released");
+        assert!(state.vector(&HbmGeometry::hbm2e_8hi()).is_none());
+        // A later UER cannot resurrect a capped state.
+        state.absorb(&event(60, 2, ErrorType::Uer));
+        assert!(state.vector(&HbmGeometry::hbm2e_8hi()).is_none());
+        assert_eq!(state.n_events(), 6, "events keep being counted");
+    }
+
+    #[test]
+    fn distinct_uer_cap_forces_the_fallback() {
+        let caps = FeatureCaps {
+            max_distinct_uer: 2,
+            ..FeatureCaps::default()
+        };
+        let mut state = IncrementalBankFeatures::with_caps(caps);
+        state.absorb(&event(10, 1, ErrorType::Uer));
+        state.absorb(&event(20, 2, ErrorType::Uer));
+        // A repeat of a known row does not overflow.
+        state.absorb(&event(30, 1, ErrorType::Uer));
+        assert!(!state.is_capped());
+        assert!(state.vector(&HbmGeometry::hbm2e_8hi()).is_some());
+        state.absorb(&event(40, 3, ErrorType::Uer));
+        assert!(state.is_capped());
+        assert!(state.vector(&HbmGeometry::hbm2e_8hi()).is_none());
+    }
+
+    /// The satellite regression: a multi-million-event UER-free stream — a
+    /// days-long daemon watching a healthy CE-noisy bank — must not grow
+    /// the pending buffers without bound.
+    #[test]
+    fn multi_million_event_uer_free_stream_stays_bounded() {
+        let mut state = IncrementalBankFeatures::new();
+        for i in 0..3_000_000u64 {
+            let kind = if i % 5 == 0 {
+                ErrorType::Ueo
+            } else {
+                ErrorType::Ce
+            };
+            state.absorb(&event(i, (i % 1024) as u32, kind));
+        }
+        assert_eq!(state.n_events(), 3_000_000);
+        assert!(state.is_sorted(), "the stream itself was sorted");
+        assert!(state.is_capped(), "the pending cap must have fired");
+        assert_eq!(
+            state.pending_len(),
+            0,
+            "capped state holds no pending timestamps (would be ~3M unbounded)"
+        );
+        assert!(
+            state.vector(&HbmGeometry::hbm2e_8hi()).is_none(),
+            "capped state reports the reference-scan fallback"
+        );
+    }
+
+    /// Below the cap nothing changes: bit-identity holds with caps in play.
+    #[test]
+    fn caps_do_not_disturb_bit_identity_below_the_bound() {
+        let events: Vec<ErrorEvent> = (0..100u64)
+            .map(|i| {
+                event(
+                    i * 7,
+                    (i % 40) as u32,
+                    match i % 7 {
+                        0 => ErrorType::Uer,
+                        1 | 2 => ErrorType::Ueo,
+                        _ => ErrorType::Ce,
+                    },
+                )
+            })
+            .collect();
         assert_matches_reference(&events);
     }
 }

@@ -18,7 +18,7 @@ use cordial_mcelog::{BankErrorHistory, ErrorEvent, ErrorType, ObservedWindow, Ti
 use cordial_obs::{BurnConfig, BurnRate, DriftConfig, MixDriftDetector};
 use cordial_topology::{BankAddress, CellAddress, RowId};
 
-use crate::incremental::IncrementalBankFeatures;
+use crate::incremental::{FeatureCaps, IncrementalBankFeatures};
 use crate::isolation::apply_plan;
 use crate::pipeline::{Cordial, FlatPipeline, MitigationPlan, PlanRequest};
 
@@ -285,6 +285,9 @@ pub struct CordialMonitor {
     /// fast path. Not checkpointed: rebuilt by replaying the persisted
     /// per-bank event buffers on restore.
     features: BTreeMap<BankAddress, IncrementalBankFeatures>,
+    /// Memory bounds applied to every per-bank feature state; persisted in
+    /// checkpoints so restore replays under the same caps.
+    feature_caps: FeatureCaps,
     stats: MonitorStats,
     /// Degraded-stream front end for the `*_guarded` ingestion paths.
     guard: StreamGuard,
@@ -437,6 +440,12 @@ pub struct MonitorCheckpoint {
     banks: Vec<(BankAddress, BankState)>,
     stats: MonitorStats,
     guard: StreamGuard,
+    /// Fast-path memory bounds the monitor ran with; restore replays the
+    /// per-bank feature states under the same caps so the fast/fallback
+    /// choice matches the uninterrupted run. Optional in the wire format
+    /// (same-version checkpoints written before the field existed read
+    /// back with the defaults), so no schema-version bump is needed.
+    feature_caps: FeatureCaps,
 }
 
 impl MonitorCheckpoint {
@@ -464,6 +473,7 @@ impl Serialize for MonitorCheckpoint {
             (String::from("banks"), self.banks.to_value()),
             (String::from("stats"), self.stats.to_value()),
             (String::from("guard"), self.guard.to_value()),
+            (String::from("feature_caps"), self.feature_caps.to_value()),
         ])
     }
 }
@@ -490,6 +500,7 @@ impl<'de> Deserialize<'de> for MonitorCheckpoint {
                 banks: Vec::new(),
                 stats: MonitorStats::default(),
                 guard: StreamGuard::new(GuardConfig::default()),
+                feature_caps: FeatureCaps::default(),
             });
         }
         Ok(Self {
@@ -498,6 +509,12 @@ impl<'de> Deserialize<'de> for MonitorCheckpoint {
             banks: serde::de_field(value, "banks")?,
             stats: serde::de_field(value, "stats")?,
             guard: serde::de_field(value, "guard")?,
+            // Absent in same-version checkpoints written before the caps
+            // existed: default rather than reject.
+            feature_caps: match value.get("feature_caps") {
+                Some(v) => Deserialize::from_value(v)?,
+                None => FeatureCaps::default(),
+            },
         })
     }
 }
@@ -512,6 +529,7 @@ impl CordialMonitor {
             engine: IsolationEngine::new(budget),
             banks: BTreeMap::new(),
             features: BTreeMap::new(),
+            feature_caps: FeatureCaps::default(),
             stats: MonitorStats::default(),
             guard: StreamGuard::new(GuardConfig::default()),
             health: MonitorHealth::new(HealthConfig::default()),
@@ -524,6 +542,16 @@ impl CordialMonitor {
     /// bound mid-stream would retroactively reclassify buffered events.
     pub fn with_guard_config(mut self, config: GuardConfig) -> Self {
         self.guard = StreamGuard::new(config);
+        self
+    }
+
+    /// Replaces the fast-path memory bounds (builder style).
+    ///
+    /// Only meaningful before ingestion starts: per-bank feature states
+    /// capture the caps when their bank is first seen. The caps travel in
+    /// checkpoints, so a restored monitor keeps the bounds it ran with.
+    pub fn with_feature_caps(mut self, caps: FeatureCaps) -> Self {
+        self.feature_caps = caps;
         self
     }
 
@@ -619,10 +647,27 @@ impl CordialMonitor {
             && event.is_uer()
             && !state.distinct_uer_rows.contains(&event.addr.row)
             && state.distinct_uer_rows.len() + 1 == k_uers;
-        state.events.push(event);
-        self.features.entry(bank).or_default().absorb(&event);
-        if event.is_uer() && !state.distinct_uer_rows.contains(&event.addr.row) {
-            state.distinct_uer_rows.push(event.addr.row);
+        // The event buffer and incremental features exist to materialise
+        // the observation window; once the bank is planned the window is
+        // closed, and feeding them further would grow per-bank state (and
+        // per-event cost) without bound on a long-running stream.
+        if !state.planned {
+            state.events.push(event);
+            let feature_caps = self.feature_caps;
+            let features = self
+                .features
+                .entry(bank)
+                .or_insert_with(|| IncrementalBankFeatures::with_caps(feature_caps));
+            let was_capped = features.is_capped();
+            features.absorb(&event);
+            if features.is_capped() && !was_capped {
+                // A memory cap just forced this bank onto the reference-scan
+                // fallback (see `FeatureCaps`); once per bank.
+                cordial_obs::counter!("monitor.features.capped").inc();
+            }
+            if event.is_uer() && !state.distinct_uer_rows.contains(&event.addr.row) {
+                state.distinct_uer_rows.push(event.addr.row);
+            }
         }
 
         // Plan exactly once, the moment the observation window completes.
@@ -762,7 +807,12 @@ impl CordialMonitor {
         let geom = self.pipeline.classifier().geom();
 
         struct Probe {
-            prefix: Vec<ErrorEvent>,
+            /// This batch's events for the bank, up to its trigger point.
+            /// The stored pre-batch history is *not* cloned here: the full
+            /// observed window is materialised after the scan, and only
+            /// for banks that actually trigger — cloning it per batch per
+            /// touched bank made long-running ingestion quadratic.
+            fresh: Vec<ErrorEvent>,
             distinct_uer_rows: Vec<RowId>,
             features: IncrementalBankFeatures,
             /// Incremental feature vector captured at the trigger point,
@@ -776,15 +826,31 @@ impl CordialMonitor {
             let bank = event.addr.bank;
             let probe = probes.entry(bank).or_insert_with(|| {
                 let state = self.banks.get(&bank);
-                Probe {
-                    prefix: state.map(|s| s.events.clone()).unwrap_or_default(),
-                    distinct_uer_rows: state
-                        .map(|s| s.distinct_uer_rows.clone())
-                        .unwrap_or_default(),
-                    features: self.features.get(&bank).cloned().unwrap_or_default(),
-                    fast: None,
-                    done: state.is_some_and(|s| s.planned),
-                    triggered: false,
+                if state.is_some_and(|s| s.planned) {
+                    // Already planned: every event of the batch falls
+                    // through to the sequential replay, so the probe
+                    // carries no state at all.
+                    Probe {
+                        fresh: Vec::new(),
+                        distinct_uer_rows: Vec::new(),
+                        features: IncrementalBankFeatures::with_caps(self.feature_caps),
+                        fast: None,
+                        done: true,
+                        triggered: false,
+                    }
+                } else {
+                    Probe {
+                        fresh: Vec::new(),
+                        distinct_uer_rows: state
+                            .map(|s| s.distinct_uer_rows.clone())
+                            .unwrap_or_default(),
+                        features: self.features.get(&bank).cloned().unwrap_or_else(|| {
+                            IncrementalBankFeatures::with_caps(self.feature_caps)
+                        }),
+                        fast: None,
+                        done: false,
+                        triggered: false,
+                    }
                 }
             });
             if probe.done {
@@ -793,7 +859,7 @@ impl CordialMonitor {
             let completes_window = event.is_uer()
                 && !probe.distinct_uer_rows.contains(&event.addr.row)
                 && probe.distinct_uer_rows.len() + 1 == k_uers;
-            probe.prefix.push(*event);
+            probe.fresh.push(*event);
             probe.features.absorb(event);
             if event.is_uer() && !probe.distinct_uer_rows.contains(&event.addr.row) {
                 probe.distinct_uer_rows.push(event.addr.row);
@@ -817,17 +883,26 @@ impl CordialMonitor {
         let triggering: Vec<(BankAddress, Prepared)> = probes
             .into_iter()
             .filter(|(_, probe)| probe.triggered)
-            .map(|(bank, probe)| match probe.fast {
-                Some(raw) => {
-                    cordial_obs::counter!("monitor.features.incremental").inc();
-                    (bank, Prepared::Fast(probe.prefix, raw))
-                }
-                None => {
-                    cordial_obs::counter!("monitor.features.reference_scan").inc();
-                    (
-                        bank,
-                        Prepared::Slow(BankErrorHistory::new(bank, probe.prefix)),
-                    )
+            .map(|(bank, probe)| {
+                // Materialise the observed window only now, only for the
+                // banks that trigger: the stored history as of the start
+                // of this batch (the scan never mutates `self.banks`)
+                // plus the batch's own prefix, in arrival order.
+                let mut window = self
+                    .banks
+                    .get(&bank)
+                    .map(|s| s.events.clone())
+                    .unwrap_or_default();
+                window.extend(probe.fresh);
+                match probe.fast {
+                    Some(raw) => {
+                        cordial_obs::counter!("monitor.features.incremental").inc();
+                        (bank, Prepared::Fast(window, raw))
+                    }
+                    None => {
+                        cordial_obs::counter!("monitor.features.reference_scan").inc();
+                        (bank, Prepared::Slow(BankErrorHistory::new(bank, window)))
+                    }
                 }
             })
             .collect();
@@ -1026,6 +1101,7 @@ impl CordialMonitor {
                 .collect(),
             stats: self.stats,
             guard: self.guard.clone(),
+            feature_caps: self.feature_caps,
         }
     }
 
@@ -1053,11 +1129,20 @@ impl CordialMonitor {
         }
         let banks: BTreeMap<BankAddress, BankState> = checkpoint.banks.into_iter().collect();
         // Incremental feature state is derived, not persisted: replay each
-        // bank's buffered events (arrival order) so a restored monitor's
-        // fast/fallback path choice matches an uninterrupted run's.
+        // bank's buffered events (arrival order) under the checkpointed
+        // caps so a restored monitor's fast/fallback path choice — sorted
+        // and capped flags included — matches an uninterrupted run's.
         let features = banks
             .iter()
-            .map(|(bank, state)| (*bank, IncrementalBankFeatures::replay(&state.events)))
+            .map(|(bank, state)| {
+                (
+                    *bank,
+                    IncrementalBankFeatures::replay_with_caps(
+                        &state.events,
+                        checkpoint.feature_caps,
+                    ),
+                )
+            })
             .collect();
         let flat = pipeline.flatten();
         Ok(Self {
@@ -1066,6 +1151,7 @@ impl CordialMonitor {
             engine: IsolationEngine::from_snapshot(checkpoint.engine),
             banks,
             features,
+            feature_caps: checkpoint.feature_caps,
             stats: checkpoint.stats,
             guard: checkpoint.guard,
             // Watchdog windows are derived, short-horizon state: they

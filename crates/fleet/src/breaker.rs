@@ -24,6 +24,14 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
+/// Backoff stops doubling after this many consecutive re-trips: the
+/// quarantine is capped at `backoff_base_ms << MAX_BACKOFF_DOUBLINGS`
+/// (plus jitter). With the default one-minute base that ceiling is about
+/// two simulated years — long enough to be indistinguishable from
+/// eviction, short enough that `open_until_ms` can never overflow `u64`
+/// stream time even under an externally-driven trip storm.
+pub const MAX_BACKOFF_DOUBLINGS: u32 = 20;
+
 /// Where a breaker currently stands.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum BreakerState {
@@ -56,7 +64,8 @@ pub struct BreakerConfig {
     /// tripping on the first stray rejection).
     pub min_events: usize,
     /// Base quarantine duration in stream milliseconds; doubles on every
-    /// consecutive re-trip.
+    /// consecutive re-trip, saturating at
+    /// `backoff_base_ms << `[`MAX_BACKOFF_DOUBLINGS`].
     pub backoff_base_ms: u64,
     /// Maximum seeded jitter added to each quarantine (0 disables).
     pub backoff_jitter_ms: u64,
@@ -203,16 +212,21 @@ impl CircuitBreaker {
             self.state = BreakerState::Evicted;
             return;
         }
+        // Saturating doubling: the exponent is clamped to the documented
+        // ceiling so the shift can never exceed 63 bits, the multiply
+        // saturates past `u64::MAX`, and a breaker configured with a huge
+        // retry budget keeps a finite, monotone quarantine instead of
+        // wrapping `open_until_ms` back into the past.
         let backoff = self
             .config
             .backoff_base_ms
-            .saturating_mul(1u64 << self.attempt.min(20));
+            .saturating_mul(1u64 << self.attempt.min(MAX_BACKOFF_DOUBLINGS));
         let jitter = if self.config.backoff_jitter_ms > 0 {
             self.rng.gen_range(0..self.config.backoff_jitter_ms)
         } else {
             0
         };
-        self.attempt += 1;
+        self.attempt = self.attempt.saturating_add(1);
         self.state = BreakerState::Open;
         self.open_until_ms = now_ms.saturating_add(backoff).saturating_add(jitter);
     }

@@ -41,7 +41,7 @@ mod harness;
 mod registry;
 mod supervisor;
 
-pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker, MAX_BACKOFF_DOUBLINGS};
 pub use device::DeviceId;
 pub use harness::{run_fleet_harness, FleetHarnessConfig, FleetReport};
 pub use registry::{

@@ -1,0 +1,122 @@
+//! Property tests for the circuit breaker's quarantine backoff: the
+//! doubling saturates at the documented ceiling, `open_until_ms` never
+//! wraps, and a trip storm far past 64 doublings stays well-behaved.
+
+use proptest::prelude::*;
+
+use cordial_fleet::{BreakerConfig, BreakerState, CircuitBreaker, MAX_BACKOFF_DOUBLINGS};
+
+fn storm_config(base_ms: u64, jitter_ms: u64) -> BreakerConfig {
+    BreakerConfig {
+        window: 8,
+        trip_error_rate: 0.5,
+        min_events: 4,
+        backoff_base_ms: base_ms,
+        backoff_jitter_ms: jitter_ms,
+        // A retry budget the storm can never exhaust: every re-trip goes
+        // through the backoff arithmetic instead of early-exiting into
+        // eviction.
+        max_retries: u32::MAX,
+        half_open_probe: 1,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Hammer consecutive probe failures far past 64 doublings: the
+    /// quarantine expiry must stay finite, never land in the past, and
+    /// never exceed the documented ceiling above `now`.
+    #[test]
+    fn backoff_saturates_at_the_documented_ceiling(
+        base_ms in 1u64..=u64::MAX / 4,
+        jitter_ms in 0u64..=10_000,
+        seed in 0u64..=u64::MAX,
+        trips in 65usize..=200,
+    ) {
+        let mut breaker = CircuitBreaker::new(storm_config(base_ms, jitter_ms), seed);
+        let ceiling = base_ms.saturating_mul(1u64 << MAX_BACKOFF_DOUBLINGS);
+        let mut now_ms = 0u64;
+        for n in 0..trips {
+            breaker.trip(now_ms);
+            prop_assert_eq!(breaker.state(), BreakerState::Open);
+            let open_until = breaker.open_until_ms();
+            // Never in the past (no wraparound)...
+            prop_assert!(
+                open_until >= now_ms,
+                "trip {n}: open_until {open_until} wrapped behind now {now_ms}"
+            );
+            // ...and never beyond the saturated ceiling plus jitter.
+            let bound = now_ms
+                .saturating_add(ceiling)
+                .saturating_add(jitter_ms);
+            prop_assert!(
+                open_until <= bound,
+                "trip {n}: open_until {open_until} exceeds ceiling bound {bound}"
+            );
+            prop_assert_eq!(breaker.trips(), (n + 1) as u64);
+            // Walk to expiry (capped so simulated time cannot overflow)
+            // and re-trip; when the quarantine saturated at `u64::MAX`
+            // the breaker stays Open and the next trip hits it there —
+            // the externally-driven storm `trip` documents as safe.
+            now_ms = open_until.min(u64::MAX - 1);
+            breaker.poll(now_ms);
+        }
+    }
+
+    /// The backoff sequence is monotone non-decreasing in duration until it
+    /// saturates: each re-trip quarantines for at least as long as the last.
+    #[test]
+    fn backoff_durations_never_shrink(
+        // Bounded so 100 capped quarantines sum below `u64::MAX` and the
+        // stream clock itself never saturates mid-test.
+        base_ms in 1u64..=1u64 << 35,
+        seed in 0u64..=u64::MAX,
+    ) {
+        let mut breaker = CircuitBreaker::new(storm_config(base_ms, 0), seed);
+        let mut now_ms = 0u64;
+        let mut last_duration = 0u64;
+        for n in 0..100usize {
+            breaker.trip(now_ms);
+            let duration = breaker.open_until_ms() - now_ms;
+            prop_assert!(
+                duration >= last_duration,
+                "trip {n}: backoff shrank from {last_duration} to {duration}"
+            );
+            last_duration = duration;
+            now_ms = breaker.open_until_ms();
+            breaker.poll(now_ms);
+        }
+        // 100 consecutive failures with no successful close: the duration
+        // must have saturated exactly at the ceiling.
+        prop_assert_eq!(
+            last_duration,
+            base_ms.saturating_mul(1u64 << MAX_BACKOFF_DOUBLINGS)
+        );
+    }
+
+    /// A finite retry budget still ends in eviction, ceiling or not.
+    #[test]
+    fn finite_retries_still_evict(
+        base_ms in 1u64..=1u64 << 40,
+        max_retries in 1u32..=80,
+        seed in 0u64..=u64::MAX,
+    ) {
+        let config = BreakerConfig {
+            max_retries,
+            ..storm_config(base_ms, 0)
+        };
+        let mut breaker = CircuitBreaker::new(config, seed);
+        let mut now_ms = 0u64;
+        let mut trips = 0u64;
+        while breaker.state() != BreakerState::Evicted {
+            breaker.trip(now_ms);
+            trips += 1;
+            now_ms = breaker.open_until_ms().min(u64::MAX - 1);
+            breaker.poll(now_ms);
+            prop_assert!(trips <= u64::from(max_retries) + 1, "never evicted");
+        }
+        prop_assert_eq!(trips, u64::from(max_retries) + 1);
+        prop_assert!(!breaker.poll(u64::MAX - 1), "eviction is permanent");
+    }
+}

@@ -1,0 +1,56 @@
+//! SIGTERM/SIGINT → one process-global atomic flag, so the serve CLI can
+//! turn an external `kill` into the same graceful drain-and-checkpoint
+//! path as the `Shutdown` RPC.
+//!
+//! Hand-rolled on `signal(2)` because the workspace vendors no `libc` /
+//! `signal-hook`: the handler only stores to an `AtomicBool`, which is
+//! async-signal-safe.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static TRIGGERED: AtomicBool = AtomicBool::new(false);
+
+/// Whether SIGTERM or SIGINT has been delivered since [`install`].
+pub fn triggered() -> bool {
+    TRIGGERED.load(Ordering::SeqCst)
+}
+
+#[cfg(unix)]
+mod imp {
+    #![allow(unsafe_code)]
+
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        super::TRIGGERED.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        // SAFETY: `on_signal` is async-signal-safe (a single atomic
+        // store) and `signal(2)` accepts any function pointer with the
+        // handler ABI; the returned previous handler is discarded.
+        let handler = on_signal as *const () as usize;
+        unsafe {
+            signal(SIGTERM, handler);
+            signal(SIGINT, handler);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() {}
+}
+
+/// Installs the flag-setting handler for SIGTERM and SIGINT (a no-op on
+/// non-unix targets).
+pub fn install() {
+    imp::install();
+}

@@ -1,0 +1,167 @@
+//! Property tests for the wire codec: encode/decode round-trips over
+//! arbitrary frames, and header/buffer fuzz that must classify — never
+//! panic — on any input.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use cordial_mcelog::{ErrorEvent, ErrorType, Timestamp};
+use cordial_served::codec::{decode_frame, encode_frame, Decoded, HEADER_LEN, MAGIC, WIRE_VERSION};
+use cordial_served::Frame;
+use cordial_topology::{
+    BankAddress, BankGroup, BankIndex, Channel, ColId, HbmSocket, NodeId, NpuId, PseudoChannel,
+    RowId, StackId,
+};
+
+fn event_strategy() -> impl Strategy<Value = ErrorEvent> {
+    (
+        0u32..=u32::MAX,
+        0u8..=u8::MAX,
+        0u8..=u8::MAX,
+        0u8..=u8::MAX,
+        0u8..=u8::MAX,
+        0u8..=u8::MAX,
+        0u8..=u8::MAX,
+        0u8..=u8::MAX,
+        0u32..=u32::MAX,
+        0u16..=u16::MAX,
+        0u64..=u64::MAX,
+        0u8..=2,
+    )
+        .prop_map(
+            |(node, npu, hbm, sid, ch, pch, bg, bank, row, col, time, severity)| {
+                let bank = BankAddress::new(
+                    NodeId(node),
+                    NpuId(npu),
+                    HbmSocket(hbm),
+                    StackId(sid),
+                    Channel(ch),
+                    PseudoChannel(pch),
+                    BankGroup(bg),
+                    BankIndex(bank),
+                );
+                ErrorEvent::new(
+                    bank.cell(RowId(row), ColId(col)),
+                    Timestamp::from_millis(time),
+                    match severity {
+                        0 => ErrorType::Ce,
+                        1 => ErrorType::Ueo,
+                        _ => ErrorType::Uer,
+                    },
+                )
+            },
+        )
+}
+
+fn frame_strategy() -> impl Strategy<Value = Frame> {
+    prop_oneof![
+        vec(event_strategy(), 0..48).prop_map(Frame::IngestBatch),
+        Just(Frame::StatsQuery),
+        Just(Frame::HealthQuery),
+        Just(Frame::PlanQuery),
+        Just(Frame::Shutdown),
+        Just(Frame::Ping),
+        (0u32..=u32::MAX).prop_map(|accepted| Frame::BatchAck { accepted }),
+        (0u16..=u16::MAX, 0u32..=u32::MAX).prop_map(|(shard, ms)| Frame::RetryAfter { shard, ms }),
+        ".{0,120}".prop_map(Frame::Stats),
+        ".{0,120}".prop_map(Frame::Health),
+        ".{0,120}".prop_map(Frame::Plans),
+        Just(Frame::ShuttingDown),
+        Just(Frame::Pong),
+        ".{0,120}".prop_map(Frame::Error),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every frame survives encode → decode bit-identically and consumes
+    /// exactly its own bytes.
+    #[test]
+    fn any_frame_round_trips(frame in frame_strategy()) {
+        let bytes = encode_frame(&frame);
+        match decode_frame(&bytes) {
+            Decoded::Frame(decoded, consumed) => {
+                prop_assert_eq!(&decoded, &frame);
+                prop_assert_eq!(consumed, bytes.len());
+            }
+            other => prop_assert!(false, "{:?} failed to decode: {:?}", frame, other),
+        }
+    }
+
+    /// Back-to-back frames decode in order from one contiguous buffer —
+    /// the stream case the daemon's connection loop depends on.
+    #[test]
+    fn concatenated_frames_decode_in_sequence(frames in vec(frame_strategy(), 1..6)) {
+        let mut stream = Vec::new();
+        for frame in &frames {
+            stream.extend_from_slice(&encode_frame(frame));
+        }
+        let mut cursor = 0usize;
+        for expected in &frames {
+            match decode_frame(&stream[cursor..]) {
+                Decoded::Frame(decoded, consumed) => {
+                    prop_assert_eq!(&decoded, expected);
+                    cursor += consumed;
+                }
+                other => prop_assert!(false, "stream desynced: {:?}", other),
+            }
+        }
+        prop_assert_eq!(cursor, stream.len());
+    }
+
+    /// Any strict prefix of a valid frame asks for more bytes rather than
+    /// erroring or panicking.
+    #[test]
+    fn prefixes_of_valid_frames_are_incomplete(
+        frame in frame_strategy(),
+        cut_seed in 0u64..=u64::MAX,
+    ) {
+        let bytes = encode_frame(&frame);
+        let cut = (cut_seed % bytes.len() as u64) as usize;
+        prop_assert_eq!(decode_frame(&bytes[..cut]), Decoded::Incomplete);
+    }
+
+    /// Arbitrary buffers never panic the decoder, and whatever it returns
+    /// respects the buffer's framing arithmetic.
+    #[test]
+    fn arbitrary_bytes_classify_without_panicking(buf in vec(0u8..=u8::MAX, 0..256)) {
+        match decode_frame(&buf) {
+            Decoded::Incomplete => prop_assert!(
+                buf.len() < HEADER_LEN
+                    || (buf[..2] == MAGIC && buf[2] == WIRE_VERSION),
+                "a full non-frame header must not stall the stream"
+            ),
+            Decoded::Frame(_, consumed) | Decoded::Bad(_, consumed) => {
+                prop_assert!(consumed >= HEADER_LEN && consumed <= buf.len());
+            }
+            Decoded::Fatal(_) => {}
+        }
+    }
+
+    /// Flipping any single byte of a valid frame never panics, and a flip
+    /// inside the payload is always caught (CRC) unless the payload is
+    /// empty.
+    #[test]
+    fn single_byte_flips_are_always_detected_or_classified(
+        frame in frame_strategy(),
+        pos_seed in 0u64..=u64::MAX,
+        mask in 1u8..=u8::MAX,
+    ) {
+        let mut bytes = encode_frame(&frame);
+        let pos = (pos_seed % bytes.len() as u64) as usize;
+        bytes[pos] ^= mask;
+        match decode_frame(&bytes) {
+            Decoded::Frame(decoded, _) => {
+                // Only a header flip can still decode (e.g. a kind byte
+                // moved to another empty-payload frame); the payload is
+                // CRC-protected.
+                prop_assert!(pos < HEADER_LEN, "payload flip at {} went undetected", pos);
+                prop_assert_ne!(decoded, frame);
+            }
+            Decoded::Incomplete
+            | Decoded::Bad(..)
+            | Decoded::Fatal(_) => {}
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! End-to-end daemon tests over real loopback sockets: serve → ingest →
+//! query → graceful shutdown, the kill-resume acceptance path, and
+//! explicit backpressure.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+
+use cordial::pipeline::Cordial;
+use cordial::prelude::*;
+use cordial_mcelog::ErrorEvent;
+use cordial_served::{Client, Frame, ServeConfig, Server, ShutdownReport};
+
+/// Batch size every test drives the daemon with; the kill point in the
+/// resume test sits on a batch boundary by construction.
+const BATCH: usize = 256;
+
+fn trained_pipeline(seed: u64) -> (FleetDataset, Cordial) {
+    let dataset = generate_fleet_dataset(&FleetDatasetConfig::small(), seed);
+    let split = split_banks(&dataset, 0.7, seed);
+    let cordial = Cordial::fit(&dataset, &split.train, &CordialConfig::default()).unwrap();
+    (dataset, cordial)
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cordial-served-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Streams `events` to `addr` in `BATCH`-sized batches, honouring
+/// backpressure, then returns the admitted count.
+fn drive(addr: &str, events: &[ErrorEvent]) -> u64 {
+    let mut client = Client::connect(addr).unwrap();
+    let mut admitted = 0u64;
+    for batch in events.chunks(BATCH) {
+        let (accepted, _retries) = client.ingest_retrying(batch).unwrap();
+        admitted += u64::from(accepted);
+    }
+    admitted
+}
+
+fn shut_down(addr: &str, server: Server) -> ShutdownReport {
+    Client::connect(addr).unwrap().shutdown().unwrap();
+    server.wait().unwrap()
+}
+
+#[test]
+fn daemon_serves_ingest_queries_and_metrics_end_to_end() {
+    cordial_obs::set_enabled(true);
+    let (dataset, pipeline) = trained_pipeline(41);
+    let server = Server::bind(
+        pipeline,
+        ServeConfig::default(),
+        "127.0.0.1:0",
+        Some("127.0.0.1:0"),
+    )
+    .unwrap();
+    let addr = server.addr().to_string();
+    let metrics_addr = server.metrics_addr().unwrap().to_string();
+
+    let mut client = Client::connect(&addr).unwrap();
+    client.ping().unwrap();
+
+    let events = dataset.log.events().to_vec();
+    let admitted = drive(&addr, &events);
+    assert_eq!(admitted, events.len() as u64);
+
+    let report = shut_down(&addr, server);
+    assert_eq!(report.stats.events, events.len());
+    assert!(report.stats.devices > 0, "fleet spans many devices");
+    assert!(
+        report.stats.banks_planned > 0,
+        "a full fleet replay must trigger plans"
+    );
+    assert_eq!(report.plans.len(), report.stats.banks_planned);
+    assert_eq!(
+        report.checkpoints_written, 0,
+        "no checkpoint dir configured"
+    );
+
+    // The metrics listener answered Prometheus text while the daemon ran.
+    // (Scraped before shutdown completes in real deployments; the listener
+    // thread here exits with the daemon, so this scrape raced shutdown and
+    // was done above via the still-bound socket only if alive. Re-scrape
+    // tolerantly: a refused connection after shutdown is acceptable.)
+    if let Ok(mut scrape) = TcpStream::connect(&metrics_addr) {
+        let _ = scrape.write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+        let mut body = String::new();
+        let _ = scrape.read_to_string(&mut body);
+        if !body.is_empty() {
+            assert!(body.starts_with("HTTP/1.1 200 OK"), "got: {body:.100}");
+        }
+    }
+}
+
+/// The metrics endpoint speaks enough HTTP for a scraper while the daemon
+/// is live (exercised separately from the shutdown test above so the
+/// scrape cannot race the listener teardown).
+#[test]
+fn metrics_endpoint_speaks_prometheus_text() {
+    cordial_obs::set_enabled(true);
+    let (dataset, pipeline) = trained_pipeline(43);
+    let server = Server::bind(
+        pipeline,
+        ServeConfig::default(),
+        "127.0.0.1:0",
+        Some("127.0.0.1:0"),
+    )
+    .unwrap();
+    let addr = server.addr().to_string();
+    let metrics_addr = server.metrics_addr().unwrap().to_string();
+
+    drive(&addr, &dataset.log.events()[..BATCH.min(dataset.log.len())]);
+
+    let mut scrape = TcpStream::connect(&metrics_addr).unwrap();
+    scrape
+        .write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+        .unwrap();
+    let mut response = String::new();
+    scrape.read_to_string(&mut response).unwrap();
+    assert!(
+        response.starts_with("HTTP/1.1 200 OK"),
+        "metrics scrape failed: {response:.200}"
+    );
+    assert!(
+        response.contains("served_"),
+        "scrape must carry served counters: {response:.400}"
+    );
+
+    let mut probe = TcpStream::connect(&metrics_addr).unwrap();
+    probe
+        .write_all(b"GET /other HTTP/1.1\r\nHost: x\r\n\r\n")
+        .unwrap();
+    let mut response = String::new();
+    probe.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("HTTP/1.1 404"), "got: {response:.100}");
+
+    shut_down(&addr, server);
+}
+
+/// Kill-resume acceptance: a daemon killed gracefully mid-stream and
+/// restarted from its checkpoint directory finishes with the same stats
+/// and the same plans as a daemon that saw the whole stream.
+#[test]
+fn graceful_shutdown_checkpoints_and_a_restart_resumes_bit_identically() {
+    let (dataset, pipeline) = trained_pipeline(47);
+    let events = dataset.log.events().to_vec();
+    let batches: Vec<&[ErrorEvent]> = events.chunks(BATCH).collect();
+    let kill_at = batches.len() / 2;
+
+    // Reference: one daemon, whole stream.
+    let server = Server::bind(
+        pipeline.clone(),
+        ServeConfig::default(),
+        "127.0.0.1:0",
+        None,
+    )
+    .unwrap();
+    let addr = server.addr().to_string();
+    drive(&addr, &events);
+    let reference = shut_down(&addr, server);
+
+    // Interrupted: first half, drain + checkpoint, new process image,
+    // second half.
+    let dir = scratch_dir("resume");
+    let config = ServeConfig {
+        checkpoint_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    };
+    let first = Server::bind(pipeline.clone(), config.clone(), "127.0.0.1:0", None).unwrap();
+    let first_addr = first.addr().to_string();
+    for batch in &batches[..kill_at] {
+        drive(&first_addr, batch);
+    }
+    let first_report = shut_down(&first_addr, first);
+    assert!(
+        first_report.checkpoints_written > 0,
+        "graceful shutdown must persist device checkpoints"
+    );
+
+    let second = Server::bind(pipeline, config, "127.0.0.1:0", None).unwrap();
+    let second_addr = second.addr().to_string();
+    assert_eq!(
+        second.stats().events,
+        first_report.stats.events,
+        "restart must restore every checkpointed event"
+    );
+    for batch in &batches[kill_at..] {
+        drive(&second_addr, batch);
+    }
+    let second_report = shut_down(&second_addr, second);
+
+    assert_eq!(second_report.stats, reference.stats, "stats must resume");
+    let mut resumed_plans = first_report.plans;
+    resumed_plans.extend(second_report.plans);
+    resumed_plans.sort();
+    assert_eq!(resumed_plans, reference.plans, "plans must be identical");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A zero-capacity queue refuses every batch with `RetryAfter` (explicit
+/// backpressure, not a hang or a drop), and ingestion after a shutdown
+/// request answers `ShuttingDown`.
+#[test]
+fn full_queues_push_back_with_retry_after() {
+    let (dataset, pipeline) = trained_pipeline(53);
+    let config = ServeConfig {
+        shards: 2,
+        queue_capacity: 0,
+        retry_after_ms: 7,
+        ..ServeConfig::default()
+    };
+    let server = Server::bind(pipeline, config, "127.0.0.1:0", None).unwrap();
+    let addr = server.addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+
+    let batch: Vec<ErrorEvent> = dataset.log.events()[..64].to_vec();
+    match client.ingest(&batch).unwrap() {
+        Frame::RetryAfter { ms, .. } => assert_eq!(ms, 7),
+        other => panic!("expected RetryAfter, got {other:?}"),
+    }
+    let health = client.health().unwrap();
+    assert_eq!(health.rejected_batches, 1);
+    assert_eq!(health.accepted_batches, 0);
+    assert_eq!(health.queue_depths, vec![0, 0]);
+
+    client.shutdown().unwrap();
+    let mut late = Client::connect(&addr);
+    if let Ok(late) = late.as_mut() {
+        // The accept loop may close before or after this connect; when it
+        // lands, a post-shutdown ingest must answer ShuttingDown.
+        if let Ok(reply) = late.ingest(&batch) {
+            assert_eq!(reply, Frame::ShuttingDown);
+        }
+    }
+    let report = server.wait().unwrap();
+    assert_eq!(report.stats.events, 0, "nothing was ever admitted");
+}

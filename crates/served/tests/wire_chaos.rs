@@ -1,0 +1,202 @@
+//! Chaos harness for the daemon's wire surface: corrupted, truncated and
+//! duplicated frames from `cordial_chaos::inject_frames` must degrade the
+//! connection they arrive on — Error replies, breaker-closed sockets —
+//! while the daemon itself keeps serving clean traffic.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use cordial::pipeline::Cordial;
+use cordial::prelude::*;
+use cordial_chaos::FrameChaosConfig;
+use cordial_served::codec::HEADER_LEN;
+use cordial_served::{decode_frame, encode_frame, Client, Decoded, Frame, ServeConfig, Server};
+
+fn trained_pipeline(seed: u64) -> (FleetDataset, Cordial) {
+    let dataset = generate_fleet_dataset(&FleetDatasetConfig::small(), seed);
+    let split = split_banks(&dataset, 0.7, seed);
+    let cordial = Cordial::fit(&dataset, &split.train, &CordialConfig::default()).unwrap();
+    (dataset, cordial)
+}
+
+/// Drains whatever the server sent back (until EOF or a quiet period) and
+/// decodes it as a reply stream. Returns the frames plus whether the
+/// server closed the connection.
+fn read_replies(stream: &mut TcpStream) -> (Vec<Frame>, bool) {
+    stream
+        .set_read_timeout(Some(Duration::from_millis(400)))
+        .unwrap();
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let mut closed = false;
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                closed = true;
+                break;
+            }
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => break,
+            Err(_) => {
+                closed = true;
+                break;
+            }
+        }
+    }
+    let mut frames = Vec::new();
+    let mut cursor = 0usize;
+    while cursor < buf.len() {
+        match decode_frame(&buf[cursor..]) {
+            Decoded::Frame(frame, consumed) => {
+                frames.push(frame);
+                cursor += consumed;
+            }
+            // The server only emits well-formed frames; a trailing partial
+            // read is the one acceptable remainder.
+            _ => break,
+        }
+    }
+    (frames, closed)
+}
+
+/// Valid control + ingest traffic for one chaotic connection.
+fn clean_frames(events: &[cordial_mcelog::ErrorEvent]) -> Vec<Vec<u8>> {
+    let mut frames = vec![encode_frame(&Frame::Ping)];
+    for batch in events.chunks(32) {
+        frames.push(encode_frame(&Frame::IngestBatch(batch.to_vec())));
+    }
+    frames.push(encode_frame(&Frame::StatsQuery));
+    frames.push(encode_frame(&Frame::HealthQuery));
+    frames
+}
+
+/// Sweeps several chaos seeds at moderate rates over fresh connections.
+/// Every connection may die (breaker, desync) but the daemon must answer
+/// clean traffic after each one, and the degraded streams must provoke at
+/// least one explicit Error reply across the sweep.
+#[test]
+fn degraded_frame_streams_never_take_the_daemon_down() {
+    let (dataset, pipeline) = trained_pipeline(59);
+    let server = Server::bind(pipeline, ServeConfig::default(), "127.0.0.1:0", None).unwrap();
+    let addr = server.addr().to_string();
+    let events = dataset.log.events();
+    let frames = clean_frames(&events[..events.len().min(512)]);
+
+    let mut error_replies = 0usize;
+    let mut any_reply = 0usize;
+    for seed in 0..8u64 {
+        let config = FrameChaosConfig {
+            seed,
+            corrupt_rate: 0.3,
+            truncate_rate: 0.2,
+            duplicate_rate: 0.2,
+        };
+        let (degraded, summary) = cordial_chaos::inject_frames(&frames, &config);
+        assert_eq!(summary.input_frames, frames.len());
+
+        let mut stream = TcpStream::connect(&addr).unwrap();
+        let wire: Vec<u8> = degraded.concat();
+        // The server may close mid-write once the breaker trips; a broken
+        // pipe here is the degradation we are testing, not a failure.
+        let _ = stream.write_all(&wire);
+        let (replies, _closed) = read_replies(&mut stream);
+        any_reply += replies.len();
+        error_replies += replies
+            .iter()
+            .filter(|frame| matches!(frame, Frame::Error(_)))
+            .count();
+        drop(stream);
+
+        // The daemon itself must still be healthy for clean clients.
+        let mut probe = Client::connect(&addr).unwrap();
+        probe.ping().unwrap();
+        let health = probe.health().unwrap();
+        assert!(!health.shutting_down, "chaos must not stop the daemon");
+    }
+
+    assert!(any_reply > 0, "the sweep produced no replies at all");
+    assert!(
+        error_replies > 0,
+        "moderate corruption must provoke explicit Error replies"
+    );
+
+    // Zero-rate injection is byte-identical traffic: the daemon answers it
+    // exactly as it would the original frames.
+    let (clean, summary) = cordial_chaos::inject_frames(&frames, &FrameChaosConfig::default());
+    assert_eq!(clean, frames);
+    assert_eq!(summary.output_frames, summary.input_frames);
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    stream.write_all(&clean.concat()).unwrap();
+    let (replies, closed) = read_replies(&mut stream);
+    assert!(!closed, "clean traffic must not be disconnected");
+    assert!(
+        replies.iter().any(|frame| matches!(frame, Frame::Pong)),
+        "clean ping unanswered: {replies:?}"
+    );
+    assert!(
+        !replies.iter().any(|frame| matches!(frame, Frame::Error(_))),
+        "clean traffic drew an Error: {replies:?}"
+    );
+    drop(stream);
+
+    Client::connect(&addr).unwrap().shutdown().unwrap();
+    let report = server.wait().unwrap();
+    // Whatever chaos admitted, the daemon accounted for it without panicking.
+    assert!(report.stats.events <= events.len() * 3);
+}
+
+/// Deterministic breaker path: one connection repeating a CRC-corrupted
+/// frame trips the per-connection breaker (window 8, min 2 events, 50%
+/// error rate → second bad frame), which closes that socket and bumps
+/// `served.breaker.opens` — and only that socket.
+#[test]
+fn repeated_corrupt_frames_trip_the_connection_breaker() {
+    cordial_obs::set_enabled(true);
+    let opens_before = counter("served.breaker.opens");
+
+    let (dataset, pipeline) = trained_pipeline(61);
+    let server = Server::bind(pipeline, ServeConfig::default(), "127.0.0.1:0", None).unwrap();
+    let addr = server.addr().to_string();
+
+    let mut bad = encode_frame(&Frame::IngestBatch(dataset.log.events()[..4].to_vec()));
+    bad[HEADER_LEN] ^= 0xFF; // payload flip → CrcMismatch, a delimited Bad
+
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    let mut volley = Vec::new();
+    for _ in 0..4 {
+        volley.extend_from_slice(&bad);
+    }
+    let _ = stream.write_all(&volley);
+    let (replies, mut closed) = read_replies(&mut stream);
+    assert!(
+        replies.iter().any(|frame| matches!(frame, Frame::Error(_))),
+        "bad frames must draw Error replies before the trip: {replies:?}"
+    );
+    if !closed {
+        // The breaker verdict can land just after the first drain window.
+        let (_, closed_later) = read_replies(&mut stream);
+        closed = closed_later;
+    }
+    assert!(closed, "a tripped breaker must close the connection");
+    drop(stream);
+
+    assert!(
+        counter("served.breaker.opens") > opens_before,
+        "the trip must be visible in the obs registry"
+    );
+
+    // Only the abusive connection was sacrificed.
+    let mut probe = Client::connect(&addr).unwrap();
+    probe.ping().unwrap();
+    probe.shutdown().unwrap();
+    server.wait().unwrap();
+}
+
+fn counter(name: &str) -> u64 {
+    cordial_obs::snapshot()
+        .counters
+        .get(name)
+        .copied()
+        .unwrap_or(0)
+}
