@@ -1,0 +1,182 @@
+//! Durable-store throughput bench: journals millions of real simulated
+//! events into a `cordial-store` directory under the serving daemon's
+//! journaling fsync policy, then replays the whole journal back through
+//! the CRC-checked decode path. Append rate is the ceiling on how fast
+//! the daemon can admit batches under journal-before-ack; replay rate is
+//! the ceiling on crash-restart catch-up.
+//!
+//! Run with `cargo bench -p cordial-bench --bench store` (release: the
+//! committed `BENCH_store.json` floors assume optimised builds). Schema
+//! and the append/replay acceptance floors are pinned by
+//! `crates/bench/tests/bench_schema.rs`.
+
+use cordial_bench::bench_dataset;
+use cordial_mcelog::Timestamp;
+use cordial_store::{FsyncPolicy, ReplayFilter, Store, StoreConfig};
+use serde_json::Value;
+
+/// Events journaled in total (repeated, re-timed passes over the bench
+/// fleet's log — the same load shape the serve bench streams over the
+/// wire). Enough to roll through several segments so the measured rate
+/// includes segment-roll fsyncs, small enough that the bench directory
+/// stays well under 100 MiB.
+const TARGET_EVENTS: usize = 2_000_000;
+
+/// Events per `append_events` call, matching the serve bench's wire
+/// batch: one journaled batch per acked wire batch.
+const APPEND_BATCH: usize = 16384;
+
+/// The journaling fsync policy the bench measures: one fsync per
+/// `APPEND_BATCH` records. This is the bounded-loss-window setting a
+/// production daemon would run (`serve --fsync batch:16384`);
+/// `FsyncPolicy::Always` would measure the disk, not the store.
+const FSYNC_EVERY_RECORDS: u32 = APPEND_BATCH as u32;
+
+fn main() {
+    let dataset = bench_dataset();
+    let events = dataset.log.events();
+    assert!(!events.is_empty(), "bench dataset must have events");
+    let span_ms = events
+        .iter()
+        .map(|e| e.time.as_millis())
+        .max()
+        .map_or(1, |max| max + 1);
+    let repeats = TARGET_EVENTS.div_ceil(events.len()).max(1) as u64;
+
+    let dir = std::env::temp_dir().join(format!("cordial-store-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = StoreConfig {
+        fsync: FsyncPolicy::Batch(FSYNC_EVERY_RECORDS),
+        ..StoreConfig::default()
+    };
+    let segment_max_bytes = config.segment_max_bytes;
+    let mut store = Store::open(&dir, config).expect("open bench store");
+
+    // Append pass: re-timed passes over the log, batched like the wire.
+    let mut appended = 0u64;
+    let started = std::time::Instant::now();
+    for repeat in 0..repeats {
+        let shift_ms = span_ms * repeat;
+        let mut batch = Vec::with_capacity(APPEND_BATCH);
+        for event in events {
+            let mut event = *event;
+            event.time = Timestamp::from_millis(event.time.as_millis() + shift_ms);
+            batch.push(event);
+            if batch.len() == APPEND_BATCH {
+                store.append_events(&batch).expect("append batch");
+                appended += batch.len() as u64;
+                batch.clear();
+            }
+        }
+        if !batch.is_empty() {
+            store.append_events(&batch).expect("append tail batch");
+            appended += batch.len() as u64;
+        }
+    }
+    store.sync().expect("final sync");
+    let append_elapsed = started.elapsed().as_secs_f64();
+    let append_rate = appended as f64 / append_elapsed;
+
+    let report = store.inspect();
+    println!(
+        "store/append   {appended} events in {append_elapsed:.2}s across {} segments ({} bytes)   {append_rate:.0} events/sec",
+        report.segments.len(),
+        report.bytes,
+    );
+
+    // Replay pass: reopen cold (recovery scan included) and decode the
+    // whole journal back, the way a crashed daemon catches up.
+    drop(store);
+    let opened = std::time::Instant::now();
+    let store = Store::open(&dir, StoreConfig::default()).expect("reopen bench store");
+    let records = store.replay(&ReplayFilter::default()).expect("full replay");
+    let replay_elapsed = opened.elapsed().as_secs_f64();
+    let replay_rate = records.len() as f64 / replay_elapsed;
+    assert_eq!(
+        records.len() as u64,
+        appended,
+        "replay must return every appended record"
+    );
+    println!(
+        "store/replay   {} records in {replay_elapsed:.2}s (open + recovery scan included)   {replay_rate:.0} records/sec",
+        records.len(),
+    );
+
+    write_store_json(
+        segment_max_bytes,
+        repeats,
+        appended,
+        append_elapsed,
+        append_rate,
+        report.segments.len(),
+        report.bytes,
+        records.len() as u64,
+        replay_elapsed,
+        replay_rate,
+    );
+
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Serialises the committed throughput artefact (`BENCH_store.json` at
+/// the workspace root). Schema pinned by
+/// `crates/bench/tests/bench_schema.rs`.
+#[allow(clippy::too_many_arguments)]
+fn write_store_json(
+    segment_max_bytes: u64,
+    repeats: u64,
+    appended: u64,
+    append_elapsed: f64,
+    append_rate: f64,
+    segments: usize,
+    bytes: u64,
+    replayed: u64,
+    replay_elapsed: f64,
+    replay_rate: f64,
+) {
+    let doc = Value::Map(vec![
+        ("schema_version".into(), Value::U64(1)),
+        (
+            "source".into(),
+            Value::Str("cargo bench -p cordial-bench --bench store".into()),
+        ),
+        (
+            "config".into(),
+            Value::Map(vec![
+                ("append_batch".into(), Value::U64(APPEND_BATCH as u64)),
+                (
+                    "fsync_every_records".into(),
+                    Value::U64(u64::from(FSYNC_EVERY_RECORDS)),
+                ),
+                ("segment_max_bytes".into(), Value::U64(segment_max_bytes)),
+                ("repeats".into(), Value::U64(repeats)),
+            ]),
+        ),
+        (
+            "append".into(),
+            Value::Map(vec![
+                ("events".into(), Value::U64(appended)),
+                ("elapsed_s".into(), Value::F64(append_elapsed)),
+                ("events_per_sec".into(), Value::F64(append_rate)),
+                ("segments".into(), Value::U64(segments as u64)),
+                ("bytes".into(), Value::U64(bytes)),
+            ]),
+        ),
+        (
+            "replay".into(),
+            Value::Map(vec![
+                ("records".into(), Value::U64(replayed)),
+                ("elapsed_s".into(), Value::F64(replay_elapsed)),
+                ("records_per_sec".into(), Value::F64(replay_rate)),
+            ]),
+        ),
+    ]);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_store.json");
+    let body = serde_json::to_string_pretty(&doc).expect("serialise") + "\n";
+    if let Err(e) = std::fs::write(path, body) {
+        println!("store: could not write {path}: {e}");
+    } else {
+        println!("store: wrote {path}");
+    }
+}

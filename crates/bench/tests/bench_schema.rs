@@ -1,7 +1,8 @@
 //! Schema and acceptance pins for the committed benchmark artefacts:
 //! `BENCH_hotpath.json` (written by `cargo bench -p cordial-bench --bench
-//! perf -- hotpath`), `BENCH_obs.json` (written by `-- obs_recorder`) and
-//! `BENCH_serve.json` (written by `--bench serve`).
+//! perf -- hotpath`), `BENCH_obs.json` (written by `-- obs_recorder`),
+//! `BENCH_serve.json` (written by `--bench serve`) and `BENCH_store.json`
+//! (written by `--bench store`).
 //! CI runs a `--sample-size 10` smoke of those benches and then this
 //! test, so a bench change that breaks an artefact's shape — or regresses
 //! the committed hot-path ratios / recorder overhead / serving saturation
@@ -145,6 +146,84 @@ fn committed_serve_artefact_matches_schema_and_saturation_floor() {
     );
     assert!(as_f64(get(server, "devices"), "server.devices") >= 1.0);
     as_f64(get(server, "banks_planned"), "server.banks_planned");
+}
+
+#[test]
+fn committed_store_artefact_matches_schema_and_throughput_floors() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_store.json");
+    let body = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("BENCH_store.json must be committed at {path}: {e}"));
+    let doc = serde_json::parse_value_str(&body).expect("valid JSON");
+
+    assert_eq!(as_f64(get(&doc, "schema_version"), "schema_version"), 1.0);
+    match get(&doc, "source") {
+        Value::Str(s) => assert!(
+            s.contains("cargo bench") && s.contains("store"),
+            "source must record the producing command, got {s:?}"
+        ),
+        other => panic!("source: expected string, got {other:?}"),
+    }
+
+    let config = get(&doc, "config");
+    for key in [
+        "append_batch",
+        "fsync_every_records",
+        "segment_max_bytes",
+        "repeats",
+    ] {
+        assert!(
+            as_f64(get(config, key), key) >= 1.0,
+            "config.{key} must be at least 1"
+        );
+    }
+
+    let append = get(&doc, "append");
+    let events = as_f64(get(append, "events"), "append.events");
+    let append_elapsed = as_f64(get(append, "elapsed_s"), "append.elapsed_s");
+    let append_rate = as_f64(get(append, "events_per_sec"), "append.events_per_sec");
+    let segments = as_f64(get(append, "segments"), "append.segments");
+    as_f64(get(append, "bytes"), "append.bytes");
+    assert!(
+        events >= 1_000_000.0,
+        "the journaling run must append at least a million events, got {events}"
+    );
+    assert!(append_elapsed > 0.0 && append_elapsed.is_finite());
+    assert!(
+        (append_rate - events / append_elapsed).abs() <= 1e-6 * append_rate.abs(),
+        "events_per_sec {append_rate} inconsistent with {events}/{append_elapsed}"
+    );
+    assert!(
+        segments >= 2.0,
+        "the run must roll segments so the measured rate includes roll fsyncs, got {segments}"
+    );
+
+    let replay = get(&doc, "replay");
+    let records = as_f64(get(replay, "records"), "replay.records");
+    let replay_elapsed = as_f64(get(replay, "elapsed_s"), "replay.elapsed_s");
+    let replay_rate = as_f64(get(replay, "records_per_sec"), "replay.records_per_sec");
+    assert!(
+        (records - events).abs() < 0.5,
+        "replay must return every appended record: {records} vs {events}"
+    );
+    assert!(replay_elapsed > 0.0 && replay_elapsed.is_finite());
+    assert!(
+        (replay_rate - records / replay_elapsed).abs() <= 1e-6 * replay_rate.abs(),
+        "records_per_sec {replay_rate} inconsistent with {records}/{replay_elapsed}"
+    );
+
+    // The durability acceptance floors: journal-before-ack must not be
+    // what caps the daemon (admission floor is 1M events/sec, so the
+    // journal must append well past 200k under batched fsync), and a
+    // crash restart must replay a full journal at at least 200k
+    // records/sec so catch-up stays in seconds, not minutes.
+    assert!(
+        append_rate >= 200_000.0,
+        "committed append rate {append_rate:.0} events/sec below the 200k floor"
+    );
+    assert!(
+        replay_rate >= 200_000.0,
+        "committed replay rate {replay_rate:.0} records/sec below the 200k floor"
+    );
 }
 
 #[test]

@@ -1,0 +1,241 @@
+//! Seeded disk-fault injection: what a crash leaves behind on storage.
+//!
+//! Appending processes die in characteristic ways, and each leaves a
+//! different shape on disk:
+//!
+//! * **torn tail** — the process died mid-`write`; the file ends in the
+//!   middle of a record ([`DiskFaultInjector::torn_tail`]);
+//! * **short write** — only a prefix of the final append reached the disk
+//!   before power was lost ([`DiskFaultInjector::short_write`]);
+//! * **garbage tail** — the filesystem grew the file (or replayed stale
+//!   blocks) so valid data is followed by bytes that were never written
+//!   by the application ([`DiskFaultInjector::garbage_tail`]);
+//! * **bit rot** — one byte flipped at rest
+//!   ([`DiskFaultInjector::bit_rot`]).
+//!
+//! Like the rest of the crate, the injector is codec-agnostic (it mutates
+//! opaque byte images) and fully seeded — the same seed always produces
+//! the same damage. [`crash_sweep`] is the exhaustive variant: it visits
+//! **every** byte offset as a kill point, which is how the store's
+//! recovery proptest proves that no single crash instant can corrupt the
+//! clean prefix.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::io;
+use std::path::Path;
+
+/// One applied disk fault, for assertions and failure messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiskFault {
+    /// The file was cut to `keep` bytes mid-record.
+    TornTail {
+        /// Bytes that survived.
+        keep: usize,
+    },
+    /// Of an `intended`-byte append, only `wrote` bytes landed.
+    ShortWrite {
+        /// Bytes of the append that reached the disk.
+        wrote: usize,
+        /// Bytes the application asked to write.
+        intended: usize,
+    },
+    /// `appended` bytes of never-written garbage follow the valid data.
+    GarbageTail {
+        /// Garbage bytes appended.
+        appended: usize,
+    },
+    /// The byte at `offset` was flipped.
+    BitRot {
+        /// Offset of the flipped byte.
+        offset: usize,
+    },
+}
+
+/// Seeded source of crash damage for byte images.
+#[derive(Debug)]
+pub struct DiskFaultInjector {
+    rng: StdRng,
+}
+
+impl DiskFaultInjector {
+    /// An injector whose damage is a pure function of `seed` and the call
+    /// sequence.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed ^ 0x6469_736b), // "disk"
+        }
+    }
+
+    /// Cuts the image at a seeded offset in `min_keep..len` — the torn
+    /// tail a mid-write crash leaves. No-op (returning `keep = len`) when
+    /// the image has nothing past `min_keep`.
+    pub fn torn_tail(&mut self, bytes: &mut Vec<u8>, min_keep: usize) -> DiskFault {
+        if bytes.len() <= min_keep {
+            return DiskFault::TornTail { keep: bytes.len() };
+        }
+        let keep = self.rng.gen_range(min_keep..bytes.len());
+        bytes.truncate(keep);
+        DiskFault::TornTail { keep }
+    }
+
+    /// Appends only a seeded strict prefix of `append` — the short write
+    /// a dying disk queue performs. An empty `append` lands nothing.
+    pub fn short_write(&mut self, bytes: &mut Vec<u8>, append: &[u8]) -> DiskFault {
+        let wrote = if append.is_empty() {
+            0
+        } else {
+            self.rng.gen_range(0..append.len())
+        };
+        bytes.extend_from_slice(&append[..wrote]);
+        DiskFault::ShortWrite {
+            wrote,
+            intended: append.len(),
+        }
+    }
+
+    /// Appends `1..=max_garbage` seeded garbage bytes — the stale-block /
+    /// preallocation tail a crashed filesystem can expose.
+    pub fn garbage_tail(&mut self, bytes: &mut Vec<u8>, max_garbage: usize) -> DiskFault {
+        let appended = self.rng.gen_range(1..=max_garbage.max(1));
+        for _ in 0..appended {
+            bytes.push(self.rng.gen_range(0..=255u32) as u8);
+        }
+        DiskFault::GarbageTail { appended }
+    }
+
+    /// Flips one byte at a seeded offset in `min_offset..len` (a
+    /// guaranteed-nonzero mask, so the byte really changes). `None` when
+    /// the image has nothing past `min_offset`.
+    pub fn bit_rot(&mut self, bytes: &mut [u8], min_offset: usize) -> Option<DiskFault> {
+        if bytes.len() <= min_offset {
+            return None;
+        }
+        let offset = self.rng.gen_range(min_offset..bytes.len());
+        let mask = self.rng.gen_range(1..=255u32) as u8;
+        bytes[offset] ^= mask;
+        Some(DiskFault::BitRot { offset })
+    }
+}
+
+/// Kill-at-every-byte-offset sweep: calls `check(cut, prefix)` for every
+/// cut point in `start..=bytes.len()` — every instant a crash could have
+/// stopped an append. Exhaustive rather than sampled: recovery bugs love
+/// the one offset a random sweep misses (a frame boundary, a length word's
+/// middle byte).
+pub fn crash_sweep(bytes: &[u8], start: usize, mut check: impl FnMut(usize, &[u8])) {
+    for cut in start..=bytes.len() {
+        check(cut, &bytes[..cut]);
+    }
+}
+
+/// Applies `damage` to the byte image of the file at `path`, writing the
+/// damaged image back in place. The bridge between the pure injector and
+/// on-disk stores under test.
+///
+/// # Errors
+///
+/// Propagates read/write failures on `path`.
+pub fn damage_file(
+    path: &Path,
+    damage: impl FnOnce(&mut Vec<u8>) -> DiskFault,
+) -> io::Result<DiskFault> {
+    let mut bytes = std::fs::read(path)?;
+    let fault = damage(&mut bytes);
+    std::fs::write(path, &bytes)?;
+    Ok(fault)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn image() -> Vec<u8> {
+        (0..200u8).collect()
+    }
+
+    #[test]
+    fn damage_is_deterministic_per_seed() {
+        let mut a = image();
+        let mut b = image();
+        let mut inj_a = DiskFaultInjector::new(42);
+        let mut inj_b = DiskFaultInjector::new(42);
+        assert_eq!(inj_a.torn_tail(&mut a, 10), inj_b.torn_tail(&mut b, 10));
+        assert_eq!(
+            inj_a.garbage_tail(&mut a, 32),
+            inj_b.garbage_tail(&mut b, 32)
+        );
+        assert_eq!(inj_a.bit_rot(&mut a, 0), inj_b.bit_rot(&mut b, 0));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn torn_tail_respects_the_floor() {
+        for seed in 0..32 {
+            let mut bytes = image();
+            let fault = DiskFaultInjector::new(seed).torn_tail(&mut bytes, 32);
+            let DiskFault::TornTail { keep } = fault else {
+                panic!("wrong fault kind");
+            };
+            assert!((32..200).contains(&keep));
+            assert_eq!(bytes.len(), keep);
+        }
+    }
+
+    #[test]
+    fn short_write_lands_a_strict_prefix() {
+        for seed in 0..32 {
+            let mut bytes = image();
+            let append: Vec<u8> = (0..50u8).collect();
+            let fault = DiskFaultInjector::new(seed).short_write(&mut bytes, &append);
+            let DiskFault::ShortWrite { wrote, intended } = fault else {
+                panic!("wrong fault kind");
+            };
+            assert_eq!(intended, 50);
+            assert!(wrote < 50, "a short write must lose at least one byte");
+            assert_eq!(bytes.len(), 200 + wrote);
+            assert_eq!(&bytes[200..], &append[..wrote]);
+        }
+    }
+
+    #[test]
+    fn bit_rot_changes_exactly_one_byte() {
+        let clean = image();
+        let mut rotten = image();
+        let fault = DiskFaultInjector::new(7).bit_rot(&mut rotten, 0);
+        let Some(DiskFault::BitRot { offset }) = fault else {
+            panic!("flip must land in a non-empty image");
+        };
+        let diffs: Vec<usize> = (0..clean.len())
+            .filter(|&i| clean[i] != rotten[i])
+            .collect();
+        assert_eq!(diffs, vec![offset]);
+    }
+
+    #[test]
+    fn crash_sweep_visits_every_offset_once() {
+        let bytes = image();
+        let mut seen = Vec::new();
+        crash_sweep(&bytes, 5, |cut, prefix| {
+            assert_eq!(prefix.len(), cut);
+            seen.push(cut);
+        });
+        let expected: Vec<usize> = (5..=bytes.len()).collect();
+        assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn damage_file_round_trips_through_the_filesystem() {
+        let path = std::env::temp_dir().join(format!("chaos-disk-{}", std::process::id()));
+        std::fs::write(&path, image()).unwrap();
+        let fault = damage_file(&path, |bytes| {
+            DiskFaultInjector::new(3).torn_tail(bytes, 10)
+        })
+        .unwrap();
+        let DiskFault::TornTail { keep } = fault else {
+            panic!("wrong fault kind");
+        };
+        assert_eq!(std::fs::read(&path).unwrap().len(), keep);
+        let _ = std::fs::remove_file(&path);
+    }
+}

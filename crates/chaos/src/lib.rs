@@ -14,6 +14,10 @@
 //!   tail truncation, duplication) for length-prefixed wire protocols
 //!   like cordial-served's, without depending on the codec under attack
 //!   ([`FrameChaosConfig`]);
+//! * [`DiskFaultInjector`] damages on-disk byte images the way crashes
+//!   do — torn tails, short writes, garbage tails, bit rot — and
+//!   [`crash_sweep`] exhaustively replays a kill at every byte offset,
+//!   which is how cordial-store proves its clean-prefix recovery;
 //! * [`run_harness`] drives the full simulate → train → monitor pipeline
 //!   under injection and checks the suite's robustness invariants: no
 //!   panics anywhere, a complete [`MonitorStats`](cordial::monitor::MonitorStats)
@@ -31,10 +35,12 @@
 // The whole point of this crate is that nothing panics on degraded input.
 #![warn(clippy::unwrap_used, clippy::expect_used)]
 
+mod disk;
 mod frames;
 mod harness;
 mod inject;
 
+pub use disk::{crash_sweep, damage_file, DiskFault, DiskFaultInjector};
 pub use frames::{inject_frames, FrameChaosConfig, FrameSummary};
 pub use harness::{
     degradation_sweep, run_harness, HarnessConfig, HarnessReport, InvariantCheck, PanicStage,

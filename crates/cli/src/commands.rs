@@ -12,6 +12,7 @@ use cordial_chaos::{run_harness, ChaosConfig, HarnessConfig};
 use cordial_faultsim::{generate_fleet_dataset, FleetDatasetConfig, SparingBudget};
 use cordial_fleet::{run_fleet_harness, BreakerConfig, FleetHarnessConfig, GateConfig};
 use cordial_served::{run_load, signal, Client, ServeConfig, Server};
+use cordial_store::{DeviceKey, FsyncPolicy, Record, ReplayFilter, Store, StoreConfig};
 use cordial_topology::BankAddress;
 
 use crate::io;
@@ -94,7 +95,18 @@ impl Args {
 
 /// Entry point used by `main`.
 pub fn dispatch(args: &[String]) -> Result<(), String> {
-    let args = Args::parse(args)?;
+    // `store` carries an action word before its flags
+    // (`store inspect --dir D`); lift it out so flag parsing stays strict
+    // for every other subcommand.
+    let mut args = args.to_vec();
+    let mut store_action = None;
+    if args.first().map(String::as_str) == Some("store") {
+        if args.len() < 2 || args[1].starts_with("--") {
+            return Err("store needs an action: inspect | replay | compact".into());
+        }
+        store_action = Some(args.remove(1));
+    }
+    let args = Args::parse(&args)?;
     // `--metrics-out` works on every subcommand: it switches recording on
     // up front and exports whatever the command recorded on success.
     let metrics_out = args.flags.get("metrics-out").map(PathBuf::from);
@@ -129,6 +141,7 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
         "serve" => serve(&args),
         "load" => load(&args),
         "stats" => stats(&args),
+        "store" => store(&args, store_action.as_deref().unwrap_or_default()),
         unknown => Err(format!("unknown subcommand `{unknown}`")),
     };
     if result.is_ok() {
@@ -340,10 +353,10 @@ fn run(args: &Args) -> Result<(), String> {
 
     let (cordial, mut monitor) = match args.flags.get("resume") {
         Some(path) => {
-            let file: io::CheckpointFile = io::read_json(Path::new(path))?;
-            let monitor = CordialMonitor::restore(file.pipeline.clone(), file.state)
+            let (pipeline, state) = io::read_checkpoint(Path::new(path))?;
+            let monitor = CordialMonitor::restore(pipeline.clone(), state)
                 .map_err(|e| format!("cannot resume from {path}: {e}"))?;
-            (file.pipeline, monitor)
+            (pipeline, monitor)
         }
         None => {
             let split = split_banks(&dataset, 0.7, seed);
@@ -397,10 +410,10 @@ fn monitor(args: &Args) -> Result<(), String> {
 
     let (cordial, mut mon) = match (args.flags.get("resume"), args.flags.get("pipeline")) {
         (Some(path), _) => {
-            let file: io::CheckpointFile = io::read_json(Path::new(path))?;
-            let monitor = CordialMonitor::restore(file.pipeline.clone(), file.state)
+            let (pipeline, state) = io::read_checkpoint(Path::new(path))?;
+            let monitor = CordialMonitor::restore(pipeline.clone(), state)
                 .map_err(|e| format!("cannot resume from {path}: {e}"))?;
-            (file.pipeline, monitor)
+            (pipeline, monitor)
         }
         (None, Some(path)) => {
             let cordial = io::read_pipeline(Path::new(path))?;
@@ -579,8 +592,18 @@ fn serve(args: &Args) -> Result<(), String> {
         )
         .map_err(|_| "--retry-after-ms does not fit in u32".to_string())?,
         checkpoint_dir: args.flags.get("checkpoint-dir").map(PathBuf::from),
+        store_dir: args.flags.get("store-dir").map(PathBuf::from),
+        fsync: match args.flags.get("fsync") {
+            None => defaults.fsync,
+            Some(text) => text
+                .parse::<FsyncPolicy>()
+                .map_err(|e| format!("--fsync: {e}"))?,
+        },
         ..defaults
     };
+    if let Some(dir) = &config.store_dir {
+        println!("journaling to {} (fsync {})", dir.display(), config.fsync);
+    }
     let port = args.u64_flag("port", 0)?;
     let metrics_port = args.u64_flag("metrics-port", 0)?;
     let server = Server::bind(
@@ -649,6 +672,167 @@ fn load(args: &Args) -> Result<(), String> {
             .map_err(|e| format!("shutdown request failed: {e}"))?;
     }
     Ok(())
+}
+
+/// Parses a `--device` value in the store's own rendering,
+/// `node0/npu1/hbm0` (digit-only shorthand `0/1/0` also accepted).
+fn parse_device_key(text: &str) -> Result<DeviceKey, String> {
+    let parts: Vec<&str> = text.split('/').collect();
+    let [node, npu, hbm] = parts.as_slice() else {
+        return Err(format!(
+            "invalid --device `{text}` (expected node0/npu1/hbm0)"
+        ));
+    };
+    let field = |part: &str, prefix: &str| -> Result<u64, String> {
+        part.strip_prefix(prefix)
+            .unwrap_or(part)
+            .parse()
+            .map_err(|_| format!("invalid --device `{text}` (expected node0/npu1/hbm0)"))
+    };
+    Ok(DeviceKey {
+        node: u32::try_from(field(node, "node")?)
+            .map_err(|_| format!("--device node index out of range in `{text}`"))?,
+        npu: u8::try_from(field(npu, "npu")?)
+            .map_err(|_| format!("--device npu index out of range in `{text}`"))?,
+        hbm: u8::try_from(field(hbm, "hbm")?)
+            .map_err(|_| format!("--device hbm index out of range in `{text}`"))?,
+    })
+}
+
+/// Operates on a durable store directory written by `serve --store-dir`
+/// (or the fleet supervisor):
+///
+/// ```text
+/// cordial-cli store inspect --dir journal/
+/// cordial-cli store replay  --dir journal/ [--device node0/npu0/hbm0]
+///                           [--since MS] [--until MS] [--min-seq N]
+///                           [--events-only true] [--limit N]
+/// cordial-cli store compact --dir journal/
+/// ```
+///
+/// Every action runs crash recovery first and reports what it cut, so
+/// `inspect` doubles as a post-crash health check.
+fn store(args: &Args, action: &str) -> Result<(), String> {
+    let dir = args.path("dir")?;
+    if !dir.is_dir() {
+        return Err(format!("store directory {} does not exist", dir.display()));
+    }
+    let mut store = Store::open(&dir, StoreConfig::default())
+        .map_err(|e| format!("cannot open store {}: {e}", dir.display()))?;
+    let recovery = store.recovery().clone();
+    if let Some(corruption) = &recovery.corruption {
+        println!(
+            "recovery: {corruption} ({} bytes cut, {} segments dropped)",
+            recovery.truncated_bytes,
+            recovery.dropped_segments.len()
+        );
+    }
+    match action {
+        "inspect" => {
+            let report = store.inspect();
+            println!(
+                "{}: {} records ({} events, {} checkpoints) in {} segments, {} bytes, next seq {}",
+                report.dir.display(),
+                report.records,
+                report.events,
+                report.checkpoints,
+                report.segments.len(),
+                report.bytes,
+                report.next_seq
+            );
+            for segment in &report.segments {
+                let span = match (segment.first_seq, segment.last_seq) {
+                    (Some(first), Some(last)) => format!("seq {first}..={last}"),
+                    _ => "empty".to_string(),
+                };
+                println!(
+                    "  {} {span}: {} records ({} events, {} checkpoints), {} bytes",
+                    segment.name,
+                    segment.records,
+                    segment.events,
+                    segment.checkpoints,
+                    segment.bytes
+                );
+            }
+            Ok(())
+        }
+        "replay" => {
+            let filter = ReplayFilter {
+                device: match args.flags.get("device") {
+                    Some(text) => Some(parse_device_key(text)?),
+                    None => None,
+                },
+                since_ms: args
+                    .flags
+                    .get("since")
+                    .map(|_| args.u64_flag("since", 0))
+                    .transpose()?,
+                until_ms: args
+                    .flags
+                    .get("until")
+                    .map(|_| args.u64_flag("until", 0))
+                    .transpose()?,
+                min_seq: args
+                    .flags
+                    .get("min-seq")
+                    .map(|_| args.u64_flag("min-seq", 0))
+                    .transpose()?,
+                events_only: args.flags.get("events-only").map(String::as_str) == Some("true"),
+            };
+            let records = store
+                .replay(&filter)
+                .map_err(|e| format!("replay failed: {e}"))?;
+            let limit = args.usize_flag("limit", 0)?;
+            let shown = if limit > 0 {
+                limit.min(records.len())
+            } else {
+                records.len()
+            };
+            for record in &records[..shown] {
+                match record {
+                    Record::Event { seq, event } => println!(
+                        "seq={seq} event device={} time_ms={} type={} addr={}",
+                        DeviceKey::of_event(event),
+                        event.time.as_millis(),
+                        event.error_type,
+                        event.addr
+                    ),
+                    Record::Checkpoint {
+                        seq,
+                        device,
+                        journal_seq,
+                        payload,
+                    } => println!(
+                        "seq={seq} checkpoint device={device} journal_seq={journal_seq} payload_bytes={}",
+                        payload.len()
+                    ),
+                }
+            }
+            if shown < records.len() {
+                println!("… {} more records (raise --limit)", records.len() - shown);
+            }
+            println!("({} records matched)", records.len());
+            Ok(())
+        }
+        "compact" => {
+            let report = store
+                .compact()
+                .map_err(|e| format!("compaction failed: {e}"))?;
+            println!(
+                "compacted {} -> {} records ({} events and {} checkpoints dropped), {} -> {} bytes",
+                report.records_before,
+                report.records_after,
+                report.dropped_events,
+                report.dropped_checkpoints,
+                report.bytes_before,
+                report.bytes_after
+            );
+            Ok(())
+        }
+        other => Err(format!(
+            "unknown store action `{other}` (inspect | replay | compact)"
+        )),
+    }
 }
 
 /// Renders a metrics file written by `--metrics-out` as a readable table.
@@ -751,5 +935,48 @@ mod tests {
     fn unknown_subcommand_is_an_error() {
         let owned = vec!["frobnicate".to_string()];
         assert!(dispatch(&owned).is_err());
+    }
+
+    #[test]
+    fn device_keys_parse_in_both_renderings() {
+        let key = DeviceKey {
+            node: 3,
+            npu: 1,
+            hbm: 0,
+        };
+        assert_eq!(parse_device_key("node3/npu1/hbm0").unwrap(), key);
+        assert_eq!(parse_device_key("3/1/0").unwrap(), key);
+        assert!(parse_device_key("node3/npu1").is_err());
+        assert!(parse_device_key("node3/npu1/hbmX").is_err());
+        assert!(parse_device_key("node3/npu999/hbm0").is_err());
+    }
+
+    #[test]
+    fn store_requires_an_action_word() {
+        let bare = vec!["store".to_string()];
+        let err = dispatch(&bare).unwrap_err();
+        assert!(err.contains("inspect | replay | compact"), "got: {err}");
+        let flags_only = vec!["store".to_string(), "--dir".to_string(), "x".to_string()];
+        assert!(dispatch(&flags_only).is_err());
+        let unknown = vec![
+            "store".to_string(),
+            "defragment".to_string(),
+            "--dir".to_string(),
+            std::env::temp_dir().display().to_string(),
+        ];
+        let err = dispatch(&unknown).unwrap_err();
+        assert!(err.contains("unknown store action"), "got: {err}");
+    }
+
+    #[test]
+    fn store_rejects_missing_directories() {
+        let owned = vec![
+            "store".to_string(),
+            "inspect".to_string(),
+            "--dir".to_string(),
+            "/nonexistent/cordial-store".to_string(),
+        ];
+        let err = dispatch(&owned).unwrap_err();
+        assert!(err.contains("does not exist"), "got: {err}");
     }
 }

@@ -87,23 +87,16 @@ pub fn read_json<T: for<'de> Deserialize<'de>>(path: &Path) -> Result<T, String>
     serde_json::from_str(&text).map_err(|e| format!("{}: malformed JSON: {e}", path.display()))
 }
 
-/// Writes a JSON value **atomically**: the bytes land in a sibling
-/// temporary file first and are moved into place with a single rename, so
-/// a crash mid-write can never leave a truncated file at `path`. This is
-/// what makes `--checkpoint` files safe to resume from.
+/// Writes a JSON value **atomically and durably**: the bytes stage
+/// through a sibling temporary file, are fsynced, renamed into place,
+/// and the parent directory is fsynced ([`cordial_obs::fsio::durable_write`]),
+/// so neither a crash mid-write nor a power loss after the rename can
+/// leave a truncated file at `path`. This is what makes `--checkpoint`
+/// files safe to resume from.
 pub fn write_json_atomic<T: Serialize>(path: &Path, value: &T) -> Result<(), String> {
     let text = serde_json::to_string(value).map_err(|e| format!("serialisation failed: {e}"))?;
-    let mut tmp = path.as_os_str().to_owned();
-    tmp.push(".tmp");
-    let tmp = std::path::PathBuf::from(tmp);
-    fs::write(&tmp, text).map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
-    fs::rename(&tmp, path).map_err(|e| {
-        format!(
-            "cannot move {} into place as {}: {e}",
-            tmp.display(),
-            path.display()
-        )
-    })
+    cordial_obs::fsio::durable_write(path, text.as_bytes())
+        .map_err(|e| format!("cannot write {}: {e}", path.display()))
 }
 
 /// On-disk checkpoint of a monitoring session: the (immutable) trained
@@ -120,6 +113,33 @@ pub struct CheckpointFile {
 /// Reads a trained pipeline.
 pub fn read_pipeline(path: &Path) -> Result<Cordial, String> {
     read_json(path)
+}
+
+/// Reads a `--resume` checkpoint **migration-aware**: the monitor state is
+/// routed through the checkpoint migration registry
+/// ([`cordial::checkpoint::load_checkpoint_value`]), so files written by
+/// older releases — including pre-versioning v0 files with no
+/// `schema_version` — load through the upgrade chain, and files from a
+/// future release fail with the greppable "unsupported future schema
+/// version" error instead of restoring garbage.
+pub fn read_checkpoint(
+    path: &Path,
+) -> Result<(Cordial, cordial::monitor::MonitorCheckpoint), String> {
+    let text =
+        fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let value = serde_json::parse_value_str(&text)
+        .map_err(|e| format!("{}: malformed JSON: {e}", path.display()))?;
+    let pipeline: Cordial = value
+        .get("pipeline")
+        .ok_or_else(|| format!("{}: checkpoint has no `pipeline` field", path.display()))
+        .and_then(|v| Deserialize::from_value(v).map_err(|e| format!("{}: {e}", path.display())))?;
+    let state = value
+        .get("state")
+        .cloned()
+        .ok_or_else(|| format!("{}: checkpoint has no `state` field", path.display()))?;
+    let (state, _from_version) = cordial::checkpoint::load_checkpoint_value(state)
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok((pipeline, state))
 }
 
 /// Whether a metrics path selects the JSON format (by `.json` extension);
@@ -218,6 +238,91 @@ mod tests {
         write_metrics(&prom_path, &snapshot).unwrap();
         assert_eq!(read_metrics(&prom_path).unwrap(), snapshot.sanitized());
         let _ = fs::remove_file(prom_path);
+    }
+
+    #[test]
+    fn resume_checkpoints_load_migration_aware() {
+        use cordial::monitor::{CordialMonitor, CHECKPOINT_SCHEMA_VERSION};
+        use cordial::pipeline::Cordial;
+        use cordial::split::split_banks;
+        use cordial::CordialConfig;
+        use cordial_faultsim::SparingBudget;
+        use cordial_store::migrate::set_version;
+        use serde::Value;
+
+        /// Rewrites the `state` subtree of a checkpoint file's JSON tree.
+        fn map_state(value: Value, f: impl Fn(Value) -> Value) -> Value {
+            match value {
+                Value::Map(fields) => Value::Map(
+                    fields
+                        .into_iter()
+                        .map(|(key, sub)| {
+                            if key == "state" {
+                                let sub = f(sub);
+                                (key, sub)
+                            } else {
+                                (key, sub)
+                            }
+                        })
+                        .collect(),
+                ),
+                other => other,
+            }
+        }
+
+        let dataset = generate_fleet_dataset(&FleetDatasetConfig::small(), 9);
+        let split = split_banks(&dataset, 0.7, 9);
+        let pipeline = Cordial::fit(&dataset, &split.train, &CordialConfig::default()).unwrap();
+        let mut monitor = CordialMonitor::new(pipeline.clone(), SparingBudget::typical());
+        monitor.ingest_all(dataset.log.events().iter().copied());
+        let path = temp_path("resume.json");
+        write_json_atomic(
+            &path,
+            &CheckpointFile {
+                pipeline,
+                state: monitor.checkpoint(),
+            },
+        )
+        .unwrap();
+
+        // A current-version file loads as-is.
+        let (_, state) = read_checkpoint(&path).unwrap();
+        assert_eq!(state.schema_version(), CHECKPOINT_SCHEMA_VERSION);
+
+        let value = serde_json::parse_value_str(&fs::read_to_string(&path).unwrap()).unwrap();
+
+        // A pre-versioning (v0) file — no `schema_version` in the state —
+        // migrates on load.
+        let v0 = map_state(value.clone(), |state| match state {
+            Value::Map(fields) => Value::Map(
+                fields
+                    .into_iter()
+                    .filter(|(key, _)| key != "schema_version")
+                    .collect(),
+            ),
+            other => other,
+        });
+        let v0_path = temp_path("resume-v0.json");
+        fs::write(&v0_path, serde_json::to_string(&v0).unwrap()).unwrap();
+        let (_, state) = read_checkpoint(&v0_path).unwrap();
+        assert_eq!(state.schema_version(), CHECKPOINT_SCHEMA_VERSION);
+
+        // A file from a future release fails with the greppable error.
+        let future = map_state(value, |mut state| {
+            set_version(&mut state, u64::from(CHECKPOINT_SCHEMA_VERSION) + 9).unwrap();
+            state
+        });
+        let future_path = temp_path("resume-future.json");
+        fs::write(&future_path, serde_json::to_string(&future).unwrap()).unwrap();
+        let err = read_checkpoint(&future_path).unwrap_err();
+        assert!(
+            err.contains("unsupported future schema version"),
+            "got: {err}"
+        );
+
+        for p in [path, v0_path, future_path] {
+            let _ = fs::remove_file(p);
+        }
     }
 
     #[test]

@@ -27,7 +27,10 @@
 //!   generator and prints the throughput report as JSON;
 //! * `stats` pretty-prints a metrics file written with `--metrics-out`;
 //!   `--watch N` re-renders it N times like `watch(1)` and appends the
-//!   health-watchdog section when `obs.watchdog.*` telemetry is present.
+//!   health-watchdog section when `obs.watchdog.*` telemetry is present;
+//! * `store` inspects, replays or compacts a durable store directory
+//!   written by `serve --store-dir` (crash recovery runs on every open
+//!   and whatever it cut is reported first).
 //!
 //! Every subcommand accepts `--metrics-out FILE` to export the run's
 //! telemetry (Prometheus text, or JSON for a `.json` path),
@@ -63,11 +66,12 @@ fn main() -> ExitCode {
             cordial_obs::error!("  cordial-cli monitor  --log FILE (--pipeline FILE | --resume CKPT) [--checkpoint CKPT] [--checkpoint-every N] [--abort-after N] [--reorder-bound-ms MS]");
             cordial_obs::error!("  cordial-cli chaos    [--scale S] [--seed N] [--chaos-seed N] [--corruption R] [--duplication R] [--reorder R] [--drops R] [--truncate F] [--threads N]");
             cordial_obs::error!("  cordial-cli fleet    [--scale S] [--seed N] [--devices N] [--kill R] [--corrupt R] [--min-availability R] [--breaker-window N] [--breaker-trip-rate R] [--breaker-min-events N] [--breaker-backoff-ms MS] [--breaker-max-retries N] [--promotion-margin R] [--metrics-out FILE]");
-            cordial_obs::error!("  cordial-cli serve    [--scale S] [--seed N] [--port P] [--metrics-port P] [--shards N] [--queue-cap N] [--retry-after-ms MS] [--checkpoint-dir DIR] [--port-file FILE] [--metrics-port-file FILE]");
+            cordial_obs::error!("  cordial-cli serve    [--scale S] [--seed N] [--port P] [--metrics-port P] [--shards N] [--queue-cap N] [--retry-after-ms MS] [--checkpoint-dir DIR] [--store-dir DIR] [--fsync always|never|batch:N] [--port-file FILE] [--metrics-port-file FILE]");
             cordial_obs::error!("  cordial-cli load     --addr HOST:PORT [--scale S] [--seed N] [--batch N] [--repeats N] [--shutdown true] [--out FILE]");
             cordial_obs::error!(
                 "  cordial-cli stats    --metrics FILE [--watch N] [--watch-interval-ms MS]"
             );
+            cordial_obs::error!("  cordial-cli store    inspect|replay|compact --dir DIR [--device node0/npu0/hbm0] [--since MS] [--until MS] [--min-seq N] [--events-only true] [--limit N]");
             cordial_obs::error!("");
             cordial_obs::error!(
                 "global flags: [--metrics-out FILE] [--trace-out FILE] [--dump-dir DIR]"

@@ -363,3 +363,107 @@ fn stats_watch_renders_bounded_refreshes() {
 
     let _ = std::fs::remove_dir_all(dir);
 }
+
+#[test]
+fn store_subcommand_inspects_replays_and_compacts() {
+    use cordial_mcelog::{ErrorEvent, ErrorType, Timestamp};
+    use cordial_store::{DeviceKey, FsyncPolicy, Store, StoreConfig};
+    use cordial_topology::{
+        BankAddress, BankGroup, BankIndex, Channel, ColId, HbmSocket, NodeId, NpuId, PseudoChannel,
+        RowId, StackId,
+    };
+
+    let dir = workdir("store");
+    let store_dir = dir.join("journal");
+
+    // Seed a store the way the daemon would: a few journaled events for
+    // two devices, then a checkpoint covering one of them.
+    let event = |node: u32, time: u64| {
+        let bank = BankAddress::new(
+            NodeId(node),
+            NpuId(0),
+            HbmSocket(0),
+            StackId(0),
+            Channel(1),
+            PseudoChannel(0),
+            BankGroup(2),
+            BankIndex(3),
+        );
+        ErrorEvent::new(
+            bank.cell(RowId(7), ColId(1)),
+            Timestamp::from_millis(time),
+            ErrorType::Ce,
+        )
+    };
+    let mut store = Store::open(
+        &store_dir,
+        StoreConfig {
+            fsync: FsyncPolicy::Never,
+            ..StoreConfig::default()
+        },
+    )
+    .unwrap();
+    store
+        .append_events(&[
+            event(0, 1_000),
+            event(1, 2_000),
+            event(0, 3_000),
+            event(1, 4_000),
+        ])
+        .unwrap();
+    let device = DeviceKey {
+        node: 0,
+        npu: 0,
+        hbm: 0,
+    };
+    let floor = store.last_seq().unwrap();
+    store
+        .append_checkpoint(device, floor, "{\"schema_version\":1}")
+        .unwrap();
+    store.sync().unwrap();
+    drop(store);
+
+    let inspect = bin()
+        .args(["store", "inspect", "--dir", store_dir.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(inspect.status.success(), "{inspect:?}");
+    let stdout = String::from_utf8_lossy(&inspect.stdout);
+    assert!(
+        stdout.contains("5 records (4 events, 1 checkpoints)"),
+        "{stdout}"
+    );
+
+    // Device-filtered replay sees only node1's events.
+    let replay = bin()
+        .args(["store", "replay", "--dir", store_dir.to_str().unwrap()])
+        .args(["--device", "node1/npu0/hbm0", "--events-only", "true"])
+        .output()
+        .unwrap();
+    assert!(replay.status.success(), "{replay:?}");
+    let stdout = String::from_utf8_lossy(&replay.stdout);
+    assert!(stdout.contains("(2 records matched)"), "{stdout}");
+    assert!(
+        stdout.contains("time_ms=2000") && stdout.contains("time_ms=4000"),
+        "{stdout}"
+    );
+
+    // Compaction drops node0's checkpoint-covered events and keeps the rest.
+    let compact = bin()
+        .args(["store", "compact", "--dir", store_dir.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(compact.status.success(), "{compact:?}");
+    let stdout = String::from_utf8_lossy(&compact.stdout);
+    assert!(stdout.contains("compacted 5 -> 3 records"), "{stdout}");
+
+    let replay = bin()
+        .args(["store", "replay", "--dir", store_dir.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(replay.status.success(), "{replay:?}");
+    let stdout = String::from_utf8_lossy(&replay.stdout);
+    assert!(stdout.contains("(3 records matched)"), "{stdout}");
+
+    let _ = std::fs::remove_dir_all(dir);
+}

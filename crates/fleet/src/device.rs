@@ -42,6 +42,25 @@ impl DeviceId {
             | (u64::from(self.npu.index()) << 8)
             | u64::from(self.hbm.index())
     }
+
+    /// The durable store's identity for this device (same fields; the
+    /// store crate sits below the fleet and defines its own key type).
+    pub fn store_key(self) -> cordial_store::DeviceKey {
+        cordial_store::DeviceKey {
+            node: self.node.index(),
+            npu: self.npu.index(),
+            hbm: self.hbm.index(),
+        }
+    }
+
+    /// Inverse of [`DeviceId::store_key`].
+    pub fn from_store_key(key: cordial_store::DeviceKey) -> Self {
+        Self {
+            node: NodeId(key.node),
+            npu: NpuId(key.npu),
+            hbm: HbmSocket(key.hbm),
+        }
+    }
 }
 
 impl fmt::Display for DeviceId {

@@ -19,6 +19,7 @@ use cordial::monitor::{
 use cordial::pipeline::Cordial;
 use cordial_faultsim::{FleetDataset, SparingBudget};
 use cordial_mcelog::ErrorEvent;
+use cordial_store::Store;
 use cordial_topology::BankAddress;
 
 use crate::breaker::{BreakerConfig, BreakerState, CircuitBreaker};
@@ -172,6 +173,27 @@ pub struct FleetSupervisor {
     shed_total: u64,
     baseline: Option<PrecisionBaseline>,
     rolled_back: bool,
+    /// Durable checkpoint store, when attached via
+    /// [`FleetSupervisor::with_store`].
+    store: Option<Store>,
+}
+
+/// Appends one device checkpoint to the durable store. Failures are
+/// counted, not propagated — the supervisor's contract is to degrade, and
+/// the in-memory checkpoint still covers restarts within this process.
+fn persist_checkpoint(store: &mut Store, id: DeviceId, checkpoint: &MonitorCheckpoint) {
+    let payload = match serde_json::to_string(checkpoint) {
+        Ok(payload) => payload,
+        Err(_) => {
+            cordial_obs::counter!("fleet.store.checkpoint_errors").inc();
+            return;
+        }
+    };
+    let floor = store.last_seq().unwrap_or(0);
+    match store.append_checkpoint(id.store_key(), floor, &payload) {
+        Ok(_) => cordial_obs::counter!("fleet.store.checkpoints").inc(),
+        Err(_) => cordial_obs::counter!("fleet.store.checkpoint_errors").inc(),
+    }
 }
 
 impl FleetSupervisor {
@@ -193,6 +215,7 @@ impl FleetSupervisor {
             shed_total: 0,
             baseline: None,
             rolled_back: false,
+            store: None,
         };
         for id in devices {
             supervisor.register_device(id);
@@ -200,21 +223,77 @@ impl FleetSupervisor {
         supervisor
     }
 
-    /// Registers a device (idempotent): a fresh monitor on the incumbent
-    /// model behind a closed breaker.
-    pub fn register_device(&mut self, id: DeviceId) {
-        if self.devices.contains_key(&id) {
-            return;
+    /// Attaches a durable checkpoint store (builder style): devices
+    /// registered from now on restore from the store's newest checkpoint
+    /// for them, periodic and [`FleetSupervisor::finish`] checkpoints are
+    /// persisted into it, and [`FleetSupervisor::rebuild_from_store`] can
+    /// resurrect evicted devices from it across process restarts.
+    pub fn with_store(mut self, store: Store) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// Read access to the attached store, when one is configured.
+    pub fn store(&self) -> Option<&Store> {
+        self.store.as_ref()
+    }
+
+    /// Restores a monitor for `id` from the attached store's newest
+    /// checkpoint. `None` when there is no store, no checkpoint, or the
+    /// payload cannot be used (counted, then degraded to a fresh monitor
+    /// by the caller — the supervisor never refuses to serve).
+    fn monitor_from_store(&self, id: DeviceId) -> Option<(CordialMonitor, MonitorCheckpoint)> {
+        let store = self.store.as_ref()?;
+        let record = match store.latest_checkpoint(id.store_key()) {
+            Ok(found) => found?,
+            Err(_) => {
+                cordial_obs::counter!("fleet.store.restore_errors").inc();
+                return None;
+            }
+        };
+        let loaded = serde_json::parse_value_str(&record.payload)
+            .map_err(|e| e.to_string())
+            .and_then(|value| {
+                cordial::checkpoint::load_checkpoint_value(value).map_err(|e| e.to_string())
+            });
+        let state = match loaded {
+            Ok((state, _was_version)) => state,
+            Err(_) => {
+                cordial_obs::counter!("fleet.store.restore_errors").inc();
+                return None;
+            }
+        };
+        match CordialMonitor::restore(self.registry.incumbent().clone(), state.clone()) {
+            Ok(monitor) => {
+                cordial_obs::counter!("fleet.store.restores").inc();
+                Some((monitor, state))
+            }
+            Err(_) => {
+                cordial_obs::counter!("fleet.store.restore_errors").inc();
+                None
+            }
         }
-        let monitor = CordialMonitor::new(self.registry.incumbent().clone(), self.config.budget)
-            .with_guard_config(self.config.guard);
-        let checkpoint = monitor.checkpoint();
+    }
+
+    /// A fresh slot for `id`: a store-restored monitor when available,
+    /// otherwise a new monitor on the incumbent model. Returns the slot
+    /// and whether the store seeded it.
+    fn fresh_slot(&self, id: DeviceId) -> (DeviceSlot, bool) {
+        let (monitor, checkpoint, from_store) = match self.monitor_from_store(id) {
+            Some((monitor, checkpoint)) => (monitor, checkpoint, true),
+            None => {
+                let monitor =
+                    CordialMonitor::new(self.registry.incumbent().clone(), self.config.budget)
+                        .with_guard_config(self.config.guard);
+                let checkpoint = monitor.checkpoint();
+                (monitor, checkpoint, false)
+            }
+        };
         let breaker = CircuitBreaker::new(
             self.config.breaker,
             self.config.seed ^ id.salt().wrapping_mul(0x9E37_79B9_7F4A_7C15),
         );
-        self.devices.insert(
-            id,
+        (
             DeviceSlot {
                 monitor,
                 breaker,
@@ -227,8 +306,47 @@ impl FleetSupervisor {
                 panic_after: None,
                 last_seen_ms: 0,
             },
-        );
+            from_store,
+        )
+    }
+
+    /// Registers a device (idempotent): a monitor restored from the
+    /// attached store's newest checkpoint when one exists, otherwise a
+    /// fresh monitor on the incumbent model — behind a closed breaker.
+    pub fn register_device(&mut self, id: DeviceId) {
+        if self.devices.contains_key(&id) {
+            return;
+        }
+        let (slot, _from_store) = self.fresh_slot(id);
+        self.devices.insert(id, slot);
         cordial_obs::gauge!("fleet.devices.total").set(self.devices.len() as f64);
+    }
+
+    /// Rebuilds `id` from the durable store: the slot is replaced by a
+    /// monitor restored from the store's newest checkpoint for the device
+    /// (a fresh monitor when none is usable) behind a fresh closed
+    /// breaker, clearing any quarantine, eviction or injected fault. The
+    /// operator path for bringing an evicted device back once its
+    /// underlying fault is fixed. Returns whether a store checkpoint
+    /// seeded the rebuild.
+    pub fn rebuild_from_store(&mut self, id: DeviceId) -> bool {
+        let (slot, from_store) = self.fresh_slot(id);
+        let previous = self.devices.insert(id, slot);
+        if let Some(previous) = previous {
+            // Lifetime routing totals survive the rebuild; only monitor
+            // state and breaker history reset.
+            if let Some(slot) = self.devices.get_mut(&id) {
+                slot.routed = previous.routed;
+                slot.shed = previous.shed;
+                slot.panics = previous.panics;
+                slot.restores = previous.restores + 1;
+                slot.last_seen_ms = previous.last_seen_ms;
+            }
+        }
+        cordial_obs::counter!("fleet.store.rebuilds").inc();
+        cordial_obs::gauge!("fleet.devices.total").set(self.devices.len() as f64);
+        self.update_health_gauges();
+        from_store
     }
 
     /// Chaos hook: from the `nth` routed event on, every ingest on `id`
@@ -334,6 +452,9 @@ impl FleetSupervisor {
             slot.checkpoint = slot.monitor.checkpoint();
             slot.since_checkpoint = 0;
             cordial_obs::counter!("fleet.checkpoints").inc();
+            if let Some(store) = self.store.as_mut() {
+                persist_checkpoint(store, id, &slot.checkpoint);
+            }
         }
         RouteOutcome::Accepted
     }
@@ -546,17 +667,27 @@ impl FleetSupervisor {
         Some(precision)
     }
 
-    /// Flushes every serving monitor's reorder buffer and publishes the
-    /// end-of-run health gauges and the per-device availability histogram.
+    /// Flushes every serving monitor's reorder buffer, persists a final
+    /// checkpoint per serving device into the attached store (when one is
+    /// configured), and publishes the end-of-run health gauges and the
+    /// per-device availability histogram.
     pub fn finish(&mut self) {
-        for slot in self.devices.values_mut() {
+        for (id, slot) in self.devices.iter_mut() {
             if slot.breaker.state().is_serving() {
                 slot.monitor.flush_guarded();
+                if let Some(store) = self.store.as_mut() {
+                    persist_checkpoint(store, *id, &slot.monitor.checkpoint());
+                }
             }
             if slot.routed > 0 {
                 let availability = (slot.routed - slot.shed) as f64 / slot.routed as f64;
                 cordial_obs::histogram!("fleet.device.availability", AVAILABILITY_BOUNDS)
                     .observe(availability);
+            }
+        }
+        if let Some(store) = self.store.as_mut() {
+            if store.sync().is_err() {
+                cordial_obs::counter!("fleet.store.checkpoint_errors").inc();
             }
         }
         self.update_health_gauges();

@@ -340,3 +340,109 @@ fn chaos_run_exports_chrome_trace_and_blackbox_dump() {
 
     let _ = std::fs::remove_dir_all(&dump_dir);
 }
+
+/// Durable-store resume: periodic checkpoints land in the store, an
+/// evicted device is rebuilt from its newest store checkpoint, and a
+/// brand-new supervisor over the same store directory (a process restart)
+/// re-registers every device with its checkpointed state instead of an
+/// empty monitor.
+#[test]
+fn evicted_devices_rebuild_from_the_durable_store() {
+    use cordial_store::{Store, StoreConfig};
+
+    let _guard = obs_guard();
+    let dir = std::env::temp_dir().join(format!("fleet-store-rebuild-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let dataset = generate_fleet_dataset(&FleetDatasetConfig::small(), 23);
+    let pipeline = fitted(&dataset, 23, ModelKind::default());
+    let config = SupervisorConfig {
+        checkpoint_every: 16,
+        ..SupervisorConfig::default()
+    };
+
+    let store = Store::open(&dir, StoreConfig::default()).unwrap();
+    let mut supervisor =
+        FleetSupervisor::new(config, pipeline.clone(), Vec::new()).with_store(store);
+    for event in dataset.log.events() {
+        supervisor.route(*event);
+    }
+
+    // Pick the busiest device: it certainly crossed `checkpoint_every`
+    // accepted events, so the store holds a checkpoint for it.
+    let victim = supervisor
+        .statuses()
+        .into_iter()
+        .max_by_key(|s| s.routed)
+        .map(|s| s.id)
+        .unwrap();
+    let victim_bank = dataset
+        .log
+        .events()
+        .iter()
+        .map(|e| e.addr.bank)
+        .find(|bank| DeviceId::of(bank) == victim)
+        .unwrap();
+
+    // Hard-fault the device: a sticky panic rides the breaker through its
+    // retries into permanent eviction (stream time advanced far enough to
+    // expire every quarantine backoff).
+    supervisor.inject_panic_after(victim, 1);
+    let mut t = supervisor.watermark_ms();
+    for row in 0..200u32 {
+        t += 120_000;
+        supervisor.route(ErrorEvent::new(
+            victim_bank.cell(RowId(row % 8), ColId(0)),
+            Timestamp::from_millis(t),
+            ErrorType::Ce,
+        ));
+        if supervisor.evicted_devices().contains(&victim) {
+            break;
+        }
+    }
+    assert!(
+        supervisor.evicted_devices().contains(&victim),
+        "sticky panic must evict the device"
+    );
+
+    // Rebuild from the store: breaker closed, monitor state resurrected
+    // from the last persisted checkpoint rather than empty.
+    assert!(
+        supervisor.rebuild_from_store(victim),
+        "rebuild must find a store checkpoint"
+    );
+    let status = supervisor.status(victim).unwrap();
+    assert_eq!(status.state, BreakerState::Closed);
+    assert!(
+        status.stats.events > 0,
+        "rebuilt monitor must carry checkpointed history"
+    );
+    assert!(supervisor.evicted_devices().is_empty());
+
+    // Simulated process restart: a fresh supervisor over the same store
+    // directory restores every device to its finish-time checkpoint.
+    supervisor.finish();
+    let final_stats: BTreeMap<DeviceId, MonitorStats> = supervisor
+        .statuses()
+        .into_iter()
+        .map(|s| (s.id, s.stats))
+        .collect();
+    let ids = supervisor.device_ids();
+    drop(supervisor);
+
+    let store = Store::open(&dir, StoreConfig::default()).unwrap();
+    assert!(store.recovery().corruption.is_none());
+    let mut resumed = FleetSupervisor::new(config, pipeline, Vec::new()).with_store(store);
+    for id in &ids {
+        resumed.register_device(*id);
+    }
+    for id in &ids {
+        let resumed_stats = resumed.status(*id).unwrap().stats;
+        assert_eq!(
+            resumed_stats, final_stats[id],
+            "device {id} must resume with its checkpointed stats"
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

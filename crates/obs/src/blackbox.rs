@@ -112,9 +112,8 @@ fn write_dump(path: &Path, dir: &Path, reason: &str, detail: &str, seq: u64) -> 
     ]);
     let text =
         serde_json::to_string_pretty(&dump).map_err(|e| format!("cannot serialise dump: {e}"))?;
-    let tmp = path.with_extension("tmp");
-    fs::write(&tmp, text).map_err(|e| format!("cannot write `{}`: {e}", tmp.display()))?;
-    fs::rename(&tmp, path).map_err(|e| format!("cannot rename into `{}`: {e}", path.display()))
+    crate::fsio::durable_write(path, text.as_bytes())
+        .map_err(|e| format!("cannot write `{}`: {e}", path.display()))
 }
 
 #[cfg(test)]

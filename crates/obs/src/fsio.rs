@@ -1,0 +1,99 @@
+//! Durable file writes: the one temp-file + rename + fsync implementation
+//! every crash-safe writer in the suite shares.
+//!
+//! The suite's original "atomic" writers used temp-file + `rename(2)`
+//! alone. That protects against *crashes of this process* (a reader never
+//! sees a half-written file) but **not against power loss**: without an
+//! `fsync` the kernel may reorder or delay both the data blocks and the
+//! directory entry, so after a power cut the renamed path can name an
+//! empty or truncated file. [`durable_write`] closes both holes:
+//!
+//! 1. the bytes are written to a sibling `<path>.tmp`;
+//! 2. `File::sync_all` flushes the temp file's data **and** metadata to
+//!    stable storage;
+//! 3. `rename(2)` moves it into place atomically;
+//! 4. the **parent directory** is fsynced, committing the rename itself —
+//!    the step ad-hoc writers invariably forget.
+//!
+//! On platforms where directories cannot be opened for syncing the last
+//! step degrades to a no-op rather than an error, matching the usual
+//! portable practice.
+
+use std::fs::{self, File};
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Writes `bytes` to `path` so that after a crash **or power loss** the
+/// path names either the complete previous content or the complete new
+/// content — never a torn mix, never a truncated file.
+///
+/// The temporary sibling is `<path>.tmp` (full name suffix, so
+/// `model.json` stages through `model.json.tmp` and never collides with
+/// a differently-typed neighbour).
+///
+/// # Errors
+///
+/// Propagates I/O failures from the write, the data fsync, or the rename.
+/// A failed *directory* fsync is propagated only when the directory could
+/// be opened; filesystems that cannot sync directories are tolerated.
+pub fn durable_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let mut tmp_name = path.as_os_str().to_owned();
+    tmp_name.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp_name);
+
+    let mut file = File::create(&tmp)?;
+    file.write_all(bytes)?;
+    file.sync_all()?;
+    drop(file);
+    fs::rename(&tmp, path)?;
+    sync_parent_dir(path)
+}
+
+/// Fsyncs the directory containing `path`, committing any rename or
+/// creation of `path` itself to stable storage. Tolerates platforms and
+/// filesystems where directories cannot be opened or synced.
+pub fn sync_parent_dir(path: &Path) -> io::Result<()> {
+    let parent = match path.parent() {
+        Some(parent) if !parent.as_os_str().is_empty() => parent,
+        _ => Path::new("."),
+    };
+    match File::open(parent) {
+        Ok(dir) => match dir.sync_all() {
+            Ok(()) => Ok(()),
+            // Directory fds are not syncable everywhere (e.g. some
+            // network filesystems return EINVAL, Windows denies the
+            // open); durability there is best-effort by design.
+            Err(e) if e.kind() == io::ErrorKind::InvalidInput => Ok(()),
+            Err(e) => Err(e),
+        },
+        Err(_) => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("cordial-fsio-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn writes_land_complete_and_leave_no_temp_file() {
+        let path = temp_path("durable.txt");
+        durable_write(&path, b"first").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"first");
+        durable_write(&path, b"second, longer content").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"second, longer content");
+        let mut tmp_name = path.as_os_str().to_owned();
+        tmp_name.push(".tmp");
+        assert!(!std::path::PathBuf::from(tmp_name).exists());
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_parent_directory_is_an_error() {
+        let path = std::path::Path::new("/nonexistent-cordial-dir/x.txt");
+        assert!(durable_write(path, b"x").is_err());
+    }
+}

@@ -58,6 +58,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 
 pub mod blackbox;
 pub mod export;
+pub mod fsio;
 pub mod log;
 pub mod recorder;
 pub mod registry;

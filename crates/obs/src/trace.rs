@@ -13,7 +13,6 @@
 //! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
 
 use std::collections::BTreeMap;
-use std::fs;
 use std::path::Path;
 
 use serde::Value;
@@ -190,8 +189,9 @@ pub fn parse_chrome_trace(text: &str) -> Result<TraceStats, String> {
 
 /// Writes a timeline to `path`, picking the format from the extension
 /// (`.jsonl` → JSON-lines, anything else → Chrome trace JSON), using the
-/// suite's temp-file + rename discipline so a crash never leaves a
-/// truncated trace.
+/// suite's durable temp-file + rename + fsync discipline
+/// ([`crate::fsio::durable_write`]) so neither a crash nor a power loss
+/// leaves a truncated trace.
 ///
 /// # Errors
 ///
@@ -202,9 +202,8 @@ pub fn write_file(path: &Path, events: &[TraceEvent]) -> Result<(), String> {
     } else {
         to_chrome_trace(events)
     };
-    let tmp = path.with_extension("tmp");
-    fs::write(&tmp, text).map_err(|e| format!("cannot write `{}`: {e}", tmp.display()))?;
-    fs::rename(&tmp, path).map_err(|e| format!("cannot rename into `{}`: {e}", path.display()))
+    crate::fsio::durable_write(path, text.as_bytes())
+        .map_err(|e| format!("cannot write `{}`: {e}", path.display()))
 }
 
 #[cfg(test)]

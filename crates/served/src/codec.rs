@@ -30,11 +30,20 @@
 
 use std::fmt;
 
-use cordial_mcelog::{ErrorEvent, ErrorType, Timestamp};
-use cordial_topology::{
-    BankAddress, BankGroup, BankIndex, Channel, ColId, HbmSocket, NodeId, NpuId, PseudoChannel,
-    RowId, StackId,
-};
+use cordial_mcelog::ErrorEvent;
+
+/// CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) of `bytes`.
+///
+/// Re-exported from `cordial-store`: the wire protocol and the durable
+/// journal share one table-driven checksum, so a journaled record is
+/// protected by exactly the arithmetic that protected it on the wire.
+pub use cordial_store::crc32;
+
+/// Encoded size of one [`ErrorEvent`] record.
+///
+/// Re-exported from `cordial-store`: the journal persists admitted
+/// batches in this same fixed layout, bit-for-bit.
+pub use cordial_store::EVENT_WIRE_LEN;
 
 /// First two bytes of every frame.
 pub const MAGIC: [u8; 2] = [0xC0, 0x7D];
@@ -48,40 +57,6 @@ pub const HEADER_LEN: usize = 12;
 /// Upper bound on a payload the daemon will buffer (16 MiB). Larger
 /// lengths are treated as stream corruption, not a big frame.
 pub const MAX_PAYLOAD: u32 = 16 * 1024 * 1024;
-
-/// Encoded size of one [`ErrorEvent`] record.
-pub const EVENT_WIRE_LEN: usize = 26;
-
-/// The reflected-polynomial (`0xEDB88320`) byte table, built at compile
-/// time so the codec stays dependency-free without paying the bitwise
-/// loop's 8 iterations per byte — the checksum runs twice per ingested
-/// event (encode and verify), which made it the wire path's single
-/// largest cost at saturation.
-const CRC_TABLE: [u32; 256] = {
-    let mut table = [0u32; 256];
-    let mut i = 0usize;
-    while i < 256 {
-        let mut crc = i as u32;
-        let mut bit = 0;
-        while bit < 8 {
-            let mask = (crc & 1).wrapping_neg();
-            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
-            bit += 1;
-        }
-        table[i] = crc;
-        i += 1;
-    }
-    table
-};
-
-/// CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) of `bytes`.
-pub fn crc32(bytes: &[u8]) -> u32 {
-    let mut crc = 0xFFFF_FFFFu32;
-    for &byte in bytes {
-        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ u32::from(byte)) & 0xFF) as usize];
-    }
-    !crc
-}
 
 /// One protocol message, request (`0x0*`) or response (`0x8*`).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -196,63 +171,21 @@ pub enum Decoded {
     Fatal(DecodeError),
 }
 
-/// Serialises one event into its fixed-width wire record. Staged through
-/// one stack array so the hot encode loop costs a single bounds-checked
-/// append per event rather than a dozen.
+/// Serialises one event into its fixed-width wire record — the store's
+/// journal record layout, so journaled batches are bit-identical to what
+/// arrived on the wire.
 fn encode_event(event: &ErrorEvent, out: &mut Vec<u8>) {
-    let bank = event.addr.bank;
-    let mut record = [0u8; EVENT_WIRE_LEN];
-    record[0..4].copy_from_slice(&bank.node.index().to_le_bytes());
-    record[4] = bank.npu.index();
-    record[5] = bank.hbm.index();
-    record[6] = bank.sid.index();
-    record[7] = bank.channel.index();
-    record[8] = bank.pseudo_channel.index();
-    record[9] = bank.bank_group.index();
-    record[10] = bank.bank.index();
-    record[11..15].copy_from_slice(&event.addr.row.index().to_le_bytes());
-    record[15..17].copy_from_slice(&event.addr.col.index().to_le_bytes());
-    record[17..25].copy_from_slice(&event.time.as_millis().to_le_bytes());
-    record[25] = match event.error_type {
-        ErrorType::Ce => 0,
-        ErrorType::Ueo => 1,
-        ErrorType::Uer => 2,
-    };
-    out.extend_from_slice(&record);
+    cordial_store::encode_event_record(event, out);
 }
 
 /// Parses one fixed-width event record.
 fn decode_event(bytes: &[u8]) -> Result<ErrorEvent, DecodeError> {
-    if bytes.len() < EVENT_WIRE_LEN {
-        return Err(DecodeError::Truncated);
-    }
-    let node = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
-    let bank = BankAddress::new(
-        NodeId(node),
-        NpuId(bytes[4]),
-        HbmSocket(bytes[5]),
-        StackId(bytes[6]),
-        Channel(bytes[7]),
-        PseudoChannel(bytes[8]),
-        BankGroup(bytes[9]),
-        BankIndex(bytes[10]),
-    );
-    let row = u32::from_le_bytes([bytes[11], bytes[12], bytes[13], bytes[14]]);
-    let col = u16::from_le_bytes([bytes[15], bytes[16]]);
-    let time = u64::from_le_bytes([
-        bytes[17], bytes[18], bytes[19], bytes[20], bytes[21], bytes[22], bytes[23], bytes[24],
-    ]);
-    let error_type = match bytes[25] {
-        0 => ErrorType::Ce,
-        1 => ErrorType::Ueo,
-        2 => ErrorType::Uer,
-        _ => return Err(DecodeError::Malformed("unknown error-type byte")),
-    };
-    Ok(ErrorEvent::new(
-        bank.cell(RowId(row), ColId(col)),
-        Timestamp::from_millis(time),
-        error_type,
-    ))
+    cordial_store::decode_event_record(bytes).map_err(|err| match err {
+        cordial_store::RecordError::UnknownErrorType(_) => {
+            DecodeError::Malformed("unknown error-type byte")
+        }
+        _ => DecodeError::Truncated,
+    })
 }
 
 /// Serialises an `IngestBatch` frame directly from a borrowed event
@@ -403,6 +336,11 @@ pub fn decode_frame(buf: &[u8]) -> Decoded {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cordial_mcelog::{ErrorType, Timestamp};
+    use cordial_topology::{
+        BankAddress, BankGroup, BankIndex, Channel, ColId, HbmSocket, NodeId, NpuId, PseudoChannel,
+        RowId, StackId,
+    };
 
     fn sample_event(seed: u64) -> ErrorEvent {
         let bank = BankAddress::new(

@@ -31,6 +31,19 @@
 //! temp-file-plus-rename discipline as the CLI's checkpoint files, so a
 //! `kill` mid-stream resumes bit-identically (see the kill-resume
 //! acceptance test).
+//!
+//! ## Durable journal
+//!
+//! With [`ServeConfig::store_dir`] set, the daemon opens a
+//! [`cordial_store::Store`] and journals every admitted batch into it
+//! **before** the [`Frame::BatchAck`] is written — under
+//! [`FsyncPolicy::Always`] (the default) an acked batch is on disk even
+//! if the process dies the next instant. Graceful shutdown appends one
+//! checkpoint record per device carrying the journal floor it covers; a
+//! restart restores those checkpoints and replays only the journal tail
+//! beyond each floor. After an *abrupt* death (no checkpoints) the whole
+//! journal replays, so acked batches are never lost — the property the
+//! kill-mid-load end-to-end test pins.
 
 use std::collections::BTreeMap;
 use std::collections::HashMap;
@@ -46,6 +59,8 @@ use std::time::{Duration, Instant};
 use cordial::prelude::{Cordial, CordialMonitor, MonitorCheckpoint, MonitorStats, SparingBudget};
 use cordial_fleet::{BreakerConfig, CircuitBreaker, DeviceId};
 use cordial_mcelog::ErrorEvent;
+use cordial_store::{DeviceKey, FsyncPolicy, Record, ReplayFilter, Store, StoreConfig};
+use cordial_topology::{HbmSocket, NodeId, NpuId};
 use serde::{Deserialize, Serialize};
 
 use crate::codec::{decode_frame, encode_frame, Decoded, Frame};
@@ -68,6 +83,15 @@ pub struct ServeConfig {
     /// where startup looks for checkpoints to resume from). `None`
     /// disables persistence.
     pub checkpoint_dir: Option<PathBuf>,
+    /// Directory of the durable event/checkpoint store. When set, every
+    /// admitted batch is journaled there before its ack and monitors are
+    /// rebuilt from it at startup (superseding `checkpoint_dir` for
+    /// restore). `None` disables journaling.
+    pub store_dir: Option<PathBuf>,
+    /// When the journal flushes to disk. Only meaningful with
+    /// [`ServeConfig::store_dir`]; the default [`FsyncPolicy::Always`]
+    /// makes every ack imply durability.
+    pub fsync: FsyncPolicy,
     /// Sparing budget given to each device's isolation engine.
     pub budget: SparingBudget,
 }
@@ -79,6 +103,8 @@ impl Default for ServeConfig {
             queue_capacity: 64,
             retry_after_ms: 50,
             checkpoint_dir: None,
+            store_dir: None,
+            fsync: FsyncPolicy::Always,
             budget: SparingBudget::typical(),
         }
     }
@@ -177,10 +203,40 @@ struct Shared {
     room: Vec<Condvar>,
     shards: Vec<Mutex<ShardState>>,
     plans: Mutex<Vec<PlanRecord>>,
+    /// The durable journal, when [`ServeConfig::store_dir`] is set.
+    store: Option<Mutex<Store>>,
     shutdown: AtomicBool,
     accepted_batches: AtomicU64,
     rejected_batches: AtomicU64,
     connection_seq: AtomicU64,
+}
+
+/// Why [`Shared::enqueue`] refused a batch.
+enum EnqueueRefusal {
+    /// A target shard queue is full; the client should retry later.
+    Full(u16),
+    /// The journal append failed; the batch was **not** admitted (an ack
+    /// must imply durability, so an unjournalable batch is refused).
+    Journal(String),
+}
+
+/// The store-side identity of a fleet device (same fields, no fleet
+/// dependency inside the store crate).
+fn device_key(device: DeviceId) -> DeviceKey {
+    DeviceKey {
+        node: device.node.index(),
+        npu: device.npu.index(),
+        hbm: device.hbm.index(),
+    }
+}
+
+/// Inverse of [`device_key`].
+fn device_id(key: DeviceKey) -> DeviceId {
+    DeviceId {
+        node: NodeId(key.node),
+        npu: NpuId(key.npu),
+        hbm: HbmSocket(key.hbm),
+    }
 }
 
 /// Locks a mutex, riding through poisoning: a panicking worker must not
@@ -209,24 +265,38 @@ impl Shared {
 
     /// Admits a batch to its target shard queues, all-or-nothing.
     ///
-    /// Returns the admitted event count, or the index of the first full
-    /// shard. Capacity is checked for every target shard under one lock
-    /// before anything is pushed, so a refusal leaves no partial batch.
-    fn enqueue(&self, batch: Vec<ErrorEvent>) -> Result<u32, u16> {
-        // Shard indices are dense and small, so the split is a direct
+    /// Returns the admitted event count, or why the batch was refused.
+    /// Capacity is checked for every target shard under one lock before
+    /// anything is pushed, so a refusal leaves no partial batch. When a
+    /// journal is configured the batch is appended (and, under
+    /// [`FsyncPolicy::Always`], fsynced) between the capacity check and
+    /// the push, still under the queues lock — journal order is admission
+    /// order, and a batch is on disk before its ack can be written.
+    fn enqueue(&self, batch: Vec<ErrorEvent>) -> Result<u32, EnqueueRefusal> {
+        // First pass: which shards the batch touches (for the capacity
+        // check). Shard indices are dense and small, so this is a direct
         // Vec index per event — no ordered-map bookkeeping on the
         // admission path.
+        let mut touched = vec![false; self.shards.len()];
+        for event in &batch {
+            touched[self.shard_of(DeviceId::of(&event.addr.bank))] = true;
+        }
+        let mut queues = lock(&self.queues);
+        for (shard, hit) in touched.into_iter().enumerate() {
+            if hit && queues[shard].len() >= self.config.queue_capacity {
+                return Err(EnqueueRefusal::Full(shard as u16));
+            }
+        }
+        if let Some(store) = &self.store {
+            lock(store)
+                .append_events(&batch)
+                .map_err(|err| EnqueueRefusal::Journal(err.to_string()))?;
+        }
         let mut parts: Vec<Vec<ErrorEvent>> = Vec::new();
         parts.resize_with(self.shards.len(), Vec::new);
         for event in batch {
             let shard = self.shard_of(DeviceId::of(&event.addr.bank));
             parts[shard].push(event);
-        }
-        let mut queues = lock(&self.queues);
-        for (shard, events) in parts.iter().enumerate() {
-            if !events.is_empty() && queues[shard].len() >= self.config.queue_capacity {
-                return Err(shard as u16);
-            }
         }
         let mut total = 0u32;
         for (shard, events) in parts.into_iter().enumerate() {
@@ -335,13 +405,18 @@ impl Shared {
                         self.accepted_batches.fetch_add(1, Ordering::Relaxed);
                         Frame::BatchAck { accepted }
                     }
-                    Err(shard) => {
+                    Err(EnqueueRefusal::Full(shard)) => {
                         self.rejected_batches.fetch_add(1, Ordering::Relaxed);
                         cordial_obs::counter!("served.batches.rejected").inc();
                         Frame::RetryAfter {
                             shard,
                             ms: self.config.retry_after_ms,
                         }
+                    }
+                    Err(EnqueueRefusal::Journal(why)) => {
+                        self.rejected_batches.fetch_add(1, Ordering::Relaxed);
+                        cordial_obs::counter!("served.journal.errors").inc();
+                        Frame::Error(format!("journal append failed: {why}"))
                     }
                 }
             }
@@ -446,14 +521,13 @@ impl Shared {
     }
 }
 
-/// Serialises `value` to `path` via a temp file and atomic rename, so a
-/// crash mid-write never leaves a torn checkpoint.
+/// Serialises `value` to `path` via a durable temp file + fsync + atomic
+/// rename, so neither a crash mid-write nor a power loss leaves a torn
+/// checkpoint.
 fn write_json_atomic<T: Serialize>(path: &Path, value: &T) -> io::Result<()> {
     let json = serde_json::to_string_pretty(value)
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-    let tmp = path.with_extension("json.tmp");
-    std::fs::write(&tmp, json)?;
-    std::fs::rename(&tmp, path)
+    cordial_obs::fsio::durable_write(path, json.as_bytes())
 }
 
 /// A running daemon: listeners bound, workers live.
@@ -501,6 +575,24 @@ impl Server {
             .transpose()?;
 
         let shards = config.shards.max(1);
+        let store = match config.store_dir.as_deref() {
+            Some(dir) => {
+                let store = Store::open(
+                    dir,
+                    StoreConfig {
+                        fsync: config.fsync,
+                        ..StoreConfig::default()
+                    },
+                )
+                .map_err(io::Error::other)?;
+                if let Some(what) = &store.recovery().corruption {
+                    cordial_obs::counter!("served.journal.recoveries").inc();
+                    eprintln!("served: journal recovered from crash damage: {what}");
+                }
+                Some(Mutex::new(store))
+            }
+            None => None,
+        };
         let shared = Arc::new(Shared {
             queues: Mutex::new(vec![VecDeque::new(); shards]),
             room: (0..shards).map(|_| Condvar::new()).collect(),
@@ -512,6 +604,7 @@ impl Server {
                 })
                 .collect(),
             plans: Mutex::new(Vec::new()),
+            store,
             shutdown: AtomicBool::new(false),
             accepted_batches: AtomicU64::new(0),
             rejected_batches: AtomicU64::new(0),
@@ -519,7 +612,11 @@ impl Server {
             pipeline,
             config,
         });
-        restore_checkpoints(&shared)?;
+        if shared.store.is_some() {
+            restore_from_store(&shared)?;
+        } else {
+            restore_checkpoints(&shared)?;
+        }
 
         let workers = (0..shards)
             .map(|idx| {
@@ -609,10 +706,31 @@ impl Server {
             plans,
         })
     }
+
+    /// Stops the daemon **without** checkpointing — the crash-simulation
+    /// path the kill-mid-load tests use. Threads are stopped and joined
+    /// (so the process can rebind the same store directory), but no
+    /// checkpoint file or store checkpoint record is written: everything
+    /// a restart recovers comes from the journal alone, exactly as after
+    /// a `kill -9`.
+    pub fn kill(mut self) {
+        self.shared.request_shutdown();
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.metrics_thread.take() {
+            let _ = handle.join();
+        }
+    }
 }
 
 /// Restores every `DeviceCheckpointFile` under the checkpoint directory
-/// into its shard, creating the directory if absent.
+/// into its shard, creating the directory if absent. Checkpoint payloads
+/// go through the [`cordial::checkpoint`] migration registry, so files
+/// written by an older release upgrade instead of erroring.
 fn restore_checkpoints(shared: &Shared) -> io::Result<()> {
     let Some(dir) = shared.config.checkpoint_dir.as_deref() else {
         return Ok(());
@@ -624,36 +742,108 @@ fn restore_checkpoints(shared: &Shared) -> io::Result<()> {
         if path.extension().and_then(|e| e.to_str()) != Some("json") {
             continue;
         }
+        let bad_data = |what: String| io::Error::new(io::ErrorKind::InvalidData, what);
         let json = std::fs::read_to_string(&path)?;
-        let file: DeviceCheckpointFile = serde_json::from_str(&json).map_err(|e| {
-            io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("{}: {e}", path.display()),
-            )
-        })?;
-        let monitor =
-            CordialMonitor::restore(shared.pipeline.clone(), file.state).map_err(|e| {
-                io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("{}: {e}", path.display()),
-                )
+        let value = serde_json::parse_value_str(&json)
+            .map_err(|e| bad_data(format!("{}: {e}", path.display())))?;
+        let device: DeviceId = value
+            .get("device")
+            .ok_or_else(|| bad_data(format!("{}: no `device` field", path.display())))
+            .and_then(|v| {
+                Deserialize::from_value(v).map_err(|e| bad_data(format!("{}: {e}", path.display())))
             })?;
-        let shard = shared.shard_of(file.device);
-        lock(&shared.shards[shard])
-            .monitors
-            .insert(file.device, monitor);
+        let state = value
+            .get("state")
+            .cloned()
+            .ok_or_else(|| bad_data(format!("{}: no `state` field", path.display())))?;
+        let (state, _was_version) = cordial::checkpoint::load_checkpoint_value(state)
+            .map_err(|e| bad_data(format!("{}: {e}", path.display())))?;
+        let monitor = CordialMonitor::restore(shared.pipeline.clone(), state)
+            .map_err(|e| bad_data(format!("{}: {e}", path.display())))?;
+        let shard = shared.shard_of(device);
+        lock(&shared.shards[shard]).monitors.insert(device, monitor);
         restored += 1;
     }
     cordial_obs::gauge!("served.checkpoints.restored").set(restored as f64);
     Ok(())
 }
 
-/// Checkpoints every device monitor, one atomic JSON file per device.
-fn write_checkpoints(shared: &Shared) -> io::Result<usize> {
-    let Some(dir) = shared.config.checkpoint_dir.as_deref() else {
-        return Ok(0);
+/// Rebuilds the fleet from the durable store: each device's latest
+/// checkpoint (migrated to the current schema) plus a replay of the
+/// journal tail beyond its checkpoint's journal floor. Devices that never
+/// reached a checkpoint replay from the beginning of the journal, so an
+/// abrupt death loses no acked batch.
+fn restore_from_store(shared: &Shared) -> io::Result<()> {
+    let Some(store_mutex) = &shared.store else {
+        return Ok(());
     };
-    std::fs::create_dir_all(dir)?;
+    let bad_data = |what: String| io::Error::new(io::ErrorKind::InvalidData, what);
+    let mut floors: HashMap<DeviceId, u64> = HashMap::new();
+    let mut restored = 0u64;
+    let events = {
+        let store = lock(store_mutex);
+        for (key, ckpt) in store.latest_checkpoints().map_err(io::Error::other)? {
+            let device = device_id(key);
+            let value = serde_json::parse_value_str(&ckpt.payload)
+                .map_err(|e| bad_data(format!("checkpoint for {key}: {e}")))?;
+            let (state, _was_version) = cordial::checkpoint::load_checkpoint_value(value)
+                .map_err(|e| bad_data(format!("checkpoint for {key}: {e}")))?;
+            let monitor = CordialMonitor::restore(shared.pipeline.clone(), state)
+                .map_err(|e| bad_data(format!("checkpoint for {key}: {e}")))?;
+            lock(&shared.shards[shared.shard_of(device)])
+                .monitors
+                .insert(device, monitor);
+            floors.insert(device, ckpt.journal_seq);
+            restored += 1;
+        }
+        store
+            .replay(&ReplayFilter {
+                events_only: true,
+                ..ReplayFilter::default()
+            })
+            .map_err(io::Error::other)?
+    };
+    // Group the tail per device (monitors are independent; per-device
+    // order is the order that matters) and run it through the same
+    // ingestion path live batches take, plans included.
+    let mut by_device: BTreeMap<DeviceId, Vec<ErrorEvent>> = BTreeMap::new();
+    for record in events {
+        let Record::Event { seq, event } = record else {
+            continue;
+        };
+        let device = DeviceId::of(&event.addr.bank);
+        if floors.get(&device).is_some_and(|floor| seq <= *floor) {
+            continue;
+        }
+        by_device.entry(device).or_default().push(event);
+    }
+    let mut replayed = 0u64;
+    for (device, events) in by_device {
+        replayed += events.len() as u64;
+        shared.process(shared.shard_of(device), events);
+    }
+    cordial_obs::gauge!("served.checkpoints.restored").set(restored as f64);
+    cordial_obs::counter!("served.journal.replayed").add(replayed);
+    Ok(())
+}
+
+/// Checkpoints every device monitor: one atomic JSON file per device
+/// under `checkpoint_dir` (when set), and one checkpoint record per
+/// device in the durable store (when set). Returns how many devices were
+/// checkpointed to at least one destination.
+fn write_checkpoints(shared: &Shared) -> io::Result<usize> {
+    let dir = shared.config.checkpoint_dir.as_deref();
+    let store = shared.store.as_ref();
+    if dir.is_none() && store.is_none() {
+        return Ok(0);
+    }
+    if let Some(dir) = dir {
+        std::fs::create_dir_all(dir)?;
+    }
+    // Every journaled event has been drained through its monitor by the
+    // time shutdown checkpoints run, so the store's current tail is the
+    // journal floor each checkpoint covers.
+    let journal_floor = store.map(|s| lock(s).last_seq().unwrap_or(0));
     let mut written = 0usize;
     for shard in &shared.shards {
         let mut state = lock(shard);
@@ -673,19 +863,32 @@ fn write_checkpoints(shared: &Shared) -> io::Result<usize> {
                     }
                 }
             }
-            let file = DeviceCheckpointFile {
-                device: *device,
-                state: monitor.checkpoint(),
-            };
-            let name = format!(
-                "dev-node{}-npu{}-hbm{}.json",
-                device.node.index(),
-                device.npu.index(),
-                device.hbm.index()
-            );
-            write_json_atomic(&dir.join(name), &file)?;
+            let checkpoint = monitor.checkpoint();
+            if let (Some(store_mutex), Some(floor)) = (store, journal_floor) {
+                let payload = serde_json::to_string(&checkpoint)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+                lock(store_mutex)
+                    .append_checkpoint(device_key(*device), floor, &payload)
+                    .map_err(io::Error::other)?;
+            }
+            if let Some(dir) = dir {
+                let file = DeviceCheckpointFile {
+                    device: *device,
+                    state: checkpoint,
+                };
+                let name = format!(
+                    "dev-node{}-npu{}-hbm{}.json",
+                    device.node.index(),
+                    device.npu.index(),
+                    device.hbm.index()
+                );
+                write_json_atomic(&dir.join(name), &file)?;
+            }
             written += 1;
         }
+    }
+    if let Some(store_mutex) = store {
+        lock(store_mutex).sync().map_err(io::Error::other)?;
     }
     cordial_obs::gauge!("served.checkpoints.written").set(written as f64);
     Ok(written)

@@ -238,3 +238,78 @@ fn full_queues_push_back_with_retry_after() {
     let report = server.wait().unwrap();
     assert_eq!(report.stats.events, 0, "nothing was ever admitted");
 }
+
+/// Journal acceptance: a daemon killed **abruptly** mid-stream — no
+/// drain, no checkpoint writes, exactly what the journal exists for —
+/// loses zero acked batches. The restart rebuilds every monitor from the
+/// journal alone and finishes with the same stats and the same plans as
+/// a daemon that saw the whole stream uninterrupted.
+#[test]
+fn an_abrupt_kill_mid_load_loses_no_acked_batch() {
+    use cordial_store::FsyncPolicy;
+
+    let (dataset, pipeline) = trained_pipeline(59);
+    let events = dataset.log.events().to_vec();
+    let batches: Vec<&[ErrorEvent]> = events.chunks(BATCH).collect();
+    let kill_at = batches.len() / 2;
+
+    // Uninterrupted twin.
+    let server = Server::bind(
+        pipeline.clone(),
+        ServeConfig::default(),
+        "127.0.0.1:0",
+        None,
+    )
+    .unwrap();
+    let addr = server.addr().to_string();
+    drive(&addr, &events);
+    let reference = shut_down(&addr, server);
+
+    // Journaled daemon: ack half the stream, then die without writing a
+    // single checkpoint.
+    let dir = scratch_dir("kill");
+    let config = ServeConfig {
+        store_dir: Some(dir.clone()),
+        fsync: FsyncPolicy::Always,
+        ..ServeConfig::default()
+    };
+    let first = Server::bind(pipeline.clone(), config.clone(), "127.0.0.1:0", None).unwrap();
+    let first_addr = first.addr().to_string();
+    let mut acked = 0u64;
+    for batch in &batches[..kill_at] {
+        acked += drive(&first_addr, batch);
+    }
+    assert_eq!(
+        acked,
+        batches[..kill_at]
+            .iter()
+            .map(|b| b.len() as u64)
+            .sum::<u64>(),
+        "every driven batch must be acked before the kill"
+    );
+    first.kill();
+
+    // Restart on the same store: the journal tail replays through the
+    // live ingestion path before the socket opens.
+    let second = Server::bind(pipeline, config, "127.0.0.1:0", None).unwrap();
+    assert_eq!(
+        second.stats().events as u64,
+        acked,
+        "restart must replay every acked event from the journal"
+    );
+    let second_addr = second.addr().to_string();
+    for batch in &batches[kill_at..] {
+        drive(&second_addr, batch);
+    }
+    let second_report = shut_down(&second_addr, second);
+
+    assert_eq!(
+        second_report.stats, reference.stats,
+        "a kill-resume must converge on the uninterrupted stats"
+    );
+    assert_eq!(
+        second_report.plans, reference.plans,
+        "a kill-resume must emit the uninterrupted plans"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,97 @@
+//! The store's error type.
+//!
+//! Ordinary crash damage — a torn record at the tail of the last segment,
+//! a half-written segment header — is **not** an error: recovery truncates
+//! it and reports it through
+//! [`RecoveryReport`](crate::store::RecoveryReport). [`StoreError`] is for
+//! the failures the store cannot absorb: I/O errors talking to the
+//! filesystem, structural corruption outside the recoverable tail (a
+//! malformed manifest), and schema migrations that cannot be applied.
+
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
+
+use crate::migrate::MigrationError;
+
+/// A failure the store cannot recover from on its own.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An I/O operation against the store directory failed.
+    Io {
+        /// What the store was doing (`"open"`, `"append"`, …).
+        op: &'static str,
+        /// The file or directory involved.
+        path: PathBuf,
+        /// The underlying error.
+        source: io::Error,
+    },
+    /// A structural invariant is broken outside the recoverable tail.
+    Corrupt {
+        /// The file involved.
+        path: PathBuf,
+        /// What is wrong with it.
+        what: String,
+    },
+    /// A checkpoint payload could not be migrated to the current schema.
+    Migration(MigrationError),
+}
+
+impl StoreError {
+    /// Wraps an I/O error with its operation and path.
+    pub(crate) fn io(op: &'static str, path: impl Into<PathBuf>, source: io::Error) -> Self {
+        StoreError::Io {
+            op,
+            path: path.into(),
+            source,
+        }
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { op, path, source } => {
+                write!(f, "store {op} failed on {}: {source}", path.display())
+            }
+            StoreError::Corrupt { path, what } => {
+                write!(f, "store corrupt at {}: {what}", path.display())
+            }
+            StoreError::Migration(err) => write!(f, "checkpoint migration failed: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io { source, .. } => Some(source),
+            StoreError::Corrupt { .. } => None,
+            StoreError::Migration(err) => Some(err),
+        }
+    }
+}
+
+impl From<MigrationError> for StoreError {
+    fn from(err: MigrationError) -> Self {
+        StoreError::Migration(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_their_context() {
+        let err = StoreError::io(
+            "append",
+            "/tmp/store/seg-0.cst",
+            io::Error::other("disk full"),
+        );
+        let text = err.to_string();
+        assert!(text.contains("append"));
+        assert!(text.contains("seg-0.cst"));
+        assert!(text.contains("disk full"));
+    }
+}

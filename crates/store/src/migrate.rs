@@ -1,0 +1,351 @@
+//! Numbered schema migrations for checkpoint payloads.
+//!
+//! Checkpoint payloads are stored as schema-agnostic JSON; their layout
+//! evolves across releases. Instead of every reader hand-rolling "if the
+//! version field is missing, assume the old shape" logic, a
+//! [`MigrationRegistry`] holds one small pure function per version step
+//! (`migrate_v0_v1`-style) that rewrites the JSON [`Value`] tree from
+//! version *n* to *n + 1*. [`MigrationRegistry::upgrade`] walks the chain
+//! until the payload reaches the registry's latest version, so a reader
+//! only ever deserialises the current shape.
+//!
+//! The version lives in the payload itself, in a top-level
+//! `schema_version` field; a payload without one is version 0 (the
+//! pre-versioning era). A payload from a *future* release fails with
+//! [`MigrationError::FutureVersion`] — the greppable "unsupported future
+//! schema version" error — rather than being misread.
+//!
+//! # Example
+//!
+//! ```
+//! use cordial_store::{Migration, MigrationRegistry};
+//! use serde::Value;
+//!
+//! fn migrate_v0_v1(mut value: Value) -> Result<Value, String> {
+//!     cordial_store::migrate::set_version(&mut value, 1)?;
+//!     Ok(value)
+//! }
+//!
+//! let mut registry = MigrationRegistry::new(1);
+//! registry.register(Migration { from: 0, name: "migrate_v0_v1", apply: migrate_v0_v1 });
+//! let (upgraded, was) = registry.upgrade(Value::Map(vec![])).unwrap();
+//! assert_eq!(was, 0);
+//! assert_eq!(upgraded.get("schema_version"), Some(&Value::U64(1)));
+//! ```
+
+use std::fmt;
+
+use serde::Value;
+
+/// One version step: a pure rewrite of the payload tree from schema
+/// version [`from`](Migration::from) to `from + 1`.
+pub struct Migration {
+    /// The schema version this step consumes.
+    pub from: u64,
+    /// The step's name (`"migrate_v0_v1"`), used in error messages.
+    pub name: &'static str,
+    /// The rewrite itself. Must leave the payload at a strictly higher
+    /// `schema_version` (usually via [`set_version`]).
+    pub apply: fn(Value) -> Result<Value, String>,
+}
+
+/// Why a payload could not be brought to the current schema version.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MigrationError {
+    /// The payload is not a JSON object, so it cannot carry a version.
+    NotAnObject,
+    /// The payload comes from a newer release than this build supports.
+    FutureVersion {
+        /// The version found in the payload.
+        found: u64,
+        /// The latest version this build's registry reaches.
+        supported: u64,
+    },
+    /// No registered step consumes the payload's current version.
+    MissingStep {
+        /// The version no step starts from.
+        from: u64,
+        /// The version the chain was trying to reach.
+        latest: u64,
+    },
+    /// A step returned an error.
+    StepFailed {
+        /// The version the step consumed.
+        from: u64,
+        /// The step's name.
+        name: &'static str,
+        /// The step's own error message.
+        why: String,
+    },
+    /// A step returned a payload whose version did not increase.
+    DidNotAdvance {
+        /// The version the step consumed.
+        from: u64,
+        /// The step's name.
+        name: &'static str,
+    },
+}
+
+impl fmt::Display for MigrationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MigrationError::NotAnObject => {
+                write!(
+                    f,
+                    "payload is not a JSON object, cannot carry a schema version"
+                )
+            }
+            MigrationError::FutureVersion { found, supported } => write!(
+                f,
+                "unsupported future schema version {found} (this build supports up to {supported})"
+            ),
+            MigrationError::MissingStep { from, latest } => write!(
+                f,
+                "no migration registered from schema version {from} (target {latest})"
+            ),
+            MigrationError::StepFailed { from, name, why } => {
+                write!(f, "migration {name} (from version {from}) failed: {why}")
+            }
+            MigrationError::DidNotAdvance { from, name } => write!(
+                f,
+                "migration {name} left the schema version at {from} instead of advancing it"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MigrationError {}
+
+/// An ordered chain of [`Migration`] steps reaching one latest version.
+pub struct MigrationRegistry {
+    latest: u64,
+    steps: Vec<Migration>,
+}
+
+impl MigrationRegistry {
+    /// An empty registry whose target schema version is `latest`.
+    pub fn new(latest: u64) -> Self {
+        Self {
+            latest,
+            steps: Vec::new(),
+        }
+    }
+
+    /// The latest schema version this registry upgrades to.
+    pub fn latest(&self) -> u64 {
+        self.latest
+    }
+
+    /// Adds one step. Steps may be registered in any order; at most one
+    /// step per `from` version (a duplicate replaces the earlier one).
+    pub fn register(&mut self, step: Migration) -> &mut Self {
+        self.steps.retain(|s| s.from != step.from);
+        self.steps.push(step);
+        self.steps.sort_by_key(|s| s.from);
+        self
+    }
+
+    /// The schema version a payload claims: its top-level
+    /// `schema_version` field, or 0 when the field is absent (the
+    /// pre-versioning era).
+    ///
+    /// # Errors
+    ///
+    /// [`MigrationError::NotAnObject`] when the payload is not a map.
+    pub fn version_of(value: &Value) -> Result<u64, MigrationError> {
+        let Value::Map(fields) = value else {
+            return Err(MigrationError::NotAnObject);
+        };
+        for (key, field) in fields {
+            if key == "schema_version" {
+                return match field {
+                    Value::U64(v) => Ok(*v),
+                    Value::I64(v) if *v >= 0 => Ok(*v as u64),
+                    _ => Err(MigrationError::NotAnObject),
+                };
+            }
+        }
+        Ok(0)
+    }
+
+    /// Walks the migration chain until `value` reaches
+    /// [`latest`](Self::latest). Returns the upgraded payload and the
+    /// version it started at (so callers can log "migrated from v0").
+    ///
+    /// # Errors
+    ///
+    /// [`MigrationError::FutureVersion`] when the payload claims a newer
+    /// version than this registry reaches, plus the step-level failures
+    /// documented on [`MigrationError`].
+    pub fn upgrade(&self, mut value: Value) -> Result<(Value, u64), MigrationError> {
+        let started_at = Self::version_of(&value)?;
+        if started_at > self.latest {
+            return Err(MigrationError::FutureVersion {
+                found: started_at,
+                supported: self.latest,
+            });
+        }
+        let mut version = started_at;
+        while version < self.latest {
+            let Some(step) = self.steps.iter().find(|s| s.from == version) else {
+                return Err(MigrationError::MissingStep {
+                    from: version,
+                    latest: self.latest,
+                });
+            };
+            value = (step.apply)(value).map_err(|why| MigrationError::StepFailed {
+                from: version,
+                name: step.name,
+                why,
+            })?;
+            let reached = Self::version_of(&value)?;
+            if reached <= version {
+                return Err(MigrationError::DidNotAdvance {
+                    from: version,
+                    name: step.name,
+                });
+            }
+            version = reached;
+        }
+        Ok((value, started_at))
+    }
+}
+
+/// Sets the payload's top-level `schema_version` field, inserting it
+/// first when absent. The helper every migration step ends with.
+///
+/// # Errors
+///
+/// Returns an error string (suitable for a step's failure message) when
+/// the payload is not a JSON object.
+pub fn set_version(value: &mut Value, version: u64) -> Result<(), String> {
+    let Value::Map(fields) = value else {
+        return Err("payload is not a JSON object".to_string());
+    };
+    for (key, field) in fields.iter_mut() {
+        if key == "schema_version" {
+            *field = Value::U64(version);
+            return Ok(());
+        }
+    }
+    fields.insert(0, ("schema_version".to_string(), Value::U64(version)));
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v0_payload() -> Value {
+        Value::Map(vec![("counts".to_string(), Value::U64(3))])
+    }
+
+    fn registry() -> MigrationRegistry {
+        fn v0_v1(mut value: Value) -> Result<Value, String> {
+            set_version(&mut value, 1)?;
+            Ok(value)
+        }
+        fn v1_v2(mut value: Value) -> Result<Value, String> {
+            // Rename `counts` to `event_counts`.
+            if let Value::Map(fields) = &mut value {
+                for entry in fields.iter_mut() {
+                    if entry.0 == "counts" {
+                        entry.0 = "event_counts".to_string();
+                    }
+                }
+            }
+            set_version(&mut value, 2)?;
+            Ok(value)
+        }
+        let mut registry = MigrationRegistry::new(2);
+        registry
+            .register(Migration {
+                from: 0,
+                name: "migrate_v0_v1",
+                apply: v0_v1,
+            })
+            .register(Migration {
+                from: 1,
+                name: "migrate_v1_v2",
+                apply: v1_v2,
+            });
+        registry
+    }
+
+    #[test]
+    fn missing_version_means_v0_and_chains_to_latest() {
+        let (upgraded, was) = registry().upgrade(v0_payload()).unwrap();
+        assert_eq!(was, 0);
+        assert_eq!(upgraded.get("schema_version"), Some(&Value::U64(2)));
+        assert_eq!(upgraded.get("event_counts"), Some(&Value::U64(3)));
+        assert_eq!(upgraded.get("counts"), None);
+    }
+
+    #[test]
+    fn current_version_is_a_no_op() {
+        let mut value = v0_payload();
+        set_version(&mut value, 2).unwrap();
+        let (upgraded, was) = registry().upgrade(value.clone()).unwrap();
+        assert_eq!(was, 2);
+        assert_eq!(upgraded, value);
+    }
+
+    #[test]
+    fn future_versions_fail_with_the_greppable_error() {
+        let mut value = v0_payload();
+        set_version(&mut value, 9).unwrap();
+        let err = registry().upgrade(value).unwrap_err();
+        assert_eq!(
+            err,
+            MigrationError::FutureVersion {
+                found: 9,
+                supported: 2
+            }
+        );
+        assert!(err
+            .to_string()
+            .contains("unsupported future schema version"));
+    }
+
+    #[test]
+    fn gaps_in_the_chain_are_reported() {
+        let mut registry = MigrationRegistry::new(2);
+        registry.register(Migration {
+            from: 1,
+            name: "migrate_v1_v2",
+            apply: |mut v| {
+                set_version(&mut v, 2)?;
+                Ok(v)
+            },
+        });
+        assert_eq!(
+            registry.upgrade(v0_payload()).unwrap_err(),
+            MigrationError::MissingStep { from: 0, latest: 2 }
+        );
+    }
+
+    #[test]
+    fn steps_that_do_not_advance_are_rejected() {
+        let mut registry = MigrationRegistry::new(1);
+        registry.register(Migration {
+            from: 0,
+            name: "broken",
+            apply: Ok,
+        });
+        assert_eq!(
+            registry.upgrade(v0_payload()).unwrap_err(),
+            MigrationError::DidNotAdvance {
+                from: 0,
+                name: "broken"
+            }
+        );
+    }
+
+    #[test]
+    fn non_object_payloads_are_rejected() {
+        assert_eq!(
+            registry().upgrade(Value::U64(3)).unwrap_err(),
+            MigrationError::NotAnObject
+        );
+    }
+}

@@ -1,0 +1,314 @@
+//! Segment file layout and the recovery scanner.
+//!
+//! A segment is an append-only file of CRC-framed records behind a fixed
+//! 32-byte header:
+//!
+//! ```text
+//! +-----------+-----------+----------+----------+------------+---------+
+//! | magic 8 B | format u32| reserved | base_seq | header_crc | pad u32 |
+//! | "CRDLSTO1"| le        | u32 le   | u64 le   | u32 le     |         |
+//! +-----------+-----------+----------+----------+------------+---------+
+//! ```
+//!
+//! `header_crc` covers bytes `0..24`, so a crash mid-header-write is
+//! detected rather than misread. Each record frame is:
+//!
+//! ```text
+//! len u32 le | crc u32 le (of body) | body (len bytes, see crate::record)
+//! ```
+//!
+//! [`scan_records`] is the single reader both recovery and replay go
+//! through: it walks frames from the header onward and stops at the
+//! **first** violation — short frame header, impossible length, CRC
+//! mismatch, malformed body, or non-increasing sequence number — reporting
+//! the clean prefix length so the caller can truncate there. Sequence
+//! numbers must be strictly increasing but need *not* be contiguous:
+//! compaction leaves gaps.
+
+use crate::crc::crc32;
+use crate::record::{decode_body, Record};
+
+/// First eight bytes of every segment file.
+pub(crate) const SEGMENT_MAGIC: [u8; 8] = *b"CRDLSTO1";
+
+/// Segment format revision; bumped on any layout change.
+pub(crate) const SEGMENT_FORMAT: u32 = 1;
+
+/// Fixed segment-header size in bytes.
+pub(crate) const SEGMENT_HEADER_LEN: usize = 32;
+
+/// Per-record frame overhead (length + CRC words).
+pub(crate) const FRAME_OVERHEAD: usize = 8;
+
+/// Upper bound on one record body (16 MiB — matches the wire protocol's
+/// payload cap). Larger declared lengths are treated as corruption.
+pub(crate) const MAX_BODY: u32 = 16 * 1024 * 1024;
+
+/// Builds a segment header for a segment whose first record will carry
+/// sequence number `base_seq`.
+pub(crate) fn encode_header(base_seq: u64) -> [u8; SEGMENT_HEADER_LEN] {
+    let mut out = [0u8; SEGMENT_HEADER_LEN];
+    out[0..8].copy_from_slice(&SEGMENT_MAGIC);
+    out[8..12].copy_from_slice(&SEGMENT_FORMAT.to_le_bytes());
+    // bytes 12..16 reserved, zero.
+    out[16..24].copy_from_slice(&base_seq.to_le_bytes());
+    let crc = crc32(&out[0..24]);
+    out[24..28].copy_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Validates a segment header, returning its `base_seq`. `None` means
+/// the header is torn, corrupt, or from an alien format.
+pub(crate) fn decode_header(bytes: &[u8]) -> Option<u64> {
+    if bytes.len() < SEGMENT_HEADER_LEN {
+        return None;
+    }
+    if bytes[0..8] != SEGMENT_MAGIC {
+        return None;
+    }
+    let format = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]);
+    if format != SEGMENT_FORMAT {
+        return None;
+    }
+    let declared = u32::from_le_bytes([bytes[24], bytes[25], bytes[26], bytes[27]]);
+    if crc32(&bytes[0..24]) != declared {
+        return None;
+    }
+    Some(u64::from_le_bytes([
+        bytes[16], bytes[17], bytes[18], bytes[19], bytes[20], bytes[21], bytes[22], bytes[23],
+    ]))
+}
+
+/// Frames one record body (length + CRC + body), appending to `out`.
+pub(crate) fn encode_frame(body: &[u8], out: &mut Vec<u8>) {
+    debug_assert!(body.len() <= MAX_BODY as usize, "record body over cap");
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(body).to_le_bytes());
+    out.extend_from_slice(body);
+}
+
+/// One record recovered by [`scan_records`], with the file offset its
+/// frame starts at.
+#[derive(Debug, Clone)]
+pub(crate) struct ScannedRecord {
+    /// Offset of the frame's length word within the segment file.
+    pub offset: u64,
+    /// The decoded record.
+    pub record: Record,
+}
+
+/// Result of scanning a segment's record area.
+#[derive(Debug, Clone)]
+pub(crate) struct Scan {
+    /// Every record of the clean prefix, in file order.
+    pub records: Vec<ScannedRecord>,
+    /// Length of the clean prefix in bytes (header included): the offset
+    /// a recovering store truncates the file to.
+    pub valid_len: u64,
+    /// Why the scan stopped early (`None` when the whole file is clean).
+    pub corruption: Option<String>,
+}
+
+/// Walks the record frames of a segment file (header already validated)
+/// starting at byte `start` (a frame boundary — the header end, or a
+/// sparse-index seek point), stopping at the first torn or corrupt frame.
+/// `last_seq` is the highest sequence number seen in earlier segments,
+/// enforcing store-wide strict monotonicity across segment boundaries.
+pub(crate) fn scan_records(bytes: &[u8], start: usize, mut last_seq: Option<u64>) -> Scan {
+    let mut records = Vec::new();
+    let mut offset = start;
+    let corruption = loop {
+        if offset == bytes.len() {
+            break None;
+        }
+        if offset + FRAME_OVERHEAD > bytes.len() {
+            break Some(format!("torn frame header at offset {offset}"));
+        }
+        let len = u32::from_le_bytes([
+            bytes[offset],
+            bytes[offset + 1],
+            bytes[offset + 2],
+            bytes[offset + 3],
+        ]);
+        if len > MAX_BODY {
+            break Some(format!("impossible body length {len} at offset {offset}"));
+        }
+        let declared_crc = u32::from_le_bytes([
+            bytes[offset + 4],
+            bytes[offset + 5],
+            bytes[offset + 6],
+            bytes[offset + 7],
+        ]);
+        let body_start = offset + FRAME_OVERHEAD;
+        let Some(body_end) = body_start.checked_add(len as usize) else {
+            break Some(format!("body length overflow at offset {offset}"));
+        };
+        if body_end > bytes.len() {
+            break Some(format!("torn record body at offset {offset}"));
+        }
+        let body = &bytes[body_start..body_end];
+        if crc32(body) != declared_crc {
+            break Some(format!("crc mismatch at offset {offset}"));
+        }
+        let record = match decode_body(body) {
+            Ok(record) => record,
+            Err(err) => break Some(format!("malformed body at offset {offset}: {err}")),
+        };
+        if let Some(last) = last_seq {
+            if record.seq() <= last {
+                break Some(format!(
+                    "sequence went backwards at offset {offset}: {} after {last}",
+                    record.seq()
+                ));
+            }
+        }
+        last_seq = Some(record.seq());
+        records.push(ScannedRecord {
+            offset: offset as u64,
+            record,
+        });
+        offset = body_end;
+    };
+    Scan {
+        records,
+        valid_len: offset as u64,
+        corruption,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{encode_body, DeviceKey, Record};
+    use cordial_mcelog::{ErrorEvent, ErrorType, Timestamp};
+    use cordial_topology::{
+        BankAddress, BankGroup, BankIndex, Channel, ColId, HbmSocket, NodeId, NpuId, PseudoChannel,
+        RowId, StackId,
+    };
+
+    fn sample_event(seed: u64) -> ErrorEvent {
+        let bank = BankAddress::new(
+            NodeId(seed as u32 & 0xFF),
+            NpuId(seed as u8 & 7),
+            HbmSocket(0),
+            StackId(0),
+            Channel(0),
+            PseudoChannel(0),
+            BankGroup(0),
+            BankIndex(0),
+        );
+        ErrorEvent::new(
+            bank.cell(RowId(seed as u32), ColId(0)),
+            Timestamp::from_millis(seed * 10),
+            ErrorType::Ce,
+        )
+    }
+
+    fn sample_segment(seqs: &[u64]) -> Vec<u8> {
+        let mut bytes = encode_header(seqs.first().copied().unwrap_or(0)).to_vec();
+        for &seq in seqs {
+            let record = if seq % 2 == 0 {
+                Record::Event {
+                    seq,
+                    event: sample_event(seq),
+                }
+            } else {
+                Record::Checkpoint {
+                    seq,
+                    device: DeviceKey {
+                        node: 1,
+                        npu: 0,
+                        hbm: 0,
+                    },
+                    journal_seq: seq.saturating_sub(1),
+                    payload: "{}".to_string(),
+                }
+            };
+            encode_frame(&encode_body(&record), &mut bytes);
+        }
+        bytes
+    }
+
+    #[test]
+    fn headers_round_trip_and_reject_bit_flips() {
+        let header = encode_header(42);
+        assert_eq!(decode_header(&header), Some(42));
+        for byte in 0..24 {
+            let mut bad = header;
+            bad[byte] ^= 0x10;
+            assert_eq!(decode_header(&bad), None, "flip in byte {byte} undetected");
+        }
+        assert_eq!(decode_header(&header[..31]), None);
+    }
+
+    #[test]
+    fn clean_segments_scan_fully() {
+        let bytes = sample_segment(&[0, 1, 2, 5, 9]);
+        let scan = scan_records(&bytes, SEGMENT_HEADER_LEN, None);
+        assert_eq!(scan.corruption, None);
+        assert_eq!(scan.valid_len, bytes.len() as u64);
+        let seqs: Vec<u64> = scan.records.iter().map(|r| r.record.seq()).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 5, 9]);
+    }
+
+    #[test]
+    fn every_truncation_point_yields_a_clean_prefix() {
+        let bytes = sample_segment(&[0, 1, 2, 3]);
+        let full = scan_records(&bytes, SEGMENT_HEADER_LEN, None);
+        // A cut exactly on a frame boundary leaves a clean (shorter) file;
+        // anywhere else must report a tear.
+        let boundaries: Vec<usize> = full
+            .records
+            .iter()
+            .map(|r| r.offset as usize)
+            .chain([bytes.len()])
+            .collect();
+        for cut in SEGMENT_HEADER_LEN..bytes.len() {
+            let scan = scan_records(&bytes[..cut], SEGMENT_HEADER_LEN, None);
+            assert!(scan.valid_len as usize <= cut);
+            // The recovered records must be a prefix of the full set.
+            for (got, want) in scan.records.iter().zip(&full.records) {
+                assert_eq!(got.record, want.record);
+            }
+            if boundaries.contains(&cut) {
+                assert!(scan.corruption.is_none(), "cut at boundary {cut} is clean");
+                assert_eq!(scan.valid_len as usize, cut);
+            } else {
+                assert!(scan.corruption.is_some(), "cut at {cut} must report a tear");
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_bytes_stop_the_scan_at_the_previous_record() {
+        let bytes = sample_segment(&[0, 1, 2]);
+        let full = scan_records(&bytes, SEGMENT_HEADER_LEN, None);
+        let second_record_offset = full.records[1].offset as usize;
+        let mut corrupted = bytes.clone();
+        corrupted[second_record_offset + FRAME_OVERHEAD + 3] ^= 0xFF;
+        let scan = scan_records(&corrupted, SEGMENT_HEADER_LEN, None);
+        assert_eq!(scan.records.len(), 1);
+        assert_eq!(scan.valid_len, full.records[1].offset);
+        assert!(scan.corruption.is_some());
+    }
+
+    #[test]
+    fn non_monotonic_sequences_are_corruption() {
+        let mut bytes = sample_segment(&[5]);
+        // A second record re-using seq 5 must stop the scan.
+        encode_frame(
+            &encode_body(&Record::Event {
+                seq: 5,
+                event: sample_event(5),
+            }),
+            &mut bytes,
+        );
+        let scan = scan_records(&bytes, SEGMENT_HEADER_LEN, None);
+        assert_eq!(scan.records.len(), 1);
+        assert!(scan.corruption.is_some());
+        // And a lower bound from an earlier segment is enforced too.
+        let scan = scan_records(&sample_segment(&[5]), SEGMENT_HEADER_LEN, Some(7));
+        assert_eq!(scan.records.len(), 0);
+        assert!(scan.corruption.is_some());
+    }
+}

@@ -1,0 +1,1385 @@
+//! The store itself: a directory of segment files behind a manifest,
+//! with WAL-style appends, crash recovery, indexed replay and
+//! compaction.
+//!
+//! # Layout and crash safety
+//!
+//! A store directory holds numbered segment files
+//! (`seg-<generation>-<base_seq>.cst`, see [`crate::segment`] for the
+//! file format) and a `MANIFEST.json` naming the live segments in order.
+//! The manifest is the commit point for every structural change (segment
+//! roll, compaction): it is replaced atomically and durably
+//! ([`cordial_obs::fsio::durable_write`]), and any `.cst` file not named
+//! by it is swept at open. A new segment is created, fsynced and
+//! *manifested* before the first record lands in it, so an acknowledged
+//! append can never sit in an unlisted file.
+//!
+//! Appends go straight to the active segment file; durability is
+//! governed by [`FsyncPolicy`]. Recovery at [`Store::open`] scans every
+//! live segment, truncates the first torn or corrupt record, drops any
+//! later segments (the write-ahead log's clean prefix ends at the first
+//! tear) and resumes appending; what was cut is reported in
+//! [`RecoveryReport`], not an error.
+//!
+//! # Replay index
+//!
+//! Each segment keeps an in-memory sparse index (one entry every
+//! [`StoreConfig::index_every`] records) carrying the entry's sequence
+//! number and the maximum event timestamp seen *before* it. A
+//! `(device, time-range)` replay can therefore skip whole segments by
+//! their time bounds and seek within a segment to the last index entry
+//! provably before the requested range — without assuming event
+//! timestamps are globally sorted.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs::{self, File, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::str::FromStr;
+
+use cordial_mcelog::ErrorEvent;
+use cordial_obs::fsio;
+use serde::Value;
+
+use crate::error::StoreError;
+use crate::record::{encode_body, DeviceKey, Record};
+use crate::segment::{self, SEGMENT_HEADER_LEN};
+
+/// Name of the manifest file inside a store directory.
+pub const MANIFEST_NAME: &str = "MANIFEST.json";
+
+/// When appends reach the disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// fsync after every append call — an acknowledged record survives
+    /// power loss. The journal-before-ack default.
+    Always,
+    /// fsync once every `n` records: bounded loss window, amortised
+    /// cost.
+    Batch(u32),
+    /// Never fsync on append (the OS flushes eventually). Still syncs
+    /// on segment roll, compaction and drop.
+    Never,
+}
+
+impl FromStr for FsyncPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "always" => Ok(FsyncPolicy::Always),
+            "never" => Ok(FsyncPolicy::Never),
+            _ => {
+                if let Some(n) = s.strip_prefix("batch:") {
+                    let n: u32 = n
+                        .parse()
+                        .map_err(|_| format!("bad fsync batch size `{n}`"))?;
+                    if n == 0 {
+                        return Err("fsync batch size must be at least 1".to_string());
+                    }
+                    Ok(FsyncPolicy::Batch(n))
+                } else {
+                    Err(format!(
+                        "unknown fsync policy `{s}` (expected `always`, `never` or `batch:N`)"
+                    ))
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for FsyncPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsyncPolicy::Always => write!(f, "always"),
+            FsyncPolicy::Batch(n) => write!(f, "batch:{n}"),
+            FsyncPolicy::Never => write!(f, "never"),
+        }
+    }
+}
+
+/// Store tuning knobs.
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// When appends are fsynced (default [`FsyncPolicy::Always`]).
+    pub fsync: FsyncPolicy,
+    /// Soft cap on one segment file; appends roll to a new segment once
+    /// the active one reaches it (default 8 MiB).
+    pub segment_max_bytes: u64,
+    /// Sparse-index granularity: one index entry per this many records
+    /// (default 64).
+    pub index_every: u32,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        Self {
+            fsync: FsyncPolicy::Always,
+            segment_max_bytes: 8 * 1024 * 1024,
+            index_every: 64,
+        }
+    }
+}
+
+/// What recovery found (and cut) while opening the store. All of this is
+/// expected crash damage, reported rather than errored.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// Bytes removed when truncating the first torn/corrupt record (and
+    /// any segment dropped whole).
+    pub truncated_bytes: u64,
+    /// The segment whose tail was truncated, if any.
+    pub truncated_segment: Option<String>,
+    /// Segments dropped entirely (after the clean prefix ended).
+    pub dropped_segments: Vec<String>,
+    /// Human-readable description of the first corruption found.
+    pub corruption: Option<String>,
+    /// Stray files swept at open (uncommitted compaction output,
+    /// leftover temp files).
+    pub swept_files: Vec<String>,
+}
+
+/// Per-segment summary for [`Store::inspect`].
+#[derive(Debug, Clone)]
+pub struct SegmentReport {
+    /// Segment file name.
+    pub name: String,
+    /// Sequence number the segment was created at.
+    pub base_seq: u64,
+    /// File size in bytes (header included).
+    pub bytes: u64,
+    /// Records in the segment.
+    pub records: u64,
+    /// Event records.
+    pub events: u64,
+    /// Checkpoint records.
+    pub checkpoints: u64,
+    /// First record sequence number (None for an empty segment).
+    pub first_seq: Option<u64>,
+    /// Last record sequence number.
+    pub last_seq: Option<u64>,
+    /// Earliest event timestamp (ms) in the segment.
+    pub min_time_ms: Option<u64>,
+    /// Latest event timestamp (ms) in the segment.
+    pub max_time_ms: Option<u64>,
+}
+
+/// Whole-store summary for the `store inspect` CLI.
+#[derive(Debug, Clone)]
+pub struct StoreReport {
+    /// The store directory.
+    pub dir: PathBuf,
+    /// Per-segment summaries in manifest order.
+    pub segments: Vec<SegmentReport>,
+    /// Total records across segments.
+    pub records: u64,
+    /// Total event records.
+    pub events: u64,
+    /// Total checkpoint records.
+    pub checkpoints: u64,
+    /// Total bytes across segment files.
+    pub bytes: u64,
+    /// The next sequence number an append would receive.
+    pub next_seq: u64,
+    /// What recovery cut when the store was opened.
+    pub recovery: RecoveryReport,
+}
+
+/// The newest checkpoint stored for one device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointRecord {
+    /// Store sequence number of the checkpoint record.
+    pub seq: u64,
+    /// Journal position the checkpoint covers: events with
+    /// `seq <= journal_seq` are folded into the checkpointed state.
+    pub journal_seq: u64,
+    /// The JSON checkpoint payload.
+    pub payload: String,
+}
+
+/// What [`Store::replay`] should yield. Default: every record.
+///
+/// Setting `since_ms`/`until_ms` restricts to **event** records inside
+/// the (inclusive) time range — checkpoints carry no wall-clock time and
+/// are excluded by any time filter.
+#[derive(Debug, Clone, Default)]
+pub struct ReplayFilter {
+    /// Only records of this device.
+    pub device: Option<DeviceKey>,
+    /// Only events with `time_ms >= since_ms` (excludes checkpoints).
+    pub since_ms: Option<u64>,
+    /// Only events with `time_ms <= until_ms` (excludes checkpoints).
+    pub until_ms: Option<u64>,
+    /// Only records with `seq >= min_seq`.
+    pub min_seq: Option<u64>,
+    /// Drop checkpoint records.
+    pub events_only: bool,
+}
+
+/// What compaction achieved.
+#[derive(Debug, Clone, Default)]
+pub struct CompactReport {
+    /// Records before compaction.
+    pub records_before: u64,
+    /// Records surviving compaction.
+    pub records_after: u64,
+    /// Bytes on disk before.
+    pub bytes_before: u64,
+    /// Bytes on disk after.
+    pub bytes_after: u64,
+    /// Event records dropped (covered by a newer checkpoint).
+    pub dropped_events: u64,
+    /// Checkpoint records dropped (superseded by a newer one).
+    pub dropped_checkpoints: u64,
+}
+
+/// One sparse-index entry: a safe in-segment seek point.
+#[derive(Debug, Clone)]
+struct IndexEntry {
+    /// File offset of the record's frame.
+    offset: u64,
+    /// Sequence number of the record at `offset`.
+    seq: u64,
+    /// Maximum event timestamp of all records *before* `offset` (0 when
+    /// none): if a replay's lower time bound exceeds this, everything
+    /// before the entry is provably out of range.
+    max_time_before: u64,
+}
+
+/// In-memory metadata of one live segment.
+#[derive(Debug, Clone)]
+struct SegmentMeta {
+    name: String,
+    path: PathBuf,
+    base_seq: u64,
+    len: u64,
+    records: u64,
+    events: u64,
+    checkpoints: u64,
+    first_seq: Option<u64>,
+    last_seq: Option<u64>,
+    min_time: Option<u64>,
+    max_time: Option<u64>,
+    sparse: Vec<IndexEntry>,
+    running_max_time: u64,
+}
+
+impl SegmentMeta {
+    fn new(name: String, path: PathBuf, base_seq: u64) -> Self {
+        Self {
+            name,
+            path,
+            base_seq,
+            len: SEGMENT_HEADER_LEN as u64,
+            records: 0,
+            events: 0,
+            checkpoints: 0,
+            first_seq: None,
+            last_seq: None,
+            min_time: None,
+            max_time: None,
+            sparse: Vec::new(),
+            running_max_time: 0,
+        }
+    }
+
+    /// Accounts one record whose frame occupies `offset..end`.
+    fn note_record(&mut self, offset: u64, end: u64, record: &Record, index_every: u32) {
+        if self.records.is_multiple_of(u64::from(index_every.max(1))) {
+            self.sparse.push(IndexEntry {
+                offset,
+                seq: record.seq(),
+                max_time_before: self.running_max_time,
+            });
+        }
+        self.records += 1;
+        self.first_seq.get_or_insert(record.seq());
+        self.last_seq = Some(record.seq());
+        match record {
+            Record::Event { event, .. } => {
+                self.events += 1;
+                let t = event.time.as_millis();
+                self.min_time = Some(self.min_time.map_or(t, |m| m.min(t)));
+                self.max_time = Some(self.max_time.map_or(t, |m| m.max(t)));
+                self.running_max_time = self.running_max_time.max(t);
+            }
+            Record::Checkpoint { .. } => self.checkpoints += 1,
+        }
+        self.len = end;
+    }
+
+    /// The deepest safe starting offset for a filtered scan: skipping to
+    /// it can only skip records every active filter criterion excludes.
+    fn start_offset_for(&self, filter: &ReplayFilter) -> usize {
+        if filter.min_seq.is_none() && filter.since_ms.is_none() {
+            return SEGMENT_HEADER_LEN;
+        }
+        let mut best = SEGMENT_HEADER_LEN;
+        for entry in &self.sparse {
+            let seq_ok = filter.min_seq.is_none_or(|m| entry.seq <= m);
+            let time_ok = filter.since_ms.is_none_or(|lo| entry.max_time_before < lo);
+            if seq_ok && time_ok && entry.offset as usize > best {
+                best = entry.offset as usize;
+            }
+        }
+        best
+    }
+
+    fn report(&self) -> SegmentReport {
+        SegmentReport {
+            name: self.name.clone(),
+            base_seq: self.base_seq,
+            bytes: self.len,
+            records: self.records,
+            events: self.events,
+            checkpoints: self.checkpoints,
+            first_seq: self.first_seq,
+            last_seq: self.last_seq,
+            min_time_ms: self.min_time,
+            max_time_ms: self.max_time,
+        }
+    }
+}
+
+/// Renders a segment file name: generation then base sequence, both
+/// fixed-width hex so lexicographic order equals logical order.
+fn segment_name(gen: u32, base_seq: u64) -> String {
+    format!("seg-{gen:08x}-{base_seq:016x}.cst")
+}
+
+/// Parses a name produced by [`segment_name`].
+fn parse_segment_name(name: &str) -> Option<(u32, u64)> {
+    let rest = name.strip_prefix("seg-")?.strip_suffix(".cst")?;
+    let (gen, base) = rest.split_once('-')?;
+    Some((
+        u32::from_str_radix(gen, 16).ok()?,
+        u64::from_str_radix(base, 16).ok()?,
+    ))
+}
+
+/// The embedded store: open it on a directory, append events and
+/// checkpoints, replay them back. Not internally synchronised — wrap in
+/// a mutex to share across threads (the serving daemon does).
+pub struct Store {
+    dir: PathBuf,
+    config: StoreConfig,
+    segments: Vec<SegmentMeta>,
+    active: File,
+    gen: u32,
+    next_seq: u64,
+    unsynced: u32,
+    dirty: bool,
+    recovery: RecoveryReport,
+}
+
+impl fmt::Debug for Store {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Store")
+            .field("dir", &self.dir)
+            .field("segments", &self.segments.len())
+            .field("next_seq", &self.next_seq)
+            .finish()
+    }
+}
+
+impl Store {
+    /// Opens (creating if needed) the store at `dir`, running crash
+    /// recovery: the tail is scanned, the first torn or corrupt record
+    /// is truncated away, segments past the tear are dropped, and the
+    /// store is ready to append. See [`Store::recovery`] for what was
+    /// cut.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and structural corruption the recovery scan cannot
+    /// absorb (a malformed manifest).
+    pub fn open(dir: &Path, config: StoreConfig) -> Result<Self, StoreError> {
+        fs::create_dir_all(dir).map_err(|e| StoreError::io("create dir", dir, e))?;
+        let mut report = RecoveryReport::default();
+        let names = match read_manifest(dir)? {
+            Some(names) => names,
+            None => {
+                // First open (or pre-manifest directory): adopt every
+                // well-named segment in lexicographic = logical order.
+                let mut names: Vec<String> = list_dir(dir)?
+                    .into_iter()
+                    .filter(|name| parse_segment_name(name).is_some())
+                    .collect();
+                names.sort();
+                names
+            }
+        };
+
+        // Sweep stray files: uncommitted compaction output, temp files,
+        // segments the manifest no longer lists.
+        for name in list_dir(dir)? {
+            if name == MANIFEST_NAME || names.contains(&name) {
+                continue;
+            }
+            if name.ends_with(".cst") || name.ends_with(".tmp") {
+                let _ = fs::remove_file(dir.join(&name));
+                report.swept_files.push(name);
+            }
+        }
+
+        let mut segments: Vec<SegmentMeta> = Vec::new();
+        let mut last_seq: Option<u64> = None;
+        let mut gen = 0u32;
+        let mut cut = false;
+        for name in &names {
+            let path = dir.join(name);
+            if cut {
+                report.dropped_segments.push(name.clone());
+                report.truncated_bytes += fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+                let _ = fs::remove_file(&path);
+                continue;
+            }
+            let Some((g, base)) = parse_segment_name(name) else {
+                cut = true;
+                report
+                    .corruption
+                    .get_or_insert(format!("{name}: not a segment file name"));
+                report.dropped_segments.push(name.clone());
+                let _ = fs::remove_file(&path);
+                continue;
+            };
+            let bytes = match fs::read(&path) {
+                Ok(bytes) => bytes,
+                Err(e) => {
+                    // A manifested segment that cannot be read ends the
+                    // clean prefix.
+                    cut = true;
+                    report
+                        .corruption
+                        .get_or_insert(format!("{name}: unreadable: {e}"));
+                    report.dropped_segments.push(name.clone());
+                    continue;
+                }
+            };
+            gen = gen.max(g);
+            if segment::decode_header(&bytes) != Some(base) {
+                cut = true;
+                report
+                    .corruption
+                    .get_or_insert(format!("{name}: torn or corrupt segment header"));
+                report.truncated_bytes += bytes.len() as u64;
+                report.dropped_segments.push(name.clone());
+                let _ = fs::remove_file(&path);
+                continue;
+            }
+            let scan = segment::scan_records(&bytes, SEGMENT_HEADER_LEN, last_seq);
+            let mut meta = SegmentMeta::new(name.clone(), path.clone(), base);
+            let mut ends = scan
+                .records
+                .iter()
+                .skip(1)
+                .map(|r| r.offset)
+                .collect::<Vec<u64>>();
+            ends.push(scan.valid_len);
+            for (scanned, end) in scan.records.iter().zip(ends) {
+                meta.note_record(scanned.offset, end, &scanned.record, config.index_every);
+            }
+            if let Some(corruption) = scan.corruption {
+                let file = OpenOptions::new()
+                    .write(true)
+                    .open(&path)
+                    .map_err(|e| StoreError::io("open for truncate", &path, e))?;
+                file.set_len(scan.valid_len)
+                    .map_err(|e| StoreError::io("truncate", &path, e))?;
+                file.sync_all()
+                    .map_err(|e| StoreError::io("sync truncated", &path, e))?;
+                report.truncated_bytes += bytes.len() as u64 - scan.valid_len;
+                report.truncated_segment = Some(name.clone());
+                report
+                    .corruption
+                    .get_or_insert(format!("{name}: {corruption}"));
+                cut = true;
+            }
+            last_seq = meta.last_seq.or(last_seq);
+            segments.push(meta);
+        }
+
+        if report.corruption.is_some() {
+            cordial_obs::counter!("store.recovery.truncations").inc();
+        }
+
+        let next_seq = last_seq.map_or(0, |s| s + 1);
+        let reuse = segments
+            .last()
+            .is_some_and(|m| m.len < config.segment_max_bytes);
+        let active = if reuse {
+            let meta = match segments.last() {
+                Some(meta) => meta,
+                None => unreachable!("reuse implies a last segment"),
+            };
+            OpenOptions::new()
+                .append(true)
+                .open(&meta.path)
+                .map_err(|e| StoreError::io("open active", &meta.path, e))?
+        } else {
+            let (meta, file) = create_segment(dir, gen, next_seq)?;
+            segments.push(meta);
+            file
+        };
+
+        let store = Self {
+            dir: dir.to_path_buf(),
+            config,
+            segments,
+            active,
+            gen,
+            next_seq,
+            unsynced: 0,
+            dirty: false,
+            recovery: report,
+        };
+        // Commit the recovered view (drops swept/cut names, adds a
+        // freshly created active segment).
+        store.write_manifest()?;
+        Ok(store)
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// What recovery cut when this store was opened.
+    pub fn recovery(&self) -> &RecoveryReport {
+        &self.recovery
+    }
+
+    /// The sequence number the next appended record will receive.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// The sequence number of the last stored record, if any.
+    pub fn last_seq(&self) -> Option<u64> {
+        self.next_seq.checked_sub(1)
+    }
+
+    /// Appends a batch of events in order, returning the `(first, last)`
+    /// sequence numbers assigned (`None` for an empty batch). With
+    /// [`FsyncPolicy::Always`] the batch is on disk when this returns —
+    /// journal-before-ack needs exactly that.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures; the batch must be considered unjournaled.
+    pub fn append_events(
+        &mut self,
+        events: &[ErrorEvent],
+    ) -> Result<Option<(u64, u64)>, StoreError> {
+        if events.is_empty() {
+            return Ok(None);
+        }
+        let first = self.next_seq;
+        let records: Vec<Record> = events
+            .iter()
+            .enumerate()
+            .map(|(i, event)| Record::Event {
+                seq: first + i as u64,
+                event: *event,
+            })
+            .collect();
+        let last = first + (events.len() as u64) - 1;
+        self.append_records(&records)?;
+        cordial_obs::counter!("store.append.events").add(events.len() as u64);
+        Ok(Some((first, last)))
+    }
+
+    /// Appends a checkpoint for `device` covering the journal up to and
+    /// including `journal_seq`, returning the record's sequence number.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures; the checkpoint must be considered unstored.
+    pub fn append_checkpoint(
+        &mut self,
+        device: DeviceKey,
+        journal_seq: u64,
+        payload: &str,
+    ) -> Result<u64, StoreError> {
+        let seq = self.next_seq;
+        let record = Record::Checkpoint {
+            seq,
+            device,
+            journal_seq,
+            payload: payload.to_string(),
+        };
+        self.append_records(std::slice::from_ref(&record))?;
+        cordial_obs::counter!("store.append.checkpoints").inc();
+        Ok(seq)
+    }
+
+    /// Frames and writes `records` (which must already carry the next
+    /// sequence numbers in order), updating metadata and applying the
+    /// fsync policy.
+    fn append_records(&mut self, records: &[Record]) -> Result<(), StoreError> {
+        self.roll_if_full()?;
+        let mut buf = Vec::new();
+        let mut spans = Vec::with_capacity(records.len());
+        for record in records {
+            let start = buf.len() as u64;
+            segment::encode_frame(&encode_body(record), &mut buf);
+            spans.push((start, buf.len() as u64));
+        }
+        let meta = self.active_meta();
+        let base = meta.len;
+        let path = meta.path.clone();
+        self.active
+            .write_all(&buf)
+            .map_err(|e| StoreError::io("append", path, e))?;
+        self.dirty = true;
+        let index_every = self.config.index_every;
+        let meta = self.active_meta();
+        for (record, (start, end)) in records.iter().zip(spans) {
+            meta.note_record(base + start, base + end, record, index_every);
+        }
+        self.next_seq += records.len() as u64;
+        self.apply_fsync_policy(records.len() as u32)?;
+        Ok(())
+    }
+
+    fn active_meta(&mut self) -> &mut SegmentMeta {
+        match self.segments.last_mut() {
+            Some(meta) => meta,
+            None => unreachable!("an open store always has an active segment"),
+        }
+    }
+
+    fn apply_fsync_policy(&mut self, appended: u32) -> Result<(), StoreError> {
+        match self.config.fsync {
+            FsyncPolicy::Always => self.sync(),
+            FsyncPolicy::Batch(n) => {
+                self.unsynced = self.unsynced.saturating_add(appended);
+                if self.unsynced >= n {
+                    self.sync()
+                } else {
+                    Ok(())
+                }
+            }
+            FsyncPolicy::Never => Ok(()),
+        }
+    }
+
+    /// Forces buffered appends to disk regardless of policy.
+    ///
+    /// # Errors
+    ///
+    /// The underlying fsync failure.
+    pub fn sync(&mut self) -> Result<(), StoreError> {
+        if self.dirty {
+            let path = self.active_meta().path.clone();
+            self.active
+                .sync_all()
+                .map_err(|e| StoreError::io("fsync", path, e))?;
+            cordial_obs::counter!("store.fsyncs").inc();
+        }
+        self.unsynced = 0;
+        self.dirty = false;
+        Ok(())
+    }
+
+    /// Rolls to a fresh segment when the active one is at the size cap.
+    /// The new file is created, synced and manifested *before* any
+    /// record lands in it.
+    fn roll_if_full(&mut self) -> Result<(), StoreError> {
+        if self.active_meta().len < self.config.segment_max_bytes {
+            return Ok(());
+        }
+        self.sync()?;
+        let (meta, file) = create_segment(&self.dir, self.gen, self.next_seq)?;
+        self.segments.push(meta);
+        self.active = file;
+        self.write_manifest()?;
+        cordial_obs::counter!("store.segments.rolled").inc();
+        Ok(())
+    }
+
+    /// Reads every record of one live segment (clean prefix only).
+    fn scan_segment(
+        &self,
+        meta: &SegmentMeta,
+        filter: &ReplayFilter,
+    ) -> Result<Vec<Record>, StoreError> {
+        let bytes = fs::read(&meta.path).map_err(|e| StoreError::io("read", &meta.path, e))?;
+        let valid = &bytes[..meta.len.min(bytes.len() as u64) as usize];
+        let start = meta.start_offset_for(filter);
+        if start >= valid.len() {
+            return Ok(Vec::new());
+        }
+        let scan = segment::scan_records(valid, start, None);
+        if let Some(what) = scan.corruption {
+            // Open-time recovery validated this data; damage appearing
+            // afterwards means the files were modified underneath us.
+            return Err(StoreError::Corrupt {
+                path: meta.path.clone(),
+                what,
+            });
+        }
+        Ok(scan.records.into_iter().map(|r| r.record).collect())
+    }
+
+    /// Replays stored records matching `filter`, in append (sequence)
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, or corruption appearing in data that recovery had
+    /// validated (the files were modified underneath the store).
+    pub fn replay(&self, filter: &ReplayFilter) -> Result<Vec<Record>, StoreError> {
+        let time_filtered = filter.since_ms.is_some() || filter.until_ms.is_some();
+        let lo = filter.since_ms.unwrap_or(0);
+        let hi = filter.until_ms.unwrap_or(u64::MAX);
+        let mut out = Vec::new();
+        for meta in &self.segments {
+            if filter
+                .min_seq
+                .is_some_and(|m| meta.last_seq.is_none_or(|l| l < m))
+            {
+                continue;
+            }
+            if time_filtered {
+                match (meta.min_time, meta.max_time) {
+                    // No events at all — and time filters exclude
+                    // checkpoints anyway.
+                    (None, None) => continue,
+                    (Some(min), Some(max)) if max < lo || min > hi => continue,
+                    _ => {}
+                }
+            }
+            for record in self.scan_segment(meta, filter)? {
+                if filter.min_seq.is_some_and(|m| record.seq() < m) {
+                    continue;
+                }
+                if matches!(record, Record::Checkpoint { .. })
+                    && (filter.events_only || time_filtered)
+                {
+                    continue;
+                }
+                if filter.device.is_some_and(|d| record.device() != d) {
+                    continue;
+                }
+                if time_filtered {
+                    let Some(t) = record.time_ms() else { continue };
+                    if t < lo || t > hi {
+                        continue;
+                    }
+                }
+                out.push(record);
+            }
+        }
+        Ok(out)
+    }
+
+    /// The journal tail: every event with sequence number strictly
+    /// greater than `journal_seq`, in append order — what a recovering
+    /// consumer replays on top of a checkpoint taken at `journal_seq`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Store::replay`].
+    pub fn events_after(&self, journal_seq: u64) -> Result<Vec<(u64, ErrorEvent)>, StoreError> {
+        let filter = ReplayFilter {
+            min_seq: Some(journal_seq.saturating_add(1)),
+            events_only: true,
+            ..ReplayFilter::default()
+        };
+        Ok(self
+            .replay(&filter)?
+            .into_iter()
+            .filter_map(|record| match record {
+                Record::Event { seq, event } => Some((seq, event)),
+                Record::Checkpoint { .. } => None,
+            })
+            .collect())
+    }
+
+    /// The newest checkpoint of every device that has one.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Store::replay`].
+    pub fn latest_checkpoints(&self) -> Result<BTreeMap<DeviceKey, CheckpointRecord>, StoreError> {
+        let mut latest: BTreeMap<DeviceKey, CheckpointRecord> = BTreeMap::new();
+        let filter = ReplayFilter::default();
+        for meta in &self.segments {
+            if meta.checkpoints == 0 {
+                continue;
+            }
+            for record in self.scan_segment(meta, &filter)? {
+                if let Record::Checkpoint {
+                    seq,
+                    device,
+                    journal_seq,
+                    payload,
+                } = record
+                {
+                    // Later segments and offsets carry higher seqs, so a
+                    // plain overwrite keeps the newest.
+                    latest.insert(
+                        device,
+                        CheckpointRecord {
+                            seq,
+                            journal_seq,
+                            payload,
+                        },
+                    );
+                }
+            }
+        }
+        Ok(latest)
+    }
+
+    /// The newest checkpoint of one device, if any.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Store::replay`].
+    pub fn latest_checkpoint(
+        &self,
+        device: DeviceKey,
+    ) -> Result<Option<CheckpointRecord>, StoreError> {
+        Ok(self.latest_checkpoints()?.remove(&device))
+    }
+
+    /// Drops records that no recovery could ever need — events already
+    /// folded into their device's newest checkpoint, and checkpoints
+    /// superseded by a newer one — rewriting the survivors into fresh
+    /// segments. The manifest replacement is the commit point: a crash
+    /// anywhere during compaction leaves either the old store or the new
+    /// one, never a mix.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures. The store is unchanged on error (the manifest still
+    /// names the old segments).
+    pub fn compact(&mut self) -> Result<CompactReport, StoreError> {
+        self.sync()?;
+        let filter = ReplayFilter::default();
+        let mut all: Vec<Record> = Vec::new();
+        for meta in &self.segments {
+            all.extend(self.scan_segment(meta, &filter)?);
+        }
+        let mut latest: BTreeMap<DeviceKey, (u64, u64)> = BTreeMap::new();
+        for record in &all {
+            if let Record::Checkpoint {
+                seq,
+                device,
+                journal_seq,
+                ..
+            } = record
+            {
+                latest.insert(*device, (*seq, *journal_seq));
+            }
+        }
+        let mut report = CompactReport {
+            records_before: all.len() as u64,
+            bytes_before: self.segments.iter().map(|m| m.len).sum(),
+            ..CompactReport::default()
+        };
+        let keep: Vec<Record> = all
+            .into_iter()
+            .filter(|record| match record {
+                Record::Event { seq, event } => {
+                    let covered = latest
+                        .get(&DeviceKey::of_event(event))
+                        .is_some_and(|(_, journal_seq)| *journal_seq >= *seq);
+                    if covered {
+                        report.dropped_events += 1;
+                    }
+                    !covered
+                }
+                Record::Checkpoint { seq, device, .. } => {
+                    let newest = latest.get(device).is_some_and(|(s, _)| s == seq);
+                    if !newest {
+                        report.dropped_checkpoints += 1;
+                    }
+                    newest
+                }
+            })
+            .collect();
+
+        // Write survivors into a fresh generation of sealed segments.
+        let gen = self.gen + 1;
+        let mut new_metas: Vec<SegmentMeta> = Vec::new();
+        let mut current: Option<(SegmentMeta, File, Vec<u8>)> = None;
+        let index_every = self.config.index_every;
+        for record in &keep {
+            let needs_new = match &current {
+                None => true,
+                Some((meta, _, _)) => meta.len >= self.config.segment_max_bytes,
+            };
+            if needs_new {
+                if let Some((mut meta, file, buf)) = current.take() {
+                    seal_segment(&mut meta, file, buf)?;
+                    new_metas.push(meta);
+                }
+                let (meta, file) = create_segment(&self.dir, gen, record.seq())?;
+                current = Some((meta, file, Vec::new()));
+            }
+            if let Some((meta, _, buf)) = &mut current {
+                let start = SEGMENT_HEADER_LEN as u64 + buf.len() as u64;
+                segment::encode_frame(&encode_body(record), buf);
+                let end = SEGMENT_HEADER_LEN as u64 + buf.len() as u64;
+                meta.note_record(start, end, record, index_every);
+            }
+        }
+        if let Some((mut meta, file, buf)) = current.take() {
+            seal_segment(&mut meta, file, buf)?;
+            new_metas.push(meta);
+        }
+
+        // Always finish with a fresh empty active segment.
+        let (active_meta, active_file) = create_segment(&self.dir, gen, self.next_seq)?;
+        new_metas.push(active_meta);
+
+        let old_paths: Vec<PathBuf> = self.segments.iter().map(|m| m.path.clone()).collect();
+        self.gen = gen;
+        self.segments = new_metas;
+        self.active = active_file;
+        self.unsynced = 0;
+        self.dirty = false;
+        // Commit point: the manifest now names only the new generation.
+        self.write_manifest()?;
+        for path in old_paths {
+            let _ = fs::remove_file(path);
+        }
+        report.records_after = keep.len() as u64;
+        report.bytes_after = self.segments.iter().map(|m| m.len).sum();
+        cordial_obs::counter!("store.compactions").inc();
+        Ok(report)
+    }
+
+    /// A structural summary of the store (the `store inspect` CLI view).
+    pub fn inspect(&self) -> StoreReport {
+        StoreReport {
+            dir: self.dir.clone(),
+            segments: self.segments.iter().map(SegmentMeta::report).collect(),
+            records: self.segments.iter().map(|m| m.records).sum(),
+            events: self.segments.iter().map(|m| m.events).sum(),
+            checkpoints: self.segments.iter().map(|m| m.checkpoints).sum(),
+            bytes: self.segments.iter().map(|m| m.len).sum(),
+            next_seq: self.next_seq,
+            recovery: self.recovery.clone(),
+        }
+    }
+
+    /// Replaces the manifest, durably naming the current segment list.
+    fn write_manifest(&self) -> Result<(), StoreError> {
+        let value = Value::Map(vec![
+            ("format".to_string(), Value::U64(1)),
+            (
+                "segments".to_string(),
+                Value::Seq(
+                    self.segments
+                        .iter()
+                        .map(|m| Value::Str(m.name.clone()))
+                        .collect(),
+                ),
+            ),
+        ]);
+        let path = self.dir.join(MANIFEST_NAME);
+        let text = serde_json::to_string_pretty(&value).map_err(|e| StoreError::Corrupt {
+            path: path.clone(),
+            what: format!("cannot serialise manifest: {e}"),
+        })?;
+        fsio::durable_write(&path, text.as_bytes())
+            .map_err(|e| StoreError::io("write manifest", path, e))
+    }
+}
+
+impl Drop for Store {
+    fn drop(&mut self) {
+        if self.dirty {
+            let _ = self.active.sync_all();
+        }
+    }
+}
+
+/// File names inside the store directory.
+fn list_dir(dir: &Path) -> Result<Vec<String>, StoreError> {
+    let mut names = Vec::new();
+    let entries = fs::read_dir(dir).map_err(|e| StoreError::io("read dir", dir, e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| StoreError::io("read dir", dir, e))?;
+        if let Some(name) = entry.file_name().to_str() {
+            names.push(name.to_string());
+        }
+    }
+    Ok(names)
+}
+
+/// Reads the manifest's segment list (`None` when no manifest exists).
+fn read_manifest(dir: &Path) -> Result<Option<Vec<String>>, StoreError> {
+    let path = dir.join(MANIFEST_NAME);
+    let text = match fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(StoreError::io("read manifest", path, e)),
+    };
+    let value = serde_json::parse_value_str(&text).map_err(|e| StoreError::Corrupt {
+        path: path.clone(),
+        what: format!("malformed manifest: {e}"),
+    })?;
+    let Some(Value::Seq(items)) = value.get("segments") else {
+        return Err(StoreError::Corrupt {
+            path,
+            what: "manifest has no `segments` array".to_string(),
+        });
+    };
+    let mut names = Vec::with_capacity(items.len());
+    for item in items {
+        let Value::Str(name) = item else {
+            return Err(StoreError::Corrupt {
+                path,
+                what: "manifest `segments` entry is not a string".to_string(),
+            });
+        };
+        names.push(name.clone());
+    }
+    Ok(Some(names))
+}
+
+/// Creates a fresh segment file: header written, synced, parent
+/// directory synced. The returned [`File`] is positioned for appending.
+fn create_segment(dir: &Path, gen: u32, base_seq: u64) -> Result<(SegmentMeta, File), StoreError> {
+    let name = segment_name(gen, base_seq);
+    let path = dir.join(&name);
+    let mut file = File::create(&path).map_err(|e| StoreError::io("create segment", &path, e))?;
+    file.write_all(&segment::encode_header(base_seq))
+        .map_err(|e| StoreError::io("write header", &path, e))?;
+    file.sync_all()
+        .map_err(|e| StoreError::io("sync segment", &path, e))?;
+    fsio::sync_parent_dir(&path).map_err(|e| StoreError::io("sync dir", dir, e))?;
+    Ok((SegmentMeta::new(name, path, base_seq), file))
+}
+
+/// Writes a sealed segment's buffered records and syncs the file.
+fn seal_segment(meta: &mut SegmentMeta, mut file: File, buf: Vec<u8>) -> Result<(), StoreError> {
+    file.write_all(&buf)
+        .map_err(|e| StoreError::io("write compacted", &meta.path, e))?;
+    file.sync_all()
+        .map_err(|e| StoreError::io("sync compacted", &meta.path, e))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cordial_mcelog::{ErrorType, Timestamp};
+    use cordial_topology::{
+        BankAddress, BankGroup, BankIndex, Channel, ColId, HbmSocket, NodeId, NpuId, PseudoChannel,
+        RowId, StackId,
+    };
+
+    fn event(node: u32, time_ms: u64) -> ErrorEvent {
+        let bank = BankAddress::new(
+            NodeId(node),
+            NpuId(0),
+            HbmSocket(0),
+            StackId(0),
+            Channel(0),
+            PseudoChannel(0),
+            BankGroup(0),
+            BankIndex(0),
+        );
+        ErrorEvent::new(
+            bank.cell(RowId(time_ms as u32), ColId(0)),
+            Timestamp::from_millis(time_ms),
+            ErrorType::Ce,
+        )
+    }
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cordial-store-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn device(node: u32) -> DeviceKey {
+        DeviceKey {
+            node,
+            npu: 0,
+            hbm: 0,
+        }
+    }
+
+    #[test]
+    fn appends_survive_reopen_with_identical_records() {
+        let dir = scratch("roundtrip");
+        let events: Vec<ErrorEvent> = (0..10).map(|i| event(i % 3, 100 + u64::from(i))).collect();
+        {
+            let mut store = Store::open(&dir, StoreConfig::default()).unwrap();
+            assert_eq!(store.append_events(&events).unwrap(), Some((0, 9)));
+            let seq = store.append_checkpoint(device(1), 9, "{\"x\":1}").unwrap();
+            assert_eq!(seq, 10);
+        }
+        let store = Store::open(&dir, StoreConfig::default()).unwrap();
+        assert_eq!(store.next_seq(), 11);
+        assert!(store.recovery().corruption.is_none());
+        let replayed = store.replay(&ReplayFilter::default()).unwrap();
+        assert_eq!(replayed.len(), 11);
+        for (i, record) in replayed.iter().take(10).enumerate() {
+            assert_eq!(
+                record,
+                &Record::Event {
+                    seq: i as u64,
+                    event: events[i]
+                }
+            );
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_appends_resume() {
+        let dir = scratch("torn");
+        {
+            let mut store = Store::open(&dir, StoreConfig::default()).unwrap();
+            store
+                .append_events(&[event(0, 1), event(0, 2), event(0, 3)])
+                .unwrap();
+        }
+        // Tear the last record: chop 5 bytes off the active segment.
+        let seg = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .find(|e| e.file_name().to_string_lossy().ends_with(".cst"))
+            .unwrap()
+            .path();
+        let len = fs::metadata(&seg).unwrap().len();
+        let file = OpenOptions::new().write(true).open(&seg).unwrap();
+        file.set_len(len - 5).unwrap();
+        drop(file);
+
+        let mut store = Store::open(&dir, StoreConfig::default()).unwrap();
+        assert!(store.recovery().corruption.is_some());
+        // The torn record's surviving 38 bytes (43-byte frame minus the
+        // 5 already chopped) are truncated away.
+        assert_eq!(store.recovery().truncated_bytes, 38);
+        assert_eq!(store.next_seq(), 2);
+        // New appends take the freed sequence numbers.
+        assert_eq!(store.append_events(&[event(0, 9)]).unwrap(), Some((2, 2)));
+        let replayed = store.replay(&ReplayFilter::default()).unwrap();
+        let seqs: Vec<u64> = replayed.iter().map(Record::seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn replay_filters_by_device_time_and_seq() {
+        let dir = scratch("filters");
+        let mut store = Store::open(&dir, StoreConfig::default()).unwrap();
+        for i in 0..20u64 {
+            store
+                .append_events(&[event((i % 2) as u32, 1000 + i * 10)])
+                .unwrap();
+        }
+        store.append_checkpoint(device(0), 19, "{}").unwrap();
+
+        let dev0 = store
+            .replay(&ReplayFilter {
+                device: Some(device(0)),
+                events_only: true,
+                ..ReplayFilter::default()
+            })
+            .unwrap();
+        assert_eq!(dev0.len(), 10);
+
+        let windowed = store
+            .replay(&ReplayFilter {
+                since_ms: Some(1050),
+                until_ms: Some(1100),
+                ..ReplayFilter::default()
+            })
+            .unwrap();
+        let times: Vec<u64> = windowed.iter().filter_map(Record::time_ms).collect();
+        assert_eq!(times, vec![1050, 1060, 1070, 1080, 1090, 1100]);
+
+        let tail = store.events_after(17).unwrap();
+        assert_eq!(
+            tail.iter().map(|(seq, _)| *seq).collect::<Vec<u64>>(),
+            vec![18, 19]
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rolling_spreads_records_over_segments_and_replay_spans_them() {
+        let dir = scratch("roll");
+        let config = StoreConfig {
+            segment_max_bytes: 256,
+            ..StoreConfig::default()
+        };
+        let mut store = Store::open(&dir, config.clone()).unwrap();
+        for i in 0..40u64 {
+            store.append_events(&[event(0, i)]).unwrap();
+        }
+        assert!(store.inspect().segments.len() > 2, "must have rolled");
+        drop(store);
+        let store = Store::open(&dir, config).unwrap();
+        assert_eq!(store.replay(&ReplayFilter::default()).unwrap().len(), 40);
+        assert_eq!(store.next_seq(), 40);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn latest_checkpoints_keep_only_the_newest_per_device() {
+        let dir = scratch("ckpt");
+        let mut store = Store::open(&dir, StoreConfig::default()).unwrap();
+        store.append_checkpoint(device(0), 0, "old0").unwrap();
+        store.append_checkpoint(device(1), 0, "old1").unwrap();
+        store.append_checkpoint(device(0), 5, "new0").unwrap();
+        let latest = store.latest_checkpoints().unwrap();
+        assert_eq!(latest.len(), 2);
+        assert_eq!(latest[&device(0)].payload, "new0");
+        assert_eq!(latest[&device(0)].journal_seq, 5);
+        assert_eq!(latest[&device(1)].payload, "old1");
+        assert_eq!(store.latest_checkpoint(device(2)).unwrap(), None);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_drops_covered_events_and_superseded_checkpoints() {
+        let dir = scratch("compact");
+        let mut store = Store::open(&dir, StoreConfig::default()).unwrap();
+        // Device 0: 5 events then a checkpoint covering them, then 2 more.
+        for i in 0..5u64 {
+            store.append_events(&[event(0, i)]).unwrap();
+        }
+        store.append_checkpoint(device(0), 2, "early").unwrap();
+        store.append_checkpoint(device(0), 4, "late").unwrap();
+        store
+            .append_events(&[event(0, 100), event(1, 200)])
+            .unwrap();
+
+        let report = store.compact().unwrap();
+        assert_eq!(report.dropped_checkpoints, 1);
+        assert_eq!(report.dropped_events, 5);
+        assert!(report.bytes_after < report.bytes_before);
+
+        // Survivors: checkpoint "late" + events seq 7 (dev0) and 8 (dev1).
+        let records = store.replay(&ReplayFilter::default()).unwrap();
+        let seqs: Vec<u64> = records.iter().map(Record::seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8]);
+        assert_eq!(
+            store.latest_checkpoints().unwrap()[&device(0)].payload,
+            "late"
+        );
+
+        // And the compacted store must reopen cleanly, gaps and all.
+        drop(store);
+        let store = Store::open(&dir, StoreConfig::default()).unwrap();
+        assert!(store.recovery().corruption.is_none());
+        assert_eq!(store.next_seq(), 9);
+        assert_eq!(
+            store
+                .replay(&ReplayFilter::default())
+                .unwrap()
+                .iter()
+                .map(Record::seq)
+                .collect::<Vec<u64>>(),
+            vec![6, 7, 8]
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stray_files_are_swept_at_open() {
+        let dir = scratch("sweep");
+        {
+            let mut store = Store::open(&dir, StoreConfig::default()).unwrap();
+            store.append_events(&[event(0, 1)]).unwrap();
+        }
+        fs::write(dir.join("seg-ffffffff-000000000000ffff.cst"), b"garbage").unwrap();
+        fs::write(dir.join("leftover.tmp"), b"junk").unwrap();
+        let store = Store::open(&dir, StoreConfig::default()).unwrap();
+        assert_eq!(store.recovery().swept_files.len(), 2);
+        assert!(!dir.join("leftover.tmp").exists());
+        assert_eq!(store.replay(&ReplayFilter::default()).unwrap().len(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fsync_policies_parse_and_render() {
+        assert_eq!("always".parse::<FsyncPolicy>(), Ok(FsyncPolicy::Always));
+        assert_eq!("never".parse::<FsyncPolicy>(), Ok(FsyncPolicy::Never));
+        assert_eq!(
+            "batch:32".parse::<FsyncPolicy>(),
+            Ok(FsyncPolicy::Batch(32))
+        );
+        assert!("batch:0".parse::<FsyncPolicy>().is_err());
+        assert!("sometimes".parse::<FsyncPolicy>().is_err());
+        assert_eq!(FsyncPolicy::Batch(8).to_string(), "batch:8");
+    }
+
+    #[test]
+    fn batch_policy_still_persists_after_drop() {
+        let dir = scratch("batch");
+        {
+            let mut store = Store::open(
+                &dir,
+                StoreConfig {
+                    fsync: FsyncPolicy::Batch(1000),
+                    ..StoreConfig::default()
+                },
+            )
+            .unwrap();
+            store.append_events(&[event(0, 1), event(0, 2)]).unwrap();
+        }
+        let store = Store::open(&dir, StoreConfig::default()).unwrap();
+        assert_eq!(store.replay(&ReplayFilter::default()).unwrap().len(), 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_middle_segment_cuts_the_clean_prefix_there() {
+        let dir = scratch("midcut");
+        let config = StoreConfig {
+            segment_max_bytes: 200,
+            ..StoreConfig::default()
+        };
+        {
+            let mut store = Store::open(&dir, config.clone()).unwrap();
+            for i in 0..30u64 {
+                store.append_events(&[event(0, i)]).unwrap();
+            }
+            assert!(store.inspect().segments.len() >= 3);
+        }
+        // Corrupt a byte in the middle of the *second* segment.
+        let mut names: Vec<PathBuf> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.to_string_lossy().ends_with(".cst"))
+            .collect();
+        names.sort();
+        let victim = &names[1];
+        let mut bytes = fs::read(victim).unwrap();
+        let mid = SEGMENT_HEADER_LEN + 20;
+        bytes[mid] ^= 0xFF;
+        fs::write(victim, &bytes).unwrap();
+
+        let store = Store::open(&dir, config).unwrap();
+        let report = store.recovery().clone();
+        assert!(report.corruption.is_some());
+        assert!(
+            !report.dropped_segments.is_empty(),
+            "later segments dropped"
+        );
+        // Whatever survived is a clean prefix: seqs 0..n contiguous here.
+        let seqs: Vec<u64> = store
+            .replay(&ReplayFilter::default())
+            .unwrap()
+            .iter()
+            .map(Record::seq)
+            .collect();
+        assert!(!seqs.is_empty());
+        assert_eq!(seqs, (0..seqs.len() as u64).collect::<Vec<u64>>());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
