@@ -1,0 +1,172 @@
+//! Warm-start refit bench: the continuous-learning loop's scheduled
+//! retrain, cold (`Cordial::fit`) versus warm-started from the incumbent
+//! (`Cordial::fit_warm`, which reuses the LightGBM bin mappers instead of
+//! re-deriving feature quantiles). The background refit worker runs this
+//! fit on every cadence tick, so its cost bounds how aggressive a refit
+//! schedule a deployment can afford.
+//!
+//! Run with `cargo bench -p cordial-bench --bench refit` (release). The
+//! committed `BENCH_refit.json` schema and the warm-start speedup floor
+//! are pinned by `crates/bench/tests/bench_schema.rs`.
+
+use cordial::pipeline::Cordial;
+use cordial::{CordialConfig, ModelKind};
+use cordial_bench::{bench_dataset, bench_split, BENCH_SEED};
+use cordial_trees::{Dataset, LightGbm, LightGbmConfig};
+use serde_json::Value;
+
+/// Fit repetitions per variant (median reported). Overridable with
+/// `--sample-size N` for CI smoke runs.
+const DEFAULT_SAMPLES: usize = 15;
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    xs[xs.len() / 2]
+}
+
+/// A deterministic dense matrix shaped like a large retraining window:
+/// the quantile/bin fit over it is the exact cost `refit_warm` skips.
+fn synthetic_matrix(rows: usize, features: usize, classes: usize) -> Dataset {
+    let mut data = Dataset::new(features, classes);
+    let mut state = 0x5EED_u64;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let mut row = vec![0.0f64; features];
+    for i in 0..rows {
+        let label = i % classes;
+        for value in row.iter_mut() {
+            let unit = (next() >> 11) as f64 / (1u64 << 53) as f64;
+            *value = unit + label as f64 * 0.25;
+        }
+        data.push_row(&row, label).expect("well-formed row");
+    }
+    data
+}
+
+fn main() {
+    let mut samples = DEFAULT_SAMPLES;
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--sample-size") {
+        samples = args
+            .get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .expect("--sample-size takes a positive integer");
+    }
+    let samples = samples.max(3);
+
+    let dataset = bench_dataset();
+    let split = bench_split(&dataset);
+    // The refit path warm-starts gradient boosting; the default random
+    // forest has no warm path and would measure two cold fits.
+    let config = CordialConfig::with_model(ModelKind::lightgbm()).with_seed(BENCH_SEED);
+    let incumbent = Cordial::fit(&dataset, &split.train, &config).expect("incumbent fit");
+
+    let mut cold_s = Vec::with_capacity(samples);
+    let mut warm_s = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let started = std::time::Instant::now();
+        let cold = Cordial::fit(&dataset, &split.train, &config).expect("cold fit");
+        cold_s.push(started.elapsed().as_secs_f64());
+        std::hint::black_box(&cold);
+
+        let started = std::time::Instant::now();
+        let warm =
+            Cordial::fit_warm(&dataset, &split.train, &config, Some(&incumbent)).expect("warm fit");
+        warm_s.push(started.elapsed().as_secs_f64());
+        std::hint::black_box(&warm);
+    }
+
+    let cold_median = median(cold_s);
+    let warm_median = median(warm_s);
+    let speedup = cold_median / warm_median;
+    println!(
+        "refit/pipeline_cold  median {:.4}s over {samples} fits",
+        cold_median
+    );
+    println!(
+        "refit/pipeline_warm  median {:.4}s over {samples} fits   {speedup:.2}x vs cold",
+        warm_median
+    );
+
+    // Trees-level pair: the same cold-vs-warm comparison on the boosting
+    // core alone, in the regime warm starting targets — a wide matrix
+    // where the quantile/bin fit dominates a short boosting schedule.
+    let matrix = synthetic_matrix(32_768, 64, 3);
+    let lgbm_config = LightGbmConfig::default()
+        .with_rounds(8)
+        .with_seed(BENCH_SEED);
+    let lgbm_incumbent = LightGbm::fit(&matrix, &lgbm_config).expect("incumbent lgbm");
+    let mut lgbm_cold_s = Vec::with_capacity(samples);
+    let mut lgbm_warm_s = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let started = std::time::Instant::now();
+        let cold = LightGbm::fit(&matrix, &lgbm_config).expect("cold lgbm");
+        lgbm_cold_s.push(started.elapsed().as_secs_f64());
+        std::hint::black_box(&cold);
+
+        let started = std::time::Instant::now();
+        let warm = lgbm_incumbent
+            .refit_warm(&matrix, &lgbm_config)
+            .expect("warm lgbm");
+        lgbm_warm_s.push(started.elapsed().as_secs_f64());
+        std::hint::black_box(&warm);
+    }
+    let lgbm_cold_median = median(lgbm_cold_s);
+    let lgbm_warm_median = median(lgbm_warm_s);
+    let lgbm_speedup = lgbm_cold_median / lgbm_warm_median;
+    println!(
+        "refit/lgbm_cold      median {:.4}s over {samples} fits",
+        lgbm_cold_median
+    );
+    println!(
+        "refit/lgbm_warm      median {:.4}s over {samples} fits   {lgbm_speedup:.2}x vs cold",
+        lgbm_warm_median
+    );
+
+    let doc = Value::Map(vec![
+        ("schema_version".into(), Value::U64(1)),
+        (
+            "source".into(),
+            Value::Str("cargo bench -p cordial-bench --bench refit".into()),
+        ),
+        ("sample_size".into(), Value::U64(samples as u64)),
+        ("model".into(), Value::Str("lightgbm".into())),
+        (
+            "benches".into(),
+            Value::Map(vec![
+                (
+                    "pipeline_refit".into(),
+                    Value::Map(vec![
+                        ("baseline".into(), Value::Str("cold_fit".into())),
+                        ("optimised".into(), Value::Str("warm_fit".into())),
+                        ("baseline_median_s".into(), Value::F64(cold_median)),
+                        ("optimised_median_s".into(), Value::F64(warm_median)),
+                        ("speedup".into(), Value::F64(speedup)),
+                    ]),
+                ),
+                (
+                    "lgbm_refit".into(),
+                    Value::Map(vec![
+                        ("baseline".into(), Value::Str("cold_fit".into())),
+                        ("optimised".into(), Value::Str("refit_warm".into())),
+                        ("baseline_median_s".into(), Value::F64(lgbm_cold_median)),
+                        ("optimised_median_s".into(), Value::F64(lgbm_warm_median)),
+                        ("speedup".into(), Value::F64(lgbm_speedup)),
+                    ]),
+                ),
+            ]),
+        ),
+    ]);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_refit.json");
+    let body = serde_json::to_string_pretty(&doc).expect("serialise") + "\n";
+    if let Err(e) = std::fs::write(path, body) {
+        println!("refit: could not write {path}: {e}");
+    } else {
+        println!("refit: wrote {path}");
+    }
+}

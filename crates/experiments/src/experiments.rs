@@ -906,3 +906,236 @@ pub fn run_sensitivity(ctx: &Context) -> Result<(), String> {
     println!("[written] {}", path.display());
     Ok(())
 }
+
+// ---------------------------------------------------------------------------
+// Drift recovery scenario
+// ---------------------------------------------------------------------------
+
+/// One side of the drift scenario in the JSON record.
+#[derive(Serialize)]
+struct DriftSideRecord {
+    block_f1: f64,
+    block_precision: f64,
+    block_recall: f64,
+    icr: f64,
+}
+
+impl From<&PredictionEval> for DriftSideRecord {
+    fn from(eval: &PredictionEval) -> Self {
+        Self {
+            block_f1: eval.block_scores.f1,
+            block_precision: eval.block_scores.precision,
+            block_recall: eval.block_scores.recall,
+            icr: eval.icr,
+        }
+    }
+}
+
+/// The machine-readable drift scenario record (`drift.json`).
+#[derive(Serialize)]
+struct DriftRecord {
+    seed: u64,
+    scale: String,
+    phase1_mix: [f64; 5],
+    phase2_mix: [f64; 5],
+    refits_started: u64,
+    refits_promoted: u64,
+    refits_rejected: u64,
+    refits_rolled_back: u64,
+    adaptive: DriftSideRecord,
+    frozen: DriftSideRecord,
+}
+
+/// Shifts every event (and every plan's first-UER time) by `offset_ms`,
+/// so a phase generated independently lands after an earlier one on the
+/// shared stream clock.
+fn shift_dataset(dataset: &mut FleetDataset, offset_ms: u64) {
+    use cordial_mcelog::{ErrorEvent, MceLog, Timestamp};
+    let events: Vec<ErrorEvent> = dataset
+        .log
+        .events()
+        .iter()
+        .map(|e| {
+            ErrorEvent::new(
+                e.addr,
+                Timestamp::from_millis(e.time.as_millis() + offset_ms),
+                e.error_type,
+            )
+        })
+        .collect();
+    dataset.log = MceLog::from_events(events);
+    for truth in dataset.truth.values_mut() {
+        truth.plan.first_uer =
+            cordial_mcelog::Timestamp::from_millis(truth.plan.first_uer.as_millis() + offset_ms);
+    }
+}
+
+/// The self-healing lifecycle scenario: the fleet's failure-pattern mix
+/// drifts mid-stream. A supervisor with the continuous-learning loop on
+/// retrains from its sliding window, routes the candidate through the
+/// promotion gate, and recovers; a frozen twin keeps serving the
+/// pre-drift model and decays. Both are scored on a held-out fleet drawn
+/// from the *drifted* distribution that neither ever streamed.
+pub fn run_drift(ctx: &Context) -> Result<(), String> {
+    use cordial_faultsim::PatternMix;
+    use cordial_fleet::{FleetSupervisor, SupervisorConfig};
+    use cordial_relearn::RelearnConfig;
+
+    let seed = ctx.seed;
+    // Weights in PatternKind::ALL order: single-row, double-row,
+    // half-total, scattered, whole-column. Phase 1 is single-row
+    // dominated; phase 2 flips towards double-row and scattered.
+    let phase1_mix = [0.85, 0.05, 0.01, 0.05, 0.04];
+    let phase2_mix = [0.10, 0.45, 0.10, 0.25, 0.10];
+
+    let mut config1 = ctx.config;
+    config1.pattern_mix = PatternMix::new(phase1_mix);
+    // Pre-drift clusters grow wide and loose; the initial model learns
+    // broad spatial priors.
+    config1.plan.kernel = LocalityKernel {
+        half_width: 256.0,
+        growth_step: 64.0,
+    };
+    let mut config2 = ctx.config;
+    config2.pattern_mix = PatternMix::new(phase2_mix);
+    // The drift also changes the *dynamics* block prediction learns:
+    // clusters tighten sharply and failures re-erupt on known-bad rows,
+    // so the pre-drift model's broad spatial priors go stale.
+    config2.plan.kernel = LocalityKernel {
+        half_width: 64.0,
+        growth_step: 12.0,
+    };
+    config2.plan.revisit_prob = 0.50;
+    // The drifted era streams more failing banks, so the sliding window
+    // holds enough labelled banks to retrain from.
+    config2.n_uer_banks = ctx.config.n_uer_banks * 2;
+
+    println!("== Drift scenario: mid-stream pattern-mix shift ==");
+    println!("[setup] generating phase 1 (pre-drift), phase 2 (drifted), held-out eval fleets...");
+    let phase1 = generate_fleet_dataset(&config1, seed);
+    let mut phase2 = generate_fleet_dataset(&config2, seed ^ 0xD21F);
+    let holdout = generate_fleet_dataset(&config2, seed ^ 0x3AB7);
+
+    let phase1_end = phase1
+        .log
+        .events()
+        .iter()
+        .map(|e| e.time.as_millis())
+        .max()
+        .unwrap_or(0);
+    // Place the drifted era far enough after phase 1 that a stream-time
+    // training window spanning all of phase 2 never reaches back into
+    // phase 1: the gap exceeds the window span by a safety margin.
+    let phase2_times = || phase2.log.events().iter().map(|e| e.time.as_millis());
+    let phase2_first = phase2_times().min().unwrap_or(0);
+    let phase2_span = phase2_times().max().unwrap_or(0) - phase2_first;
+    const MARGIN_MS: u64 = 3_600_000;
+    let window_span_ms = phase2_span + MARGIN_MS;
+    shift_dataset(
+        &mut phase2,
+        phase1_end + window_span_ms + MARGIN_MS - phase2_first,
+    );
+
+    // The initial model: trained on the pre-drift distribution only.
+    let model_config = CordialConfig::with_model(ModelKind::lightgbm()).with_seed(seed);
+    let split1 = split_banks(&phase1, 0.7, seed);
+    let initial = cordial::pipeline::Cordial::fit(&phase1, &split1.train, &model_config)
+        .map_err(|e| e.to_string())?;
+
+    let relearn = RelearnConfig {
+        refit_every_events: 1024,
+        // High floors: a refit right after the shift would train on a
+        // sliver of the new era and promote a poor generalizer — wait
+        // until the window holds most of the drifted population.
+        min_window_events: 2048,
+        min_window_banks: 80,
+        // The stream-time span covers one era but not both: the moment
+        // the stream enters the drifted era, pre-drift events fall out of
+        // the window and every refit trains and calibrates on the drifted
+        // distribution alone.
+        window_span_ms,
+        max_window_events: 1 << 18,
+        background: false,
+        seed,
+        ..RelearnConfig::default()
+    };
+    let mut adaptive = FleetSupervisor::new(
+        SupervisorConfig {
+            relearn: Some(relearn),
+            ..SupervisorConfig::default()
+        },
+        initial.clone(),
+        [],
+    );
+    let mut frozen = FleetSupervisor::new(SupervisorConfig::default(), initial.clone(), []);
+
+    println!("[run] streaming phase 1 then phase 2 through adaptive and frozen supervisors...");
+    for dataset in [&phase1, &phase2] {
+        for event in dataset.log.events() {
+            adaptive.route(*event);
+            frozen.route(*event);
+        }
+    }
+    adaptive.finish();
+    frozen.finish();
+
+    let outcomes = adaptive
+        .relearn_outcomes()
+        .ok_or("adaptive supervisor must run with relearn enabled")?;
+    println!(
+        "relearn: started {} promoted {} rejected {} failed {} timed_out {} rolled_back {}",
+        outcomes.started,
+        outcomes.promoted,
+        outcomes.rejected,
+        outcomes.failed,
+        outcomes.timed_out,
+        outcomes.rolled_back,
+    );
+    if outcomes.promoted == 0 {
+        return Err(format!(
+            "no refit cleared the promotion gate under drift: {outcomes:?}"
+        ));
+    }
+    println!(
+        "promotion accepted: {} candidate(s) cleared the gate",
+        outcomes.promoted
+    );
+
+    // Score both serving models on the held-out drifted fleet.
+    let holdout_split = split_banks(&holdout, 0.7, seed);
+    let adaptive_eval =
+        cordial::eval::evaluate_pipeline(adaptive.incumbent(), &holdout, &holdout_split.test);
+    let frozen_eval =
+        cordial::eval::evaluate_pipeline(frozen.incumbent(), &holdout, &holdout_split.test);
+    println!(
+        "recovered F1: adaptive={:.4} frozen={:.4} (block-level, held-out drifted fleet)",
+        adaptive_eval.block_scores.f1, frozen_eval.block_scores.f1
+    );
+    println!(
+        "recovered ICR: adaptive={:.4} frozen={:.4}",
+        adaptive_eval.icr, frozen_eval.icr
+    );
+
+    let record = DriftRecord {
+        seed,
+        scale: ctx.scale_name.clone(),
+        phase1_mix,
+        phase2_mix,
+        refits_started: outcomes.started,
+        refits_promoted: outcomes.promoted,
+        refits_rejected: outcomes.rejected,
+        refits_rolled_back: outcomes.rolled_back,
+        adaptive: DriftSideRecord::from(&adaptive_eval),
+        frozen: DriftSideRecord::from(&frozen_eval),
+    };
+    let path = write_json(&ctx.out_dir, "drift", &record)?;
+    println!("[written] {}", path.display());
+
+    if adaptive_eval.block_scores.f1 <= frozen_eval.block_scores.f1 {
+        return Err(format!(
+            "adaptive model failed to recover: F1 {:.4} vs frozen {:.4}",
+            adaptive_eval.block_scores.f1, frozen_eval.block_scores.f1
+        ));
+    }
+    Ok(())
+}

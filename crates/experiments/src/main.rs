@@ -15,6 +15,7 @@
 //!   ablations  Design-choice sweeps (k UERs, window geometry, threshold)
 //!   importance Classifier feature importances by §IV-B group
 //!   sensitivity Robustness of 'Cordial wins' to the generator's free knobs
+//!   drift    Mid-stream pattern-mix drift: online retraining vs a frozen twin
 //!   all      Everything above
 //! ```
 //!
@@ -28,8 +29,8 @@ mod experiments;
 mod report;
 
 use experiments::{
-    run_ablations, run_fig3, run_fig4, run_importance, run_sensitivity, run_table1, run_table2,
-    run_table3, run_table4, Context,
+    run_ablations, run_drift, run_fig3, run_fig4, run_importance, run_sensitivity, run_table1,
+    run_table2, run_table3, run_table4, Context,
 };
 
 fn main() -> ExitCode {
@@ -41,7 +42,7 @@ fn main() -> ExitCode {
             cordial_obs::error!("");
             cordial_obs::error!(
                 "usage: cordial-experiments [--scale small|medium|paper] [--seed N] \
-                 [--out DIR] [--trace-out FILE] <table1|...|fig4|ablations|importance|all>"
+                 [--out DIR] [--trace-out FILE] <table1|...|fig4|ablations|importance|drift|all>"
             );
             ExitCode::FAILURE
         }
@@ -96,6 +97,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "ablations" => telemetry("ablations", &context, run_ablations),
         "importance" => telemetry("importance", &context, run_importance),
         "sensitivity" => telemetry("sensitivity", &context, run_sensitivity),
+        "drift" => telemetry("drift", &context, run_drift),
         "all" => {
             telemetry("table1", &context, run_table1)?;
             telemetry("table2", &context, run_table2)?;

@@ -87,6 +87,14 @@ impl Default for FleetHarnessConfig {
                     trip_error_rate: 0.25,
                     ..crate::breaker::BreakerConfig::default()
                 },
+                // Continuous learning runs inline (deterministic) at a
+                // cadence the default dataset reaches a few times, so the
+                // chaos run exercises the refit loop too.
+                relearn: Some(cordial_relearn::RelearnConfig {
+                    refit_every_events: 2048,
+                    background: false,
+                    ..cordial_relearn::RelearnConfig::default()
+                }),
                 ..SupervisorConfig::default()
             },
             min_availability: 0.70,
@@ -117,6 +125,8 @@ pub struct FleetReport {
     pub events_shed: u64,
     /// End-of-run snapshot of every device, in address order.
     pub statuses: Vec<DeviceStatus>,
+    /// Refit outcome counters, when the supervisor ran with relearn.
+    pub relearn: Option<crate::supervisor::RelearnOutcomes>,
     /// The invariant verdicts.
     pub checks: Vec<InvariantCheck>,
 }
@@ -157,6 +167,18 @@ impl FleetReport {
             self.evicted.len()
         );
         let _ = writeln!(out, "fleet availability: {:.4}", self.availability);
+        if let Some(relearn) = &self.relearn {
+            let _ = writeln!(
+                out,
+                "fleet relearn: started {} promoted {} rejected {} failed {} timed_out {} rolled_back {}",
+                relearn.started,
+                relearn.promoted,
+                relearn.rejected,
+                relearn.failed,
+                relearn.timed_out,
+                relearn.rolled_back,
+            );
+        }
         for check in &self.checks {
             let _ = writeln!(
                 out,
@@ -354,6 +376,7 @@ pub fn run_fleet_harness(config: &FleetHarnessConfig) -> Result<FleetReport, Cor
         events_routed: supervisor.events_routed(),
         events_shed: supervisor.events_shed(),
         statuses,
+        relearn: supervisor.relearn_outcomes(),
         checks,
     })
 }

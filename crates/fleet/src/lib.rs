@@ -48,5 +48,6 @@ pub use registry::{
     clears_gate, shadow_score, GateConfig, ModelRegistry, PromotionDecision, ShadowScore,
 };
 pub use supervisor::{
-    DeviceStatus, FleetSupervisor, RouteOutcome, SupervisorConfig, AVAILABILITY_BOUNDS,
+    DeviceStatus, FleetSupervisor, RelearnOutcomes, RouteOutcome, SupervisorConfig,
+    AVAILABILITY_BOUNDS,
 };

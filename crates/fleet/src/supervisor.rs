@@ -22,6 +22,10 @@ use cordial_mcelog::ErrorEvent;
 use cordial_store::Store;
 use cordial_topology::BankAddress;
 
+use cordial_relearn::{
+    build_job, RefitCompletion, RefitScheduler, RefitWorker, RelearnConfig, TrainingWindow,
+};
+
 use crate::breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 use crate::device::DeviceId;
 use crate::registry::{clears_gate, shadow_score, GateConfig, ModelRegistry, PromotionDecision};
@@ -87,6 +91,12 @@ pub struct SupervisorConfig {
     pub budget: SparingBudget,
     /// Degraded-stream guard in front of each monitor.
     pub guard: GuardConfig,
+    /// Continuous-learning loop: `Some` maintains a sliding training
+    /// window over accepted events (journaled into the attached store),
+    /// runs scheduled / drift-triggered warm-start refits, and routes
+    /// every candidate through the promotion gate. `None` (default)
+    /// keeps the model one-shot.
+    pub relearn: Option<RelearnConfig>,
 }
 
 impl Default for SupervisorConfig {
@@ -103,6 +113,7 @@ impl Default for SupervisorConfig {
             guard: GuardConfig {
                 reorder_bound_ms: 300_000,
             },
+            relearn: None,
         }
     }
 }
@@ -162,6 +173,72 @@ struct PrecisionBaseline {
     plans_absorbing: usize,
 }
 
+/// Lifetime refit outcome counters for the continuous-learning loop
+/// (mirrored into the `obs.relearn.*` telemetry family).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RelearnOutcomes {
+    /// Refits started (scheduled, drift-escalated or operator-begun).
+    pub started: u64,
+    /// Candidates that cleared the promotion gate and now serve.
+    pub promoted: u64,
+    /// Candidates the gate turned away (incumbent kept serving).
+    pub rejected: u64,
+    /// Refits that failed or panicked during training (contained).
+    pub failed: u64,
+    /// Background refits abandoned past their stream-time budget.
+    pub timed_out: u64,
+    /// Relearn-promoted models the live-precision canary rolled back.
+    pub rolled_back: u64,
+}
+
+/// The supervisor-side half of the continuous-learning loop.
+struct RelearnState {
+    config: RelearnConfig,
+    window: TrainingWindow,
+    scheduler: RefitScheduler,
+    inflight: Option<RefitWorker>,
+    outcomes: RelearnOutcomes,
+    /// Fleet-wide drift-watchdog alert total at the last sweep; any
+    /// increase escalates the scheduler to an immediate refit.
+    last_drift_alerts: u64,
+    /// Whether the currently serving model came from a relearn refit
+    /// (canary rollbacks of such models are attributed to relearn).
+    promoted_by_relearn: bool,
+    /// Chaos hook: the next refit job panics mid-fit.
+    panic_next_refit: bool,
+}
+
+impl RelearnState {
+    fn new(config: RelearnConfig) -> Self {
+        Self {
+            window: TrainingWindow::new(config.window_span_ms, config.max_window_events),
+            scheduler: RefitScheduler::new(&config),
+            inflight: None,
+            outcomes: RelearnOutcomes::default(),
+            last_drift_alerts: 0,
+            promoted_by_relearn: false,
+            panic_next_refit: false,
+            config,
+        }
+    }
+}
+
+/// Registers the whole `obs.relearn.*` counter family up front so
+/// telemetry digests cover it deterministically even on runs where no
+/// refit ever fires.
+fn touch_relearn_counters() {
+    cordial_obs::counter!("obs.relearn.refits_started").add(0);
+    cordial_obs::counter!("obs.relearn.refits_promoted").add(0);
+    cordial_obs::counter!("obs.relearn.refits_rejected").add(0);
+    cordial_obs::counter!("obs.relearn.refits_failed").add(0);
+    cordial_obs::counter!("obs.relearn.refits_timed_out").add(0);
+    cordial_obs::counter!("obs.relearn.refits_rolled_back").add(0);
+    cordial_obs::counter!("obs.relearn.refits_skipped").add(0);
+    cordial_obs::counter!("obs.relearn.drift_triggers").add(0);
+    cordial_obs::counter!("obs.relearn.journal.events").add(0);
+    cordial_obs::counter!("obs.relearn.journal.errors").add(0);
+}
+
 /// Owns the per-device monitors and the model registry; routes interleaved
 /// multi-device streams and self-heals at the device and model level.
 pub struct FleetSupervisor {
@@ -176,6 +253,9 @@ pub struct FleetSupervisor {
     /// Durable checkpoint store, when attached via
     /// [`FleetSupervisor::with_store`].
     store: Option<Store>,
+    /// Continuous-learning loop, when enabled via
+    /// [`SupervisorConfig::relearn`].
+    relearn: Option<RelearnState>,
 }
 
 /// Appends one device checkpoint to the durable store. Failures are
@@ -206,6 +286,10 @@ impl FleetSupervisor {
     ) -> Self {
         install_quiet_hook();
         let registry = ModelRegistry::new(pipeline);
+        let relearn = config.relearn.map(|relearn_config| {
+            touch_relearn_counters();
+            RelearnState::new(relearn_config)
+        });
         let mut supervisor = Self {
             config,
             registry,
@@ -216,6 +300,7 @@ impl FleetSupervisor {
             baseline: None,
             rolled_back: false,
             store: None,
+            relearn,
         };
         for id in devices {
             supervisor.register_device(id);
@@ -230,6 +315,41 @@ impl FleetSupervisor {
     /// resurrect evicted devices from it across process restarts.
     pub fn with_store(mut self, store: Store) -> Self {
         self.store = Some(store);
+        // Devices pre-registered before the store was attached got fresh
+        // monitors; re-seed any that haven't served yet from their newest
+        // store checkpoint, exactly as post-attach registration would.
+        let idle: Vec<DeviceId> = self
+            .devices
+            .iter()
+            .filter(|(_, slot)| slot.routed == 0)
+            .map(|(id, _)| *id)
+            .collect();
+        for id in idle {
+            if let Some((monitor, checkpoint)) = self.monitor_from_store(id) {
+                if let Some(slot) = self.devices.get_mut(&id) {
+                    slot.monitor = monitor;
+                    slot.checkpoint = checkpoint;
+                    slot.since_checkpoint = 0;
+                }
+            }
+        }
+        if let (Some(state), Some(store)) = (self.relearn.as_mut(), self.store.as_ref()) {
+            // The training window rebuilds from the event journal so a
+            // restarted supervisor resumes retraining where the killed one
+            // left off; the refit cadence resumes at the journal's depth
+            // instead of restarting from zero.
+            match TrainingWindow::rebuild_from_store(
+                store,
+                state.config.window_span_ms,
+                state.config.max_window_events,
+            ) {
+                Ok(window) => {
+                    state.scheduler.resume_at(window.len() as u64);
+                    state.window = window;
+                }
+                Err(_) => cordial_obs::counter!("obs.relearn.journal.errors").inc(),
+            }
+        }
         self
     }
 
@@ -377,14 +497,194 @@ impl FleetSupervisor {
         cordial_obs::counter!("fleet.events.routed").inc();
 
         let outcome = self.route_to_slot(id, event, now_ms);
+        if outcome == RouteOutcome::Accepted {
+            self.note_accepted_for_relearn(event);
+        }
 
         if self.routed_total.is_multiple_of(SWEEP_EVERY) {
             if self.config.watchdog_deadline_ms > 0 {
                 self.check_watchdogs();
             }
             self.maybe_rollback();
+            self.poll_relearn(now_ms);
         }
         outcome
+    }
+
+    /// Journals an accepted event (journal-before-train: the durable log
+    /// must cover everything the window will learn from) and feeds the
+    /// training window and refit cadence.
+    fn note_accepted_for_relearn(&mut self, event: ErrorEvent) {
+        let Some(state) = self.relearn.as_mut() else {
+            return;
+        };
+        if let Some(store) = self.store.as_mut() {
+            match store.append_events(std::slice::from_ref(&event)) {
+                Ok(_) => cordial_obs::counter!("obs.relearn.journal.events").inc(),
+                Err(_) => cordial_obs::counter!("obs.relearn.journal.errors").inc(),
+            }
+        }
+        state.window.push(event);
+        state.scheduler.observe_accept();
+    }
+
+    /// One relearn sweep: settle any finished (or overdue) refit, escalate
+    /// on new drift-watchdog alerts, start a refit when one is due.
+    fn poll_relearn(&mut self, now_ms: u64) {
+        // The state moves out of `self` for the sweep so the settle path
+        // can route the candidate through `consider_candidate` (&mut self)
+        // without aliasing it.
+        let Some(mut state) = self.relearn.take() else {
+            return;
+        };
+        if let Some(worker) = state.inflight.as_mut() {
+            if let Some(completion) = worker.try_take(now_ms, state.config.refit_timeout_ms) {
+                state.inflight = None;
+                self.settle_refit(&mut state, completion);
+            }
+        }
+        let alerts = self.total_drift_alerts();
+        if alerts > state.last_drift_alerts {
+            state.last_drift_alerts = alerts;
+            cordial_obs::counter!("obs.relearn.drift_triggers").inc();
+            if cordial_obs::recorder::enabled() {
+                cordial_obs::recorder::instant(
+                    "relearn",
+                    "drift_escalation",
+                    format!("{alerts} fleet drift alerts at t={now_ms}ms"),
+                );
+            }
+            state.scheduler.note_drift();
+        }
+        if state.inflight.is_none() && state.scheduler.due() {
+            self.start_refit(&mut state, now_ms);
+        }
+        self.relearn = Some(state);
+    }
+
+    /// Fleet-wide drift-watchdog alert total (pattern-mix and lead-time
+    /// families over every registered device).
+    fn total_drift_alerts(&self) -> u64 {
+        self.devices
+            .values()
+            .map(|slot| {
+                let health = slot.monitor.health();
+                health.pattern_mix().alerts() + health.lead_time().alerts()
+            })
+            .sum()
+    }
+
+    /// Builds a refit job from the current window and launches it
+    /// (inline jobs also settle here; background jobs settle at a later
+    /// sweep). Thin windows count as skipped and wait out one cadence.
+    fn start_refit(&mut self, state: &mut RelearnState, now_ms: u64) {
+        let incumbent = self.registry.incumbent();
+        let job = build_job(&state.window, &state.config, incumbent.config(), incumbent);
+        state.scheduler.note_started();
+        let Some(mut job) = job else {
+            cordial_obs::counter!("obs.relearn.refits_skipped").inc();
+            return;
+        };
+        job.inject_panic = std::mem::take(&mut state.panic_next_refit);
+        state.outcomes.started += 1;
+        cordial_obs::counter!("obs.relearn.refits_started").inc();
+        if cordial_obs::recorder::enabled() {
+            cordial_obs::recorder::instant(
+                "relearn",
+                "refit_start",
+                format!(
+                    "{} window events, {} train / {} calibration banks at t={now_ms}ms",
+                    state.window.len(),
+                    job.train.len(),
+                    job.calibration.len()
+                ),
+            );
+        }
+        let mut worker = RefitWorker::start(job, state.config.background, now_ms);
+        if state.config.background {
+            state.inflight = Some(worker);
+        } else if let Some(completion) = worker.try_take(now_ms, 0) {
+            self.settle_refit(state, completion);
+        }
+    }
+
+    /// Applies one refit completion: failures and timeouts feed the
+    /// scheduler's backoff, candidates go through the promotion gate.
+    fn settle_refit(&mut self, state: &mut RelearnState, completion: RefitCompletion) {
+        if completion.timed_out {
+            state.outcomes.timed_out += 1;
+            cordial_obs::counter!("obs.relearn.refits_timed_out").inc();
+            state.scheduler.note_failure();
+            return;
+        }
+        let panicked = completion.panicked;
+        let (Some(candidate), Some(job)) = (completion.candidate, completion.job) else {
+            state.outcomes.failed += 1;
+            cordial_obs::counter!("obs.relearn.refits_failed").inc();
+            if panicked {
+                cordial_obs::blackbox::trigger(
+                    "refit_panic_contained",
+                    "background refit panicked during training (contained)",
+                );
+            }
+            state.scheduler.note_failure();
+            return;
+        };
+        match self.consider_candidate(*candidate, &job.dataset, &job.calibration) {
+            PromotionDecision::Promoted { .. } => {
+                state.outcomes.promoted += 1;
+                cordial_obs::counter!("obs.relearn.refits_promoted").inc();
+                state.promoted_by_relearn = true;
+            }
+            PromotionDecision::Rejected { .. } => {
+                state.outcomes.rejected += 1;
+                cordial_obs::counter!("obs.relearn.refits_rejected").inc();
+            }
+        }
+        state.scheduler.note_success();
+    }
+
+    /// Operator/test trigger: starts a refit right now from the current
+    /// window (ignoring cadence and backoff). Returns whether a job
+    /// actually launched — `false` when relearn is disabled, a refit is
+    /// already in flight, or the window is too thin to train from.
+    pub fn begin_refit(&mut self) -> bool {
+        let now_ms = self.watermark_ms;
+        let Some(mut state) = self.relearn.take() else {
+            return false;
+        };
+        let before = state.outcomes;
+        if state.inflight.is_none() {
+            self.start_refit(&mut state, now_ms);
+        }
+        let started = state.outcomes.started > before.started;
+        self.relearn = Some(state);
+        started
+    }
+
+    /// Lifetime refit outcome counters (`None` when relearn is disabled).
+    pub fn relearn_outcomes(&self) -> Option<RelearnOutcomes> {
+        self.relearn.as_ref().map(|state| state.outcomes)
+    }
+
+    /// The sliding training window (`None` when relearn is disabled).
+    pub fn training_window(&self) -> Option<&TrainingWindow> {
+        self.relearn.as_ref().map(|state| &state.window)
+    }
+
+    /// Whether a background refit is currently in flight.
+    pub fn refit_in_flight(&self) -> bool {
+        self.relearn
+            .as_ref()
+            .is_some_and(|state| state.inflight.is_some())
+    }
+
+    /// Chaos hook: the next refit job panics mid-fit (contained; counted
+    /// as a failed refit and backed off like any other failure).
+    pub fn inject_refit_panic(&mut self) {
+        if let Some(state) = self.relearn.as_mut() {
+            state.panic_next_refit = true;
+        }
     }
 
     fn route_to_slot(&mut self, id: DeviceId, event: ErrorEvent, now_ms: u64) -> RouteOutcome {
@@ -606,6 +906,11 @@ impl FleetSupervisor {
             plans_absorbing: self.total_plans_absorbing(),
         });
         self.rolled_back = false;
+        // Attribution resets on every adoption; the relearn settle path
+        // re-marks its own promotions after `consider_candidate` returns.
+        if let Some(state) = self.relearn.as_mut() {
+            state.promoted_by_relearn = false;
+        }
     }
 
     /// The canary's current evidence: plans made since the last promotion
@@ -664,6 +969,13 @@ impl FleetSupervisor {
             slot.monitor.swap_pipeline(good.clone());
         }
         self.rolled_back = true;
+        if let Some(state) = self.relearn.as_mut() {
+            if state.promoted_by_relearn {
+                state.promoted_by_relearn = false;
+                state.outcomes.rolled_back += 1;
+                cordial_obs::counter!("obs.relearn.refits_rolled_back").inc();
+            }
+        }
         Some(precision)
     }
 

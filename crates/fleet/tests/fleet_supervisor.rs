@@ -139,6 +139,10 @@ fn fleet_telemetry_digest_is_thread_invariant() {
         "fleet.events.shed",
         "fleet.breaker.trips",
         "fleet.device.availability.count",
+        "obs.relearn.refits_started",
+        "obs.relearn.refits_promoted",
+        "obs.relearn.refits_rejected",
+        "obs.relearn.refits_rolled_back",
     ] {
         assert!(
             digests[0].contains_key(family),

@@ -1,0 +1,114 @@
+//! Property tests for the pattern-mix drift detector's determinism
+//! contract: pure function of the observation stream (thread-invariant),
+//! monotone in the amount of injected drift, and silent on stationary
+//! streams.
+
+use cordial_obs::{DriftConfig, MixDriftDetector};
+use proptest::prelude::*;
+
+/// Runs a detector over `seq` and returns everything observable about the
+/// run: the per-observation alert shifts, the alert count, and the last
+/// published window-to-window shift.
+fn run(seq: &[usize], classes: usize, config: DriftConfig) -> (Vec<Option<u64>>, u64, f64) {
+    let mut detector = MixDriftDetector::new("prop_mix", classes, config);
+    let alerts = seq
+        .iter()
+        .map(|&class| detector.observe(class).map(|a| a.shift.to_bits()))
+        .collect();
+    (alerts, detector.alerts(), detector.last_shift())
+}
+
+/// A two-window stream whose second window moves exactly `moved` of the
+/// `window` observations from class 0 to class 1: the total-variation
+/// distance is `moved / window` by construction.
+fn drifted_stream(window: usize, moved: usize) -> Vec<usize> {
+    let mut seq = vec![0usize; window];
+    seq.extend(std::iter::repeat_n(1usize, moved));
+    seq.extend(std::iter::repeat_n(0usize, window - moved));
+    seq
+}
+
+proptest! {
+    /// Same observations, same alerts and shifts — whether the detector
+    /// runs on the caller's thread or a spawned one. This is the property
+    /// that makes it safe inside the thread-invariant telemetry digest.
+    #[test]
+    fn detector_is_identical_across_threads(
+        seq in prop::collection::vec(0usize..8, 0..384),
+        classes in 1usize..6,
+        window in 1usize..32,
+    ) {
+        let config = DriftConfig { window, threshold: 0.25 };
+        let inline = run(&seq, classes, config);
+        let spawned = std::thread::spawn({
+            let seq = seq.clone();
+            move || run(&seq, classes, config)
+        })
+        .join()
+        .expect("detector thread must not panic");
+        prop_assert_eq!(inline, spawned);
+    }
+
+    /// Moving more mass between classes never shrinks the reported shift,
+    /// the shift equals the constructed total-variation distance, and the
+    /// alert fires exactly when the shift clears the threshold.
+    #[test]
+    fn shift_is_monotone_in_injected_drift(
+        window in 1usize..64,
+        moved_a in 0usize..=64,
+        moved_b in 0usize..=64,
+        threshold in 0.0f64..1.0,
+    ) {
+        let (small, large) = if moved_a <= moved_b {
+            (moved_a, moved_b)
+        } else {
+            (moved_b, moved_a)
+        };
+        prop_assume!(large <= window);
+        let config = DriftConfig { window, threshold };
+        let (_, alerts_small, shift_small) =
+            run(&drifted_stream(window, small), 2, config);
+        let (_, alerts_large, shift_large) =
+            run(&drifted_stream(window, large), 2, config);
+        prop_assert!(shift_small <= shift_large);
+        let expected = large as f64 / window as f64;
+        prop_assert!((shift_large - expected).abs() < 1e-12);
+        prop_assert_eq!(alerts_large, u64::from(shift_large > threshold));
+        prop_assert_eq!(alerts_small, u64::from(shift_small > threshold));
+    }
+
+    /// A stream whose class distribution repeats exactly window after
+    /// window is stationary by construction: zero alerts even at a zero
+    /// threshold, and a zero published shift.
+    #[test]
+    fn stationary_stream_never_alerts(
+        block in prop::collection::vec(0usize..5, 1..48),
+        repeats in 2usize..8,
+    ) {
+        let config = DriftConfig {
+            window: block.len(),
+            threshold: 0.0,
+        };
+        let mut detector = MixDriftDetector::new("prop_stationary", 5, config);
+        for _ in 0..repeats {
+            for &class in &block {
+                prop_assert_eq!(detector.observe(class), None);
+            }
+        }
+        prop_assert_eq!(detector.alerts(), 0);
+        prop_assert_eq!(detector.last_shift(), 0.0);
+    }
+
+    /// Class indices beyond the configured class count clamp into the
+    /// last class instead of panicking, and behave exactly like streams
+    /// pre-clamped by the caller.
+    #[test]
+    fn out_of_range_classes_clamp(
+        seq in prop::collection::vec(0usize..32, 0..256),
+        classes in 1usize..4,
+    ) {
+        let config = DriftConfig { window: 8, threshold: 0.25 };
+        let clamped: Vec<usize> = seq.iter().map(|&c| c.min(classes - 1)).collect();
+        prop_assert_eq!(run(&seq, classes, config), run(&clamped, classes, config));
+    }
+}

@@ -16,25 +16,76 @@ use crate::server::{HealthReport, PlanRecord, ServedStats};
 /// something to spin on forever).
 const MAX_RETRIES_PER_BATCH: u32 = 10_000;
 
+/// Default socket read/write timeout: a daemon that goes silent for this
+/// long mid-reply surfaces as an I/O error instead of hanging the client
+/// thread forever.
+pub const DEFAULT_IO_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// SplitMix64 step for retry jitter (Vigna's reference constants; the
+/// crate deliberately has no RNG dependency).
+fn mix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Jittered back-off for one `RetryAfter` hint: a seeded draw from
+/// `[hint/2, hint]` milliseconds (never below 1ms). Sleeping the exact
+/// hint would re-synchronise every backpressured client into offering
+/// again in the same instant; the spread de-correlates them while still
+/// honouring the daemon's pacing.
+fn jittered_backoff_ms(hint_ms: u32, rng: &mut u64) -> u64 {
+    let hint = u64::from(hint_ms).max(1);
+    let floor = (hint / 2).max(1);
+    floor + mix64(rng) % (hint - floor + 1)
+}
+
 /// A blocking request/response connection to one daemon.
 pub struct Client {
     stream: TcpStream,
     buf: Vec<u8>,
+    /// Seeded jitter state for `RetryAfter` back-off.
+    retry_rng: u64,
 }
 
 impl Client {
-    /// Connects to a daemon's wire address (`host:port`).
+    /// Connects to a daemon's wire address (`host:port`) with the
+    /// [`DEFAULT_IO_TIMEOUT`] on socket reads and writes.
     ///
     /// # Errors
     ///
     /// Propagates connect/configuration failures.
     pub fn connect(addr: &str) -> io::Result<Client> {
+        Self::connect_with_timeout(addr, Some(DEFAULT_IO_TIMEOUT))
+    }
+
+    /// Connects with an explicit socket read/write timeout (`None`
+    /// blocks indefinitely — the pre-timeout behaviour).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect/configuration failures.
+    pub fn connect_with_timeout(addr: &str, timeout: Option<Duration>) -> io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
+        stream.set_read_timeout(timeout)?;
+        stream.set_write_timeout(timeout)?;
         Ok(Client {
             stream,
             buf: Vec::new(),
+            retry_rng: 0,
         })
+    }
+
+    /// Re-seeds the `RetryAfter` jitter stream (load generators give each
+    /// connection its own seed so back-off schedules are reproducible yet
+    /// de-correlated across clients).
+    #[must_use]
+    pub fn with_retry_seed(mut self, seed: u64) -> Client {
+        self.retry_rng = seed;
+        self
     }
 
     /// Sends one frame and blocks for the daemon's reply.
@@ -107,7 +158,8 @@ impl Client {
                             "retry budget exhausted; daemon never drained",
                         ));
                     }
-                    std::thread::sleep(Duration::from_millis(u64::from(ms).max(1)));
+                    let backoff = jittered_backoff_ms(ms, &mut self.retry_rng);
+                    std::thread::sleep(Duration::from_millis(backoff));
                 }
                 Frame::ShuttingDown => {
                     return Err(io::Error::new(
@@ -285,4 +337,56 @@ pub fn run_load(
         0.0
     };
     Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_jitter_is_seeded_and_bounded() {
+        for hint in [0u32, 1, 2, 7, 100, 10_000] {
+            let (mut a, mut b) = (42u64, 42u64);
+            let xs: Vec<u64> = (0..64).map(|_| jittered_backoff_ms(hint, &mut a)).collect();
+            let ys: Vec<u64> = (0..64).map(|_| jittered_backoff_ms(hint, &mut b)).collect();
+            assert_eq!(xs, ys, "same seed, same back-off schedule");
+            let h = u64::from(hint).max(1);
+            for &x in &xs {
+                assert!(x >= (h / 2).max(1) && x <= h, "hint {hint}: draw {x}");
+            }
+        }
+        let (mut a, mut b) = (1u64, 2u64);
+        let xs: Vec<u64> = (0..64)
+            .map(|_| jittered_backoff_ms(10_000, &mut a))
+            .collect();
+        let ys: Vec<u64> = (0..64)
+            .map(|_| jittered_backoff_ms(10_000, &mut b))
+            .collect();
+        assert_ne!(xs, ys, "different seeds de-correlate");
+        assert!(
+            xs.windows(2).any(|w| w[0] != w[1]),
+            "jitter actually varies"
+        );
+    }
+
+    #[test]
+    fn silent_peer_times_out_instead_of_hanging() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let silent = std::thread::spawn(move || {
+            let (_socket, _) = listener.accept().unwrap();
+            std::thread::sleep(Duration::from_millis(400));
+        });
+        let mut client =
+            Client::connect_with_timeout(&addr, Some(Duration::from_millis(50))).unwrap();
+        let err = client.ping().unwrap_err();
+        assert!(
+            matches!(
+                err.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+            ),
+            "expected a socket timeout, got {err:?}"
+        );
+        silent.join().unwrap();
+    }
 }

@@ -587,7 +587,7 @@ impl Server {
                 .map_err(io::Error::other)?;
                 if let Some(what) = &store.recovery().corruption {
                     cordial_obs::counter!("served.journal.recoveries").inc();
-                    eprintln!("served: journal recovered from crash damage: {what}");
+                    cordial_obs::warn!("served: journal recovered from crash damage: {what}");
                 }
                 Some(Mutex::new(store))
             }

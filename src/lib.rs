@@ -21,6 +21,7 @@ pub use cordial_chaos as chaos;
 pub use cordial_faultsim as faultsim;
 pub use cordial_fleet as fleet;
 pub use cordial_mcelog as mcelog;
+pub use cordial_relearn as relearn;
 pub use cordial_topology as topology;
 pub use cordial_trees as trees;
 
